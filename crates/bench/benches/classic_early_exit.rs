@@ -1,0 +1,53 @@
+//! Ablation — the classic Bloom filter's asymmetric lookup cost (§2):
+//! negative lookups exit after the first unset bit, positive lookups must test
+//! all k bits. Blocked variants do the same work either way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pof_bloom::{Addressing, BlockedBloom, BloomConfig, ClassicBloom};
+use pof_filter::{Filter, KeyGen, SelectionVector};
+use std::time::Duration;
+
+fn bench_classic_early_exit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classic_early_exit");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let n = 200_000;
+    let mut gen = KeyGen::new(3);
+    let keys = gen.distinct_keys(n);
+    let mut classic = ClassicBloom::with_bits_per_key(n, 12.0, 8);
+    let mut blocked = BlockedBloom::with_bits_per_key(
+        BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo),
+        n,
+        12.0,
+    );
+    for &key in &keys {
+        classic.insert(key);
+        blocked.insert(key);
+    }
+    let positive_probes: Vec<u32> = keys.iter().take(16 * 1024).copied().collect();
+    let negative_probes = gen.keys(16 * 1024);
+
+    for (filter_name, filter) in [("classic(k=8)", &classic as &dyn Filter), ("cache-sectorized(k=8)", &blocked)] {
+        for (probe_name, probes) in [("positive", &positive_probes), ("negative", &negative_probes)] {
+            group.throughput(Throughput::Elements(probes.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(filter_name, probe_name),
+                probes,
+                |b, probes| {
+                    let mut sel = SelectionVector::with_capacity(probes.len());
+                    b.iter(|| {
+                        sel.clear();
+                        filter.contains_batch(probes, &mut sel);
+                        sel.len()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classic_early_exit);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 8/13 ablation — Cuckoo filter lookup cost across signature lengths
+//! and bucket sizes (the precision/space side is covered analytically by the
+//! figures harness; this bench measures the throughput side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pof_cuckoo::{CuckooAddressing, CuckooConfig, CuckooFilter};
+use pof_filter::{Filter, KeyGen, SelectionVector};
+use std::time::Duration;
+
+fn bench_cuckoo_config(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_cuckoo_config");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let n = 100_000;
+    let mut gen = KeyGen::new(8);
+    let keys = gen.distinct_keys(n);
+    let probes = gen.keys(16 * 1024);
+    for (l, b) in [(8u32, 4u32), (12, 4), (16, 2), (16, 4), (32, 1)] {
+        let config = CuckooConfig::new(l, b, CuckooAddressing::PowerOfTwo);
+        let mut filter = CuckooFilter::for_keys(config, n);
+        for &key in &keys {
+            filter.insert(key);
+        }
+        group.throughput(Throughput::Elements(probes.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("lookup", format!("l={l},b={b}")),
+            &probes,
+            |bench, probes| {
+                let mut sel = SelectionVector::with_capacity(probes.len());
+                bench.iter(|| {
+                    sel.clear();
+                    filter.contains_batch(probes, &mut sel);
+                    sel.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cuckoo_config);
+criterion_main!(benches);

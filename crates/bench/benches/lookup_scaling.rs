@@ -1,0 +1,62 @@
+//! Figure 14 — lookup cost versus filter size for the three representative
+//! filters (register-blocked Bloom, cache-sectorized Bloom, Cuckoo).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pof_bloom::{Addressing, BloomConfig};
+use pof_core::{AnyFilter, FilterConfig};
+use pof_cuckoo::{CuckooAddressing, CuckooConfig};
+use pof_filter::{Filter, KeyGen, SelectionVector};
+use std::time::Duration;
+
+fn build(config: &FilterConfig, filter_bits: u64) -> (AnyFilter, Vec<u32>) {
+    let n = (filter_bits as usize / 12).max(64);
+    let mut gen = KeyGen::new(7);
+    let keys = gen.distinct_keys(n);
+    let mut filter = AnyFilter::build(config, n, 12.0);
+    for &key in &keys {
+        filter.insert(key);
+    }
+    (filter, gen.keys(16 * 1024))
+}
+
+fn bench_lookup_scaling(c: &mut Criterion) {
+    let configs: Vec<(&str, FilterConfig)> = vec![
+        (
+            "register-blocked(B=32,k=4)",
+            FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo)),
+        ),
+        (
+            "cache-sectorized(B=512,k=8,z=2)",
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo)),
+        ),
+        (
+            "cuckoo(l=16,b=2)",
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+        ),
+    ];
+    let mut group = c.benchmark_group("fig14_lookup_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    // 16 KiB (L1), 1 MiB (L2/L3) and 16 MiB (beyond L3 on most hosts); larger
+    // DRAM-resident sizes are covered by the `figures -- fig14` harness.
+    for kib in [16u64, 1024, 16 * 1024] {
+        for (name, config) in &configs {
+            let (filter, probes) = build(config, kib * 8 * 1024);
+            group.throughput(Throughput::Elements(probes.len() as u64));
+            group.bench_with_input(BenchmarkId::new(*name, format!("{kib}KiB")), &probes, |b, probes| {
+                let mut sel = SelectionVector::with_capacity(probes.len());
+                b.iter(|| {
+                    sel.clear();
+                    filter.contains_batch(probes, &mut sel);
+                    sel.len()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup_scaling);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figure 9 ablation — magic modulo vs power-of-two addressing, for the
+//! cache-sectorized Bloom filter and the Cuckoo filter, at a filter size that
+//! power-of-two sizing would round up substantially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pof_bloom::{Addressing, BloomConfig};
+use pof_core::{AnyFilter, FilterConfig};
+use pof_cuckoo::{CuckooAddressing, CuckooConfig};
+use pof_filter::{Filter, KeyGen, SelectionVector};
+use std::time::Duration;
+
+fn bench_magic_modulo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_magic_modulo");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    // 12 MiB requested: power-of-two sizing rounds the block count up ~1.3x.
+    let filter_bits = 12u64 * 8 * 1024 * 1024;
+    let n = (filter_bits / 12) as usize;
+    let mut gen = KeyGen::new(9);
+    let keys = gen.distinct_keys(n);
+    let probes = gen.keys(16 * 1024);
+    let configs: Vec<(&str, FilterConfig)> = vec![
+        (
+            "bloom/pow2",
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo)),
+        ),
+        (
+            "bloom/magic",
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic)),
+        ),
+        (
+            "cuckoo/pow2",
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+        ),
+        (
+            "cuckoo/magic",
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::Magic)),
+        ),
+    ];
+    for (name, config) in &configs {
+        let mut filter = AnyFilter::build(config, n, 12.0);
+        for &key in &keys {
+            filter.insert(key);
+        }
+        group.throughput(Throughput::Elements(probes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("lookup", name), &probes, |b, probes| {
+            let mut sel = SelectionVector::with_capacity(probes.len());
+            b.iter(|| {
+                sel.clear();
+                filter.contains_batch(probes, &mut sel);
+                sel.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_magic_modulo);
+criterion_main!(benches);

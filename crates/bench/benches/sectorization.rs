@@ -1,0 +1,59 @@
+//! Figure 5 — performance impact of sectorization for varying block sizes
+//! (blocked with one sector vs sectorized with word-sized sectors, k = 16),
+//! for a cache-resident and a DRAM-resident filter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pof_bloom::{Addressing, BlockedBloom, BloomConfig};
+use pof_filter::{Filter, KeyGen, SelectionVector};
+use std::time::Duration;
+
+fn bench_sectorization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_sectorization");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let mut gen = KeyGen::new(5);
+    let probes = gen.keys(16 * 1024);
+    for (size_label, filter_bits) in [("16KiB", 16u64 << 13), ("64MiB", 64u64 << 23)] {
+        for words_per_block in [1u32, 4, 16] {
+            let block_bits = words_per_block * 32;
+            let configs = [
+                ("blocked", BloomConfig::blocked(block_bits, 16, Addressing::PowerOfTwo)),
+                (
+                    "sectorized",
+                    if words_per_block == 1 {
+                        BloomConfig::blocked(block_bits, 16, Addressing::PowerOfTwo)
+                    } else {
+                        BloomConfig::sectorized(block_bits, 32, 16, Addressing::PowerOfTwo)
+                    },
+                ),
+            ];
+            for (variant, config) in configs {
+                let n = (filter_bits / 12) as usize;
+                let keys = KeyGen::new(6).distinct_keys(n.min(2_000_000));
+                let mut filter = BlockedBloom::new(config, filter_bits);
+                for &key in &keys {
+                    filter.insert(key);
+                }
+                group.throughput(Throughput::Elements(probes.len() as u64));
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{variant}/{size_label}"), format!("{words_per_block}w")),
+                    &probes,
+                    |b, probes| {
+                        let mut sel = SelectionVector::with_capacity(probes.len());
+                        b.iter(|| {
+                            sel.clear();
+                            filter.contains_batch(probes, &mut sel);
+                            sel.len()
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sectorization);
+criterion_main!(benches);

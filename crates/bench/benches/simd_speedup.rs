@@ -1,0 +1,73 @@
+//! Figure 15 — SIMD vs scalar batch lookups for the three representative
+//! filters, with power-of-two and magic addressing (L1-resident filters).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pof_bloom::{Addressing, BloomConfig};
+use pof_core::{AnyFilter, FilterConfig};
+use pof_cuckoo::{CuckooAddressing, CuckooConfig};
+use pof_filter::{Filter, KeyGen, SelectionVector};
+use std::time::Duration;
+
+fn bench_simd_speedup(c: &mut Criterion) {
+    let filter_bits = 16u64 << 13; // 16 KiB, L1-resident
+    let configs: Vec<(&str, FilterConfig)> = vec![
+        (
+            "cuckoo(l=16,b=2)/pow2",
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+        ),
+        (
+            "cuckoo(l=16,b=2)/magic",
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::Magic)),
+        ),
+        (
+            "register-blocked(B=32,k=4)/pow2",
+            FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo)),
+        ),
+        (
+            "register-blocked(B=32,k=4)/magic",
+            FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::Magic)),
+        ),
+        (
+            "cache-sectorized(B=512,k=8,z=2)/pow2",
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo)),
+        ),
+        (
+            "cache-sectorized(B=512,k=8,z=2)/magic",
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic)),
+        ),
+    ];
+    let mut group = c.benchmark_group("fig15_simd_speedup");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let n = (filter_bits / 12) as usize;
+    let mut gen = KeyGen::new(15);
+    let keys = gen.distinct_keys(n);
+    let probes = gen.keys(16 * 1024);
+    for (name, config) in &configs {
+        for scalar in [false, true] {
+            let mut filter = AnyFilter::build(config, n, 12.0);
+            for &key in &keys {
+                filter.insert(key);
+            }
+            if scalar {
+                filter.force_scalar();
+            }
+            let label = if scalar { "scalar" } else { "simd" };
+            group.throughput(Throughput::Elements(probes.len() as u64));
+            group.bench_with_input(BenchmarkId::new(*name, label), &probes, |b, probes| {
+                let mut sel = SelectionVector::with_capacity(probes.len());
+                b.iter(|| {
+                    sel.clear();
+                    filter.contains_batch(probes, &mut sel);
+                    sel.len()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simd_speedup);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure/table regeneration harness.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p pof-bench --release --bin figures -- [--full] [--measured] <target>...
+//! ```
+//!
+//! where `<target>` is one of `table1`, `fig1`, `fig3`, `fig4`, `fig5`,
+//! `fig7`, `fig8`, `fig9`, `fig10`, `fig11a`, `fig11b`, `fig12`, `fig13`,
+//! `fig14`, `fig15` or `all`. `--full` uses the paper-scale grids and probe
+//! counts; `--measured` calibrates the skyline from measurements instead of
+//! the synthetic cache-cost model.
+
+use pof_bench::figures::{self, HarnessOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = HarnessOptions::default();
+    let mut targets = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "--full" => options.quick = false,
+            "--measured" => options.measured_skyline = true,
+            "--quick" => options.quick = true,
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    for target in targets {
+        match target.as_str() {
+            "table1" => figures::table1(),
+            "fig3" => figures::fig3(),
+            "fig4" => figures::fig4(),
+            "fig5" => figures::fig5(&options),
+            "fig7" => figures::fig7(),
+            "fig8" => figures::fig8(),
+            "fig9" => figures::fig9(&options),
+            // Figure 1 is the annotated summary of Figure 10; Figures 11a/11b
+            // are printed alongside the same skyline.
+            "fig1" | "fig10" | "fig11a" | "fig11b" | "fig10_11" => figures::fig10_11(&options),
+            "fig12" => figures::fig12(&options),
+            "fig13" => figures::fig13(&options),
+            "fig14" => figures::fig14(&options),
+            "fig15" => figures::fig15(&options),
+            "all" => figures::all(&options),
+            unknown => {
+                eprintln!("unknown target '{unknown}'");
+                eprintln!("valid targets: table1 fig1 fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11a fig11b fig12 fig13 fig14 fig15 all");
+                std::process::exit(2);
+            }
+        }
+    }
+}

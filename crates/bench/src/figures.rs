@@ -1,0 +1,447 @@
+//! Regeneration routines, one per table/figure of the paper's evaluation.
+//!
+//! Output format: each routine prints a header line starting with `#` and then
+//! tab-separated data rows. EXPERIMENTS.md records the measured shapes against
+//! the paper's reported ones.
+
+use crate::measure::{cpu_ghz, measure_lookup_cycles, MeasureOptions};
+use pof_bloom::{Addressing, BloomConfig};
+use pof_core::skyline::{default_cache_cost_model, synthetic_calibration};
+use pof_core::{
+    Calibrator, ConfigSpace, FilterConfig, Platform, Skyline, SkylineGrid,
+};
+use pof_cuckoo::{CuckooAddressing, CuckooConfig};
+use pof_filter::FilterKind;
+
+/// Speed/size knobs for the harness: `quick` keeps every figure within a few
+/// seconds; `full` uses larger probe counts and denser grids.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOptions {
+    /// Use the reduced grids and probe counts.
+    pub quick: bool,
+    /// Use measured calibration for the skylines instead of the synthetic
+    /// cache-cost model (slower but closer to the paper's methodology).
+    pub measured_skyline: bool,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        Self {
+            quick: true,
+            measured_skyline: false,
+        }
+    }
+}
+
+fn measure_options(quick: bool) -> MeasureOptions {
+    MeasureOptions {
+        probe_count: if quick { 32 * 1024 } else { 256 * 1024 },
+        repetitions: if quick { 2 } else { 5 },
+        bits_per_key: 12.0,
+        force_scalar: false,
+    }
+}
+
+/// The three representative filter instances used by Figures 14 and 15.
+fn representative_configs() -> Vec<(&'static str, FilterConfig)> {
+    vec![
+        (
+            "register-blocked Bloom (B=32,k=4)",
+            FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo)),
+        ),
+        (
+            "cache-sectorized Bloom (B=512,k=8,z=2)",
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo)),
+        ),
+        (
+            "Cuckoo (b=2,l=16)",
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+        ),
+    ]
+}
+
+/// Table 1 — hardware platform description (ours, replacing the paper's four).
+pub fn table1() {
+    println!("# Table 1: hardware platform (reproduction host)");
+    let platform = Platform::detect();
+    for (key, value) in platform.table_rows() {
+        println!("{key}\t{value}");
+    }
+}
+
+/// Figure 3 — overhead ρ as a function of the filter size m for a fixed
+/// configuration, n and t_w (model-based sketch).
+pub fn fig3() {
+    println!("# Figure 3: overhead rho vs filter size (cache-sectorized B=512,k=8,z=2; n=2^20, tw=1000 cycles)");
+    println!("bits_per_key\tfpr\tlookup_cycles\trho_cycles");
+    let n = 1u64 << 20;
+    let tw = 1000.0;
+    let space = ConfigSpace::default();
+    let calibration = synthetic_calibration(&space, &default_cache_cost_model());
+    let config = FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic));
+    for bpk_times4 in 8..=120u32 {
+        let bits_per_key = f64::from(bpk_times4) / 4.0;
+        let Some(fpr) = config.modeled_fpr(n as f64, bits_per_key) else { continue };
+        let lookup = calibration
+            .lookup_cycles(&config.label(), bits_per_key * n as f64)
+            .unwrap_or(f64::NAN);
+        println!("{bits_per_key:.2}\t{fpr:.6e}\t{lookup:.2}\t{:.2}", lookup + fpr * tw);
+    }
+}
+
+/// Figure 4 — impact of blocking on the false-positive rate (a) and on the
+/// optimal k (b), as functions of the bits-per-key budget.
+pub fn fig4() {
+    println!("# Figure 4a: false-positive rate vs bits/key (optimal k per point)");
+    println!("bits_per_key\tclassic\tblocked512\tblocked64\tblocked32");
+    let n = 1_000_000.0;
+    let best = |f: &dyn Fn(u32) -> f64| (1..=16).map(f).fold(f64::MAX, f64::min);
+    for bpk in 5..=20u32 {
+        let m = f64::from(bpk) * n;
+        let classic = best(&|k| pof_model::f_std(m, n, k));
+        let b512 = best(&|k| pof_model::f_blocked(m, n, k, 512));
+        let b64 = best(&|k| pof_model::f_blocked(m, n, k, 64));
+        let b32 = best(&|k| pof_model::f_blocked(m, n, k, 32));
+        println!("{bpk}\t{classic:.3e}\t{b512:.3e}\t{b64:.3e}\t{b32:.3e}");
+    }
+    println!("# Figure 4b: optimal k vs bits/key");
+    println!("bits_per_key\tclassic\tblocked512\tblocked64\tblocked32");
+    for bpk in 5..=20u32 {
+        println!(
+            "{bpk}\t{}\t{}\t{}\t{}",
+            pof_model::optimal_k_classic(f64::from(bpk)),
+            pof_model::optimal_k_blocked(f64::from(bpk), 512, 16),
+            pof_model::optimal_k_blocked(f64::from(bpk), 64, 16),
+            pof_model::optimal_k_blocked(f64::from(bpk), 32, 16),
+        );
+    }
+}
+
+/// Figure 5 — lookup performance of blocked vs sectorized filters for block
+/// sizes of 1–16 words, cache-resident (16 KiB) and DRAM-resident (256 MiB).
+pub fn fig5(options: &HarnessOptions) {
+    let ghz = cpu_ghz();
+    let mopts = measure_options(options.quick);
+    let dram_bits: u64 = if options.quick { 64 << 23 } else { 256 << 23 };
+    println!("# Figure 5: lookups/sec, blocked (one sector) vs sectorized (word-sized sectors), k=16");
+    println!("words_per_block\tfilter\tblocked_Mlookups\tsectorized_Mlookups");
+    for (label, bits) in [("cache(16KiB)", 16u64 << 13), ("dram", dram_bits)] {
+        for words in [1u32, 2, 4, 8, 16] {
+            let block_bits = words * 32;
+            let blocked = FilterConfig::Bloom(BloomConfig::blocked(block_bits.max(32), 16, Addressing::PowerOfTwo));
+            let sectorized = if words == 1 {
+                blocked
+            } else {
+                FilterConfig::Bloom(BloomConfig::sectorized(block_bits, 32, 16, Addressing::PowerOfTwo))
+            };
+            let (_, blocked_ns, _) = measure_lookup_cycles(&blocked, bits, ghz, &mopts);
+            let (_, sectorized_ns, _) = measure_lookup_cycles(&sectorized, bits, ghz, &mopts);
+            println!(
+                "{words}\t{label}\t{:.1}\t{:.1}",
+                1e3 / blocked_ns,
+                1e3 / sectorized_ns
+            );
+        }
+    }
+}
+
+/// Figure 7 — false-positive rate of sectorized vs cache-sectorized filters
+/// (k = 8), with (register-)blocked filters as reference.
+pub fn fig7() {
+    println!("# Figure 7: false-positive rate, k=8");
+    println!("bits_per_key\tcache_sectorized_z4\tcache_sectorized_z2\tsectorized_4words\tregister_blocked32\tblocked512");
+    let n = 1_000_000.0;
+    for bpk in 8..=20u32 {
+        let m = f64::from(bpk) * n;
+        println!(
+            "{bpk}\t{:.3e}\t{:.3e}\t{:.3e}\t{:.3e}\t{:.3e}",
+            pof_model::f_cache_sectorized(m, n, 8, 512, 64, 4),
+            pof_model::f_cache_sectorized(m, n, 8, 512, 64, 2),
+            pof_model::f_sectorized(m, n, 8, 256, 64),
+            pof_model::f_blocked(m, n, 8, 32),
+            pof_model::f_blocked(m, n, 8, 512),
+        );
+    }
+}
+
+/// Figure 8 — Cuckoo filter false-positive rates for different signature
+/// lengths (a) and bucket sizes (b).
+pub fn fig8() {
+    println!("# Figure 8a: cuckoo FPR vs bits/key, b=4");
+    println!("bits_per_key\tl8\tl12\tl16");
+    for bpk in 8..=20u32 {
+        let row: Vec<String> = [8u32, 12, 16]
+            .iter()
+            .map(|&l| {
+                pof_model::cuckoo::f_cuckoo_for_budget(f64::from(bpk), l, 4)
+                    .map_or("-".to_string(), |f| format!("{f:.3e}"))
+            })
+            .collect();
+        println!("{bpk}\t{}", row.join("\t"));
+    }
+    println!("# Figure 8b: cuckoo FPR vs bits/key, l=8");
+    println!("bits_per_key\tb2\tb4\tb8");
+    for bpk in 8..=20u32 {
+        let row: Vec<String> = [2u32, 4, 8]
+            .iter()
+            .map(|&b| {
+                pof_model::cuckoo::f_cuckoo_for_budget(f64::from(bpk), 8, b)
+                    .map_or("-".to_string(), |f| format!("{f:.3e}"))
+            })
+            .collect();
+        println!("{bpk}\t{}", row.join("\t"));
+    }
+}
+
+/// Figure 9 — lookup cost for varying filter sizes: magic modulo (fine-grained
+/// sizes) vs power-of-two sizes.
+pub fn fig9(options: &HarnessOptions) {
+    let ghz = cpu_ghz();
+    let mopts = measure_options(options.quick);
+    println!("# Figure 9: lookup cycles vs filter size (cache-sectorized B=512,k=8,z=2)");
+    println!("filter_MiB\taddressing\tcycles_per_lookup");
+    let max_mib = if options.quick { 128u64 } else { 1024 };
+    let mut mib = 4.0f64;
+    while mib <= max_mib as f64 {
+        let bits = (mib * 8.0 * 1024.0 * 1024.0) as u64;
+        let magic = FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic));
+        let (magic_cycles, _, _) = measure_lookup_cycles(&magic, bits, ghz, &mopts);
+        println!("{mib:.1}\tmagic\t{magic_cycles:.1}");
+        if (mib.log2().fract()).abs() < 1e-9 {
+            let pow2 = FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo));
+            let (pow2_cycles, _, _) = measure_lookup_cycles(&pow2, bits, ghz, &mopts);
+            println!("{mib:.1}\tpow2\t{pow2_cycles:.1}");
+        }
+        mib *= if options.quick { 1.6 } else { 1.2 };
+    }
+}
+
+/// Figures 1 & 10 — skyline of the performance-optimal filter *type* over the
+/// (n, t_w) grid. Also prints Figure 11a (speedup of the winner over the best
+/// configuration of the other type) and Figure 11b (the winner's FPR).
+pub fn fig10_11(options: &HarnessOptions) {
+    let space = ConfigSpace::default();
+    let calibration = if options.measured_skyline {
+        let calibrator = Calibrator {
+            probe_count: if options.quick { 16 * 1024 } else { 128 * 1024 },
+            repetitions: 2,
+            bits_per_key: 12.0,
+        };
+        calibrator.calibrate(&space.all_configs(), &Calibrator::default_size_sweep())
+    } else {
+        synthetic_calibration(&space, &default_cache_cost_model())
+    };
+    let skyline = Skyline::new(space, &calibration);
+    let grid = if options.quick { SkylineGrid::quick() } else { SkylineGrid::paper() };
+    let points = skyline.compute(&grid);
+    println!("# Figures 1/10: performance-optimal filter type per (n, tw)");
+    println!("# Figure 11a: speedup of the winner over the other type's best configuration");
+    println!("# Figure 11b: false-positive rate of the winner");
+    println!("n\ttw_cycles\tbest_type\tbest_config\tbits_per_key\trho_cycles\tspeedup_vs_other\tfpr");
+    for p in &points {
+        println!(
+            "{}\t{:.0}\t{}\t{}\t{:.0}\t{:.2}\t{:.2}\t{:.2e}",
+            p.n,
+            p.tw,
+            p.best_kind,
+            p.best_label,
+            p.best_bits_per_key,
+            p.best_rho,
+            p.speedup_over_other_kind(),
+            p.best_fpr
+        );
+    }
+    // Summary: the crossover t_w per problem size (the Figure 1 boundary).
+    println!("# crossover summary: smallest tw where Cuckoo wins, per n");
+    println!("n\tcrossover_tw");
+    for &n in &grid.n_values {
+        let crossover = points
+            .iter()
+            .filter(|p| p.n == n && p.best_kind == FilterKind::Cuckoo)
+            .map(|p| p.tw)
+            .fold(f64::INFINITY, f64::min);
+        println!("{n}\t{crossover:.0}");
+    }
+}
+
+/// Figure 12 — configuration skylines of the best-performing Bloom filters
+/// (variant, block size, sector count, z, k, modulo, size class).
+pub fn fig12(options: &HarnessOptions) {
+    let mut space = ConfigSpace::default();
+    space.quick = options.quick;
+    // Bloom-only skyline: strip Cuckoo candidates by computing the skyline and
+    // reporting the winning Bloom configuration's parameters.
+    let calibration = synthetic_calibration(&space, &default_cache_cost_model());
+    let skyline = Skyline::new(space, &calibration);
+    let grid = if options.quick { SkylineGrid::quick() } else { SkylineGrid::paper() };
+    println!("# Figure 12: best Bloom configuration per (n, tw)");
+    println!("n\ttw_cycles\tvariant\tblock_bytes\tsectors\tz\tk\tmodulo\tfilter_MiB");
+    for &n in &grid.n_values {
+        for &tw in &grid.tw_values {
+            let mut best: Option<(BloomConfig, f64, f64)> = None;
+            for config in space.bloom_configs() {
+                let fc = FilterConfig::Bloom(config);
+                if let Some((bpk, rho, _, _)) = skyline.best_operating_point(&fc, n, tw) {
+                    if best.map_or(true, |(_, _, r)| rho < r) {
+                        best = Some((config, bpk, rho));
+                    }
+                }
+            }
+            if let Some((config, bpk, _)) = best {
+                println!(
+                    "{n}\t{tw:.0}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.2}",
+                    config.variant(),
+                    config.block_bits / 8,
+                    config.sectors(),
+                    config.groups,
+                    config.k,
+                    if config.addressing == Addressing::Magic { "magic" } else { "pow2" },
+                    bpk * n as f64 / 8.0 / 1024.0 / 1024.0,
+                );
+            }
+        }
+    }
+}
+
+/// Figure 13 — configuration skylines of the best-performing Cuckoo filters
+/// (signature length, bucket size, modulo, size class).
+pub fn fig13(options: &HarnessOptions) {
+    let mut space = ConfigSpace::default();
+    space.quick = options.quick;
+    let calibration = synthetic_calibration(&space, &default_cache_cost_model());
+    let skyline = Skyline::new(space, &calibration);
+    let grid = if options.quick { SkylineGrid::quick() } else { SkylineGrid::paper() };
+    println!("# Figure 13: best Cuckoo configuration per (n, tw)");
+    println!("n\ttw_cycles\tsignature_bits\tbucket_size\tmodulo\tfilter_MiB");
+    for &n in &grid.n_values {
+        for &tw in &grid.tw_values {
+            let mut best: Option<(CuckooConfig, f64, f64)> = None;
+            for config in space.cuckoo_configs() {
+                let fc = FilterConfig::Cuckoo(config);
+                if let Some((bpk, rho, _, _)) = skyline.best_operating_point(&fc, n, tw) {
+                    if best.map_or(true, |(_, _, r)| rho < r) {
+                        best = Some((config, bpk, rho));
+                    }
+                }
+            }
+            if let Some((config, bpk, _)) = best {
+                println!(
+                    "{n}\t{tw:.0}\t{}\t{}\t{}\t{:.2}",
+                    config.signature_bits,
+                    config.bucket_size,
+                    if config.addressing == CuckooAddressing::Magic { "magic" } else { "pow2" },
+                    bpk * n as f64 / 8.0 / 1024.0 / 1024.0,
+                );
+            }
+        }
+    }
+}
+
+/// Figure 14 — lookup cycles vs filter size for the three representative
+/// filters (register-blocked, cache-sectorized, Cuckoo).
+pub fn fig14(options: &HarnessOptions) {
+    let ghz = cpu_ghz();
+    let mopts = measure_options(options.quick);
+    println!("# Figure 14: cycles per lookup vs filter size");
+    println!("filter_KiB\tfilter\tcycles_per_lookup\tkernel");
+    let max_kib = if options.quick { 128 * 1024u64 } else { 512 * 1024 };
+    let mut kib = 8u64;
+    while kib <= max_kib {
+        for (name, config) in representative_configs() {
+            let (cycles, _, kernel) = measure_lookup_cycles(&config, kib * 8 * 1024, ghz, &mopts);
+            println!("{kib}\t{name}\t{cycles:.1}\t{kernel}");
+        }
+        kib *= 4;
+    }
+}
+
+/// Figure 15 — SIMD vs scalar lookup cost (cycles) and speedup for the three
+/// representative filters, with power-of-two and magic sizing, L1-resident.
+pub fn fig15(options: &HarnessOptions) {
+    let ghz = cpu_ghz();
+    let mopts = measure_options(options.quick);
+    let scalar_opts = MeasureOptions { force_scalar: true, ..mopts };
+    println!("# Figure 15: SIMD vs scalar, L1-resident filters");
+    println!("filter\taddressing\tscalar_cycles\tsimd_cycles\tspeedup\tsimd_kernel");
+    let bits = 16u64 << 13; // 16 KiB
+    let variants: Vec<(&str, &str, FilterConfig)> = vec![
+        (
+            "Cuckoo (b=2,l=16)",
+            "pow2",
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+        ),
+        (
+            "Cuckoo (b=2,l=16)",
+            "magic",
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::Magic)),
+        ),
+        (
+            "register-blocked Bloom (B=32,k=4)",
+            "pow2",
+            FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo)),
+        ),
+        (
+            "register-blocked Bloom (B=32,k=4)",
+            "magic",
+            FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::Magic)),
+        ),
+        (
+            "cache-sectorized Bloom (B=512,k=8,z=2)",
+            "pow2",
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo)),
+        ),
+        (
+            "cache-sectorized Bloom (B=512,k=8,z=2)",
+            "magic",
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic)),
+        ),
+    ];
+    for (name, addressing, config) in variants {
+        let (scalar_cycles, _, _) = measure_lookup_cycles(&config, bits, ghz, &scalar_opts);
+        let (simd_cycles, _, kernel) = measure_lookup_cycles(&config, bits, ghz, &mopts);
+        println!(
+            "{name}\t{addressing}\t{scalar_cycles:.1}\t{simd_cycles:.1}\t{:.2}\t{kernel}",
+            scalar_cycles / simd_cycles
+        );
+    }
+}
+
+/// Run every table/figure in order.
+pub fn all(options: &HarnessOptions) {
+    table1();
+    fig3();
+    fig4();
+    fig5(options);
+    fig7();
+    fig8();
+    fig9(options);
+    fig10_11(options);
+    fig12(options);
+    fig13(options);
+    fig14(options);
+    fig15(options);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke test: the model-only figures must run without panicking.
+    #[test]
+    fn model_figures_run() {
+        table1();
+        fig3();
+        fig4();
+        fig7();
+        fig8();
+    }
+
+    /// The skyline figures run on the quick grid with synthetic calibration.
+    #[test]
+    fn skyline_figures_run() {
+        let options = HarnessOptions::default();
+        fig10_11(&options);
+        fig12(&options);
+        fig13(&options);
+    }
+}

@@ -1,0 +1,14 @@
+//! Shared measurement helpers and the figure-regeneration routines used by
+//! the `figures` binary and the Criterion benches.
+//!
+//! Every public function here corresponds to one table or figure of the
+//! paper's evaluation (see DESIGN.md's per-experiment index); each prints its
+//! series as tab-separated rows so EXPERIMENTS.md can quote them directly.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod figures;
+pub mod measure;
+
+pub use measure::{measure_lookup_cycles, MeasureOptions};

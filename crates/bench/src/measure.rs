@@ -1,0 +1,98 @@
+//! Lightweight lookup-throughput measurement shared by the figure harness and
+//! the Criterion benches.
+
+use pof_core::{AnyFilter, Calibrator, FilterConfig};
+use pof_filter::{Filter, KeyGen, SelectionVector};
+use std::time::Instant;
+
+/// Options controlling a single throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureOptions {
+    /// Number of probe keys per timed pass.
+    pub probe_count: usize,
+    /// Number of timed passes (the fastest is reported).
+    pub repetitions: usize,
+    /// Bits per key used to size the filter from the key count.
+    pub bits_per_key: f64,
+    /// Force the scalar kernel instead of the SIMD one.
+    pub force_scalar: bool,
+}
+
+impl Default for MeasureOptions {
+    fn default() -> Self {
+        Self {
+            probe_count: 64 * 1024,
+            repetitions: 3,
+            bits_per_key: 12.0,
+            force_scalar: false,
+        }
+    }
+}
+
+/// Build `config` at (roughly) `filter_bits` bits, probe it with random keys,
+/// and return `(cycles_per_lookup, ns_per_lookup, kernel_name)`.
+#[must_use]
+pub fn measure_lookup_cycles(
+    config: &FilterConfig,
+    filter_bits: u64,
+    cpu_ghz: f64,
+    options: &MeasureOptions,
+) -> (f64, f64, &'static str) {
+    let n = ((filter_bits as f64 / options.bits_per_key) as usize).max(64);
+    let mut gen = KeyGen::new(0xBEEF);
+    let build_keys = gen.distinct_keys(n);
+    let mut filter = AnyFilter::build(config, n, options.bits_per_key);
+    for &key in &build_keys {
+        filter.insert(key);
+    }
+    if options.force_scalar {
+        filter.force_scalar();
+    }
+    let kernel = filter.kernel_name();
+    let probes = gen.keys(options.probe_count);
+    let mut sel = SelectionVector::with_capacity(options.probe_count);
+
+    sel.clear();
+    filter.contains_batch(&probes, &mut sel); // warm-up
+
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..options.repetitions {
+        sel.clear();
+        let start = Instant::now();
+        filter.contains_batch(&probes, &mut sel);
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(sel.len());
+        best_ns = best_ns.min(elapsed * 1e9 / options.probe_count as f64);
+    }
+    (best_ns * cpu_ghz, best_ns, kernel)
+}
+
+/// Estimate the CPU frequency once (delegates to the calibration machinery).
+#[must_use]
+pub fn cpu_ghz() -> f64 {
+    Calibrator::estimate_cpu_ghz()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pof_bloom::{Addressing, BloomConfig};
+
+    #[test]
+    fn measurement_is_positive_and_scalar_forcing_works() {
+        let config = FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo));
+        let options = MeasureOptions {
+            probe_count: 4096,
+            repetitions: 1,
+            ..MeasureOptions::default()
+        };
+        let (cycles, ns, kernel) = measure_lookup_cycles(&config, 1 << 17, 3.0, &options);
+        assert!(cycles > 0.0 && ns > 0.0);
+        if std::arch::is_x86_feature_detected!("avx2") {
+            assert_eq!(kernel, "avx2-register32");
+        }
+        let scalar_options = MeasureOptions { force_scalar: true, ..options };
+        let (_, _, kernel) = measure_lookup_cycles(&config, 1 << 17, 3.0, &scalar_options);
+        assert_eq!(kernel, "scalar");
+    }
+}

@@ -1,0 +1,468 @@
+//! The blocked Bloom filter family: blocked, register-blocked, sectorized and
+//! cache-sectorized variants behind a single runtime-configured implementation.
+//!
+//! The scalar lookup paths are direct transcriptions of Listing 1 (word-
+//! addressed blocked lookup) and Listing 2 (register-blocked lookup with a
+//! single comparison), generalised to sectors and sector groups as described
+//! in §3.2. The batched lookup path dispatches to AVX2 kernels (see
+//! [`crate::simd`]) when the CPU supports them and the configuration is
+//! SIMD-friendly; the scalar and SIMD paths are bit-for-bit equivalent, which
+//! the property tests assert.
+
+use crate::config::{Addressing, BloomConfig, BloomVariant};
+use crate::simd;
+use pof_filter::{Filter, FilterKind, SelectionVector};
+use pof_hash::Modulus;
+
+/// Multiplier for the block-addressing hash (Knuth's constant).
+pub(crate) const BLOCK_HASH_C: u32 = 0x9E37_79B1;
+/// Seed multiplier for the bit-addressing stream (independent of the block hash).
+pub(crate) const STREAM_SEED_C: u32 = 0x85EB_CA6B;
+/// Per-step remix multiplier of the bit-addressing stream (MurmurHash3 c1).
+pub(crate) const STREAM_STEP_C: u32 = 0xCC9E_2D51;
+
+/// Maximum number of (sector, mask) probes a single lookup can produce:
+/// the plain blocked variant performs `k ≤ 24` accesses.
+const MAX_PROBES: usize = 24;
+
+/// Advance the bit-addressing stream and return its top `nbits` bits.
+///
+/// Both the scalar and the SIMD kernels use exactly this sequence, so the two
+/// paths agree on every probed position.
+#[inline(always)]
+pub(crate) fn next_bits(state: &mut u32, nbits: u32) -> u32 {
+    debug_assert!(nbits <= 32);
+    if nbits == 0 {
+        return 0;
+    }
+    *state = state.wrapping_mul(STREAM_STEP_C);
+    *state >> (32 - nbits)
+}
+
+/// A blocked Bloom filter (any of the four variants of Figure 12a).
+#[derive(Debug, Clone)]
+pub struct BlockedBloom {
+    config: BloomConfig,
+    modulus: Modulus,
+    data: Vec<u64>,
+    keys_inserted: u64,
+    simd_kernel: simd::Kernel,
+}
+
+impl BlockedBloom {
+    /// Create a filter of (at least) `m_bits` bits with the given
+    /// configuration. The actual size is the requested size rounded up to the
+    /// addressing granularity: the next power of two of blocks for
+    /// [`Addressing::PowerOfTwo`], or the next "add-free magic" block count
+    /// for [`Addressing::Magic`] (§5.2).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`BloomConfig::validate`])
+    /// or `m_bits` is zero.
+    #[must_use]
+    pub fn new(config: BloomConfig, m_bits: u64) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid Bloom configuration: {e}"));
+        assert!(m_bits > 0, "filter size must be positive");
+        let modulus = config.addressing_for_bits(m_bits);
+        let total_bits = u64::from(modulus.size()) * u64::from(config.block_bits);
+        let words = usize::try_from(total_bits.div_ceil(64)).expect("filter too large");
+        let simd_kernel = simd::Kernel::select(&config);
+        Self {
+            config,
+            modulus,
+            data: vec![0u64; words],
+            keys_inserted: 0,
+            simd_kernel,
+        }
+    }
+
+    /// Create a filter sized for `n` keys at a bits-per-key budget.
+    #[must_use]
+    pub fn with_bits_per_key(config: BloomConfig, n: usize, bits_per_key: f64) -> Self {
+        let m_bits = ((n as f64) * bits_per_key).ceil().max(f64::from(config.block_bits)) as u64;
+        Self::new(config, m_bits)
+    }
+
+    /// The filter's configuration.
+    #[must_use]
+    pub fn config(&self) -> &BloomConfig {
+        &self.config
+    }
+
+    /// Number of blocks in the filter.
+    #[must_use]
+    pub fn num_blocks(&self) -> u32 {
+        self.modulus.size()
+    }
+
+    /// Number of keys inserted so far.
+    #[must_use]
+    pub fn keys_inserted(&self) -> u64 {
+        self.keys_inserted
+    }
+
+    /// The analytical false-positive rate of this filter instance given the
+    /// number of keys actually inserted.
+    #[must_use]
+    pub fn modeled_fpr(&self) -> f64 {
+        self.config
+            .modeled_fpr(self.size_bits() as f64, self.keys_inserted as f64)
+    }
+
+    /// Which batch-lookup kernel (scalar or SIMD) this instance uses.
+    #[must_use]
+    pub fn kernel_name(&self) -> &'static str {
+        self.simd_kernel.name()
+    }
+
+    /// Force the scalar batch-lookup path (used by the SIMD-speedup benches
+    /// and the equivalence tests).
+    pub fn force_scalar(&mut self) {
+        self.simd_kernel = simd::Kernel::Scalar;
+    }
+
+    /// Raw block storage, exposed to the SIMD kernels.
+    #[inline(always)]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Block-index modulus, exposed to the SIMD kernels.
+    #[inline(always)]
+    pub(crate) fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// Compute the block index of a key.
+    #[inline(always)]
+    pub(crate) fn block_index(&self, key: u32) -> u32 {
+        self.modulus.reduce(key.wrapping_mul(BLOCK_HASH_C))
+    }
+
+    /// Enumerate the (sector-start-bit, mask) probes of a key into `out`,
+    /// returning how many were produced. Insert ORs the masks in, lookup
+    /// requires every mask to be fully present.
+    #[inline]
+    fn probes(&self, key: u32, out: &mut [(u64, u64); MAX_PROBES]) -> usize {
+        let cfg = &self.config;
+        let block_start = u64::from(self.block_index(key)) * u64::from(cfg.block_bits);
+        let mut state = key.wrapping_mul(STREAM_SEED_C);
+        match cfg.variant() {
+            BloomVariant::RegisterBlocked => {
+                // Listing 2: one word, k bits ORed into one search mask.
+                let bits = cfg.block_bits;
+                let mut mask = 0u64;
+                for _ in 0..cfg.k {
+                    let bit = next_bits(&mut state, bits.trailing_zeros());
+                    mask |= 1u64 << bit;
+                }
+                out[0] = (block_start, mask);
+                1
+            }
+            BloomVariant::Blocked => {
+                // Listing 1: per bit, pick a 32-bit word within the block and
+                // a bit within that word (random access pattern).
+                let words_per_block = cfg.block_bits / 32;
+                for i in 0..cfg.k as usize {
+                    let word = next_bits(&mut state, words_per_block.trailing_zeros());
+                    let bit = next_bits(&mut state, 5);
+                    out[i] = (block_start + u64::from(word) * 32, 1u64 << bit);
+                }
+                cfg.k as usize
+            }
+            BloomVariant::Sectorized => {
+                // §3.2: k/s bits in each of the s sectors, sequential access.
+                let sectors = cfg.sectors();
+                let per_sector = cfg.k / sectors;
+                let sector_bits = cfg.sector_bits;
+                for sector in 0..sectors as usize {
+                    let mut mask = 0u64;
+                    for _ in 0..per_sector {
+                        let bit = next_bits(&mut state, sector_bits.trailing_zeros());
+                        mask |= 1u64 << bit;
+                    }
+                    out[sector] = (
+                        block_start + sector as u64 * u64::from(sector_bits),
+                        mask,
+                    );
+                }
+                sectors as usize
+            }
+            BloomVariant::CacheSectorized => {
+                // §3.2 / Figure 6: z groups; in each group one hash-chosen
+                // sector receives k/z bits.
+                let sectors = cfg.sectors();
+                let groups = cfg.groups;
+                let sectors_per_group = sectors / groups;
+                let per_group = cfg.k / groups;
+                let sector_bits = cfg.sector_bits;
+                for group in 0..groups as usize {
+                    let sector_in_group =
+                        next_bits(&mut state, sectors_per_group.trailing_zeros());
+                    let sector = group as u64 * u64::from(sectors_per_group)
+                        + u64::from(sector_in_group);
+                    let mut mask = 0u64;
+                    for _ in 0..per_group {
+                        let bit = next_bits(&mut state, sector_bits.trailing_zeros());
+                        mask |= 1u64 << bit;
+                    }
+                    out[group] = (block_start + sector * u64::from(sector_bits), mask);
+                }
+                groups as usize
+            }
+        }
+    }
+
+    /// Load up to 64 bits starting at `bit_start` (which never crosses a
+    /// 64-bit word boundary for valid configurations).
+    #[inline(always)]
+    fn load(&self, bit_start: u64) -> u64 {
+        let word = self.data[(bit_start / 64) as usize];
+        word >> (bit_start % 64)
+    }
+
+    /// OR `mask` into the bits starting at `bit_start`.
+    #[inline(always)]
+    fn store(&mut self, bit_start: u64, mask: u64) {
+        self.data[(bit_start / 64) as usize] |= mask << (bit_start % 64);
+    }
+
+    /// Scalar batched lookup (used as the fallback and by the equivalence tests).
+    pub fn contains_batch_scalar(&self, keys: &[u32], sel: &mut SelectionVector) {
+        for (i, &key) in keys.iter().enumerate() {
+            sel.push_if(i as u32, self.contains(key));
+        }
+    }
+}
+
+impl Filter for BlockedBloom {
+    fn insert(&mut self, key: u32) -> bool {
+        let mut probes = [(0u64, 0u64); MAX_PROBES];
+        let n = self.probes(key, &mut probes);
+        for &(bit_start, mask) in &probes[..n] {
+            self.store(bit_start, mask);
+        }
+        self.keys_inserted += 1;
+        true
+    }
+
+    fn contains(&self, key: u32) -> bool {
+        let mut probes = [(0u64, 0u64); MAX_PROBES];
+        let n = self.probes(key, &mut probes);
+        // All variants perform the full amount of work for positive and
+        // negative lookups alike (t⁺ = t⁻, §2); the accumulator keeps the
+        // loop branch-free.
+        let mut all_present = true;
+        for &(bit_start, mask) in &probes[..n] {
+            all_present &= self.load(bit_start) & mask == mask;
+        }
+        all_present
+    }
+
+    fn contains_batch(&self, keys: &[u32], sel: &mut SelectionVector) {
+        if !simd::dispatch(self, keys, sel, self.simd_kernel) {
+            self.contains_batch_scalar(keys, sel);
+        }
+    }
+
+    fn size_bits(&self) -> u64 {
+        u64::from(self.modulus.size()) * u64::from(self.config.block_bits)
+    }
+
+    fn kind(&self) -> FilterKind {
+        FilterKind::Bloom
+    }
+
+    fn config_label(&self) -> String {
+        self.config.label()
+    }
+}
+
+/// Convenience constructors for the representative configurations used
+/// throughout the paper's figures.
+impl BlockedBloom {
+    /// Register-blocked filter with 32-bit blocks (Figure 14/15's
+    /// `B = 32, k = 4` uses `register_blocked32(n, bpk, 4)`).
+    #[must_use]
+    pub fn register_blocked32(n: usize, bits_per_key: f64, k: u32) -> Self {
+        Self::with_bits_per_key(
+            BloomConfig::register_blocked(32, k, Addressing::PowerOfTwo),
+            n,
+            bits_per_key,
+        )
+    }
+
+    /// Cache-sectorized filter with 512-bit blocks and 64-bit sectors
+    /// (Figure 14/15's `B = 512, k = 8, z = 2`).
+    #[must_use]
+    pub fn cache_sectorized512(n: usize, bits_per_key: f64, k: u32, z: u32) -> Self {
+        Self::with_bits_per_key(
+            BloomConfig::cache_sectorized(512, 64, z, k, Addressing::PowerOfTwo),
+            n,
+            bits_per_key,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pof_filter::{measured_fpr, KeyGen};
+
+    fn representative_configs() -> Vec<BloomConfig> {
+        vec![
+            BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo),
+            BloomConfig::register_blocked(32, 5, Addressing::Magic),
+            BloomConfig::register_blocked(64, 6, Addressing::PowerOfTwo),
+            BloomConfig::blocked(512, 8, Addressing::PowerOfTwo),
+            BloomConfig::blocked(128, 3, Addressing::Magic),
+            BloomConfig::sectorized(512, 64, 8, Addressing::PowerOfTwo),
+            BloomConfig::sectorized(256, 32, 8, Addressing::Magic),
+            BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo),
+            BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic),
+            BloomConfig::cache_sectorized(512, 64, 4, 8, Addressing::PowerOfTwo),
+            BloomConfig::cache_sectorized(1024, 64, 2, 6, Addressing::Magic),
+            BloomConfig::sectorized(64, 8, 8, Addressing::PowerOfTwo),
+        ]
+    }
+
+    #[test]
+    fn no_false_negatives_across_variants() {
+        let mut gen = KeyGen::new(11);
+        let keys = gen.distinct_keys(20_000);
+        for config in representative_configs() {
+            let mut filter = BlockedBloom::with_bits_per_key(config, keys.len(), 12.0);
+            for &key in &keys {
+                assert!(filter.insert(key));
+            }
+            for &key in &keys {
+                assert!(
+                    filter.contains(key),
+                    "false negative for {key} in {}",
+                    config.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        for config in representative_configs() {
+            let filter = BlockedBloom::with_bits_per_key(config, 1000, 10.0);
+            let mut positives = 0;
+            for key in 0..10_000u32 {
+                if filter.contains(key) {
+                    positives += 1;
+                }
+            }
+            assert_eq!(positives, 0, "{}", config.label());
+        }
+    }
+
+    #[test]
+    fn batch_lookup_equals_point_lookup() {
+        let mut gen = KeyGen::new(12);
+        let keys = gen.distinct_keys(8_192);
+        let probes = gen.keys(16_384);
+        for config in representative_configs() {
+            let mut filter = BlockedBloom::with_bits_per_key(config, keys.len(), 10.0);
+            for &key in &keys {
+                filter.insert(key);
+            }
+            let mut batch = SelectionVector::new();
+            filter.contains_batch(&probes, &mut batch);
+            let mut scalar = SelectionVector::new();
+            filter.contains_batch_scalar(&probes, &mut scalar);
+            assert_eq!(
+                batch.as_slice(),
+                scalar.as_slice(),
+                "batch != scalar for {} (kernel {})",
+                config.label(),
+                filter.kernel_name()
+            );
+        }
+    }
+
+    #[test]
+    fn measured_fpr_tracks_model() {
+        let mut gen = KeyGen::new(13);
+        let keys = gen.distinct_keys(60_000);
+        for (config, rel_tol) in [
+            (BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo), 0.35),
+            (BloomConfig::blocked(512, 6, Addressing::PowerOfTwo), 0.35),
+            (BloomConfig::sectorized(512, 64, 8, Addressing::Magic), 0.35),
+            (BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic), 0.35),
+        ] {
+            let mut filter = BlockedBloom::with_bits_per_key(config, keys.len(), 12.0);
+            for &key in &keys {
+                filter.insert(key);
+            }
+            let measured = measured_fpr(&filter, &keys, 400_000, 17).fpr;
+            let modeled = filter.modeled_fpr();
+            let rel = (measured - modeled).abs() / modeled;
+            assert!(
+                rel < rel_tol,
+                "{}: measured {measured}, modeled {modeled}, rel {rel}",
+                config.label()
+            );
+        }
+    }
+
+    #[test]
+    fn magic_addressing_gives_requested_size() {
+        let config = BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic);
+        let requested_bits = 10_000_000u64;
+        let filter = BlockedBloom::new(config, requested_bits);
+        let actual = filter.size_bits();
+        // Magic sizing must stay within a fraction of a percent of the request
+        // (§5.2: at most 0.0134 % more blocks), unlike power-of-two sizing.
+        assert!(actual >= requested_bits);
+        let overshoot = (actual - requested_bits) as f64 / requested_bits as f64;
+        assert!(overshoot < 0.01, "actual {actual} vs requested {requested_bits}");
+
+        let pow2 = BlockedBloom::new(
+            BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo),
+            requested_bits,
+        );
+        // Power-of-two rounds up to 16 Mi blocks ⇒ ~1.67x the requested size.
+        assert!(pow2.size_bits() > requested_bits * 13 / 10);
+    }
+
+    #[test]
+    fn size_accounting_and_labels() {
+        let filter = BlockedBloom::register_blocked32(1000, 10.0, 4);
+        assert_eq!(filter.kind(), FilterKind::Bloom);
+        assert!(filter.config_label().contains("register-blocked"));
+        assert_eq!(filter.size_bits() % 32, 0);
+        assert_eq!(filter.num_blocks(), (filter.size_bits() / 32) as u32);
+
+        let filter = BlockedBloom::cache_sectorized512(1000, 16.0, 8, 2);
+        assert_eq!(filter.size_bits() % 512, 0);
+    }
+
+    #[test]
+    fn duplicate_inserts_are_idempotent_for_membership() {
+        let config = BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo);
+        let mut filter = BlockedBloom::with_bits_per_key(config, 100, 10.0);
+        for _ in 0..10 {
+            filter.insert(42);
+        }
+        assert!(filter.contains(42));
+        assert_eq!(filter.keys_inserted(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Bloom configuration")]
+    fn invalid_configuration_panics() {
+        let bad = BloomConfig {
+            block_bits: 64,
+            sector_bits: 512,
+            groups: 1,
+            k: 8,
+            addressing: Addressing::PowerOfTwo,
+        };
+        let _ = BlockedBloom::new(bad, 1 << 20);
+    }
+}

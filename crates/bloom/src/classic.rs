@@ -1,0 +1,249 @@
+//! The classic (unblocked) Bloom filter.
+//!
+//! Kept as a baseline: the paper's §2 explains why classic Bloom filters are
+//! rarely performance-optimal — positive lookups touch `k` cache lines and
+//! cannot be SIMDized effectively — but they remain the precision yardstick
+//! (Figure 4a's blue line) and exhibit the asymmetric lookup cost
+//! (`t⁺_l ≫ t⁻_l`) that motivates the early-exit term in the overhead model.
+
+use pof_filter::{Filter, FilterKind, SelectionVector};
+use pof_hash::mul::{mix64, KNUTH64};
+
+/// A classic Bloom filter over `m` bits with `k` hash functions.
+///
+/// Negative lookups exit as soon as an unset bit is found, so their cost is
+/// much lower than positive lookups for sparsely populated filters — the
+/// `t⁻_l`/`t⁺_l` asymmetry discussed in §2.
+#[derive(Debug, Clone)]
+pub struct ClassicBloom {
+    words: Vec<u64>,
+    m_bits: u64,
+    k: u32,
+    keys_inserted: u64,
+}
+
+impl ClassicBloom {
+    /// Create a filter with (at least) `m_bits` bits and `k` hash functions.
+    ///
+    /// The bit count is rounded up to a multiple of 64. Unlike the blocked
+    /// variants, no power-of-two constraint applies: the classic filter uses a
+    /// 64-bit modulo per probe (which is exactly why it is slow).
+    ///
+    /// # Panics
+    /// Panics if `m_bits` is zero or `k` is outside `[1, 32]`.
+    #[must_use]
+    pub fn new(m_bits: u64, k: u32) -> Self {
+        assert!(m_bits > 0, "filter size must be positive");
+        assert!((1..=32).contains(&k), "k must be in [1, 32]");
+        let words = m_bits.div_ceil(64);
+        Self {
+            words: vec![0u64; usize::try_from(words).expect("filter too large for address space")],
+            m_bits: words * 64,
+            k,
+            keys_inserted: 0,
+        }
+    }
+
+    /// Create a filter sized for `n` keys at a given bits-per-key budget.
+    #[must_use]
+    pub fn with_bits_per_key(n: usize, bits_per_key: f64, k: u32) -> Self {
+        let m_bits = ((n as f64) * bits_per_key).ceil().max(64.0) as u64;
+        Self::new(m_bits, k)
+    }
+
+    /// The i-th probe position for a key: independent hash functions derived
+    /// from two 64-bit hashes via the Kirsch–Mitzenmacher double-hashing
+    /// scheme `h1 + i·h2` (the standard way to avoid computing `k` full
+    /// hashes).
+    #[inline]
+    fn bit_position(&self, key: u32, i: u32) -> u64 {
+        let h1 = mix64(u64::from(key));
+        let h2 = u64::from(key).wrapping_mul(KNUTH64) | 1;
+        h1.wrapping_add(u64::from(i).wrapping_mul(h2)) % self.m_bits
+    }
+
+    /// Number of hash functions.
+    #[must_use]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of keys inserted so far.
+    #[must_use]
+    pub fn keys_inserted(&self) -> u64 {
+        self.keys_inserted
+    }
+
+    /// The analytical false-positive rate (Eq. 2) given the number of keys
+    /// actually inserted.
+    #[must_use]
+    pub fn modeled_fpr(&self) -> f64 {
+        pof_model::f_std(self.m_bits as f64, self.keys_inserted as f64, self.k)
+    }
+
+    /// Fraction of bits set (the filter's fill factor).
+    #[must_use]
+    pub fn fill_factor(&self) -> f64 {
+        let set: u64 = self.words.iter().map(|w| u64::from(w.count_ones())).sum();
+        set as f64 / self.m_bits as f64
+    }
+
+    /// Lookup counting how many of the `k` probes were actually performed
+    /// (early exit on the first unset bit). Used by the `classic_early_exit`
+    /// bench to demonstrate the `t⁻ ≪ t⁺` asymmetry.
+    #[must_use]
+    pub fn contains_counting_probes(&self, key: u32) -> (bool, u32) {
+        for i in 0..self.k {
+            let pos = self.bit_position(key, i);
+            let word = self.words[(pos / 64) as usize];
+            if word & (1u64 << (pos % 64)) == 0 {
+                return (false, i + 1);
+            }
+        }
+        (true, self.k)
+    }
+}
+
+impl Filter for ClassicBloom {
+    fn insert(&mut self, key: u32) -> bool {
+        for i in 0..self.k {
+            let pos = self.bit_position(key, i);
+            self.words[(pos / 64) as usize] |= 1u64 << (pos % 64);
+        }
+        self.keys_inserted += 1;
+        true
+    }
+
+    fn contains(&self, key: u32) -> bool {
+        self.contains_counting_probes(key).0
+    }
+
+    fn contains_batch(&self, keys: &[u32], sel: &mut SelectionVector) {
+        for (i, &key) in keys.iter().enumerate() {
+            sel.push_if(i as u32, self.contains(key));
+        }
+    }
+
+    fn size_bits(&self) -> u64 {
+        self.m_bits
+    }
+
+    fn kind(&self) -> FilterKind {
+        FilterKind::Bloom
+    }
+
+    fn config_label(&self) -> String {
+        format!("classic-bloom(k={})", self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pof_filter::{measured_fpr, KeyGen};
+
+    #[test]
+    fn no_false_negatives() {
+        let mut gen = KeyGen::new(1);
+        let keys = gen.distinct_keys(20_000);
+        let mut filter = ClassicBloom::with_bits_per_key(keys.len(), 10.0, 7);
+        for &k in &keys {
+            assert!(filter.insert(k));
+        }
+        for &k in &keys {
+            assert!(filter.contains(k), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn fpr_close_to_model() {
+        let mut gen = KeyGen::new(2);
+        let keys = gen.distinct_keys(50_000);
+        let bits_per_key = 10.0;
+        let k = 7;
+        let mut filter = ClassicBloom::with_bits_per_key(keys.len(), bits_per_key, k);
+        for &key in &keys {
+            filter.insert(key);
+        }
+        let measurement = measured_fpr(&filter, &keys, 200_000, 3);
+        let modeled = pof_model::f_std(filter.size_bits() as f64, keys.len() as f64, k);
+        assert!(
+            (measurement.fpr - modeled).abs() / modeled < 0.25,
+            "measured {} vs modeled {modeled}",
+            measurement.fpr
+        );
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let filter = ClassicBloom::new(1 << 16, 5);
+        for key in 0..10_000u32 {
+            assert!(!filter.contains(key));
+        }
+        assert_eq!(filter.fill_factor(), 0.0);
+    }
+
+    #[test]
+    fn early_exit_probe_counts() {
+        let mut gen = KeyGen::new(4);
+        let keys = gen.distinct_keys(10_000);
+        let mut filter = ClassicBloom::with_bits_per_key(keys.len(), 12.0, 8);
+        for &key in &keys {
+            filter.insert(key);
+        }
+        // Positive lookups always perform all k probes.
+        for &key in keys.iter().take(500) {
+            let (found, probes) = filter.contains_counting_probes(key);
+            assert!(found);
+            assert_eq!(probes, 8);
+        }
+        // Negative lookups should on average exit after ~1/(1-fill) probes,
+        // far below k.
+        let mut total_probes = 0u64;
+        let negatives = KeyGen::new(5).distinct_keys(10_000);
+        let mut tested = 0u64;
+        for &key in &negatives {
+            if keys.contains(&key) {
+                continue;
+            }
+            let (_, probes) = filter.contains_counting_probes(key);
+            total_probes += u64::from(probes);
+            tested += 1;
+        }
+        let avg = total_probes as f64 / tested as f64;
+        assert!(avg < 2.5, "average negative probe count {avg} should be far below k=8");
+    }
+
+    #[test]
+    fn batch_matches_point_lookups() {
+        let mut gen = KeyGen::new(6);
+        let keys = gen.distinct_keys(5_000);
+        let mut filter = ClassicBloom::with_bits_per_key(keys.len(), 8.0, 5);
+        for &key in &keys {
+            filter.insert(key);
+        }
+        let probes = gen.keys(10_000);
+        let mut sel = SelectionVector::new();
+        filter.contains_batch(&probes, &mut sel);
+        let expected: Vec<u32> = probes
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| filter.contains(**k))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(sel.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn size_is_rounded_to_words() {
+        let filter = ClassicBloom::new(100, 3);
+        assert_eq!(filter.size_bits(), 128);
+        assert_eq!(filter.config_label(), "classic-bloom(k=3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn rejects_zero_k() {
+        let _ = ClassicBloom::new(1024, 0);
+    }
+}

@@ -1,0 +1,444 @@
+//! Configuration of blocked Bloom filter variants.
+//!
+//! A configuration is the tuple the paper's experiment grid sweeps (§6):
+//! block size `B`, sector size `S`, group count `z`, number of hash functions
+//! `k`, word size `W` and the addressing (modulo) mode. The *variant* —
+//! blocked, register-blocked, sectorized or cache-sectorized — is fully
+//! determined by the relationship between `B`, `S` and `z`
+//! (Figure 12a's classification).
+
+use pof_hash::Modulus;
+
+/// Addressing (modulo) mode used to map a hash value to a block index
+/// (Figure 12f / 13c: "Power of two" vs "Magic").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Addressing {
+    /// Round the block count up to a power of two; modulo is a bitwise AND.
+    PowerOfTwo,
+    /// Use the magic-modulo multiply–shift sequence; the block count is the
+    /// requested one, bumped by at most ~0.01 % (§5.2).
+    Magic,
+}
+
+/// Which lookup algorithm a configuration uses. Directly corresponds to the
+/// categories of Figure 12a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BloomVariant {
+    /// `B` ≤ word size: the whole block is loaded into one register and all
+    /// `k` bits are tested with a single comparison (Listing 2).
+    RegisterBlocked,
+    /// One sector spanning the whole block (`S = B > W`): bits are placed
+    /// word-by-word with a random access pattern (Listing 1).
+    Blocked,
+    /// `S < B`, one sector per word-sized partition, `k/s` bits per sector,
+    /// sequential access (§3.2).
+    Sectorized,
+    /// Sectors grouped into `z` groups; `k/z` bits in one hash-chosen sector
+    /// per group (§3.2, Figure 6).
+    CacheSectorized,
+}
+
+impl std::fmt::Display for BloomVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::RegisterBlocked => "register-blocked",
+            Self::Blocked => "blocked",
+            Self::Sectorized => "sectorized",
+            Self::CacheSectorized => "cache-sectorized",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A complete blocked-Bloom-filter configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BloomConfig {
+    /// Block size `B` in bits (power of two, 32 … 1024).
+    pub block_bits: u32,
+    /// Sector size `S` in bits (power of two, 8 … `block_bits`).
+    pub sector_bits: u32,
+    /// Number of sector groups `z` for cache-sectorization. For plain blocked
+    /// filters this is 1; for plain sectorized filters it equals the sector
+    /// count `B/S`.
+    pub groups: u32,
+    /// Number of bits set/tested per key (`k`).
+    pub k: u32,
+    /// Addressing mode for the block index.
+    pub addressing: Addressing,
+}
+
+impl BloomConfig {
+    /// A plain blocked Bloom filter (single sector spanning the block).
+    #[must_use]
+    pub fn blocked(block_bits: u32, k: u32, addressing: Addressing) -> Self {
+        Self {
+            block_bits,
+            sector_bits: block_bits,
+            groups: 1,
+            k,
+            addressing,
+        }
+    }
+
+    /// A register-blocked Bloom filter (block = one 32- or 64-bit word).
+    #[must_use]
+    pub fn register_blocked(word_bits: u32, k: u32, addressing: Addressing) -> Self {
+        Self::blocked(word_bits, k, addressing)
+    }
+
+    /// A sectorized blocked Bloom filter: `B/S` sectors, `k` split evenly.
+    #[must_use]
+    pub fn sectorized(block_bits: u32, sector_bits: u32, k: u32, addressing: Addressing) -> Self {
+        Self {
+            block_bits,
+            sector_bits,
+            groups: block_bits / sector_bits,
+            k,
+            addressing,
+        }
+    }
+
+    /// A cache-sectorized blocked Bloom filter with `z` groups.
+    #[must_use]
+    pub fn cache_sectorized(
+        block_bits: u32,
+        sector_bits: u32,
+        z: u32,
+        k: u32,
+        addressing: Addressing,
+    ) -> Self {
+        Self {
+            block_bits,
+            sector_bits,
+            groups: z,
+            k,
+            addressing,
+        }
+    }
+
+    /// Number of sectors per block (`s = B/S`).
+    #[must_use]
+    pub fn sectors(&self) -> u32 {
+        self.block_bits / self.sector_bits
+    }
+
+    /// Classify the configuration (Figure 12a's categories).
+    #[must_use]
+    pub fn variant(&self) -> BloomVariant {
+        if self.sector_bits == self.block_bits {
+            if self.block_bits <= 64 {
+                BloomVariant::RegisterBlocked
+            } else {
+                BloomVariant::Blocked
+            }
+        } else if self.groups == self.sectors() {
+            BloomVariant::Sectorized
+        } else {
+            BloomVariant::CacheSectorized
+        }
+    }
+
+    /// Bits set per sector access: `k` for blocked, `k/s` for sectorized,
+    /// `k/z` for cache-sectorized.
+    #[must_use]
+    pub fn bits_per_probe(&self) -> u32 {
+        match self.variant() {
+            BloomVariant::RegisterBlocked | BloomVariant::Blocked => self.k,
+            BloomVariant::Sectorized => self.k / self.sectors(),
+            BloomVariant::CacheSectorized => self.k / self.groups,
+        }
+    }
+
+    /// Number of word/sector accesses a lookup performs: 1 for
+    /// register-blocked, `k` for plain blocked, `s` for sectorized, `z` for
+    /// cache-sectorized. This is the model input for memory-access cost.
+    #[must_use]
+    pub fn accesses_per_lookup(&self) -> u32 {
+        match self.variant() {
+            BloomVariant::RegisterBlocked => 1,
+            BloomVariant::Blocked => self.k,
+            BloomVariant::Sectorized => self.sectors(),
+            BloomVariant::CacheSectorized => self.groups,
+        }
+    }
+
+    /// Validate the configuration, returning a description of the first
+    /// violated constraint.
+    ///
+    /// The constraints mirror §3.2: powers of two everywhere, the sector must
+    /// not exceed the block (the paper's example of an *invalid* configuration
+    /// is `B := 64, S := 512`), `k` must be divisible by the sector count
+    /// (sectorized) or group count (cache-sectorized), and the group count
+    /// must evenly split the sectors.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.block_bits.is_power_of_two() || !(32..=1024).contains(&self.block_bits) {
+            return Err(format!(
+                "block size must be a power of two in [32, 1024], got {}",
+                self.block_bits
+            ));
+        }
+        if !self.sector_bits.is_power_of_two() || !(8..=1024).contains(&self.sector_bits) {
+            return Err(format!(
+                "sector size must be a power of two in [8, 1024], got {}",
+                self.sector_bits
+            ));
+        }
+        if self.sector_bits > self.block_bits {
+            return Err(format!(
+                "sector size ({}) may not exceed block size ({})",
+                self.sector_bits, self.block_bits
+            ));
+        }
+        if self.k == 0 || self.k > 24 {
+            return Err(format!("k must be in [1, 24], got {}", self.k));
+        }
+        if self.groups == 0 {
+            return Err("group count must be at least 1".to_string());
+        }
+        let sectors = self.sectors();
+        match self.variant() {
+            BloomVariant::RegisterBlocked | BloomVariant::Blocked => {
+                if self.groups != 1 {
+                    return Err(format!(
+                        "a non-sectorized filter must have exactly one group, got {}",
+                        self.groups
+                    ));
+                }
+                if u64::from(self.k) > u64::from(self.block_bits) {
+                    return Err(format!(
+                        "k ({}) exceeds the number of bits in a block ({})",
+                        self.k, self.block_bits
+                    ));
+                }
+            }
+            BloomVariant::Sectorized => {
+                if self.k % sectors != 0 {
+                    return Err(format!(
+                        "sectorized filters need k ({}) to be a multiple of the sector count ({sectors})",
+                        self.k
+                    ));
+                }
+            }
+            BloomVariant::CacheSectorized => {
+                if sectors % self.groups != 0 {
+                    return Err(format!(
+                        "group count ({}) must evenly divide the sector count ({sectors})",
+                        self.groups
+                    ));
+                }
+                if self.k % self.groups != 0 {
+                    return Err(format!(
+                        "cache-sectorized filters need k ({}) to be a multiple of the group count ({})",
+                        self.k, self.groups
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Analytical false-positive rate of this configuration for `n` keys in a
+    /// filter of `m` bits, using the matching model from `pof-model`.
+    #[must_use]
+    pub fn modeled_fpr(&self, m_bits: f64, n: f64) -> f64 {
+        match self.variant() {
+            BloomVariant::RegisterBlocked | BloomVariant::Blocked => {
+                pof_model::f_blocked(m_bits, n, self.k, self.block_bits)
+            }
+            BloomVariant::Sectorized => {
+                pof_model::f_sectorized(m_bits, n, self.k, self.block_bits, self.sector_bits)
+            }
+            BloomVariant::CacheSectorized => pof_model::f_cache_sectorized(
+                m_bits,
+                n,
+                self.k,
+                self.block_bits,
+                self.sector_bits,
+                self.groups,
+            ),
+        }
+    }
+
+    /// Build the block-count addressing for a desired total size of `m_bits`.
+    ///
+    /// Returns the [`Modulus`] over the number of blocks; the actual filter
+    /// size is `modulus.size() * block_bits` bits.
+    #[must_use]
+    pub fn addressing_for_bits(&self, m_bits: u64) -> Modulus {
+        let desired_blocks = m_bits.div_ceil(u64::from(self.block_bits)).max(1);
+        let desired_blocks = u32::try_from(desired_blocks).unwrap_or(u32::MAX);
+        match self.addressing {
+            Addressing::PowerOfTwo => Modulus::pow2_at_least(desired_blocks),
+            Addressing::Magic => Modulus::magic_at_least(desired_blocks),
+        }
+    }
+
+    /// Short human-readable label used in figures and calibration records,
+    /// e.g. `cache-sectorized(B=512,S=64,z=2,k=8,magic)`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let addr = match self.addressing {
+            Addressing::PowerOfTwo => "pow2",
+            Addressing::Magic => "magic",
+        };
+        match self.variant() {
+            BloomVariant::RegisterBlocked | BloomVariant::Blocked => {
+                format!("{}(B={},k={},{addr})", self.variant(), self.block_bits, self.k)
+            }
+            BloomVariant::Sectorized => format!(
+                "{}(B={},S={},k={},{addr})",
+                self.variant(),
+                self.block_bits,
+                self.sector_bits,
+                self.k
+            ),
+            BloomVariant::CacheSectorized => format!(
+                "{}(B={},S={},z={},k={},{addr})",
+                self.variant(),
+                self.block_bits,
+                self.sector_bits,
+                self.groups,
+                self.k
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_classification() {
+        let reg = BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo);
+        assert_eq!(reg.variant(), BloomVariant::RegisterBlocked);
+        let reg64 = BloomConfig::register_blocked(64, 4, Addressing::Magic);
+        assert_eq!(reg64.variant(), BloomVariant::RegisterBlocked);
+        let blocked = BloomConfig::blocked(512, 8, Addressing::PowerOfTwo);
+        assert_eq!(blocked.variant(), BloomVariant::Blocked);
+        let sectorized = BloomConfig::sectorized(512, 64, 8, Addressing::PowerOfTwo);
+        assert_eq!(sectorized.variant(), BloomVariant::Sectorized);
+        let cache = BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic);
+        assert_eq!(cache.variant(), BloomVariant::CacheSectorized);
+    }
+
+    #[test]
+    fn validation_accepts_paper_configurations() {
+        // The three representative filters of Figures 14/15 plus the Impala
+        // configuration mentioned in §3.2.
+        let configs = [
+            BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo),
+            BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo),
+            BloomConfig::sectorized(256, 32, 8, Addressing::PowerOfTwo),
+            BloomConfig::blocked(512, 11, Addressing::Magic),
+        ];
+        for c in configs {
+            assert!(c.validate().is_ok(), "{:?}: {:?}", c, c.validate());
+        }
+    }
+
+    #[test]
+    fn validation_rejects_invalid_configurations() {
+        // The paper's own example of an illegal configuration: S > B.
+        let invalid = BloomConfig {
+            block_bits: 64,
+            sector_bits: 512,
+            groups: 1,
+            k: 8,
+            addressing: Addressing::PowerOfTwo,
+        };
+        assert!(invalid.validate().is_err());
+
+        // k not a multiple of the sector count.
+        let invalid = BloomConfig::sectorized(512, 64, 9, Addressing::PowerOfTwo);
+        assert!(invalid.validate().is_err());
+
+        // groups not dividing sectors.
+        let invalid = BloomConfig::cache_sectorized(512, 64, 3, 9, Addressing::PowerOfTwo);
+        assert!(invalid.validate().is_err());
+
+        // k = 0 and k too large.
+        assert!(BloomConfig::blocked(512, 0, Addressing::PowerOfTwo).validate().is_err());
+        assert!(BloomConfig::register_blocked(32, 20, Addressing::PowerOfTwo)
+            .validate()
+            .is_ok());
+        assert!(BloomConfig::blocked(128, 25, Addressing::PowerOfTwo).validate().is_err());
+
+        // Non-power-of-two block.
+        let invalid = BloomConfig {
+            block_bits: 96,
+            sector_bits: 32,
+            groups: 3,
+            k: 6,
+            addressing: Addressing::PowerOfTwo,
+        };
+        assert!(invalid.validate().is_err());
+    }
+
+    #[test]
+    fn access_counts_match_variants() {
+        assert_eq!(
+            BloomConfig::register_blocked(32, 5, Addressing::PowerOfTwo).accesses_per_lookup(),
+            1
+        );
+        assert_eq!(BloomConfig::blocked(512, 8, Addressing::PowerOfTwo).accesses_per_lookup(), 8);
+        assert_eq!(
+            BloomConfig::sectorized(512, 64, 8, Addressing::PowerOfTwo).accesses_per_lookup(),
+            8
+        );
+        assert_eq!(
+            BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo)
+                .accesses_per_lookup(),
+            2
+        );
+    }
+
+    #[test]
+    fn bits_per_probe_matches_variants() {
+        assert_eq!(BloomConfig::register_blocked(32, 5, Addressing::PowerOfTwo).bits_per_probe(), 5);
+        assert_eq!(
+            BloomConfig::sectorized(512, 64, 16, Addressing::PowerOfTwo).bits_per_probe(),
+            2
+        );
+        assert_eq!(
+            BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo).bits_per_probe(),
+            4
+        );
+    }
+
+    #[test]
+    fn addressing_for_bits_sizes() {
+        let c = BloomConfig::blocked(512, 8, Addressing::PowerOfTwo);
+        let m = c.addressing_for_bits(1 << 20);
+        assert_eq!(m.size(), (1 << 20) / 512);
+        let c = BloomConfig::blocked(512, 8, Addressing::Magic);
+        let m = c.addressing_for_bits(1_000_000);
+        assert!(m.size() >= 1_000_000 / 512);
+        assert!(u64::from(m.size()) * 512 < 1_100_000);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let label = BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic).label();
+        assert!(label.contains("cache-sectorized"));
+        assert!(label.contains("B=512"));
+        assert!(label.contains("z=2"));
+        assert!(label.contains("magic"));
+        let label = BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo).label();
+        assert!(label.contains("register-blocked"));
+        assert!(label.contains("pow2"));
+    }
+
+    #[test]
+    fn modeled_fpr_delegates_to_matching_model() {
+        let n = 100_000.0;
+        let m = 10.0 * n;
+        let blocked = BloomConfig::blocked(512, 8, Addressing::PowerOfTwo);
+        assert_eq!(blocked.modeled_fpr(m, n), pof_model::f_blocked(m, n, 8, 512));
+        let cache = BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo);
+        assert_eq!(
+            cache.modeled_fpr(m, n),
+            pof_model::f_cache_sectorized(m, n, 8, 512, 64, 2)
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Bloom filter variants for performance-optimal filtering.
+//!
+//! This crate implements every Bloom filter variant the paper evaluates:
+//!
+//! * [`ClassicBloom`] — the textbook unblocked filter (baseline; §1–2),
+//! * [`BlockedBloom`] — a single runtime-configured implementation of the
+//!   blocked family: plain blocked, **register-blocked**, sectorized and
+//!   **cache-sectorized** filters (§3.1–3.2), with power-of-two or
+//!   magic-modulo addressing (§5.2) and AVX2 gather-based batch lookups
+//!   (§5.1),
+//! * [`BloomConfig`] / [`BloomVariant`] — the configuration space the
+//!   performance-optimal skylines sweep (Figure 12).
+//!
+//! The register-blocked and cache-sectorized variants are the paper's new
+//! contributions; the analytical false-positive models for all of them live in
+//! `pof-model` and are cross-validated against these implementations by this
+//! crate's test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use pof_bloom::{Addressing, BloomConfig, BlockedBloom};
+//! use pof_filter::{Filter, SelectionVector};
+//!
+//! // The paper's canonical high-throughput configuration:
+//! // cache-sectorized, 512-bit blocks, 64-bit sectors, z = 2, k = 8.
+//! let config = BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic);
+//! let mut filter = BlockedBloom::with_bits_per_key(config, 1_000, 16.0);
+//! for key in 0..1_000u32 {
+//!     filter.insert(key);
+//! }
+//! assert!(filter.contains(42));
+//!
+//! let probe: Vec<u32> = (0..2_000u32).collect();
+//! let mut sel = SelectionVector::new();
+//! filter.contains_batch(&probe, &mut sel);
+//! assert!(sel.len() >= 1_000); // all members plus a few false positives
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod blocked;
+pub mod classic;
+pub mod config;
+mod simd;
+
+pub use blocked::BlockedBloom;
+pub use classic::ClassicBloom;
+pub use config::{Addressing, BloomConfig, BloomVariant};

@@ -1,0 +1,267 @@
+//! SIMD batch-lookup kernels (AVX2).
+//!
+//! Following §5.1, one key is processed per 32-bit SIMD lane using GATHER
+//! instructions: eight lookups proceed in parallel per AVX2 iteration. Two
+//! kernels are provided:
+//!
+//! * [`Kernel::Avx2Register32`] — register-blocked filters with 32-bit blocks:
+//!   one gather and one compare resolve eight keys;
+//! * [`Kernel::Avx2Sector64`] — sectorized and cache-sectorized filters with
+//!   64-bit sectors: per sector group, the two 32-bit halves of the probed
+//!   sector are gathered and compared against the per-lane search masks.
+//!
+//! Both kernels reproduce the *exact* probe sequence of the scalar code in
+//! [`crate::blocked`] (same hash constants, same bit-consumption order), so
+//! the scalar and SIMD paths return identical results — a property the test
+//! suite verifies. Filters whose configuration has no SIMD kernel fall back
+//! to the scalar path; the same happens on CPUs without AVX2.
+
+use crate::blocked::BlockedBloom;
+use crate::config::{BloomConfig, BloomVariant};
+use pof_filter::SelectionVector;
+use pof_hash::Modulus;
+
+/// The batch-lookup kernel selected for a filter instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kernel {
+    /// Scalar fallback (also used on non-x86 targets).
+    Scalar,
+    /// AVX2 kernel for register-blocked filters with 32-bit blocks.
+    Avx2Register32,
+    /// AVX2 kernel for (cache-)sectorized filters with 64-bit sectors.
+    Avx2Sector64,
+}
+
+impl Kernel {
+    /// Pick the best kernel for a configuration on the current CPU.
+    pub(crate) fn select(config: &BloomConfig) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                match config.variant() {
+                    BloomVariant::RegisterBlocked if config.block_bits == 32 => {
+                        return Self::Avx2Register32;
+                    }
+                    BloomVariant::Sectorized | BloomVariant::CacheSectorized
+                        if config.sector_bits == 64 =>
+                    {
+                        return Self::Avx2Sector64;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let _ = config;
+        Self::Scalar
+    }
+
+    /// Human-readable kernel name (reported by benches and EXPERIMENTS.md).
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Avx2Register32 => "avx2-register32",
+            Self::Avx2Sector64 => "avx2-sector64",
+        }
+    }
+}
+
+/// Run the batched lookup with the given kernel. Returns `false` if the caller
+/// should use the scalar path instead.
+pub(crate) fn dispatch(
+    filter: &BlockedBloom,
+    keys: &[u32],
+    sel: &mut SelectionVector,
+    kernel: Kernel,
+) -> bool {
+    match kernel {
+        Kernel::Scalar => false,
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2Register32 => {
+            // SAFETY: the kernel was only selected when AVX2 is available.
+            unsafe { avx2::register32(filter, keys, sel) };
+            true
+        }
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2Sector64 => {
+            // SAFETY: the kernel was only selected when AVX2 is available.
+            unsafe { avx2::sector64(filter, keys, sel) };
+            true
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    use crate::blocked::{BLOCK_HASH_C, STREAM_SEED_C, STREAM_STEP_C};
+    use pof_filter::Filter;
+    use std::arch::x86_64::*;
+
+    /// Reduce eight 32-bit hash values to block indexes according to the
+    /// filter's modulus (bitwise AND for powers of two, multiply–shift for
+    /// magic addressing — the SIMD form of Eq. 9).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn reduce(h: __m256i, modulus: &Modulus) -> __m256i {
+        match modulus {
+            Modulus::PowerOfTwo { log2 } => {
+                let mask = _mm256_set1_epi32(((1u64 << log2) - 1) as i32);
+                _mm256_and_si256(h, mask)
+            }
+            Modulus::Magic(m) => {
+                let magic = _mm256_set1_epi32(m.magic as i32);
+                let hi64_mask = _mm256_set1_epi64x(0xFFFF_FFFF_0000_0000u64 as i64);
+                // mulhi_u32 per lane via two 32x32→64 multiplies.
+                let prod_even = _mm256_mul_epu32(h, magic);
+                let prod_odd = _mm256_mul_epu32(_mm256_srli_epi64::<32>(h), magic);
+                let hi_even = _mm256_srli_epi64::<32>(prod_even);
+                let hi_odd = _mm256_and_si256(prod_odd, hi64_mask);
+                let mulhi = _mm256_or_si256(hi_even, hi_odd);
+                let q = _mm256_srl_epi32(mulhi, _mm_cvtsi32_si128(m.shift as i32));
+                let d = _mm256_set1_epi32(m.divisor as i32);
+                _mm256_sub_epi32(h, _mm256_mullo_epi32(q, d))
+            }
+        }
+    }
+
+    /// Advance the per-lane bit-addressing stream and return its top `nbits`
+    /// bits — the SIMD twin of `blocked::next_bits`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn next_bits(state: &mut __m256i, step: __m256i, nbits: u32) -> __m256i {
+        debug_assert!(nbits > 0);
+        *state = _mm256_mullo_epi32(*state, step);
+        _mm256_srl_epi32(*state, _mm_cvtsi32_si128((32 - nbits) as i32))
+    }
+
+    /// Append the qualifying lanes of an 8-lane comparison result to `sel`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn push_lanes(sel: &mut SelectionVector, base: usize, lane_mask: i32) {
+        for lane in 0..8u32 {
+            sel.push_if(base as u32 + lane, (lane_mask >> lane) & 1 == 1);
+        }
+    }
+
+    /// AVX2 batch lookup for register-blocked filters with 32-bit blocks.
+    ///
+    /// # Safety
+    /// Requires AVX2. The filter's storage must outlive the call (guaranteed
+    /// by the shared borrow).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn register32(filter: &BlockedBloom, keys: &[u32], sel: &mut SelectionVector) {
+        let config = *filter.config();
+        let words = filter.words();
+        let base = words.as_ptr().cast::<i32>();
+        let modulus = filter.modulus();
+        let block_c = _mm256_set1_epi32(BLOCK_HASH_C as i32);
+        let seed_c = _mm256_set1_epi32(STREAM_SEED_C as i32);
+        let step_c = _mm256_set1_epi32(STREAM_STEP_C as i32);
+        let one = _mm256_set1_epi32(1);
+
+        let chunks = keys.len() / 8;
+        for chunk in 0..chunks {
+            let offset = chunk * 8;
+            let key_vec = _mm256_loadu_si256(keys.as_ptr().add(offset).cast());
+            let block_idx = reduce(_mm256_mullo_epi32(key_vec, block_c), modulus);
+            // One gather resolves the whole block for all eight lanes.
+            let block_words = _mm256_i32gather_epi32::<4>(base, block_idx);
+
+            let mut state = _mm256_mullo_epi32(key_vec, seed_c);
+            let mut mask = _mm256_setzero_si256();
+            for _ in 0..config.k {
+                let bit = next_bits(&mut state, step_c, 5);
+                mask = _mm256_or_si256(mask, _mm256_sllv_epi32(one, bit));
+            }
+            let hit = _mm256_cmpeq_epi32(_mm256_and_si256(block_words, mask), mask);
+            let lane_mask = _mm256_movemask_ps(_mm256_castsi256_ps(hit));
+            push_lanes(sel, offset, lane_mask);
+        }
+
+        for (i, &key) in keys.iter().enumerate().skip(chunks * 8) {
+            sel.push_if(i as u32, filter.contains(key));
+        }
+    }
+
+    /// AVX2 batch lookup for sectorized and cache-sectorized filters with
+    /// 64-bit sectors. Each probed sector is loaded as two 32-bit gathers
+    /// (low/high half) and compared against per-lane 64-bit search masks.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sector64(filter: &BlockedBloom, keys: &[u32], sel: &mut SelectionVector) {
+        let config = *filter.config();
+        let words = filter.words();
+        let base = words.as_ptr().cast::<i32>();
+        let modulus = filter.modulus();
+
+        let sectors = config.sectors();
+        let groups = config.groups;
+        let sectors_per_group = sectors / groups;
+        let bits_per_group = config.k / groups;
+        let words_per_block = config.block_bits / 32;
+
+        let block_c = _mm256_set1_epi32(BLOCK_HASH_C as i32);
+        let seed_c = _mm256_set1_epi32(STREAM_SEED_C as i32);
+        let step_c = _mm256_set1_epi32(STREAM_STEP_C as i32);
+        let one = _mm256_set1_epi32(1);
+        let thirty_one = _mm256_set1_epi32(31);
+
+        let chunks = keys.len() / 8;
+        for chunk in 0..chunks {
+            let offset = chunk * 8;
+            let key_vec = _mm256_loadu_si256(keys.as_ptr().add(offset).cast());
+            let block_idx = reduce(_mm256_mullo_epi32(key_vec, block_c), modulus);
+            let block_word0 =
+                _mm256_mullo_epi32(block_idx, _mm256_set1_epi32(words_per_block as i32));
+
+            let mut state = _mm256_mullo_epi32(key_vec, seed_c);
+            let mut all_hit = _mm256_set1_epi32(-1);
+
+            for group in 0..groups {
+                // Choose the sector within the group (0 bits consumed when the
+                // group has a single sector — plain sectorization).
+                let sector_in_group = if sectors_per_group > 1 {
+                    next_bits(&mut state, step_c, sectors_per_group.trailing_zeros())
+                } else {
+                    _mm256_setzero_si256()
+                };
+                let sector = _mm256_add_epi32(
+                    _mm256_set1_epi32((group * sectors_per_group) as i32),
+                    sector_in_group,
+                );
+                // Build the 64-bit search mask as two 32-bit halves.
+                let mut mask_lo = _mm256_setzero_si256();
+                let mut mask_hi = _mm256_setzero_si256();
+                for _ in 0..bits_per_group {
+                    let bit = next_bits(&mut state, step_c, 6);
+                    let in_hi = _mm256_cmpgt_epi32(bit, thirty_one);
+                    let shifted = _mm256_sllv_epi32(one, _mm256_and_si256(bit, thirty_one));
+                    mask_hi = _mm256_or_si256(mask_hi, _mm256_and_si256(shifted, in_hi));
+                    mask_lo =
+                        _mm256_or_si256(mask_lo, _mm256_andnot_si256(in_hi, shifted));
+                }
+                // The sector's two 32-bit halves live at word indexes
+                // block_word0 + 2*sector and +1 (little-endian u64 storage).
+                let word_lo_idx =
+                    _mm256_add_epi32(block_word0, _mm256_slli_epi32::<1>(sector));
+                let word_hi_idx = _mm256_add_epi32(word_lo_idx, one);
+                let lo = _mm256_i32gather_epi32::<4>(base, word_lo_idx);
+                let hi = _mm256_i32gather_epi32::<4>(base, word_hi_idx);
+                let lo_ok = _mm256_cmpeq_epi32(_mm256_and_si256(lo, mask_lo), mask_lo);
+                let hi_ok = _mm256_cmpeq_epi32(_mm256_and_si256(hi, mask_hi), mask_hi);
+                all_hit = _mm256_and_si256(all_hit, _mm256_and_si256(lo_ok, hi_ok));
+            }
+
+            let lane_mask = _mm256_movemask_ps(_mm256_castsi256_ps(all_hit));
+            push_lanes(sel, offset, lane_mask);
+        }
+
+        for (i, &key) in keys.iter().enumerate().skip(chunks * 8) {
+            sel.push_if(i as u32, filter.contains(key));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the Bloom filter variants.
+
+use pof_bloom::{Addressing, BlockedBloom, BloomConfig, ClassicBloom};
+use pof_filter::{Filter, SelectionVector};
+use proptest::prelude::*;
+
+/// Strategy over valid blocked-Bloom configurations spanning all variants and
+/// both addressing modes.
+fn config_strategy() -> impl Strategy<Value = BloomConfig> {
+    let addressing = prop_oneof![Just(Addressing::PowerOfTwo), Just(Addressing::Magic)];
+    prop_oneof![
+        // Register-blocked: B in {32, 64}, k in [1, 12].
+        (prop_oneof![Just(32u32), Just(64u32)], 1u32..=12, addressing.clone())
+            .prop_map(|(b, k, a)| BloomConfig::register_blocked(b, k, a)),
+        // Plain blocked: B in {128, 256, 512}, k in [1, 12].
+        (prop_oneof![Just(128u32), Just(256u32), Just(512u32)], 1u32..=12, addressing.clone())
+            .prop_map(|(b, k, a)| BloomConfig::blocked(b, k, a)),
+        // Sectorized: B in {128, 256, 512}, S in {32, 64}, k = multiple of B/S.
+        (
+            prop_oneof![Just(128u32), Just(256u32), Just(512u32)],
+            prop_oneof![Just(32u32), Just(64u32)],
+            1u32..=2,
+            addressing.clone()
+        )
+            .prop_map(|(b, s, mult, a)| BloomConfig::sectorized(b, s, (b / s) * mult, a))
+            .prop_filter("k must stay within the paper's range", |c| c.k <= 16),
+        // Cache-sectorized: B = 256/512, S = 64, z in {2, 4}, k = multiple of z.
+        (
+            prop_oneof![Just(256u32), Just(512u32)],
+            prop_oneof![Just(2u32), Just(4u32)],
+            1u32..=4,
+            addressing
+        )
+            .prop_map(|(b, z, mult, a)| BloomConfig::cache_sectorized(b, 64, z, z * mult, a)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No false negatives, for any valid configuration and any key set.
+    #[test]
+    fn no_false_negatives(
+        config in config_strategy(),
+        keys in prop::collection::hash_set(any::<u32>(), 1..2_000),
+        bits_per_key in 6.0f64..24.0,
+    ) {
+        let keys: Vec<u32> = keys.into_iter().collect();
+        let mut filter = BlockedBloom::with_bits_per_key(config, keys.len(), bits_per_key);
+        for &key in &keys {
+            prop_assert!(filter.insert(key));
+        }
+        for &key in &keys {
+            prop_assert!(filter.contains(key), "false negative in {}", config.label());
+        }
+    }
+
+    /// The batched lookup (SIMD when available) must agree bit-for-bit with
+    /// the scalar path for every configuration and probe set.
+    #[test]
+    fn batch_equals_scalar(
+        config in config_strategy(),
+        keys in prop::collection::vec(any::<u32>(), 1..1_500),
+        probes in prop::collection::vec(any::<u32>(), 1..1_500),
+    ) {
+        let mut filter = BlockedBloom::with_bits_per_key(config, keys.len(), 12.0);
+        for &key in &keys {
+            filter.insert(key);
+        }
+        let mut batch = SelectionVector::new();
+        filter.contains_batch(&probes, &mut batch);
+        let mut scalar = SelectionVector::new();
+        filter.contains_batch_scalar(&probes, &mut scalar);
+        prop_assert_eq!(
+            batch.as_slice(),
+            scalar.as_slice(),
+            "kernel {} disagrees with scalar for {}",
+            filter.kernel_name(),
+            config.label()
+        );
+    }
+
+    /// Inserting more keys never turns a positive into a negative
+    /// (monotonicity of the bit array).
+    #[test]
+    fn inserts_are_monotone(
+        config in config_strategy(),
+        first in prop::collection::vec(any::<u32>(), 1..500),
+        second in prop::collection::vec(any::<u32>(), 1..500),
+    ) {
+        let mut filter = BlockedBloom::with_bits_per_key(config, first.len() + second.len(), 10.0);
+        for &key in &first {
+            filter.insert(key);
+        }
+        let positives_before: Vec<u32> = (0..4_096u32).filter(|k| filter.contains(*k)).collect();
+        for &key in &second {
+            filter.insert(key);
+        }
+        for key in positives_before {
+            prop_assert!(filter.contains(key));
+        }
+    }
+
+    /// The classic Bloom filter also never produces false negatives.
+    #[test]
+    fn classic_no_false_negatives(
+        keys in prop::collection::hash_set(any::<u32>(), 1..2_000),
+        k in 1u32..=12,
+        bits_per_key in 6.0f64..20.0,
+    ) {
+        let keys: Vec<u32> = keys.into_iter().collect();
+        let mut filter = ClassicBloom::with_bits_per_key(keys.len(), bits_per_key, k);
+        for &key in &keys {
+            filter.insert(key);
+        }
+        for &key in &keys {
+            prop_assert!(filter.contains(key));
+        }
+    }
+
+    /// Filter size accounting: the actual size honours the addressing mode
+    /// (power-of-two rounds up to a power-of-two block count, magic stays
+    /// within one percent of the request).
+    #[test]
+    fn size_accounting(config in config_strategy(), m_bits in 4_096u64..2_000_000) {
+        let filter = BlockedBloom::new(config, m_bits);
+        let blocks = u64::from(filter.num_blocks());
+        prop_assert_eq!(filter.size_bits(), blocks * u64::from(config.block_bits));
+        prop_assert!(filter.size_bits() >= m_bits);
+        match config.addressing {
+            Addressing::PowerOfTwo => prop_assert!(blocks.is_power_of_two()),
+            Addressing::Magic => {
+                // The block count must be exactly the add-free divisor chosen
+                // for the requested block count — no hidden extra rounding.
+                let desired_blocks =
+                    u32::try_from(m_bits.div_ceil(u64::from(config.block_bits))).unwrap();
+                let expected = pof_hash::MagicDivisor::new_at_least(desired_blocks).divisor;
+                prop_assert_eq!(filter.num_blocks(), expected);
+            }
+        }
+    }
+}
+
+/// On AVX2-capable hosts the SIMD kernels must actually be selected for the
+/// configurations they cover (guards against silent scalar fallback).
+#[test]
+fn simd_kernels_are_selected_on_avx2_hosts() {
+    if !std::arch::is_x86_feature_detected!("avx2") {
+        eprintln!("skipping: host has no AVX2");
+        return;
+    }
+    let register = BlockedBloom::new(
+        BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo),
+        1 << 16,
+    );
+    assert_eq!(register.kernel_name(), "avx2-register32");
+
+    let cache = BlockedBloom::new(
+        BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic),
+        1 << 20,
+    );
+    assert_eq!(cache.kernel_name(), "avx2-sector64");
+
+    let sectorized = BlockedBloom::new(
+        BloomConfig::sectorized(512, 64, 8, Addressing::PowerOfTwo),
+        1 << 20,
+    );
+    assert_eq!(sectorized.kernel_name(), "avx2-sector64");
+
+    // 64-bit register blocking has no SIMD kernel and must fall back.
+    let register64 = BlockedBloom::new(
+        BloomConfig::register_blocked(64, 4, Addressing::PowerOfTwo),
+        1 << 16,
+    );
+    assert_eq!(register64.kernel_name(), "scalar");
+}

@@ -1,0 +1,191 @@
+//! The filter advisor: the user-facing entry point of performance-optimal
+//! filtering.
+//!
+//! Given a workload description — problem size `n`, per-tuple work `t_w`
+//! saved by a negative lookup, and the true hit rate σ — the advisor searches
+//! the configuration space for the configuration minimising the overhead
+//! `ρ = t_l + f·t_w` (Eq. 1), decides whether filtering is beneficial at all
+//! (`ρ < (1 − σ)·t_w`), and can build the chosen filter directly from the
+//! build-side keys. This is the runtime "install a filter after observing the
+//! join hit rate" strategy the paper advocates in §2.
+
+use crate::anyfilter::AnyFilter;
+use crate::calibration::CalibrationSet;
+use crate::configspace::{ConfigSpace, FilterConfig};
+use crate::overhead::Overhead;
+use crate::skyline::Skyline;
+
+/// A workload the advisor optimises for.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Number of build-side keys (the paper's `n`).
+    pub n: u64,
+    /// Work (CPU cycles) saved for every probe-side tuple a filter rejects.
+    pub work_saved_cycles: f64,
+    /// Fraction of probe-side tuples that truly match (the join hit rate σ).
+    pub sigma: f64,
+}
+
+/// The advisor's recommendation.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// Whether installing a filter is predicted to pay off at all.
+    pub use_filter: bool,
+    /// The chosen configuration (also populated when `use_filter` is false,
+    /// so callers can inspect what the best rejected candidate was).
+    pub config: FilterConfig,
+    /// Bits-per-key budget of the chosen configuration.
+    pub bits_per_key: f64,
+    /// Predicted overhead ρ in cycles per probe tuple.
+    pub rho_cycles: f64,
+    /// Predicted false-positive rate.
+    pub fpr: f64,
+    /// Predicted lookup cost in cycles.
+    pub lookup_cycles: f64,
+    /// Predicted speedup of the probe pipeline versus not filtering.
+    pub predicted_speedup: f64,
+}
+
+/// The filter advisor.
+#[derive(Debug)]
+pub struct FilterAdvisor {
+    space: ConfigSpace,
+    calibration: CalibrationSet,
+}
+
+impl FilterAdvisor {
+    /// Create an advisor from a configuration space and a calibration set
+    /// (measured via [`crate::calibration::Calibrator`] or synthesised via
+    /// [`crate::skyline::synthetic_calibration`]).
+    #[must_use]
+    pub fn new(space: ConfigSpace, calibration: CalibrationSet) -> Self {
+        Self { space, calibration }
+    }
+
+    /// Create an advisor backed by the synthetic (model-based) calibration.
+    /// Useful when no measurement pass has been run yet.
+    #[must_use]
+    pub fn with_synthetic_calibration(space: ConfigSpace) -> Self {
+        let calibration =
+            crate::skyline::synthetic_calibration(&space, &crate::skyline::default_cache_cost_model());
+        Self { space, calibration }
+    }
+
+    /// Recommend the performance-optimal configuration for a workload.
+    #[must_use]
+    pub fn recommend(&self, workload: &WorkloadSpec) -> Recommendation {
+        let skyline = Skyline::new(self.space, &self.calibration);
+        let mut best: Option<(FilterConfig, f64, f64, f64, f64)> = None;
+        for config in self.space.all_configs() {
+            if let Some((bpk, rho, fpr, lookup)) =
+                skyline.best_operating_point(&config, workload.n, workload.work_saved_cycles)
+            {
+                if best.as_ref().map_or(true, |(_, _, r, _, _)| rho < *r) {
+                    best = Some((config, bpk, rho, fpr, lookup));
+                }
+            }
+        }
+        let (config, bits_per_key, rho, fpr, lookup) =
+            best.expect("configuration space must not be empty");
+        let overhead = Overhead {
+            lookup_cost: lookup,
+            fpr,
+            work_saved: workload.work_saved_cycles,
+        };
+        Recommendation {
+            use_filter: overhead.beneficial(workload.sigma),
+            config,
+            bits_per_key,
+            rho_cycles: rho,
+            fpr,
+            lookup_cycles: lookup,
+            predicted_speedup: overhead.speedup(workload.sigma),
+        }
+    }
+
+    /// Recommend and, when beneficial, build the filter over the build-side
+    /// keys. Returns `None` when filtering is not predicted to pay off or the
+    /// chosen filter could not be constructed (Cuckoo insert failure).
+    #[must_use]
+    pub fn build_filter(&self, workload: &WorkloadSpec, build_keys: &[u32]) -> Option<AnyFilter> {
+        let recommendation = self.recommend(workload);
+        if !recommendation.use_filter {
+            return None;
+        }
+        AnyFilter::build_with_keys(&recommendation.config, build_keys, recommendation.bits_per_key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pof_filter::{Filter, FilterKind, KeyGen};
+
+    fn advisor() -> FilterAdvisor {
+        FilterAdvisor::with_synthetic_calibration(ConfigSpace::default())
+    }
+
+    #[test]
+    fn high_throughput_recommends_bloom() {
+        let rec = advisor().recommend(&WorkloadSpec {
+            n: 1 << 20,
+            work_saved_cycles: 50.0,
+            sigma: 0.1,
+        });
+        assert_eq!(rec.config.kind(), FilterKind::Bloom);
+        assert!(rec.use_filter);
+        assert!(rec.predicted_speedup > 1.0);
+    }
+
+    #[test]
+    fn low_throughput_recommends_cuckoo() {
+        let rec = advisor().recommend(&WorkloadSpec {
+            n: 1 << 16,
+            work_saved_cycles: 50_000_000.0,
+            sigma: 0.1,
+        });
+        assert_eq!(rec.config.kind(), FilterKind::Cuckoo);
+        assert!(rec.use_filter);
+    }
+
+    #[test]
+    fn full_selectivity_disables_filtering() {
+        let rec = advisor().recommend(&WorkloadSpec {
+            n: 1 << 20,
+            work_saved_cycles: 500.0,
+            sigma: 1.0,
+        });
+        assert!(!rec.use_filter, "no negative lookups ⇒ filtering cannot help");
+    }
+
+    #[test]
+    fn build_filter_returns_populated_filter_when_beneficial() {
+        let mut gen = KeyGen::new(51);
+        let keys = gen.distinct_keys(50_000);
+        let workload = WorkloadSpec {
+            n: keys.len() as u64,
+            work_saved_cycles: 400.0,
+            sigma: 0.2,
+        };
+        let filter = advisor().build_filter(&workload, &keys).expect("filter expected");
+        for &key in keys.iter().take(1_000) {
+            assert!(filter.contains(key));
+        }
+        assert!(advisor().build_filter(
+            &WorkloadSpec { sigma: 1.0, ..workload },
+            &keys
+        ).is_none());
+    }
+
+    #[test]
+    fn recommendation_reports_consistent_overhead() {
+        let rec = advisor().recommend(&WorkloadSpec {
+            n: 1 << 18,
+            work_saved_cycles: 1_000.0,
+            sigma: 0.3,
+        });
+        let expected_rho = rec.lookup_cycles + rec.fpr * 1_000.0;
+        assert!((rec.rho_cycles - expected_rho).abs() < 1e-9);
+        assert!(rec.bits_per_key >= 4.0 && rec.bits_per_key <= 20.0);
+    }
+}

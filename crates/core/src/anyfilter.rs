@@ -1,0 +1,219 @@
+//! A dynamically configured filter: any Bloom variant or Cuckoo filter behind
+//! one enum, buildable from a [`FilterConfig`](crate::configspace::FilterConfig).
+//!
+//! The hot paths of the individual filters stay statically dispatched inside
+//! their crates; this enum only adds one match per (batched) call, which is
+//! negligible for the batch sizes the advisor and the benchmark harness use.
+
+use crate::configspace::FilterConfig;
+use pof_bloom::{BlockedBloom, ClassicBloom};
+use pof_cuckoo::CuckooFilter;
+use pof_filter::{Filter, FilterKind, SelectionVector};
+
+/// A filter of any supported configuration.
+#[derive(Debug, Clone)]
+pub enum AnyFilter {
+    /// A blocked/register-blocked/sectorized/cache-sectorized Bloom filter.
+    Bloom(BlockedBloom),
+    /// A classic (unblocked) Bloom filter.
+    ClassicBloom(ClassicBloom),
+    /// A Cuckoo filter.
+    Cuckoo(CuckooFilter),
+}
+
+impl AnyFilter {
+    /// Build a filter for `n` keys with a total budget of `bits_per_key · n`
+    /// bits, according to `config`.
+    ///
+    /// For Cuckoo configurations the budget is raised to the configuration's
+    /// minimum feasible bits-per-key when necessary (a Cuckoo table cannot be
+    /// filled beyond its maximum load factor, §4); callers that must respect
+    /// an exact budget should check `FilterConfig::modeled_fpr`, which
+    /// reports infeasible budgets as `None`, before building.
+    #[must_use]
+    pub fn build(config: &FilterConfig, n: usize, bits_per_key: f64) -> Self {
+        match config {
+            FilterConfig::Bloom(c) => Self::Bloom(BlockedBloom::with_bits_per_key(*c, n, bits_per_key)),
+            FilterConfig::ClassicBloom { k } => {
+                Self::ClassicBloom(ClassicBloom::with_bits_per_key(n, bits_per_key, *k))
+            }
+            FilterConfig::Cuckoo(c) => {
+                // Target at most 98 % of the maximum load factor so that
+                // construction reliably succeeds.
+                let min_bits = pof_model::cuckoo::min_bits_per_key(c.signature_bits, c.bucket_size) / 0.98;
+                Self::Cuckoo(CuckooFilter::with_bits_per_key(*c, n, bits_per_key.max(min_bits)))
+            }
+        }
+    }
+
+    /// Build a filter and populate it with `keys`, returning `None` if any
+    /// insert failed (possible for Cuckoo filters at tight budgets).
+    #[must_use]
+    pub fn build_with_keys(config: &FilterConfig, keys: &[u32], bits_per_key: f64) -> Option<Self> {
+        let mut filter = Self::build(config, keys.len(), bits_per_key);
+        for &key in keys {
+            if !filter.insert(key) {
+                return None;
+            }
+        }
+        Some(filter)
+    }
+
+    /// The configuration this filter was built from.
+    #[must_use]
+    pub fn config(&self) -> FilterConfig {
+        match self {
+            Self::Bloom(f) => FilterConfig::Bloom(*f.config()),
+            Self::ClassicBloom(f) => FilterConfig::ClassicBloom { k: f.k() },
+            Self::Cuckoo(f) => FilterConfig::Cuckoo(*f.config()),
+        }
+    }
+
+    /// Analytical false-positive rate of this instance given the keys
+    /// inserted so far.
+    #[must_use]
+    pub fn modeled_fpr(&self) -> f64 {
+        match self {
+            Self::Bloom(f) => f.modeled_fpr(),
+            Self::ClassicBloom(f) => f.modeled_fpr(),
+            Self::Cuckoo(f) => f.modeled_fpr(),
+        }
+    }
+
+    /// Name of the batch-lookup kernel in use (`scalar`, `avx2-…`).
+    #[must_use]
+    pub fn kernel_name(&self) -> &'static str {
+        match self {
+            Self::Bloom(f) => f.kernel_name(),
+            Self::ClassicBloom(_) => "scalar",
+            Self::Cuckoo(f) => f.kernel_name(),
+        }
+    }
+
+    /// Force the scalar batch-lookup path (for SIMD-speedup comparisons).
+    pub fn force_scalar(&mut self) {
+        match self {
+            Self::Bloom(f) => f.force_scalar(),
+            Self::ClassicBloom(_) => {}
+            Self::Cuckoo(f) => f.force_scalar(),
+        }
+    }
+}
+
+impl Filter for AnyFilter {
+    fn insert(&mut self, key: u32) -> bool {
+        match self {
+            Self::Bloom(f) => f.insert(key),
+            Self::ClassicBloom(f) => f.insert(key),
+            Self::Cuckoo(f) => f.insert(key),
+        }
+    }
+
+    fn contains(&self, key: u32) -> bool {
+        match self {
+            Self::Bloom(f) => f.contains(key),
+            Self::ClassicBloom(f) => f.contains(key),
+            Self::Cuckoo(f) => f.contains(key),
+        }
+    }
+
+    fn contains_batch(&self, keys: &[u32], sel: &mut SelectionVector) {
+        match self {
+            Self::Bloom(f) => f.contains_batch(keys, sel),
+            Self::ClassicBloom(f) => f.contains_batch(keys, sel),
+            Self::Cuckoo(f) => f.contains_batch(keys, sel),
+        }
+    }
+
+    fn size_bits(&self) -> u64 {
+        match self {
+            Self::Bloom(f) => f.size_bits(),
+            Self::ClassicBloom(f) => f.size_bits(),
+            Self::Cuckoo(f) => f.size_bits(),
+        }
+    }
+
+    fn kind(&self) -> FilterKind {
+        match self {
+            Self::Bloom(_) | Self::ClassicBloom(_) => FilterKind::Bloom,
+            Self::Cuckoo(_) => FilterKind::Cuckoo,
+        }
+    }
+
+    fn config_label(&self) -> String {
+        match self {
+            Self::Bloom(f) => f.config_label(),
+            Self::ClassicBloom(f) => f.config_label(),
+            Self::Cuckoo(f) => f.config_label(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configspace::FilterConfig;
+    use pof_bloom::{Addressing, BloomConfig};
+    use pof_cuckoo::{CuckooAddressing, CuckooConfig};
+    use pof_filter::KeyGen;
+
+    fn sample_configs() -> Vec<FilterConfig> {
+        vec![
+            FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::Magic)),
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo)),
+            FilterConfig::ClassicBloom { k: 7 },
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::Magic)),
+            FilterConfig::Cuckoo(CuckooConfig::new(8, 4, CuckooAddressing::PowerOfTwo)),
+        ]
+    }
+
+    #[test]
+    fn build_insert_lookup_roundtrip() {
+        let mut gen = KeyGen::new(41);
+        let keys = gen.distinct_keys(10_000);
+        for config in sample_configs() {
+            // 20 bits/key keeps every configuration feasible (a Cuckoo filter
+            // with l = 16, b = 2 needs at least l / 0.84 ≈ 19 bits per key).
+            let filter = AnyFilter::build_with_keys(&config, &keys, 20.0)
+                .unwrap_or_else(|| panic!("construction failed for {}", config.label()));
+            for &key in keys.iter().take(1000) {
+                assert!(filter.contains(key), "{}", config.label());
+            }
+            assert_eq!(filter.config(), config);
+            assert!(filter.size_bits() > 0);
+            assert!(filter.modeled_fpr() > 0.0 && filter.modeled_fpr() < 1.0);
+        }
+    }
+
+    #[test]
+    fn kind_classification() {
+        let bloom = AnyFilter::build(&sample_configs()[0], 100, 10.0);
+        assert_eq!(bloom.kind(), FilterKind::Bloom);
+        let cuckoo = AnyFilter::build(&sample_configs()[3], 100, 20.0);
+        assert_eq!(cuckoo.kind(), FilterKind::Cuckoo);
+    }
+
+    #[test]
+    fn batch_lookup_dispatches() {
+        let mut gen = KeyGen::new(42);
+        let keys = gen.distinct_keys(5_000);
+        let probes = gen.keys(10_000);
+        for config in sample_configs() {
+            let filter = AnyFilter::build_with_keys(&config, &keys, 20.0).unwrap();
+            let mut sel = SelectionVector::new();
+            filter.contains_batch(&probes, &mut sel);
+            let expected = probes.iter().filter(|k| filter.contains(**k)).count();
+            assert_eq!(sel.len(), expected, "{}", config.label());
+        }
+    }
+
+    #[test]
+    fn force_scalar_switches_kernel() {
+        let mut filter = AnyFilter::build(&sample_configs()[0], 1000, 10.0);
+        if std::arch::is_x86_feature_detected!("avx2") {
+            assert_ne!(filter.kernel_name(), "scalar");
+        }
+        filter.force_scalar();
+        assert_eq!(filter.kernel_name(), "scalar");
+    }
+}

@@ -1,0 +1,277 @@
+//! The filter configuration space swept by the performance-optimal skylines.
+//!
+//! §6 of the paper enumerates, per filter type, the parameters considered:
+//! Bloom filters with `k ∈ [1, 16]`, block sizes of 4–64 bytes, sector sizes
+//! of 1–64 bytes, word sizes of 32/64 bits and group counts `z ∈ {2, 4, 8}`;
+//! Cuckoo filters with signature lengths `l ∈ {4, 8, 12, 16}` and bucket
+//! sizes `b ∈ {1, 2, 4}`. [`ConfigSpace`] generates that grid (full or a
+//! reduced "quick" version for laptop-scale runs), filtering out the invalid
+//! combinations the paper also excludes.
+
+use pof_bloom::{Addressing, BloomConfig};
+use pof_cuckoo::{CuckooAddressing, CuckooConfig};
+use pof_filter::FilterKind;
+
+/// A point in the configuration space: the filter type plus its parameters
+/// (excluding the size `m`, which the skyline sweeps separately).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FilterConfig {
+    /// Any blocked Bloom filter variant.
+    Bloom(BloomConfig),
+    /// The classic (unblocked) Bloom filter baseline.
+    ClassicBloom {
+        /// Number of hash functions.
+        k: u32,
+    },
+    /// A Cuckoo filter.
+    Cuckoo(CuckooConfig),
+}
+
+impl FilterConfig {
+    /// Which family the configuration belongs to.
+    #[must_use]
+    pub fn kind(&self) -> FilterKind {
+        match self {
+            Self::Bloom(_) | Self::ClassicBloom { .. } => FilterKind::Bloom,
+            Self::Cuckoo(_) => FilterKind::Cuckoo,
+        }
+    }
+
+    /// Human-readable label.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Self::Bloom(c) => c.label(),
+            Self::ClassicBloom { k } => format!("classic-bloom(k={k})"),
+            Self::Cuckoo(c) => c.label(),
+        }
+    }
+
+    /// Analytical false-positive rate of the configuration at a bits-per-key
+    /// budget, or `None` when the configuration cannot represent `n` keys in
+    /// that budget (Cuckoo load factor above its maximum).
+    #[must_use]
+    pub fn modeled_fpr(&self, n: f64, bits_per_key: f64) -> Option<f64> {
+        let m = n * bits_per_key;
+        match self {
+            Self::Bloom(c) => Some(c.modeled_fpr(m, n)),
+            Self::ClassicBloom { k } => Some(pof_model::f_std(m, n, *k)),
+            Self::Cuckoo(c) => {
+                pof_model::cuckoo::f_cuckoo_for_budget(bits_per_key, c.signature_bits, c.bucket_size)
+            }
+        }
+    }
+
+    /// Number of cache lines a lookup touches (1 for every blocked Bloom
+    /// variant, 2 for Cuckoo, `k` for the classic filter). This is the main
+    /// driver of the out-of-cache lookup cost difference (Figure 14).
+    #[must_use]
+    pub fn cache_lines_per_lookup(&self) -> u32 {
+        match self {
+            Self::Bloom(_) => 1,
+            Self::ClassicBloom { k } => *k,
+            Self::Cuckoo(_) => 2,
+        }
+    }
+}
+
+/// Generator of the candidate configuration grid.
+#[derive(Debug, Clone, Copy)]
+pub struct ConfigSpace {
+    /// Include magic-modulo variants in addition to power-of-two addressing.
+    pub include_magic: bool,
+    /// Include the classic Bloom filter baseline.
+    pub include_classic: bool,
+    /// Reduce the grid to the configurations that ever win in the paper's
+    /// skylines (for quick laptop-scale runs).
+    pub quick: bool,
+}
+
+impl Default for ConfigSpace {
+    fn default() -> Self {
+        Self {
+            include_magic: true,
+            include_classic: false,
+            quick: true,
+        }
+    }
+}
+
+impl ConfigSpace {
+    /// The full grid as described in §6 (minus invalid combinations).
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            include_magic: true,
+            include_classic: true,
+            quick: false,
+        }
+    }
+
+    /// All candidate Bloom configurations.
+    #[must_use]
+    pub fn bloom_configs(&self) -> Vec<BloomConfig> {
+        let addressings: &[Addressing] = if self.include_magic {
+            &[Addressing::PowerOfTwo, Addressing::Magic]
+        } else {
+            &[Addressing::PowerOfTwo]
+        };
+        let ks: Vec<u32> = if self.quick {
+            vec![3, 4, 5, 6, 8, 11, 16]
+        } else {
+            (1..=16).collect()
+        };
+        let mut configs = Vec::new();
+        for &addressing in addressings {
+            for &k in &ks {
+                // Register-blocked: one 32- or 64-bit word per block.
+                for block in [32u32, 64] {
+                    if k <= block {
+                        configs.push(BloomConfig::register_blocked(block, k, addressing));
+                    }
+                }
+                // Plain blocked: 128–512-bit blocks.
+                for block in [128u32, 256, 512] {
+                    if !self.quick || block == 512 {
+                        configs.push(BloomConfig::blocked(block, k, addressing));
+                    }
+                }
+                // Sectorized: word-sized sectors.
+                for block in [128u32, 256, 512] {
+                    if self.quick && block != 512 {
+                        continue;
+                    }
+                    for sector in [32u32, 64] {
+                        let sectors = block / sector;
+                        if k % sectors == 0 && k / sectors >= 1 {
+                            configs.push(BloomConfig::sectorized(block, sector, k, addressing));
+                        }
+                    }
+                }
+                // Cache-sectorized: 256/512-bit blocks, 64-bit sectors, z ∈ {2,4,8}.
+                for block in [256u32, 512] {
+                    if self.quick && block != 512 {
+                        continue;
+                    }
+                    for z in [2u32, 4, 8] {
+                        let sectors = block / 64;
+                        if z <= sectors && sectors % z == 0 && k % z == 0 {
+                            configs.push(BloomConfig::cache_sectorized(block, 64, z, k, addressing));
+                        }
+                    }
+                }
+            }
+        }
+        configs.retain(|c| c.validate().is_ok());
+        configs.dedup();
+        configs
+    }
+
+    /// All candidate Cuckoo configurations.
+    #[must_use]
+    pub fn cuckoo_configs(&self) -> Vec<CuckooConfig> {
+        let addressings: &[CuckooAddressing] = if self.include_magic {
+            &[CuckooAddressing::PowerOfTwo, CuckooAddressing::Magic]
+        } else {
+            &[CuckooAddressing::PowerOfTwo]
+        };
+        let mut configs = Vec::new();
+        for &addressing in addressings {
+            for &l in &[4u32, 8, 12, 16] {
+                for &b in &[1u32, 2, 4] {
+                    if self.quick && (l < 8 || b == 1) {
+                        // Rarely performance-optimal (Figure 13a/13b).
+                        continue;
+                    }
+                    configs.push(CuckooConfig::new(l, b, addressing));
+                }
+            }
+        }
+        configs.retain(|c| c.validate().is_ok());
+        configs
+    }
+
+    /// The combined candidate set.
+    #[must_use]
+    pub fn all_configs(&self) -> Vec<FilterConfig> {
+        let mut all: Vec<FilterConfig> =
+            self.bloom_configs().into_iter().map(FilterConfig::Bloom).collect();
+        all.extend(self.cuckoo_configs().into_iter().map(FilterConfig::Cuckoo));
+        if self.include_classic {
+            for k in [4u32, 6, 8, 10, 12, 14, 16] {
+                all.push(FilterConfig::ClassicBloom { k });
+            }
+        }
+        all
+    }
+
+    /// The bits-per-key sweep the skyline evaluates for every configuration
+    /// (the paper scales `m` between 4·n and 20·n).
+    #[must_use]
+    pub fn bits_per_key_sweep(&self) -> Vec<f64> {
+        if self.quick {
+            vec![6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 18.0, 20.0]
+        } else {
+            (4..=20).map(f64::from).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_space_is_large_and_valid() {
+        let space = ConfigSpace::full();
+        let configs = space.all_configs();
+        assert!(configs.len() > 200, "only {} configurations", configs.len());
+        for config in &configs {
+            match config {
+                FilterConfig::Bloom(c) => assert!(c.validate().is_ok(), "{}", c.label()),
+                FilterConfig::Cuckoo(c) => assert!(c.validate().is_ok(), "{}", c.label()),
+                FilterConfig::ClassicBloom { k } => assert!(*k >= 1),
+            }
+        }
+    }
+
+    #[test]
+    fn quick_space_is_much_smaller_but_covers_both_kinds() {
+        let quick = ConfigSpace::default().all_configs();
+        let full = ConfigSpace::full().all_configs();
+        assert!(quick.len() * 2 < full.len());
+        assert!(quick.iter().any(|c| c.kind() == FilterKind::Bloom));
+        assert!(quick.iter().any(|c| c.kind() == FilterKind::Cuckoo));
+    }
+
+    #[test]
+    fn paper_representative_configs_are_in_the_grid() {
+        let configs = ConfigSpace::full().bloom_configs();
+        assert!(configs.contains(&BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo)));
+        assert!(configs.contains(&BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic)));
+        let cuckoos = ConfigSpace::full().cuckoo_configs();
+        assert!(cuckoos.contains(&CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)));
+        assert!(cuckoos.contains(&CuckooConfig::new(8, 4, CuckooAddressing::Magic)));
+    }
+
+    #[test]
+    fn modeled_fpr_rejects_infeasible_cuckoo_budgets() {
+        let config = FilterConfig::Cuckoo(CuckooConfig::new(16, 1, CuckooAddressing::PowerOfTwo));
+        assert!(config.modeled_fpr(1e6, 20.0).is_none());
+        let config = FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo));
+        assert!(config.modeled_fpr(1e6, 20.0).is_some());
+    }
+
+    #[test]
+    fn cache_line_model() {
+        assert_eq!(
+            FilterConfig::Bloom(BloomConfig::blocked(512, 8, Addressing::Magic)).cache_lines_per_lookup(),
+            1
+        );
+        assert_eq!(
+            FilterConfig::Cuckoo(CuckooConfig::representative()).cache_lines_per_lookup(),
+            2
+        );
+        assert_eq!(FilterConfig::ClassicBloom { k: 7 }.cache_lines_per_lookup(), 7);
+    }
+}

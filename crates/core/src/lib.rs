@@ -1,0 +1,56 @@
+//! Performance-optimal filtering (the paper's primary contribution, §2 and §6).
+//!
+//! The question this crate answers is the paper's central one: *given a
+//! workload — `n` build-side keys, `t_w` cycles of work saved per filtered
+//! tuple, and a true hit rate σ — which filter structure and configuration
+//! accelerates it most, and is filtering worth it at all?*
+//!
+//! The pieces:
+//!
+//! * [`overhead`] — the overhead model `ρ(F) = t_l(F) + f(F)·t_w` (Eq. 1) and
+//!   the benefit criterion `ρ < (1 − σ)·t_w`,
+//! * [`configspace`] — the grid of candidate Bloom and Cuckoo configurations
+//!   the paper sweeps in §6,
+//! * [`anyfilter`] — a dynamically configured filter that can be built from
+//!   any point of that grid,
+//! * [`calibration`] — the one-time microbenchmark phase measuring the lookup
+//!   cost `t_l` on the target platform,
+//! * [`skyline`] — the `(n, t_w)` skylines of performance-optimal
+//!   configurations (Figures 1 and 10–13),
+//! * [`advisor`] — the user-facing [`advisor::FilterAdvisor`] that recommends
+//!   and builds the performance-optimal filter for a workload,
+//! * [`platform`] — host description for the Table-1 style report.
+//!
+//! # Example
+//!
+//! ```
+//! use pof_core::advisor::{FilterAdvisor, WorkloadSpec};
+//! use pof_core::configspace::ConfigSpace;
+//! use pof_filter::{Filter, FilterKind};
+//!
+//! let advisor = FilterAdvisor::with_synthetic_calibration(ConfigSpace::default());
+//! // A selective join probe: hash-table lookup costs ~200 cycles, 10 % hit rate.
+//! let workload = WorkloadSpec { n: 1 << 20, work_saved_cycles: 200.0, sigma: 0.1 };
+//! let recommendation = advisor.recommend(&workload);
+//! assert!(recommendation.use_filter);
+//! assert_eq!(recommendation.config.kind(), FilterKind::Bloom);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod advisor;
+pub mod anyfilter;
+pub mod calibration;
+pub mod configspace;
+pub mod overhead;
+pub mod platform;
+pub mod skyline;
+
+pub use advisor::{FilterAdvisor, Recommendation, WorkloadSpec};
+pub use anyfilter::AnyFilter;
+pub use calibration::{CalibrationRecord, CalibrationSet, Calibrator};
+pub use configspace::{ConfigSpace, FilterConfig};
+pub use overhead::Overhead;
+pub use platform::Platform;
+pub use skyline::{Skyline, SkylineGrid, SkylinePoint};

@@ -1,0 +1,161 @@
+//! The performance-optimal filtering overhead model (§2 of the paper).
+//!
+//! The per-tuple work with a filter installed is
+//!
+//! ```text
+//! t_w'(F) = (1 − σ')·t_l⁻(F) + σ'·(t_l⁺(F) + t_w)      with σ' = σ + f(F)
+//! ```
+//!
+//! For all filters studied here except the classic Bloom filter the lookup
+//! cost is symmetric (`t_l⁺ = t_l⁻ = t_l`), so the performance-optimal filter
+//! is simply the one minimising the *overhead*
+//!
+//! ```text
+//! ρ(F) = t_l(F) + f(F)·t_w                              (Eq. 1)
+//! ```
+//!
+//! Filtering is beneficial at all only when `ρ(F_opt) < (1 − σ)·t_w`.
+
+/// Cost/benefit figures of one filter configuration at one operating point,
+/// all in the same time unit (CPU cycles throughout the harness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Overhead {
+    /// Filter lookup cost `t_l`.
+    pub lookup_cost: f64,
+    /// False-positive rate `f`.
+    pub fpr: f64,
+    /// Work `t_w` saved for each tuple the filter rejects.
+    pub work_saved: f64,
+}
+
+impl Overhead {
+    /// The overhead `ρ(F) = t_l + f·t_w` (Eq. 1).
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.lookup_cost + self.fpr * self.work_saved
+    }
+
+    /// The full per-tuple work model `t_w'` for a workload with true-hit rate
+    /// `sigma`, using symmetric lookup costs.
+    #[must_use]
+    pub fn per_tuple_work(&self, sigma: f64) -> f64 {
+        let sigma_eff = (sigma + self.fpr).min(1.0);
+        (1.0 - sigma_eff) * self.lookup_cost
+            + sigma_eff * (self.lookup_cost + self.work_saved)
+    }
+
+    /// The asymmetric variant of the per-tuple work model used for classic
+    /// Bloom filters, where negative lookups exit early (`t_l⁻ < t_l⁺`).
+    #[must_use]
+    pub fn per_tuple_work_asymmetric(
+        &self,
+        sigma: f64,
+        negative_lookup_cost: f64,
+    ) -> f64 {
+        let sigma_eff = (sigma + self.fpr).min(1.0);
+        (1.0 - sigma_eff) * negative_lookup_cost
+            + sigma_eff * (self.lookup_cost + self.work_saved)
+    }
+
+    /// Whether installing this filter beats not filtering at all for a
+    /// workload with true-hit rate `sigma`:
+    /// `ρ(F) < (1 − σ)·t_w`.
+    #[must_use]
+    pub fn beneficial(&self, sigma: f64) -> bool {
+        self.rho() < (1.0 - sigma) * self.work_saved
+    }
+
+    /// Per-tuple work *without* any filter: every tuple pays `t_w`.
+    #[must_use]
+    pub fn per_tuple_work_unfiltered(&self) -> f64 {
+        self.work_saved
+    }
+
+    /// Speedup of the filtered pipeline over the unfiltered one at hit rate
+    /// `sigma` (> 1 means the filter pays off).
+    #[must_use]
+    pub fn speedup(&self, sigma: f64) -> f64 {
+        self.per_tuple_work_unfiltered() / self.per_tuple_work(sigma)
+    }
+}
+
+/// Compare two filter configurations at the same operating point: a decrease
+/// in false-positive rate `Δf` only pays off when `Δf·t_w` exceeds the
+/// increase in lookup cost `Δt_l` (§1).
+#[must_use]
+pub fn precision_pays_off(delta_f: f64, delta_lookup: f64, work_saved: f64) -> bool {
+    delta_f * work_saved > delta_lookup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_formula() {
+        let o = Overhead {
+            lookup_cost: 5.0,
+            fpr: 0.01,
+            work_saved: 300.0,
+        };
+        assert!((o.rho() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_throughput_favors_cheap_lookup() {
+        // Bloom-ish: cheap lookup, higher f. Cuckoo-ish: pricier lookup, lower f.
+        let bloom = Overhead { lookup_cost: 4.0, fpr: 0.01, work_saved: 200.0 };
+        let cuckoo = Overhead { lookup_cost: 9.0, fpr: 0.001, work_saved: 200.0 };
+        assert!(bloom.rho() < cuckoo.rho(), "cheap lookups must win at low t_w");
+
+        // At a large t_w (e.g. a disk seek) precision wins.
+        let bloom_slow = Overhead { work_saved: 1_000_000.0, ..bloom };
+        let cuckoo_slow = Overhead { work_saved: 1_000_000.0, ..cuckoo };
+        assert!(cuckoo_slow.rho() < bloom_slow.rho(), "precision must win at high t_w");
+    }
+
+    #[test]
+    fn crossover_point_matches_delta_rule() {
+        // ρ_bloom = ρ_cuckoo at t_w = Δt_l / Δf.
+        let delta_l = 5.0;
+        let delta_f = 0.009;
+        let crossover = delta_l / delta_f;
+        let bloom = |tw: f64| Overhead { lookup_cost: 4.0, fpr: 0.01, work_saved: tw };
+        let cuckoo = |tw: f64| Overhead { lookup_cost: 9.0, fpr: 0.001, work_saved: tw };
+        assert!(bloom(crossover * 0.9).rho() < cuckoo(crossover * 0.9).rho());
+        assert!(bloom(crossover * 1.1).rho() > cuckoo(crossover * 1.1).rho());
+        assert!(precision_pays_off(delta_f, delta_l, crossover * 1.1));
+        assert!(!precision_pays_off(delta_f, delta_l, crossover * 0.9));
+    }
+
+    #[test]
+    fn beneficial_requires_enough_negative_lookups() {
+        let o = Overhead { lookup_cost: 5.0, fpr: 0.01, work_saved: 100.0 };
+        // At σ = 1 no lookup is negative, filtering can never help.
+        assert!(!o.beneficial(1.0));
+        // At σ = 0 almost every tuple is filtered out.
+        assert!(o.beneficial(0.0));
+        // The break-even point is where ρ = (1 − σ)·t_w ⇒ σ = 1 − ρ/t_w = 0.94.
+        assert!(o.beneficial(0.90));
+        assert!(!o.beneficial(0.95));
+    }
+
+    #[test]
+    fn per_tuple_work_interpolates_between_extremes() {
+        let o = Overhead { lookup_cost: 5.0, fpr: 0.0, work_saved: 100.0 };
+        assert!((o.per_tuple_work(0.0) - 5.0).abs() < 1e-12);
+        assert!((o.per_tuple_work(1.0) - 105.0).abs() < 1e-12);
+        let mid = o.per_tuple_work(0.5);
+        assert!(mid > 5.0 && mid < 105.0);
+        assert!(o.speedup(0.0) > 10.0);
+        assert!(o.speedup(1.0) < 1.0);
+    }
+
+    #[test]
+    fn asymmetric_model_rewards_early_exit_on_negative_lookups() {
+        let o = Overhead { lookup_cost: 20.0, fpr: 0.01, work_saved: 100.0 };
+        let symmetric = o.per_tuple_work(0.1);
+        let asymmetric = o.per_tuple_work_asymmetric(0.1, 4.0);
+        assert!(asymmetric < symmetric);
+    }
+}

@@ -1,0 +1,134 @@
+//! Host platform description (Table 1 of the paper).
+//!
+//! The paper's Table 1 lists the hardware platforms the evaluation ran on
+//! (model, core count, SIMD capabilities, cache sizes). This module gathers
+//! the same facts for the machine running the reproduction so EXPERIMENTS.md
+//! can record the substitution explicitly.
+
+use serde::{Deserialize, Serialize};
+
+/// Description of the host platform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Platform {
+    /// CPU model name as reported by the operating system.
+    pub model_name: String,
+    /// Number of logical CPUs available to the process.
+    pub logical_cpus: usize,
+    /// Detected SIMD instruction-set extensions relevant to the kernels.
+    pub simd_features: Vec<String>,
+    /// Cache sizes in bytes, per level, where the OS exposes them.
+    pub cache_bytes: Vec<(String, u64)>,
+}
+
+impl Platform {
+    /// Detect the current host.
+    #[must_use]
+    pub fn detect() -> Self {
+        Self {
+            model_name: read_model_name(),
+            logical_cpus: std::thread::available_parallelism().map_or(1, usize::from),
+            simd_features: detect_simd(),
+            cache_bytes: read_caches(),
+        }
+    }
+
+    /// Render the platform as the rows of a Table-1-style listing.
+    #[must_use]
+    pub fn table_rows(&self) -> Vec<(String, String)> {
+        let mut rows = vec![
+            ("model".to_string(), self.model_name.clone()),
+            ("logical CPUs".to_string(), self.logical_cpus.to_string()),
+            ("SIMD".to_string(), self.simd_features.join(", ")),
+        ];
+        for (name, bytes) in &self.cache_bytes {
+            rows.push((name.clone(), format!("{} KiB", bytes / 1024)));
+        }
+        rows
+    }
+}
+
+fn read_model_name() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|content| {
+            content.lines().find_map(|line| {
+                line.strip_prefix("model name")
+                    .and_then(|rest| rest.split(':').nth(1))
+                    .map(|name| name.trim().to_string())
+            })
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn detect_simd() -> Vec<String> {
+    let mut features = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        for (name, detected) in [
+            ("sse4.2", std::arch::is_x86_feature_detected!("sse4.2")),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+            ("avx512bw", std::arch::is_x86_feature_detected!("avx512bw")),
+            ("bmi2", std::arch::is_x86_feature_detected!("bmi2")),
+        ] {
+            if detected {
+                features.push(name.to_string());
+            }
+        }
+    }
+    if features.is_empty() {
+        features.push("scalar only".to_string());
+    }
+    features
+}
+
+fn read_caches() -> Vec<(String, u64)> {
+    let mut caches = Vec::new();
+    for index in 0..6 {
+        let base = format!("/sys/devices/system/cpu/cpu0/cache/index{index}");
+        let Ok(level) = std::fs::read_to_string(format!("{base}/level")) else {
+            break;
+        };
+        let cache_type = std::fs::read_to_string(format!("{base}/type")).unwrap_or_default();
+        if cache_type.trim() == "Instruction" {
+            continue;
+        }
+        let Ok(size) = std::fs::read_to_string(format!("{base}/size")) else {
+            continue;
+        };
+        let size = size.trim();
+        let bytes = if let Some(kib) = size.strip_suffix('K') {
+            kib.parse::<u64>().unwrap_or(0) * 1024
+        } else if let Some(mib) = size.strip_suffix('M') {
+            mib.parse::<u64>().unwrap_or(0) * 1024 * 1024
+        } else {
+            size.parse::<u64>().unwrap_or(0)
+        };
+        caches.push((format!("L{} cache", level.trim()), bytes));
+    }
+    caches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_produces_nonempty_description() {
+        let platform = Platform::detect();
+        assert!(!platform.model_name.is_empty());
+        assert!(platform.logical_cpus >= 1);
+        assert!(!platform.simd_features.is_empty());
+        let rows = platform.table_rows();
+        assert!(rows.len() >= 3);
+        assert!(rows.iter().any(|(k, _)| k == "model"));
+    }
+
+    #[test]
+    fn platform_serializes_to_json() {
+        let platform = Platform::detect();
+        let json = serde_json::to_string(&platform).unwrap();
+        let restored: Platform = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored.model_name, platform.model_name);
+    }
+}

@@ -1,0 +1,347 @@
+//! Skylines of performance-optimal filter configurations (§6, Figures 10–13).
+//!
+//! For every point of a grid over the problem size `n` and the work saved per
+//! negative lookup `t_w`, the skyline picks the configuration (filter type,
+//! parameters and bits-per-key budget) with the smallest overhead
+//! `ρ = t_l + f·t_w`, using measured lookup costs from a [`CalibrationSet`]
+//! and the analytical false-positive models.
+
+use crate::calibration::CalibrationSet;
+use crate::configspace::{ConfigSpace, FilterConfig};
+use pof_filter::FilterKind;
+use serde::{Deserialize, Serialize};
+
+
+/// The grid of `(n, t_w)` operating points a skyline is evaluated on.
+#[derive(Debug, Clone)]
+pub struct SkylineGrid {
+    /// Problem sizes (number of build-side keys).
+    pub n_values: Vec<u64>,
+    /// Work saved per filtered tuple, in CPU cycles.
+    pub tw_values: Vec<f64>,
+}
+
+impl SkylineGrid {
+    /// The paper's full grid: `n = 2^10 … 2^28`, `t_w = 2^4 … 2^31` cycles.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            n_values: (10..=28).map(|i| 1u64 << i).collect(),
+            tw_values: (4..=31).map(|i| f64::from(1u32 << i.min(30)) * if i == 31 { 2.0 } else { 1.0 }).collect(),
+        }
+    }
+
+    /// A reduced grid that keeps the qualitative shape but runs in seconds.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            n_values: vec![1 << 12, 1 << 16, 1 << 20, 1 << 24],
+            tw_values: vec![16.0, 64.0, 256.0, 1024.0, 4096.0, 65536.0, 1_048_576.0, 16_777_216.0],
+        }
+    }
+}
+
+/// The winning configuration at one `(n, t_w)` grid point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SkylinePoint {
+    /// Problem size (number of keys).
+    pub n: u64,
+    /// Work saved per filtered tuple (cycles).
+    pub tw: f64,
+    /// Winning filter type.
+    pub best_kind: FilterKind,
+    /// Winning configuration label.
+    pub best_label: String,
+    /// Winning bits-per-key budget.
+    pub best_bits_per_key: f64,
+    /// Overhead ρ of the winner (cycles per probe-side tuple).
+    pub best_rho: f64,
+    /// False-positive rate of the winner.
+    pub best_fpr: f64,
+    /// Lookup cost of the winner (cycles).
+    pub best_lookup_cycles: f64,
+    /// Overhead of the best configuration of the *other* filter type, used for
+    /// the speedup comparison of Figure 11a.
+    pub other_kind_rho: f64,
+}
+
+impl SkylinePoint {
+    /// Speedup of the winning type over the best configuration of the other
+    /// type (Figure 11a), in terms of filtering overhead.
+    #[must_use]
+    pub fn speedup_over_other_kind(&self) -> f64 {
+        if self.best_rho <= 0.0 {
+            return 1.0;
+        }
+        self.other_kind_rho / self.best_rho
+    }
+}
+
+/// Skyline computation driver.
+#[derive(Debug)]
+pub struct Skyline<'a> {
+    space: ConfigSpace,
+    calibration: &'a CalibrationSet,
+}
+
+impl<'a> Skyline<'a> {
+    /// Create a skyline evaluator over a configuration space, using measured
+    /// lookup costs from `calibration`.
+    #[must_use]
+    pub fn new(space: ConfigSpace, calibration: &'a CalibrationSet) -> Self {
+        Self { space, calibration }
+    }
+
+    /// Evaluate the overhead of one configuration at one operating point,
+    /// scanning the bits-per-key sweep and returning the best
+    /// `(bits_per_key, rho, fpr, lookup_cycles)`.
+    ///
+    /// Returns `None` when the configuration is infeasible at every budget
+    /// (e.g. a Cuckoo filter whose minimum load factor exceeds the maximum)
+    /// or has no calibration data.
+    #[must_use]
+    pub fn best_operating_point(
+        &self,
+        config: &FilterConfig,
+        n: u64,
+        tw: f64,
+    ) -> Option<(f64, f64, f64, f64)> {
+        let label = config.label();
+        let mut best: Option<(f64, f64, f64, f64)> = None;
+        for &bits_per_key in &self.space.bits_per_key_sweep() {
+            let Some(fpr) = config.modeled_fpr(n as f64, bits_per_key) else {
+                continue;
+            };
+            let filter_bits = bits_per_key * n as f64;
+            let Some(lookup) = self.calibration.lookup_cycles(&label, filter_bits) else {
+                continue;
+            };
+            let rho = lookup + fpr * tw;
+            if best.map_or(true, |(_, best_rho, _, _)| rho < best_rho) {
+                best = Some((bits_per_key, rho, fpr, lookup));
+            }
+        }
+        best
+    }
+
+    /// Compute the skyline over a grid.
+    #[must_use]
+    pub fn compute(&self, grid: &SkylineGrid) -> Vec<SkylinePoint> {
+        let configs = self.space.all_configs();
+        let mut points = Vec::with_capacity(grid.n_values.len() * grid.tw_values.len());
+        for &n in &grid.n_values {
+            for &tw in &grid.tw_values {
+                let mut best: Option<(FilterConfig, f64, f64, f64, f64)> = None;
+                let mut best_other: Option<f64> = None;
+                let mut best_per_kind: [Option<f64>; 2] = [None, None];
+                for config in &configs {
+                    let Some((bpk, rho, fpr, lookup)) = self.best_operating_point(config, n, tw)
+                    else {
+                        continue;
+                    };
+                    let kind_idx = match config.kind() {
+                        FilterKind::Bloom => 0,
+                        FilterKind::Cuckoo => 1,
+                    };
+                    if best_per_kind[kind_idx].map_or(true, |r| rho < r) {
+                        best_per_kind[kind_idx] = Some(rho);
+                    }
+                    if best.as_ref().map_or(true, |(_, _, r, _, _)| rho < *r) {
+                        best = Some((*config, bpk, rho, fpr, lookup));
+                    }
+                }
+                let Some((config, bpk, rho, fpr, lookup)) = best else {
+                    continue;
+                };
+                let other_idx = match config.kind() {
+                    FilterKind::Bloom => 1,
+                    FilterKind::Cuckoo => 0,
+                };
+                if let Some(other) = best_per_kind[other_idx] {
+                    best_other = Some(other);
+                }
+                points.push(SkylinePoint {
+                    n,
+                    tw,
+                    best_kind: config.kind(),
+                    best_label: config.label(),
+                    best_bits_per_key: bpk,
+                    best_rho: rho,
+                    best_fpr: fpr,
+                    best_lookup_cycles: lookup,
+                    other_kind_rho: best_other.unwrap_or(f64::INFINITY),
+                });
+            }
+        }
+        points
+    }
+}
+
+/// Build a synthetic calibration set from the structural cost model (cache
+/// lines touched, SIMD friendliness) instead of measurements. Used by tests
+/// and by quick runs of the figure harness where measuring every
+/// configuration would dominate the runtime; the measured calibration is
+/// always preferred when available.
+#[must_use]
+pub fn synthetic_calibration(space: &ConfigSpace, cache_line_cycles: &[(u64, f64)]) -> CalibrationSet {
+    use crate::calibration::CalibrationRecord;
+    let mut records = Vec::new();
+    for config in space.all_configs() {
+        let label = config.label();
+        for &(bits, per_line) in cache_line_cycles {
+            // Base computational cost: a few cycles, more for multi-access variants.
+            let accesses = match &config {
+                FilterConfig::Bloom(c) => c.accesses_per_lookup() as f64,
+                FilterConfig::ClassicBloom { k } => f64::from(*k),
+                FilterConfig::Cuckoo(_) => 2.0,
+            };
+            let compute = 2.0 + 0.75 * accesses;
+            let memory = config.cache_lines_per_lookup() as f64 * per_line;
+            records.push(CalibrationRecord {
+                config_label: label.clone(),
+                filter_bits: bits,
+                keys: bits / 10,
+                ns_per_lookup: (compute + memory) / 3.0,
+                cycles_per_lookup: compute + memory,
+                kernel: "synthetic".to_string(),
+            });
+        }
+    }
+    CalibrationSet {
+        cpu_ghz: 3.0,
+        records,
+    }
+}
+
+/// The default synthetic cache-hierarchy cost model: (filter size in bits,
+/// cycles per cache line touched) pairs from L1-resident to DRAM-resident.
+#[must_use]
+pub fn default_cache_cost_model() -> Vec<(u64, f64)> {
+    vec![
+        (1 << 17, 1.0),   // 16 KiB: L1
+        (1 << 21, 3.0),   // 256 KiB: L2
+        (1 << 25, 8.0),   // 4 MiB: L3
+        (1 << 29, 40.0),  // 64 MiB: DRAM
+        (1 << 32, 55.0),  // 512 MiB: DRAM + TLB misses
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_skyline() -> Vec<SkylinePoint> {
+        let space = ConfigSpace::default();
+        let calibration = synthetic_calibration(&space, &default_cache_cost_model());
+        let skyline = Skyline::new(space, &calibration);
+        skyline.compute(&SkylineGrid::quick())
+    }
+
+    #[test]
+    fn skyline_covers_the_grid() {
+        let points = quick_skyline();
+        let grid = SkylineGrid::quick();
+        assert_eq!(points.len(), grid.n_values.len() * grid.tw_values.len());
+    }
+
+    #[test]
+    fn bloom_wins_high_throughput_cuckoo_wins_low_throughput() {
+        // The paper's headline result (Figures 1 and 10): at small t_w the
+        // performance-optimal filter is a Bloom filter, at large t_w a Cuckoo
+        // filter.
+        let points = quick_skyline();
+        for point in &points {
+            if point.tw <= 64.0 {
+                assert_eq!(
+                    point.best_kind,
+                    FilterKind::Bloom,
+                    "n={} tw={}: expected Bloom, got {} ({})",
+                    point.n,
+                    point.tw,
+                    point.best_kind,
+                    point.best_label
+                );
+            }
+            if point.tw >= 16_000_000.0 {
+                assert_eq!(
+                    point.best_kind,
+                    FilterKind::Cuckoo,
+                    "n={} tw={}: expected Cuckoo, got {} ({})",
+                    point.n,
+                    point.tw,
+                    point.best_kind,
+                    point.best_label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_moves_right_with_problem_size() {
+        // Figure 10: "the t_w-range in which the Bloom filters dominate
+        // increases with the problem size" (the Cuckoo filter's second cache
+        // line costs more once the filter spills out of cache).
+        let points = quick_skyline();
+        let crossover = |n: u64| -> f64 {
+            points
+                .iter()
+                .filter(|p| p.n == n && p.best_kind == FilterKind::Cuckoo)
+                .map(|p| p.tw)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let small = crossover(1 << 12);
+        let large = crossover(1 << 24);
+        assert!(
+            large >= small,
+            "crossover for large n ({large}) should not be left of small n ({small})"
+        );
+    }
+
+    #[test]
+    fn speedups_are_at_least_one_and_bounded_in_practice() {
+        let points = quick_skyline();
+        for p in &points {
+            let speedup = p.speedup_over_other_kind();
+            assert!(speedup >= 1.0 - 1e-9, "speedup {speedup} below 1");
+        }
+        // Figure 11a: somewhere in the high-throughput region Bloom beats
+        // Cuckoo by a noticeable factor.
+        let max_bloom_speedup = points
+            .iter()
+            .filter(|p| p.best_kind == FilterKind::Bloom)
+            .map(|p| p.speedup_over_other_kind())
+            .fold(0.0, f64::max);
+        assert!(max_bloom_speedup > 1.2, "max Bloom speedup {max_bloom_speedup}");
+    }
+
+    #[test]
+    fn winning_fpr_decreases_with_tw() {
+        // Figure 11b: faster-moving workloads tolerate higher f; precision
+        // wins as t_w grows.
+        let points = quick_skyline();
+        let n = 1 << 20;
+        let fpr_at = |tw: f64| -> f64 {
+            points
+                .iter()
+                .find(|p| p.n == n && (p.tw - tw).abs() < 1e-9)
+                .map(|p| p.best_fpr)
+                .unwrap()
+        };
+        assert!(fpr_at(16.0) >= fpr_at(1_048_576.0));
+    }
+
+    #[test]
+    fn best_operating_point_respects_cuckoo_feasibility() {
+        let space = ConfigSpace::default();
+        let calibration = synthetic_calibration(&space, &default_cache_cost_model());
+        let skyline = Skyline::new(space, &calibration);
+        // 16-bit signatures with b = 1 need > 20 bits/key, which the sweep
+        // does not offer ⇒ infeasible.
+        let infeasible = FilterConfig::Cuckoo(pof_cuckoo::CuckooConfig::new(
+            16,
+            1,
+            pof_cuckoo::CuckooAddressing::PowerOfTwo,
+        ));
+        assert!(skyline.best_operating_point(&infeasible, 1 << 20, 100.0).is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! Cuckoo filter configuration (§4 of the paper).
+
+use pof_hash::Modulus;
+
+/// Addressing (modulo) mode for the bucket index, mirroring the Bloom side
+/// (Figure 13c: power-of-two vs magic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CuckooAddressing {
+    /// Bucket count rounded up to a power of two; alternative buckets are
+    /// derived with the XOR trick of Eq. 6/7.
+    PowerOfTwo,
+    /// Arbitrary bucket count via magic modulo; the XOR is replaced by the
+    /// self-inverse mapping of Eq. 11.
+    Magic,
+}
+
+/// A Cuckoo filter configuration: signature length `l`, bucket size `b` and
+/// the addressing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CuckooConfig {
+    /// Signature (fingerprint) length in bits; the paper sweeps {4, 8, 12, 16}.
+    pub signature_bits: u32,
+    /// Number of signatures per bucket; the paper sweeps {1, 2, 4}.
+    pub bucket_size: u32,
+    /// Addressing mode for the bucket index.
+    pub addressing: CuckooAddressing,
+}
+
+impl CuckooConfig {
+    /// Create a configuration; see [`CuckooConfig::validate`].
+    #[must_use]
+    pub fn new(signature_bits: u32, bucket_size: u32, addressing: CuckooAddressing) -> Self {
+        Self {
+            signature_bits,
+            bucket_size,
+            addressing,
+        }
+    }
+
+    /// The paper's representative Cuckoo configuration (Figures 14/15):
+    /// 16-bit signatures, two per bucket.
+    #[must_use]
+    pub fn representative() -> Self {
+        Self::new(16, 2, CuckooAddressing::PowerOfTwo)
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(1..=32).contains(&self.signature_bits) {
+            return Err(format!(
+                "signature length must be in [1, 32] bits, got {}",
+                self.signature_bits
+            ));
+        }
+        if !(1..=8).contains(&self.bucket_size) {
+            return Err(format!("bucket size must be in [1, 8], got {}", self.bucket_size));
+        }
+        Ok(())
+    }
+
+    /// Bits per bucket (`l·b`).
+    #[must_use]
+    pub fn bucket_bits(&self) -> u32 {
+        self.signature_bits * self.bucket_size
+    }
+
+    /// Maximum load factor this configuration can be filled to (§4).
+    #[must_use]
+    pub fn max_load_factor(&self) -> f64 {
+        pof_model::max_load_factor(self.bucket_size)
+    }
+
+    /// Analytical false-positive rate at a given load factor (Eq. 8).
+    #[must_use]
+    pub fn modeled_fpr(&self, load_factor: f64) -> f64 {
+        pof_model::f_cuckoo(load_factor, self.signature_bits, self.bucket_size)
+    }
+
+    /// Build the bucket-count addressing for a desired total size of `m_bits`.
+    #[must_use]
+    pub fn addressing_for_bits(&self, m_bits: u64) -> Modulus {
+        let desired_buckets = m_bits.div_ceil(u64::from(self.bucket_bits())).max(2);
+        let desired_buckets = u32::try_from(desired_buckets).unwrap_or(u32::MAX);
+        match self.addressing {
+            CuckooAddressing::PowerOfTwo => Modulus::pow2_at_least(desired_buckets),
+            CuckooAddressing::Magic => Modulus::magic_at_least(desired_buckets),
+        }
+    }
+
+    /// Number of buckets needed to hold `n` keys at this configuration's
+    /// maximum load factor (with a small safety margin so construction
+    /// reliably succeeds).
+    #[must_use]
+    pub fn buckets_for_keys(&self, n: usize) -> u64 {
+        let slots = (n as f64 / (self.max_load_factor() * 0.98)).ceil().max(1.0) as u64;
+        slots.div_ceil(u64::from(self.bucket_size)).max(2)
+    }
+
+    /// Short human-readable label, e.g. `cuckoo(l=16,b=2,magic)`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let addr = match self.addressing {
+            CuckooAddressing::PowerOfTwo => "pow2",
+            CuckooAddressing::Magic => "magic",
+        };
+        format!("cuckoo(l={},b={},{addr})", self.signature_bits, self.bucket_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_config_matches_paper() {
+        let c = CuckooConfig::representative();
+        assert_eq!(c.signature_bits, 16);
+        assert_eq!(c.bucket_size, 2);
+        assert_eq!(c.bucket_bits(), 32);
+        assert!((c.max_load_factor() - 0.84).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo).validate().is_ok());
+        assert!(CuckooConfig::new(4, 1, CuckooAddressing::Magic).validate().is_ok());
+        assert!(CuckooConfig::new(0, 2, CuckooAddressing::PowerOfTwo).validate().is_err());
+        assert!(CuckooConfig::new(33, 2, CuckooAddressing::PowerOfTwo).validate().is_err());
+        assert!(CuckooConfig::new(16, 0, CuckooAddressing::PowerOfTwo).validate().is_err());
+        assert!(CuckooConfig::new(16, 9, CuckooAddressing::PowerOfTwo).validate().is_err());
+    }
+
+    #[test]
+    fn bucket_sizing_for_keys() {
+        let c = CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo);
+        let n = 100_000;
+        let buckets = c.buckets_for_keys(n);
+        // Enough slots to hold n keys at ≤ 84 % load.
+        assert!(buckets * 2 >= (n as f64 / 0.84) as u64);
+        // But not wildly oversized.
+        assert!(buckets * 2 < (n as f64 / 0.7) as u64);
+    }
+
+    #[test]
+    fn addressing_sizes() {
+        let c = CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo);
+        let m = c.addressing_for_bits(1 << 20);
+        assert!(m.size().is_power_of_two());
+        assert!(u64::from(m.size()) * 32 >= 1 << 20);
+
+        let c = CuckooConfig::new(16, 2, CuckooAddressing::Magic);
+        let m = c.addressing_for_bits(1_000_000);
+        assert!(u64::from(m.size()) * 32 >= 1_000_000);
+        assert!(u64::from(m.size()) * 32 < 1_050_000);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            CuckooConfig::new(8, 4, CuckooAddressing::Magic).label(),
+            "cuckoo(l=8,b=4,magic)"
+        );
+        assert_eq!(CuckooConfig::representative().label(), "cuckoo(l=16,b=2,pow2)");
+    }
+
+    #[test]
+    fn modeled_fpr_delegates_to_model() {
+        let c = CuckooConfig::new(12, 4, CuckooAddressing::PowerOfTwo);
+        assert_eq!(c.modeled_fpr(0.9), pof_model::f_cuckoo(0.9, 12, 4));
+    }
+}

@@ -1,0 +1,46 @@
+//! Cuckoo filter implementation for performance-optimal filtering (§4–5).
+//!
+//! A [`CuckooFilter`] is a cuckoo hash table of buckets holding `b` small
+//! `l`-bit *signatures* (fingerprints) of the inserted keys. Its two defining
+//! properties versus Bloom filters are a lower false-positive rate at the same
+//! size and support for deletion — at the price of touching two cache lines
+//! per lookup and of inserts that may fail when the table is too full.
+//!
+//! Implemented here:
+//!
+//! * partial-key cuckoo hashing with the XOR alternative-bucket derivation for
+//!   power-of-two table sizes (Eq. 6/7) and the self-inverse magic-modulo
+//!   derivation for arbitrary sizes (Eq. 11, §5.2),
+//! * bit-packed signature storage for any `l ∈ [1, 32]` (so 12-bit signatures
+//!   really cost 12 bits per slot),
+//! * AVX2 batch lookups for the SIMD-friendly configurations whose bucket fits
+//!   a 32-bit word (`l·b = 32`), one key per lane (§5.1),
+//! * deletion and duplicate (bag) support with a single-slot victim stash.
+//!
+//! # Example
+//!
+//! ```
+//! use pof_cuckoo::{CuckooConfig, CuckooFilter};
+//! use pof_filter::Filter;
+//!
+//! // The paper's representative configuration: 16-bit signatures, 2 per bucket.
+//! let mut filter = CuckooFilter::for_keys(CuckooConfig::representative(), 10_000);
+//! for key in 0..10_000u32 {
+//!     assert!(filter.insert(key));
+//! }
+//! assert!(filter.contains(1234));
+//! assert!(filter.delete(1234));
+//! assert!(!filter.contains(1234));
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod filter;
+pub mod packed;
+mod simd;
+
+pub use config::{CuckooAddressing, CuckooConfig};
+pub use filter::CuckooFilter;
+pub use packed::PackedArray;

@@ -1,0 +1,191 @@
+//! A packed array of fixed-width (≤ 32-bit) unsigned values.
+//!
+//! Cuckoo filter slots hold `l`-bit signatures for `l` that need not be a
+//! power of two (the paper evaluates l ∈ {4, 8, 12, 16}). Storing them in the
+//! next wider integer type would silently inflate the bits-per-key accounting
+//! that the space-efficiency comparisons rely on, so signatures are stored
+//! bit-packed. The backing store is `Vec<u64>`, which the SIMD kernels also
+//! view as a little-endian `u32` array for the gather-friendly slot widths
+//! (8, 16 and 32 bits).
+
+/// A fixed-width packed array of `len` unsigned values of `width` bits each.
+#[derive(Debug, Clone)]
+pub struct PackedArray {
+    words: Vec<u64>,
+    width: u32,
+    len: u64,
+}
+
+impl PackedArray {
+    /// Create a zero-initialised array of `len` values of `width` bits.
+    ///
+    /// # Panics
+    /// Panics if `width` is not in `[1, 32]`.
+    #[must_use]
+    pub fn new(len: u64, width: u32) -> Self {
+        assert!((1..=32).contains(&width), "width must be in [1, 32]");
+        let total_bits = len * u64::from(width);
+        let words = usize::try_from(total_bits.div_ceil(64) + 1).expect("array too large");
+        Self {
+            words: vec![0u64; words],
+            width,
+            len,
+        }
+    }
+
+    /// Number of values.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the array holds no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Width of each value in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Memory footprint of the *logical* array in bits (`len · width`).
+    #[must_use]
+    pub fn logical_bits(&self) -> u64 {
+        self.len * u64::from(self.width)
+    }
+
+    /// The backing words (used by the SIMD kernels for gather access).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mask with the low `width` bits set.
+    #[inline(always)]
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Read the value at `index`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `index` is out of bounds.
+    #[inline(always)]
+    #[must_use]
+    pub fn get(&self, index: u64) -> u32 {
+        debug_assert!(index < self.len, "index {index} out of bounds ({})", self.len);
+        let bit = index * u64::from(self.width);
+        let word = (bit / 64) as usize;
+        let offset = bit % 64;
+        // Values can straddle a word boundary for widths that do not divide 64
+        // (e.g. 12-bit signatures); assemble from two words.
+        let lo = self.words[word] >> offset;
+        let value = if offset + u64::from(self.width) <= 64 {
+            lo
+        } else {
+            lo | (self.words[word + 1] << (64 - offset))
+        };
+        (value & self.mask()) as u32
+    }
+
+    /// Write the value at `index` (only the low `width` bits are stored).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `index` is out of bounds.
+    #[inline(always)]
+    pub fn set(&mut self, index: u64, value: u32) {
+        debug_assert!(index < self.len, "index {index} out of bounds ({})", self.len);
+        let value = u64::from(value) & self.mask();
+        let bit = index * u64::from(self.width);
+        let word = (bit / 64) as usize;
+        let offset = bit % 64;
+        self.words[word] &= !(self.mask() << offset);
+        self.words[word] |= value << offset;
+        if offset + u64::from(self.width) > 64 {
+            let spill = 64 - offset;
+            self.words[word + 1] &= !(self.mask() >> spill);
+            self.words[word + 1] |= value >> spill;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        for width in 1..=32u32 {
+            let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+            let len = 1000u64;
+            let mut arr = PackedArray::new(len, width);
+            for i in 0..len {
+                arr.set(i, (i as u32).wrapping_mul(0x9E37_79B1) & mask);
+            }
+            for i in 0..len {
+                assert_eq!(
+                    arr.get(i),
+                    (i as u32).wrapping_mul(0x9E37_79B1) & mask,
+                    "width {width} index {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbours_do_not_interfere() {
+        let mut arr = PackedArray::new(100, 12);
+        arr.set(10, 0xFFF);
+        arr.set(11, 0x000);
+        arr.set(9, 0xABC);
+        assert_eq!(arr.get(10), 0xFFF);
+        assert_eq!(arr.get(11), 0x000);
+        assert_eq!(arr.get(9), 0xABC);
+        // Overwrite the middle one and re-check the neighbours.
+        arr.set(10, 0x123);
+        assert_eq!(arr.get(9), 0xABC);
+        assert_eq!(arr.get(10), 0x123);
+        assert_eq!(arr.get(11), 0x000);
+    }
+
+    #[test]
+    fn values_are_truncated_to_width() {
+        let mut arr = PackedArray::new(10, 8);
+        arr.set(3, 0x1FF);
+        assert_eq!(arr.get(3), 0xFF);
+    }
+
+    #[test]
+    fn straddling_word_boundaries() {
+        // With 12-bit values, index 5 starts at bit 60 and straddles words.
+        let mut arr = PackedArray::new(16, 12);
+        for i in 0..16u64 {
+            arr.set(i, (0x800 + i) as u32);
+        }
+        for i in 0..16u64 {
+            assert_eq!(arr.get(i), (0x800 + i) as u32);
+        }
+    }
+
+    #[test]
+    fn logical_bits_accounting() {
+        let arr = PackedArray::new(1000, 12);
+        assert_eq!(arr.logical_bits(), 12_000);
+        assert_eq!(arr.width(), 12);
+        assert_eq!(arr.len(), 1000);
+        assert!(!arr.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in")]
+    fn rejects_invalid_width() {
+        let _ = PackedArray::new(10, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! AVX2 batch-lookup kernel for SIMD-friendly Cuckoo configurations (§5.1).
+//!
+//! The paper optimizes the signature lengths whose buckets are naturally
+//! aligned: here the kernel covers every configuration whose bucket occupies
+//! exactly 32 bits (`l·b = 32`, i.e. `l = 8, b = 4`, `l = 16, b = 2` and
+//! `l = 32, b = 1`). Eight keys are processed per iteration, one per 32-bit
+//! lane; each candidate bucket is fetched with a single GATHER and all its
+//! signatures are compared in-register. Other configurations (and hosts
+//! without AVX2) use the scalar path.
+
+use crate::config::CuckooConfig;
+use crate::filter::CuckooFilter;
+use pof_filter::SelectionVector;
+use pof_hash::Modulus;
+
+/// The batch-lookup kernel selected for a filter instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kernel {
+    /// Scalar fallback.
+    Scalar,
+    /// AVX2 kernel for 32-bit buckets (`l·b = 32`).
+    Avx2Bucket32,
+}
+
+impl Kernel {
+    /// Pick the best kernel for a configuration on the current CPU.
+    pub(crate) fn select(config: &CuckooConfig) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && config.bucket_bits() == 32
+                && matches!(config.signature_bits, 8 | 16 | 32)
+            {
+                return Self::Avx2Bucket32;
+            }
+        }
+        let _ = config;
+        Self::Scalar
+    }
+
+    /// Human-readable kernel name.
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Avx2Bucket32 => "avx2-bucket32",
+        }
+    }
+}
+
+/// Run the batched lookup with the given kernel. Returns `false` if the caller
+/// should use the scalar path instead.
+pub(crate) fn dispatch(
+    filter: &CuckooFilter,
+    keys: &[u32],
+    sel: &mut SelectionVector,
+    kernel: Kernel,
+) -> bool {
+    match kernel {
+        Kernel::Scalar => false,
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2Bucket32 => {
+            // SAFETY: the kernel was only selected when AVX2 is available.
+            unsafe { avx2::bucket32(filter, keys, sel) };
+            true
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    use pof_filter::Filter;
+    use std::arch::x86_64::*;
+
+    /// Reduce eight 32-bit hash values to bucket indexes (AND for powers of
+    /// two, multiply–shift for magic addressing).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn reduce(h: __m256i, modulus: &Modulus) -> __m256i {
+        match modulus {
+            Modulus::PowerOfTwo { log2 } => {
+                let mask = _mm256_set1_epi32(((1u64 << log2) - 1) as i32);
+                _mm256_and_si256(h, mask)
+            }
+            Modulus::Magic(m) => {
+                let magic = _mm256_set1_epi32(m.magic as i32);
+                let hi64_mask = _mm256_set1_epi64x(0xFFFF_FFFF_0000_0000u64 as i64);
+                let prod_even = _mm256_mul_epu32(h, magic);
+                let prod_odd = _mm256_mul_epu32(_mm256_srli_epi64::<32>(h), magic);
+                let hi_even = _mm256_srli_epi64::<32>(prod_even);
+                let hi_odd = _mm256_and_si256(prod_odd, hi64_mask);
+                let mulhi = _mm256_or_si256(hi_even, hi_odd);
+                let q = _mm256_srl_epi32(mulhi, _mm_cvtsi32_si128(m.shift as i32));
+                let d = _mm256_set1_epi32(m.divisor as i32);
+                _mm256_sub_epi32(h, _mm256_mullo_epi32(q, d))
+            }
+        }
+    }
+
+    /// MurmurHash3 finalizer per lane — the SIMD twin of `pof_hash::mix32`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mix32(mut v: __m256i) -> __m256i {
+        v = _mm256_xor_si256(v, _mm256_srli_epi32::<16>(v));
+        v = _mm256_mullo_epi32(v, _mm256_set1_epi32(0x85EB_CA6Bu32 as i32));
+        v = _mm256_xor_si256(v, _mm256_srli_epi32::<13>(v));
+        v = _mm256_mullo_epi32(v, _mm256_set1_epi32(0xC2B2_AE35u32 as i32));
+        _mm256_xor_si256(v, _mm256_srli_epi32::<16>(v))
+    }
+
+    /// Per-lane test whether a 32-bit bucket word contains the lane's
+    /// signature, for signature widths 8, 16 or 32.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn bucket_matches(bucket: __m256i, sig: __m256i, signature_bits: u32) -> __m256i {
+        match signature_bits {
+            32 => _mm256_cmpeq_epi32(bucket, sig),
+            16 => {
+                let mask16 = _mm256_set1_epi32(0xFFFF);
+                let lo = _mm256_and_si256(bucket, mask16);
+                let hi = _mm256_srli_epi32::<16>(bucket);
+                _mm256_or_si256(_mm256_cmpeq_epi32(lo, sig), _mm256_cmpeq_epi32(hi, sig))
+            }
+            8 => {
+                // Broadcast the signature into all four byte positions of the
+                // lane, XOR against the bucket and apply the classic
+                // "has-zero-byte" trick.
+                let splat = _mm256_mullo_epi32(sig, _mm256_set1_epi32(0x0101_0101));
+                let diff = _mm256_xor_si256(bucket, splat);
+                let ones = _mm256_set1_epi32(0x0101_0101);
+                let highs = _mm256_set1_epi32(0x8080_8080u32 as i32);
+                let zero_detect = _mm256_and_si256(
+                    _mm256_and_si256(_mm256_sub_epi32(diff, ones), _mm256_andnot_si256(diff, highs)),
+                    highs,
+                );
+                // Any non-zero byte marker means a match.
+                let zero = _mm256_setzero_si256();
+                let no_match = _mm256_cmpeq_epi32(zero_detect, zero);
+                _mm256_xor_si256(no_match, _mm256_set1_epi32(-1))
+            }
+            _ => unreachable!("kernel only selected for 8/16/32-bit signatures"),
+        }
+    }
+
+    /// AVX2 batch lookup for 32-bit buckets.
+    ///
+    /// # Safety
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn bucket32(filter: &CuckooFilter, keys: &[u32], sel: &mut SelectionVector) {
+        let config = *filter.config();
+        let l = config.signature_bits;
+        let words = filter.words();
+        let base = words.as_ptr().cast::<i32>();
+        let modulus = filter.modulus();
+
+        let knuth = _mm256_set1_epi32(0x9E37_79B1u32 as i32);
+        let sig_seed = _mm256_set1_epi32(0x85EB_CA77u32 as i32);
+        let sig_hash_c = _mm256_set1_epi32(0x5BD1_E995u32 as i32);
+        let one = _mm256_set1_epi32(1);
+        let zero = _mm256_setzero_si256();
+        let sig_mask = if l == 32 {
+            _mm256_set1_epi32(-1)
+        } else {
+            _mm256_set1_epi32(((1u32 << l) - 1) as i32)
+        };
+
+        let chunks = keys.len() / 8;
+        for chunk in 0..chunks {
+            let offset = chunk * 8;
+            let key_vec = _mm256_loadu_si256(keys.as_ptr().add(offset).cast());
+
+            // Signature: mix32(key · 0x85EB_CA77) masked to l bits, zero → 1.
+            let mut sig = _mm256_and_si256(mix32(_mm256_mullo_epi32(key_vec, sig_seed)), sig_mask);
+            let is_zero = _mm256_cmpeq_epi32(sig, zero);
+            sig = _mm256_or_si256(sig, _mm256_and_si256(is_zero, one));
+
+            // Primary and alternative bucket indexes.
+            let b1 = reduce(_mm256_mullo_epi32(key_vec, knuth), modulus);
+            let sig_hash = _mm256_mullo_epi32(sig, sig_hash_c);
+            let b2 = match modulus {
+                Modulus::PowerOfTwo { log2 } => {
+                    let mask = _mm256_set1_epi32(((1u64 << log2) - 1) as i32);
+                    _mm256_and_si256(_mm256_xor_si256(b1, sig_hash), mask)
+                }
+                Modulus::Magic(m) => {
+                    // alt = (h + C − b1) with one conditional subtraction.
+                    let h = reduce(sig_hash, modulus);
+                    let c = _mm256_set1_epi32(m.divisor as i32);
+                    let t = _mm256_add_epi32(_mm256_sub_epi32(h, b1), c);
+                    // t ∈ [1, 2C); subtract C when t ≥ C. Unsigned compare via
+                    // max: t ≥ C ⇔ max(t, C) == t, careful with signed lanes —
+                    // C < 2^31 and t < 2^32; use the unsigned max trick.
+                    let ge = _mm256_cmpeq_epi32(_mm256_max_epu32(t, c), t);
+                    _mm256_sub_epi32(t, _mm256_and_si256(ge, c))
+                }
+            };
+
+            // Each bucket is exactly one 32-bit word: two gathers resolve both
+            // candidate buckets of all eight lanes.
+            let bucket1 = _mm256_i32gather_epi32::<4>(base, b1);
+            let bucket2 = _mm256_i32gather_epi32::<4>(base, b2);
+            let hit = _mm256_or_si256(
+                bucket_matches(bucket1, sig, l),
+                bucket_matches(bucket2, sig, l),
+            );
+            let lane_mask = _mm256_movemask_ps(_mm256_castsi256_ps(hit));
+            for lane in 0..8u32 {
+                sel.push_if(offset as u32 + lane, (lane_mask >> lane) & 1 == 1);
+            }
+        }
+
+        for (i, &key) in keys.iter().enumerate().skip(chunks * 8) {
+            sel.push_if(i as u32, filter.contains(key));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the Cuckoo filter.
+
+use pof_cuckoo::{CuckooAddressing, CuckooConfig, CuckooFilter, PackedArray};
+use pof_filter::{Filter, SelectionVector};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = CuckooConfig> {
+    (
+        prop_oneof![Just(4u32), Just(8u32), Just(12u32), Just(16u32), Just(32u32)],
+        prop_oneof![Just(1u32), Just(2u32), Just(4u32), Just(8u32)],
+        prop_oneof![Just(CuckooAddressing::PowerOfTwo), Just(CuckooAddressing::Magic)],
+    )
+        .prop_map(|(l, b, a)| CuckooConfig::new(l, b, a))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every successfully inserted key must test positive.
+    #[test]
+    fn no_false_negatives(
+        config in config_strategy(),
+        keys in prop::collection::hash_set(any::<u32>(), 1..1_500),
+    ) {
+        let keys: Vec<u32> = keys.into_iter().collect();
+        let mut filter = CuckooFilter::for_keys(config, keys.len());
+        let mut inserted = Vec::new();
+        for &key in &keys {
+            if filter.insert(key) {
+                prop_assert!(filter.contains(key), "false negative in {}", config.label());
+                inserted.push(key);
+            }
+        }
+        // Re-check after all inserts (relocations must not lose keys).
+        for &key in &inserted {
+            prop_assert!(filter.contains(key), "late false negative in {}", config.label());
+        }
+    }
+
+    /// Batched lookups (SIMD when available) agree with the scalar path.
+    #[test]
+    fn batch_equals_scalar(
+        config in config_strategy(),
+        keys in prop::collection::vec(any::<u32>(), 1..1_000),
+        probes in prop::collection::vec(any::<u32>(), 1..1_000),
+    ) {
+        let mut filter = CuckooFilter::for_keys(config, keys.len());
+        for &key in &keys {
+            filter.insert(key);
+        }
+        let mut batch = SelectionVector::new();
+        filter.contains_batch(&probes, &mut batch);
+        let mut scalar = SelectionVector::new();
+        filter.contains_batch_scalar(&probes, &mut scalar);
+        prop_assert_eq!(
+            batch.as_slice(),
+            scalar.as_slice(),
+            "kernel {} disagrees with scalar for {}",
+            filter.kernel_name(),
+            config.label()
+        );
+    }
+
+    /// Deleting keys that were inserted restores the pre-insert state
+    /// (occupancy returns to the baseline and the deleted keys are gone,
+    /// modulo signature collisions with keys that remain).
+    #[test]
+    fn delete_restores_occupancy(
+        config in config_strategy(),
+        base in prop::collection::hash_set(any::<u32>(), 1..400),
+        extra in prop::collection::hash_set(any::<u32>(), 1..400),
+    ) {
+        let base: Vec<u32> = base.into_iter().collect();
+        let extra: Vec<u32> = extra.iter().filter(|k| !base.contains(k)).copied().collect();
+        let mut filter = CuckooFilter::for_keys(config, base.len() + extra.len());
+        let base: Vec<u32> = base.into_iter().filter(|&k| filter.insert(k)).collect();
+        let occupancy_before = filter.load_factor();
+        let extra: Vec<u32> = extra.into_iter().filter(|&k| filter.insert(k)).collect();
+        // The slot-count bookkeeping below only holds when no insert had to
+        // park a victim in the stash (a stashed insert occupies no slot, so a
+        // later delete that matches a colliding slot shifts the count).
+        prop_assume!(!filter.has_stashed_victim());
+        for &key in &extra {
+            prop_assert!(filter.delete(key), "delete failed for inserted key");
+        }
+        prop_assert!((filter.load_factor() - occupancy_before).abs() < 1e-12);
+        for &key in &base {
+            prop_assert!(filter.contains(key), "base key lost after deleting extras");
+        }
+    }
+
+    /// The packed signature array behaves like a plain vector of truncated
+    /// values for arbitrary widths and access patterns.
+    #[test]
+    fn packed_array_matches_reference(
+        width in 1u32..=32,
+        writes in prop::collection::vec((0u64..500, any::<u32>()), 1..300),
+    ) {
+        let mut arr = PackedArray::new(500, width);
+        let mut reference = vec![0u32; 500];
+        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        for (idx, value) in writes {
+            arr.set(idx, value);
+            reference[idx as usize] = value & mask;
+        }
+        for (idx, &expected) in reference.iter().enumerate() {
+            prop_assert_eq!(arr.get(idx as u64), expected);
+        }
+    }
+
+    /// Filters never report keys when empty.
+    #[test]
+    fn empty_filter_is_empty(config in config_strategy(), probes in prop::collection::vec(any::<u32>(), 1..500)) {
+        let filter = CuckooFilter::for_keys(config, 1_000);
+        for key in probes {
+            prop_assert!(!filter.contains(key));
+        }
+    }
+}
+
+/// The AVX2 bucket kernel must be selected for the SIMD-friendly
+/// configurations on AVX2 hosts.
+#[test]
+fn simd_kernel_selection() {
+    if !std::arch::is_x86_feature_detected!("avx2") {
+        eprintln!("skipping: host has no AVX2");
+        return;
+    }
+    for (l, b, expect) in [
+        (16u32, 2u32, "avx2-bucket32"),
+        (8, 4, "avx2-bucket32"),
+        (32, 1, "avx2-bucket32"),
+        (12, 4, "scalar"),
+        (16, 4, "scalar"),
+        (4, 8, "scalar"),
+    ] {
+        let filter = CuckooFilter::for_keys(CuckooConfig::new(l, b, CuckooAddressing::Magic), 10_000);
+        assert_eq!(filter.kernel_name(), expect, "l={l} b={b}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Deterministic workload generation.
+//!
+//! The paper's experiments use "random 32-bit integers (uniformly distributed)
+//! generated with the Mersenne Twister engine" (§6). We use a seeded
+//! ChaCha-based PRNG from `rand` instead — the statistical requirements are
+//! merely "uniform and reproducible" — and keep every generator seedable so
+//! experiments and tests are repeatable bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Deterministic generator of key sets and probe sets.
+#[derive(Debug)]
+pub struct KeyGen {
+    rng: StdRng,
+}
+
+impl KeyGen {
+    /// Create a generator from a seed. Equal seeds produce equal workloads.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generate `n` *distinct* uniformly distributed 32-bit keys.
+    pub fn distinct_keys(&mut self, n: usize) -> Vec<u32> {
+        assert!(
+            n <= (u32::MAX as usize) / 2,
+            "cannot generate {n} distinct 32-bit keys without excessive rejection"
+        );
+        let mut seen = HashSet::with_capacity(n * 2);
+        let mut keys = Vec::with_capacity(n);
+        while keys.len() < n {
+            let key: u32 = self.rng.gen();
+            if seen.insert(key) {
+                keys.push(key);
+            }
+        }
+        keys
+    }
+
+    /// Generate `n` uniformly distributed keys (duplicates allowed).
+    pub fn keys(&mut self, n: usize) -> Vec<u32> {
+        (0..n).map(|_| self.rng.gen()).collect()
+    }
+
+    /// Build a probe workload over a set of member keys: a probe set of
+    /// `probe_count` keys of which a fraction `sigma` are members (drawn
+    /// uniformly from `members`) and the rest are guaranteed non-members.
+    pub fn probes_with_selectivity(
+        &mut self,
+        members: &[u32],
+        probe_count: usize,
+        sigma: f64,
+    ) -> Vec<u32> {
+        assert!((0.0..=1.0).contains(&sigma), "selectivity must be in [0, 1]");
+        let member_set: HashSet<u32> = members.iter().copied().collect();
+        let mut probes = Vec::with_capacity(probe_count);
+        for _ in 0..probe_count {
+            if !members.is_empty() && self.rng.gen::<f64>() < sigma {
+                let idx = self.rng.gen_range(0..members.len());
+                probes.push(members[idx]);
+            } else {
+                // Rejection-sample a non-member.
+                loop {
+                    let candidate: u32 = self.rng.gen();
+                    if !member_set.contains(&candidate) {
+                        probes.push(candidate);
+                        break;
+                    }
+                }
+            }
+        }
+        probes
+    }
+}
+
+/// A complete filter workload: the build-side key set and a probe-side key
+/// stream with known selectivity σ (the fraction of probes that are true
+/// members — the paper's join hit rate).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Keys inserted into the filter (the paper's `n` build-side keys).
+    pub build_keys: Vec<u32>,
+    /// Keys probed against the filter.
+    pub probe_keys: Vec<u32>,
+    /// Fraction of probe keys that are true members.
+    pub sigma: f64,
+}
+
+impl Workload {
+    /// Generate a workload with `n` distinct build keys and `probe_count`
+    /// probes of which a fraction `sigma` are members.
+    #[must_use]
+    pub fn generate(seed: u64, n: usize, probe_count: usize, sigma: f64) -> Self {
+        let mut gen = KeyGen::new(seed);
+        let build_keys = gen.distinct_keys(n);
+        let probe_keys = gen.probes_with_selectivity(&build_keys, probe_count, sigma);
+        Self {
+            build_keys,
+            probe_keys,
+            sigma,
+        }
+    }
+
+    /// Number of build-side keys (`n`).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.build_keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_are_distinct_and_deterministic() {
+        let mut gen_a = KeyGen::new(42);
+        let mut gen_b = KeyGen::new(42);
+        let a = gen_a.distinct_keys(10_000);
+        let b = gen_b.distinct_keys(10_000);
+        assert_eq!(a, b);
+        let unique: HashSet<u32> = a.iter().copied().collect();
+        assert_eq!(unique.len(), a.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = KeyGen::new(1).distinct_keys(1000);
+        let b = KeyGen::new(2).distinct_keys(1000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn probe_selectivity_is_respected() {
+        let mut gen = KeyGen::new(7);
+        let members = gen.distinct_keys(5_000);
+        let member_set: HashSet<u32> = members.iter().copied().collect();
+        for sigma in [0.0, 0.25, 0.5, 1.0] {
+            let probes = gen.probes_with_selectivity(&members, 20_000, sigma);
+            let hits = probes.iter().filter(|k| member_set.contains(k)).count();
+            let observed = hits as f64 / probes.len() as f64;
+            assert!(
+                (observed - sigma).abs() < 0.02,
+                "sigma {sigma}: observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_selectivity_probes_never_hit() {
+        let mut gen = KeyGen::new(3);
+        let members = gen.distinct_keys(1_000);
+        let member_set: HashSet<u32> = members.iter().copied().collect();
+        let probes = gen.probes_with_selectivity(&members, 5_000, 0.0);
+        assert!(probes.iter().all(|k| !member_set.contains(k)));
+    }
+
+    #[test]
+    fn workload_generation_end_to_end() {
+        let w = Workload::generate(99, 4_096, 10_000, 0.3);
+        assert_eq!(w.n(), 4_096);
+        assert_eq!(w.probe_keys.len(), 10_000);
+        assert!((w.sigma - 0.3).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn invalid_selectivity_panics() {
+        let mut gen = KeyGen::new(0);
+        let members = gen.distinct_keys(10);
+        let _ = gen.probes_with_selectivity(&members, 10, 1.5);
+    }
+}

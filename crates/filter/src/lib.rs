@@ -1,0 +1,26 @@
+//! Common abstractions shared by every filter implementation in the workspace.
+//!
+//! The paper unifies "the interface of all filters under test with regard to
+//! batched lookups: the contains functions take an entire list of keys at once
+//! and produce a position list (also called a selection vector) consisting of
+//! 32-bit integers" (§5). This crate provides exactly that interface:
+//!
+//! * [`Filter`] — the unified insert/contains/batch-contains trait,
+//! * [`SelectionVector`] — the position list produced by batched lookups,
+//! * [`keygen`] — deterministic workload generation (build keys, probe keys
+//!   with a chosen selectivity σ),
+//! * [`stats`] — empirical false-positive-rate measurement used by the
+//!   model-validation tests and by EXPERIMENTS.md.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod keygen;
+pub mod selection;
+pub mod stats;
+pub mod traits;
+
+pub use keygen::{KeyGen, Workload};
+pub use selection::SelectionVector;
+pub use stats::{measured_fpr, FprMeasurement};
+pub use traits::{Filter, FilterKind};

@@ -1,0 +1,154 @@
+//! Selection vectors: position lists produced by batched filter lookups.
+
+/// A position list of 32-bit indexes, the output format of batched `contains`
+/// calls (§5 of the paper). Positions are appended in ascending order of the
+/// probed batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelectionVector {
+    positions: Vec<u32>,
+}
+
+impl SelectionVector {
+    /// Create an empty selection vector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty selection vector with capacity for `n` positions.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            positions: Vec::with_capacity(n),
+        }
+    }
+
+    /// Append a qualifying position.
+    #[inline(always)]
+    pub fn push(&mut self, position: u32) {
+        self.positions.push(position);
+    }
+
+    /// Append a position only if `qualifies` is true, without branching in the
+    /// caller. This is the standard branch-free pattern used by vectorized
+    /// engines: the write always happens, the length only advances when the
+    /// predicate holds.
+    #[inline(always)]
+    pub fn push_if(&mut self, position: u32, qualifies: bool) {
+        self.positions.push(position);
+        if !qualifies {
+            self.positions.pop();
+        }
+    }
+
+    /// Number of selected positions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if no position qualified.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Selected positions as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Remove all positions, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.positions.clear();
+    }
+
+    /// Reserve space for at least `additional` more positions.
+    pub fn reserve(&mut self, additional: usize) {
+        self.positions.reserve(additional);
+    }
+
+    /// Fraction of a batch of `batch_len` probes that qualified.
+    #[must_use]
+    pub fn selectivity(&self, batch_len: usize) -> f64 {
+        if batch_len == 0 {
+            0.0
+        } else {
+            self.positions.len() as f64 / batch_len as f64
+        }
+    }
+}
+
+impl From<Vec<u32>> for SelectionVector {
+    fn from(positions: Vec<u32>) -> Self {
+        Self { positions }
+    }
+}
+
+impl From<SelectionVector> for Vec<u32> {
+    fn from(sel: SelectionVector) -> Self {
+        sel.positions
+    }
+}
+
+impl<'a> IntoIterator for &'a SelectionVector {
+    type Item = &'a u32;
+    type IntoIter = std::slice::Iter<'a, u32>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.positions.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut sel = SelectionVector::new();
+        assert!(sel.is_empty());
+        sel.push(3);
+        sel.push(7);
+        assert_eq!(sel.len(), 2);
+        assert_eq!(sel.as_slice(), &[3, 7]);
+    }
+
+    #[test]
+    fn push_if_only_keeps_qualifying_positions() {
+        let mut sel = SelectionVector::with_capacity(8);
+        for i in 0..8u32 {
+            sel.push_if(i, i % 3 == 0);
+        }
+        assert_eq!(sel.as_slice(), &[0, 3, 6]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut sel = SelectionVector::with_capacity(100);
+        for i in 0..50 {
+            sel.push(i);
+        }
+        sel.clear();
+        assert!(sel.is_empty());
+        sel.push(1);
+        assert_eq!(sel.as_slice(), &[1]);
+    }
+
+    #[test]
+    fn selectivity_calculation() {
+        let sel = SelectionVector::from(vec![1, 5, 9]);
+        assert!((sel.selectivity(10) - 0.3).abs() < 1e-12);
+        assert_eq!(sel.selectivity(0), 0.0);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let sel = SelectionVector::from(vec![2, 4, 8]);
+        let v: Vec<u32> = sel.clone().into();
+        assert_eq!(v, vec![2, 4, 8]);
+        let collected: Vec<u32> = (&sel).into_iter().copied().collect();
+        assert_eq!(collected, vec![2, 4, 8]);
+    }
+}

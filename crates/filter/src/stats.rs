@@ -1,0 +1,144 @@
+//! Empirical false-positive-rate measurement.
+//!
+//! Used by the model-validation tests (`pof-bloom`, `pof-cuckoo`) and by the
+//! EXPERIMENTS.md harness to cross-check the analytical formulas of
+//! `pof-model` against real filter behaviour.
+
+use crate::keygen::KeyGen;
+use crate::selection::SelectionVector;
+use crate::traits::Filter;
+use std::collections::HashSet;
+
+/// Result of an empirical false-positive-rate measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FprMeasurement {
+    /// Number of negative probes issued.
+    pub negative_probes: usize,
+    /// Number of those that (falsely) tested positive.
+    pub false_positives: usize,
+    /// `false_positives / negative_probes`.
+    pub fpr: f64,
+}
+
+/// Measure the empirical false-positive rate of `filter` by probing
+/// `probe_count` keys that are guaranteed not to be in `members`.
+///
+/// The measurement uses the batched lookup path, so it also exercises the SIMD
+/// kernels when they are active.
+#[must_use]
+pub fn measured_fpr<F: Filter + ?Sized>(
+    filter: &F,
+    members: &[u32],
+    probe_count: usize,
+    seed: u64,
+) -> FprMeasurement {
+    let member_set: HashSet<u32> = members.iter().copied().collect();
+    let mut gen = KeyGen::new(seed);
+    let mut negatives = Vec::with_capacity(probe_count);
+    while negatives.len() < probe_count {
+        for key in gen.keys(probe_count - negatives.len()) {
+            if !member_set.contains(&key) {
+                negatives.push(key);
+            }
+        }
+    }
+
+    let mut sel = SelectionVector::with_capacity(probe_count);
+    let mut false_positives = 0usize;
+    for chunk in negatives.chunks(16 * 1024) {
+        sel.clear();
+        filter.contains_batch(chunk, &mut sel);
+        false_positives += sel.len();
+    }
+
+    FprMeasurement {
+        negative_probes: probe_count,
+        false_positives,
+        fpr: false_positives as f64 / probe_count as f64,
+    }
+}
+
+/// Assert helper used across the workspace's validation tests: the measured
+/// rate must lie within `rel_tol` *relative* tolerance of the model, or within
+/// an absolute floor for very small rates (where sampling noise dominates).
+#[must_use]
+pub fn fpr_matches_model(measured: f64, modeled: f64, rel_tol: f64, abs_floor: f64) -> bool {
+    if (measured - modeled).abs() <= abs_floor {
+        return true;
+    }
+    if modeled == 0.0 {
+        return measured <= abs_floor;
+    }
+    (measured - modeled).abs() / modeled <= rel_tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::FilterKind;
+
+    /// A deliberately bad "filter" that reports a fixed fraction of false
+    /// positives, for testing the measurement machinery itself.
+    struct FixedFpr {
+        members: HashSet<u32>,
+        modulus: u32,
+    }
+
+    impl Filter for FixedFpr {
+        fn insert(&mut self, key: u32) -> bool {
+            self.members.insert(key);
+            true
+        }
+        fn contains(&self, key: u32) -> bool {
+            self.members.contains(&key) || key % self.modulus == 0
+        }
+        fn size_bits(&self) -> u64 {
+            0
+        }
+        fn kind(&self) -> FilterKind {
+            FilterKind::Bloom
+        }
+        fn config_label(&self) -> String {
+            format!("fixed-fpr(1/{})", self.modulus)
+        }
+    }
+
+    #[test]
+    fn measurement_recovers_known_rate() {
+        let mut filter = FixedFpr {
+            members: HashSet::new(),
+            modulus: 8,
+        };
+        let members: Vec<u32> = (0..1000u32).map(|i| i * 2 + 1).collect();
+        for &k in &members {
+            filter.insert(k);
+        }
+        let m = measured_fpr(&filter, &members, 200_000, 11);
+        // Expected rate 1/8 = 0.125.
+        assert!((m.fpr - 0.125).abs() < 0.005, "measured {}", m.fpr);
+        assert_eq!(m.negative_probes, 200_000);
+        assert_eq!(m.false_positives, (m.fpr * 200_000.0).round() as usize);
+    }
+
+    #[test]
+    fn exact_filter_has_zero_fpr() {
+        let mut filter = FixedFpr {
+            members: HashSet::new(),
+            modulus: u32::MAX,
+        };
+        let members: Vec<u32> = (1..500u32).collect();
+        for &k in &members {
+            filter.insert(k);
+        }
+        let m = measured_fpr(&filter, &members, 50_000, 5);
+        assert!(m.fpr < 1e-4);
+    }
+
+    #[test]
+    fn tolerance_helper() {
+        assert!(fpr_matches_model(0.011, 0.010, 0.15, 1e-4));
+        assert!(!fpr_matches_model(0.02, 0.010, 0.15, 1e-4));
+        assert!(fpr_matches_model(0.00005, 0.0, 0.15, 1e-4));
+        assert!(fpr_matches_model(0.0, 0.00005, 0.15, 1e-4));
+    }
+}

@@ -1,0 +1,117 @@
+//! The unified filter interface.
+
+use crate::selection::SelectionVector;
+
+/// Which family a filter configuration belongs to. Used by the
+/// performance-optimal skylines (Figure 10) to report the winning *type*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FilterKind {
+    /// Any Bloom filter variant (classic, blocked, register-blocked,
+    /// sectorized, cache-sectorized).
+    Bloom,
+    /// A Cuckoo filter.
+    Cuckoo,
+}
+
+impl std::fmt::Display for FilterKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Bloom => write!(f, "Bloom"),
+            Self::Cuckoo => write!(f, "Cuckoo"),
+        }
+    }
+}
+
+/// The unified approximate-membership filter interface (§5 of the paper).
+///
+/// Keys are 32-bit integers, matching the paper's evaluation ("random 32-bit
+/// integers (uniformly distributed)"); wider keys are expected to be hashed
+/// down to 32 bits by the caller (as the paper's join use case does with join
+/// keys).
+///
+/// # Contract
+///
+/// * `contains(k)` must return `true` for every `k` successfully inserted
+///   (no false negatives);
+/// * `contains(k)` may return `true` for keys never inserted (false
+///   positives), at a rate predicted by the `pof-model` crate;
+/// * `contains_batch` must be exactly equivalent to calling `contains` on
+///   every key (the SIMD and scalar code paths are interchangeable).
+pub trait Filter {
+    /// Insert a key. Returns `false` if the structure could not accommodate
+    /// the key (only possible for Cuckoo filters whose relocation search
+    /// failed); Bloom filters always return `true`.
+    fn insert(&mut self, key: u32) -> bool;
+
+    /// Point lookup: may the key be in the set?
+    fn contains(&self, key: u32) -> bool;
+
+    /// Batched lookup: for every key in `keys` that tests positive, append its
+    /// index (position within the batch) to `sel`. `sel` is *not* cleared
+    /// first, so results can be accumulated across batches by offsetting.
+    fn contains_batch(&self, keys: &[u32], sel: &mut SelectionVector) {
+        for (i, &key) in keys.iter().enumerate() {
+            sel.push_if(i as u32, self.contains(key));
+        }
+    }
+
+    /// Memory footprint of the filter data in bits (the paper's `m`).
+    fn size_bits(&self) -> u64;
+
+    /// Which family this filter belongs to.
+    fn kind(&self) -> FilterKind;
+
+    /// A short human-readable configuration label, e.g.
+    /// `"blocked-bloom(B=512,S=64,z=2,k=8,magic)"`. Used in figure output and
+    /// calibration records.
+    fn config_label(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// An exact filter used to exercise the default `contains_batch`
+    /// implementation.
+    struct ExactSet {
+        keys: HashSet<u32>,
+    }
+
+    impl Filter for ExactSet {
+        fn insert(&mut self, key: u32) -> bool {
+            self.keys.insert(key);
+            true
+        }
+        fn contains(&self, key: u32) -> bool {
+            self.keys.contains(&key)
+        }
+        fn size_bits(&self) -> u64 {
+            (self.keys.len() * 32) as u64
+        }
+        fn kind(&self) -> FilterKind {
+            FilterKind::Bloom
+        }
+        fn config_label(&self) -> String {
+            "exact".to_string()
+        }
+    }
+
+    #[test]
+    fn default_batch_lookup_matches_point_lookups() {
+        let mut filter = ExactSet { keys: HashSet::new() };
+        for key in [10u32, 20, 30, 40] {
+            assert!(filter.insert(key));
+        }
+        let probe = [5u32, 10, 15, 20, 25, 30, 35, 40];
+        let mut sel = SelectionVector::new();
+        filter.contains_batch(&probe, &mut sel);
+        assert_eq!(sel.as_slice(), &[1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn filter_kind_display() {
+        assert_eq!(FilterKind::Bloom.to_string(), "Bloom");
+        assert_eq!(FilterKind::Cuckoo.to_string(), "Cuckoo");
+    }
+}

@@ -1,0 +1,98 @@
+//! Fingerprint (signature) derivation for Cuckoo filters.
+//!
+//! A Cuckoo filter stores an `l`-bit *signature* of each key (§4). The
+//! signature must never be zero, because the all-zero pattern marks an empty
+//! slot in the bucket array. The conventional fix (used by the reference
+//! implementation) is to map a zero signature to 1; the resulting tiny bias is
+//! accounted for in the false-positive model by using `2^l - 1` distinct
+//! signature values.
+
+use crate::mul::mix32;
+
+/// Derive a non-zero `l`-bit signature (1 ≤ `l` ≤ 32) from a key.
+///
+/// The signature hash must be independent from the bucket-addressing hash, so
+/// a full-avalanche finalizer is applied before truncation.
+///
+/// # Panics
+/// Panics in debug builds if `l` is outside `[1, 32]`.
+#[inline(always)]
+#[must_use]
+pub fn signature(key: u32, l: u32) -> u32 {
+    debug_assert!((1..=32).contains(&l));
+    let mask = if l == 32 { u32::MAX } else { (1u32 << l) - 1 };
+    let sig = mix32(key.wrapping_mul(0x85EB_CA77)) & mask;
+    // A zero signature would be indistinguishable from an empty slot.
+    if sig == 0 {
+        1
+    } else {
+        sig
+    }
+}
+
+/// Hash of a signature, used by partial-key cuckoo hashing to derive the
+/// alternative bucket (Eq. 6/7/11 of the paper). Must be a function of the
+/// signature alone (not of the key), so that it can be recomputed from a
+/// stored signature during relocation.
+#[inline(always)]
+#[must_use]
+pub fn signature_hash(sig: u32) -> u32 {
+    // The reference Cuckoo filter uses multiplication by a Murmur-like odd
+    // constant here; a plain multiplicative hash is sufficient and cheap.
+    sig.wrapping_mul(0x5BD1_E995)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_is_never_zero() {
+        for l in 1..=32u32 {
+            for key in (0..5_000u32).map(|i| i.wrapping_mul(0x9E37_79B1)) {
+                assert_ne!(signature(key, l), 0, "key {key} l {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn signature_fits_in_l_bits() {
+        for l in 1..=31u32 {
+            let limit = 1u32 << l;
+            for key in 0..2_000u32 {
+                assert!(signature(key, l) < limit);
+            }
+        }
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        for key in [0u32, 1, 42, u32::MAX] {
+            assert_eq!(signature(key, 16), signature(key, 16));
+        }
+    }
+
+    #[test]
+    fn signatures_are_spread_over_the_domain() {
+        // With l = 16 and 10k random-ish keys, we expect a large number of
+        // distinct signatures (birthday bound ~ 9.3k expected distinct).
+        let l = 16;
+        let mut sigs: Vec<u32> = (0..10_000u32)
+            .map(|i| signature(i.wrapping_mul(0x85EB_CA6B), l))
+            .collect();
+        sigs.sort_unstable();
+        sigs.dedup();
+        assert!(sigs.len() > 8_000, "only {} distinct signatures", sigs.len());
+    }
+
+    #[test]
+    fn signature_hash_differs_from_identity() {
+        let mut collisions = 0;
+        for sig in 1..10_000u32 {
+            if signature_hash(sig) == sig {
+                collisions += 1;
+            }
+        }
+        assert!(collisions < 2);
+    }
+}

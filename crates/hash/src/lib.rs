@@ -1,0 +1,29 @@
+//! Hashing primitives for performance-optimal filters.
+//!
+//! This crate provides the hashing machinery shared by every filter variant in
+//! the workspace:
+//!
+//! * [`mul`] — multiplicative hashing (the paper's choice for high-throughput
+//!   scenarios, §5) plus stronger finalizers used for verification,
+//! * [`bits`] — a [`bits::HashBits`] cursor that *consumes* hash bits exactly the
+//!   way Listings 1 and 2 of the paper describe (`h = consume log2(x) hash bits`),
+//! * [`magic`] — the magic-modulo technique of §5.2: division by an arbitrary
+//!   constant via a multiply–shift sequence, including the search for an
+//!   "add-free" divisor so the trailing addition can be elided,
+//! * [`fingerprint`] — signature (fingerprint) derivation for Cuckoo filters.
+//!
+//! All functions are branch-free on the hot path and deliberately avoid any
+//! allocation so they can be inlined into the SIMD batch-lookup kernels.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bits;
+pub mod fingerprint;
+pub mod magic;
+pub mod mul;
+
+pub use bits::HashBits;
+pub use fingerprint::signature;
+pub use magic::{MagicDivisor, Modulus};
+pub use mul::{hash32, hash64, mix32, mix64, Hasher32, MulHash32, MulHash64, Murmur3Finalizer};

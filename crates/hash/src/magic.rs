@@ -1,0 +1,339 @@
+//! Magic modulo: division/modulo by an arbitrary constant via multiply–shift.
+//!
+//! §5.2 of the paper observes that sizing filters to powers of two (so modulo
+//! becomes a bitwise AND) wastes up to 44 % memory or precision, yet a true
+//! integer division is too slow and is unavailable in SIMD instruction sets.
+//! The solution is the compiler-writers' technique of *magic numbers*
+//! (Granlund & Montgomery; Hacker's Delight): replace `n / d` for a constant
+//! `d` by a multiply, a shift and possibly an add.
+//!
+//! The paper's twist is to exploit a degree of freedom the compiler does not
+//! have: the divisor (the number of filter blocks or Cuckoo buckets) may be
+//! *slightly increased* until its magic number falls into the "no trailing
+//! add" class, so the hot path is exactly
+//!
+//! ```text
+//! q = mulhi_u32(n, magic) >> shift          // floor(n / d)
+//! i = n - q * d                             // n mod d       (Eq. 9)
+//! ```
+//!
+//! [`MagicDivisor::new_at_least`] performs that search; in practice the
+//! divisor grows by far less than 0.1 % (the paper reports ≤ 0.0134 %).
+
+/// High 32 bits of the 64-bit product of two unsigned 32-bit integers.
+///
+/// This is the `mulhi_u32` primitive from Eq. 9 of the paper. It maps directly
+/// to a single `imul`/`pmuludq` instruction.
+#[inline(always)]
+#[must_use]
+pub fn mulhi_u32(a: u32, b: u32) -> u32 {
+    ((u64::from(a) * u64::from(b)) >> 32) as u32
+}
+
+/// A precomputed "add-free" magic divisor: `floor(n / divisor)` for any
+/// `n < 2^32` is `mulhi_u32(n, magic) >> shift`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MagicDivisor {
+    /// The divisor this magic number was computed for.
+    pub divisor: u32,
+    /// The 32-bit magic multiplier.
+    pub magic: u32,
+    /// Post-multiply right-shift amount (applied to the *high* product word).
+    pub shift: u32,
+}
+
+impl MagicDivisor {
+    /// Try to compute an add-free magic number for exactly `divisor`.
+    ///
+    /// Returns `None` if the divisor belongs to the class that requires the
+    /// multiply–shift–**add** sequence (or if `divisor < 2`; a divisor of one
+    /// has a trivial modulo of zero and is rejected so callers handle it
+    /// explicitly).
+    #[must_use]
+    pub fn try_exact(divisor: u32) -> Option<Self> {
+        if divisor < 2 {
+            return None;
+        }
+        if divisor.is_power_of_two() {
+            // 2^k: magic = 2^(32-k) with p = 32 is exact (error 0). For k = 0
+            // this would not fit, but that case was rejected above.
+            let k = divisor.trailing_zeros();
+            return Some(Self {
+                divisor,
+                magic: 1u32 << (32 - k),
+                shift: 0,
+            });
+        }
+        let d = u64::from(divisor);
+        // Search the smallest precision p such that M = ceil(2^p / d) fits in
+        // 32 bits and satisfies the Granlund–Montgomery error bound
+        //   M*d - 2^p <= 2^(p-32),
+        // which guarantees floor(n*M / 2^p) == floor(n/d) for all n < 2^32.
+        for p in 32..=63u32 {
+            let two_p = 1u128 << p;
+            let m = two_p.div_ceil(u128::from(d));
+            if m >= (1u128 << 32) {
+                continue;
+            }
+            let err = m * u128::from(d) - two_p;
+            if err <= (1u128 << (p - 32)) {
+                return Some(Self {
+                    divisor,
+                    magic: m as u32,
+                    shift: p - 32,
+                });
+            }
+        }
+        None
+    }
+
+    /// Compute an add-free magic divisor for the smallest divisor `>= desired`.
+    ///
+    /// This is the search the filters use at construction time: the desired
+    /// number of blocks/buckets is bumped until it falls into the add-free
+    /// class (Eq. 10 in the paper). The relative increase is tiny; see the
+    /// `divisor_increase_is_tiny` test.
+    ///
+    /// # Panics
+    /// Panics if `desired < 2` or if no suitable divisor exists below `u32::MAX`
+    /// (which cannot happen for `desired <= u32::MAX - 64`).
+    #[must_use]
+    pub fn new_at_least(desired: u32) -> Self {
+        assert!(desired >= 2, "divisor must be at least 2");
+        let mut d = desired;
+        loop {
+            if let Some(found) = Self::try_exact(d) {
+                return found;
+            }
+            d = d
+                .checked_add(1)
+                .expect("no add-free magic divisor found below u32::MAX");
+        }
+    }
+
+    /// `floor(n / self.divisor)` via multiply–shift.
+    #[inline(always)]
+    #[must_use]
+    pub fn divide(&self, n: u32) -> u32 {
+        mulhi_u32(n, self.magic) >> self.shift
+    }
+
+    /// `n mod self.divisor` via multiply–shift and one fused multiply-subtract
+    /// (Eq. 9 of the paper, with the typo `* h` corrected to `* divisor`).
+    #[inline(always)]
+    #[must_use]
+    pub fn modulo(&self, n: u32) -> u32 {
+        n.wrapping_sub(self.divide(n).wrapping_mul(self.divisor))
+    }
+}
+
+/// Addressing mode for a filter: either a power-of-two size (modulo = bitwise
+/// AND) or an (almost) arbitrary size via [`MagicDivisor`].
+///
+/// Corresponds to the "Modulo" dimension of Figures 12f and 13c.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Modulus {
+    /// `size = 2^log2`; `modulo(h) = h & (size - 1)`.
+    PowerOfTwo {
+        /// Base-2 logarithm of the size.
+        log2: u32,
+    },
+    /// Arbitrary size; `modulo(h)` uses the magic multiply–shift sequence.
+    Magic(MagicDivisor),
+}
+
+impl Modulus {
+    /// Power-of-two modulus of the given size.
+    ///
+    /// # Panics
+    /// Panics if `size` is not a power of two or is zero.
+    #[must_use]
+    pub fn pow2(size: u32) -> Self {
+        assert!(size.is_power_of_two(), "size must be a power of two");
+        Self::PowerOfTwo {
+            log2: size.trailing_zeros(),
+        }
+    }
+
+    /// Power-of-two modulus of at least the given size (rounds up).
+    #[must_use]
+    pub fn pow2_at_least(desired: u32) -> Self {
+        let size = desired.max(1).next_power_of_two();
+        Self::pow2(size)
+    }
+
+    /// Magic modulus with a divisor of at least `desired` (bumped into the
+    /// add-free class).
+    #[must_use]
+    pub fn magic_at_least(desired: u32) -> Self {
+        if desired <= 1 {
+            // A single block: every hash maps to block zero. Represent as a
+            // power-of-two of size 1.
+            return Self::PowerOfTwo { log2: 0 };
+        }
+        Self::Magic(MagicDivisor::new_at_least(desired))
+    }
+
+    /// The actual size (number of addressable blocks/buckets).
+    #[inline]
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        match self {
+            Self::PowerOfTwo { log2 } => 1u32 << log2,
+            Self::Magic(m) => m.divisor,
+        }
+    }
+
+    /// Reduce a hash value to `[0, size)`.
+    #[inline(always)]
+    #[must_use]
+    pub fn reduce(&self, h: u32) -> u32 {
+        match self {
+            Self::PowerOfTwo { log2 } => h & ((1u32 << log2) - 1).max(0),
+            Self::Magic(m) => m.modulo(h),
+        }
+    }
+
+    /// True if this is the magic (non-power-of-two capable) variant.
+    #[inline]
+    #[must_use]
+    pub fn is_magic(&self) -> bool {
+        matches!(self, Self::Magic(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mulhi_matches_widening_multiply() {
+        let pairs = [
+            (0u32, 0u32),
+            (1, 1),
+            (u32::MAX, u32::MAX),
+            (0x8000_0000, 2),
+            (12345, 67890),
+        ];
+        for (a, b) in pairs {
+            let expected = ((u64::from(a) * u64::from(b)) >> 32) as u32;
+            assert_eq!(mulhi_u32(a, b), expected);
+        }
+    }
+
+    #[test]
+    fn divide_and_modulo_match_hardware_for_many_divisors() {
+        // Exhaustive over a structured set of numerators for each divisor.
+        let divisors = [
+            2u32, 3, 5, 6, 7, 9, 10, 11, 60, 100, 127, 128, 129, 641, 1000, 4095, 4097, 65535,
+            65537, 1_000_003, 16_777_213, 2_147_483_647,
+        ];
+        let numerators = |d: u32| {
+            let mut v = vec![0u32, 1, 2, d - 1, d, d + 1, u32::MAX, u32::MAX - 1];
+            for i in 1..64u32 {
+                v.push(i.wrapping_mul(0x9E37_79B1));
+            }
+            v
+        };
+        for d in divisors {
+            let Some(magic) = MagicDivisor::try_exact(d).or(Some(MagicDivisor::new_at_least(d)))
+            else {
+                unreachable!()
+            };
+            if magic.divisor != d {
+                continue; // bumped; correctness for the bumped divisor checked below
+            }
+            for n in numerators(d) {
+                assert_eq!(magic.divide(n), n / d, "divide n={n} d={d}");
+                assert_eq!(magic.modulo(n), n % d, "modulo n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn new_at_least_is_correct_for_bumped_divisors() {
+        for desired in [3u32, 100, 1021, 30_000, 123_457, 9_999_999, 1 << 30] {
+            let magic = MagicDivisor::new_at_least(desired);
+            assert!(magic.divisor >= desired);
+            let d = magic.divisor;
+            for n in [0u32, 1, d - 1, d, d + 1, d * 2 + 1, u32::MAX, 0xDEAD_BEEF] {
+                assert_eq!(magic.divide(n), n / d);
+                assert_eq!(magic.modulo(n), n % d);
+            }
+        }
+    }
+
+    #[test]
+    fn divisor_increase_is_tiny() {
+        // The paper reports at most 0.0134 % increase. Allow a little slack but
+        // verify the same order of magnitude across a sweep.
+        let mut worst = 0.0f64;
+        let mut d = 1000u32;
+        while d < 1u32 << 28 {
+            let magic = MagicDivisor::new_at_least(d);
+            let rel = (magic.divisor - d) as f64 / d as f64;
+            worst = worst.max(rel);
+            d = (d as f64 * 1.37) as u32 + 1;
+        }
+        assert!(worst < 0.001, "worst relative increase {worst} too large");
+    }
+
+    #[test]
+    fn power_of_two_divisors_are_always_exact() {
+        for k in 1..=31u32 {
+            let d = 1u32 << k;
+            let magic = MagicDivisor::try_exact(d).expect("pow2 should be add-free");
+            assert_eq!(magic.divisor, d);
+            for n in [0u32, 1, d - 1, d, d + 1, u32::MAX] {
+                assert_eq!(magic.divide(n), n / d);
+                assert_eq!(magic.modulo(n), n % d);
+            }
+        }
+    }
+
+    #[test]
+    fn modulus_pow2_reduce_is_mask() {
+        let m = Modulus::pow2(1024);
+        assert_eq!(m.size(), 1024);
+        assert!(!m.is_magic());
+        for h in [0u32, 1, 1023, 1024, 4097, u32::MAX] {
+            assert_eq!(m.reduce(h), h % 1024);
+        }
+    }
+
+    #[test]
+    fn modulus_pow2_at_least_rounds_up() {
+        assert_eq!(Modulus::pow2_at_least(1000).size(), 1024);
+        assert_eq!(Modulus::pow2_at_least(1024).size(), 1024);
+        assert_eq!(Modulus::pow2_at_least(1025).size(), 2048);
+        assert_eq!(Modulus::pow2_at_least(1).size(), 1);
+    }
+
+    #[test]
+    fn modulus_magic_reduce_matches_modulo() {
+        let m = Modulus::magic_at_least(1_000_000);
+        assert!(m.size() >= 1_000_000);
+        let d = m.size();
+        for h in [0u32, 1, d - 1, d, d + 1, u32::MAX, 0xCAFE_BABE] {
+            assert_eq!(m.reduce(h), h % d);
+        }
+    }
+
+    #[test]
+    fn modulus_magic_degenerate_single_block() {
+        let m = Modulus::magic_at_least(1);
+        assert_eq!(m.size(), 1);
+        assert_eq!(m.reduce(u32::MAX), 0);
+    }
+
+    #[test]
+    fn reduce_is_always_in_range() {
+        for desired in [2u32, 3, 17, 1000, 123_456] {
+            for modulus in [Modulus::magic_at_least(desired), Modulus::pow2_at_least(desired)] {
+                for h in (0..10_000u32).map(|i| i.wrapping_mul(0x85EB_CA6B)) {
+                    assert!(modulus.reduce(h) < modulus.size());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Multiplicative hashing and bit-mixing finalizers.
+//!
+//! The paper (§5) uses *multiplicative hashing* for both Bloom and Cuckoo
+//! filters because its latency (one multiply) is far below that of
+//! cryptographic or even Murmur-style hashes, which matters when the whole
+//! lookup budget is a handful of cycles. Multiplicative hashing of a key `x`
+//! is `(x * C) >> s` for an odd constant `C`; the high bits of the product are
+//! the best-mixed ones, so filters consume hash bits from the top (see
+//! [`crate::bits::HashBits`]).
+//!
+//! For correctness-oriented tests and for the Cuckoo filter's signature hash a
+//! stronger Murmur3-style finalizer is provided as well.
+
+/// Knuth's multiplicative constant for 32-bit hashing: `2^32 / phi` rounded to odd.
+pub const KNUTH32: u32 = 0x9E37_79B1;
+/// 64-bit multiplicative constant (`2^64 / phi`, odd).
+pub const KNUTH64: u64 = 0x9E37_79B9_7F4A_7C15;
+/// A second, independent odd constant used where two hash functions are needed
+/// (e.g. the Cuckoo filter signature hash). Taken from MurmurHash3's c1/c2 mix.
+pub const ALT32: u32 = 0x85EB_CA6B;
+/// 64-bit variant of [`ALT32`].
+pub const ALT64: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// Multiplicative 32-bit hash of a 32-bit key.
+///
+/// The full 32-bit product (mod 2^32) is returned; callers that need `b` well
+/// mixed bits should take the *top* `b` bits.
+#[inline(always)]
+#[must_use]
+pub fn hash32(key: u32) -> u32 {
+    key.wrapping_mul(KNUTH32)
+}
+
+/// Multiplicative 64-bit hash of a 64-bit key.
+#[inline(always)]
+#[must_use]
+pub fn hash64(key: u64) -> u64 {
+    key.wrapping_mul(KNUTH64)
+}
+
+/// Second (independent) multiplicative 32-bit hash, used wherever two distinct
+/// hash functions of the same key are required.
+#[inline(always)]
+#[must_use]
+pub fn hash32_alt(key: u32) -> u32 {
+    key.wrapping_mul(ALT32)
+}
+
+/// MurmurHash3's 32-bit finalizer (`fmix32`). Full avalanche; used for
+/// signatures and in tests as a reference "good" hash.
+#[inline(always)]
+#[must_use]
+pub fn mix32(mut h: u32) -> u32 {
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xC2B2_AE35);
+    h ^= h >> 16;
+    h
+}
+
+/// MurmurHash3's 64-bit finalizer (`fmix64`).
+#[inline(always)]
+#[must_use]
+pub fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^= h >> 33;
+    h
+}
+
+/// A 32-bit keyed hasher. The trait exists so filter implementations can be
+/// generic over the hash family (multiplicative for speed, Murmur for quality)
+/// without any virtual dispatch: all implementors are zero-sized.
+pub trait Hasher32: Copy + Default + Send + Sync + 'static {
+    /// Hash a 32-bit key to a 32-bit value.
+    fn hash(key: u32) -> u32;
+    /// Hash a 32-bit key to a 64-bit value (used where more than 32 hash bits
+    /// are consumed, e.g. large classic Bloom filters or many-k blocked ones).
+    fn hash_wide(key: u32) -> u64;
+    /// Human-readable name used in calibration records and figure output.
+    fn name() -> &'static str;
+}
+
+/// Multiplicative hashing (the paper's default). One multiply per key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MulHash32;
+
+impl Hasher32 for MulHash32 {
+    #[inline(always)]
+    fn hash(key: u32) -> u32 {
+        hash32(key)
+    }
+
+    #[inline(always)]
+    fn hash_wide(key: u32) -> u64 {
+        (u64::from(key) | (u64::from(key) << 32)).wrapping_mul(KNUTH64)
+    }
+
+    fn name() -> &'static str {
+        "mul"
+    }
+}
+
+/// 64-bit multiplicative hashing folded to 32 bits. Slightly better mixing in
+/// the low bits than [`MulHash32`] at the cost of a 64-bit multiply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MulHash64;
+
+impl Hasher32 for MulHash64 {
+    #[inline(always)]
+    fn hash(key: u32) -> u32 {
+        (hash64(u64::from(key)) >> 32) as u32
+    }
+
+    #[inline(always)]
+    fn hash_wide(key: u32) -> u64 {
+        hash64(u64::from(key))
+    }
+
+    fn name() -> &'static str {
+        "mul64"
+    }
+}
+
+/// Murmur3 finalizer hashing. Full avalanche, used as the "quality" reference
+/// point in false-positive-rate validation tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Murmur3Finalizer;
+
+impl Hasher32 for Murmur3Finalizer {
+    #[inline(always)]
+    fn hash(key: u32) -> u32 {
+        mix32(key)
+    }
+
+    #[inline(always)]
+    fn hash_wide(key: u32) -> u64 {
+        mix64(u64::from(key))
+    }
+
+    fn name() -> &'static str {
+        "murmur3"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash32_is_injective_on_samples() {
+        // Multiplication by an odd constant is a bijection on u32.
+        let keys = [0u32, 1, 2, 3, 42, 0xFFFF_FFFF, 0x8000_0000, 12345, 67890];
+        let mut hashes: Vec<u32> = keys.iter().map(|&k| hash32(k)).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), keys.len());
+    }
+
+    #[test]
+    fn mix32_avalanche_single_bit() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let base = mix32(0xDEAD_BEEF);
+        for bit in 0..32 {
+            let flipped = mix32(0xDEAD_BEEFu32 ^ (1 << bit));
+            let diff = (base ^ flipped).count_ones();
+            assert!(
+                (8..=24).contains(&diff),
+                "bit {bit}: only {diff} output bits changed"
+            );
+        }
+    }
+
+    #[test]
+    fn mix64_avalanche_single_bit() {
+        let base = mix64(0x0123_4567_89AB_CDEF);
+        for bit in 0..64 {
+            let flipped = mix64(0x0123_4567_89AB_CDEFu64 ^ (1 << bit));
+            let diff = (base ^ flipped).count_ones();
+            assert!(
+                (20..=44).contains(&diff),
+                "bit {bit}: only {diff} output bits changed"
+            );
+        }
+    }
+
+    #[test]
+    fn top_bits_of_mul_hash_are_well_distributed() {
+        // Bucket sequential keys by the top 8 bits of their multiplicative hash
+        // and check the histogram is reasonably flat (within 3x of uniform).
+        let buckets = 256usize;
+        let n = 1usize << 16;
+        let mut histogram = vec![0usize; buckets];
+        for key in 0..n as u32 {
+            let h = hash32(key);
+            histogram[(h >> 24) as usize] += 1;
+        }
+        let expect = n / buckets;
+        for (i, &count) in histogram.iter().enumerate() {
+            assert!(
+                count > expect / 3 && count < expect * 3,
+                "bucket {i} has {count}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn hasher_trait_consistency() {
+        for key in [0u32, 1, 7, 1 << 20, u32::MAX] {
+            assert_eq!(MulHash32::hash(key), hash32(key));
+            assert_eq!(Murmur3Finalizer::hash(key), mix32(key));
+            assert_eq!(MulHash64::hash(key), (hash64(u64::from(key)) >> 32) as u32);
+        }
+    }
+
+    #[test]
+    fn hasher_names_are_distinct() {
+        let names = [MulHash32::name(), MulHash64::name(), Murmur3Finalizer::name()];
+        let mut unique = names.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+}

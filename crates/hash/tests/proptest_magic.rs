@@ -1,0 +1,72 @@
+//! Property-based tests for the magic-modulo machinery.
+
+use pof_hash::magic::{mulhi_u32, MagicDivisor, Modulus};
+use pof_hash::HashBits;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The magic divide must agree with hardware division for any numerator,
+    /// for the divisor actually chosen by the add-free search.
+    #[test]
+    fn magic_divide_matches_hardware(desired in 2u32..=u32::MAX / 2, n in any::<u32>()) {
+        let magic = MagicDivisor::new_at_least(desired);
+        let d = magic.divisor;
+        prop_assert_eq!(magic.divide(n), n / d);
+        prop_assert_eq!(magic.modulo(n), n % d);
+    }
+
+    /// When `try_exact` succeeds, the requested divisor is used unchanged and
+    /// the result agrees with hardware division.
+    #[test]
+    fn exact_magic_matches_hardware(d in 2u32..=u32::MAX / 2, n in any::<u32>()) {
+        if let Some(magic) = MagicDivisor::try_exact(d) {
+            prop_assert_eq!(magic.divisor, d);
+            prop_assert_eq!(magic.divide(n), n / d);
+            prop_assert_eq!(magic.modulo(n), n % d);
+        }
+    }
+
+    /// The add-free divisor bump never exceeds 0.1 % for realistic block counts.
+    #[test]
+    fn divisor_bump_is_bounded(desired in 64u32..(1u32 << 30)) {
+        let magic = MagicDivisor::new_at_least(desired);
+        let rel = f64::from(magic.divisor - desired) / f64::from(desired);
+        prop_assert!(rel < 0.001, "relative bump {} for desired {}", rel, desired);
+    }
+
+    /// mulhi_u32 equals the top half of the widening product.
+    #[test]
+    fn mulhi_matches_widening(a in any::<u32>(), b in any::<u32>()) {
+        prop_assert_eq!(mulhi_u32(a, b), ((u64::from(a) * u64::from(b)) >> 32) as u32);
+    }
+
+    /// Any modulus reduction stays in range, and for power-of-two sizes the
+    /// reduction equals `%`.
+    #[test]
+    fn modulus_reduce_in_range(desired in 1u32..(1u32 << 28), h in any::<u32>()) {
+        let magic = Modulus::magic_at_least(desired);
+        let pow2 = Modulus::pow2_at_least(desired);
+        prop_assert!(magic.reduce(h) < magic.size());
+        prop_assert!(pow2.reduce(h) < pow2.size());
+        prop_assert_eq!(pow2.reduce(h), h % pow2.size());
+        prop_assert_eq!(magic.reduce(h), h % magic.size());
+    }
+
+    /// HashBits consumption: consuming the same widths from the same seed is
+    /// deterministic, and every chunk fits in the requested width.
+    #[test]
+    fn hash_bits_deterministic_and_bounded(seed in any::<u64>(), widths in prop::collection::vec(1u32..=32, 1..20)) {
+        let mut a = HashBits::new(seed);
+        let mut b = HashBits::new(seed);
+        for &w in &widths {
+            let va = a.consume(w);
+            let vb = b.consume(w);
+            prop_assert_eq!(va, vb);
+            if w < 32 {
+                prop_assert!(va < (1u32 << w));
+            }
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! False-positive-rate models for Bloom filter variants (Eq. 2–5) and the
+//! classical space-optimal parameter formulas.
+
+use crate::poisson::poisson_expectation;
+
+/// Tail tolerance used when truncating the Poisson sums of Eq. 3–5.
+const TAIL: f64 = 1e-12;
+
+/// Eq. 2 — false-positive rate of a *classic* Bloom filter with `m` bits,
+/// `n` keys and `k` hash functions:
+///
+/// `f = (1 − (1 − 1/m)^(k·n))^k`
+#[must_use]
+pub fn f_std(m: f64, n: f64, k: u32) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    if m < 1.0 {
+        return 1.0;
+    }
+    let k_f = f64::from(k);
+    // (1 − 1/m)^(k·n) = exp(k·n·ln(1 − 1/m)); ln_1p keeps precision for large m.
+    let fill = 1.0 - (k_f * n * (-1.0 / m).ln_1p()).exp();
+    fill.powf(k_f).clamp(0.0, 1.0)
+}
+
+/// Eq. 3 — false-positive rate of a *blocked* Bloom filter with total size `m`
+/// bits, `n` keys, `k` bits per key and block size `b` bits.
+///
+/// The per-block load is Poisson-distributed with rate `B·n/m`; each block
+/// behaves as a classic Bloom filter of size `B`.
+#[must_use]
+pub fn f_blocked(m: f64, n: f64, k: u32, b: u32) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let b_f = f64::from(b);
+    let lambda = b_f * n / m;
+    poisson_expectation(lambda, TAIL, |i| f_std(b_f, i as f64, k)).clamp(0.0, 1.0)
+}
+
+/// Eq. 4 — false-positive rate of a *sectorized* blocked Bloom filter: block
+/// size `b` bits, sector size `s` bits, `k` bits per key spread as `k/(b/s)`
+/// bits per sector.
+///
+/// # Panics
+/// Panics if `s` does not divide `b` or `k` is not a multiple of the sector
+/// count `b/s`.
+#[must_use]
+pub fn f_sectorized(m: f64, n: f64, k: u32, b: u32, s: u32) -> f64 {
+    assert!(b % s == 0, "sector size must divide block size");
+    let sectors = b / s;
+    assert!(
+        k % sectors == 0,
+        "k ({k}) must be a multiple of the sector count ({sectors})"
+    );
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let k_per_sector = k / sectors;
+    let lambda = f64::from(b) * n / m;
+    poisson_expectation(lambda, TAIL, |i| {
+        f_std(f64::from(s), i as f64, k_per_sector).powi(sectors as i32)
+    })
+    .clamp(0.0, 1.0)
+}
+
+/// Eq. 5 — false-positive rate of a *cache-sectorized* blocked Bloom filter.
+///
+/// The block (`b` bits) is divided into `b/s` word-sized sectors which are
+/// grouped into `z` groups. Per key, `k/z` bits are set in *one* sector of
+/// each group (the sector being chosen by hash bits). The outer Poisson term
+/// models the block load `i`; the inner term models how many of those `i`
+/// keys chose the particular sector the query key probes within a group
+/// (rate `i·z·s/b`, i.e. `i` divided by the `b/(s·z)` sectors of the group).
+///
+/// # Panics
+/// Panics if the parameters are inconsistent (see assertions).
+#[must_use]
+pub fn f_cache_sectorized(m: f64, n: f64, k: u32, b: u32, s: u32, z: u32) -> f64 {
+    assert!(b % s == 0, "sector size must divide block size");
+    let sectors = b / s;
+    assert!(z >= 1 && sectors % z == 0, "groups must evenly split the sectors");
+    assert!(k % z == 0, "k ({k}) must be a multiple of the group count ({z})");
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let k_per_group = k / z;
+    let lambda_block = f64::from(b) * n / m;
+    poisson_expectation(lambda_block, TAIL, |i| {
+        if i == 0 {
+            return 0.0;
+        }
+        // Within a group the i block-local keys are spread over the group's
+        // b/(s·z) sectors; the query's sector receives Poisson(i·s·z/b) keys.
+        let lambda_sector = (i as f64) * f64::from(s) * f64::from(z) / f64::from(b);
+        let per_group = poisson_expectation(lambda_sector, TAIL, |j| {
+            f_std(f64::from(s), j as f64, k_per_group)
+        });
+        per_group.powi(z as i32)
+    })
+    .clamp(0.0, 1.0)
+}
+
+/// Space-optimal number of hash functions for a classic Bloom filter given a
+/// bits-per-key budget: `k = ln 2 · m/n`, rounded to the nearest integer and
+/// clamped to at least 1.
+#[must_use]
+pub fn optimal_k_classic(bits_per_key: f64) -> u32 {
+    ((std::f64::consts::LN_2 * bits_per_key).round() as u32).max(1)
+}
+
+/// Optimal `k` (in `[1, k_max]`) for a blocked Bloom filter of block size `b`
+/// bits at the given bits-per-key budget, found by minimising Eq. 3.
+///
+/// This is what Figure 4b plots for the 32-, 64- and 512-bit blocked variants.
+#[must_use]
+pub fn optimal_k_blocked(bits_per_key: f64, b: u32, k_max: u32) -> u32 {
+    let n = 1_000_000.0;
+    let m = bits_per_key * n;
+    let mut best_k = 1;
+    let mut best_f = f64::INFINITY;
+    for k in 1..=k_max {
+        let f = f_blocked(m, n, k, b);
+        if f < best_f {
+            best_f = f;
+            best_k = k;
+        }
+    }
+    best_k
+}
+
+/// Space-optimal `k` for a desired false-positive rate: `k = −log2 f`.
+#[must_use]
+pub fn space_optimal_k(f: f64) -> u32 {
+    ((-f.log2()).round() as u32).max(1)
+}
+
+/// Space-optimal bits-per-key for a desired false-positive rate:
+/// `m/n = 1.44 · (−log2 f)` (the textbook `m = 1.44·k·n`).
+#[must_use]
+pub fn space_optimal_bits_per_key(f: f64) -> f64 {
+    1.44 * (-f.log2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic textbook reference point: 10 bits/key with k = 7 gives ~0.82 %.
+    #[test]
+    fn classic_reference_point() {
+        let n = 1_000_000.0;
+        let f = f_std(10.0 * n, n, 7);
+        assert!((f - 0.0082).abs() < 0.0005, "f = {f}");
+    }
+
+    #[test]
+    fn classic_space_optimal_k_matches_ln2_rule() {
+        assert_eq!(optimal_k_classic(10.0), 7);
+        assert_eq!(optimal_k_classic(14.4), 10);
+        assert_eq!(optimal_k_classic(1.0), 1);
+    }
+
+    #[test]
+    fn f_std_edge_cases() {
+        assert_eq!(f_std(1024.0, 0.0, 4), 0.0);
+        assert!(f_std(0.5, 10.0, 4) >= 1.0 - 1e-12);
+        // Fully saturated filter: n >> m ⇒ f → 1.
+        assert!(f_std(64.0, 100_000.0, 4) > 0.999);
+    }
+
+    #[test]
+    fn f_std_monotone_in_m_and_n() {
+        let n = 100_000.0;
+        let mut prev = 1.0;
+        for bits_per_key in [4.0, 6.0, 8.0, 12.0, 16.0, 20.0] {
+            let f = f_std(bits_per_key * n, n, 6);
+            assert!(f < prev, "f not decreasing in m");
+            prev = f;
+        }
+        let m = 1_000_000.0;
+        let mut prev = 0.0;
+        for n in [1_000.0, 10_000.0, 50_000.0, 100_000.0, 200_000.0] {
+            let f = f_std(m, n, 6);
+            assert!(f > prev, "f not increasing in n");
+            prev = f;
+        }
+    }
+
+    /// Blocking always costs precision: f_blocked ≥ f_std at equal (m, n, k),
+    /// and smaller blocks cost more (Figure 4a ordering).
+    #[test]
+    fn blocking_orders_false_positive_rates() {
+        let n = 1_000_000.0;
+        for bits_per_key in [8.0, 10.0, 12.0, 16.0, 20.0] {
+            let m = bits_per_key * n;
+            let k = optimal_k_classic(bits_per_key).min(8);
+            let classic = f_std(m, n, k);
+            let b512 = f_blocked(m, n, k, 512);
+            let b64 = f_blocked(m, n, k, 64);
+            let b32 = f_blocked(m, n, k, 32);
+            assert!(classic <= b512 * 1.0000001, "classic {classic} vs 512-blocked {b512}");
+            assert!(b512 <= b64 * 1.0000001, "512-blocked {b512} vs 64-blocked {b64}");
+            assert!(b64 <= b32 * 1.0000001, "64-blocked {b64} vs 32-blocked {b32}");
+        }
+    }
+
+    /// Figure 4a reference values: at f = 1 % the paper quotes ≈ 10 bits/key
+    /// for classic, ≈ 12 for 64-bit blocks and ≈ 14 for 32-bit blocks.
+    #[test]
+    fn figure4_reference_bits_per_key() {
+        let n = 1_000_000.0;
+        let bits_needed = |b: Option<u32>| -> f64 {
+            let mut bpk = 4.0;
+            loop {
+                let m = bpk * n;
+                let f = match b {
+                    None => (1..=16).map(|k| f_std(m, n, k)).fold(f64::MAX, f64::min),
+                    Some(block) => (1..=16).map(|k| f_blocked(m, n, k, block)).fold(f64::MAX, f64::min),
+                };
+                if f <= 0.01 {
+                    return bpk;
+                }
+                bpk += 0.25;
+                assert!(bpk < 40.0);
+            }
+        };
+        let classic = bits_needed(None);
+        let b64 = bits_needed(Some(64));
+        let b32 = bits_needed(Some(32));
+        assert!((classic - 10.0).abs() <= 1.0, "classic needs {classic} bits/key");
+        assert!((b64 - 12.0).abs() <= 1.5, "64-bit blocked needs {b64} bits/key");
+        assert!((b32 - 14.0).abs() <= 2.0, "32-bit blocked needs {b32} bits/key");
+    }
+
+    /// Sectorization with a single sector equals plain blocking.
+    #[test]
+    fn sectorized_with_one_sector_equals_blocked() {
+        let n = 500_000.0;
+        let m = 10.0 * n;
+        for b in [64u32, 512] {
+            for k in [2u32, 4, 8] {
+                let blocked = f_blocked(m, n, k, b);
+                let sectorized = f_sectorized(m, n, k, b, b);
+                assert!(
+                    (blocked - sectorized).abs() < 1e-12,
+                    "b={b} k={k}: {blocked} vs {sectorized}"
+                );
+            }
+        }
+    }
+
+    /// Spreading k bits over more sectors (at fixed block size) can only
+    /// increase f: sectorized ≥ blocked.
+    #[test]
+    fn sectorization_costs_precision() {
+        let n = 500_000.0;
+        for bits_per_key in [10.0, 16.0, 20.0] {
+            let m = bits_per_key * n;
+            let blocked = f_blocked(m, n, 8, 512);
+            let sectorized = f_sectorized(m, n, 8, 512, 64);
+            assert!(sectorized >= blocked - 1e-12, "{sectorized} < {blocked}");
+        }
+    }
+
+    /// Figure 7 ordering with k = 8: register-blocked (B = 32) is worst,
+    /// cache-sectorized (z = 2) beats sectorized (4×64-bit sectors), and the
+    /// fully blocked 512-bit filter is best.
+    #[test]
+    fn figure7_ordering() {
+        let n = 1_000_000.0;
+        for bits_per_key in [10.0, 14.0, 18.0] {
+            let m = bits_per_key * n;
+            let register_blocked = f_blocked(m, n, 8, 32);
+            let sectorized_256 = f_sectorized(m, n, 8, 256, 64);
+            let cache_z4 = f_cache_sectorized(m, n, 8, 512, 64, 4);
+            let cache_z2 = f_cache_sectorized(m, n, 8, 512, 64, 2);
+            let blocked_512 = f_blocked(m, n, 8, 512);
+            assert!(cache_z4 < sectorized_256, "z=4 {cache_z4} vs sectorized {sectorized_256}");
+            assert!(cache_z2 < register_blocked, "z=2 {cache_z2} vs register {register_blocked}");
+            assert!(blocked_512 < cache_z4, "blocked {blocked_512} vs z=4 {cache_z4}");
+        }
+    }
+
+    /// Cache-sectorization with z = number of sectors degenerates to plain
+    /// sectorization (each group is exactly one sector). Eq. 5 applies a
+    /// second Poisson approximation to the per-sector load that Eq. 4 models
+    /// exactly, so the two agree only approximately (a few percent).
+    #[test]
+    fn cache_sectorized_degenerates_to_sectorized() {
+        let n = 250_000.0;
+        let m = 12.0 * n;
+        let b = 512;
+        let s = 64;
+        let z = b / s; // 8 groups of one sector each
+        let a = f_cache_sectorized(m, n, 8, b, s, z);
+        let b_val = f_sectorized(m, n, 8, b, s);
+        let rel = (a - b_val).abs() / b_val;
+        assert!(rel < 0.10, "{a} vs {b_val} (relative difference {rel})");
+    }
+
+    #[test]
+    fn space_optimal_formulas() {
+        assert_eq!(space_optimal_k(0.01), 7);
+        assert_eq!(space_optimal_k(0.001), 10);
+        assert!((space_optimal_bits_per_key(0.01) - 9.57).abs() < 0.05);
+    }
+
+    #[test]
+    fn optimal_k_blocked_is_within_range_and_tracks_budget() {
+        let k_small = optimal_k_blocked(6.0, 512, 16);
+        let k_large = optimal_k_blocked(20.0, 512, 16);
+        assert!(k_small >= 1 && k_small <= 16);
+        assert!(k_large >= k_small, "larger budget should not lower optimal k");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the sector count")]
+    fn sectorized_rejects_invalid_k() {
+        let _ = f_sectorized(1e6, 1e5, 3, 512, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "groups must evenly split")]
+    fn cache_sectorized_rejects_invalid_groups() {
+        let _ = f_cache_sectorized(1e6, 1e5, 8, 512, 64, 3);
+    }
+}

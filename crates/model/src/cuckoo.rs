@@ -1,0 +1,179 @@
+//! False-positive-rate and occupancy models for Cuckoo filters (§4, Eq. 8).
+
+/// Eq. 8 — false-positive probability of a Cuckoo filter with signature length
+/// `l` bits, bucket size `b` signatures and load factor `alpha`:
+///
+/// `f = 1 − (1 − 1/2^l)^(2·b·α)`
+///
+/// A negative lookup inspects `2·b` slots, of which a fraction `α` is occupied
+/// by independent signatures; each occupied slot matches with probability
+/// `1/2^l`.
+#[must_use]
+pub fn f_cuckoo(alpha: f64, l: u32, b: u32) -> f64 {
+    assert!((1..=32).contains(&l), "signature length must be in [1, 32]");
+    assert!(b >= 1, "bucket size must be at least 1");
+    let alpha = alpha.clamp(0.0, 1.0);
+    let per_slot_miss = 1.0 - 1.0 / (1u64 << l) as f64;
+    1.0 - per_slot_miss.powf(2.0 * f64::from(b) * alpha)
+}
+
+/// Load factor of a Cuckoo filter holding `n` keys in `m` bits with `l`-bit
+/// signatures: `α = l·n/m` (Eq. 8's definition).
+#[must_use]
+pub fn load_factor(m_bits: f64, n: f64, l: u32) -> f64 {
+    if m_bits <= 0.0 {
+        return 1.0;
+    }
+    f64::from(l) * n / m_bits
+}
+
+/// Maximum practically achievable load factor of partial-key cuckoo hashing
+/// for a given bucket size (§4: b = 1 ⇒ ~50 %, 2 ⇒ 84 %, 4 ⇒ 95 %, 8 ⇒ 98 %).
+///
+/// Values for other bucket sizes are interpolated conservatively.
+#[must_use]
+pub fn max_load_factor(b: u32) -> f64 {
+    match b {
+        0 => 0.0,
+        1 => 0.50,
+        2 => 0.84,
+        3 => 0.91,
+        4 => 0.95,
+        5..=7 => 0.96,
+        _ => 0.98,
+    }
+}
+
+/// Effective bits-per-key of a Cuckoo filter: `l / α`. At the maximum load
+/// factor this is the best space efficiency the configuration can reach.
+#[must_use]
+pub fn bits_per_key(l: u32, alpha: f64) -> f64 {
+    assert!(alpha > 0.0);
+    f64::from(l) / alpha
+}
+
+/// Minimum bits-per-key at which a Cuckoo filter with the given `(l, b)` can
+/// be built at all (i.e. at its maximum load factor).
+#[must_use]
+pub fn min_bits_per_key(l: u32, b: u32) -> f64 {
+    bits_per_key(l, max_load_factor(b))
+}
+
+/// False-positive rate of a Cuckoo filter with a total budget of
+/// `bits_per_key` bits per key, assuming the table is sized exactly to that
+/// budget (load factor `α = l / bits_per_key`, capped at the maximum for `b`).
+///
+/// Returns `None` if the configuration cannot hold `n` keys within the budget
+/// (required load factor exceeds the maximum for bucket size `b`).
+#[must_use]
+pub fn f_cuckoo_for_budget(bits_per_key: f64, l: u32, b: u32) -> Option<f64> {
+    if bits_per_key <= 0.0 {
+        return None;
+    }
+    let alpha = f64::from(l) / bits_per_key;
+    if alpha > max_load_factor(b) {
+        return None;
+    }
+    Some(f_cuckoo(alpha, l, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reference_points() {
+        // §6: "The lowest possible false-positive rate … 0.00005 for Cuckoo
+        // (using l = 16 and b = 2)". At 20 bits/key, α = 16/20 = 0.8.
+        let f = f_cuckoo(0.8, 16, 2);
+        assert!((f - 5e-5).abs() < 1e-5, "f = {f}");
+        // "with b set to 1, the false-positive probability would be 0.000024"
+        let f1 = f_cuckoo(0.8, 16, 1);
+        assert!((f1 - 2.4e-5).abs() < 0.6e-5, "f = {f1}");
+        // "if … 19-bit signatures were available, f could be lowered to 0.000015"
+        // (at b = 2 the paper's number implies the same α≈0.8 budget-free view)
+        let f19 = f_cuckoo(0.8, 19, 2);
+        assert!(f19 < 1e-5 * 0.7, "f = {f19}");
+    }
+
+    #[test]
+    fn f_increases_with_bucket_size_and_load() {
+        let base = f_cuckoo(0.8, 12, 2);
+        assert!(f_cuckoo(0.8, 12, 4) > base);
+        assert!(f_cuckoo(0.8, 12, 8) > f_cuckoo(0.8, 12, 4));
+        assert!(f_cuckoo(0.95, 12, 2) > base);
+        assert!(f_cuckoo(0.5, 12, 2) < base);
+    }
+
+    #[test]
+    fn f_decreases_exponentially_with_signature_length() {
+        let f8 = f_cuckoo(0.84, 8, 2);
+        let f12 = f_cuckoo(0.84, 12, 2);
+        let f16 = f_cuckoo(0.84, 16, 2);
+        assert!(f8 > f12 && f12 > f16);
+        // Each extra 4 signature bits buys roughly a factor 16.
+        assert!((f8 / f12 - 16.0).abs() < 1.0);
+        assert!((f12 / f16 - 16.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn load_factor_definition() {
+        // 1M keys, 16-bit signatures, 20 bits/key budget ⇒ α = 0.8.
+        let n = 1_000_000.0;
+        assert!((load_factor(20.0 * n, n, 16) - 0.8).abs() < 1e-12);
+        assert_eq!(load_factor(0.0, n, 16), 1.0);
+    }
+
+    #[test]
+    fn max_load_factors_match_paper() {
+        assert_eq!(max_load_factor(1), 0.50);
+        assert_eq!(max_load_factor(2), 0.84);
+        assert_eq!(max_load_factor(4), 0.95);
+        assert_eq!(max_load_factor(8), 0.98);
+        assert!(max_load_factor(3) > max_load_factor(2));
+        assert!(max_load_factor(16) >= max_load_factor(8));
+    }
+
+    #[test]
+    fn budgeted_f_rejects_infeasible_configurations() {
+        // 16-bit signatures with b = 1 need at least 32 bits/key.
+        assert!(f_cuckoo_for_budget(20.0, 16, 1).is_none());
+        assert!(f_cuckoo_for_budget(33.0, 16, 1).is_some());
+        // 8-bit signatures with b = 4 need ~8.4 bits/key.
+        assert!(f_cuckoo_for_budget(8.0, 8, 4).is_none());
+        assert!(f_cuckoo_for_budget(10.0, 8, 4).is_some());
+        assert!(f_cuckoo_for_budget(0.0, 8, 4).is_none());
+    }
+
+    #[test]
+    fn budgeted_f_improves_only_gradually_with_size() {
+        // Figure 8a: increasing the filter size (lowering α) only gradually
+        // improves f — less than 2x from 10 to 20 bits/key at l = 8, b = 4.
+        let f10 = f_cuckoo_for_budget(10.0, 8, 4).unwrap();
+        let f20 = f_cuckoo_for_budget(20.0, 8, 4).unwrap();
+        assert!(f10 / f20 < 2.5, "ratio {}", f10 / f20);
+        assert!(f10 > f20);
+    }
+
+    #[test]
+    fn bucket_size_two_vs_four_tradeoff() {
+        // Figure 8b: at a fixed 8-bit signature, shrinking buckets from 4 to 2
+        // signatures roughly halves f (but costs load factor).
+        let f4 = f_cuckoo(0.95, 8, 4);
+        let f2 = f_cuckoo(0.84, 8, 2);
+        assert!(f2 < f4);
+        assert!(f4 / f2 > 1.8 && f4 / f2 < 2.7, "ratio {}", f4 / f2);
+    }
+
+    #[test]
+    fn min_bits_per_key_values() {
+        assert!((min_bits_per_key(16, 2) - 16.0 / 0.84).abs() < 1e-12);
+        assert!((min_bits_per_key(8, 4) - 8.0 / 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "signature length")]
+    fn rejects_zero_signature_length() {
+        let _ = f_cuckoo(0.5, 0, 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Analytical false-positive-rate models for Bloom and Cuckoo filter variants.
+//!
+//! The paper's performance-optimal filtering framework combines a *measured*
+//! lookup cost `t_l` with a *modelled* false-positive rate `f`. This crate
+//! implements every formula the paper relies on:
+//!
+//! | Equation | Function | Filter |
+//! |---|---|---|
+//! | Eq. 2 | [`bloom::f_std`] | classic Bloom filter |
+//! | Eq. 3 | [`bloom::f_blocked`] | blocked Bloom filter |
+//! | Eq. 4 | [`bloom::f_sectorized`] | sectorized blocked Bloom filter |
+//! | Eq. 5 | [`bloom::f_cache_sectorized`] | cache-sectorized blocked Bloom filter |
+//! | Eq. 8 | [`cuckoo::f_cuckoo`] | Cuckoo filter |
+//!
+//! plus the space-optimal classic parameters (`k = -log2 f`, `m = 1.44·k·n`),
+//! optimal-`k` searches for the blocked variants (Figure 4b), and the load
+//! factor limits of partial-key cuckoo hashing (§4).
+//!
+//! All functions operate on `f64` and are deterministic; the empirical
+//! cross-validation against real filter implementations lives in the
+//! `pof-bloom` and `pof-cuckoo` crates.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bloom;
+pub mod cuckoo;
+pub mod poisson;
+
+pub use bloom::{
+    f_blocked, f_cache_sectorized, f_sectorized, f_std, optimal_k_blocked, optimal_k_classic,
+    space_optimal_bits_per_key, space_optimal_k,
+};
+pub use cuckoo::{bits_per_key as cuckoo_bits_per_key, f_cuckoo, max_load_factor};
+pub use poisson::poisson_pmf;

@@ -1,0 +1,146 @@
+//! Poisson probabilities used by the blocked-Bloom-filter load model.
+//!
+//! The number of keys that land in a particular block of a blocked Bloom
+//! filter is binomially distributed; the paper (following Putze et al.)
+//! approximates it with a Poisson distribution of rate `λ = B·n/m`. The sums
+//! in Eq. 3–5 run to infinity; here they are truncated once the remaining tail
+//! mass is negligible, which keeps evaluation exact to well below the accuracy
+//! of the approximation itself.
+
+/// Probability mass function of the Poisson distribution, `P[X = i]` for rate
+/// `lambda`, computed in log space for numerical stability at large rates.
+#[must_use]
+pub fn poisson_pmf(i: u64, lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return if i == 0 { 1.0 } else { 0.0 };
+    }
+    // ln P = i·ln λ − λ − ln(i!)
+    let ln_p = (i as f64) * lambda.ln() - lambda - ln_factorial(i);
+    ln_p.exp()
+}
+
+/// Natural logarithm of `i!` via Stirling's series (exact table for small `i`).
+#[must_use]
+pub fn ln_factorial(i: u64) -> f64 {
+    const TABLE: [f64; 21] = [
+        0.0,
+        0.0,
+        0.693_147_180_559_945_3,
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_251,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_68,
+        27.899_271_383_840_894,
+        30.671_860_106_080_675,
+        33.505_073_450_136_89,
+        36.395_445_208_033_05,
+        39.339_884_187_199_495,
+        42.335_616_460_753_485,
+    ];
+    let i_usize = i as usize;
+    if i_usize < TABLE.len() {
+        return TABLE[i_usize];
+    }
+    // Stirling's approximation with correction terms; error < 1e-10 for i > 20.
+    let x = i as f64;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x * x)
+}
+
+/// Iterate a function over the Poisson distribution, truncating the infinite
+/// sum once at least `1 - tail_tolerance` of the probability mass has been
+/// consumed *and* the index has passed the mean.
+///
+/// Returns `Σ_i pmf(i, λ) · f(i)` for `i = 0, 1, 2, …`.
+#[must_use]
+pub fn poisson_expectation(lambda: f64, tail_tolerance: f64, mut f: impl FnMut(u64) -> f64) -> f64 {
+    if lambda <= 0.0 {
+        return f(0);
+    }
+    let mut total = 0.0;
+    let mut mass = 0.0;
+    // Hard cap far beyond any realistic block load (λ for a 512-bit block with
+    // 20 bits/key is ~26; with 4 bits/key it is ~128).
+    let cap = ((lambda + 12.0 * lambda.sqrt()) as u64).max(64).min(200_000);
+    for i in 0..=cap {
+        let p = poisson_pmf(i, lambda);
+        mass += p;
+        total += p * f(i);
+        if mass >= 1.0 - tail_tolerance && (i as f64) > lambda {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &lambda in &[0.1, 1.0, 5.0, 25.0, 100.0, 1000.0] {
+            let total: f64 = (0..=(lambda as u64 + 1000)).map(|i| poisson_pmf(i, lambda)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "lambda {lambda}: sum {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_zero_rate_is_point_mass_at_zero() {
+        assert_eq!(poisson_pmf(0, 0.0), 1.0);
+        assert_eq!(poisson_pmf(1, 0.0), 0.0);
+        assert_eq!(poisson_pmf(100, 0.0), 0.0);
+    }
+
+    #[test]
+    fn pmf_matches_direct_formula_for_small_values() {
+        // P[X=i] = e^-λ λ^i / i!
+        let lambda: f64 = 3.5;
+        for i in 0u64..10 {
+            let direct = (-lambda).exp() * lambda.powi(i as i32)
+                / (1..=i).map(|x| x as f64).product::<f64>().max(1.0);
+            assert!((poisson_pmf(i, lambda) - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_factorial_matches_direct_product() {
+        for i in 0u64..=30 {
+            let direct: f64 = (1..=i).map(|x| (x as f64).ln()).sum();
+            assert!(
+                (ln_factorial(i) - direct).abs() < 1e-8,
+                "i={i}: {} vs {}",
+                ln_factorial(i),
+                direct
+            );
+        }
+    }
+
+    #[test]
+    fn expectation_of_identity_is_lambda() {
+        for &lambda in &[0.5, 2.0, 10.0, 60.0] {
+            let mean = poisson_expectation(lambda, 1e-12, |i| i as f64);
+            assert!((mean - lambda).abs() < 1e-6, "lambda {lambda}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn expectation_of_constant_is_constant() {
+        let value = poisson_expectation(7.3, 1e-12, |_| 42.0);
+        assert!((value - 42.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn expectation_with_zero_rate_evaluates_at_zero() {
+        let value = poisson_expectation(0.0, 1e-12, |i| if i == 0 { 1.0 } else { 0.0 });
+        assert_eq!(value, 1.0);
+    }
+}

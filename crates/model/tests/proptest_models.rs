@@ -1,0 +1,113 @@
+//! Property-based tests on the analytical false-positive-rate models.
+
+use pof_model::{
+    f_blocked, f_cache_sectorized, f_cuckoo, f_sectorized, f_std, poisson_pmf,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// All models produce probabilities in [0, 1].
+    #[test]
+    fn models_stay_in_unit_interval(
+        bits_per_key in 2.0f64..40.0,
+        n in 1_000.0f64..10_000_000.0,
+        k in 1u32..=16,
+    ) {
+        let m = bits_per_key * n;
+        for f in [
+            f_std(m, n, k),
+            f_blocked(m, n, k, 32),
+            f_blocked(m, n, k, 64),
+            f_blocked(m, n, k, 512),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&f), "f = {}", f);
+        }
+    }
+
+    /// Classic filter is never worse than any blocked variant at equal (m,n,k).
+    /// (For k = 1 the three coincide up to the Poisson approximation, so the
+    /// property is only asserted for k >= 2.)
+    #[test]
+    fn classic_is_a_lower_bound_for_blocking(
+        bits_per_key in 4.0f64..24.0,
+        k in 2u32..=12,
+    ) {
+        // Exclude pathologically saturated configurations (k far above the
+        // space-optimal value), where the Poisson model's orderings blur.
+        prop_assume!(f64::from(k) <= bits_per_key);
+        let n = 1_000_000.0;
+        let m = bits_per_key * n;
+        let classic = f_std(m, n, k);
+        for b in [32u32, 64, 128, 256, 512] {
+            prop_assert!(f_blocked(m, n, k, b) + 1e-12 >= classic);
+        }
+    }
+
+    /// Smaller blocks never give a lower false-positive rate (for k >= 2;
+    /// at k = 1 all block sizes coincide).
+    #[test]
+    fn f_monotone_in_block_size(bits_per_key in 4.0f64..24.0, k in 2u32..=10) {
+        prop_assume!(f64::from(k) <= bits_per_key);
+        let n = 500_000.0;
+        let m = bits_per_key * n;
+        let mut prev = f_blocked(m, n, k, 32);
+        for b in [64u32, 128, 256, 512] {
+            let f = f_blocked(m, n, k, b);
+            prop_assert!(f <= prev + 1e-12, "b={} f={} prev={}", b, f, prev);
+            prev = f;
+        }
+    }
+
+    /// Blocked f is monotone non-increasing in the filter size m.
+    #[test]
+    fn f_blocked_monotone_in_m(k in 1u32..=10, b_idx in 0usize..3) {
+        let b = [32u32, 64, 512][b_idx];
+        let n = 200_000.0;
+        let mut prev = 1.0;
+        for bits_per_key in [4.0, 6.0, 8.0, 12.0, 16.0, 20.0, 28.0] {
+            let f = f_blocked(bits_per_key * n, n, k, b);
+            prop_assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+    }
+
+    /// Sectorized variants are sandwiched between the blocked filter of the
+    /// same block size (lower bound) and the register-blocked filter of the
+    /// sector size (upper bound, asymptotically).
+    #[test]
+    fn sectorized_bounds(bits_per_key in 6.0f64..24.0) {
+        let n = 300_000.0;
+        let m = bits_per_key * n;
+        let k = 8;
+        let blocked = f_blocked(m, n, k, 512);
+        let sectorized = f_sectorized(m, n, k, 512, 64);
+        let cache = f_cache_sectorized(m, n, k, 512, 64, 2);
+        prop_assert!(sectorized + 1e-12 >= blocked);
+        prop_assert!(cache + 1e-12 >= blocked);
+        // Cache-sectorization spreads bits over the whole cache line and so
+        // beats plain sectorization of the same k and word count (Figure 7).
+        prop_assert!(cache <= f_sectorized(m, n, k, 128, 64) + 1e-9);
+    }
+
+    /// Cuckoo model: probabilities valid and monotone in l.
+    #[test]
+    fn cuckoo_model_sanity(alpha in 0.05f64..0.98, b_idx in 0usize..3) {
+        let b = [1u32, 2, 4][b_idx];
+        let mut prev = 1.0;
+        for l in [4u32, 8, 12, 16, 24] {
+            let f = f_cuckoo(alpha, l, b);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f <= prev + 1e-15);
+            prev = f;
+        }
+    }
+
+    /// Poisson pmf is a valid probability for arbitrary rates.
+    #[test]
+    fn poisson_pmf_valid(lambda in 0.0f64..5_000.0, i in 0u64..10_000) {
+        let p = poisson_pmf(i, lambda);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+    }
+}

@@ -1,0 +1,25 @@
+//! Workload substrates for performance-optimal filtering.
+//!
+//! The paper motivates filters with three database scenarios that span the
+//! throughput spectrum of Figure 1; this crate implements each of them as a
+//! small but real execution substrate so the benefit of filtering is measured
+//! end to end rather than assumed:
+//!
+//! * [`join`] — selective join pushdown (Figure 2): a columnar hash-join
+//!   probe pipeline with an optional filter pushed into the scan
+//!   (high-throughput, `t_w` ≈ a hash-table probe),
+//! * [`semijoin`] — distributed semi-join: a broadcast filter avoids shipping
+//!   non-joining tuples over a simulated interconnect (medium `t_w`),
+//! * [`lsm`] — LSM-tree point lookups: per-run filters avoid simulated disk
+//!   reads (low-throughput, large `t_w`).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod join;
+pub mod lsm;
+pub mod semijoin;
+
+pub use join::{JoinHashTable, JoinResult, JoinWorkload, ProbePipeline};
+pub use lsm::{LsmStats, LsmTree, Run};
+pub use semijoin::{NetworkModel, ProbeNode, SemiJoin, SemiJoinOutcome};

@@ -1,0 +1,221 @@
+//! An LSM-tree-style point-lookup substrate (§1, §7).
+//!
+//! Log-structured merge trees are the paper's canonical *low-throughput*
+//! filter use case: every point lookup must consult several sorted runs, and a
+//! per-run filter avoids a (simulated) disk read for runs that do not contain
+//! the key. The per-miss cost `t_w` here is a configurable synthetic delay,
+//! standing in for an SSD or magnetic-disk read — the substitution DESIGN.md
+//! documents (no real disk is touched, which keeps the experiment laptop-scale
+//! and deterministic while preserving the cost structure).
+
+use pof_core::{AnyFilter, FilterConfig};
+use pof_filter::Filter;
+
+/// One sorted run of an LSM tree level, with an optional per-run filter.
+#[derive(Debug)]
+pub struct Run {
+    keys: Vec<u32>,
+    values: Vec<u64>,
+    filter: Option<AnyFilter>,
+}
+
+impl Run {
+    /// Build a run from key/value pairs (sorted internally).
+    #[must_use]
+    pub fn build(mut pairs: Vec<(u32, u64)>, filter_config: Option<(&FilterConfig, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        pairs.dedup_by_key(|&mut (k, _)| k);
+        let keys: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
+        let values: Vec<u64> = pairs.iter().map(|&(_, v)| v).collect();
+        let filter = filter_config.map(|(config, bits_per_key)| {
+            AnyFilter::build_with_keys(config, &keys, bits_per_key)
+                .expect("run filter construction failed")
+        });
+        Self { keys, values, filter }
+    }
+
+    /// Number of entries in the run.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the run holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Binary-search the run. This is the "expensive" access the filter is
+    /// meant to avoid: the simulated I/O cost is accounted by the tree.
+    #[must_use]
+    pub fn get(&self, key: u32) -> Option<u64> {
+        self.keys
+            .binary_search(&key)
+            .ok()
+            .map(|index| self.values[index])
+    }
+
+    /// Probe the run's filter (true = the run may contain the key).
+    #[must_use]
+    pub fn may_contain(&self, key: u32) -> bool {
+        self.filter.as_ref().map_or(true, |f| f.contains(key))
+    }
+}
+
+/// Statistics of a batch of LSM lookups.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LsmStats {
+    /// Number of lookups issued.
+    pub lookups: u64,
+    /// Number of runs actually searched (each charged the simulated I/O cost).
+    pub run_reads: u64,
+    /// Number of run reads avoided by a negative filter probe.
+    pub run_reads_avoided: u64,
+    /// Number of lookups that found the key.
+    pub hits: u64,
+}
+
+impl LsmStats {
+    /// Total simulated cost in cycles, given a per-run-read cost `t_w` and a
+    /// per-filter-probe cost.
+    #[must_use]
+    pub fn simulated_cost(&self, run_read_cycles: f64, filter_probe_cycles: f64) -> f64 {
+        self.run_reads as f64 * run_read_cycles
+            + (self.run_reads + self.run_reads_avoided) as f64 * filter_probe_cycles
+    }
+}
+
+/// A multi-run LSM tree with optional per-run filters.
+#[derive(Debug, Default)]
+pub struct LsmTree {
+    runs: Vec<Run>,
+}
+
+impl LsmTree {
+    /// Create an empty tree.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a run (newest first: lookups consult runs in insertion order).
+    pub fn add_run(&mut self, run: Run) {
+        self.runs.push(run);
+    }
+
+    /// Number of runs.
+    #[must_use]
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Point lookup across all runs, newest to oldest, updating `stats`.
+    #[must_use]
+    pub fn get(&self, key: u32, stats: &mut LsmStats) -> Option<u64> {
+        stats.lookups += 1;
+        for run in &self.runs {
+            if !run.may_contain(key) {
+                stats.run_reads_avoided += 1;
+                continue;
+            }
+            stats.run_reads += 1;
+            if let Some(value) = run.get(key) {
+                stats.hits += 1;
+                return Some(value);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pof_cuckoo::{CuckooAddressing, CuckooConfig};
+    use pof_filter::KeyGen;
+
+    fn build_tree(filtered: bool, runs: usize, keys_per_run: usize, seed: u64) -> (LsmTree, Vec<u32>) {
+        let config = FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::Magic));
+        let mut gen = KeyGen::new(seed);
+        let mut tree = LsmTree::new();
+        let mut all_keys = Vec::new();
+        for run_id in 0..runs {
+            let keys = gen.distinct_keys(keys_per_run);
+            all_keys.extend_from_slice(&keys);
+            let pairs: Vec<(u32, u64)> = keys.iter().map(|&k| (k, u64::from(k) + run_id as u64)).collect();
+            tree.add_run(Run::build(pairs, filtered.then_some((&config, 20.0))));
+        }
+        (tree, all_keys)
+    }
+
+    #[test]
+    fn lookups_find_inserted_keys_with_and_without_filters() {
+        for filtered in [false, true] {
+            let (tree, keys) = build_tree(filtered, 4, 5_000, 71);
+            assert_eq!(tree.num_runs(), 4);
+            let mut stats = LsmStats::default();
+            for &key in keys.iter().take(2_000) {
+                assert!(tree.get(key, &mut stats).is_some(), "missing key {key}");
+            }
+            assert_eq!(stats.hits, 2_000);
+        }
+    }
+
+    #[test]
+    fn filters_avoid_most_run_reads_for_absent_keys() {
+        let (tree, keys) = build_tree(true, 8, 4_000, 72);
+        let mut gen = KeyGen::new(73);
+        let mut stats = LsmStats::default();
+        let mut probed = 0;
+        for key in gen.keys(20_000) {
+            if keys.contains(&key) {
+                continue;
+            }
+            let _ = tree.get(key, &mut stats);
+            probed += 1;
+        }
+        let total_runs = probed * tree.num_runs() as u64;
+        assert_eq!(stats.run_reads + stats.run_reads_avoided, total_runs);
+        // With a 16-bit-signature Cuckoo filter the false-positive rate is
+        // ~5e-5, so essentially every run read is avoided.
+        assert!(
+            stats.run_reads_avoided as f64 > 0.999 * total_runs as f64,
+            "avoided {} of {}",
+            stats.run_reads_avoided,
+            total_runs
+        );
+    }
+
+    #[test]
+    fn filtered_tree_has_lower_simulated_cost_for_negative_heavy_workloads() {
+        let (filtered_tree, keys) = build_tree(true, 6, 3_000, 74);
+        let (plain_tree, _) = build_tree(false, 6, 3_000, 74);
+        let mut gen = KeyGen::new(75);
+        let probes: Vec<u32> = gen.keys(10_000).into_iter().filter(|k| !keys.contains(k)).collect();
+
+        let mut filtered_stats = LsmStats::default();
+        let mut plain_stats = LsmStats::default();
+        for &key in &probes {
+            let _ = filtered_tree.get(key, &mut filtered_stats);
+            let _ = plain_tree.get(key, &mut plain_stats);
+        }
+        // SSD-read-like cost per run read (~100k cycles), ~10-cycle filter probe.
+        let filtered_cost = filtered_stats.simulated_cost(100_000.0, 10.0);
+        let plain_cost = plain_stats.simulated_cost(100_000.0, 0.0);
+        assert!(
+            filtered_cost < plain_cost / 50.0,
+            "filtered {filtered_cost} vs plain {plain_cost}"
+        );
+    }
+
+    #[test]
+    fn run_deduplicates_and_sorts() {
+        let run = Run::build(vec![(3, 30), (1, 10), (3, 31), (2, 20)], None);
+        assert_eq!(run.len(), 3);
+        assert_eq!(run.get(1), Some(10));
+        assert_eq!(run.get(2), Some(20));
+        assert!(run.get(4).is_none());
+        assert!(run.may_contain(4), "runs without filters may always contain a key");
+    }
+}

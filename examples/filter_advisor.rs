@@ -1,0 +1,51 @@
+//! The performance-optimal filter advisor end to end: calibrate lookup costs
+//! on this machine (measured, not modelled), then sweep the work-saved axis
+//! and show where the recommendation flips from Bloom to Cuckoo — the paper's
+//! Figure 1 boundary, reproduced on the host.
+//!
+//! Run with: `cargo run --release --example filter_advisor`
+
+use pof::prelude::*;
+
+fn main() {
+    let n: u64 = 1 << 20;
+    let sigma = 0.1;
+
+    // One-time calibration of a reduced configuration space on this host.
+    let space = ConfigSpace::default();
+    println!("calibrating {} filter configurations (measured lookups)…", space.all_configs().len());
+    let calibrator = Calibrator {
+        probe_count: 16 * 1024,
+        repetitions: 2,
+        bits_per_key: 12.0,
+    };
+    let calibration = calibrator.calibrate(&space.all_configs(), &[1 << 20, 1 << 24, 1 << 27]);
+    println!("estimated CPU frequency: {:.2} GHz", calibration.cpu_ghz);
+
+    let advisor = FilterAdvisor::new(space, calibration);
+    println!("\nworkload: n = 2^20 keys, sigma = {sigma}");
+    println!(
+        "{:>16} {:<14} {:<44} {:>9} {:>12}",
+        "work saved (cyc)", "type", "configuration", "bits/key", "rho (cyc)"
+    );
+    let mut previous_kind: Option<FilterKind> = None;
+    for exponent in [4u32, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24] {
+        let work_saved = f64::from(1u32 << exponent);
+        let rec = advisor.recommend(&WorkloadSpec { n, work_saved_cycles: work_saved, sigma });
+        let marker = match previous_kind {
+            Some(prev) if prev != rec.config.kind() => "  <-- crossover",
+            _ => "",
+        };
+        println!(
+            "{work_saved:>16.0} {:<14} {:<44} {:>9.0} {:>12.1}{marker}",
+            rec.config.kind().to_string(),
+            rec.config.label(),
+            rec.bits_per_key,
+            rec.rho_cycles
+        );
+        previous_kind = Some(rec.config.kind());
+    }
+
+    println!("\nAs in the paper: cheap lookups (blocked Bloom) win while the work saved per");
+    println!("filtered tuple is small; precision (Cuckoo) wins once each false positive is costly.");
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build the paper's two headline filters, compare their measured
+//! false-positive rate against the analytical models, and let the advisor pick
+//! the performance-optimal configuration for a workload.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pof::prelude::*;
+
+fn main() {
+    // --- 1. Build a cache-sectorized Bloom filter and a Cuckoo filter. -----
+    let mut gen = KeyGen::new(42);
+    let keys = gen.distinct_keys(1_000_000);
+
+    let bloom_config = BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic);
+    let mut bloom = BlockedBloom::with_bits_per_key(bloom_config, keys.len(), 16.0);
+    let mut cuckoo = CuckooFilter::for_keys(CuckooConfig::representative(), keys.len());
+    for &key in &keys {
+        bloom.insert(key);
+        cuckoo.insert(key);
+    }
+
+    println!("filter                          size        modeled f   measured f");
+    for (name, filter) in [("cache-sectorized Bloom", &bloom as &dyn Filter), ("Cuckoo (l=16,b=2)", &cuckoo)] {
+        let measured = pof::filter::measured_fpr(filter, &keys, 2_000_000, 7).fpr;
+        let modeled = match name {
+            "cache-sectorized Bloom" => bloom.modeled_fpr(),
+            _ => cuckoo.modeled_fpr(),
+        };
+        println!(
+            "{name:<30}  {:>6.1} MiB   {modeled:.2e}   {measured:.2e}",
+            filter.size_bits() as f64 / 8.0 / 1024.0 / 1024.0
+        );
+    }
+
+    // --- 2. Batched lookups produce selection vectors. ---------------------
+    let probes = gen.keys(100_000);
+    let mut sel = SelectionVector::with_capacity(probes.len());
+    bloom.contains_batch(&probes, &mut sel);
+    println!(
+        "\nbatched probe of {} random keys: {} qualify ({:.3}%), kernel = {}",
+        probes.len(),
+        sel.len(),
+        100.0 * sel.selectivity(probes.len()),
+        bloom.kernel_name()
+    );
+
+    // --- 3. Ask the advisor which filter is performance-optimal. -----------
+    let advisor = FilterAdvisor::with_synthetic_calibration(ConfigSpace::default());
+    println!("\nadvisor recommendations (n = 1M keys, sigma = 0.1):");
+    println!("{:<18} {:<42} {:>10} {:>9}", "work saved (cyc)", "recommended configuration", "bits/key", "speedup");
+    for work_saved in [50.0, 500.0, 50_000.0, 5_000_000.0] {
+        let rec = advisor.recommend(&WorkloadSpec {
+            n: keys.len() as u64,
+            work_saved_cycles: work_saved,
+            sigma: 0.1,
+        });
+        println!(
+            "{work_saved:<18} {:<42} {:>10.0} {:>8.1}x",
+            rec.config.label(),
+            rec.bits_per_key,
+            rec.predicted_speedup
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! # Performance-optimal filtering
+//!
+//! A Rust reproduction of *“Performance-Optimal Filtering: Bloom Overtakes
+//! Cuckoo at High Throughput”* (Lang, Neumann, Kemper, Boncz — PVLDB 12(5),
+//! 2019).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`bloom`] — classic, blocked, register-blocked, sectorized and
+//!   cache-sectorized Bloom filters with AVX2 batch lookups,
+//! * [`cuckoo`] — Cuckoo filters with partial-key cuckoo hashing and SIMD
+//!   lookups for 32-bit buckets,
+//! * [`model`] — analytical false-positive-rate models (Eq. 2–5 and 8),
+//! * [`hash`] — multiplicative hashing and magic-modulo addressing,
+//! * [`filter`] — the unified `Filter` trait, selection vectors and workload
+//!   generators,
+//! * [`core`] — the performance-optimal filtering framework: overhead model,
+//!   configuration space, calibration, skylines and the [`FilterAdvisor`],
+//! * [`workloads`] — join-pushdown, LSM and distributed semi-join substrates.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pof::prelude::*;
+//!
+//! // Describe the workload: 1M build keys, a probe pipeline that spends
+//! // ~200 cycles per tuple after the scan, and a 10% join hit rate.
+//! let advisor = FilterAdvisor::with_synthetic_calibration(ConfigSpace::default());
+//! let workload = WorkloadSpec { n: 1 << 20, work_saved_cycles: 200.0, sigma: 0.1 };
+//! let recommendation = advisor.recommend(&workload);
+//! assert!(recommendation.use_filter);
+//! println!("use {} at {} bits/key", recommendation.config.label(), recommendation.bits_per_key);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use pof_bloom as bloom;
+pub use pof_core as core;
+pub use pof_cuckoo as cuckoo;
+pub use pof_filter as filter;
+pub use pof_hash as hash;
+pub use pof_model as model;
+pub use pof_workloads as workloads;
+
+/// Commonly used items, re-exported for `use pof::prelude::*`.
+pub mod prelude {
+    pub use pof_bloom::{Addressing, BlockedBloom, BloomConfig, BloomVariant, ClassicBloom};
+    pub use pof_core::{
+        AnyFilter, CalibrationSet, Calibrator, ConfigSpace, FilterAdvisor, FilterConfig, Overhead,
+        Platform, Recommendation, Skyline, SkylineGrid, WorkloadSpec,
+    };
+    pub use pof_cuckoo::{CuckooAddressing, CuckooConfig, CuckooFilter};
+    pub use pof_filter::{Filter, FilterKind, KeyGen, SelectionVector, Workload};
+    pub use pof_workloads::{JoinHashTable, JoinWorkload, LsmTree, ProbePipeline, SemiJoin};
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration tests exercising the public `pof` API end to end:
+//! advisor → filter construction → workload execution, plus cross-validation
+//! of the analytical models against every filter implementation.
+
+use pof::prelude::*;
+
+/// The full pipeline the paper motivates: observe a selective join, ask the
+/// advisor for the performance-optimal filter, push it into the probe
+/// pipeline, and verify the join result is unchanged while most non-joining
+/// tuples are eliminated.
+#[test]
+fn advisor_driven_join_pushdown_end_to_end() {
+    let workload = JoinWorkload::generate(101, 50_000, 200_000, 0.1);
+    let hash_table = JoinHashTable::build(&workload.dimension_keys);
+    let pipeline = ProbePipeline::new(&workload, &hash_table);
+    let unfiltered = pipeline.run_unfiltered();
+
+    let advisor = FilterAdvisor::with_synthetic_calibration(ConfigSpace::default());
+    let spec = WorkloadSpec {
+        n: workload.dimension_keys.len() as u64,
+        work_saved_cycles: 300.0,
+        sigma: workload.sigma,
+    };
+    let recommendation = advisor.recommend(&spec);
+    assert!(recommendation.use_filter);
+    assert_eq!(recommendation.config.kind(), FilterKind::Bloom, "high-throughput joins pick Bloom");
+
+    let filter = advisor
+        .build_filter(&spec, &workload.dimension_keys)
+        .expect("advisor should build a filter");
+    let filtered = pipeline.run_with_filter(&filter);
+
+    assert_eq!(filtered.matches, unfiltered.matches);
+    assert_eq!(filtered.aggregate, unfiltered.aggregate);
+    // ~90% of tuples do not join; the filter should eliminate the bulk of them.
+    assert!(filtered.filtered_out as f64 > 0.8 * 0.9 * workload.fact_keys.len() as f64);
+    assert!(filtered.hash_probes < unfiltered.hash_probes / 3);
+}
+
+/// At the other end of Figure 1 (expensive misses), the advisor flips to a
+/// Cuckoo filter, and that filter indeed has the lower false-positive rate.
+#[test]
+fn advisor_flips_to_cuckoo_for_expensive_misses() {
+    let advisor = FilterAdvisor::with_synthetic_calibration(ConfigSpace::default());
+    let n = 1u64 << 18;
+    let cheap = advisor.recommend(&WorkloadSpec { n, work_saved_cycles: 64.0, sigma: 0.2 });
+    let expensive = advisor.recommend(&WorkloadSpec { n, work_saved_cycles: 20_000_000.0, sigma: 0.2 });
+    assert_eq!(cheap.config.kind(), FilterKind::Bloom);
+    assert_eq!(expensive.config.kind(), FilterKind::Cuckoo);
+    assert!(expensive.fpr < cheap.fpr);
+    assert!(expensive.lookup_cycles >= cheap.lookup_cycles * 0.9);
+}
+
+/// Every filter type reachable through the public API honours the
+/// no-false-negative contract and roughly matches its analytical model.
+#[test]
+fn models_match_measurements_across_the_public_api() {
+    let mut gen = KeyGen::new(103);
+    let keys = gen.distinct_keys(40_000);
+    let configs = vec![
+        FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo)),
+        FilterConfig::Bloom(BloomConfig::sectorized(512, 64, 8, Addressing::Magic)),
+        FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic)),
+        FilterConfig::ClassicBloom { k: 7 },
+        FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::Magic)),
+        FilterConfig::Cuckoo(CuckooConfig::new(8, 4, CuckooAddressing::PowerOfTwo)),
+    ];
+    for config in configs {
+        let filter = AnyFilter::build_with_keys(&config, &keys, 20.0)
+            .unwrap_or_else(|| panic!("construction failed for {}", config.label()));
+        for &key in keys.iter().step_by(7) {
+            assert!(filter.contains(key), "false negative in {}", config.label());
+        }
+        let measured = pof::filter::measured_fpr(&filter, &keys, 300_000, 5).fpr;
+        let modeled = filter.modeled_fpr();
+        assert!(
+            pof::filter::stats::fpr_matches_model(measured, modeled, 0.5, 5e-4),
+            "{}: measured {measured}, modeled {modeled}",
+            config.label()
+        );
+    }
+}
+
+/// The distributed semi-join substrate ships fewer bytes with a broadcast
+/// filter while producing the identical join result.
+#[test]
+fn semijoin_broadcast_filter_reduces_network_volume() {
+    let mut gen = KeyGen::new(104);
+    let build_keys = gen.distinct_keys(20_000);
+    let nodes: Vec<pof::workloads::ProbeNode> = (0..4)
+        .map(|_| pof::workloads::ProbeNode {
+            keys: gen.probes_with_selectivity(&build_keys, 30_000, 0.1),
+        })
+        .collect();
+    let semijoin = SemiJoin::new(build_keys, nodes, pof::workloads::NetworkModel::default());
+    let without = semijoin.run_without_filter();
+    let config = FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic));
+    let with = semijoin.run_with_filter(&config, 16.0);
+    assert_eq!(without.matches, with.matches);
+    // ~90 % of the tuples are withheld; the broadcast of the filter itself
+    // (16 bits/key × 20k keys to each of the four nodes) eats part of that
+    // saving, leaving roughly a 3–4x reduction in bytes on the wire.
+    assert!(
+        with.bytes_shipped < without.bytes_shipped / 3,
+        "with {} vs without {}",
+        with.bytes_shipped,
+        without.bytes_shipped
+    );
+    assert!(with.tuples_shipped < without.tuples_shipped / 5);
+}
+
+/// Calibration + skyline on a tiny measured configuration set still produces
+/// the paper's qualitative shape (Bloom on the left, Cuckoo on the right).
+#[test]
+fn measured_skyline_has_the_papers_shape() {
+    let configs = vec![
+        FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo)),
+        FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic)),
+        FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+        FilterConfig::Cuckoo(CuckooConfig::new(8, 4, CuckooAddressing::PowerOfTwo)),
+    ];
+    let calibrator = Calibrator {
+        probe_count: 8 * 1024,
+        repetitions: 1,
+        bits_per_key: 12.0,
+    };
+    let calibration = calibrator.calibrate(&configs, &[1 << 18, 1 << 24]);
+
+    // Evaluate rho by hand at a mid-sized n for a very small and a very large tw.
+    let n = 1u64 << 18;
+    let best_kind = |tw: f64| -> FilterKind {
+        let mut best: Option<(FilterKind, f64)> = None;
+        for config in &configs {
+            for bits_per_key in [10.0, 16.0, 20.0] {
+                let Some(fpr) = config.modeled_fpr(n as f64, bits_per_key) else { continue };
+                let Some(lookup) = calibration.lookup_cycles(&config.label(), bits_per_key * n as f64)
+                else {
+                    continue;
+                };
+                let rho = lookup + fpr * tw;
+                if best.map_or(true, |(_, r)| rho < r) {
+                    best = Some((config.kind(), rho));
+                }
+            }
+        }
+        best.unwrap().0
+    };
+    assert_eq!(best_kind(16.0), FilterKind::Bloom, "tiny t_w must favour Bloom");
+    assert_eq!(best_kind(1e8), FilterKind::Cuckoo, "huge t_w must favour Cuckoo");
+}
+
+/// Selection vectors coming out of batched lookups reference valid positions
+/// and preserve batch order, across filter types.
+#[test]
+fn selection_vectors_are_ordered_and_in_range() {
+    let mut gen = KeyGen::new(105);
+    let keys = gen.distinct_keys(10_000);
+    let probes = gen.keys(50_000);
+    for config in [
+        FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::Magic)),
+        FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+    ] {
+        let filter = AnyFilter::build_with_keys(&config, &keys, 20.0).unwrap();
+        let mut sel = SelectionVector::new();
+        filter.contains_batch(&probes, &mut sel);
+        let positions = sel.as_slice();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]), "positions must be strictly increasing");
+        assert!(positions.iter().all(|&p| (p as usize) < probes.len()));
+    }
+}
