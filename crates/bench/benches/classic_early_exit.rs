@@ -29,8 +29,14 @@ fn bench_classic_early_exit(c: &mut Criterion) {
     let positive_probes: Vec<u32> = keys.iter().take(16 * 1024).copied().collect();
     let negative_probes = gen.keys(16 * 1024);
 
-    for (filter_name, filter) in [("classic(k=8)", &classic as &dyn Filter), ("cache-sectorized(k=8)", &blocked)] {
-        for (probe_name, probes) in [("positive", &positive_probes), ("negative", &negative_probes)] {
+    for (filter_name, filter) in [
+        ("classic(k=8)", &classic as &dyn Filter),
+        ("cache-sectorized(k=8)", &blocked),
+    ] {
+        for (probe_name, probes) in [
+            ("positive", &positive_probes),
+            ("negative", &negative_probes),
+        ] {
             group.throughput(Throughput::Elements(probes.len() as u64));
             group.bench_with_input(
                 BenchmarkId::new(filter_name, probe_name),

@@ -27,7 +27,13 @@ fn bench_lookup_scaling(c: &mut Criterion) {
         ),
         (
             "cache-sectorized(B=512,k=8,z=2)",
-            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo)),
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::PowerOfTwo,
+            )),
         ),
         (
             "cuckoo(l=16,b=2)",
@@ -45,14 +51,18 @@ fn bench_lookup_scaling(c: &mut Criterion) {
         for (name, config) in &configs {
             let (filter, probes) = build(config, kib * 8 * 1024);
             group.throughput(Throughput::Elements(probes.len() as u64));
-            group.bench_with_input(BenchmarkId::new(*name, format!("{kib}KiB")), &probes, |b, probes| {
-                let mut sel = SelectionVector::with_capacity(probes.len());
-                b.iter(|| {
-                    sel.clear();
-                    filter.contains_batch(probes, &mut sel);
-                    sel.len()
-                });
-            });
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("{kib}KiB")),
+                &probes,
+                |b, probes| {
+                    let mut sel = SelectionVector::with_capacity(probes.len());
+                    b.iter(|| {
+                        sel.clear();
+                        filter.contains_batch(probes, &mut sel);
+                        sel.len()
+                    });
+                },
+            );
         }
     }
     group.finish();

@@ -24,11 +24,23 @@ fn bench_magic_modulo(c: &mut Criterion) {
     let configs: Vec<(&str, FilterConfig)> = vec![
         (
             "bloom/pow2",
-            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo)),
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::PowerOfTwo,
+            )),
         ),
         (
             "bloom/magic",
-            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic)),
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::Magic,
+            )),
         ),
         (
             "cuckoo/pow2",

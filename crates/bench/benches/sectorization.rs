@@ -19,7 +19,10 @@ fn bench_sectorization(c: &mut Criterion) {
         for words_per_block in [1u32, 4, 16] {
             let block_bits = words_per_block * 32;
             let configs = [
-                ("blocked", BloomConfig::blocked(block_bits, 16, Addressing::PowerOfTwo)),
+                (
+                    "blocked",
+                    BloomConfig::blocked(block_bits, 16, Addressing::PowerOfTwo),
+                ),
                 (
                     "sectorized",
                     if words_per_block == 1 {
@@ -38,7 +41,10 @@ fn bench_sectorization(c: &mut Criterion) {
                 }
                 group.throughput(Throughput::Elements(probes.len() as u64));
                 group.bench_with_input(
-                    BenchmarkId::new(format!("{variant}/{size_label}"), format!("{words_per_block}w")),
+                    BenchmarkId::new(
+                        format!("{variant}/{size_label}"),
+                        format!("{words_per_block}w"),
+                    ),
                     &probes,
                     |b, probes| {
                         let mut sel = SelectionVector::with_capacity(probes.len());

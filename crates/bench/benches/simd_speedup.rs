@@ -29,11 +29,23 @@ fn bench_simd_speedup(c: &mut Criterion) {
         ),
         (
             "cache-sectorized(B=512,k=8,z=2)/pow2",
-            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo)),
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::PowerOfTwo,
+            )),
         ),
         (
             "cache-sectorized(B=512,k=8,z=2)/magic",
-            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic)),
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::Magic,
+            )),
         ),
     ];
     let mut group = c.benchmark_group("fig15_simd_speedup");

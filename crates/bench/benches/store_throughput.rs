@@ -1,0 +1,109 @@
+//! Multi-threaded lookup throughput of the sharded filter store: shard count
+//! x thread count x filter family.
+//!
+//! The serving-layer claim behind `pof-store`: batched lookups against
+//! snapshot-isolated shards scale with reader threads (lookups are wait-free
+//! against writers and share no mutable state), so aggregate throughput at T
+//! threads approaches T times the single-thread rate on hosts with T cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pof_bloom::{Addressing, BloomConfig};
+use pof_core::FilterConfig;
+use pof_cuckoo::{CuckooAddressing, CuckooConfig};
+use pof_filter::{KeyGen, SelectionVector};
+use pof_store::{ShardedFilterStore, StoreBuilder};
+use std::sync::Arc;
+use std::time::Duration;
+
+const KEYS: usize = 1 << 18;
+const PROBES_PER_THREAD: usize = 64 * 1024;
+const BATCH: usize = 4 * 1024;
+
+fn build_store(config: FilterConfig, shards: usize) -> Arc<ShardedFilterStore> {
+    let store = StoreBuilder::new()
+        .shards(shards)
+        .expected_keys(KEYS)
+        .bits_per_key(12.0)
+        .config(config)
+        .build();
+    let mut gen = KeyGen::new(0x5707E);
+    store.insert_batch(&gen.distinct_keys(KEYS));
+    Arc::new(store)
+}
+
+/// Run `threads` reader threads, each probing its own key stream in batches
+/// against the shared store, and return only when all are done.
+fn probe_from_threads(store: &Arc<ShardedFilterStore>, threads: usize) -> u64 {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let store = Arc::clone(store);
+                scope.spawn(move || {
+                    let mut gen = KeyGen::new(0xBEEF ^ t as u64);
+                    let probes = gen.keys(PROBES_PER_THREAD);
+                    let mut sel = SelectionVector::with_capacity(BATCH);
+                    let mut qualifying = 0u64;
+                    for batch in probes.chunks(BATCH) {
+                        sel.clear();
+                        store.contains_batch(batch, &mut sel);
+                        qualifying += sel.len() as u64;
+                    }
+                    qualifying
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+fn bench_store_throughput(c: &mut Criterion) {
+    let families: Vec<(&str, FilterConfig)> = vec![
+        (
+            "bloom-cs512",
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::Magic,
+            )),
+        ),
+        (
+            "cuckoo-l16b2",
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+        ),
+    ];
+    let max_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut group = c.benchmark_group("store_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for (family, config) in &families {
+        for shards in [1usize, 4, 16] {
+            let store = build_store(*config, shards);
+            for threads in [1usize, 2, 4] {
+                if threads > max_threads {
+                    // Oversubscribed threads only measure scheduler noise.
+                    eprintln!(
+                        "store_throughput: skipping {family}/P={shards}/T={threads} \
+                         (host has {max_threads} hardware threads)"
+                    );
+                    continue;
+                }
+                group.throughput(Throughput::Elements((threads * PROBES_PER_THREAD) as u64));
+                group.bench_with_input(
+                    BenchmarkId::new(*family, format!("P{shards}xT{threads}")),
+                    &store,
+                    |b, store| {
+                        b.iter(|| probe_from_threads(store, threads));
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_throughput);
+criterion_main!(benches);

@@ -7,9 +7,7 @@
 use crate::measure::{cpu_ghz, measure_lookup_cycles, MeasureOptions};
 use pof_bloom::{Addressing, BloomConfig};
 use pof_core::skyline::{default_cache_cost_model, synthetic_calibration};
-use pof_core::{
-    Calibrator, ConfigSpace, FilterConfig, Platform, Skyline, SkylineGrid,
-};
+use pof_core::{Calibrator, ConfigSpace, FilterConfig, Platform, Skyline, SkylineGrid};
 use pof_cuckoo::{CuckooAddressing, CuckooConfig};
 use pof_filter::FilterKind;
 
@@ -51,7 +49,13 @@ fn representative_configs() -> Vec<(&'static str, FilterConfig)> {
         ),
         (
             "cache-sectorized Bloom (B=512,k=8,z=2)",
-            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo)),
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::PowerOfTwo,
+            )),
         ),
         (
             "Cuckoo (b=2,l=16)",
@@ -78,14 +82,25 @@ pub fn fig3() {
     let tw = 1000.0;
     let space = ConfigSpace::default();
     let calibration = synthetic_calibration(&space, &default_cache_cost_model());
-    let config = FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic));
+    let config = FilterConfig::Bloom(BloomConfig::cache_sectorized(
+        512,
+        64,
+        2,
+        8,
+        Addressing::Magic,
+    ));
     for bpk_times4 in 8..=120u32 {
         let bits_per_key = f64::from(bpk_times4) / 4.0;
-        let Some(fpr) = config.modeled_fpr(n as f64, bits_per_key) else { continue };
+        let Some(fpr) = config.modeled_fpr(n as f64, bits_per_key) else {
+            continue;
+        };
         let lookup = calibration
             .lookup_cycles(&config.label(), bits_per_key * n as f64)
             .unwrap_or(f64::NAN);
-        println!("{bits_per_key:.2}\t{fpr:.6e}\t{lookup:.2}\t{:.2}", lookup + fpr * tw);
+        println!(
+            "{bits_per_key:.2}\t{fpr:.6e}\t{lookup:.2}\t{:.2}",
+            lookup + fpr * tw
+        );
     }
 }
 
@@ -123,16 +138,27 @@ pub fn fig5(options: &HarnessOptions) {
     let ghz = cpu_ghz();
     let mopts = measure_options(options.quick);
     let dram_bits: u64 = if options.quick { 64 << 23 } else { 256 << 23 };
-    println!("# Figure 5: lookups/sec, blocked (one sector) vs sectorized (word-sized sectors), k=16");
+    println!(
+        "# Figure 5: lookups/sec, blocked (one sector) vs sectorized (word-sized sectors), k=16"
+    );
     println!("words_per_block\tfilter\tblocked_Mlookups\tsectorized_Mlookups");
     for (label, bits) in [("cache(16KiB)", 16u64 << 13), ("dram", dram_bits)] {
         for words in [1u32, 2, 4, 8, 16] {
             let block_bits = words * 32;
-            let blocked = FilterConfig::Bloom(BloomConfig::blocked(block_bits.max(32), 16, Addressing::PowerOfTwo));
+            let blocked = FilterConfig::Bloom(BloomConfig::blocked(
+                block_bits.max(32),
+                16,
+                Addressing::PowerOfTwo,
+            ));
             let sectorized = if words == 1 {
                 blocked
             } else {
-                FilterConfig::Bloom(BloomConfig::sectorized(block_bits, 32, 16, Addressing::PowerOfTwo))
+                FilterConfig::Bloom(BloomConfig::sectorized(
+                    block_bits,
+                    32,
+                    16,
+                    Addressing::PowerOfTwo,
+                ))
             };
             let (_, blocked_ns, _) = measure_lookup_cycles(&blocked, bits, ghz, &mopts);
             let (_, sectorized_ns, _) = measure_lookup_cycles(&sectorized, bits, ghz, &mopts);
@@ -204,11 +230,23 @@ pub fn fig9(options: &HarnessOptions) {
     let mut mib = 4.0f64;
     while mib <= max_mib as f64 {
         let bits = (mib * 8.0 * 1024.0 * 1024.0) as u64;
-        let magic = FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic));
+        let magic = FilterConfig::Bloom(BloomConfig::cache_sectorized(
+            512,
+            64,
+            2,
+            8,
+            Addressing::Magic,
+        ));
         let (magic_cycles, _, _) = measure_lookup_cycles(&magic, bits, ghz, &mopts);
         println!("{mib:.1}\tmagic\t{magic_cycles:.1}");
         if (mib.log2().fract()).abs() < 1e-9 {
-            let pow2 = FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo));
+            let pow2 = FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::PowerOfTwo,
+            ));
             let (pow2_cycles, _, _) = measure_lookup_cycles(&pow2, bits, ghz, &mopts);
             println!("{mib:.1}\tpow2\t{pow2_cycles:.1}");
         }
@@ -232,12 +270,18 @@ pub fn fig10_11(options: &HarnessOptions) {
         synthetic_calibration(&space, &default_cache_cost_model())
     };
     let skyline = Skyline::new(space, &calibration);
-    let grid = if options.quick { SkylineGrid::quick() } else { SkylineGrid::paper() };
+    let grid = if options.quick {
+        SkylineGrid::quick()
+    } else {
+        SkylineGrid::paper()
+    };
     let points = skyline.compute(&grid);
     println!("# Figures 1/10: performance-optimal filter type per (n, tw)");
     println!("# Figure 11a: speedup of the winner over the other type's best configuration");
     println!("# Figure 11b: false-positive rate of the winner");
-    println!("n\ttw_cycles\tbest_type\tbest_config\tbits_per_key\trho_cycles\tspeedup_vs_other\tfpr");
+    println!(
+        "n\ttw_cycles\tbest_type\tbest_config\tbits_per_key\trho_cycles\tspeedup_vs_other\tfpr"
+    );
     for p in &points {
         println!(
             "{}\t{:.0}\t{}\t{}\t{:.0}\t{:.2}\t{:.2}\t{:.2e}",
@@ -267,13 +311,19 @@ pub fn fig10_11(options: &HarnessOptions) {
 /// Figure 12 — configuration skylines of the best-performing Bloom filters
 /// (variant, block size, sector count, z, k, modulo, size class).
 pub fn fig12(options: &HarnessOptions) {
-    let mut space = ConfigSpace::default();
-    space.quick = options.quick;
+    let space = ConfigSpace {
+        quick: options.quick,
+        ..ConfigSpace::default()
+    };
     // Bloom-only skyline: strip Cuckoo candidates by computing the skyline and
     // reporting the winning Bloom configuration's parameters.
     let calibration = synthetic_calibration(&space, &default_cache_cost_model());
     let skyline = Skyline::new(space, &calibration);
-    let grid = if options.quick { SkylineGrid::quick() } else { SkylineGrid::paper() };
+    let grid = if options.quick {
+        SkylineGrid::quick()
+    } else {
+        SkylineGrid::paper()
+    };
     println!("# Figure 12: best Bloom configuration per (n, tw)");
     println!("n\ttw_cycles\tvariant\tblock_bytes\tsectors\tz\tk\tmodulo\tfilter_MiB");
     for &n in &grid.n_values {
@@ -282,7 +332,7 @@ pub fn fig12(options: &HarnessOptions) {
             for config in space.bloom_configs() {
                 let fc = FilterConfig::Bloom(config);
                 if let Some((bpk, rho, _, _)) = skyline.best_operating_point(&fc, n, tw) {
-                    if best.map_or(true, |(_, _, r)| rho < r) {
+                    if best.is_none_or(|(_, _, r)| rho < r) {
                         best = Some((config, bpk, rho));
                     }
                 }
@@ -295,7 +345,11 @@ pub fn fig12(options: &HarnessOptions) {
                     config.sectors(),
                     config.groups,
                     config.k,
-                    if config.addressing == Addressing::Magic { "magic" } else { "pow2" },
+                    if config.addressing == Addressing::Magic {
+                        "magic"
+                    } else {
+                        "pow2"
+                    },
                     bpk * n as f64 / 8.0 / 1024.0 / 1024.0,
                 );
             }
@@ -306,11 +360,17 @@ pub fn fig12(options: &HarnessOptions) {
 /// Figure 13 — configuration skylines of the best-performing Cuckoo filters
 /// (signature length, bucket size, modulo, size class).
 pub fn fig13(options: &HarnessOptions) {
-    let mut space = ConfigSpace::default();
-    space.quick = options.quick;
+    let space = ConfigSpace {
+        quick: options.quick,
+        ..ConfigSpace::default()
+    };
     let calibration = synthetic_calibration(&space, &default_cache_cost_model());
     let skyline = Skyline::new(space, &calibration);
-    let grid = if options.quick { SkylineGrid::quick() } else { SkylineGrid::paper() };
+    let grid = if options.quick {
+        SkylineGrid::quick()
+    } else {
+        SkylineGrid::paper()
+    };
     println!("# Figure 13: best Cuckoo configuration per (n, tw)");
     println!("n\ttw_cycles\tsignature_bits\tbucket_size\tmodulo\tfilter_MiB");
     for &n in &grid.n_values {
@@ -319,7 +379,7 @@ pub fn fig13(options: &HarnessOptions) {
             for config in space.cuckoo_configs() {
                 let fc = FilterConfig::Cuckoo(config);
                 if let Some((bpk, rho, _, _)) = skyline.best_operating_point(&fc, n, tw) {
-                    if best.map_or(true, |(_, _, r)| rho < r) {
+                    if best.is_none_or(|(_, _, r)| rho < r) {
                         best = Some((config, bpk, rho));
                     }
                 }
@@ -329,7 +389,11 @@ pub fn fig13(options: &HarnessOptions) {
                     "{n}\t{tw:.0}\t{}\t{}\t{}\t{:.2}",
                     config.signature_bits,
                     config.bucket_size,
-                    if config.addressing == CuckooAddressing::Magic { "magic" } else { "pow2" },
+                    if config.addressing == CuckooAddressing::Magic {
+                        "magic"
+                    } else {
+                        "pow2"
+                    },
                     bpk * n as f64 / 8.0 / 1024.0 / 1024.0,
                 );
             }
@@ -344,7 +408,11 @@ pub fn fig14(options: &HarnessOptions) {
     let mopts = measure_options(options.quick);
     println!("# Figure 14: cycles per lookup vs filter size");
     println!("filter_KiB\tfilter\tcycles_per_lookup\tkernel");
-    let max_kib = if options.quick { 128 * 1024u64 } else { 512 * 1024 };
+    let max_kib = if options.quick {
+        128 * 1024u64
+    } else {
+        512 * 1024
+    };
     let mut kib = 8u64;
     while kib <= max_kib {
         for (name, config) in representative_configs() {
@@ -360,7 +428,10 @@ pub fn fig14(options: &HarnessOptions) {
 pub fn fig15(options: &HarnessOptions) {
     let ghz = cpu_ghz();
     let mopts = measure_options(options.quick);
-    let scalar_opts = MeasureOptions { force_scalar: true, ..mopts };
+    let scalar_opts = MeasureOptions {
+        force_scalar: true,
+        ..mopts
+    };
     println!("# Figure 15: SIMD vs scalar, L1-resident filters");
     println!("filter\taddressing\tscalar_cycles\tsimd_cycles\tspeedup\tsimd_kernel");
     let bits = 16u64 << 13; // 16 KiB
@@ -388,12 +459,24 @@ pub fn fig15(options: &HarnessOptions) {
         (
             "cache-sectorized Bloom (B=512,k=8,z=2)",
             "pow2",
-            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo)),
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::PowerOfTwo,
+            )),
         ),
         (
             "cache-sectorized Bloom (B=512,k=8,z=2)",
             "magic",
-            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic)),
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::Magic,
+            )),
         ),
     ];
     for (name, addressing, config) in variants {

@@ -80,7 +80,8 @@ mod tests {
 
     #[test]
     fn measurement_is_positive_and_scalar_forcing_works() {
-        let config = FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo));
+        let config =
+            FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo));
         let options = MeasureOptions {
             probe_count: 4096,
             repetitions: 1,
@@ -91,7 +92,10 @@ mod tests {
         if std::arch::is_x86_feature_detected!("avx2") {
             assert_eq!(kernel, "avx2-register32");
         }
-        let scalar_options = MeasureOptions { force_scalar: true, ..options };
+        let scalar_options = MeasureOptions {
+            force_scalar: true,
+            ..options
+        };
         let (_, _, kernel) = measure_lookup_cycles(&config, 1 << 17, 3.0, &scalar_options);
         assert_eq!(kernel, "scalar");
     }

@@ -81,7 +81,9 @@ impl BlockedBloom {
     /// Create a filter sized for `n` keys at a bits-per-key budget.
     #[must_use]
     pub fn with_bits_per_key(config: BloomConfig, n: usize, bits_per_key: f64) -> Self {
-        let m_bits = ((n as f64) * bits_per_key).ceil().max(f64::from(config.block_bits)) as u64;
+        let m_bits = ((n as f64) * bits_per_key)
+            .ceil()
+            .max(f64::from(config.block_bits)) as u64;
         Self::new(config, m_bits)
     }
 
@@ -165,10 +167,10 @@ impl BlockedBloom {
                 // Listing 1: per bit, pick a 32-bit word within the block and
                 // a bit within that word (random access pattern).
                 let words_per_block = cfg.block_bits / 32;
-                for i in 0..cfg.k as usize {
+                for slot in out.iter_mut().take(cfg.k as usize) {
                     let word = next_bits(&mut state, words_per_block.trailing_zeros());
                     let bit = next_bits(&mut state, 5);
-                    out[i] = (block_start + u64::from(word) * 32, 1u64 << bit);
+                    *slot = (block_start + u64::from(word) * 32, 1u64 << bit);
                 }
                 cfg.k as usize
             }
@@ -177,16 +179,13 @@ impl BlockedBloom {
                 let sectors = cfg.sectors();
                 let per_sector = cfg.k / sectors;
                 let sector_bits = cfg.sector_bits;
-                for sector in 0..sectors as usize {
+                for (sector, slot) in out.iter_mut().enumerate().take(sectors as usize) {
                     let mut mask = 0u64;
                     for _ in 0..per_sector {
                         let bit = next_bits(&mut state, sector_bits.trailing_zeros());
                         mask |= 1u64 << bit;
                     }
-                    out[sector] = (
-                        block_start + sector as u64 * u64::from(sector_bits),
-                        mask,
-                    );
+                    *slot = (block_start + sector as u64 * u64::from(sector_bits), mask);
                 }
                 sectors as usize
             }
@@ -198,17 +197,16 @@ impl BlockedBloom {
                 let sectors_per_group = sectors / groups;
                 let per_group = cfg.k / groups;
                 let sector_bits = cfg.sector_bits;
-                for group in 0..groups as usize {
-                    let sector_in_group =
-                        next_bits(&mut state, sectors_per_group.trailing_zeros());
-                    let sector = group as u64 * u64::from(sectors_per_group)
-                        + u64::from(sector_in_group);
+                for (group, slot) in out.iter_mut().enumerate().take(groups as usize) {
+                    let sector_in_group = next_bits(&mut state, sectors_per_group.trailing_zeros());
+                    let sector =
+                        group as u64 * u64::from(sectors_per_group) + u64::from(sector_in_group);
                     let mut mask = 0u64;
                     for _ in 0..per_group {
                         let bit = next_bits(&mut state, sector_bits.trailing_zeros());
                         mask |= 1u64 << bit;
                     }
-                    out[group] = (block_start + sector * u64::from(sector_bits), mask);
+                    *slot = (block_start + sector * u64::from(sector_bits), mask);
                 }
                 groups as usize
             }
@@ -390,10 +388,16 @@ mod tests {
         let mut gen = KeyGen::new(13);
         let keys = gen.distinct_keys(60_000);
         for (config, rel_tol) in [
-            (BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo), 0.35),
+            (
+                BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo),
+                0.35,
+            ),
             (BloomConfig::blocked(512, 6, Addressing::PowerOfTwo), 0.35),
             (BloomConfig::sectorized(512, 64, 8, Addressing::Magic), 0.35),
-            (BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic), 0.35),
+            (
+                BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic),
+                0.35,
+            ),
         ] {
             let mut filter = BlockedBloom::with_bits_per_key(config, keys.len(), 12.0);
             for &key in &keys {
@@ -420,7 +424,10 @@ mod tests {
         // (§5.2: at most 0.0134 % more blocks), unlike power-of-two sizing.
         assert!(actual >= requested_bits);
         let overshoot = (actual - requested_bits) as f64 / requested_bits as f64;
-        assert!(overshoot < 0.01, "actual {actual} vs requested {requested_bits}");
+        assert!(
+            overshoot < 0.01,
+            "actual {actual} vs requested {requested_bits}"
+        );
 
         let pow2 = BlockedBloom::new(
             BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo),

@@ -211,7 +211,10 @@ mod tests {
             tested += 1;
         }
         let avg = total_probes as f64 / tested as f64;
-        assert!(avg < 2.5, "average negative probe count {avg} should be far below k=8");
+        assert!(
+            avg < 2.5,
+            "average negative probe count {avg} should be far below k=8"
+        );
     }
 
     #[test]

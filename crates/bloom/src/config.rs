@@ -212,7 +212,7 @@ impl BloomConfig {
                 }
             }
             BloomVariant::Sectorized => {
-                if self.k % sectors != 0 {
+                if !self.k.is_multiple_of(sectors) {
                     return Err(format!(
                         "sectorized filters need k ({}) to be a multiple of the sector count ({sectors})",
                         self.k
@@ -220,13 +220,13 @@ impl BloomConfig {
                 }
             }
             BloomVariant::CacheSectorized => {
-                if sectors % self.groups != 0 {
+                if !sectors.is_multiple_of(self.groups) {
                     return Err(format!(
                         "group count ({}) must evenly divide the sector count ({sectors})",
                         self.groups
                     ));
                 }
-                if self.k % self.groups != 0 {
+                if !self.k.is_multiple_of(self.groups) {
                     return Err(format!(
                         "cache-sectorized filters need k ({}) to be a multiple of the group count ({})",
                         self.k, self.groups
@@ -283,7 +283,12 @@ impl BloomConfig {
         };
         match self.variant() {
             BloomVariant::RegisterBlocked | BloomVariant::Blocked => {
-                format!("{}(B={},k={},{addr})", self.variant(), self.block_bits, self.k)
+                format!(
+                    "{}(B={},k={},{addr})",
+                    self.variant(),
+                    self.block_bits,
+                    self.k
+                )
             }
             BloomVariant::Sectorized => format!(
                 "{}(B={},S={},k={},{addr})",
@@ -358,11 +363,17 @@ mod tests {
         assert!(invalid.validate().is_err());
 
         // k = 0 and k too large.
-        assert!(BloomConfig::blocked(512, 0, Addressing::PowerOfTwo).validate().is_err());
-        assert!(BloomConfig::register_blocked(32, 20, Addressing::PowerOfTwo)
+        assert!(BloomConfig::blocked(512, 0, Addressing::PowerOfTwo)
             .validate()
-            .is_ok());
-        assert!(BloomConfig::blocked(128, 25, Addressing::PowerOfTwo).validate().is_err());
+            .is_err());
+        assert!(
+            BloomConfig::register_blocked(32, 20, Addressing::PowerOfTwo)
+                .validate()
+                .is_ok()
+        );
+        assert!(BloomConfig::blocked(128, 25, Addressing::PowerOfTwo)
+            .validate()
+            .is_err());
 
         // Non-power-of-two block.
         let invalid = BloomConfig {
@@ -381,7 +392,10 @@ mod tests {
             BloomConfig::register_blocked(32, 5, Addressing::PowerOfTwo).accesses_per_lookup(),
             1
         );
-        assert_eq!(BloomConfig::blocked(512, 8, Addressing::PowerOfTwo).accesses_per_lookup(), 8);
+        assert_eq!(
+            BloomConfig::blocked(512, 8, Addressing::PowerOfTwo).accesses_per_lookup(),
+            8
+        );
         assert_eq!(
             BloomConfig::sectorized(512, 64, 8, Addressing::PowerOfTwo).accesses_per_lookup(),
             8
@@ -395,7 +409,10 @@ mod tests {
 
     #[test]
     fn bits_per_probe_matches_variants() {
-        assert_eq!(BloomConfig::register_blocked(32, 5, Addressing::PowerOfTwo).bits_per_probe(), 5);
+        assert_eq!(
+            BloomConfig::register_blocked(32, 5, Addressing::PowerOfTwo).bits_per_probe(),
+            5
+        );
         assert_eq!(
             BloomConfig::sectorized(512, 64, 16, Addressing::PowerOfTwo).bits_per_probe(),
             2
@@ -434,7 +451,10 @@ mod tests {
         let n = 100_000.0;
         let m = 10.0 * n;
         let blocked = BloomConfig::blocked(512, 8, Addressing::PowerOfTwo);
-        assert_eq!(blocked.modeled_fpr(m, n), pof_model::f_blocked(m, n, 8, 512));
+        assert_eq!(
+            blocked.modeled_fpr(m, n),
+            pof_model::f_blocked(m, n, 8, 512)
+        );
         let cache = BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo);
         assert_eq!(
             cache.modeled_fpr(m, n),

@@ -151,7 +151,11 @@ mod avx2 {
     /// Requires AVX2. The filter's storage must outlive the call (guaranteed
     /// by the shared borrow).
     #[target_feature(enable = "avx2")]
-    pub(super) unsafe fn register32(filter: &BlockedBloom, keys: &[u32], sel: &mut SelectionVector) {
+    pub(super) unsafe fn register32(
+        filter: &BlockedBloom,
+        keys: &[u32],
+        sel: &mut SelectionVector,
+    ) {
         let config = *filter.config();
         let words = filter.words();
         let base = words.as_ptr().cast::<i32>();
@@ -241,13 +245,11 @@ mod avx2 {
                     let in_hi = _mm256_cmpgt_epi32(bit, thirty_one);
                     let shifted = _mm256_sllv_epi32(one, _mm256_and_si256(bit, thirty_one));
                     mask_hi = _mm256_or_si256(mask_hi, _mm256_and_si256(shifted, in_hi));
-                    mask_lo =
-                        _mm256_or_si256(mask_lo, _mm256_andnot_si256(in_hi, shifted));
+                    mask_lo = _mm256_or_si256(mask_lo, _mm256_andnot_si256(in_hi, shifted));
                 }
                 // The sector's two 32-bit halves live at word indexes
                 // block_word0 + 2*sector and +1 (little-endian u64 storage).
-                let word_lo_idx =
-                    _mm256_add_epi32(block_word0, _mm256_slli_epi32::<1>(sector));
+                let word_lo_idx = _mm256_add_epi32(block_word0, _mm256_slli_epi32::<1>(sector));
                 let word_hi_idx = _mm256_add_epi32(word_lo_idx, one);
                 let lo = _mm256_i32gather_epi32::<4>(base, word_lo_idx);
                 let hi = _mm256_i32gather_epi32::<4>(base, word_hi_idx);

@@ -10,10 +10,18 @@ fn config_strategy() -> impl Strategy<Value = BloomConfig> {
     let addressing = prop_oneof![Just(Addressing::PowerOfTwo), Just(Addressing::Magic)];
     prop_oneof![
         // Register-blocked: B in {32, 64}, k in [1, 12].
-        (prop_oneof![Just(32u32), Just(64u32)], 1u32..=12, addressing.clone())
+        (
+            prop_oneof![Just(32u32), Just(64u32)],
+            1u32..=12,
+            addressing.clone()
+        )
             .prop_map(|(b, k, a)| BloomConfig::register_blocked(b, k, a)),
         // Plain blocked: B in {128, 256, 512}, k in [1, 12].
-        (prop_oneof![Just(128u32), Just(256u32), Just(512u32)], 1u32..=12, addressing.clone())
+        (
+            prop_oneof![Just(128u32), Just(256u32), Just(512u32)],
+            1u32..=12,
+            addressing.clone()
+        )
             .prop_map(|(b, k, a)| BloomConfig::blocked(b, k, a)),
         // Sectorized: B in {128, 256, 512}, S in {32, 64}, k = multiple of B/S.
         (
@@ -31,7 +39,13 @@ fn config_strategy() -> impl Strategy<Value = BloomConfig> {
             1u32..=4,
             addressing
         )
-            .prop_map(|(b, z, mult, a)| BloomConfig::cache_sectorized(b, 64, z, z * mult, a)),
+            .prop_map(|(b, z, mult, a)| BloomConfig::cache_sectorized(
+                b,
+                64,
+                z,
+                z * mult,
+                a
+            )),
     ]
 }
 

@@ -66,8 +66,10 @@ impl FilterAdvisor {
     /// Useful when no measurement pass has been run yet.
     #[must_use]
     pub fn with_synthetic_calibration(space: ConfigSpace) -> Self {
-        let calibration =
-            crate::skyline::synthetic_calibration(&space, &crate::skyline::default_cache_cost_model());
+        let calibration = crate::skyline::synthetic_calibration(
+            &space,
+            &crate::skyline::default_cache_cost_model(),
+        );
         Self { space, calibration }
     }
 
@@ -80,7 +82,7 @@ impl FilterAdvisor {
             if let Some((bpk, rho, fpr, lookup)) =
                 skyline.best_operating_point(&config, workload.n, workload.work_saved_cycles)
             {
-                if best.as_ref().map_or(true, |(_, _, r, _, _)| rho < *r) {
+                if best.as_ref().is_none_or(|(_, _, r, _, _)| rho < *r) {
                     best = Some((config, bpk, rho, fpr, lookup));
                 }
             }
@@ -112,7 +114,11 @@ impl FilterAdvisor {
         if !recommendation.use_filter {
             return None;
         }
-        AnyFilter::build_with_keys(&recommendation.config, build_keys, recommendation.bits_per_key)
+        AnyFilter::build_with_keys(
+            &recommendation.config,
+            build_keys,
+            recommendation.bits_per_key,
+        )
     }
 }
 
@@ -155,7 +161,10 @@ mod tests {
             work_saved_cycles: 500.0,
             sigma: 1.0,
         });
-        assert!(!rec.use_filter, "no negative lookups ⇒ filtering cannot help");
+        assert!(
+            !rec.use_filter,
+            "no negative lookups ⇒ filtering cannot help"
+        );
     }
 
     #[test]
@@ -167,14 +176,21 @@ mod tests {
             work_saved_cycles: 400.0,
             sigma: 0.2,
         };
-        let filter = advisor().build_filter(&workload, &keys).expect("filter expected");
+        let filter = advisor()
+            .build_filter(&workload, &keys)
+            .expect("filter expected");
         for &key in keys.iter().take(1_000) {
             assert!(filter.contains(key));
         }
-        assert!(advisor().build_filter(
-            &WorkloadSpec { sigma: 1.0, ..workload },
-            &keys
-        ).is_none());
+        assert!(advisor()
+            .build_filter(
+                &WorkloadSpec {
+                    sigma: 1.0,
+                    ..workload
+                },
+                &keys
+            )
+            .is_none());
     }
 
     #[test]

@@ -33,15 +33,22 @@ impl AnyFilter {
     #[must_use]
     pub fn build(config: &FilterConfig, n: usize, bits_per_key: f64) -> Self {
         match config {
-            FilterConfig::Bloom(c) => Self::Bloom(BlockedBloom::with_bits_per_key(*c, n, bits_per_key)),
+            FilterConfig::Bloom(c) => {
+                Self::Bloom(BlockedBloom::with_bits_per_key(*c, n, bits_per_key))
+            }
             FilterConfig::ClassicBloom { k } => {
                 Self::ClassicBloom(ClassicBloom::with_bits_per_key(n, bits_per_key, *k))
             }
             FilterConfig::Cuckoo(c) => {
                 // Target at most 98 % of the maximum load factor so that
                 // construction reliably succeeds.
-                let min_bits = pof_model::cuckoo::min_bits_per_key(c.signature_bits, c.bucket_size) / 0.98;
-                Self::Cuckoo(CuckooFilter::with_bits_per_key(*c, n, bits_per_key.max(min_bits)))
+                let min_bits =
+                    pof_model::cuckoo::min_bits_per_key(c.signature_bits, c.bucket_size) / 0.98;
+                Self::Cuckoo(CuckooFilter::with_bits_per_key(
+                    *c,
+                    n,
+                    bits_per_key.max(min_bits),
+                ))
             }
         }
     }
@@ -160,7 +167,13 @@ mod tests {
     fn sample_configs() -> Vec<FilterConfig> {
         vec![
             FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::Magic)),
-            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo)),
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::PowerOfTwo,
+            )),
             FilterConfig::ClassicBloom { k: 7 },
             FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::Magic)),
             FilterConfig::Cuckoo(CuckooConfig::new(8, 4, CuckooAddressing::PowerOfTwo)),

@@ -134,7 +134,12 @@ impl Calibrator {
 
     /// Measure one configuration at one target filter size.
     #[must_use]
-    pub fn measure(&self, config: &FilterConfig, filter_bits: u64, cpu_ghz: f64) -> CalibrationRecord {
+    pub fn measure(
+        &self,
+        config: &FilterConfig,
+        filter_bits: u64,
+        cpu_ghz: f64,
+    ) -> CalibrationRecord {
         let n = ((filter_bits as f64 / self.bits_per_key) as usize).max(64);
         let mut gen = KeyGen::new(0xC0FFEE);
         let build_keys = gen.distinct_keys(n);
@@ -213,7 +218,8 @@ mod tests {
     #[test]
     fn measurement_produces_positive_costs() {
         let calibrator = small_calibrator();
-        let config = FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo));
+        let config =
+            FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo));
         let record = calibrator.measure(&config, 1 << 17, 3.0);
         assert!(record.ns_per_lookup > 0.0);
         assert!(record.cycles_per_lookup > 0.0);
@@ -259,7 +265,13 @@ mod tests {
     fn calibration_roundtrips_through_json() {
         let calibrator = small_calibrator();
         let configs = vec![
-            FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic)),
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::Magic,
+            )),
             FilterConfig::Cuckoo(CuckooConfig::representative()),
         ];
         let set = calibrator.calibrate(&configs, &[1 << 16, 1 << 18]);
@@ -287,7 +299,13 @@ mod tests {
             repetitions: 2,
             bits_per_key: 12.0,
         };
-        let config = FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::PowerOfTwo));
+        let config = FilterConfig::Bloom(BloomConfig::cache_sectorized(
+            512,
+            64,
+            2,
+            8,
+            Addressing::PowerOfTwo,
+        ));
         let small = calibrator.measure(&config, 1 << 17, 3.0);
         let large = calibrator.measure(&config, 1 << 28, 3.0);
         assert!(

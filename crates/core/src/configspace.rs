@@ -56,9 +56,11 @@ impl FilterConfig {
         match self {
             Self::Bloom(c) => Some(c.modeled_fpr(m, n)),
             Self::ClassicBloom { k } => Some(pof_model::f_std(m, n, *k)),
-            Self::Cuckoo(c) => {
-                pof_model::cuckoo::f_cuckoo_for_budget(bits_per_key, c.signature_bits, c.bucket_size)
-            }
+            Self::Cuckoo(c) => pof_model::cuckoo::f_cuckoo_for_budget(
+                bits_per_key,
+                c.signature_bits,
+                c.bucket_size,
+            ),
         }
     }
 
@@ -156,7 +158,8 @@ impl ConfigSpace {
                     for z in [2u32, 4, 8] {
                         let sectors = block / 64;
                         if z <= sectors && sectors % z == 0 && k % z == 0 {
-                            configs.push(BloomConfig::cache_sectorized(block, 64, z, k, addressing));
+                            configs
+                                .push(BloomConfig::cache_sectorized(block, 64, z, k, addressing));
                         }
                     }
                 }
@@ -194,8 +197,11 @@ impl ConfigSpace {
     /// The combined candidate set.
     #[must_use]
     pub fn all_configs(&self) -> Vec<FilterConfig> {
-        let mut all: Vec<FilterConfig> =
-            self.bloom_configs().into_iter().map(FilterConfig::Bloom).collect();
+        let mut all: Vec<FilterConfig> = self
+            .bloom_configs()
+            .into_iter()
+            .map(FilterConfig::Bloom)
+            .collect();
         all.extend(self.cuckoo_configs().into_iter().map(FilterConfig::Cuckoo));
         if self.include_classic {
             for k in [4u32, 6, 8, 10, 12, 14, 16] {
@@ -247,8 +253,18 @@ mod tests {
     #[test]
     fn paper_representative_configs_are_in_the_grid() {
         let configs = ConfigSpace::full().bloom_configs();
-        assert!(configs.contains(&BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo)));
-        assert!(configs.contains(&BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic)));
+        assert!(configs.contains(&BloomConfig::register_blocked(
+            32,
+            4,
+            Addressing::PowerOfTwo
+        )));
+        assert!(configs.contains(&BloomConfig::cache_sectorized(
+            512,
+            64,
+            2,
+            8,
+            Addressing::Magic
+        )));
         let cuckoos = ConfigSpace::full().cuckoo_configs();
         assert!(cuckoos.contains(&CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)));
         assert!(cuckoos.contains(&CuckooConfig::new(8, 4, CuckooAddressing::Magic)));
@@ -265,13 +281,17 @@ mod tests {
     #[test]
     fn cache_line_model() {
         assert_eq!(
-            FilterConfig::Bloom(BloomConfig::blocked(512, 8, Addressing::Magic)).cache_lines_per_lookup(),
+            FilterConfig::Bloom(BloomConfig::blocked(512, 8, Addressing::Magic))
+                .cache_lines_per_lookup(),
             1
         );
         assert_eq!(
             FilterConfig::Cuckoo(CuckooConfig::representative()).cache_lines_per_lookup(),
             2
         );
-        assert_eq!(FilterConfig::ClassicBloom { k: 7 }.cache_lines_per_lookup(), 7);
+        assert_eq!(
+            FilterConfig::ClassicBloom { k: 7 }.cache_lines_per_lookup(),
+            7
+        );
     }
 }

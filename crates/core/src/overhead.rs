@@ -40,21 +40,15 @@ impl Overhead {
     #[must_use]
     pub fn per_tuple_work(&self, sigma: f64) -> f64 {
         let sigma_eff = (sigma + self.fpr).min(1.0);
-        (1.0 - sigma_eff) * self.lookup_cost
-            + sigma_eff * (self.lookup_cost + self.work_saved)
+        (1.0 - sigma_eff) * self.lookup_cost + sigma_eff * (self.lookup_cost + self.work_saved)
     }
 
     /// The asymmetric variant of the per-tuple work model used for classic
     /// Bloom filters, where negative lookups exit early (`t_l⁻ < t_l⁺`).
     #[must_use]
-    pub fn per_tuple_work_asymmetric(
-        &self,
-        sigma: f64,
-        negative_lookup_cost: f64,
-    ) -> f64 {
+    pub fn per_tuple_work_asymmetric(&self, sigma: f64, negative_lookup_cost: f64) -> f64 {
         let sigma_eff = (sigma + self.fpr).min(1.0);
-        (1.0 - sigma_eff) * negative_lookup_cost
-            + sigma_eff * (self.lookup_cost + self.work_saved)
+        (1.0 - sigma_eff) * negative_lookup_cost + sigma_eff * (self.lookup_cost + self.work_saved)
     }
 
     /// Whether installing this filter beats not filtering at all for a
@@ -104,14 +98,34 @@ mod tests {
     #[test]
     fn high_throughput_favors_cheap_lookup() {
         // Bloom-ish: cheap lookup, higher f. Cuckoo-ish: pricier lookup, lower f.
-        let bloom = Overhead { lookup_cost: 4.0, fpr: 0.01, work_saved: 200.0 };
-        let cuckoo = Overhead { lookup_cost: 9.0, fpr: 0.001, work_saved: 200.0 };
-        assert!(bloom.rho() < cuckoo.rho(), "cheap lookups must win at low t_w");
+        let bloom = Overhead {
+            lookup_cost: 4.0,
+            fpr: 0.01,
+            work_saved: 200.0,
+        };
+        let cuckoo = Overhead {
+            lookup_cost: 9.0,
+            fpr: 0.001,
+            work_saved: 200.0,
+        };
+        assert!(
+            bloom.rho() < cuckoo.rho(),
+            "cheap lookups must win at low t_w"
+        );
 
         // At a large t_w (e.g. a disk seek) precision wins.
-        let bloom_slow = Overhead { work_saved: 1_000_000.0, ..bloom };
-        let cuckoo_slow = Overhead { work_saved: 1_000_000.0, ..cuckoo };
-        assert!(cuckoo_slow.rho() < bloom_slow.rho(), "precision must win at high t_w");
+        let bloom_slow = Overhead {
+            work_saved: 1_000_000.0,
+            ..bloom
+        };
+        let cuckoo_slow = Overhead {
+            work_saved: 1_000_000.0,
+            ..cuckoo
+        };
+        assert!(
+            cuckoo_slow.rho() < bloom_slow.rho(),
+            "precision must win at high t_w"
+        );
     }
 
     #[test]
@@ -120,8 +134,16 @@ mod tests {
         let delta_l = 5.0;
         let delta_f = 0.009;
         let crossover = delta_l / delta_f;
-        let bloom = |tw: f64| Overhead { lookup_cost: 4.0, fpr: 0.01, work_saved: tw };
-        let cuckoo = |tw: f64| Overhead { lookup_cost: 9.0, fpr: 0.001, work_saved: tw };
+        let bloom = |tw: f64| Overhead {
+            lookup_cost: 4.0,
+            fpr: 0.01,
+            work_saved: tw,
+        };
+        let cuckoo = |tw: f64| Overhead {
+            lookup_cost: 9.0,
+            fpr: 0.001,
+            work_saved: tw,
+        };
         assert!(bloom(crossover * 0.9).rho() < cuckoo(crossover * 0.9).rho());
         assert!(bloom(crossover * 1.1).rho() > cuckoo(crossover * 1.1).rho());
         assert!(precision_pays_off(delta_f, delta_l, crossover * 1.1));
@@ -130,7 +152,11 @@ mod tests {
 
     #[test]
     fn beneficial_requires_enough_negative_lookups() {
-        let o = Overhead { lookup_cost: 5.0, fpr: 0.01, work_saved: 100.0 };
+        let o = Overhead {
+            lookup_cost: 5.0,
+            fpr: 0.01,
+            work_saved: 100.0,
+        };
         // At σ = 1 no lookup is negative, filtering can never help.
         assert!(!o.beneficial(1.0));
         // At σ = 0 almost every tuple is filtered out.
@@ -142,7 +168,11 @@ mod tests {
 
     #[test]
     fn per_tuple_work_interpolates_between_extremes() {
-        let o = Overhead { lookup_cost: 5.0, fpr: 0.0, work_saved: 100.0 };
+        let o = Overhead {
+            lookup_cost: 5.0,
+            fpr: 0.0,
+            work_saved: 100.0,
+        };
         assert!((o.per_tuple_work(0.0) - 5.0).abs() < 1e-12);
         assert!((o.per_tuple_work(1.0) - 105.0).abs() < 1e-12);
         let mid = o.per_tuple_work(0.5);
@@ -153,7 +183,11 @@ mod tests {
 
     #[test]
     fn asymmetric_model_rewards_early_exit_on_negative_lookups() {
-        let o = Overhead { lookup_cost: 20.0, fpr: 0.01, work_saved: 100.0 };
+        let o = Overhead {
+            lookup_cost: 20.0,
+            fpr: 0.01,
+            work_saved: 100.0,
+        };
         let symmetric = o.per_tuple_work(0.1);
         let asymmetric = o.per_tuple_work_asymmetric(0.1, 4.0);
         assert!(asymmetric < symmetric);

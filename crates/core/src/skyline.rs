@@ -11,7 +11,6 @@ use crate::configspace::{ConfigSpace, FilterConfig};
 use pof_filter::FilterKind;
 use serde::{Deserialize, Serialize};
 
-
 /// The grid of `(n, t_w)` operating points a skyline is evaluated on.
 #[derive(Debug, Clone)]
 pub struct SkylineGrid {
@@ -27,7 +26,9 @@ impl SkylineGrid {
     pub fn paper() -> Self {
         Self {
             n_values: (10..=28).map(|i| 1u64 << i).collect(),
-            tw_values: (4..=31).map(|i| f64::from(1u32 << i.min(30)) * if i == 31 { 2.0 } else { 1.0 }).collect(),
+            tw_values: (4..=31)
+                .map(|i| f64::from(1u32 << i.min(30)) * if i == 31 { 2.0 } else { 1.0 })
+                .collect(),
         }
     }
 
@@ -36,7 +37,16 @@ impl SkylineGrid {
     pub fn quick() -> Self {
         Self {
             n_values: vec![1 << 12, 1 << 16, 1 << 20, 1 << 24],
-            tw_values: vec![16.0, 64.0, 256.0, 1024.0, 4096.0, 65536.0, 1_048_576.0, 16_777_216.0],
+            tw_values: vec![
+                16.0,
+                64.0,
+                256.0,
+                1024.0,
+                4096.0,
+                65536.0,
+                1_048_576.0,
+                16_777_216.0,
+            ],
         }
     }
 }
@@ -117,7 +127,7 @@ impl<'a> Skyline<'a> {
                 continue;
             };
             let rho = lookup + fpr * tw;
-            if best.map_or(true, |(_, best_rho, _, _)| rho < best_rho) {
+            if best.is_none_or(|(_, best_rho, _, _)| rho < best_rho) {
                 best = Some((bits_per_key, rho, fpr, lookup));
             }
         }
@@ -143,10 +153,10 @@ impl<'a> Skyline<'a> {
                         FilterKind::Bloom => 0,
                         FilterKind::Cuckoo => 1,
                     };
-                    if best_per_kind[kind_idx].map_or(true, |r| rho < r) {
+                    if best_per_kind[kind_idx].is_none_or(|r| rho < r) {
                         best_per_kind[kind_idx] = Some(rho);
                     }
-                    if best.as_ref().map_or(true, |(_, _, r, _, _)| rho < *r) {
+                    if best.as_ref().is_none_or(|(_, _, r, _, _)| rho < *r) {
                         best = Some((*config, bpk, rho, fpr, lookup));
                     }
                 }
@@ -183,7 +193,10 @@ impl<'a> Skyline<'a> {
 /// configuration would dominate the runtime; the measured calibration is
 /// always preferred when available.
 #[must_use]
-pub fn synthetic_calibration(space: &ConfigSpace, cache_line_cycles: &[(u64, f64)]) -> CalibrationSet {
+pub fn synthetic_calibration(
+    space: &ConfigSpace,
+    cache_line_cycles: &[(u64, f64)],
+) -> CalibrationSet {
     use crate::calibration::CalibrationRecord;
     let mut records = Vec::new();
     for config in space.all_configs() {
@@ -218,11 +231,11 @@ pub fn synthetic_calibration(space: &ConfigSpace, cache_line_cycles: &[(u64, f64
 #[must_use]
 pub fn default_cache_cost_model() -> Vec<(u64, f64)> {
     vec![
-        (1 << 17, 1.0),   // 16 KiB: L1
-        (1 << 21, 3.0),   // 256 KiB: L2
-        (1 << 25, 8.0),   // 4 MiB: L3
-        (1 << 29, 40.0),  // 64 MiB: DRAM
-        (1 << 32, 55.0),  // 512 MiB: DRAM + TLB misses
+        (1 << 17, 1.0),  // 16 KiB: L1
+        (1 << 21, 3.0),  // 256 KiB: L2
+        (1 << 25, 8.0),  // 4 MiB: L3
+        (1 << 29, 40.0), // 64 MiB: DRAM
+        (1 << 32, 55.0), // 512 MiB: DRAM + TLB misses
     ]
 }
 
@@ -311,7 +324,10 @@ mod tests {
             .filter(|p| p.best_kind == FilterKind::Bloom)
             .map(|p| p.speedup_over_other_kind())
             .fold(0.0, f64::max);
-        assert!(max_bloom_speedup > 1.2, "max Bloom speedup {max_bloom_speedup}");
+        assert!(
+            max_bloom_speedup > 1.2,
+            "max Bloom speedup {max_bloom_speedup}"
+        );
     }
 
     #[test]
@@ -342,6 +358,8 @@ mod tests {
             1,
             pof_cuckoo::CuckooAddressing::PowerOfTwo,
         ));
-        assert!(skyline.best_operating_point(&infeasible, 1 << 20, 100.0).is_none());
+        assert!(skyline
+            .best_operating_point(&infeasible, 1 << 20, 100.0)
+            .is_none());
     }
 }

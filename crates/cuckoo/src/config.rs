@@ -53,7 +53,10 @@ impl CuckooConfig {
             ));
         }
         if !(1..=8).contains(&self.bucket_size) {
-            return Err(format!("bucket size must be in [1, 8], got {}", self.bucket_size));
+            return Err(format!(
+                "bucket size must be in [1, 8], got {}",
+                self.bucket_size
+            ));
         }
         Ok(())
     }
@@ -103,7 +106,10 @@ impl CuckooConfig {
             CuckooAddressing::PowerOfTwo => "pow2",
             CuckooAddressing::Magic => "magic",
         };
-        format!("cuckoo(l={},b={},{addr})", self.signature_bits, self.bucket_size)
+        format!(
+            "cuckoo(l={},b={},{addr})",
+            self.signature_bits, self.bucket_size
+        )
     }
 }
 
@@ -122,12 +128,24 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo).validate().is_ok());
-        assert!(CuckooConfig::new(4, 1, CuckooAddressing::Magic).validate().is_ok());
-        assert!(CuckooConfig::new(0, 2, CuckooAddressing::PowerOfTwo).validate().is_err());
-        assert!(CuckooConfig::new(33, 2, CuckooAddressing::PowerOfTwo).validate().is_err());
-        assert!(CuckooConfig::new(16, 0, CuckooAddressing::PowerOfTwo).validate().is_err());
-        assert!(CuckooConfig::new(16, 9, CuckooAddressing::PowerOfTwo).validate().is_err());
+        assert!(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)
+            .validate()
+            .is_ok());
+        assert!(CuckooConfig::new(4, 1, CuckooAddressing::Magic)
+            .validate()
+            .is_ok());
+        assert!(CuckooConfig::new(0, 2, CuckooAddressing::PowerOfTwo)
+            .validate()
+            .is_err());
+        assert!(CuckooConfig::new(33, 2, CuckooAddressing::PowerOfTwo)
+            .validate()
+            .is_err());
+        assert!(CuckooConfig::new(16, 0, CuckooAddressing::PowerOfTwo)
+            .validate()
+            .is_err());
+        assert!(CuckooConfig::new(16, 9, CuckooAddressing::PowerOfTwo)
+            .validate()
+            .is_err());
     }
 
     #[test]
@@ -160,7 +178,10 @@ mod tests {
             CuckooConfig::new(8, 4, CuckooAddressing::Magic).label(),
             "cuckoo(l=8,b=4,magic)"
         );
-        assert_eq!(CuckooConfig::representative().label(), "cuckoo(l=16,b=2,pow2)");
+        assert_eq!(
+            CuckooConfig::representative().label(),
+            "cuckoo(l=16,b=2,pow2)"
+        );
     }
 
     #[test]

@@ -80,7 +80,11 @@ impl PackedArray {
     #[inline(always)]
     #[must_use]
     pub fn get(&self, index: u64) -> u32 {
-        debug_assert!(index < self.len, "index {index} out of bounds ({})", self.len);
+        debug_assert!(
+            index < self.len,
+            "index {index} out of bounds ({})",
+            self.len
+        );
         let bit = index * u64::from(self.width);
         let word = (bit / 64) as usize;
         let offset = bit % 64;
@@ -101,7 +105,11 @@ impl PackedArray {
     /// Panics in debug builds if `index` is out of bounds.
     #[inline(always)]
     pub fn set(&mut self, index: u64, value: u32) {
-        debug_assert!(index < self.len, "index {index} out of bounds ({})", self.len);
+        debug_assert!(
+            index < self.len,
+            "index {index} out of bounds ({})",
+            self.len
+        );
         let value = u64::from(value) & self.mask();
         let bit = index * u64::from(self.width);
         let word = (bit / 64) as usize;
@@ -123,7 +131,11 @@ mod tests {
     #[test]
     fn roundtrip_all_widths() {
         for width in 1..=32u32 {
-            let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+            let mask = if width == 32 {
+                u32::MAX
+            } else {
+                (1u32 << width) - 1
+            };
             let len = 1000u64;
             let mut arr = PackedArray::new(len, width);
             for i in 0..len {

@@ -132,7 +132,10 @@ mod avx2 {
                 let ones = _mm256_set1_epi32(0x0101_0101);
                 let highs = _mm256_set1_epi32(0x8080_8080u32 as i32);
                 let zero_detect = _mm256_and_si256(
-                    _mm256_and_si256(_mm256_sub_epi32(diff, ones), _mm256_andnot_si256(diff, highs)),
+                    _mm256_and_si256(
+                        _mm256_sub_epi32(diff, ones),
+                        _mm256_andnot_si256(diff, highs),
+                    ),
                     highs,
                 );
                 // Any non-zero byte marker means a match.

@@ -6,9 +6,18 @@ use proptest::prelude::*;
 
 fn config_strategy() -> impl Strategy<Value = CuckooConfig> {
     (
-        prop_oneof![Just(4u32), Just(8u32), Just(12u32), Just(16u32), Just(32u32)],
+        prop_oneof![
+            Just(4u32),
+            Just(8u32),
+            Just(12u32),
+            Just(16u32),
+            Just(32u32)
+        ],
         prop_oneof![Just(1u32), Just(2u32), Just(4u32), Just(8u32)],
-        prop_oneof![Just(CuckooAddressing::PowerOfTwo), Just(CuckooAddressing::Magic)],
+        prop_oneof![
+            Just(CuckooAddressing::PowerOfTwo),
+            Just(CuckooAddressing::Magic)
+        ],
     )
         .prop_map(|(l, b, a)| CuckooConfig::new(l, b, a))
 }
@@ -134,7 +143,8 @@ fn simd_kernel_selection() {
         (16, 4, "scalar"),
         (4, 8, "scalar"),
     ] {
-        let filter = CuckooFilter::for_keys(CuckooConfig::new(l, b, CuckooAddressing::Magic), 10_000);
+        let filter =
+            CuckooFilter::for_keys(CuckooConfig::new(l, b, CuckooAddressing::Magic), 10_000);
         assert_eq!(filter.kernel_name(), expect, "l={l} b={b}");
     }
 }

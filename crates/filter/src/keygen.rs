@@ -56,7 +56,10 @@ impl KeyGen {
         probe_count: usize,
         sigma: f64,
     ) -> Vec<u32> {
-        assert!((0.0..=1.0).contains(&sigma), "selectivity must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&sigma),
+            "selectivity must be in [0, 1]"
+        );
         let member_set: HashSet<u32> = members.iter().copied().collect();
         let mut probes = Vec::with_capacity(probe_count);
         for _ in 0..probe_count {

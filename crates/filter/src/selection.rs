@@ -59,6 +59,23 @@ impl SelectionVector {
         &self.positions
     }
 
+    /// Shift every position from index `from` to the end by `offset`, in
+    /// place.
+    ///
+    /// This is the merge primitive for batch-at-a-time pipelines
+    /// ([`Filter::contains_batch_offset`] is built on it): a chunked probe
+    /// writes chunk-local positions straight into this vector through the
+    /// batch kernel, then rebases the freshly appended tail to stream-global
+    /// positions. Positions are 32-bit, so a probed stream must stay below
+    /// `u32::MAX` keys.
+    ///
+    /// [`Filter::contains_batch_offset`]: crate::Filter::contains_batch_offset
+    pub fn offset_tail(&mut self, from: usize, offset: u32) {
+        for position in &mut self.positions[from..] {
+            *position += offset;
+        }
+    }
+
     /// Remove all positions, keeping the allocation.
     pub fn clear(&mut self) {
         self.positions.clear();
@@ -113,6 +130,19 @@ mod tests {
         sel.push(7);
         assert_eq!(sel.len(), 2);
         assert_eq!(sel.as_slice(), &[3, 7]);
+    }
+
+    #[test]
+    fn offset_tail_rebases_only_the_tail() {
+        let mut sel = SelectionVector::from(vec![0, 2]);
+        sel.push(1);
+        sel.push(3);
+        sel.offset_tail(2, 100);
+        assert_eq!(sel.as_slice(), &[0, 2, 101, 103]);
+        // Degenerate forms: empty tail, zero offset.
+        sel.offset_tail(4, 50);
+        sel.offset_tail(0, 0);
+        assert_eq!(sel.as_slice(), &[0, 2, 101, 103]);
     }
 
     #[test]

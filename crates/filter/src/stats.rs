@@ -90,7 +90,7 @@ mod tests {
             true
         }
         fn contains(&self, key: u32) -> bool {
-            self.members.contains(&key) || key % self.modulus == 0
+            self.members.contains(&key) || key.is_multiple_of(self.modulus)
         }
         fn size_bits(&self) -> u64 {
             0

@@ -55,6 +55,22 @@ pub trait Filter {
         }
     }
 
+    /// Batched lookup with a base offset: exactly [`Filter::contains_batch`],
+    /// except qualifying keys append `base + index` instead of `index`.
+    ///
+    /// This is the building block for probing one logical key stream in
+    /// chunks while accumulating column-global positions (the join pipeline's
+    /// probe loop scans the fact table this way). The default routes through
+    /// [`Filter::contains_batch`] — so every implementation's vectorised
+    /// batch kernel is reached — and rebases the appended tail in place;
+    /// no allocation, no extra passes. Positions are 32-bit: the probed
+    /// stream must stay below `u32::MAX` keys (`base + index` must not wrap).
+    fn contains_batch_offset(&self, keys: &[u32], base: u32, sel: &mut SelectionVector) {
+        let start = sel.len();
+        self.contains_batch(keys, sel);
+        sel.offset_tail(start, base);
+    }
+
     /// Memory footprint of the filter data in bits (the paper's `m`).
     fn size_bits(&self) -> u64;
 
@@ -99,7 +115,9 @@ mod tests {
 
     #[test]
     fn default_batch_lookup_matches_point_lookups() {
-        let mut filter = ExactSet { keys: HashSet::new() };
+        let mut filter = ExactSet {
+            keys: HashSet::new(),
+        };
         for key in [10u32, 20, 30, 40] {
             assert!(filter.insert(key));
         }
@@ -107,6 +125,25 @@ mod tests {
         let mut sel = SelectionVector::new();
         filter.contains_batch(&probe, &mut sel);
         assert_eq!(sel.as_slice(), &[1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn offset_batch_lookup_accumulates_global_positions() {
+        let mut filter = ExactSet {
+            keys: HashSet::new(),
+        };
+        for key in [10u32, 20, 30, 40] {
+            assert!(filter.insert(key));
+        }
+        let probe = [5u32, 10, 15, 20, 25, 30, 35, 40];
+        // Chunked probing with offsets must equal the one-shot batch result.
+        let mut oneshot = SelectionVector::new();
+        filter.contains_batch(&probe, &mut oneshot);
+        let mut chunked = SelectionVector::new();
+        for (i, chunk) in probe.chunks(3).enumerate() {
+            filter.contains_batch_offset(chunk, (i * 3) as u32, &mut chunked);
+        }
+        assert_eq!(chunked.as_slice(), oneshot.as_slice());
     }
 
     #[test]

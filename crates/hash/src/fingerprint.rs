@@ -82,7 +82,11 @@ mod tests {
             .collect();
         sigs.sort_unstable();
         sigs.dedup();
-        assert!(sigs.len() > 8_000, "only {} distinct signatures", sigs.len());
+        assert!(
+            sigs.len() > 8_000,
+            "only {} distinct signatures",
+            sigs.len()
+        );
     }
 
     #[test]

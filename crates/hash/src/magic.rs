@@ -189,7 +189,7 @@ impl Modulus {
     #[must_use]
     pub fn reduce(&self, h: u32) -> u32 {
         match self {
-            Self::PowerOfTwo { log2 } => h & ((1u32 << log2) - 1).max(0),
+            Self::PowerOfTwo { log2 } => h & ((1u32 << log2) - 1),
             Self::Magic(m) => m.modulo(h),
         }
     }
@@ -225,8 +225,28 @@ mod tests {
     fn divide_and_modulo_match_hardware_for_many_divisors() {
         // Exhaustive over a structured set of numerators for each divisor.
         let divisors = [
-            2u32, 3, 5, 6, 7, 9, 10, 11, 60, 100, 127, 128, 129, 641, 1000, 4095, 4097, 65535,
-            65537, 1_000_003, 16_777_213, 2_147_483_647,
+            2u32,
+            3,
+            5,
+            6,
+            7,
+            9,
+            10,
+            11,
+            60,
+            100,
+            127,
+            128,
+            129,
+            641,
+            1000,
+            4095,
+            4097,
+            65535,
+            65537,
+            1_000_003,
+            16_777_213,
+            2_147_483_647,
         ];
         let numerators = |d: u32| {
             let mut v = vec![0u32, 1, 2, d - 1, d, d + 1, u32::MAX, u32::MAX - 1];
@@ -329,7 +349,10 @@ mod tests {
     #[test]
     fn reduce_is_always_in_range() {
         for desired in [2u32, 3, 17, 1000, 123_456] {
-            for modulus in [Modulus::magic_at_least(desired), Modulus::pow2_at_least(desired)] {
+            for modulus in [
+                Modulus::magic_at_least(desired),
+                Modulus::pow2_at_least(desired),
+            ] {
                 for h in (0..10_000u32).map(|i| i.wrapping_mul(0x85EB_CA6B)) {
                     assert!(modulus.reduce(h) < modulus.size());
                 }

@@ -218,7 +218,11 @@ mod tests {
 
     #[test]
     fn hasher_names_are_distinct() {
-        let names = [MulHash32::name(), MulHash64::name(), Murmur3Finalizer::name()];
+        let names = [
+            MulHash32::name(),
+            MulHash64::name(),
+            Murmur3Finalizer::name(),
+        ];
         let mut unique = names.to_vec();
         unique.sort_unstable();
         unique.dedup();

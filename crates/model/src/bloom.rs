@@ -48,10 +48,10 @@ pub fn f_blocked(m: f64, n: f64, k: u32, b: u32) -> f64 {
 /// count `b/s`.
 #[must_use]
 pub fn f_sectorized(m: f64, n: f64, k: u32, b: u32, s: u32) -> f64 {
-    assert!(b % s == 0, "sector size must divide block size");
+    assert!(b.is_multiple_of(s), "sector size must divide block size");
     let sectors = b / s;
     assert!(
-        k % sectors == 0,
+        k.is_multiple_of(sectors),
         "k ({k}) must be a multiple of the sector count ({sectors})"
     );
     if n <= 0.0 {
@@ -78,10 +78,16 @@ pub fn f_sectorized(m: f64, n: f64, k: u32, b: u32, s: u32) -> f64 {
 /// Panics if the parameters are inconsistent (see assertions).
 #[must_use]
 pub fn f_cache_sectorized(m: f64, n: f64, k: u32, b: u32, s: u32, z: u32) -> f64 {
-    assert!(b % s == 0, "sector size must divide block size");
+    assert!(b.is_multiple_of(s), "sector size must divide block size");
     let sectors = b / s;
-    assert!(z >= 1 && sectors % z == 0, "groups must evenly split the sectors");
-    assert!(k % z == 0, "k ({k}) must be a multiple of the group count ({z})");
+    assert!(
+        z >= 1 && sectors.is_multiple_of(z),
+        "groups must evenly split the sectors"
+    );
+    assert!(
+        k.is_multiple_of(z),
+        "k ({k}) must be a multiple of the group count ({z})"
+    );
     if n <= 0.0 {
         return 0.0;
     }
@@ -200,9 +206,18 @@ mod tests {
             let b512 = f_blocked(m, n, k, 512);
             let b64 = f_blocked(m, n, k, 64);
             let b32 = f_blocked(m, n, k, 32);
-            assert!(classic <= b512 * 1.0000001, "classic {classic} vs 512-blocked {b512}");
-            assert!(b512 <= b64 * 1.0000001, "512-blocked {b512} vs 64-blocked {b64}");
-            assert!(b64 <= b32 * 1.0000001, "64-blocked {b64} vs 32-blocked {b32}");
+            assert!(
+                classic <= b512 * 1.0000001,
+                "classic {classic} vs 512-blocked {b512}"
+            );
+            assert!(
+                b512 <= b64 * 1.0000001,
+                "512-blocked {b512} vs 64-blocked {b64}"
+            );
+            assert!(
+                b64 <= b32 * 1.0000001,
+                "64-blocked {b64} vs 32-blocked {b32}"
+            );
         }
     }
 
@@ -217,7 +232,9 @@ mod tests {
                 let m = bpk * n;
                 let f = match b {
                     None => (1..=16).map(|k| f_std(m, n, k)).fold(f64::MAX, f64::min),
-                    Some(block) => (1..=16).map(|k| f_blocked(m, n, k, block)).fold(f64::MAX, f64::min),
+                    Some(block) => (1..=16)
+                        .map(|k| f_blocked(m, n, k, block))
+                        .fold(f64::MAX, f64::min),
                 };
                 if f <= 0.01 {
                     return bpk;
@@ -229,9 +246,18 @@ mod tests {
         let classic = bits_needed(None);
         let b64 = bits_needed(Some(64));
         let b32 = bits_needed(Some(32));
-        assert!((classic - 10.0).abs() <= 1.0, "classic needs {classic} bits/key");
-        assert!((b64 - 12.0).abs() <= 1.5, "64-bit blocked needs {b64} bits/key");
-        assert!((b32 - 14.0).abs() <= 2.0, "32-bit blocked needs {b32} bits/key");
+        assert!(
+            (classic - 10.0).abs() <= 1.0,
+            "classic needs {classic} bits/key"
+        );
+        assert!(
+            (b64 - 12.0).abs() <= 1.5,
+            "64-bit blocked needs {b64} bits/key"
+        );
+        assert!(
+            (b32 - 14.0).abs() <= 2.0,
+            "32-bit blocked needs {b32} bits/key"
+        );
     }
 
     /// Sectorization with a single sector equals plain blocking.
@@ -277,9 +303,18 @@ mod tests {
             let cache_z4 = f_cache_sectorized(m, n, 8, 512, 64, 4);
             let cache_z2 = f_cache_sectorized(m, n, 8, 512, 64, 2);
             let blocked_512 = f_blocked(m, n, 8, 512);
-            assert!(cache_z4 < sectorized_256, "z=4 {cache_z4} vs sectorized {sectorized_256}");
-            assert!(cache_z2 < register_blocked, "z=2 {cache_z2} vs register {register_blocked}");
-            assert!(blocked_512 < cache_z4, "blocked {blocked_512} vs z=4 {cache_z4}");
+            assert!(
+                cache_z4 < sectorized_256,
+                "z=4 {cache_z4} vs sectorized {sectorized_256}"
+            );
+            assert!(
+                cache_z2 < register_blocked,
+                "z=2 {cache_z2} vs register {register_blocked}"
+            );
+            assert!(
+                blocked_512 < cache_z4,
+                "blocked {blocked_512} vs z=4 {cache_z4}"
+            );
         }
     }
 
@@ -311,8 +346,11 @@ mod tests {
     fn optimal_k_blocked_is_within_range_and_tracks_budget() {
         let k_small = optimal_k_blocked(6.0, 512, 16);
         let k_large = optimal_k_blocked(20.0, 512, 16);
-        assert!(k_small >= 1 && k_small <= 16);
-        assert!(k_large >= k_small, "larger budget should not lower optimal k");
+        assert!((1..=16).contains(&k_small));
+        assert!(
+            k_large >= k_small,
+            "larger budget should not lower optimal k"
+        );
     }
 
     #[test]

@@ -25,13 +25,13 @@ pub fn ln_factorial(i: u64) -> f64 {
     const TABLE: [f64; 21] = [
         0.0,
         0.0,
-        0.693_147_180_559_945_3,
+        std::f64::consts::LN_2, // ln 2!
         1.791_759_469_228_055,
         3.178_053_830_347_946,
         4.787_491_742_782_046,
         6.579_251_212_010_101,
         8.525_161_361_065_415,
-        10.604_602_902_745_251,
+        10.604_602_902_745_25,
         12.801_827_480_081_469,
         15.104_412_573_075_516,
         17.502_307_845_873_887,
@@ -69,7 +69,7 @@ pub fn poisson_expectation(lambda: f64, tail_tolerance: f64, mut f: impl FnMut(u
     let mut mass = 0.0;
     // Hard cap far beyond any realistic block load (λ for a 512-bit block with
     // 20 bits/key is ~26; with 4 bits/key it is ~128).
-    let cap = ((lambda + 12.0 * lambda.sqrt()) as u64).max(64).min(200_000);
+    let cap = ((lambda + 12.0 * lambda.sqrt()) as u64).clamp(64, 200_000);
     for i in 0..=cap {
         let p = poisson_pmf(i, lambda);
         mass += p;
@@ -88,7 +88,9 @@ mod tests {
     #[test]
     fn pmf_sums_to_one() {
         for &lambda in &[0.1, 1.0, 5.0, 25.0, 100.0, 1000.0] {
-            let total: f64 = (0..=(lambda as u64 + 1000)).map(|i| poisson_pmf(i, lambda)).sum();
+            let total: f64 = (0..=(lambda as u64 + 1000))
+                .map(|i| poisson_pmf(i, lambda))
+                .sum();
             assert!((total - 1.0).abs() < 1e-9, "lambda {lambda}: sum {total}");
         }
     }

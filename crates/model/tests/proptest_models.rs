@@ -1,8 +1,6 @@
 //! Property-based tests on the analytical false-positive-rate models.
 
-use pof_model::{
-    f_blocked, f_cache_sectorized, f_cuckoo, f_sectorized, f_std, poisson_pmf,
-};
+use pof_model::{f_blocked, f_cache_sectorized, f_cuckoo, f_sectorized, f_std, poisson_pmf};
 use proptest::prelude::*;
 
 proptest! {

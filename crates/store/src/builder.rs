@@ -1,0 +1,173 @@
+//! Construction of sharded stores: shard count, per-shard budget, and either
+//! a pinned filter configuration or one chosen by the `FilterAdvisor`.
+
+use crate::store::ShardedFilterStore;
+use pof_bloom::{Addressing, BloomConfig};
+use pof_core::{ConfigSpace, FilterAdvisor, FilterConfig, WorkloadSpec};
+
+/// Where the per-shard filter configuration comes from.
+#[derive(Debug, Clone, Copy)]
+pub enum ConfigSource {
+    /// Use exactly this configuration for every shard.
+    Pinned(FilterConfig),
+    /// Ask the [`FilterAdvisor`] (synthetic calibration over the default
+    /// configuration space) for the performance-optimal configuration, given
+    /// the work each filtered-out lookup saves and the expected hit rate.
+    Advised {
+        /// Work (CPU cycles) saved for every probe a shard filter rejects.
+        work_saved_cycles: f64,
+        /// Fraction of probes that are true members.
+        sigma: f64,
+    },
+}
+
+/// Builder for [`ShardedFilterStore`].
+///
+/// ```
+/// use pof_store::StoreBuilder;
+///
+/// let store = StoreBuilder::new()
+///     .shards(8)
+///     .expected_keys(1 << 16)
+///     .bits_per_key(14.0)
+///     .build();
+/// assert_eq!(store.shard_count(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreBuilder {
+    shards: usize,
+    expected_keys: usize,
+    bits_per_key: f64,
+    config: ConfigSource,
+}
+
+impl Default for StoreBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StoreBuilder {
+    /// Defaults: 8 shards, 64k expected keys, 12 bits/key, and the paper's
+    /// canonical high-throughput Bloom configuration (cache-sectorized,
+    /// 512-bit blocks, 64-bit sectors, z = 2, k = 8, magic addressing).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shards: 8,
+            expected_keys: 64 * 1024,
+            bits_per_key: 12.0,
+            config: ConfigSource::Pinned(FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::Magic,
+            ))),
+        }
+    }
+
+    /// Number of shards. Rounded up to the next power of two at build time.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Expected total key count, used to size each shard's initial filter
+    /// (shards grow on demand, so this is a sizing hint, not a limit).
+    #[must_use]
+    pub fn expected_keys(mut self, keys: usize) -> Self {
+        self.expected_keys = keys;
+        self
+    }
+
+    /// Per-shard filter budget in bits per key.
+    #[must_use]
+    pub fn bits_per_key(mut self, bits_per_key: f64) -> Self {
+        self.bits_per_key = bits_per_key;
+        self
+    }
+
+    /// Pin an explicit filter configuration for every shard.
+    #[must_use]
+    pub fn config(mut self, config: FilterConfig) -> Self {
+        self.config = ConfigSource::Pinned(config);
+        self
+    }
+
+    /// Let the [`FilterAdvisor`] choose the per-shard configuration *and*
+    /// bits-per-key budget for the described workload (overriding
+    /// [`bits_per_key`](Self::bits_per_key)).
+    #[must_use]
+    pub fn advised(mut self, work_saved_cycles: f64, sigma: f64) -> Self {
+        self.config = ConfigSource::Advised {
+            work_saved_cycles,
+            sigma,
+        };
+        self
+    }
+
+    /// Build the store.
+    #[must_use]
+    pub fn build(self) -> ShardedFilterStore {
+        let shard_count = self.shards.max(1).next_power_of_two();
+        let capacity_per_shard = (self.expected_keys / shard_count).max(64);
+        let (config, bits_per_key) = match self.config {
+            ConfigSource::Pinned(config) => (config, self.bits_per_key),
+            ConfigSource::Advised {
+                work_saved_cycles,
+                sigma,
+            } => {
+                let advisor = FilterAdvisor::with_synthetic_calibration(ConfigSpace::default());
+                let recommendation = advisor.recommend(&WorkloadSpec {
+                    n: capacity_per_shard as u64,
+                    work_saved_cycles,
+                    sigma,
+                });
+                (recommendation.config, recommendation.bits_per_key)
+            }
+        };
+        ShardedFilterStore::new(config, shard_count, capacity_per_shard, bits_per_key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pof_filter::FilterKind;
+
+    #[test]
+    fn pinned_builder_uses_requested_shape() {
+        let config =
+            FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo));
+        let store = StoreBuilder::new()
+            .shards(3)
+            .expected_keys(10_000)
+            .bits_per_key(10.0)
+            .config(config)
+            .build();
+        assert_eq!(store.shard_count(), 4);
+        assert_eq!(store.config(), config);
+    }
+
+    #[test]
+    fn advised_builder_picks_bloom_for_high_throughput() {
+        let store = StoreBuilder::new()
+            .shards(4)
+            .expected_keys(1 << 18)
+            .advised(64.0, 0.1)
+            .build();
+        assert_eq!(store.config().kind(), FilterKind::Bloom);
+    }
+
+    #[test]
+    fn advised_builder_picks_cuckoo_for_expensive_misses() {
+        let store = StoreBuilder::new()
+            .shards(4)
+            .expected_keys(1 << 18)
+            .advised(20_000_000.0, 0.1)
+            .build();
+        assert_eq!(store.config().kind(), FilterKind::Cuckoo);
+    }
+}

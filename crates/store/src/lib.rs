@@ -1,0 +1,63 @@
+//! A sharded, concurrent filter store — the serving layer above the
+//! performance-optimal filtering machinery.
+//!
+//! The paper's thesis is that filter choice is a *throughput* question; this
+//! crate is the subsystem that turns one recommended filter configuration
+//! into a structure that can serve millions of membership lookups per second
+//! from many threads:
+//!
+//! * [`ShardedFilterStore`] — keys are partitioned across `P` shards by a
+//!   cheap splitter hash (reusing `pof-hash`), each shard holds an
+//!   [`AnyFilter`](pof_core::AnyFilter) chosen by the
+//!   [`FilterAdvisor`](pof_core::FilterAdvisor) or pinned explicitly,
+//! * reads are wait-free against writers: every lookup probes an immutable
+//!   [`Arc`](std::sync::Arc) snapshot of the shard's filter, while inserts
+//!   and rebuilds mutate a private write-side copy and publish a fresh
+//!   snapshot when done (readers never observe a half-built filter),
+//! * the API is **batch-first**: [`ShardedFilterStore::insert_batch`] and
+//!   [`ShardedFilterStore::contains_batch`] fan a batch out to the shards,
+//!   probe each shard through its vectorised kernel, and merge the per-shard
+//!   position lists back into one batch-ordered
+//!   [`SelectionVector`](pof_filter::SelectionVector),
+//! * shards rebuild themselves when they saturate (a Cuckoo shard whose
+//!   relocation search fails, or any shard growing past its sized capacity),
+//!   without ever losing a key: the authoritative key list lives on the
+//!   write side,
+//! * [`StoreStats`] exposes per-shard occupancy, size and modeled FPR, and
+//!   [`ShardedFilterStore::observed_fpr`] measures the empirical rate through
+//!   `pof-filter`'s measurement machinery.
+//!
+//! # Example
+//!
+//! ```
+//! use pof_store::StoreBuilder;
+//! use pof_filter::SelectionVector;
+//!
+//! // An advisor-configured store for ~64k keys served by 4 shards.
+//! let store = StoreBuilder::new()
+//!     .shards(4)
+//!     .expected_keys(64 * 1024)
+//!     .advised(200.0, 0.1)
+//!     .build();
+//!
+//! let keys: Vec<u32> = (0..10_000u32).map(|i| i * 2 + 1).collect();
+//! store.insert_batch(&keys);
+//!
+//! let probes: Vec<u32> = (0..20_000u32).collect();
+//! let mut sel = SelectionVector::new();
+//! store.contains_batch(&probes, &mut sel);
+//! // Every inserted key qualifies; non-members only as false positives.
+//! assert!(sel.len() >= keys.len());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod builder;
+mod shard;
+mod stats;
+mod store;
+
+pub use builder::{ConfigSource, StoreBuilder};
+pub use stats::{ShardStats, StoreStats};
+pub use store::{ShardedFilterStore, StoreSnapshot};

@@ -1,0 +1,171 @@
+//! One shard: a mutable write side guarded by a mutex, and an immutable
+//! published snapshot readers probe without ever blocking on writers.
+
+use pof_core::{AnyFilter, FilterConfig};
+use pof_filter::Filter;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// The write side of a shard. Only ever touched under the shard's write lock.
+#[derive(Debug)]
+pub(crate) struct ShardWriter {
+    /// The filter being mutated. Cloned into a snapshot on publish.
+    filter: AnyFilter,
+    /// Authoritative key list (distinct keys, insertion order), used to
+    /// rebuild the filter on saturation. Kept *alongside* `seen` on purpose:
+    /// the vector preserves insertion order, which makes rebuilds
+    /// deterministic (a Cuckoo filter's slot placement depends on insert
+    /// order; replaying from the randomized-iteration-order set would
+    /// produce a different filter on every rebuild). The ~4 bytes/key of
+    /// duplication is the price; compacting this bookkeeping is a ROADMAP
+    /// item.
+    keys: Vec<u32>,
+    /// Membership index over `keys`: the store is a *set*, so duplicate
+    /// inserts must be no-ops. (Replaying duplicates would also break Cuckoo
+    /// rebuilds: a Cuckoo filter is a bag holding at most `2·b` copies of one
+    /// fingerprint, so a key inserted more than `2·b` times can never fit at
+    /// any capacity and the rebuild loop would grow forever.)
+    seen: HashSet<u32>,
+    /// Number of keys the current filter was sized for.
+    capacity: usize,
+    /// Configuration every (re)build of this shard uses.
+    config: FilterConfig,
+    /// Bits-per-key budget every (re)build of this shard uses.
+    bits_per_key: f64,
+    /// Number of saturation-triggered rebuilds performed so far.
+    rebuilds: u64,
+}
+
+/// A shard of the store.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    writer: Mutex<ShardWriter>,
+    /// The published snapshot. Readers take the read lock only long enough to
+    /// clone the `Arc`; the actual probing happens on the clone, outside any
+    /// lock, so a concurrent rebuild never stalls or torments a reader.
+    snapshot: RwLock<Arc<AnyFilter>>,
+}
+
+impl Shard {
+    /// Create an empty shard sized for `capacity` keys.
+    pub(crate) fn new(config: FilterConfig, capacity: usize, bits_per_key: f64) -> Self {
+        let capacity = capacity.max(64);
+        let filter = AnyFilter::build(&config, capacity, bits_per_key);
+        let snapshot = Arc::new(filter.clone());
+        Self {
+            writer: Mutex::new(ShardWriter {
+                filter,
+                keys: Vec::new(),
+                seen: HashSet::new(),
+                capacity,
+                config,
+                bits_per_key,
+                rebuilds: 0,
+            }),
+            snapshot: RwLock::new(snapshot),
+        }
+    }
+
+    /// Load the current published snapshot.
+    pub(crate) fn load(&self) -> Arc<AnyFilter> {
+        Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Insert a batch of keys routed to this shard, rebuilding on saturation,
+    /// then publish a fresh snapshot.
+    pub(crate) fn insert_batch(&self, keys: &[u32]) {
+        if keys.is_empty() {
+            return;
+        }
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        for &key in keys {
+            writer.insert_with_growth(key);
+        }
+        // Publish while still holding the writer lock: if the snapshot swap
+        // happened after unlock, a slower writer could overwrite a newer
+        // snapshot with its older clone, momentarily hiding committed keys
+        // from readers. Readers only ever take the snapshot *read* lock, so
+        // holding both here cannot deadlock.
+        let snapshot = Arc::new(writer.filter.clone());
+        *self.snapshot.write().expect("snapshot lock poisoned") = snapshot;
+    }
+
+    /// Number of keys inserted into this shard.
+    pub(crate) fn key_count(&self) -> usize {
+        self.writer.lock().expect("writer lock poisoned").keys.len()
+    }
+
+    /// A mutually consistent `(snapshot, key_count, rebuilds)` triple.
+    ///
+    /// Taken under the writer lock — and snapshots are only ever published
+    /// under that same lock — so the snapshot cannot be newer or older than
+    /// the counters it is paired with (separate `load()` + `key_count()`
+    /// calls could interleave with a rebuild and pair a stale filter size
+    /// with a fresh key count).
+    pub(crate) fn consistent_view(&self) -> (Arc<AnyFilter>, usize, u64) {
+        let writer = self.writer.lock().expect("writer lock poisoned");
+        let snapshot = Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"));
+        (snapshot, writer.keys.len(), writer.rebuilds)
+    }
+
+    /// Copy of this shard's authoritative key list.
+    pub(crate) fn keys(&self) -> Vec<u32> {
+        self.writer
+            .lock()
+            .expect("writer lock poisoned")
+            .keys
+            .clone()
+    }
+
+    /// The configuration this shard builds its filters from.
+    pub(crate) fn config(&self) -> FilterConfig {
+        self.writer.lock().expect("writer lock poisoned").config
+    }
+}
+
+impl ShardWriter {
+    /// Insert one key, growing the filter when it is saturated. Duplicate
+    /// keys are no-ops (set semantics).
+    fn insert_with_growth(&mut self, key: u32) {
+        if !self.seen.insert(key) {
+            return;
+        }
+        // Proactive growth: once the shard holds as many keys as the filter
+        // was sized for, a Bloom shard's false-positive rate starts degrading
+        // past its budgeted rate and a Cuckoo shard approaches its maximum
+        // load factor. Double before that point.
+        self.keys.push(key);
+        if self.keys.len() > self.capacity {
+            // Replays every key (including the new one) into a doubled filter.
+            self.rebuild(self.capacity * 2);
+        } else if !self.filter.insert(key) {
+            // A Cuckoo relocation chain failed below nominal capacity; rebuild
+            // with head-room (the rebuild itself retries larger sizes until
+            // every key, including this one, fits).
+            self.rebuild(self.capacity * 2);
+        }
+    }
+
+    /// Rebuild the filter from the authoritative key list at a new capacity.
+    ///
+    /// Keys already inserted are replayed into the fresh filter; the filter
+    /// replaces the write side only (readers keep the previous snapshot until
+    /// the caller publishes).
+    fn rebuild(&mut self, capacity: usize) {
+        let capacity = capacity.max(64);
+        'grow: for attempt in 0.. {
+            let grown = capacity << attempt;
+            let mut filter = AnyFilter::build(&self.config, grown, self.bits_per_key);
+            for &key in &self.keys {
+                if !filter.insert(key) {
+                    continue 'grow;
+                }
+            }
+            self.filter = filter;
+            self.capacity = grown;
+            self.rebuilds += 1;
+            return;
+        }
+        unreachable!("rebuild retries grow geometrically and must eventually fit");
+    }
+}

@@ -1,0 +1,127 @@
+//! Occupancy, size and false-positive statistics per shard and per store.
+
+/// Statistics of one shard at the moment [`stats`] was called.
+///
+/// [`stats`]: crate::ShardedFilterStore::stats
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Keys inserted into this shard.
+    pub keys: u64,
+    /// Published filter size in bits.
+    pub size_bits: u64,
+    /// Effective bits per key (`size_bits / keys`; 0 when empty).
+    pub bits_per_key: f64,
+    /// Analytical false-positive rate at the current occupancy.
+    pub modeled_fpr: f64,
+    /// Saturation-triggered rebuilds this shard has performed.
+    pub rebuilds: u64,
+    /// Configuration label of the shard filter.
+    pub config_label: String,
+    /// Active batch-lookup kernel (`scalar`, `avx2-…`).
+    pub kernel: &'static str,
+}
+
+/// Aggregated view over every shard of a store.
+#[derive(Debug, Clone)]
+pub struct StoreStats {
+    /// Per-shard statistics, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl StoreStats {
+    pub(crate) fn aggregate(shards: Vec<ShardStats>) -> Self {
+        Self { shards }
+    }
+
+    /// Total keys across all shards.
+    #[must_use]
+    pub fn total_keys(&self) -> u64 {
+        self.shards.iter().map(|s| s.keys).sum()
+    }
+
+    /// Total filter bits across all shards.
+    #[must_use]
+    pub fn total_size_bits(&self) -> u64 {
+        self.shards.iter().map(|s| s.size_bits).sum()
+    }
+
+    /// Total rebuilds across all shards.
+    #[must_use]
+    pub fn total_rebuilds(&self) -> u64 {
+        self.shards.iter().map(|s| s.rebuilds).sum()
+    }
+
+    /// The store-level analytical false-positive rate: the key-weighted mean
+    /// of the shard rates (a uniformly drawn probe lands in shard `i` with
+    /// probability proportional to the shard routing, which the splitter hash
+    /// makes near-uniform; weighting by keys matches a probe stream drawn
+    /// like the inserted population).
+    #[must_use]
+    pub fn weighted_modeled_fpr(&self) -> f64 {
+        let total = self.total_keys();
+        if total == 0 {
+            return 0.0;
+        }
+        self.shards
+            .iter()
+            .map(|s| s.modeled_fpr * s.keys as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// Ratio of the largest to the smallest shard occupancy (1.0 = perfectly
+    /// balanced; meaningful once shards are non-empty).
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let max = self.shards.iter().map(|s| s.keys).max().unwrap_or(0);
+        let min = self.shards.iter().map(|s| s.keys).min().unwrap_or(0);
+        if min == 0 {
+            if max == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(index: usize, keys: u64, fpr: f64) -> ShardStats {
+        ShardStats {
+            shard: index,
+            keys,
+            size_bits: keys * 12,
+            bits_per_key: 12.0,
+            modeled_fpr: fpr,
+            rebuilds: index as u64,
+            config_label: "test".to_string(),
+            kernel: "scalar",
+        }
+    }
+
+    #[test]
+    fn aggregates_sum_and_weight() {
+        let stats = StoreStats::aggregate(vec![shard(0, 100, 0.01), shard(1, 300, 0.03)]);
+        assert_eq!(stats.total_keys(), 400);
+        assert_eq!(stats.total_size_bits(), 4_800);
+        assert_eq!(stats.total_rebuilds(), 1);
+        let expected = (0.01 * 100.0 + 0.03 * 300.0) / 400.0;
+        assert!((stats.weighted_modeled_fpr() - expected).abs() < 1e-12);
+        assert!((stats.imbalance() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_store_degenerates_gracefully() {
+        let stats = StoreStats::aggregate(vec![shard(0, 0, 0.0)]);
+        assert_eq!(stats.total_keys(), 0);
+        assert_eq!(stats.weighted_modeled_fpr(), 0.0);
+        assert_eq!(stats.imbalance(), 1.0);
+    }
+}

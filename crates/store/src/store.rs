@@ -1,0 +1,546 @@
+//! The sharded filter store and its frozen read snapshot.
+
+use crate::shard::Shard;
+use crate::stats::{ShardStats, StoreStats};
+use pof_core::{AnyFilter, FilterConfig};
+use pof_filter::stats::measured_fpr;
+use pof_filter::{Filter, FilterKind, SelectionVector};
+use std::sync::Arc;
+
+/// Compile-time audit that the store (and therefore `AnyFilter`) can be
+/// shared across threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AnyFilter>();
+    assert_send_sync::<ShardedFilterStore>();
+    assert_send_sync::<StoreSnapshot>();
+};
+
+/// A concurrent approximate-membership store: `P` filter shards, batch-first
+/// lookups, snapshot-isolated reads.
+///
+/// Routing: a key's shard is the top `log2(P)` bits of an avalanche mix of
+/// the key ([`pof_hash::mix32`]) — deliberately a *different* hash family
+/// than the multiplicative hashes the filters consume internally, so shard
+/// routing does not correlate with intra-filter placement.
+///
+/// Readers ([`contains`](Self::contains) /
+/// [`contains_batch`](Self::contains_batch)) never block on writers: they
+/// probe the shard's last published snapshot. Writers
+/// ([`insert_batch`](Self::insert_batch)) serialize per shard, mutate a
+/// private write-side filter (rebuilding it when saturated) and publish a new
+/// snapshot per batch. A key is therefore visible to readers once the
+/// `insert_batch` call that carried it returns — and published snapshots
+/// never lose keys, which the concurrency tests assert.
+#[derive(Debug)]
+pub struct ShardedFilterStore {
+    shards: Vec<Shard>,
+    /// `log2` of the shard count.
+    shard_bits: u32,
+}
+
+impl ShardedFilterStore {
+    /// Create a store with `shard_count` shards (rounded up to a power of
+    /// two), each sized for `capacity_per_shard` keys at `bits_per_key`.
+    ///
+    /// Most callers should go through [`StoreBuilder`](crate::StoreBuilder).
+    #[must_use]
+    pub fn new(
+        config: FilterConfig,
+        shard_count: usize,
+        capacity_per_shard: usize,
+        bits_per_key: f64,
+    ) -> Self {
+        let shard_count = shard_count.max(1).next_power_of_two();
+        let shards = (0..shard_count)
+            .map(|_| Shard::new(config, capacity_per_shard, bits_per_key))
+            .collect();
+        Self {
+            shards,
+            shard_bits: shard_count.trailing_zeros(),
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index of a key.
+    #[inline]
+    #[must_use]
+    pub fn shard_of(&self, key: u32) -> usize {
+        if self.shard_bits == 0 {
+            0
+        } else {
+            (pof_hash::mix32(key) >> (32 - self.shard_bits)) as usize
+        }
+    }
+
+    /// Insert a batch of keys, fanning out to the owning shards.
+    ///
+    /// Each shard's keys are applied under that shard's write lock and become
+    /// visible to readers atomically (per shard) when its fresh snapshot is
+    /// published at the end of the batch. Inserts never fail: a shard whose
+    /// filter cannot accommodate a key (Cuckoo relocation failure, or growth
+    /// past its sized capacity) rebuilds itself with more space. The store
+    /// has *set* semantics — re-inserting a key already present is a no-op.
+    pub fn insert_batch(&self, keys: &[u32]) {
+        let mut routed: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        for &key in keys {
+            routed[self.shard_of(key)].push(key);
+        }
+        for (shard, keys) in self.shards.iter().zip(&routed) {
+            shard.insert_batch(keys);
+        }
+    }
+
+    /// Point lookup against the current snapshots.
+    #[must_use]
+    pub fn contains(&self, key: u32) -> bool {
+        self.shards[self.shard_of(key)].load().contains(key)
+    }
+
+    /// Batched lookup: for every key in `keys` that tests positive, append
+    /// its batch position to `sel`, in ascending order (`sel` is not cleared,
+    /// matching [`Filter::contains_batch`]).
+    ///
+    /// The batch is routed per shard, each shard slice is probed through the
+    /// shard filter's vectorised batch kernel against one consistent
+    /// snapshot, and the per-shard position lists are merged back to batch
+    /// order.
+    pub fn contains_batch(&self, keys: &[u32], sel: &mut SelectionVector) {
+        self.snapshot().contains_batch(keys, sel)
+    }
+
+    /// Freeze the current state of every shard into an immutable
+    /// [`StoreSnapshot`].
+    ///
+    /// The snapshot observes each shard at its latest published state and is
+    /// unaffected by later inserts — the right granularity for probing one
+    /// logical scan against a stable view.
+    #[must_use]
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            filters: self.shards.iter().map(Shard::load).collect(),
+            shard_bits: self.shard_bits,
+        }
+    }
+
+    /// Total number of distinct keys inserted across all shards.
+    #[must_use]
+    pub fn key_count(&self) -> usize {
+        self.shards.iter().map(Shard::key_count).sum()
+    }
+
+    /// Total filter size in bits across all shards (current snapshots).
+    #[must_use]
+    pub fn size_bits(&self) -> u64 {
+        self.shards.iter().map(|s| s.load().size_bits()).sum()
+    }
+
+    /// Per-shard and aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let shards: Vec<ShardStats> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| {
+                // One consistent view per shard: pairing a snapshot with
+                // counters read under separate locks could mix a pre-rebuild
+                // filter size with a post-rebuild key count.
+                let (snapshot, keys, rebuilds) = shard.consistent_view();
+                let keys = keys as u64;
+                let size_bits = snapshot.size_bits();
+                ShardStats {
+                    shard: index,
+                    keys,
+                    size_bits,
+                    bits_per_key: if keys == 0 {
+                        0.0
+                    } else {
+                        size_bits as f64 / keys as f64
+                    },
+                    modeled_fpr: snapshot.modeled_fpr(),
+                    rebuilds,
+                    config_label: snapshot.config_label(),
+                    kernel: snapshot.kernel_name(),
+                }
+            })
+            .collect();
+        StoreStats::aggregate(shards)
+    }
+
+    /// Measure the store's empirical false-positive rate: probe `probe_count`
+    /// keys guaranteed to be non-members (relative to the full inserted key
+    /// set) through the batch path and report the qualifying fraction.
+    ///
+    /// Delegates to [`pof_filter::stats::measured_fpr`] over a frozen
+    /// [`StoreSnapshot`], so the measurement also exercises the per-shard
+    /// SIMD kernels.
+    #[must_use]
+    pub fn observed_fpr(&self, probe_count: usize, seed: u64) -> f64 {
+        // Freeze the probed view *before* gathering members: the member list
+        // is then a superset of every key the snapshot can legitimately
+        // report, so keys inserted concurrently between the two steps can
+        // never be misclassified as false positives.
+        let snapshot = self.snapshot();
+        let members: Vec<u32> = self.shards.iter().flat_map(|shard| shard.keys()).collect();
+        measured_fpr(&snapshot, &members, probe_count, seed).fpr
+    }
+
+    /// The filter configuration the shards build from.
+    #[must_use]
+    pub fn config(&self) -> FilterConfig {
+        self.shards[0].config()
+    }
+}
+
+impl Filter for ShardedFilterStore {
+    /// Insert via the unified trait. Never fails (shards rebuild on
+    /// saturation), so this always returns `true`.
+    ///
+    /// **Cost note:** every insert publishes a fresh shard snapshot, which
+    /// clones the shard's whole filter — per-key point inserts through this
+    /// trait are O(filter size) each. Loops should go through
+    /// [`ShardedFilterStore::insert_batch`], which publishes once per batch.
+    fn insert(&mut self, key: u32) -> bool {
+        self.insert_batch(std::slice::from_ref(&key));
+        true
+    }
+
+    fn contains(&self, key: u32) -> bool {
+        ShardedFilterStore::contains(self, key)
+    }
+
+    fn contains_batch(&self, keys: &[u32], sel: &mut SelectionVector) {
+        ShardedFilterStore::contains_batch(self, keys, sel);
+    }
+
+    fn size_bits(&self) -> u64 {
+        ShardedFilterStore::size_bits(self)
+    }
+
+    fn kind(&self) -> FilterKind {
+        self.config().kind()
+    }
+
+    fn config_label(&self) -> String {
+        format!(
+            "sharded(P={},{})",
+            self.shard_count(),
+            self.config().label()
+        )
+    }
+}
+
+/// An immutable, consistent view of every shard at one point in time.
+///
+/// Snapshots are cheap (`P` atomic reference bumps), can outlive the store,
+/// and implement [`Filter`]'s read side, so anything that probes a filter —
+/// the LSM substrate, the measurement harness, a join pipeline — can probe a
+/// whole sharded store through the same interface. The write side is inert:
+/// [`Filter::insert`] on a snapshot reports failure rather than mutating.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    filters: Vec<Arc<AnyFilter>>,
+    shard_bits: u32,
+}
+
+impl StoreSnapshot {
+    /// Shard index of a key (same routing as the owning store).
+    #[inline]
+    #[must_use]
+    pub fn shard_of(&self, key: u32) -> usize {
+        if self.shard_bits == 0 {
+            0
+        } else {
+            (pof_hash::mix32(key) >> (32 - self.shard_bits)) as usize
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// The filter snapshot backing one shard.
+    #[must_use]
+    pub fn shard_filter(&self, shard: usize) -> &AnyFilter {
+        &self.filters[shard]
+    }
+}
+
+impl Filter for StoreSnapshot {
+    /// Snapshots are read-only; inserting reports failure (the documented
+    /// "could not accommodate the key" outcome) and changes nothing.
+    fn insert(&mut self, _key: u32) -> bool {
+        false
+    }
+
+    fn contains(&self, key: u32) -> bool {
+        self.filters[self.shard_of(key)].contains(key)
+    }
+
+    fn contains_batch(&self, keys: &[u32], sel: &mut SelectionVector) {
+        if self.filters.len() == 1 {
+            // Single shard: no routing, probe the batch kernel directly.
+            self.filters[0].contains_batch(keys, sel);
+            return;
+        }
+        // Route the batch with a counting sort into flat buffers: the number
+        // of allocations is constant in the shard count, which matters on
+        // this read hot path (the 2·P-vector alternative allocates per shard
+        // per call).
+        let shard_count = self.filters.len();
+        let mut cursors = vec![0usize; shard_count + 1];
+        for &key in keys {
+            cursors[self.shard_of(key) + 1] += 1;
+        }
+        for shard in 0..shard_count {
+            cursors[shard + 1] += cursors[shard];
+        }
+        let starts = cursors.clone();
+        let mut routed_keys = vec![0u32; keys.len()];
+        let mut routed_positions = vec![0u32; keys.len()];
+        for (i, &key) in keys.iter().enumerate() {
+            let slot = &mut cursors[self.shard_of(key)];
+            routed_keys[*slot] = key;
+            routed_positions[*slot] = i as u32;
+            *slot += 1;
+        }
+        // Probe each shard's contiguous slice through its batch kernel,
+        // marking the qualifying batch positions.
+        let mut qualifies = vec![false; keys.len()];
+        let mut shard_sel = SelectionVector::new();
+        for shard in 0..shard_count {
+            let (start, end) = (starts[shard], starts[shard + 1]);
+            if start == end {
+                continue;
+            }
+            shard_sel.clear();
+            self.filters[shard].contains_batch(&routed_keys[start..end], &mut shard_sel);
+            for &local in shard_sel.as_slice() {
+                qualifies[routed_positions[start + local as usize] as usize] = true;
+            }
+        }
+        // Emit in ascending batch order, per the SelectionVector contract.
+        sel.reserve(keys.len());
+        for (i, &hit) in qualifies.iter().enumerate() {
+            sel.push_if(i as u32, hit);
+        }
+    }
+
+    fn size_bits(&self) -> u64 {
+        self.filters.iter().map(|f| f.size_bits()).sum()
+    }
+
+    fn kind(&self) -> FilterKind {
+        self.filters[0].kind()
+    }
+
+    fn config_label(&self) -> String {
+        format!(
+            "sharded-snapshot(P={},{})",
+            self.filters.len(),
+            self.filters[0].config_label()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pof_bloom::{Addressing, BloomConfig};
+    use pof_cuckoo::{CuckooAddressing, CuckooConfig};
+    use pof_filter::KeyGen;
+
+    fn bloom_config() -> FilterConfig {
+        FilterConfig::Bloom(BloomConfig::cache_sectorized(
+            512,
+            64,
+            2,
+            8,
+            Addressing::Magic,
+        ))
+    }
+
+    fn cuckoo_config() -> FilterConfig {
+        FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo))
+    }
+
+    #[test]
+    fn no_false_negatives_across_shard_counts_and_families() {
+        let mut gen = KeyGen::new(301);
+        let keys = gen.distinct_keys(30_000);
+        for config in [bloom_config(), cuckoo_config()] {
+            for shard_count in [1usize, 2, 8, 32] {
+                let store =
+                    ShardedFilterStore::new(config, shard_count, keys.len() / shard_count, 20.0);
+                store.insert_batch(&keys);
+                assert_eq!(store.key_count(), keys.len());
+                for &key in &keys {
+                    assert!(
+                        store.contains(key),
+                        "false negative in {} with {shard_count} shards",
+                        config.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_agrees_with_point_lookups() {
+        let mut gen = KeyGen::new(302);
+        let keys = gen.distinct_keys(20_000);
+        let probes = gen.keys(50_000);
+        let store = ShardedFilterStore::new(bloom_config(), 8, 4_000, 14.0);
+        store.insert_batch(&keys);
+        let mut sel = SelectionVector::new();
+        store.contains_batch(&probes, &mut sel);
+        let expected: Vec<u32> = probes
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| store.contains(k))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(sel.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn batch_positions_are_ordered_and_in_range() {
+        let mut gen = KeyGen::new(303);
+        let keys = gen.distinct_keys(5_000);
+        let probes = gen.keys(20_000);
+        let store = ShardedFilterStore::new(cuckoo_config(), 4, 2_000, 20.0);
+        store.insert_batch(&keys);
+        let mut sel = SelectionVector::new();
+        store.contains_batch(&probes, &mut sel);
+        let positions = sel.as_slice();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        assert!(positions.iter().all(|&p| (p as usize) < probes.len()));
+    }
+
+    #[test]
+    fn saturated_shards_rebuild_without_losing_keys() {
+        // Size the store for far fewer keys than are inserted: every shard
+        // must grow (Cuckoo shards may additionally rebuild on relocation
+        // failure), and no key may be lost across those rebuilds.
+        let mut gen = KeyGen::new(304);
+        let keys = gen.distinct_keys(40_000);
+        for config in [bloom_config(), cuckoo_config()] {
+            let store = ShardedFilterStore::new(config, 4, 256, 16.0);
+            for chunk in keys.chunks(1_000) {
+                store.insert_batch(chunk);
+            }
+            let stats = store.stats();
+            assert!(
+                stats.total_rebuilds() >= 4,
+                "{}: expected every shard to rebuild, stats: {stats:?}",
+                config.label()
+            );
+            for &key in &keys {
+                assert!(store.contains(key), "lost key in {}", config.label());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_are_stable_under_later_inserts() {
+        let mut gen = KeyGen::new(305);
+        let before = gen.distinct_keys(5_000);
+        let after = gen.distinct_keys(5_000);
+        let store = ShardedFilterStore::new(bloom_config(), 4, 4_000, 16.0);
+        store.insert_batch(&before);
+        let snapshot = store.snapshot();
+        let bits_before = snapshot.size_bits();
+        store.insert_batch(&after);
+        // The frozen snapshot still answers for the first key set and did not
+        // observe the second batch's growth.
+        for &key in &before {
+            assert!(snapshot.contains(key));
+        }
+        assert_eq!(snapshot.size_bits(), bits_before);
+        // The live store sees both.
+        for &key in before.iter().chain(&after) {
+            assert!(store.contains(key));
+        }
+    }
+
+    #[test]
+    fn observed_fpr_tracks_the_model() {
+        let mut gen = KeyGen::new(306);
+        let keys = gen.distinct_keys(40_000);
+        let store = ShardedFilterStore::new(bloom_config(), 8, 5_000, 12.0);
+        store.insert_batch(&keys);
+        let observed = store.observed_fpr(200_000, 17);
+        let modeled = store.stats().weighted_modeled_fpr();
+        assert!(
+            pof_filter::stats::fpr_matches_model(observed, modeled, 0.5, 5e-4),
+            "observed {observed}, modeled {modeled}"
+        );
+    }
+
+    #[test]
+    fn stats_expose_shard_occupancy() {
+        let mut gen = KeyGen::new(307);
+        let keys = gen.distinct_keys(16_000);
+        let store = ShardedFilterStore::new(bloom_config(), 4, 8_000, 12.0);
+        store.insert_batch(&keys);
+        let stats = store.stats();
+        assert_eq!(stats.shards.len(), 4);
+        assert_eq!(stats.total_keys(), keys.len() as u64);
+        // The splitter hash should spread keys within ~3x of each other.
+        let max = stats.shards.iter().map(|s| s.keys).max().unwrap();
+        let min = stats.shards.iter().map(|s| s.keys).min().unwrap();
+        assert!(
+            max < 3 * min.max(1),
+            "unbalanced shards: min {min}, max {max}"
+        );
+        for shard in &stats.shards {
+            assert!(shard.size_bits > 0);
+            assert!(shard.modeled_fpr > 0.0 && shard.modeled_fpr < 1.0);
+            assert!(!shard.config_label.is_empty());
+        }
+    }
+
+    #[test]
+    fn store_implements_the_filter_trait() {
+        let mut store = ShardedFilterStore::new(bloom_config(), 2, 1_000, 12.0);
+        assert!(Filter::insert(&mut store, 42));
+        assert!(Filter::contains(&store, 42));
+        assert_eq!(Filter::kind(&store), FilterKind::Bloom);
+        assert!(Filter::config_label(&store).starts_with("sharded(P=2,"));
+        assert!(Filter::size_bits(&store) > 0);
+        // Snapshots refuse writes.
+        let mut snapshot = store.snapshot();
+        assert!(!Filter::insert(&mut snapshot, 7));
+    }
+
+    #[test]
+    fn duplicate_inserts_are_set_semantics_and_terminate() {
+        // A Cuckoo filter is a bag bounded at 2·b copies per fingerprint, so
+        // replaying unbounded duplicates could never fit at any capacity;
+        // the store must treat re-inserts as no-ops instead of rebuilding
+        // forever.
+        for config in [bloom_config(), cuckoo_config()] {
+            let store = ShardedFilterStore::new(config, 2, 64, 20.0);
+            store.insert_batch(&vec![7u32; 100]);
+            store.insert_batch(&[7, 8, 7, 9, 7]);
+            assert!(store.contains(7) && store.contains(8) && store.contains(9));
+            assert_eq!(store.key_count(), 3, "{}", config.label());
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let store = ShardedFilterStore::new(bloom_config(), 5, 100, 12.0);
+        assert_eq!(store.shard_count(), 8);
+        let store = ShardedFilterStore::new(bloom_config(), 0, 100, 12.0);
+        assert_eq!(store.shard_count(), 1);
+    }
+}

@@ -160,7 +160,12 @@ impl<'a> ProbePipeline<'a> {
     /// pre-join work and one hash-table probe.
     #[must_use]
     pub fn run_unfiltered(&self) -> JoinResult {
-        let mut result = JoinResult { matches: 0, aggregate: 0, hash_probes: 0, filtered_out: 0 };
+        let mut result = JoinResult {
+            matches: 0,
+            aggregate: 0,
+            hash_probes: 0,
+            filtered_out: 0,
+        };
         for (i, &key) in self.workload.fact_keys.iter().enumerate() {
             std::hint::black_box(self.burn(key));
             result.hash_probes += 1;
@@ -177,17 +182,31 @@ impl<'a> ProbePipeline<'a> {
     /// and the hash-table probe.
     #[must_use]
     pub fn run_with_filter(&self, filter: &AnyFilter) -> JoinResult {
-        let mut result = JoinResult { matches: 0, aggregate: 0, hash_probes: 0, filtered_out: 0 };
+        let mut result = JoinResult {
+            matches: 0,
+            aggregate: 0,
+            hash_probes: 0,
+            filtered_out: 0,
+        };
         let mut sel = SelectionVector::with_capacity(self.batch_size);
         let fact_keys = &self.workload.fact_keys;
+        // Selection-vector positions are 32-bit (§5 of the paper); the
+        // offset-probing below would silently wrap past that.
+        assert!(
+            fact_keys.len() <= u32::MAX as usize,
+            "fact tables beyond 2^32 rows must be scanned in multiple position spaces"
+        );
         let mut offset = 0usize;
         while offset < fact_keys.len() {
             let batch = &fact_keys[offset..(offset + self.batch_size).min(fact_keys.len())];
             sel.clear();
-            filter.contains_batch(batch, &mut sel);
+            // Offset-probing yields column-global positions directly, so the
+            // qualifying tuples index the fact table without per-position
+            // arithmetic here.
+            filter.contains_batch_offset(batch, offset as u32, &mut sel);
             result.filtered_out += (batch.len() - sel.len()) as u64;
             for &pos in sel.as_slice() {
-                let index = offset + pos as usize;
+                let index = pos as usize;
                 let key = fact_keys[index];
                 std::hint::black_box(self.burn(key));
                 result.hash_probes += 1;
@@ -205,13 +224,19 @@ impl<'a> ProbePipeline<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pof_core::configspace::FilterConfig;
     use pof_bloom::{Addressing, BloomConfig};
+    use pof_core::configspace::FilterConfig;
     use std::time::Instant;
 
     fn cache_sectorized_filter(keys: &[u32]) -> AnyFilter {
         AnyFilter::build_with_keys(
-            &FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic)),
+            &FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::Magic,
+            )),
             keys,
             16.0,
         )

@@ -31,7 +31,11 @@ impl Run {
             AnyFilter::build_with_keys(config, &keys, bits_per_key)
                 .expect("run filter construction failed")
         });
-        Self { keys, values, filter }
+        Self {
+            keys,
+            values,
+            filter,
+        }
     }
 
     /// Number of entries in the run.
@@ -59,7 +63,7 @@ impl Run {
     /// Probe the run's filter (true = the run may contain the key).
     #[must_use]
     pub fn may_contain(&self, key: u32) -> bool {
-        self.filter.as_ref().map_or(true, |f| f.contains(key))
+        self.filter.as_ref().is_none_or(|f| f.contains(key))
     }
 }
 
@@ -135,7 +139,12 @@ mod tests {
     use pof_cuckoo::{CuckooAddressing, CuckooConfig};
     use pof_filter::KeyGen;
 
-    fn build_tree(filtered: bool, runs: usize, keys_per_run: usize, seed: u64) -> (LsmTree, Vec<u32>) {
+    fn build_tree(
+        filtered: bool,
+        runs: usize,
+        keys_per_run: usize,
+        seed: u64,
+    ) -> (LsmTree, Vec<u32>) {
         let config = FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::Magic));
         let mut gen = KeyGen::new(seed);
         let mut tree = LsmTree::new();
@@ -143,7 +152,10 @@ mod tests {
         for run_id in 0..runs {
             let keys = gen.distinct_keys(keys_per_run);
             all_keys.extend_from_slice(&keys);
-            let pairs: Vec<(u32, u64)> = keys.iter().map(|&k| (k, u64::from(k) + run_id as u64)).collect();
+            let pairs: Vec<(u32, u64)> = keys
+                .iter()
+                .map(|&k| (k, u64::from(k) + run_id as u64))
+                .collect();
             tree.add_run(Run::build(pairs, filtered.then_some((&config, 20.0))));
         }
         (tree, all_keys)
@@ -192,7 +204,11 @@ mod tests {
         let (filtered_tree, keys) = build_tree(true, 6, 3_000, 74);
         let (plain_tree, _) = build_tree(false, 6, 3_000, 74);
         let mut gen = KeyGen::new(75);
-        let probes: Vec<u32> = gen.keys(10_000).into_iter().filter(|k| !keys.contains(k)).collect();
+        let probes: Vec<u32> = gen
+            .keys(10_000)
+            .into_iter()
+            .filter(|k| !keys.contains(k))
+            .collect();
 
         let mut filtered_stats = LsmStats::default();
         let mut plain_stats = LsmStats::default();
@@ -216,6 +232,9 @@ mod tests {
         assert_eq!(run.get(1), Some(10));
         assert_eq!(run.get(2), Some(20));
         assert!(run.get(4).is_none());
-        assert!(run.may_contain(4), "runs without filters may always contain a key");
+        assert!(
+            run.may_contain(4),
+            "runs without filters may always contain a key"
+        );
     }
 }

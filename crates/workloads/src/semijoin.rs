@@ -114,7 +114,11 @@ impl SemiJoin {
             }
         }
         // The filter is broadcast once per probe node.
-        self.outcome(shipped, matches, filter_bytes * self.probe_nodes.len() as u64)
+        self.outcome(
+            shipped,
+            matches,
+            filter_bytes * self.probe_nodes.len() as u64,
+        )
     }
 
     fn outcome(&self, tuples_shipped: u64, matches: u64, broadcast_bytes: u64) -> SemiJoinOutcome {
@@ -150,16 +154,31 @@ mod tests {
     #[test]
     fn filter_preserves_the_join_result() {
         let semijoin = build_semijoin(0.2, 4, 25_000);
-        let config = FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic));
+        let config = FilterConfig::Bloom(BloomConfig::cache_sectorized(
+            512,
+            64,
+            2,
+            8,
+            Addressing::Magic,
+        ));
         let without = semijoin.run_without_filter();
         let with = semijoin.run_with_filter(&config, 16.0);
-        assert_eq!(without.matches, with.matches, "semi-join result must be identical");
+        assert_eq!(
+            without.matches, with.matches,
+            "semi-join result must be identical"
+        );
     }
 
     #[test]
     fn selective_workloads_ship_far_fewer_tuples_and_bytes() {
         let semijoin = build_semijoin(0.05, 8, 20_000);
-        let config = FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic));
+        let config = FilterConfig::Bloom(BloomConfig::cache_sectorized(
+            512,
+            64,
+            2,
+            8,
+            Addressing::Magic,
+        ));
         let without = semijoin.run_without_filter();
         let with = semijoin.run_with_filter(&config, 16.0);
         assert!(with.tuples_shipped < without.tuples_shipped / 5);
@@ -169,7 +188,13 @@ mod tests {
     #[test]
     fn non_selective_workloads_make_the_filter_pure_overhead() {
         let semijoin = build_semijoin(1.0, 2, 10_000);
-        let config = FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic));
+        let config = FilterConfig::Bloom(BloomConfig::cache_sectorized(
+            512,
+            64,
+            2,
+            8,
+            Addressing::Magic,
+        ));
         let without = semijoin.run_without_filter();
         let with = semijoin.run_with_filter(&config, 16.0);
         // Every tuple survives, so the broadcast filter only adds bytes.

@@ -13,7 +13,10 @@ fn main() {
 
     // One-time calibration of a reduced configuration space on this host.
     let space = ConfigSpace::default();
-    println!("calibrating {} filter configurations (measured lookups)…", space.all_configs().len());
+    println!(
+        "calibrating {} filter configurations (measured lookups)…",
+        space.all_configs().len()
+    );
     let calibrator = Calibrator {
         probe_count: 16 * 1024,
         repetitions: 2,
@@ -31,7 +34,11 @@ fn main() {
     let mut previous_kind: Option<FilterKind> = None;
     for exponent in [4u32, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24] {
         let work_saved = f64::from(1u32 << exponent);
-        let rec = advisor.recommend(&WorkloadSpec { n, work_saved_cycles: work_saved, sigma });
+        let rec = advisor.recommend(&WorkloadSpec {
+            n,
+            work_saved_cycles: work_saved,
+            sigma,
+        });
         let marker = match previous_kind {
             Some(prev) if prev != rec.config.kind() => "  <-- crossover",
             _ => "",
@@ -47,5 +54,7 @@ fn main() {
     }
 
     println!("\nAs in the paper: cheap lookups (blocked Bloom) win while the work saved per");
-    println!("filtered tuple is small; precision (Cuckoo) wins once each false positive is costly.");
+    println!(
+        "filtered tuple is small; precision (Cuckoo) wins once each false positive is costly."
+    );
 }

@@ -25,7 +25,13 @@ fn main() {
         pipeline.pre_join_work = 16;
 
         let filter = AnyFilter::build_with_keys(
-            &FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic)),
+            &FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::Magic,
+            )),
             &workload.dimension_keys,
             16.0,
         )
@@ -39,7 +45,10 @@ fn main() {
         let filtered = pipeline.run_with_filter(&filter);
         let filtered_time = start.elapsed();
 
-        assert_eq!(unfiltered.matches, filtered.matches, "filter must not change the result");
+        assert_eq!(
+            unfiltered.matches, filtered.matches,
+            "filter must not change the result"
+        );
         println!(
             "{sigma:>6.2} {:>14.1} {:>14.1} {:>8.2}x {:>16}",
             unfiltered_time.as_secs_f64() * 1e3,

@@ -7,7 +7,11 @@
 use pof::prelude::*;
 use pof::workloads::{LsmStats, Run};
 
-fn build_tree(config: Option<&FilterConfig>, runs: usize, keys_per_run: usize) -> (LsmTree, Vec<u32>) {
+fn build_tree(
+    config: Option<&FilterConfig>,
+    runs: usize,
+    keys_per_run: usize,
+) -> (LsmTree, Vec<u32>) {
     let mut gen = KeyGen::new(19);
     let mut tree = LsmTree::new();
     let mut all_keys = Vec::new();
@@ -28,10 +32,19 @@ fn main() {
     let run_read_cycles = 30_000.0;
     let filter_probe_cycles = 15.0;
 
-    let bloom = FilterConfig::Bloom(BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic));
+    let bloom = FilterConfig::Bloom(BloomConfig::cache_sectorized(
+        512,
+        64,
+        2,
+        8,
+        Addressing::Magic,
+    ));
     let cuckoo = FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::Magic));
-    let configurations: [(&str, Option<&FilterConfig>); 3] =
-        [("no filter", None), ("cache-sectorized Bloom (k=8)", Some(&bloom)), ("Cuckoo (l=16,b=2)", Some(&cuckoo))];
+    let configurations: [(&str, Option<&FilterConfig>); 3] = [
+        ("no filter", None),
+        ("cache-sectorized Bloom (k=8)", Some(&bloom)),
+        ("Cuckoo (l=16,b=2)", Some(&cuckoo)),
+    ];
 
     println!("LSM tree: {runs} runs x {keys_per_run} keys, {lookups} negative-heavy point lookups");
     println!(
@@ -51,7 +64,14 @@ fn main() {
             "{name:<30} {:>12} {:>14} {:>20.1}",
             stats.run_reads,
             stats.run_reads_avoided,
-            stats.simulated_cost(run_read_cycles, if config.is_some() { filter_probe_cycles } else { 0.0 }) / 1e6
+            stats.simulated_cost(
+                run_read_cycles,
+                if config.is_some() {
+                    filter_probe_cycles
+                } else {
+                    0.0
+                }
+            ) / 1e6
         );
     }
 

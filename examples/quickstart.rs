@@ -20,7 +20,10 @@ fn main() {
     }
 
     println!("filter                          size        modeled f   measured f");
-    for (name, filter) in [("cache-sectorized Bloom", &bloom as &dyn Filter), ("Cuckoo (l=16,b=2)", &cuckoo)] {
+    for (name, filter) in [
+        ("cache-sectorized Bloom", &bloom as &dyn Filter),
+        ("Cuckoo (l=16,b=2)", &cuckoo),
+    ] {
         let measured = pof::filter::measured_fpr(filter, &keys, 2_000_000, 7).fpr;
         let modeled = match name {
             "cache-sectorized Bloom" => bloom.modeled_fpr(),
@@ -47,7 +50,10 @@ fn main() {
     // --- 3. Ask the advisor which filter is performance-optimal. -----------
     let advisor = FilterAdvisor::with_synthetic_calibration(ConfigSpace::default());
     println!("\nadvisor recommendations (n = 1M keys, sigma = 0.1):");
-    println!("{:<18} {:<42} {:>10} {:>9}", "work saved (cyc)", "recommended configuration", "bits/key", "speedup");
+    println!(
+        "{:<18} {:<42} {:>10} {:>9}",
+        "work saved (cyc)", "recommended configuration", "bits/key", "speedup"
+    );
     for work_saved in [50.0, 500.0, 50_000.0, 5_000_000.0] {
         let rec = advisor.recommend(&WorkloadSpec {
             n: keys.len() as u64,

@@ -1,0 +1,98 @@
+//! The sharded filter store end to end: build an advisor-configured store,
+//! serve concurrent batched lookups from several reader threads while a
+//! writer keeps inserting (forcing shard rebuilds), and report per-shard
+//! statistics plus the observed false-positive rate.
+//!
+//! Run with: `cargo run --release --example store_serving`
+
+use pof::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    // An advisor-chosen store: high-throughput probe pipeline (~200 cycles
+    // saved per rejected tuple, 10% hit rate) => a Bloom filter family.
+    let store = Arc::new(
+        StoreBuilder::new()
+            .shards(8)
+            .expected_keys(1 << 18)
+            .advised(200.0, 0.1)
+            .build(),
+    );
+    println!(
+        "store: {} shards, config {}",
+        store.shard_count(),
+        store.config().label()
+    );
+
+    let mut gen = KeyGen::new(2024);
+    let initial = gen.distinct_keys(1 << 18);
+    store.insert_batch(&initial);
+
+    // Reader threads: batched lookups against snapshot-isolated shards.
+    let readers = std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .min(4);
+    let stop = Arc::new(AtomicBool::new(false));
+    let probed = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..readers)
+        .map(|r| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let probed = Arc::clone(&probed);
+            std::thread::spawn(move || {
+                let mut gen = KeyGen::new(7_000 + r as u64);
+                let probes = gen.keys(1 << 16);
+                let mut sel = SelectionVector::with_capacity(4096);
+                while !stop.load(Ordering::Relaxed) {
+                    for batch in probes.chunks(4096) {
+                        sel.clear();
+                        store.contains_batch(batch, &mut sel);
+                    }
+                    probed.fetch_add(probes.len() as u64, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // Writer: keep growing the store while the readers run.
+    let mut inserted_late = 0usize;
+    while start.elapsed().as_millis() < 500 {
+        let batch = gen.distinct_keys(8_192);
+        store.insert_batch(&batch);
+        inserted_late += batch.len();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for handle in handles {
+        handle.join().expect("reader thread panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let lookups = probed.load(Ordering::Relaxed);
+    println!(
+        "{readers} reader(s): {:.1}M lookups/s while inserting {inserted_late} keys concurrently",
+        lookups as f64 / elapsed / 1e6
+    );
+
+    // Per-shard statistics and the measured false-positive rate.
+    let stats = store.stats();
+    println!(
+        "keys {}  size {:.1} MiB  rebuilds {}  imbalance {:.2}",
+        stats.total_keys(),
+        stats.total_size_bits() as f64 / 8.0 / 1024.0 / 1024.0,
+        stats.total_rebuilds(),
+        stats.imbalance()
+    );
+    for shard in &stats.shards {
+        println!(
+            "  shard {:>2}: {:>7} keys  {:>5.1} bits/key  modeled fpr {:.2e}  kernel {}",
+            shard.shard, shard.keys, shard.bits_per_key, shard.modeled_fpr, shard.kernel
+        );
+    }
+    println!(
+        "modeled fpr {:.3e}  observed fpr {:.3e}",
+        stats.weighted_modeled_fpr(),
+        store.observed_fpr(500_000, 11)
+    );
+}

@@ -1,0 +1,316 @@
+//! Minimal vendored stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate implements the
+//! slice of the criterion API the workspace's benches use: benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up for the configured warm-up time,
+//! then runs timed batches until the configured measurement time elapses, and
+//! reports the median per-iteration time (plus element throughput when a
+//! [`Throughput`] was set). There is no statistical analysis, no HTML report
+//! and no baseline comparison — results are printed as one line per benchmark,
+//! which is what the workspace's EXPERIMENTS workflow consumes.
+
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group: function name + parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Create an id with a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        if self.function.is_empty() {
+            self.parameter.clone()
+        } else if self.parameter.is_empty() {
+            self.function.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            function: name.to_string(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self {
+            function: name,
+            parameter: String::new(),
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (keys, lookups, tuples) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+#[derive(Debug)]
+pub struct Criterion {
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_warm_up: Duration::from_millis(300),
+            default_measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== bench group: {name} ==");
+        let (warm_up, measurement) = (self.default_warm_up, self.default_measurement);
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            warm_up,
+            measurement,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let warm_up = self.default_warm_up;
+        let measurement = self.default_measurement;
+        run_one("", &id.into(), warm_up, measurement, None, |b| routine(b));
+        self
+    }
+}
+
+/// A group of related benchmarks sharing timing settings and throughput units.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness is time-bounded rather
+    /// than sample-count-bounded.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the warm-up duration.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Set the per-iteration throughput used for derived rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a routine that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let (warm_up, measurement, throughput) = (self.warm_up, self.measurement, self.throughput);
+        run_one(&self.name, &id, warm_up, measurement, throughput, |b| {
+            routine(b, input);
+        });
+        self
+    }
+
+    /// Benchmark a routine without an explicit input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let (warm_up, measurement, throughput) = (self.warm_up, self.measurement, self.throughput);
+        run_one(
+            &self.name,
+            &id.into(),
+            warm_up,
+            measurement,
+            throughput,
+            |b| {
+                routine(b);
+            },
+        );
+        self
+    }
+
+    /// Finish the group (report output is already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    group: &str,
+    id: &BenchmarkId,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    mut routine: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        warm_up,
+        measurement,
+        ns_per_iter: None,
+    };
+    routine(&mut bencher);
+    let label = if group.is_empty() {
+        id.render()
+    } else {
+        format!("{group}/{}", id.render())
+    };
+    match bencher.ns_per_iter {
+        Some(ns) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!("  thrpt: {:>10.2} Melem/s", n as f64 / ns * 1e3)
+                }
+                Throughput::Bytes(n) => {
+                    format!("  thrpt: {:>10.2} MiB/s", n as f64 / ns * 1e3 / 1.048_576)
+                }
+            });
+            eprintln!(
+                "{label:<60} time: {:>12.1} ns/iter{}",
+                ns,
+                rate.unwrap_or_default()
+            );
+        }
+        None => eprintln!("{label:<60} (no iter() call)"),
+    }
+}
+
+/// Timing harness handed to each benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Time a routine: warm up, then run timed batches until the measurement
+    /// window closes, recording the median batch's per-iteration time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: also discovers how many iterations fit a batch.
+        let warm_start = Instant::now();
+        let mut iters_in_warmup: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+            iters_in_warmup += 1;
+        }
+        // Aim for ~50 batches over the measurement window.
+        let warm_ns = warm_start.elapsed().as_nanos() as f64 / iters_in_warmup.max(1) as f64;
+        let batch = ((self.measurement.as_nanos() as f64 / 50.0 / warm_ns.max(1.0)) as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::new();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement || samples.is_empty() {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Mirror of criterion's `black_box` (re-export of the std hint).
+pub use std::hint::black_box;
+
+/// Define a function running a list of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main()` running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim-self-test");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        group.throughput(Throughput::Elements(1));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("noop", 1), &42u64, |b, &x| {
+            b.iter(|| x.wrapping_mul(3));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}
