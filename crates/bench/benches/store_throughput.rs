@@ -1,17 +1,24 @@
 //! Multi-threaded lookup throughput of the sharded filter store: shard count
-//! x thread count x filter family.
+//! x thread count x filter family — plus a mixed insert/delete/lookup
+//! lifecycle workload sweeping the three rebuild policies.
 //!
 //! The serving-layer claim behind `pof-store`: batched lookups against
 //! snapshot-isolated shards scale with reader threads (lookups are wait-free
 //! against writers and share no mutable state), so aggregate throughput at T
 //! threads approaches T times the single-thread rate on hosts with T cores.
+//! The lifecycle sweep quantifies the policy trade-off: inline doubling pays
+//! for rebuilds on the write path, FPR drift amortizes them against the
+//! budget, deferred batching moves them into `maintain()` entirely.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pof_bloom::{Addressing, BloomConfig};
 use pof_core::FilterConfig;
 use pof_cuckoo::{CuckooAddressing, CuckooConfig};
 use pof_filter::{KeyGen, SelectionVector};
-use pof_store::{ShardedFilterStore, StoreBuilder};
+use pof_store::{
+    DeferredBatch, FprDrift, RebuildPolicy, SaturationDoubling, ShardedFilterStore, StoreBuilder,
+};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -105,5 +112,84 @@ fn bench_store_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_store_throughput);
+/// Mixed lifecycle workload: each iteration inserts one fresh batch, deletes
+/// the batch inserted `LAG` iterations ago, probes a fixed key stream, and
+/// runs a maintenance round every eighth iteration. The live key count stays
+/// roughly constant (`LAG · LIFECYCLE_BATCH`), so the sweep isolates the
+/// policies' *maintenance* cost rather than unbounded growth.
+fn bench_store_lifecycle(c: &mut Criterion) {
+    const LIFECYCLE_BATCH: usize = 4 * 1024;
+    const LAG: usize = 4;
+    let policies: Vec<(&str, Arc<dyn RebuildPolicy>)> = vec![
+        ("saturation-doubling", Arc::new(SaturationDoubling)),
+        ("fpr-drift", Arc::new(FprDrift::new(2.0))),
+        ("deferred-batch", Arc::new(DeferredBatch::new(8 * 1024))),
+    ];
+    let families: Vec<(&str, FilterConfig)> = vec![
+        (
+            "bloom-cs512",
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::Magic,
+            )),
+        ),
+        (
+            "cuckoo-l16b2",
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+        ),
+    ];
+    let mut group = c.benchmark_group("store_lifecycle");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for (family, config) in &families {
+        for (policy_name, policy) in &policies {
+            let store = StoreBuilder::new()
+                .shards(8)
+                .expected_keys(LAG * LIFECYCLE_BATCH)
+                .bits_per_key(16.0)
+                .config(*config)
+                .rebuild_policy(Arc::clone(policy))
+                .build();
+            let mut gen = KeyGen::new(0x11FE);
+            let probes = gen.keys(LIFECYCLE_BATCH);
+            let mut backlog: VecDeque<Vec<u32>> = VecDeque::new();
+            for _ in 0..LAG {
+                let batch = gen.distinct_keys(LIFECYCLE_BATCH);
+                store.insert_batch(&batch);
+                backlog.push_back(batch);
+            }
+            let mut sel = SelectionVector::with_capacity(LIFECYCLE_BATCH);
+            let mut iteration = 0usize;
+            // Elements per iteration: one insert batch + one delete batch +
+            // one probe batch.
+            group.throughput(Throughput::Elements(3 * LIFECYCLE_BATCH as u64));
+            group.bench_function(BenchmarkId::new(*family, *policy_name), |b| {
+                b.iter(|| {
+                    let fresh = gen.distinct_keys(LIFECYCLE_BATCH);
+                    store.insert_batch(&fresh);
+                    backlog.push_back(fresh);
+                    let old = backlog
+                        .pop_front()
+                        .expect("backlog primed with LAG batches");
+                    store.delete_batch(&old);
+                    sel.clear();
+                    store.contains_batch(&probes, &mut sel);
+                    iteration += 1;
+                    if iteration.is_multiple_of(8) {
+                        store.maintain();
+                    }
+                    sel.len()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_throughput, bench_store_lifecycle);
 criterion_main!(benches);

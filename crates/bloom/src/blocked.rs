@@ -4,8 +4,8 @@
 //! The scalar lookup paths are direct transcriptions of Listing 1 (word-
 //! addressed blocked lookup) and Listing 2 (register-blocked lookup with a
 //! single comparison), generalised to sectors and sector groups as described
-//! in §3.2. The batched lookup path dispatches to AVX2 kernels (see
-//! [`crate::simd`]) when the CPU supports them and the configuration is
+//! in §3.2. The batched lookup path dispatches to AVX2 kernels (the
+//! crate-private `simd` module) when the CPU supports them and the configuration is
 //! SIMD-friendly; the scalar and SIMD paths are bit-for-bit equivalent, which
 //! the property tests assert.
 

@@ -1,5 +1,5 @@
 //! A dynamically configured filter: any Bloom variant or Cuckoo filter behind
-//! one enum, buildable from a [`FilterConfig`](crate::configspace::FilterConfig).
+//! one enum, buildable from a [`FilterConfig`].
 //!
 //! The hot paths of the individual filters stay statically dispatched inside
 //! their crates; this enum only adds one match per (batched) call, which is
@@ -8,7 +8,7 @@
 use crate::configspace::FilterConfig;
 use pof_bloom::{BlockedBloom, ClassicBloom};
 use pof_cuckoo::CuckooFilter;
-use pof_filter::{Filter, FilterKind, SelectionVector};
+use pof_filter::{DeleteOutcome, Filter, FilterKind, SelectionVector};
 
 /// A filter of any supported configuration.
 #[derive(Debug, Clone)]
@@ -124,6 +124,26 @@ impl Filter for AnyFilter {
         }
     }
 
+    /// Deletability, exposed uniformly across families: Cuckoo filters delete
+    /// one stored signature in place; the Bloom variants report
+    /// [`DeleteOutcome::Unsupported`] (their bits are shared between keys), so
+    /// callers can fall back to tombstoning plus a later rebuild.
+    fn try_delete(&mut self, key: u32) -> DeleteOutcome {
+        match self {
+            Self::Bloom(f) => f.try_delete(key),
+            Self::ClassicBloom(f) => f.try_delete(key),
+            Self::Cuckoo(f) => f.try_delete(key),
+        }
+    }
+
+    fn supports_delete(&self) -> bool {
+        match self {
+            Self::Bloom(f) => f.supports_delete(),
+            Self::ClassicBloom(f) => f.supports_delete(),
+            Self::Cuckoo(f) => f.supports_delete(),
+        }
+    }
+
     fn contains_batch(&self, keys: &[u32], sel: &mut SelectionVector) {
         match self {
             Self::Bloom(f) => f.contains_batch(keys, sel),
@@ -217,6 +237,28 @@ mod tests {
             filter.contains_batch(&probes, &mut sel);
             let expected = probes.iter().filter(|k| filter.contains(**k)).count();
             assert_eq!(sel.len(), expected, "{}", config.label());
+        }
+    }
+
+    #[test]
+    fn deletability_follows_the_family() {
+        let mut gen = KeyGen::new(43);
+        let keys = gen.distinct_keys(500);
+        for config in sample_configs() {
+            let mut filter = AnyFilter::build_with_keys(&config, &keys, 24.0).unwrap();
+            match filter.kind() {
+                FilterKind::Cuckoo => {
+                    assert!(filter.supports_delete(), "{}", config.label());
+                    assert_eq!(filter.try_delete(keys[0]), DeleteOutcome::Removed);
+                    // Deleting a key twice finds nothing the second time.
+                    assert_eq!(filter.try_delete(keys[0]), DeleteOutcome::NotFound);
+                }
+                FilterKind::Bloom => {
+                    assert!(!filter.supports_delete(), "{}", config.label());
+                    assert_eq!(filter.try_delete(keys[0]), DeleteOutcome::Unsupported);
+                    assert!(filter.contains(keys[0]), "{}", config.label());
+                }
+            }
         }
     }
 

@@ -4,7 +4,7 @@
 use crate::config::CuckooConfig;
 use crate::packed::PackedArray;
 use crate::simd;
-use pof_filter::{Filter, FilterKind, SelectionVector};
+use pof_filter::{DeleteOutcome, Filter, FilterKind, SelectionVector};
 use pof_hash::fingerprint::{signature, signature_hash};
 use pof_hash::mul::hash32;
 use pof_hash::Modulus;
@@ -329,6 +329,21 @@ impl Filter for CuckooFilter {
         if !simd::dispatch(self, keys, sel, kernel) {
             self.contains_batch_scalar(keys, sel);
         }
+    }
+
+    /// Cuckoo filters support deletion: remove one stored occurrence of the
+    /// key's signature (see [`CuckooFilter::delete`] for the collision
+    /// caveat).
+    fn try_delete(&mut self, key: u32) -> DeleteOutcome {
+        if self.delete(key) {
+            DeleteOutcome::Removed
+        } else {
+            DeleteOutcome::NotFound
+        }
+    }
+
+    fn supports_delete(&self) -> bool {
+        true
     }
 
     fn size_bits(&self) -> u64 {

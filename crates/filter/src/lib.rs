@@ -23,4 +23,4 @@ pub mod traits;
 pub use keygen::{KeyGen, Workload};
 pub use selection::SelectionVector;
 pub use stats::{measured_fpr, FprMeasurement};
-pub use traits::{Filter, FilterKind};
+pub use traits::{DeleteOutcome, Filter, FilterKind};

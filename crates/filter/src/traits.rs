@@ -22,6 +22,33 @@ impl std::fmt::Display for FilterKind {
     }
 }
 
+/// Outcome of a [`Filter::try_delete`] call.
+///
+/// Deletion is a *capability*, not a guarantee: Cuckoo filters store discrete
+/// fingerprints and can remove one occurrence of a key, while plain Bloom
+/// variants share bits between keys and cannot unset anything without
+/// corrupting other members. The three-way outcome lets callers (such as the
+/// sharded store's shard lifecycle) pick a strategy per family — delete in
+/// place when `Removed`, fall back to tombstoning and a later rebuild when
+/// `Unsupported` — through one uniform interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeleteOutcome {
+    /// One occurrence of the key was found and removed from the structure.
+    Removed,
+    /// The structure supports deletion but held no occurrence of the key.
+    NotFound,
+    /// The structure cannot delete keys (Bloom variants, frozen snapshots).
+    Unsupported,
+}
+
+impl DeleteOutcome {
+    /// True if the call actually removed an occurrence of the key.
+    #[must_use]
+    pub fn removed(self) -> bool {
+        matches!(self, Self::Removed)
+    }
+}
+
 /// The unified approximate-membership filter interface (§5 of the paper).
 ///
 /// Keys are 32-bit integers, matching the paper's evaluation ("random 32-bit
@@ -69,6 +96,25 @@ pub trait Filter {
         let start = sel.len();
         self.contains_batch(keys, sel);
         sel.offset_tail(start, base);
+    }
+
+    /// Remove one occurrence of `key`, if this filter family supports
+    /// deletion.
+    ///
+    /// The default refuses ([`DeleteOutcome::Unsupported`]): Bloom variants
+    /// share bits between keys, so unsetting anything would introduce false
+    /// negatives for other members. Cuckoo filters override this to remove a
+    /// stored fingerprint. As with every fingerprint-based delete, removing a
+    /// key that was never inserted may evict a colliding key's signature —
+    /// only delete keys known to be present.
+    fn try_delete(&mut self, _key: u32) -> DeleteOutcome {
+        DeleteOutcome::Unsupported
+    }
+
+    /// True if [`Filter::try_delete`] can ever return something other than
+    /// [`DeleteOutcome::Unsupported`] for this filter.
+    fn supports_delete(&self) -> bool {
+        false
     }
 
     /// Memory footprint of the filter data in bits (the paper's `m`).
@@ -144,6 +190,21 @@ mod tests {
             filter.contains_batch_offset(chunk, (i * 3) as u32, &mut chunked);
         }
         assert_eq!(chunked.as_slice(), oneshot.as_slice());
+    }
+
+    #[test]
+    fn delete_defaults_to_unsupported() {
+        let mut filter = ExactSet {
+            keys: HashSet::new(),
+        };
+        assert!(filter.insert(9));
+        assert!(!filter.supports_delete());
+        assert_eq!(filter.try_delete(9), DeleteOutcome::Unsupported);
+        assert!(!DeleteOutcome::Unsupported.removed());
+        assert!(!DeleteOutcome::NotFound.removed());
+        assert!(DeleteOutcome::Removed.removed());
+        // The default must not have touched the structure.
+        assert!(filter.contains(9));
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Construction of sharded stores: shard count, per-shard budget, and either
 //! a pinned filter configuration or one chosen by the `FilterAdvisor`.
 
+use crate::policy::{RebuildPolicy, SaturationDoubling};
 use crate::store::ShardedFilterStore;
 use pof_bloom::{Addressing, BloomConfig};
 use pof_core::{ConfigSpace, FilterAdvisor, FilterConfig, WorkloadSpec};
+use std::sync::Arc;
 
 /// Where the per-shard filter configuration comes from.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +41,7 @@ pub struct StoreBuilder {
     expected_keys: usize,
     bits_per_key: f64,
     config: ConfigSource,
+    policy: Arc<dyn RebuildPolicy>,
 }
 
 impl Default for StoreBuilder {
@@ -48,9 +51,10 @@ impl Default for StoreBuilder {
 }
 
 impl StoreBuilder {
-    /// Defaults: 8 shards, 64k expected keys, 12 bits/key, and the paper's
+    /// Defaults: 8 shards, 64k expected keys, 12 bits/key, the paper's
     /// canonical high-throughput Bloom configuration (cache-sectorized,
-    /// 512-bit blocks, 64-bit sectors, z = 2, k = 8, magic addressing).
+    /// 512-bit blocks, 64-bit sectors, z = 2, k = 8, magic addressing), and
+    /// the [`SaturationDoubling`] lifecycle policy.
     #[must_use]
     pub fn new() -> Self {
         Self {
@@ -64,6 +68,7 @@ impl StoreBuilder {
                 8,
                 Addressing::Magic,
             ))),
+            policy: Arc::new(SaturationDoubling),
         }
     }
 
@@ -93,6 +98,20 @@ impl StoreBuilder {
     #[must_use]
     pub fn config(mut self, config: FilterConfig) -> Self {
         self.config = ConfigSource::Pinned(config);
+        self
+    }
+
+    /// Select the shard-lifecycle [`RebuildPolicy`]: when shards rebuild
+    /// their filters, how rebuild capacity is chosen, and whether saturated
+    /// writes are deferred to [`maintain`](ShardedFilterStore::maintain).
+    ///
+    /// Defaults to [`SaturationDoubling`] (inline doubling, the store's
+    /// classic behavior). See [`FprDrift`](crate::FprDrift) and
+    /// [`DeferredBatch`](crate::DeferredBatch) for the other built-ins; any
+    /// `Arc<dyn RebuildPolicy>` works, one instance is shared by all shards.
+    #[must_use]
+    pub fn rebuild_policy(mut self, policy: Arc<dyn RebuildPolicy>) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -128,7 +147,13 @@ impl StoreBuilder {
                 (recommendation.config, recommendation.bits_per_key)
             }
         };
-        ShardedFilterStore::new(config, shard_count, capacity_per_shard, bits_per_key)
+        ShardedFilterStore::with_policy(
+            config,
+            shard_count,
+            capacity_per_shard,
+            bits_per_key,
+            self.policy,
+        )
     }
 }
 
@@ -149,6 +174,27 @@ mod tests {
             .build();
         assert_eq!(store.shard_count(), 4);
         assert_eq!(store.config(), config);
+    }
+
+    #[test]
+    fn builder_selects_the_rebuild_policy() {
+        use crate::policy::{DeferredBatch, FprDrift};
+        for (policy, name) in [
+            (
+                Arc::new(SaturationDoubling) as Arc<dyn RebuildPolicy>,
+                "saturation-doubling",
+            ),
+            (Arc::new(FprDrift::new(2.0)), "fpr-drift"),
+            (Arc::new(DeferredBatch::new(512)), "deferred-batch"),
+        ] {
+            let store = StoreBuilder::new()
+                .shards(2)
+                .expected_keys(1_000)
+                .rebuild_policy(policy)
+                .build();
+            store.insert_batch(&[1, 2, 3]);
+            assert!(store.stats().shards.iter().all(|s| s.policy == name));
+        }
     }
 
     #[test]

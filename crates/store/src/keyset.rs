@@ -1,0 +1,207 @@
+//! Compact writer-side key bookkeeping: one order-preserving set.
+//!
+//! Each shard must remember every live key it holds, for two reasons: keys
+//! are replayed (in their original insertion order, which keeps Cuckoo
+//! rebuilds deterministic) whenever the shard's filter is rebuilt, and
+//! duplicate inserts must be detected so the store keeps *set* semantics.
+//! The previous implementation paid for this twice over — a `Vec<u32>` for
+//! order plus a `HashSet<u32>` for O(1) dedup, roughly 3x the raw key bytes.
+//!
+//! [`CompactKeySet`] replaces the pair with a single structure at ~2x the raw
+//! key bytes: the authoritative insertion-ordered log, plus a *sorted run*
+//! over an indexed prefix of it. Membership is a binary search of the sorted
+//! run plus a linear scan of the short unindexed tail (the insertion-ordered
+//! append log); the tail is folded into the sorted run whenever it outgrows
+//! [`LOG_LIMIT`], and fully at every shard rebuild.
+
+/// Maximum length of the unindexed tail before it is folded into the sorted
+/// run. Bounds the linear-scan cost of a membership check; folding is
+/// amortized O(log n) per key (pdqsort on an almost-sorted buffer).
+const LOG_LIMIT: usize = 256;
+
+/// An order-preserving set of `u32` keys with compact bookkeeping.
+///
+/// Invariants:
+/// * `ordered` holds every live key exactly once, in insertion order;
+/// * `sorted` is a sorted copy of `ordered[..indexed]`;
+/// * `ordered[indexed..]` (the append log) is at most [`LOG_LIMIT`] long
+///   between folds.
+#[derive(Debug, Default)]
+pub(crate) struct CompactKeySet {
+    /// Authoritative key list, insertion order — the rebuild replay log.
+    ordered: Vec<u32>,
+    /// Sorted copy of `ordered[..indexed]`, binary-searched for dedup.
+    sorted: Vec<u32>,
+    /// How many leading keys of `ordered` are covered by `sorted`.
+    indexed: usize,
+}
+
+impl CompactKeySet {
+    /// Create an empty set.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live keys.
+    pub(crate) fn len(&self) -> usize {
+        self.ordered.len()
+    }
+
+    /// The live keys in insertion order (the rebuild replay log).
+    pub(crate) fn as_ordered_slice(&self) -> &[u32] {
+        &self.ordered
+    }
+
+    /// Membership test: binary search of the sorted run, then a linear scan
+    /// of the bounded append log.
+    pub(crate) fn contains(&self, key: u32) -> bool {
+        self.sorted.binary_search(&key).is_ok() || self.ordered[self.indexed..].contains(&key)
+    }
+
+    /// Insert a key; returns `true` if it was not already present.
+    pub(crate) fn insert(&mut self, key: u32) -> bool {
+        if self.contains(key) {
+            return false;
+        }
+        self.ordered.push(key);
+        if self.ordered.len() - self.indexed > LOG_LIMIT {
+            self.fold();
+        }
+        true
+    }
+
+    /// Remove every key in `doomed` (a **sorted, deduplicated** slice; keys
+    /// not present are ignored).
+    ///
+    /// One compacting pass over the ordered log and one over the sorted run
+    /// — O(n + k·log k) for the whole batch, instead of an O(n) scan per
+    /// key. The insertion-ordered log has no per-key back-pointers (that
+    /// index is exactly the memory this structure exists to avoid), so
+    /// deletes are batch-first by design.
+    pub(crate) fn remove_sorted_batch(&mut self, doomed: &[u32]) {
+        debug_assert!(doomed.windows(2).all(|w| w[0] < w[1]), "must be sorted");
+        if doomed.is_empty() {
+            return;
+        }
+        let indexed = self.indexed;
+        let mut surviving_prefix = 0;
+        let mut out = 0;
+        for read in 0..self.ordered.len() {
+            let key = self.ordered[read];
+            if doomed.binary_search(&key).is_ok() {
+                continue;
+            }
+            self.ordered[out] = key;
+            out += 1;
+            if read < indexed {
+                surviving_prefix += 1;
+            }
+        }
+        self.ordered.truncate(out);
+        self.indexed = surviving_prefix;
+        self.sorted.retain(|key| doomed.binary_search(key).is_err());
+    }
+
+    /// Fold the append log into the sorted run ("sorted-run dedup"): extend
+    /// with the tail and re-sort. The buffer is two sorted runs back to back,
+    /// which pdqsort handles in near-linear time.
+    pub(crate) fn fold(&mut self) {
+        if self.indexed == self.ordered.len() {
+            return;
+        }
+        self.sorted.extend_from_slice(&self.ordered[self.indexed..]);
+        self.sorted.sort_unstable();
+        self.indexed = self.ordered.len();
+    }
+
+    /// Bytes of key payload held by the bookkeeping: the ordered log plus the
+    /// sorted run (at most ~2x the raw key bytes, vs ~3x for the former
+    /// `Vec<u32>` + `HashSet<u32>` pair). Excludes `Vec` growth slack.
+    pub(crate) fn bookkeeping_bytes(&self) -> usize {
+        (self.ordered.len() + self.sorted.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_is_set_semantics_and_preserves_order() {
+        let mut set = CompactKeySet::new();
+        let keys = [5u32, 3, 9, 3, 5, 7, 9, 1];
+        let mut fresh = 0;
+        for &key in &keys {
+            if set.insert(key) {
+                fresh += 1;
+            }
+        }
+        assert_eq!(fresh, 5);
+        assert_eq!(set.len(), 5);
+        assert_eq!(set.as_ordered_slice(), &[5, 3, 9, 7, 1]);
+        for &key in &[5u32, 3, 9, 7, 1] {
+            assert!(set.contains(key));
+        }
+        assert!(!set.contains(2));
+    }
+
+    #[test]
+    fn dedup_spans_the_fold_boundary() {
+        // Insert enough keys to force several folds, then re-insert every one
+        // of them: all re-inserts must be rejected whether the key sits in
+        // the sorted run or in the unindexed tail.
+        let mut set = CompactKeySet::new();
+        let keys: Vec<u32> = (0..(LOG_LIMIT as u32 * 3 + 17))
+            .map(|i| i * 7 + 1)
+            .collect();
+        for &key in &keys {
+            assert!(set.insert(key));
+        }
+        for &key in &keys {
+            assert!(!set.insert(key), "duplicate accepted for {key}");
+        }
+        assert_eq!(set.len(), keys.len());
+        assert_eq!(set.as_ordered_slice(), keys.as_slice());
+    }
+
+    #[test]
+    fn remove_updates_order_index_and_membership() {
+        let mut set = CompactKeySet::new();
+        let keys: Vec<u32> = (0..(LOG_LIMIT as u32 * 2)).map(|i| i * 3).collect();
+        for &key in &keys {
+            set.insert(key);
+        }
+        // Remove from the indexed prefix and from the fresh tail in one
+        // batch; absent keys are ignored.
+        set.insert(1_000_003); // tail key (just appended)
+        set.remove_sorted_batch(&[keys[0], 999_999, 1_000_003]);
+        assert!(!set.contains(keys[0]));
+        assert!(!set.contains(1_000_003));
+        assert_eq!(set.len(), keys.len() - 1);
+        // A second batch with the same keys removes nothing further.
+        set.remove_sorted_batch(&[keys[0], 1_000_003]);
+        assert_eq!(set.len(), keys.len() - 1);
+        // Order of the survivors is untouched, and reinsert works.
+        assert_eq!(set.as_ordered_slice()[0], keys[1]);
+        assert!(set.insert(keys[0]));
+        assert_eq!(*set.as_ordered_slice().last().unwrap(), keys[0]);
+        // Dedup still works across the whole structure after removals.
+        for &key in set.as_ordered_slice().to_vec().iter() {
+            assert!(!set.insert(key));
+        }
+    }
+
+    #[test]
+    fn bookkeeping_stays_within_two_words_per_key() {
+        let mut set = CompactKeySet::new();
+        for key in 0..10_000u32 {
+            set.insert(key.wrapping_mul(2_654_435_769));
+        }
+        set.fold();
+        let bytes_per_key = set.bookkeeping_bytes() as f64 / set.len() as f64;
+        assert!(
+            bytes_per_key <= 8.0 + 1e-9,
+            "expected <= 8 bytes/key, got {bytes_per_key}"
+        );
+    }
+}

@@ -19,11 +19,28 @@
 //!   probe each shard through its vectorised kernel, and merge the per-shard
 //!   position lists back into one batch-ordered
 //!   [`SelectionVector`](pof_filter::SelectionVector),
-//! * shards rebuild themselves when they saturate (a Cuckoo shard whose
-//!   relocation search fails, or any shard growing past its sized capacity),
-//!   without ever losing a key: the authoritative key list lives on the
-//!   write side,
-//! * [`StoreStats`] exposes per-shard occupancy, size and modeled FPR, and
+//! * the shard **lifecycle is policy-driven**: a pluggable [`RebuildPolicy`]
+//!   decides when shards rebuild their filters and how large the rebuild is.
+//!   [`SaturationDoubling`] (the default) doubles inline the moment a shard
+//!   outgrows its capacity or its filter refuses a key; [`FprDrift`] rebuilds
+//!   when the modeled false-positive rate drifts past a budget multiple,
+//!   re-fitting (growing *or shrinking*) to the live key count;
+//!   [`DeferredBatch`] keeps writes latency-flat by parking overflow keys in
+//!   an exact side buffer (probed by readers, so nothing goes missing) and
+//!   folding them in on the next [`ShardedFilterStore::maintain`] call,
+//! * the store **deletes**: [`ShardedFilterStore::delete_batch`] removes
+//!   Cuckoo signatures in place and republishes; Bloom shards *tombstone* —
+//!   the key leaves [`ShardedFilterStore::key_count`] immediately while its
+//!   bits linger as false positives until the policy's next rebuild. No
+//!   policy ever loses a live key: the authoritative key bookkeeping lives on
+//!   the write side in a compact order-preserving key set (~2x raw key
+//!   bytes: an insertion-ordered replay log plus a sorted dedup run),
+//! * steady-state reads are **allocation-free**: a reader holding a
+//!   [`StoreSnapshot`] and a reusable [`ProbeScratch`] routes every batch
+//!   through [`StoreSnapshot::contains_batch_with`] without touching the
+//!   heap,
+//! * [`StoreStats`] exposes per-shard occupancy, size, modeled FPR,
+//!   tombstones, overflow and bookkeeping bytes, and
 //!   [`ShardedFilterStore::observed_fpr`] measures the empirical rate through
 //!   `pof-filter`'s measurement machinery.
 //!
@@ -33,11 +50,13 @@
 //! use pof_store::StoreBuilder;
 //! use pof_filter::SelectionVector;
 //!
-//! // An advisor-configured store for ~64k keys served by 4 shards.
+//! // An advisor-configured store for ~64k keys served by 4 shards, with
+//! // latency-flat deferred maintenance.
 //! let store = StoreBuilder::new()
 //!     .shards(4)
 //!     .expected_keys(64 * 1024)
 //!     .advised(200.0, 0.1)
+//!     .rebuild_policy(std::sync::Arc::new(pof_store::DeferredBatch::new(4_096)))
 //!     .build();
 //!
 //! let keys: Vec<u32> = (0..10_000u32).map(|i| i * 2 + 1).collect();
@@ -48,16 +67,27 @@
 //! store.contains_batch(&probes, &mut sel);
 //! // Every inserted key qualifies; non-members only as false positives.
 //! assert!(sel.len() >= keys.len());
+//!
+//! // Deletes work for every family; folds/purges run on demand.
+//! let removed = store.delete_batch(&keys[..1_000]);
+//! assert_eq!(removed, 1_000);
+//! store.maintain();
+//! assert_eq!(store.key_count(), 9_000);
 //! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 mod builder;
+mod keyset;
+mod policy;
 mod shard;
 mod stats;
 mod store;
 
 pub use builder::{ConfigSource, StoreBuilder};
+pub use policy::{
+    DeferredBatch, FprDrift, RebuildDecision, RebuildPolicy, SaturationDoubling, ShardObservation,
+};
 pub use stats::{ShardStats, StoreStats};
-pub use store::{ShardedFilterStore, StoreSnapshot};
+pub use store::{ProbeScratch, ShardedFilterStore, StoreSnapshot};

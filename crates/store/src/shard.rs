@@ -1,39 +1,74 @@
 //! One shard: a mutable write side guarded by a mutex, and an immutable
 //! published snapshot readers probe without ever blocking on writers.
+//!
+//! The write path is policy-driven: the shard appends keys to its compact
+//! key set, asks its [`RebuildPolicy`] what to do (insert in place, rebuild,
+//! or defer into the overflow buffer), and publishes a fresh
+//! [`ShardSnapshot`] whenever readers could observe the difference.
 
+use crate::keyset::CompactKeySet;
+use crate::policy::{RebuildDecision, RebuildPolicy, ShardObservation};
 use pof_core::{AnyFilter, FilterConfig};
-use pof_filter::Filter;
-use std::collections::HashSet;
+use pof_filter::{DeleteOutcome, Filter};
 use std::sync::{Arc, Mutex, RwLock};
+
+/// What readers probe: the shard's filter at one publish point, plus the
+/// exact overflow side buffer of keys a deferring policy has not yet folded
+/// into the filter. Probing the buffer keeps the no-false-negative contract
+/// even while keys are parked outside the filter.
+#[derive(Debug)]
+pub(crate) struct ShardSnapshot {
+    /// The published filter.
+    pub(crate) filter: AnyFilter,
+    /// Sorted copy of the overflow buffer at publish time (usually empty).
+    pub(crate) overflow: Vec<u32>,
+}
+
+impl ShardSnapshot {
+    /// Is `key` in the published filter or parked in the overflow buffer?
+    #[inline]
+    pub(crate) fn contains(&self, key: u32) -> bool {
+        self.filter.contains(key) || self.overflow.binary_search(&key).is_ok()
+    }
+
+    /// Published footprint: filter bits plus the raw bits of parked keys.
+    pub(crate) fn size_bits(&self) -> u64 {
+        self.filter.size_bits() + 32 * self.overflow.len() as u64
+    }
+}
 
 /// The write side of a shard. Only ever touched under the shard's write lock.
 #[derive(Debug)]
 pub(crate) struct ShardWriter {
     /// The filter being mutated. Cloned into a snapshot on publish.
     filter: AnyFilter,
-    /// Authoritative key list (distinct keys, insertion order), used to
-    /// rebuild the filter on saturation. Kept *alongside* `seen` on purpose:
-    /// the vector preserves insertion order, which makes rebuilds
-    /// deterministic (a Cuckoo filter's slot placement depends on insert
-    /// order; replaying from the randomized-iteration-order set would
-    /// produce a different filter on every rebuild). The ~4 bytes/key of
-    /// duplication is the price; compacting this bookkeeping is a ROADMAP
-    /// item.
-    keys: Vec<u32>,
-    /// Membership index over `keys`: the store is a *set*, so duplicate
-    /// inserts must be no-ops. (Replaying duplicates would also break Cuckoo
-    /// rebuilds: a Cuckoo filter is a bag holding at most `2·b` copies of one
-    /// fingerprint, so a key inserted more than `2·b` times can never fit at
-    /// any capacity and the rebuild loop would grow forever.)
-    seen: HashSet<u32>,
+    /// Authoritative live-key bookkeeping: one compact order-preserving set
+    /// (insertion-ordered replay log + sorted dedup run) instead of the
+    /// former `Vec<u32>` + `HashSet<u32>` pair. Insertion order is preserved
+    /// because a Cuckoo filter's slot placement depends on insert order —
+    /// replaying in any other order would produce a different filter on
+    /// every rebuild.
+    keys: CompactKeySet,
+    /// Keys diverted by a deferring policy: present in `keys`, *not* in
+    /// `filter`. Kept sorted so the publish path clones it as-is and the
+    /// delete path can binary-search it. Readers see the snapshot's copy.
+    overflow: Vec<u32>,
+    /// Deleted keys still represented in the filter (Bloom shards cannot
+    /// unset bits). Purged to zero by every rebuild.
+    tombstones: usize,
     /// Number of keys the current filter was sized for.
     capacity: usize,
     /// Configuration every (re)build of this shard uses.
     config: FilterConfig,
     /// Bits-per-key budget every (re)build of this shard uses.
     bits_per_key: f64,
-    /// Number of saturation-triggered rebuilds performed so far.
+    /// Modeled FPR of `(config, bits_per_key)` at nominal occupancy — the
+    /// budget that drift-based policies compare against.
+    budget_fpr: f64,
+    /// Number of policy-triggered rebuilds performed so far.
     rebuilds: u64,
+    /// The lifecycle policy consulted on every append/delete/maintain.
+    policy: Arc<dyn RebuildPolicy>,
 }
 
 /// A shard of the store.
@@ -43,78 +78,180 @@ pub(crate) struct Shard {
     /// The published snapshot. Readers take the read lock only long enough to
     /// clone the `Arc`; the actual probing happens on the clone, outside any
     /// lock, so a concurrent rebuild never stalls or torments a reader.
-    snapshot: RwLock<Arc<AnyFilter>>,
+    snapshot: RwLock<Arc<ShardSnapshot>>,
+}
+
+/// One mutually consistent sample of a shard, for stats reporting.
+pub(crate) struct ShardView {
+    /// The published snapshot at sample time.
+    pub(crate) snapshot: Arc<ShardSnapshot>,
+    /// Live keys (inserted minus deleted, overflow included).
+    pub(crate) keys: usize,
+    /// Policy-triggered rebuilds so far.
+    pub(crate) rebuilds: u64,
+    /// Tombstoned (deleted but still filter-resident) keys.
+    pub(crate) tombstones: usize,
+    /// Keys parked in the overflow buffer.
+    pub(crate) overflow: usize,
+    /// Writer-side bookkeeping bytes (see `CompactKeySet`).
+    pub(crate) bookkeeping_bytes: usize,
+    /// Name of the active rebuild policy.
+    pub(crate) policy: &'static str,
 }
 
 impl Shard {
     /// Create an empty shard sized for `capacity` keys.
-    pub(crate) fn new(config: FilterConfig, capacity: usize, bits_per_key: f64) -> Self {
+    pub(crate) fn new(
+        config: FilterConfig,
+        capacity: usize,
+        bits_per_key: f64,
+        policy: Arc<dyn RebuildPolicy>,
+    ) -> Self {
         let capacity = capacity.max(64);
         let filter = AnyFilter::build(&config, capacity, bits_per_key);
-        let snapshot = Arc::new(filter.clone());
+        // The budget a drift policy compares against: the configuration's
+        // modeled FPR at nominal occupancy. Infeasible Cuckoo budgets (the
+        // build raises them to the minimum feasible bits-per-key) fall back
+        // to the rate near the maximum load factor.
+        let budget_fpr = config
+            .modeled_fpr(capacity as f64, bits_per_key)
+            .unwrap_or_else(|| match &config {
+                FilterConfig::Cuckoo(c) => c.modeled_fpr(0.95),
+                // Bloom budgets are always feasible; this arm is unreachable.
+                _ => f64::INFINITY,
+            });
+        let snapshot = Arc::new(ShardSnapshot {
+            filter: filter.clone(),
+            overflow: Vec::new(),
+        });
         Self {
             writer: Mutex::new(ShardWriter {
                 filter,
-                keys: Vec::new(),
-                seen: HashSet::new(),
+                keys: CompactKeySet::new(),
+                overflow: Vec::new(),
+                tombstones: 0,
                 capacity,
                 config,
                 bits_per_key,
+                budget_fpr,
                 rebuilds: 0,
+                policy,
             }),
             snapshot: RwLock::new(snapshot),
         }
     }
 
     /// Load the current published snapshot.
-    pub(crate) fn load(&self) -> Arc<AnyFilter> {
+    pub(crate) fn load(&self) -> Arc<ShardSnapshot> {
         Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
     }
 
-    /// Insert a batch of keys routed to this shard, rebuilding on saturation,
-    /// then publish a fresh snapshot.
+    /// Publish the writer's current state. Must be called while holding the
+    /// writer lock: if the snapshot swap happened after unlock, a slower
+    /// writer could overwrite a newer snapshot with its older clone,
+    /// momentarily hiding committed keys from readers. Readers only ever
+    /// take the snapshot *read* lock, so holding both here cannot deadlock.
+    fn publish(&self, writer: &ShardWriter) {
+        let snapshot = Arc::new(ShardSnapshot {
+            filter: writer.filter.clone(),
+            // Already sorted — the writer maintains the invariant.
+            overflow: writer.overflow.clone(),
+        });
+        *self.snapshot.write().expect("snapshot lock poisoned") = snapshot;
+    }
+
+    /// Insert a batch of keys routed to this shard (rebuilding or deferring
+    /// per the shard's policy), then publish a fresh snapshot — unless every
+    /// key in the batch was a duplicate, in which case nothing observable
+    /// changed and the clone-and-publish is skipped entirely.
     pub(crate) fn insert_batch(&self, keys: &[u32]) {
         if keys.is_empty() {
             return;
         }
         let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let mut fresh = 0usize;
         for &key in keys {
-            writer.insert_with_growth(key);
+            if writer.insert_one(key) {
+                fresh += 1;
+            }
         }
-        // Publish while still holding the writer lock: if the snapshot swap
-        // happened after unlock, a slower writer could overwrite a newer
-        // snapshot with its older clone, momentarily hiding committed keys
-        // from readers. Readers only ever take the snapshot *read* lock, so
-        // holding both here cannot deadlock.
-        let snapshot = Arc::new(writer.filter.clone());
-        *self.snapshot.write().expect("snapshot lock poisoned") = snapshot;
+        // Any fresh key changed either the filter or the overflow buffer;
+        // an all-duplicate batch changed neither.
+        if fresh > 0 {
+            self.publish(&writer);
+        }
     }
 
-    /// Number of keys inserted into this shard.
+    /// Delete a batch of keys routed to this shard. Returns how many were
+    /// actually removed. Cuckoo shards delete in place and republish; Bloom
+    /// shards tombstone (the key leaves the bookkeeping immediately, the
+    /// filter bits stay until the policy's next rebuild).
+    pub(crate) fn delete_batch(&self, keys: &[u32]) -> usize {
+        if keys.is_empty() {
+            return 0;
+        }
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let (removed, mut observable) = writer.delete_many(keys);
+        if removed > 0 {
+            if let RebuildDecision::Rebuild { capacity } = writer.policy_decision_on_delete() {
+                writer.rebuild(capacity);
+                observable = true;
+            }
+        }
+        if observable {
+            self.publish(&writer);
+        }
+        removed
+    }
+
+    /// Run one maintenance round: ask the policy whether deferred work
+    /// (overflow folds, tombstone purges, re-fits) should happen now.
+    /// Returns `true` if the shard was rebuilt.
+    pub(crate) fn maintain(&self) -> bool {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        if let RebuildDecision::Rebuild { capacity } = writer.policy_decision_on_maintain() {
+            writer.rebuild(capacity);
+            self.publish(&writer);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of live keys in this shard.
     pub(crate) fn key_count(&self) -> usize {
         self.writer.lock().expect("writer lock poisoned").keys.len()
     }
 
-    /// A mutually consistent `(snapshot, key_count, rebuilds)` triple.
+    /// A mutually consistent sample of this shard.
     ///
     /// Taken under the writer lock — and snapshots are only ever published
     /// under that same lock — so the snapshot cannot be newer or older than
     /// the counters it is paired with (separate `load()` + `key_count()`
     /// calls could interleave with a rebuild and pair a stale filter size
     /// with a fresh key count).
-    pub(crate) fn consistent_view(&self) -> (Arc<AnyFilter>, usize, u64) {
+    pub(crate) fn consistent_view(&self) -> ShardView {
         let writer = self.writer.lock().expect("writer lock poisoned");
         let snapshot = Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"));
-        (snapshot, writer.keys.len(), writer.rebuilds)
+        ShardView {
+            snapshot,
+            keys: writer.keys.len(),
+            rebuilds: writer.rebuilds,
+            tombstones: writer.tombstones,
+            overflow: writer.overflow.len(),
+            bookkeeping_bytes: writer.keys.bookkeeping_bytes(),
+            policy: writer.policy.name(),
+        }
     }
 
-    /// Copy of this shard's authoritative key list.
+    /// Copy of this shard's authoritative live-key list (insertion order).
     pub(crate) fn keys(&self) -> Vec<u32> {
         self.writer
             .lock()
             .expect("writer lock poisoned")
             .keys
-            .clone()
+            .as_ordered_slice()
+            .to_vec()
     }
 
     /// The configuration this shard builds its filters from.
@@ -124,45 +261,139 @@ impl Shard {
 }
 
 impl ShardWriter {
-    /// Insert one key, growing the filter when it is saturated. Duplicate
-    /// keys are no-ops (set semantics).
-    fn insert_with_growth(&mut self, key: u32) {
-        if !self.seen.insert(key) {
-            return;
-        }
-        // Proactive growth: once the shard holds as many keys as the filter
-        // was sized for, a Bloom shard's false-positive rate starts degrading
-        // past its budgeted rate and a Cuckoo shard approaches its maximum
-        // load factor. Double before that point.
-        self.keys.push(key);
-        if self.keys.len() > self.capacity {
-            // Replays every key (including the new one) into a doubled filter.
-            self.rebuild(self.capacity * 2);
-        } else if !self.filter.insert(key) {
-            // A Cuckoo relocation chain failed below nominal capacity; rebuild
-            // with head-room (the rebuild itself retries larger sizes until
-            // every key, including this one, fits).
-            self.rebuild(self.capacity * 2);
+    /// The policy's view of this writer.
+    fn observe(&self) -> ShardObservation<'_> {
+        ShardObservation {
+            live_keys: self.keys.len(),
+            capacity: self.capacity,
+            overflow_len: self.overflow.len(),
+            tombstones: self.tombstones,
+            occupancy: self.keys.len() - self.overflow.len() + self.tombstones,
+            budget_fpr: self.budget_fpr,
+            filter: &self.filter,
+            config: &self.config,
         }
     }
 
-    /// Rebuild the filter from the authoritative key list at a new capacity.
+    /// Insert one key. Duplicates are no-ops (set semantics — replaying
+    /// duplicates would also break Cuckoo rebuilds: a Cuckoo filter is a bag
+    /// holding at most `2·b` copies of one fingerprint, so a key inserted
+    /// more than `2·b` times can never fit at any capacity and the rebuild
+    /// loop would grow forever). Returns `true` if the key was fresh.
+    fn insert_one(&mut self, key: u32) -> bool {
+        if !self.keys.insert(key) {
+            return false;
+        }
+        match self.policy.on_append(&self.observe()) {
+            RebuildDecision::Rebuild { capacity } => self.rebuild(capacity),
+            RebuildDecision::Defer => self.defer(key),
+            RebuildDecision::Keep => {
+                if !self.filter.insert(key) {
+                    // The filter refused the key (Cuckoo relocation failure
+                    // below nominal capacity).
+                    match self.policy.on_filter_full(&self.observe()) {
+                        RebuildDecision::Rebuild { capacity } => self.rebuild(capacity),
+                        // Whatever the policy says, the key must stay
+                        // represented somewhere: defer it.
+                        RebuildDecision::Defer | RebuildDecision::Keep => self.defer(key),
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Park a key in the (sorted) overflow buffer. The key is fresh in the
+    /// key set, so it cannot already be present here.
+    fn defer(&mut self, key: u32) {
+        let position = self.overflow.partition_point(|&k| k < key);
+        self.overflow.insert(position, key);
+    }
+
+    /// Delete a batch of keys from the bookkeeping, the overflow buffer, or
+    /// the filter — wherever each currently lives. Returns `(removed,
+    /// observable)`: how many live keys were removed, and whether readers
+    /// could tell (tombstone-only deletes leave the published state
+    /// bit-identical).
+    fn delete_many(&mut self, keys: &[u32]) -> (usize, bool) {
+        // Dedup the batch down to live keys (one O(log n) probe each): a key
+        // listed twice is removed once, absent keys are no-ops.
+        let mut doomed: Vec<u32> = keys
+            .iter()
+            .copied()
+            .filter(|&key| self.keys.contains(key))
+            .collect();
+        doomed.sort_unstable();
+        doomed.dedup();
+        if doomed.is_empty() {
+            return (0, false);
+        }
+        // One compacting pass over the bookkeeping for the whole batch.
+        self.keys.remove_sorted_batch(&doomed);
+        // Keys parked in the overflow buffer were never in the filter: drop
+        // them from the buffer and skip the filter delete.
+        let from_overflow: Vec<u32> = self
+            .overflow
+            .iter()
+            .copied()
+            .filter(|key| doomed.binary_search(key).is_ok())
+            .collect();
+        let mut observable = !from_overflow.is_empty();
+        self.overflow
+            .retain(|key| doomed.binary_search(key).is_err());
+        for &key in &doomed {
+            if from_overflow.binary_search(&key).is_ok() {
+                continue;
+            }
+            match self.filter.try_delete(key) {
+                DeleteOutcome::Removed => observable = true,
+                // Bloom shards (and the defensive not-found case) tombstone:
+                // the key leaves the bookkeeping now, its bits leave at the
+                // next rebuild.
+                DeleteOutcome::Unsupported | DeleteOutcome::NotFound => self.tombstones += 1,
+            }
+        }
+        (doomed.len(), observable)
+    }
+
+    /// The policy's post-delete-batch decision (`Defer` is meaningless for
+    /// deletes and treated as `Keep`).
+    fn policy_decision_on_delete(&self) -> RebuildDecision {
+        match self.policy.on_delete(&self.observe()) {
+            RebuildDecision::Defer => RebuildDecision::Keep,
+            decision => decision,
+        }
+    }
+
+    /// The policy's maintenance decision (`Defer` treated as `Keep`).
+    fn policy_decision_on_maintain(&self) -> RebuildDecision {
+        match self.policy.on_maintain(&self.observe()) {
+            RebuildDecision::Defer => RebuildDecision::Keep,
+            decision => decision,
+        }
+    }
+
+    /// Rebuild the filter from the authoritative key set at a new capacity.
     ///
-    /// Keys already inserted are replayed into the fresh filter; the filter
-    /// replaces the write side only (readers keep the previous snapshot until
-    /// the caller publishes).
+    /// Live keys are replayed (in insertion order) into the fresh filter;
+    /// the overflow buffer folds in and tombstones are purged. The filter
+    /// replaces the write side only — readers keep the previous snapshot
+    /// until the caller publishes.
     fn rebuild(&mut self, capacity: usize) {
         let capacity = capacity.max(64);
+        self.keys.fold();
         'grow: for attempt in 0.. {
             let grown = capacity << attempt;
             let mut filter = AnyFilter::build(&self.config, grown, self.bits_per_key);
-            for &key in &self.keys {
+            for &key in self.keys.as_ordered_slice() {
                 if !filter.insert(key) {
                     continue 'grow;
                 }
             }
             self.filter = filter;
             self.capacity = grown;
+            self.overflow.clear();
+            self.tombstones = 0;
             self.rebuilds += 1;
             return;
         }

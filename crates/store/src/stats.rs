@@ -15,8 +15,19 @@ pub struct ShardStats {
     pub bits_per_key: f64,
     /// Analytical false-positive rate at the current occupancy.
     pub modeled_fpr: f64,
-    /// Saturation-triggered rebuilds this shard has performed.
+    /// Policy-triggered rebuilds this shard has performed.
     pub rebuilds: u64,
+    /// Deleted keys still represented in the filter (Bloom shards cannot
+    /// unset bits; the active rebuild policy decides when they are purged).
+    pub tombstones: u64,
+    /// Keys parked in the shard's exact overflow side buffer by a deferring
+    /// policy, awaiting the next maintenance fold.
+    pub overflow: u64,
+    /// Writer-side bookkeeping bytes (the compact key set's ordered log plus
+    /// sorted run — at most ~2x the raw key bytes).
+    pub bookkeeping_bytes: u64,
+    /// Name of the active rebuild policy.
+    pub policy: &'static str,
     /// Configuration label of the shard filter.
     pub config_label: String,
     /// Active batch-lookup kernel (`scalar`, `avx2-…`).
@@ -51,6 +62,24 @@ impl StoreStats {
     #[must_use]
     pub fn total_rebuilds(&self) -> u64 {
         self.shards.iter().map(|s| s.rebuilds).sum()
+    }
+
+    /// Total tombstoned (deleted but still filter-resident) keys.
+    #[must_use]
+    pub fn total_tombstones(&self) -> u64 {
+        self.shards.iter().map(|s| s.tombstones).sum()
+    }
+
+    /// Total keys parked in overflow side buffers.
+    #[must_use]
+    pub fn total_overflow(&self) -> u64 {
+        self.shards.iter().map(|s| s.overflow).sum()
+    }
+
+    /// Total writer-side bookkeeping bytes across all shards.
+    #[must_use]
+    pub fn total_bookkeeping_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.bookkeeping_bytes).sum()
     }
 
     /// The store-level analytical false-positive rate: the key-weighted mean
@@ -101,6 +130,10 @@ mod tests {
             bits_per_key: 12.0,
             modeled_fpr: fpr,
             rebuilds: index as u64,
+            tombstones: index as u64 * 2,
+            overflow: index as u64 * 3,
+            bookkeeping_bytes: keys * 8,
+            policy: "saturation-doubling",
             config_label: "test".to_string(),
             kernel: "scalar",
         }
@@ -112,6 +145,9 @@ mod tests {
         assert_eq!(stats.total_keys(), 400);
         assert_eq!(stats.total_size_bits(), 4_800);
         assert_eq!(stats.total_rebuilds(), 1);
+        assert_eq!(stats.total_tombstones(), 2);
+        assert_eq!(stats.total_overflow(), 3);
+        assert_eq!(stats.total_bookkeeping_bytes(), 3_200);
         let expected = (0.01 * 100.0 + 0.03 * 300.0) / 400.0;
         assert!((stats.weighted_modeled_fpr() - expected).abs() < 1e-12);
         assert!((stats.imbalance() - 3.0).abs() < 1e-12);

@@ -1,10 +1,11 @@
 //! The sharded filter store and its frozen read snapshot.
 
-use crate::shard::Shard;
+use crate::policy::{RebuildPolicy, SaturationDoubling};
+use crate::shard::{Shard, ShardSnapshot};
 use crate::stats::{ShardStats, StoreStats};
 use pof_core::{AnyFilter, FilterConfig};
 use pof_filter::stats::measured_fpr;
-use pof_filter::{Filter, FilterKind, SelectionVector};
+use pof_filter::{DeleteOutcome, Filter, FilterKind, SelectionVector};
 use std::sync::Arc;
 
 /// Compile-time audit that the store (and therefore `AnyFilter`) can be
@@ -17,7 +18,7 @@ const _: () = {
 };
 
 /// A concurrent approximate-membership store: `P` filter shards, batch-first
-/// lookups, snapshot-isolated reads.
+/// lookups, snapshot-isolated reads, and a policy-driven shard lifecycle.
 ///
 /// Routing: a key's shard is the top `log2(P)` bits of an avalanche mix of
 /// the key ([`pof_hash::mix32`]) — deliberately a *different* hash family
@@ -27,11 +28,17 @@ const _: () = {
 /// Readers ([`contains`](Self::contains) /
 /// [`contains_batch`](Self::contains_batch)) never block on writers: they
 /// probe the shard's last published snapshot. Writers
-/// ([`insert_batch`](Self::insert_batch)) serialize per shard, mutate a
-/// private write-side filter (rebuilding it when saturated) and publish a new
-/// snapshot per batch. A key is therefore visible to readers once the
-/// `insert_batch` call that carried it returns — and published snapshots
-/// never lose keys, which the concurrency tests assert.
+/// ([`insert_batch`](Self::insert_batch) /
+/// [`delete_batch`](Self::delete_batch)) serialize per shard, mutate a
+/// private write-side filter and publish a new snapshot per batch. A key is
+/// therefore visible to readers once the `insert_batch` call that carried it
+/// returns — and published snapshots never lose keys, which the concurrency
+/// tests assert.
+///
+/// *When* a shard rebuilds its filter — inline doubling on saturation,
+/// modeled-FPR drift, or deferred-until-[`maintain`](Self::maintain) — is
+/// decided by the store's [`RebuildPolicy`] (see
+/// [`StoreBuilder::rebuild_policy`](crate::StoreBuilder::rebuild_policy)).
 #[derive(Debug)]
 pub struct ShardedFilterStore {
     shards: Vec<Shard>,
@@ -39,9 +46,35 @@ pub struct ShardedFilterStore {
     shard_bits: u32,
 }
 
+/// Reusable scratch buffers for the batched read path.
+///
+/// [`StoreSnapshot::contains_batch_with`] routes a batch to its shards with a
+/// counting sort through these buffers; holding one `ProbeScratch` (plus one
+/// [`SelectionVector`]) per reader thread makes steady-state batched lookups
+/// allocation-free, which the store's allocation-counting test asserts.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    cursors: Vec<usize>,
+    starts: Vec<usize>,
+    routed_keys: Vec<u32>,
+    routed_positions: Vec<u32>,
+    qualifies: Vec<bool>,
+    shard_sel: SelectionVector,
+}
+
+impl ProbeScratch {
+    /// Create an empty scratch; buffers grow on first use and are reused
+    /// afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl ShardedFilterStore {
     /// Create a store with `shard_count` shards (rounded up to a power of
-    /// two), each sized for `capacity_per_shard` keys at `bits_per_key`.
+    /// two), each sized for `capacity_per_shard` keys at `bits_per_key`,
+    /// using the default [`SaturationDoubling`] lifecycle policy.
     ///
     /// Most callers should go through [`StoreBuilder`](crate::StoreBuilder).
     #[must_use]
@@ -51,9 +84,34 @@ impl ShardedFilterStore {
         capacity_per_shard: usize,
         bits_per_key: f64,
     ) -> Self {
+        Self::with_policy(
+            config,
+            shard_count,
+            capacity_per_shard,
+            bits_per_key,
+            Arc::new(SaturationDoubling),
+        )
+    }
+
+    /// Create a store whose shards follow an explicit [`RebuildPolicy`].
+    #[must_use]
+    pub fn with_policy(
+        config: FilterConfig,
+        shard_count: usize,
+        capacity_per_shard: usize,
+        bits_per_key: f64,
+        policy: Arc<dyn RebuildPolicy>,
+    ) -> Self {
         let shard_count = shard_count.max(1).next_power_of_two();
         let shards = (0..shard_count)
-            .map(|_| Shard::new(config, capacity_per_shard, bits_per_key))
+            .map(|_| {
+                Shard::new(
+                    config,
+                    capacity_per_shard,
+                    bits_per_key,
+                    Arc::clone(&policy),
+                )
+            })
             .collect();
         Self {
             shards,
@@ -82,10 +140,11 @@ impl ShardedFilterStore {
     ///
     /// Each shard's keys are applied under that shard's write lock and become
     /// visible to readers atomically (per shard) when its fresh snapshot is
-    /// published at the end of the batch. Inserts never fail: a shard whose
-    /// filter cannot accommodate a key (Cuckoo relocation failure, or growth
-    /// past its sized capacity) rebuilds itself with more space. The store
-    /// has *set* semantics — re-inserting a key already present is a no-op.
+    /// published at the end of the batch; a shard whose slice of the batch
+    /// was entirely duplicates skips the publish (nothing observable
+    /// changed). Inserts never fail: a shard whose filter cannot accommodate
+    /// a key rebuilds or defers per its [`RebuildPolicy`]. The store has
+    /// *set* semantics — re-inserting a key already present is a no-op.
     pub fn insert_batch(&self, keys: &[u32]) {
         let mut routed: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
         for &key in keys {
@@ -94,6 +153,38 @@ impl ShardedFilterStore {
         for (shard, keys) in self.shards.iter().zip(&routed) {
             shard.insert_batch(keys);
         }
+    }
+
+    /// Delete a batch of keys, fanning out to the owning shards. Returns how
+    /// many keys were actually removed (keys not present are no-ops).
+    ///
+    /// Cuckoo shards delete in place and republish immediately; Bloom shards
+    /// *tombstone* — the key leaves the bookkeeping (and [`Self::key_count`])
+    /// at once, while its filter bits linger as false positives until the
+    /// shard's [`RebuildPolicy`] next rebuilds, e.g. on the next saturation
+    /// rebuild, an FPR-drift re-fit, or an explicit [`Self::maintain`] call.
+    pub fn delete_batch(&self, keys: &[u32]) -> usize {
+        let mut routed: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        for &key in keys {
+            routed[self.shard_of(key)].push(key);
+        }
+        self.shards
+            .iter()
+            .zip(&routed)
+            .map(|(shard, keys)| shard.delete_batch(keys))
+            .sum()
+    }
+
+    /// Run one maintenance round over every shard: fold deferred overflow
+    /// buffers, purge tombstones, re-fit capacities — whatever the active
+    /// [`RebuildPolicy`] decides is due. Returns the number of shards that
+    /// rebuilt.
+    ///
+    /// Readers are unaffected while this runs (they keep probing the last
+    /// published snapshots); call it from an ingest pause, a timer, or after
+    /// a delete wave.
+    pub fn maintain(&self) -> usize {
+        self.shards.iter().filter(|shard| shard.maintain()).count()
     }
 
     /// Point lookup against the current snapshots.
@@ -109,7 +200,9 @@ impl ShardedFilterStore {
     /// The batch is routed per shard, each shard slice is probed through the
     /// shard filter's vectorised batch kernel against one consistent
     /// snapshot, and the per-shard position lists are merged back to batch
-    /// order.
+    /// order. Steady-state readers that want the allocation-free path should
+    /// hold a [`StoreSnapshot`] and a [`ProbeScratch`] and call
+    /// [`StoreSnapshot::contains_batch_with`].
     pub fn contains_batch(&self, keys: &[u32], sel: &mut SelectionVector) {
         self.snapshot().contains_batch(keys, sel)
     }
@@ -123,18 +216,21 @@ impl ShardedFilterStore {
     #[must_use]
     pub fn snapshot(&self) -> StoreSnapshot {
         StoreSnapshot {
-            filters: self.shards.iter().map(Shard::load).collect(),
+            shards: self.shards.iter().map(Shard::load).collect(),
             shard_bits: self.shard_bits,
         }
     }
 
-    /// Total number of distinct keys inserted across all shards.
+    /// Total number of live (inserted and not deleted) keys across all
+    /// shards. Tombstoned keys are *not* counted — a deleted key leaves the
+    /// count immediately even while its bits linger in a Bloom shard.
     #[must_use]
     pub fn key_count(&self) -> usize {
         self.shards.iter().map(Shard::key_count).sum()
     }
 
-    /// Total filter size in bits across all shards (current snapshots).
+    /// Total published size in bits across all shards (filter bits plus any
+    /// overflow-buffer keys).
     #[must_use]
     pub fn size_bits(&self) -> u64 {
         self.shards.iter().map(|s| s.load().size_bits()).sum()
@@ -151,9 +247,9 @@ impl ShardedFilterStore {
                 // One consistent view per shard: pairing a snapshot with
                 // counters read under separate locks could mix a pre-rebuild
                 // filter size with a post-rebuild key count.
-                let (snapshot, keys, rebuilds) = shard.consistent_view();
-                let keys = keys as u64;
-                let size_bits = snapshot.size_bits();
+                let view = shard.consistent_view();
+                let keys = view.keys as u64;
+                let size_bits = view.snapshot.size_bits();
                 ShardStats {
                     shard: index,
                     keys,
@@ -163,10 +259,14 @@ impl ShardedFilterStore {
                     } else {
                         size_bits as f64 / keys as f64
                     },
-                    modeled_fpr: snapshot.modeled_fpr(),
-                    rebuilds,
-                    config_label: snapshot.config_label(),
-                    kernel: snapshot.kernel_name(),
+                    modeled_fpr: view.snapshot.filter.modeled_fpr(),
+                    rebuilds: view.rebuilds,
+                    tombstones: view.tombstones as u64,
+                    overflow: view.overflow as u64,
+                    bookkeeping_bytes: view.bookkeeping_bytes as u64,
+                    policy: view.policy,
+                    config_label: view.snapshot.filter.config_label(),
+                    kernel: view.snapshot.filter.kernel_name(),
                 }
             })
             .collect();
@@ -174,12 +274,14 @@ impl ShardedFilterStore {
     }
 
     /// Measure the store's empirical false-positive rate: probe `probe_count`
-    /// keys guaranteed to be non-members (relative to the full inserted key
-    /// set) through the batch path and report the qualifying fraction.
+    /// keys guaranteed to be non-members (relative to the full live key set)
+    /// through the batch path and report the qualifying fraction.
     ///
     /// Delegates to [`pof_filter::stats::measured_fpr`] over a frozen
     /// [`StoreSnapshot`], so the measurement also exercises the per-shard
-    /// SIMD kernels.
+    /// SIMD kernels. Note that recently deleted keys on Bloom shards count as
+    /// false positives until their tombstones are purged — that is the honest
+    /// read-path behavior.
     #[must_use]
     pub fn observed_fpr(&self, probe_count: usize, seed: u64) -> f64 {
         // Freeze the probed view *before* gathering members: the member list
@@ -199,10 +301,10 @@ impl ShardedFilterStore {
 }
 
 impl Filter for ShardedFilterStore {
-    /// Insert via the unified trait. Never fails (shards rebuild on
+    /// Insert via the unified trait. Never fails (shards rebuild or defer on
     /// saturation), so this always returns `true`.
     ///
-    /// **Cost note:** every insert publishes a fresh shard snapshot, which
+    /// **Cost note:** every fresh insert publishes a shard snapshot, which
     /// clones the shard's whole filter — per-key point inserts through this
     /// trait are O(filter size) each. Loops should go through
     /// [`ShardedFilterStore::insert_batch`], which publishes once per batch.
@@ -217,6 +319,21 @@ impl Filter for ShardedFilterStore {
 
     fn contains_batch(&self, keys: &[u32], sel: &mut SelectionVector) {
         ShardedFilterStore::contains_batch(self, keys, sel);
+    }
+
+    /// The store supports deletion for *every* shard family: Cuckoo shards
+    /// remove the signature in place, Bloom shards tombstone and leave the
+    /// purge to the rebuild policy. See [`ShardedFilterStore::delete_batch`].
+    fn try_delete(&mut self, key: u32) -> DeleteOutcome {
+        if self.delete_batch(std::slice::from_ref(&key)) == 1 {
+            DeleteOutcome::Removed
+        } else {
+            DeleteOutcome::NotFound
+        }
+    }
+
+    fn supports_delete(&self) -> bool {
+        true
     }
 
     fn size_bits(&self) -> u64 {
@@ -241,11 +358,14 @@ impl Filter for ShardedFilterStore {
 /// Snapshots are cheap (`P` atomic reference bumps), can outlive the store,
 /// and implement [`Filter`]'s read side, so anything that probes a filter —
 /// the LSM substrate, the measurement harness, a join pipeline — can probe a
-/// whole sharded store through the same interface. The write side is inert:
-/// [`Filter::insert`] on a snapshot reports failure rather than mutating.
+/// whole sharded store through the same interface. Each per-shard view
+/// includes the shard's overflow side buffer (keys a deferring policy has
+/// parked outside the filter), so deferred keys stay visible. The write side
+/// is inert: [`Filter::insert`] on a snapshot reports failure rather than
+/// mutating, and [`Filter::try_delete`] reports `Unsupported`.
 #[derive(Debug, Clone)]
 pub struct StoreSnapshot {
-    filters: Vec<Arc<AnyFilter>>,
+    shards: Vec<Arc<ShardSnapshot>>,
     shard_bits: u32,
 }
 
@@ -264,13 +384,99 @@ impl StoreSnapshot {
     /// Number of shards.
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.filters.len()
+        self.shards.len()
     }
 
     /// The filter snapshot backing one shard.
+    ///
+    /// Note: a shard under a deferring policy may also hold keys in its
+    /// overflow side buffer, which this accessor does not expose — probe
+    /// through [`Filter::contains`] / [`Filter::contains_batch`] for the
+    /// complete membership answer.
     #[must_use]
     pub fn shard_filter(&self, shard: usize) -> &AnyFilter {
-        &self.filters[shard]
+        &self.shards[shard].filter
+    }
+
+    /// Number of keys parked in one shard's overflow side buffer.
+    #[must_use]
+    pub fn shard_overflow_len(&self, shard: usize) -> usize {
+        self.shards[shard].overflow.len()
+    }
+
+    /// Batched lookup through caller-owned scratch buffers: identical
+    /// results to [`Filter::contains_batch`], but the routing buffers (and
+    /// the caller's `sel`) are reused across calls, so steady-state batched
+    /// lookups perform **zero heap allocations** once the buffers are warm.
+    pub fn contains_batch_with(
+        &self,
+        keys: &[u32],
+        sel: &mut SelectionVector,
+        scratch: &mut ProbeScratch,
+    ) {
+        let shard_count = self.shards.len();
+        if shard_count == 1 && self.shards[0].overflow.is_empty() {
+            // Single shard, no side buffer: no routing, probe the batch
+            // kernel directly.
+            self.shards[0].filter.contains_batch(keys, sel);
+            return;
+        }
+        // Route the batch with a counting sort into flat reusable buffers:
+        // no per-shard vectors, no allocations once the scratch is warm.
+        scratch.cursors.clear();
+        scratch.cursors.resize(shard_count + 1, 0);
+        for &key in keys {
+            scratch.cursors[self.shard_of(key) + 1] += 1;
+        }
+        for shard in 0..shard_count {
+            scratch.cursors[shard + 1] += scratch.cursors[shard];
+        }
+        scratch.starts.clear();
+        scratch.starts.extend_from_slice(&scratch.cursors);
+        scratch.routed_keys.clear();
+        scratch.routed_keys.resize(keys.len(), 0);
+        scratch.routed_positions.clear();
+        scratch.routed_positions.resize(keys.len(), 0);
+        for (i, &key) in keys.iter().enumerate() {
+            let slot = &mut scratch.cursors[self.shard_of(key)];
+            scratch.routed_keys[*slot] = key;
+            scratch.routed_positions[*slot] = i as u32;
+            *slot += 1;
+        }
+        // Probe each shard's contiguous slice through its batch kernel,
+        // marking the qualifying batch positions; keys parked in a shard's
+        // overflow buffer qualify via an exact binary search.
+        scratch.qualifies.clear();
+        scratch.qualifies.resize(keys.len(), false);
+        for (shard, snapshot) in self.shards.iter().enumerate() {
+            let (start, end) = (scratch.starts[shard], scratch.starts[shard + 1]);
+            if start == end {
+                continue;
+            }
+            scratch.shard_sel.clear();
+            snapshot
+                .filter
+                .contains_batch(&scratch.routed_keys[start..end], &mut scratch.shard_sel);
+            for &local in scratch.shard_sel.as_slice() {
+                scratch.qualifies[scratch.routed_positions[start + local as usize] as usize] = true;
+            }
+            if !snapshot.overflow.is_empty() {
+                for i in start..end {
+                    if snapshot
+                        .overflow
+                        .binary_search(&scratch.routed_keys[i])
+                        .is_ok()
+                    {
+                        scratch.qualifies[scratch.routed_positions[i] as usize] = true;
+                    }
+                }
+            }
+        }
+        // Emit in ascending batch order, per the SelectionVector contract.
+        sel.reserve(keys.len());
+        for (i, &hit) in scratch.qualifies.iter().enumerate() {
+            sel.push_if(i as u32, hit);
+        }
     }
 }
 
@@ -282,71 +488,26 @@ impl Filter for StoreSnapshot {
     }
 
     fn contains(&self, key: u32) -> bool {
-        self.filters[self.shard_of(key)].contains(key)
+        self.shards[self.shard_of(key)].contains(key)
     }
 
     fn contains_batch(&self, keys: &[u32], sel: &mut SelectionVector) {
-        if self.filters.len() == 1 {
-            // Single shard: no routing, probe the batch kernel directly.
-            self.filters[0].contains_batch(keys, sel);
-            return;
-        }
-        // Route the batch with a counting sort into flat buffers: the number
-        // of allocations is constant in the shard count, which matters on
-        // this read hot path (the 2·P-vector alternative allocates per shard
-        // per call).
-        let shard_count = self.filters.len();
-        let mut cursors = vec![0usize; shard_count + 1];
-        for &key in keys {
-            cursors[self.shard_of(key) + 1] += 1;
-        }
-        for shard in 0..shard_count {
-            cursors[shard + 1] += cursors[shard];
-        }
-        let starts = cursors.clone();
-        let mut routed_keys = vec![0u32; keys.len()];
-        let mut routed_positions = vec![0u32; keys.len()];
-        for (i, &key) in keys.iter().enumerate() {
-            let slot = &mut cursors[self.shard_of(key)];
-            routed_keys[*slot] = key;
-            routed_positions[*slot] = i as u32;
-            *slot += 1;
-        }
-        // Probe each shard's contiguous slice through its batch kernel,
-        // marking the qualifying batch positions.
-        let mut qualifies = vec![false; keys.len()];
-        let mut shard_sel = SelectionVector::new();
-        for shard in 0..shard_count {
-            let (start, end) = (starts[shard], starts[shard + 1]);
-            if start == end {
-                continue;
-            }
-            shard_sel.clear();
-            self.filters[shard].contains_batch(&routed_keys[start..end], &mut shard_sel);
-            for &local in shard_sel.as_slice() {
-                qualifies[routed_positions[start + local as usize] as usize] = true;
-            }
-        }
-        // Emit in ascending batch order, per the SelectionVector contract.
-        sel.reserve(keys.len());
-        for (i, &hit) in qualifies.iter().enumerate() {
-            sel.push_if(i as u32, hit);
-        }
+        self.contains_batch_with(keys, sel, &mut ProbeScratch::new());
     }
 
     fn size_bits(&self) -> u64 {
-        self.filters.iter().map(|f| f.size_bits()).sum()
+        self.shards.iter().map(|s| s.size_bits()).sum()
     }
 
     fn kind(&self) -> FilterKind {
-        self.filters[0].kind()
+        self.shards[0].filter.kind()
     }
 
     fn config_label(&self) -> String {
         format!(
             "sharded-snapshot(P={},{})",
-            self.filters.len(),
-            self.filters[0].config_label()
+            self.shards.len(),
+            self.shards[0].filter.config_label()
         )
     }
 }
@@ -354,6 +515,7 @@ impl Filter for StoreSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{DeferredBatch, FprDrift};
     use pof_bloom::{Addressing, BloomConfig};
     use pof_cuckoo::{CuckooAddressing, CuckooConfig};
     use pof_filter::KeyGen;
@@ -505,6 +667,9 @@ mod tests {
             assert!(shard.size_bits > 0);
             assert!(shard.modeled_fpr > 0.0 && shard.modeled_fpr < 1.0);
             assert!(!shard.config_label.is_empty());
+            assert_eq!(shard.policy, "saturation-doubling");
+            assert_eq!(shard.tombstones, 0);
+            assert_eq!(shard.overflow, 0);
         }
     }
 
@@ -516,9 +681,19 @@ mod tests {
         assert_eq!(Filter::kind(&store), FilterKind::Bloom);
         assert!(Filter::config_label(&store).starts_with("sharded(P=2,"));
         assert!(Filter::size_bits(&store) > 0);
-        // Snapshots refuse writes.
+        // The store deletes through the unified trait (tombstoning here —
+        // Bloom shards), a snapshot refuses both writes and deletes.
+        assert!(Filter::supports_delete(&store));
+        assert_eq!(Filter::try_delete(&mut store, 42), DeleteOutcome::Removed);
+        assert_eq!(Filter::try_delete(&mut store, 42), DeleteOutcome::NotFound);
+        assert_eq!(store.key_count(), 0);
         let mut snapshot = store.snapshot();
         assert!(!Filter::insert(&mut snapshot, 7));
+        assert!(!Filter::supports_delete(&snapshot));
+        assert_eq!(
+            Filter::try_delete(&mut snapshot, 7),
+            DeleteOutcome::Unsupported
+        );
     }
 
     #[test]
@@ -542,5 +717,186 @@ mod tests {
         assert_eq!(store.shard_count(), 8);
         let store = ShardedFilterStore::new(bloom_config(), 0, 100, 12.0);
         assert_eq!(store.shard_count(), 1);
+    }
+
+    #[test]
+    fn all_duplicate_batches_skip_the_snapshot_publish() {
+        let mut gen = KeyGen::new(308);
+        let keys = gen.distinct_keys(2_000);
+        let store = ShardedFilterStore::new(bloom_config(), 2, 2_000, 12.0);
+        store.insert_batch(&keys);
+        let before = store.snapshot();
+        // Re-inserting only known keys must not publish fresh snapshots:
+        // the shard snapshots are the very same allocations afterwards.
+        store.insert_batch(&keys);
+        let after = store.snapshot();
+        for shard in 0..store.shard_count() {
+            assert!(
+                Arc::ptr_eq(&before.shards[shard], &after.shards[shard]),
+                "all-duplicate batch republished shard {shard}"
+            );
+        }
+        // A batch with one fresh key publishes again.
+        let fresh_key = gen.distinct_keys(1)[0];
+        let mut batch = keys[..10].to_vec();
+        batch.push(fresh_key);
+        store.insert_batch(&batch);
+        let touched = store.shard_of(fresh_key);
+        let republished = store.snapshot();
+        assert!(!Arc::ptr_eq(
+            &after.shards[touched],
+            &republished.shards[touched]
+        ));
+        // Deleting keys that are not present is equally unobservable.
+        let absent = gen.distinct_keys(50);
+        let absent: Vec<u32> = absent.into_iter().filter(|k| !store.contains(*k)).collect();
+        assert_eq!(store.delete_batch(&absent), 0);
+        let after_noop_delete = store.snapshot();
+        for shard in 0..store.shard_count() {
+            assert!(Arc::ptr_eq(
+                &republished.shards[shard],
+                &after_noop_delete.shards[shard]
+            ));
+        }
+    }
+
+    #[test]
+    fn cuckoo_deletes_are_immediately_observable() {
+        let mut gen = KeyGen::new(309);
+        let keys = gen.distinct_keys(8_000);
+        let store = ShardedFilterStore::new(cuckoo_config(), 4, 4_000, 20.0);
+        store.insert_batch(&keys);
+        let (gone, kept) = keys.split_at(3_000);
+        assert_eq!(store.delete_batch(gone), gone.len());
+        assert_eq!(store.key_count(), kept.len());
+        for &key in kept {
+            assert!(store.contains(key), "delete took an unrelated key");
+        }
+        // Deleted keys leave the filter physically (modulo signature
+        // collisions with surviving keys, which are false positives by
+        // construction): with 16-bit signatures virtually none survive.
+        let still_positive = gone.iter().filter(|&&k| store.contains(k)).count();
+        assert!(
+            still_positive < gone.len() / 100,
+            "{still_positive} of {} deleted keys still positive",
+            gone.len()
+        );
+        // Delete-then-reinsert round-trips.
+        store.insert_batch(gone);
+        assert_eq!(store.key_count(), keys.len());
+        for &key in &keys {
+            assert!(store.contains(key));
+        }
+    }
+
+    #[test]
+    fn bloom_deletes_tombstone_until_maintenance() {
+        let mut gen = KeyGen::new(310);
+        let keys = gen.distinct_keys(8_000);
+        let store = ShardedFilterStore::new(bloom_config(), 4, 4_000, 14.0);
+        store.insert_batch(&keys);
+        let (gone, kept) = keys.split_at(3_000);
+        assert_eq!(store.delete_batch(gone), gone.len());
+        // Bookkeeping is tombstone-aware immediately...
+        assert_eq!(store.key_count(), kept.len());
+        assert_eq!(store.stats().total_tombstones(), gone.len() as u64);
+        // ...while the filter bits linger (deleted keys still probe positive).
+        assert!(store.contains(gone[0]));
+        // The default policy purges tombstones on an explicit maintain().
+        assert!(store.maintain() > 0);
+        assert_eq!(store.stats().total_tombstones(), 0);
+        for &key in kept {
+            assert!(store.contains(key), "maintenance lost a live key");
+        }
+        // After the purge the deleted keys are gone modulo the filter's FPR.
+        let still_positive = gone.iter().filter(|&&k| store.contains(k)).count();
+        assert!(
+            (still_positive as f64) < gone.len() as f64 * 0.05,
+            "{still_positive} of {} purged keys still positive",
+            gone.len()
+        );
+    }
+
+    #[test]
+    fn deferred_policy_parks_overflow_and_folds_on_maintain() {
+        let mut gen = KeyGen::new(311);
+        let keys = gen.distinct_keys(4_000);
+        let store = ShardedFilterStore::with_policy(
+            bloom_config(),
+            2,
+            512,
+            14.0,
+            Arc::new(DeferredBatch::new(4_096)),
+        );
+        store.insert_batch(&keys);
+        // Shards saturated far past their 512-key capacity: the excess is
+        // parked, not rebuilt — and every key still answers positive.
+        let stats = store.stats();
+        assert_eq!(stats.total_rebuilds(), 0, "deferred policy rebuilt inline");
+        assert!(stats.total_overflow() > 0);
+        for &key in &keys {
+            assert!(store.contains(key), "parked key went missing");
+        }
+        // Snapshots expose the parked keys; batch and point lookups agree.
+        let snapshot = store.snapshot();
+        let mut sel = SelectionVector::new();
+        snapshot.contains_batch(&keys, &mut sel);
+        assert_eq!(sel.len(), keys.len());
+        // Maintenance folds everything into right-sized filters.
+        assert!(store.maintain() > 0);
+        let stats = store.stats();
+        assert_eq!(stats.total_overflow(), 0);
+        assert!(stats.total_rebuilds() > 0);
+        for &key in &keys {
+            assert!(store.contains(key), "fold lost a key");
+        }
+    }
+
+    #[test]
+    fn fpr_drift_policy_shrinks_after_heavy_deletes() {
+        let mut gen = KeyGen::new(312);
+        let keys = gen.distinct_keys(16_000);
+        let store = ShardedFilterStore::with_policy(
+            bloom_config(),
+            2,
+            1_024,
+            14.0,
+            Arc::new(FprDrift::new(2.0)),
+        );
+        store.insert_batch(&keys);
+        let grown_bits = store.size_bits();
+        // Delete 97% of the keys: the drift policy re-fits shards downward.
+        let (gone, kept) = keys.split_at(keys.len() - keys.len() / 32);
+        assert_eq!(store.delete_batch(gone), gone.len());
+        store.maintain();
+        assert!(
+            store.size_bits() < grown_bits / 4,
+            "expected a shrink: {} -> {}",
+            grown_bits,
+            store.size_bits()
+        );
+        assert_eq!(store.key_count(), kept.len());
+        for &key in kept {
+            assert!(store.contains(key), "shrink lost a live key");
+        }
+    }
+
+    #[test]
+    fn writer_bookkeeping_is_compact() {
+        // The acceptance bar for the compact key set: at most ~2x the raw
+        // key bytes per shard (ordered log + sorted run), where the former
+        // Vec + HashSet pair paid ~3x.
+        let mut gen = KeyGen::new(313);
+        let keys = gen.distinct_keys(64_000);
+        let store = ShardedFilterStore::new(bloom_config(), 4, 8_000, 12.0);
+        store.insert_batch(&keys);
+        let stats = store.stats();
+        let raw_bytes = 4 * keys.len() as u64;
+        let bookkeeping = stats.total_bookkeeping_bytes();
+        assert!(
+            bookkeeping <= raw_bytes * 2,
+            "bookkeeping {bookkeeping} bytes exceeds 2x raw key bytes {raw_bytes}"
+        );
+        assert!(bookkeeping >= raw_bytes, "accounting undercounts");
     }
 }

@@ -88,6 +88,79 @@ fn concurrent_reads_during_rebuilds_see_no_false_negatives() {
     }
 }
 
+/// Readers hammer a stable core key set while a writer churns a disjoint key
+/// range through repeated insert-then-delete cycles (Cuckoo shards delete in
+/// place, Bloom shards tombstone). No probe of a core key may ever answer
+/// negative, and after the churn settles the bookkeeping matches the core
+/// exactly.
+#[test]
+fn concurrent_deletes_never_hide_live_keys() {
+    for config in configs() {
+        let mut gen = KeyGen::new(0xDE1E7E);
+        let core = gen.distinct_keys(6_000);
+        let churn: Vec<u32> = gen
+            .distinct_keys(12_000)
+            .into_iter()
+            .filter(|k| !core.contains(k))
+            .collect();
+
+        let store = Arc::new(ShardedFilterStore::new(config, 4, 1_024, 16.0));
+        store.insert_batch(&core);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|reader| {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                let core = core.clone();
+                std::thread::spawn(move || {
+                    let mut sel = SelectionVector::with_capacity(core.len());
+                    let mut rounds = 0u64;
+                    while !stop.load(Ordering::Relaxed) || rounds == 0 {
+                        for batch in core.chunks(1_024) {
+                            sel.clear();
+                            store.contains_batch(batch, &mut sel);
+                            assert_eq!(
+                                sel.len(),
+                                batch.len(),
+                                "reader {reader}: a core key went missing mid-delete"
+                            );
+                        }
+                        rounds += 1;
+                    }
+                    rounds
+                })
+            })
+            .collect();
+
+        // Writer: cycle the churn keys in and out, with an occasional
+        // maintenance round (tombstone purges / rebuild interleavings).
+        for cycle in 0..6 {
+            for chunk in churn.chunks(1_500) {
+                store.insert_batch(chunk);
+            }
+            for chunk in churn.chunks(1_500) {
+                assert_eq!(store.delete_batch(chunk), chunk.len());
+            }
+            if cycle % 2 == 1 {
+                store.maintain();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            assert!(reader.join().expect("reader panicked") > 0);
+        }
+
+        // The dust has settled: only the core is live.
+        assert_eq!(store.key_count(), core.len(), "{}", config.label());
+        let mut sel = SelectionVector::new();
+        store.contains_batch(&core, &mut sel);
+        assert_eq!(sel.len(), core.len(), "{}", config.label());
+        store.maintain();
+        assert_eq!(store.stats().total_tombstones(), 0, "{}", config.label());
+    }
+}
+
 /// Concurrent writers on disjoint key ranges: per-shard write locks serialize
 /// correctly and no batch is lost.
 #[test]

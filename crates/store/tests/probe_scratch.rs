@@ -1,0 +1,106 @@
+//! Steady-state batched lookups through a reusable [`ProbeScratch`] must not
+//! touch the heap: a counting global allocator wraps the system allocator,
+//! and the warm probe loop is asserted to perform **zero** allocations.
+//!
+//! This file intentionally contains a single test — the allocation counter
+//! is process-global, and a sibling test running on another thread would
+//! pollute the count.
+
+use pof_bloom::{Addressing, BloomConfig};
+use pof_core::FilterConfig;
+use pof_filter::{KeyGen, SelectionVector};
+use pof_store::{ProbeScratch, StoreBuilder};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Counts allocations (and reallocations) while armed.
+struct CountingAllocator;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_batched_lookups_do_not_allocate() {
+    let store = StoreBuilder::new()
+        .shards(8)
+        .expected_keys(1 << 16)
+        .bits_per_key(12.0)
+        .config(FilterConfig::Bloom(BloomConfig::cache_sectorized(
+            512,
+            64,
+            2,
+            8,
+            Addressing::Magic,
+        )))
+        .build();
+    let mut gen = KeyGen::new(0xA110C);
+    store.insert_batch(&gen.distinct_keys(1 << 16));
+    let probes = gen.keys(1 << 15);
+
+    // The steady-state reader setup: one frozen snapshot, one scratch, one
+    // selection vector, reused across every batch.
+    let snapshot = store.snapshot();
+    let mut scratch = ProbeScratch::new();
+    let mut sel = SelectionVector::new();
+
+    // Warm-up rounds size every buffer to its steady-state capacity.
+    let mut warm_hits = 0usize;
+    for _ in 0..3 {
+        warm_hits = 0;
+        for batch in probes.chunks(4_096) {
+            sel.clear();
+            snapshot.contains_batch_with(batch, &mut sel, &mut scratch);
+            warm_hits += sel.len();
+        }
+    }
+
+    // The measured rounds: identical work, zero heap traffic allowed.
+    ARMED.store(true, Ordering::SeqCst);
+    let mut hits = 0usize;
+    for _ in 0..5 {
+        hits = 0;
+        for batch in probes.chunks(4_096) {
+            sel.clear();
+            snapshot.contains_batch_with(batch, &mut sel, &mut scratch);
+            hits += sel.len();
+        }
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    assert_eq!(hits, warm_hits, "warm and measured rounds disagree");
+    assert_eq!(
+        ALLOCATIONS.load(Ordering::SeqCst),
+        0,
+        "steady-state batched lookups touched the heap"
+    );
+}

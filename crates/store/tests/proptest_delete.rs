@@ -1,0 +1,196 @@
+//! Property-based delete correctness: random interleavings of
+//! `insert_batch` / `delete_batch` / `contains_batch` / `maintain` against a
+//! `HashSet` oracle, across all three rebuild policies and both filter
+//! families.
+//!
+//! Invariants asserted on every interleaving:
+//! * the store's live key count equals the oracle's size (tombstone-aware
+//!   bookkeeping),
+//! * `delete_batch` reports exactly the oracle's removal count,
+//! * **no false negatives, ever**: every oracle member answers positive via
+//!   both the point and the batch read path, through rebuilds, tombstones,
+//!   overflow parks and folds.
+//!
+//! Cuckoo-shard stores additionally match the oracle *exactly* after
+//! delete-then-reinsert cycles: deletes physically remove signatures, so a
+//! fully drained store answers negative for everything.
+
+use pof_bloom::{Addressing, BloomConfig};
+use pof_core::FilterConfig;
+use pof_cuckoo::{CuckooAddressing, CuckooConfig};
+use pof_filter::SelectionVector;
+use pof_store::{
+    DeferredBatch, FprDrift, RebuildPolicy, SaturationDoubling, ShardedFilterStore, StoreBuilder,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn config_strategy() -> impl Strategy<Value = FilterConfig> {
+    prop_oneof![
+        Just(FilterConfig::Bloom(BloomConfig::cache_sectorized(
+            512,
+            64,
+            2,
+            8,
+            Addressing::Magic
+        ))),
+        Just(FilterConfig::Bloom(BloomConfig::register_blocked(
+            32,
+            4,
+            Addressing::PowerOfTwo
+        ))),
+        Just(FilterConfig::Cuckoo(CuckooConfig::new(
+            16,
+            2,
+            CuckooAddressing::PowerOfTwo
+        ))),
+        Just(FilterConfig::Cuckoo(CuckooConfig::new(
+            8,
+            4,
+            CuckooAddressing::Magic
+        ))),
+    ]
+}
+
+fn policy_for(index: usize) -> Arc<dyn RebuildPolicy> {
+    match index {
+        0 => Arc::new(SaturationDoubling),
+        1 => Arc::new(FprDrift::new(2.0)),
+        _ => Arc::new(DeferredBatch::new(64)),
+    }
+}
+
+/// Every oracle member must qualify through the batch read path.
+fn assert_no_false_negatives(store: &ShardedFilterStore, oracle: &HashSet<u32>, label: &str) {
+    let members: Vec<u32> = oracle.iter().copied().collect();
+    let mut sel = SelectionVector::new();
+    store.contains_batch(&members, &mut sel);
+    assert_eq!(
+        sel.len(),
+        members.len(),
+        "{label}: a live key went missing ({} of {} answered)",
+        sel.len(),
+        members.len()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn interleaved_inserts_and_deletes_match_a_hashset_oracle(
+        config in config_strategy(),
+        policy_index in 0usize..3,
+        shard_pow in 0u32..3,
+        ops in prop::collection::vec(
+            (0u8..4, prop::collection::vec(any::<u32>(), 1..300)),
+            1..14,
+        ),
+    ) {
+        let store = StoreBuilder::new()
+            .shards(1usize << shard_pow)
+            // Deliberately tiny: growth, drift and deferral all trigger.
+            .expected_keys(256)
+            .bits_per_key(16.0)
+            .config(config)
+            .rebuild_policy(policy_for(policy_index))
+            .build();
+        let mut oracle: HashSet<u32> = HashSet::new();
+        let label = format!("{} policy#{policy_index}", config.label());
+
+        for (op, keys) in &ops {
+            match op % 4 {
+                0 => {
+                    store.insert_batch(keys);
+                    oracle.extend(keys.iter().copied());
+                }
+                1 => {
+                    // The oracle replays the same per-key semantics: a key is
+                    // removed once; a duplicate within the batch is a no-op.
+                    let mut expected = 0usize;
+                    for &key in keys {
+                        if oracle.remove(&key) {
+                            expected += 1;
+                        }
+                    }
+                    let removed = store.delete_batch(keys);
+                    prop_assert_eq!(removed, expected, "{}: delete count", &label);
+                }
+                2 => {
+                    // Batch lookups: no member of the oracle that happens to
+                    // be probed may answer negative.
+                    let mut sel = SelectionVector::new();
+                    store.contains_batch(keys, &mut sel);
+                    let hits: HashSet<u32> = sel.as_slice().iter().map(|&i| keys[i as usize]).collect();
+                    for &key in keys.iter().filter(|k| oracle.contains(k)) {
+                        prop_assert!(hits.contains(&key), "{}: false negative for {key}", &label);
+                    }
+                }
+                _ => {
+                    store.maintain();
+                }
+            }
+            prop_assert_eq!(store.key_count(), oracle.len(), "{}: key_count", &label);
+        }
+        assert_no_false_negatives(&store, &oracle, &label);
+        // And after a final fold/purge everything still holds.
+        store.maintain();
+        prop_assert_eq!(store.key_count(), oracle.len());
+        assert_no_false_negatives(&store, &oracle, &label);
+    }
+
+    /// Cuckoo shards delete physically: after arbitrary delete-then-reinsert
+    /// cycles the store matches the oracle exactly — a fully drained store
+    /// answers negative for *every* probe (no residue), and reinserted keys
+    /// are indistinguishable from never-deleted ones.
+    #[test]
+    fn cuckoo_stores_match_the_oracle_exactly_through_delete_reinsert_cycles(
+        policy_index in 0usize..3,
+        keys in prop::collection::hash_set(any::<u32>(), 64..1_500),
+        cycles in 1usize..4,
+    ) {
+        let keys: Vec<u32> = keys.into_iter().collect();
+        let config = FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo));
+        let store = StoreBuilder::new()
+            .shards(4)
+            .expected_keys(keys.len())
+            .bits_per_key(20.0)
+            .config(config)
+            .rebuild_policy(policy_for(policy_index))
+            .build();
+        let mut oracle: HashSet<u32> = HashSet::new();
+
+        store.insert_batch(&keys);
+        oracle.extend(keys.iter().copied());
+        for cycle in 0..cycles {
+            // Delete a rotating half, verify, reinsert it.
+            let half: Vec<u32> = keys
+                .iter()
+                .copied()
+                .filter(|k| (*k as usize + cycle).is_multiple_of(2))
+                .collect();
+            for key in &half {
+                oracle.remove(key);
+            }
+            prop_assert_eq!(store.delete_batch(&half), half.len());
+            prop_assert_eq!(store.key_count(), oracle.len());
+            assert_no_false_negatives(&store, &oracle, "cuckoo cycle");
+            store.insert_batch(&half);
+            oracle.extend(half.iter().copied());
+            prop_assert_eq!(store.key_count(), oracle.len());
+        }
+        assert_no_false_negatives(&store, &oracle, "cuckoo final");
+
+        // Drain completely: an emptied Cuckoo store holds zero signatures,
+        // so every former member must now answer negative — exact agreement
+        // with the empty oracle, not just "no false negatives".
+        prop_assert_eq!(store.delete_batch(&keys), keys.len());
+        prop_assert_eq!(store.key_count(), 0);
+        store.maintain();
+        let mut sel = SelectionVector::new();
+        store.contains_batch(&keys, &mut sel);
+        prop_assert_eq!(sel.len(), 0, "drained cuckoo store still answers positive");
+        prop_assert_eq!(store.stats().total_tombstones(), 0u64);
+    }
+}

@@ -1,7 +1,8 @@
-//! The sharded filter store end to end: build an advisor-configured store,
-//! serve concurrent batched lookups from several reader threads while a
-//! writer keeps inserting (forcing shard rebuilds), and report per-shard
-//! statistics plus the observed false-positive rate.
+//! The sharded filter store end to end: build an advisor-configured store
+//! with a deferred-maintenance lifecycle policy, serve concurrent batched
+//! lookups from several reader threads while a writer keeps inserting, then
+//! delete a key wave, fold the deferred work with `maintain()`, and report
+//! per-shard statistics plus the observed false-positive rate.
 //!
 //! Run with: `cargo run --release --example store_serving`
 
@@ -13,15 +14,20 @@ use std::time::Instant;
 fn main() {
     // An advisor-chosen store: high-throughput probe pipeline (~200 cycles
     // saved per rejected tuple, 10% hit rate) => a Bloom filter family.
+    // The lifecycle policy is selectable per workload: `SaturationDoubling`
+    // (default) rebuilds inline, `FprDrift::new(2.0)` rebuilds on modeled-FPR
+    // drift, `DeferredBatch` keeps ingest latency flat by parking overflow
+    // keys until the next maintain() call.
     let store = Arc::new(
         StoreBuilder::new()
             .shards(8)
             .expected_keys(1 << 18)
             .advised(200.0, 0.1)
+            .rebuild_policy(Arc::new(DeferredBatch::new(16 * 1024)))
             .build(),
     );
     println!(
-        "store: {} shards, config {}",
+        "store: {} shards, config {}, policy deferred-batch",
         store.shard_count(),
         store.config().label()
     );
@@ -75,19 +81,53 @@ fn main() {
         lookups as f64 / elapsed / 1e6
     );
 
+    // The burst left overflow parked outside the filters; fold it in now,
+    // from a quiet moment of our choosing rather than mid-ingest.
+    let stats = store.stats();
+    println!(
+        "after burst: keys {}  overflow {}  rebuilds {}",
+        stats.total_keys(),
+        stats.total_overflow(),
+        stats.total_rebuilds()
+    );
+    let folded = store.maintain();
+    println!("maintain(): {folded} shard(s) folded their deferred work");
+
+    // Deletes work for every shard family: Cuckoo shards remove signatures
+    // in place, Bloom shards tombstone and purge at the next rebuild.
+    let doomed = &initial[..1 << 16];
+    let removed = store.delete_batch(doomed);
+    let stats = store.stats();
+    println!(
+        "deleted {removed} keys: key_count {}  tombstones {}",
+        store.key_count(),
+        stats.total_tombstones()
+    );
+    store.maintain();
+    println!(
+        "after maintain(): tombstones {}",
+        store.stats().total_tombstones()
+    );
+
     // Per-shard statistics and the measured false-positive rate.
     let stats = store.stats();
     println!(
-        "keys {}  size {:.1} MiB  rebuilds {}  imbalance {:.2}",
+        "keys {}  size {:.1} MiB  rebuilds {}  imbalance {:.2}  bookkeeping {:.1} KiB",
         stats.total_keys(),
         stats.total_size_bits() as f64 / 8.0 / 1024.0 / 1024.0,
         stats.total_rebuilds(),
-        stats.imbalance()
+        stats.imbalance(),
+        stats.total_bookkeeping_bytes() as f64 / 1024.0
     );
     for shard in &stats.shards {
         println!(
-            "  shard {:>2}: {:>7} keys  {:>5.1} bits/key  modeled fpr {:.2e}  kernel {}",
-            shard.shard, shard.keys, shard.bits_per_key, shard.modeled_fpr, shard.kernel
+            "  shard {:>2}: {:>7} keys  {:>5.1} bits/key  modeled fpr {:.2e}  kernel {}  policy {}",
+            shard.shard,
+            shard.keys,
+            shard.bits_per_key,
+            shard.modeled_fpr,
+            shard.kernel,
+            shard.policy
         );
     }
     println!(

@@ -15,10 +15,13 @@
 //! * [`filter`] — the unified `Filter` trait, selection vectors and workload
 //!   generators,
 //! * [`core`] — the performance-optimal filtering framework: overhead model,
-//!   configuration space, calibration, skylines and the [`FilterAdvisor`],
+//!   configuration space, calibration, skylines and the
+//!   [`FilterAdvisor`](prelude::FilterAdvisor),
 //! * [`store`] — the serving layer: a sharded, concurrent
-//!   [`ShardedFilterStore`] with advisor-chosen per-shard filters, wait-free
-//!   snapshot reads and batch-first lookups,
+//!   [`ShardedFilterStore`] with advisor-chosen
+//!   per-shard filters, policy-driven shard lifecycles (rebuild policies,
+//!   deletes, deferred maintenance), wait-free snapshot reads and batch-first
+//!   lookups,
 //! * [`workloads`] — join-pushdown, LSM and distributed semi-join substrates.
 //!
 //! ## Quick start
@@ -93,7 +96,10 @@ pub mod prelude {
         Platform, Recommendation, Skyline, SkylineGrid, WorkloadSpec,
     };
     pub use pof_cuckoo::{CuckooAddressing, CuckooConfig, CuckooFilter};
-    pub use pof_filter::{Filter, FilterKind, KeyGen, SelectionVector, Workload};
-    pub use pof_store::{ShardedFilterStore, StoreBuilder, StoreSnapshot, StoreStats};
+    pub use pof_filter::{DeleteOutcome, Filter, FilterKind, KeyGen, SelectionVector, Workload};
+    pub use pof_store::{
+        DeferredBatch, FprDrift, ProbeScratch, RebuildDecision, RebuildPolicy, SaturationDoubling,
+        ShardedFilterStore, StoreBuilder, StoreSnapshot, StoreStats,
+    };
     pub use pof_workloads::{JoinHashTable, JoinWorkload, LsmTree, ProbePipeline, SemiJoin};
 }
