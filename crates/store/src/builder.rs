@@ -1,6 +1,7 @@
 //! Construction of sharded stores: shard count, per-shard budget, and either
 //! a pinned filter configuration or one chosen by the `FilterAdvisor`.
 
+use crate::maintainer::RebuildMode;
 use crate::policy::{RebuildPolicy, SaturationDoubling};
 use crate::store::ShardedFilterStore;
 use pof_bloom::{Addressing, BloomConfig};
@@ -42,6 +43,7 @@ pub struct StoreBuilder {
     bits_per_key: f64,
     config: ConfigSource,
     policy: Arc<dyn RebuildPolicy>,
+    rebuild_mode: RebuildMode,
 }
 
 impl Default for StoreBuilder {
@@ -69,6 +71,7 @@ impl StoreBuilder {
                 Addressing::Magic,
             ))),
             policy: Arc::new(SaturationDoubling),
+            rebuild_mode: RebuildMode::Inline,
         }
     }
 
@@ -115,6 +118,39 @@ impl StoreBuilder {
         self
     }
 
+    /// Run policy-triggered rebuilds on a background maintainer thread
+    /// instead of inline under the shard's write lock.
+    ///
+    /// When on, a saturating shard no longer stalls writers for a full
+    /// filter replay: the writer records a pending-rebuild state and keeps
+    /// serving, the maintainer builds the replacement off-lock from the
+    /// shard's replay log, re-acquires the shard briefly to replay the
+    /// bounded delta of writes that raced the build, and publishes the
+    /// replacement with a single `Arc` swap. Readers are wait-free in both
+    /// modes. [`ShardedFilterStore::maintain`] doubles as a deterministic
+    /// drain barrier. Defaults to `false`: the synchronous path is
+    /// bit-for-bit the classic inline behavior.
+    #[must_use]
+    pub fn background_rebuilds(mut self, background: bool) -> Self {
+        self.rebuild_mode = if background {
+            RebuildMode::Background
+        } else {
+            RebuildMode::Inline
+        };
+        self
+    }
+
+    /// Select the rebuild execution mode explicitly — notably
+    /// [`RebuildMode::Queued`], where rebuild jobs queue until the caller
+    /// runs them via [`ShardedFilterStore::run_pending_rebuilds`]. That is
+    /// the deterministic harness the interleaving and property tests drive,
+    /// and the hook for embedding rebuilds in an external executor.
+    #[must_use]
+    pub fn rebuild_mode(mut self, mode: RebuildMode) -> Self {
+        self.rebuild_mode = mode;
+        self
+    }
+
     /// Let the [`FilterAdvisor`] choose the per-shard configuration *and*
     /// bits-per-key budget for the described workload (overriding
     /// [`bits_per_key`](Self::bits_per_key)).
@@ -147,12 +183,13 @@ impl StoreBuilder {
                 (recommendation.config, recommendation.bits_per_key)
             }
         };
-        ShardedFilterStore::with_policy(
+        ShardedFilterStore::with_options(
             config,
             shard_count,
             capacity_per_shard,
             bits_per_key,
             self.policy,
+            self.rebuild_mode,
         )
     }
 }

@@ -28,6 +28,18 @@
 //!   [`DeferredBatch`] keeps writes latency-flat by parking overflow keys in
 //!   an exact side buffer (probed by readers, so nothing goes missing) and
 //!   folding them in on the next [`ShardedFilterStore::maintain`] call,
+//! * rebuilds can run **off the write path**: with
+//!   [`StoreBuilder::background_rebuilds`] a saturating shard no longer
+//!   stalls writers for a full filter replay — the writer records a
+//!   pending-rebuild state, a background maintainer builds the replacement
+//!   from the shard's replay log off-lock, re-acquires the shard briefly to
+//!   replay the bounded delta of writes that raced the build, and publishes
+//!   it with a single `Arc` swap. [`ShardedFilterStore::maintain`] doubles
+//!   as a deterministic drain barrier, and
+//!   [`ShardStats::max_writer_stall_ns`] /
+//!   [`ShardStats::writer_rebuild_stall_ns`] make the tail-latency effect
+//!   measurable ([`RebuildMode::Queued`] exposes the same machinery one
+//!   phase at a time for deterministic interleaving tests),
 //! * the store **deletes**: [`ShardedFilterStore::delete_batch`] removes
 //!   Cuckoo signatures in place and republishes; Bloom shards *tombstone* —
 //!   the key leaves [`ShardedFilterStore::key_count`] immediately while its
@@ -80,14 +92,17 @@
 
 mod builder;
 mod keyset;
+mod maintainer;
 mod policy;
 mod shard;
 mod stats;
 mod store;
 
 pub use builder::{ConfigSource, StoreBuilder};
+pub use maintainer::RebuildMode;
 pub use policy::{
-    DeferredBatch, FprDrift, RebuildDecision, RebuildPolicy, SaturationDoubling, ShardObservation,
+    DeferredBatch, FprDrift, RebuildDecision, RebuildPolicy, RebuildUrgency, SaturationDoubling,
+    ShardObservation,
 };
 pub use stats::{ShardStats, StoreStats};
 pub use store::{ProbeScratch, ShardedFilterStore, StoreSnapshot};

@@ -19,6 +19,26 @@
 
 use pof_core::{AnyFilter, FilterConfig};
 
+/// How urgently a [`RebuildDecision::Rebuild`] must take effect, for stores
+/// that run a background maintainer
+/// ([`StoreBuilder::background_rebuilds`](crate::StoreBuilder::background_rebuilds)).
+///
+/// Synchronous stores ignore urgency (every rebuild is inline). Background
+/// stores consult it at decision time: a `Deferrable` rebuild is handed to
+/// the maintainer (the writer stays latency-flat; the triggering key remains
+/// visible through the current filter or the exact overflow buffer), an
+/// `Immediate` one runs inline under the shard lock even in background mode
+/// — the escape hatch for policies whose decision *enforces a hard bound*
+/// that deferral would violate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RebuildUrgency {
+    /// The rebuild may run off-lock on the maintainer (the default).
+    #[default]
+    Deferrable,
+    /// The rebuild must run inline, even when background rebuilds are on.
+    Immediate,
+}
+
 /// What the shard writer should do after a state change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RebuildDecision {
@@ -112,6 +132,18 @@ pub trait RebuildPolicy: Send + Sync + std::fmt::Debug {
     /// This is the hook where deferred work (overflow folds, tombstone
     /// purges, shrinks) is expected to happen.
     fn on_maintain(&self, observation: &ShardObservation<'_>) -> RebuildDecision;
+
+    /// How urgently this policy's `Rebuild` decisions must take effect when
+    /// the store runs a background maintainer. The default — every rebuild
+    /// is [`RebuildUrgency::Deferrable`] — is right for saturation growth,
+    /// FPR-drift re-fits and shrinks, and overflow folds alike: correctness
+    /// never depends on the rebuild happening *now* (the overflow buffer and
+    /// the delta replay keep every key visible). Override it only to enforce
+    /// a hard bound, as [`DeferredBatch`] does for a runaway side buffer.
+    fn urgency(&self, observation: &ShardObservation<'_>) -> RebuildUrgency {
+        let _ = observation;
+        RebuildUrgency::Deferrable
+    }
 }
 
 /// Smallest capacity on the binary ladder `64 · 2^k` that holds `target`
@@ -381,6 +413,20 @@ impl RebuildPolicy for DeferredBatch {
             RebuildDecision::Keep
         }
     }
+
+    /// The overflow bound is this policy's contract: an exact side buffer
+    /// that outgrows its cap is silently becoming a lookup table. A fold can
+    /// still run in the background while the buffer is merely *at* the cap
+    /// (fresh keys keep landing in the current filter meanwhile), but once
+    /// it has ballooned to 4x — the shard saturated faster than the
+    /// maintainer could fold — the rebuild goes inline to restore the bound.
+    fn urgency(&self, observation: &ShardObservation<'_>) -> RebuildUrgency {
+        if observation.overflow_len >= self.max_overflow.saturating_mul(4) {
+            RebuildUrgency::Immediate
+        } else {
+            RebuildUrgency::Deferrable
+        }
+    }
 }
 
 #[cfg(test)]
@@ -495,6 +541,28 @@ mod tests {
         let clean = observation(&filter, &config, 900, 1_000, 0, 0);
         assert_eq!(policy.on_maintain(&clean), RebuildDecision::Keep);
         assert_eq!(policy.on_delete(&clean), RebuildDecision::Keep);
+    }
+
+    #[test]
+    fn urgency_is_deferrable_except_for_runaway_overflow() {
+        let (config, filter) = bloom();
+        // Growth and drift decisions may always run off-lock.
+        let saturated = observation(&filter, &config, 1_001, 1_000, 0, 0);
+        assert_eq!(
+            SaturationDoubling.urgency(&saturated),
+            RebuildUrgency::Deferrable
+        );
+        assert_eq!(
+            FprDrift::new(2.0).urgency(&saturated),
+            RebuildUrgency::Deferrable
+        );
+        // DeferredBatch tolerates background folds at the cap, but a buffer
+        // at 4x the cap must fold inline to restore its hard bound.
+        let policy = DeferredBatch::new(4);
+        let at_cap = observation(&filter, &config, 1_005, 1_000, 4, 0);
+        assert_eq!(policy.urgency(&at_cap), RebuildUrgency::Deferrable);
+        let runaway = observation(&filter, &config, 1_020, 1_000, 16, 0);
+        assert_eq!(policy.urgency(&runaway), RebuildUrgency::Immediate);
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! [`ShardSnapshot`] whenever readers could observe the difference.
 
 use crate::keyset::CompactKeySet;
-use crate::policy::{RebuildDecision, RebuildPolicy, ShardObservation};
+use crate::policy::{RebuildDecision, RebuildPolicy, RebuildUrgency, ShardObservation};
 use pof_core::{AnyFilter, FilterConfig};
 use pof_filter::{DeleteOutcome, Filter};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// What readers probe: the shard's filter at one publish point, plus the
 /// exact overflow side buffer of keys a deferring policy has not yet folded
@@ -34,6 +36,94 @@ impl ShardSnapshot {
     /// Published footprint: filter bits plus the raw bits of parked keys.
     pub(crate) fn size_bits(&self) -> u64 {
         self.filter.size_bits() + 32 * self.overflow.len() as u64
+    }
+}
+
+/// A request for the store's maintainer: rebuild this shard's filter
+/// off-lock and swap it in. Tagged with the writer's rebuild epoch at
+/// request time; the swap is refused (and the built filter discarded) if the
+/// shard rebuilt by other means in the meantime.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RebuildTicket {
+    pub(crate) epoch: u64,
+}
+
+/// What [`Shard::maintain`] did.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum MaintainOutcome {
+    /// Nothing was due.
+    Idle,
+    /// The shard rebuilt inline.
+    Rebuilt,
+    /// The shard requested a background rebuild; the caller must enqueue the
+    /// ticket with the maintainer.
+    Requested(RebuildTicket),
+}
+
+/// One write-side mutation logged while a background rebuild is in flight,
+/// replayed into the replacement filter (in order) before the swap.
+#[derive(Debug, Clone, Copy)]
+enum DeltaOp {
+    Insert(u32),
+    Delete(u32),
+}
+
+/// Writer-side state of one in-flight background rebuild.
+#[derive(Debug)]
+struct PendingRebuild {
+    /// Rebuild epoch at request time. An inline fallback rebuild bumps the
+    /// writer's epoch, which invalidates this job: its result is discarded
+    /// at swap time instead of clobbering the newer filter.
+    epoch: u64,
+    /// Capacity the policy asked for when the rebuild was requested.
+    capacity: usize,
+    /// Mutations since the maintainer snapshotted the key set. Bounded: the
+    /// writer falls back to an inline rebuild if the shard re-saturates
+    /// faster than the maintainer can rebuild (see
+    /// [`ShardWriter::shed_backpressure`]).
+    delta: Vec<DeltaOp>,
+    /// Set once the maintainer has taken its key-set snapshot; from then on
+    /// every write is also logged to `delta` for replay.
+    delta_active: bool,
+    /// When the rebuild was requested, for `rebuild_wait_ns` accounting.
+    requested: Instant,
+}
+
+/// Everything the maintainer needs to build a shard's replacement filter
+/// off-lock: copied out under one brief writer lock by
+/// [`Shard::begin_rebuild`].
+#[derive(Debug)]
+pub(crate) struct RebuildPlan {
+    keys: Vec<u32>,
+    capacity: usize,
+    config: FilterConfig,
+    bits_per_key: f64,
+}
+
+impl RebuildPlan {
+    /// Build the replacement filter — no locks held. Mirrors
+    /// [`ShardWriter::rebuild`]: replay in insertion order, grow
+    /// geometrically until every key fits.
+    ///
+    /// The build runs straight through rather than yielding between chunks:
+    /// on a host with a spare core it never competes with writers anyway,
+    /// and on a saturated host yielding would stretch the snapshot→swap
+    /// window by a writer scheduler slice per chunk, ballooning the delta
+    /// the swap must replay (and tripping the backpressure fallback this
+    /// subsystem tries to avoid). Keeping the window short keeps the delta
+    /// small.
+    pub(crate) fn build(&self) -> (AnyFilter, usize) {
+        'grow: for attempt in 0.. {
+            let grown = self.capacity << attempt;
+            let mut filter = AnyFilter::build(&self.config, grown, self.bits_per_key);
+            for &key in &self.keys {
+                if !filter.insert(key) {
+                    continue 'grow;
+                }
+            }
+            return (filter, grown);
+        }
+        unreachable!("rebuild retries grow geometrically and must eventually fit");
     }
 }
 
@@ -67,6 +157,32 @@ pub(crate) struct ShardWriter {
     budget_fpr: f64,
     /// Number of policy-triggered rebuilds performed so far.
     rebuilds: u64,
+    /// Of those, how many were completed off-lock by the maintainer.
+    rebuilds_background: u64,
+    /// Cumulative request→swap latency of completed background rebuilds.
+    rebuild_wait_ns: u64,
+    /// Largest single *inline* rebuild executed on the write path (insert or
+    /// delete call), in nanoseconds. Structurally zero when a maintainer
+    /// absorbs every rebuild; the backpressure fallback still counts.
+    /// Maintenance-time rebuilds (`maintain()`) are excluded, like all
+    /// `maintain()` work.
+    writer_rebuild_stall_ns: u64,
+    /// Monotonic generation of the shard's filter: bumped by every completed
+    /// rebuild (inline or swapped-in). Background jobs are tagged with the
+    /// epoch at request time and discarded on mismatch.
+    rebuild_epoch: u64,
+    /// In-flight background rebuild, if any. While set, policy decisions are
+    /// suppressed (the replacement is already being built) and writes are
+    /// delta-logged for replay.
+    pending: Option<PendingRebuild>,
+    /// A ticket produced by the last write call, not yet handed to the
+    /// store. Taken (and enqueued with the maintainer) by the calling batch
+    /// method before it releases the lock.
+    ticket: Option<RebuildTicket>,
+    /// May `Rebuild` decisions run off-lock? Set iff the owning store runs a
+    /// maintainer; `false` keeps the synchronous path bit-for-bit identical
+    /// to the pre-maintainer store.
+    background: bool,
     /// The lifecycle policy consulted on every append/delete/maintain.
     policy: Arc<dyn RebuildPolicy>,
 }
@@ -79,6 +195,12 @@ pub(crate) struct Shard {
     /// clone the `Arc`; the actual probing happens on the clone, outside any
     /// lock, so a concurrent rebuild never stalls or torments a reader.
     snapshot: RwLock<Arc<ShardSnapshot>>,
+    /// Longest single `insert_batch`/`delete_batch` call observed on this
+    /// shard (lock wait + mutation + publish), in nanoseconds — the writer
+    /// tail-latency figure the background maintainer exists to shrink.
+    /// `maintain()` time is deliberately excluded: that is the dedicated
+    /// maintenance slot, not a foreground write.
+    max_writer_stall_ns: AtomicU64,
 }
 
 /// One mutually consistent sample of a shard, for stats reporting.
@@ -97,6 +219,16 @@ pub(crate) struct ShardView {
     pub(crate) bookkeeping_bytes: usize,
     /// Name of the active rebuild policy.
     pub(crate) policy: &'static str,
+    /// Rebuilds completed off-lock by the maintainer (subset of `rebuilds`).
+    pub(crate) rebuilds_background: u64,
+    /// Cumulative request→swap latency of background rebuilds, ns.
+    pub(crate) rebuild_wait_ns: u64,
+    /// Longest single write call this shard has served, ns.
+    pub(crate) max_writer_stall_ns: u64,
+    /// Longest single inline rebuild paid by a write call, ns.
+    pub(crate) writer_rebuild_stall_ns: u64,
+    /// Is a background rebuild currently in flight?
+    pub(crate) rebuild_pending: bool,
 }
 
 impl Shard {
@@ -106,6 +238,7 @@ impl Shard {
         capacity: usize,
         bits_per_key: f64,
         policy: Arc<dyn RebuildPolicy>,
+        background: bool,
     ) -> Self {
         let capacity = capacity.max(64);
         let filter = AnyFilter::build(&config, capacity, bits_per_key);
@@ -135,9 +268,17 @@ impl Shard {
                 bits_per_key,
                 budget_fpr,
                 rebuilds: 0,
+                rebuilds_background: 0,
+                rebuild_wait_ns: 0,
+                writer_rebuild_stall_ns: 0,
+                rebuild_epoch: 0,
+                pending: None,
+                ticket: None,
+                background,
                 policy,
             }),
             snapshot: RwLock::new(snapshot),
+            max_writer_stall_ns: AtomicU64::new(0),
         }
     }
 
@@ -163,11 +304,13 @@ impl Shard {
     /// Insert a batch of keys routed to this shard (rebuilding or deferring
     /// per the shard's policy), then publish a fresh snapshot — unless every
     /// key in the batch was a duplicate, in which case nothing observable
-    /// changed and the clone-and-publish is skipped entirely.
-    pub(crate) fn insert_batch(&self, keys: &[u32]) {
+    /// changed and the clone-and-publish is skipped entirely. Returns a
+    /// ticket if the policy requested a background rebuild.
+    pub(crate) fn insert_batch(&self, keys: &[u32]) -> Option<RebuildTicket> {
         if keys.is_empty() {
-            return;
+            return None;
         }
+        let start = Instant::now();
         let mut writer = self.writer.lock().expect("writer lock poisoned");
         let mut fresh = 0usize;
         for &key in keys {
@@ -175,47 +318,152 @@ impl Shard {
                 fresh += 1;
             }
         }
+        let ticket = writer.ticket.take();
         // Any fresh key changed either the filter or the overflow buffer;
         // an all-duplicate batch changed neither.
         if fresh > 0 {
             self.publish(&writer);
         }
+        drop(writer);
+        self.note_writer_stall(start);
+        ticket
     }
 
     /// Delete a batch of keys routed to this shard. Returns how many were
-    /// actually removed. Cuckoo shards delete in place and republish; Bloom
-    /// shards tombstone (the key leaves the bookkeeping immediately, the
-    /// filter bits stay until the policy's next rebuild).
-    pub(crate) fn delete_batch(&self, keys: &[u32]) -> usize {
+    /// actually removed, plus a ticket if the policy requested a background
+    /// rebuild. Cuckoo shards delete in place and republish; Bloom shards
+    /// tombstone (the key leaves the bookkeeping immediately, the filter
+    /// bits stay until the policy's next rebuild).
+    pub(crate) fn delete_batch(&self, keys: &[u32]) -> (usize, Option<RebuildTicket>) {
         if keys.is_empty() {
-            return 0;
+            return (0, None);
         }
+        let start = Instant::now();
         let mut writer = self.writer.lock().expect("writer lock poisoned");
         let (removed, mut observable) = writer.delete_many(keys);
         if removed > 0 {
             if let RebuildDecision::Rebuild { capacity } = writer.policy_decision_on_delete() {
-                writer.rebuild(capacity);
-                observable = true;
+                if !writer.rebuild_or_request(capacity, true) {
+                    observable = true;
+                }
             }
         }
+        let ticket = writer.ticket.take();
         if observable {
             self.publish(&writer);
         }
-        removed
+        drop(writer);
+        self.note_writer_stall(start);
+        (removed, ticket)
     }
 
     /// Run one maintenance round: ask the policy whether deferred work
     /// (overflow folds, tombstone purges, re-fits) should happen now.
-    /// Returns `true` if the shard was rebuilt.
-    pub(crate) fn maintain(&self) -> bool {
+    pub(crate) fn maintain(&self) -> MaintainOutcome {
         let mut writer = self.writer.lock().expect("writer lock poisoned");
         if let RebuildDecision::Rebuild { capacity } = writer.policy_decision_on_maintain() {
-            writer.rebuild(capacity);
-            self.publish(&writer);
-            true
+            if writer.rebuild_or_request(capacity, false) {
+                MaintainOutcome::Requested(writer.ticket.take().expect("request leaves a ticket"))
+            } else {
+                self.publish(&writer);
+                MaintainOutcome::Rebuilt
+            }
         } else {
-            false
+            MaintainOutcome::Idle
         }
+    }
+
+    /// Record the duration of one write call for the stall statistic.
+    fn note_writer_stall(&self, start: Instant) {
+        self.max_writer_stall_ns
+            .fetch_max(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Phase one of a background rebuild: under one brief writer lock,
+    /// validate the ticket, switch the writer into delta-logging mode, and
+    /// copy out everything needed to build the replacement filter off-lock.
+    /// Returns `None` if the ticket went stale (an inline fallback rebuilt
+    /// the shard first).
+    pub(crate) fn begin_rebuild(&self, ticket: RebuildTicket) -> Option<RebuildPlan> {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let live = writer.keys.len();
+        let pending = writer.pending.as_mut()?;
+        if pending.epoch != ticket.epoch {
+            return None;
+        }
+        pending.delta_active = true;
+        // The requested capacity may be stale by the time the job is picked
+        // up (the shard kept absorbing writes): grow it to fit what is live
+        // *now*, so a Bloom replacement is not born overloaded.
+        let mut capacity = pending.capacity.max(64);
+        while capacity < live {
+            capacity *= 2;
+        }
+        let (config, bits_per_key) = (writer.config, writer.bits_per_key);
+        writer.keys.fold();
+        Some(RebuildPlan {
+            keys: writer.keys.as_ordered_slice().to_vec(),
+            capacity,
+            config,
+            bits_per_key,
+        })
+    }
+
+    /// Phase two of a background rebuild: re-acquire the shard briefly,
+    /// replay the mutations logged since the snapshot into the replacement
+    /// filter, and publish it with a single `Arc` swap. Returns `false` (and
+    /// discards the filter) if the ticket went stale.
+    pub(crate) fn finish_rebuild(
+        &self,
+        ticket: RebuildTicket,
+        filter: AnyFilter,
+        capacity: usize,
+    ) -> bool {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        if writer.pending.as_ref().map(|p| p.epoch) != Some(ticket.epoch) {
+            return false;
+        }
+        let pending = writer.pending.take().expect("epoch matched above");
+        let mut filter = filter;
+        // Replay the delta in chronological order. Inserts the replacement
+        // refuses are parked in the overflow buffer (readers probe it, so
+        // nothing goes missing); deletes remove in place where the family
+        // allows and tombstone otherwise — exactly the synchronous write
+        // path's semantics, compressed into the swap.
+        let mut overflow: Vec<u32> = Vec::new();
+        let mut tombstones = 0usize;
+        for op in &pending.delta {
+            match *op {
+                DeltaOp::Insert(key) => {
+                    if !filter.insert(key) {
+                        let position = overflow.partition_point(|&k| k < key);
+                        overflow.insert(position, key);
+                    }
+                }
+                DeltaOp::Delete(key) => {
+                    if let Ok(position) = overflow.binary_search(&key) {
+                        overflow.remove(position);
+                    } else {
+                        match filter.try_delete(key) {
+                            DeleteOutcome::Removed => {}
+                            DeleteOutcome::Unsupported | DeleteOutcome::NotFound => {
+                                tombstones += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        writer.filter = filter;
+        writer.capacity = capacity;
+        writer.overflow = overflow;
+        writer.tombstones = tombstones;
+        writer.rebuilds += 1;
+        writer.rebuilds_background += 1;
+        writer.rebuild_epoch += 1;
+        writer.rebuild_wait_ns += pending.requested.elapsed().as_nanos() as u64;
+        self.publish(&writer);
+        true
     }
 
     /// Number of live keys in this shard.
@@ -241,6 +489,11 @@ impl Shard {
             overflow: writer.overflow.len(),
             bookkeeping_bytes: writer.keys.bookkeeping_bytes(),
             policy: writer.policy.name(),
+            rebuilds_background: writer.rebuilds_background,
+            rebuild_wait_ns: writer.rebuild_wait_ns,
+            max_writer_stall_ns: self.max_writer_stall_ns.load(Ordering::Relaxed),
+            writer_rebuild_stall_ns: writer.writer_rebuild_stall_ns,
+            rebuild_pending: writer.pending.is_some(),
         }
     }
 
@@ -284,15 +537,49 @@ impl ShardWriter {
         if !self.keys.insert(key) {
             return false;
         }
+        self.log_delta(DeltaOp::Insert(key));
+        if self.pending.is_some() {
+            // A rebuild is already in flight: policy decisions are
+            // suppressed (the replacement is being built from a snapshot
+            // that the delta replay will reconcile). The key goes into the
+            // *current* filter for immediate visibility — or the overflow
+            // buffer if the filter refuses it — and reaches the replacement
+            // through the delta.
+            if !self.filter.insert(key) {
+                self.defer(key);
+                // The overflow buffer grew while a rebuild is in flight:
+                // policies enforcing a hard bound on it (DeferredBatch's
+                // 4x cap) must still get their say, or the bound would be
+                // unenforceable for the whole build window.
+                if self.policy.urgency(&self.observe()) == RebuildUrgency::Immediate {
+                    self.inline_fallback();
+                    return true;
+                }
+            }
+            self.shed_backpressure();
+            return true;
+        }
         match self.policy.on_append(&self.observe()) {
-            RebuildDecision::Rebuild { capacity } => self.rebuild(capacity),
+            RebuildDecision::Rebuild { capacity } => {
+                if self.rebuild_or_request(capacity, true) {
+                    // Deferred to the maintainer: the key must stay visible
+                    // *now*, through the current filter or the buffer.
+                    if !self.filter.insert(key) {
+                        self.defer(key);
+                    }
+                }
+            }
             RebuildDecision::Defer => self.defer(key),
             RebuildDecision::Keep => {
                 if !self.filter.insert(key) {
                     // The filter refused the key (Cuckoo relocation failure
                     // below nominal capacity).
                     match self.policy.on_filter_full(&self.observe()) {
-                        RebuildDecision::Rebuild { capacity } => self.rebuild(capacity),
+                        RebuildDecision::Rebuild { capacity } => {
+                            if self.rebuild_or_request(capacity, true) {
+                                self.defer(key);
+                            }
+                        }
                         // Whatever the policy says, the key must stay
                         // represented somewhere: defer it.
                         RebuildDecision::Defer | RebuildDecision::Keep => self.defer(key),
@@ -301,6 +588,87 @@ impl ShardWriter {
             }
         }
         true
+    }
+
+    /// Execute a `Rebuild` decision: inline in synchronous mode (or when the
+    /// policy marks the decision [`RebuildUrgency::Immediate`]), otherwise
+    /// record the pending state and leave a [`RebuildTicket`] for the
+    /// maintainer. Returns `true` when the rebuild was deferred off-lock —
+    /// callers must then keep the triggering key visible themselves.
+    /// `foreground` marks write-path callers, whose inline rebuilds count
+    /// toward the writer rebuild-stall statistic.
+    fn rebuild_or_request(&mut self, capacity: usize, foreground: bool) -> bool {
+        if self.background && self.policy.urgency(&self.observe()) == RebuildUrgency::Deferrable {
+            self.pending = Some(PendingRebuild {
+                epoch: self.rebuild_epoch,
+                capacity,
+                delta: Vec::new(),
+                delta_active: false,
+                requested: Instant::now(),
+            });
+            self.ticket = Some(RebuildTicket {
+                epoch: self.rebuild_epoch,
+            });
+            true
+        } else {
+            self.rebuild_inline(capacity, foreground);
+            false
+        }
+    }
+
+    /// Rebuild now, recording the stall against the write path when a
+    /// foreground (insert/delete) call is paying for it.
+    fn rebuild_inline(&mut self, capacity: usize, foreground: bool) {
+        let start = Instant::now();
+        self.rebuild(capacity);
+        if foreground {
+            self.writer_rebuild_stall_ns = self
+                .writer_rebuild_stall_ns
+                .max(start.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Log one mutation for the in-flight rebuild's replay, if the
+    /// maintainer has taken its snapshot.
+    fn log_delta(&mut self, op: DeltaOp) {
+        if let Some(pending) = self.pending.as_mut() {
+            if pending.delta_active {
+                pending.delta.push(op);
+            }
+        }
+    }
+
+    /// Backpressure for a shard that re-saturates while its rebuild is in
+    /// flight: once the delta outgrows the shard's own capacity (floored at
+    /// 4096 so brief build windows on small shards don't trip it) the replay
+    /// would no longer be "bounded", so fall back to one inline rebuild.
+    /// The epoch bump inside [`ShardWriter::rebuild`] invalidates the
+    /// in-flight job; its result is discarded at swap time.
+    fn shed_backpressure(&mut self) {
+        let bound = self.capacity.max(4096);
+        let Some(pending) = self.pending.as_ref() else {
+            return;
+        };
+        if pending.delta.len() <= bound {
+            return;
+        }
+        self.inline_fallback();
+    }
+
+    /// Abandon the in-flight background rebuild and rebuild inline right
+    /// now, refit to the current live count. The epoch bump inside
+    /// [`ShardWriter::rebuild`] invalidates the abandoned job; its result is
+    /// discarded at swap time.
+    fn inline_fallback(&mut self) {
+        let requested = self
+            .pending
+            .take()
+            .map_or(self.capacity, |pending| pending.capacity);
+        let mut capacity = requested.max(self.capacity);
+        while capacity < self.keys.len() {
+            capacity *= 2;
+        }
+        self.rebuild_inline(capacity, true);
     }
 
     /// Park a key in the (sorted) overflow buffer. The key is fresh in the
@@ -342,6 +710,7 @@ impl ShardWriter {
         self.overflow
             .retain(|key| doomed.binary_search(key).is_err());
         for &key in &doomed {
+            self.log_delta(DeltaOp::Delete(key));
             if from_overflow.binary_search(&key).is_ok() {
                 continue;
             }
@@ -357,16 +726,25 @@ impl ShardWriter {
     }
 
     /// The policy's post-delete-batch decision (`Defer` is meaningless for
-    /// deletes and treated as `Keep`).
+    /// deletes and treated as `Keep`; suppressed entirely while a background
+    /// rebuild is in flight — the swap purges tombstones anyway).
     fn policy_decision_on_delete(&self) -> RebuildDecision {
+        if self.pending.is_some() {
+            return RebuildDecision::Keep;
+        }
         match self.policy.on_delete(&self.observe()) {
             RebuildDecision::Defer => RebuildDecision::Keep,
             decision => decision,
         }
     }
 
-    /// The policy's maintenance decision (`Defer` treated as `Keep`).
+    /// The policy's maintenance decision (`Defer` treated as `Keep`;
+    /// suppressed while a background rebuild is in flight — the store's
+    /// `maintain()` drains the in-flight job instead of stacking another).
     fn policy_decision_on_maintain(&self) -> RebuildDecision {
+        if self.pending.is_some() {
+            return RebuildDecision::Keep;
+        }
         match self.policy.on_maintain(&self.observe()) {
             RebuildDecision::Defer => RebuildDecision::Keep,
             decision => decision,
@@ -395,6 +773,7 @@ impl ShardWriter {
             self.overflow.clear();
             self.tombstones = 0;
             self.rebuilds += 1;
+            self.rebuild_epoch += 1;
             return;
         }
         unreachable!("rebuild retries grow geometrically and must eventually fit");

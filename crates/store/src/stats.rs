@@ -17,6 +17,29 @@ pub struct ShardStats {
     pub modeled_fpr: f64,
     /// Policy-triggered rebuilds this shard has performed.
     pub rebuilds: u64,
+    /// Of those, rebuilds completed off-lock by the background maintainer
+    /// (snapshot → off-lock build → delta replay → atomic swap).
+    pub rebuilds_background: u64,
+    /// Cumulative request→swap latency of completed background rebuilds, in
+    /// nanoseconds — how long this shard's replacement filters were in
+    /// flight.
+    pub rebuild_wait_ns: u64,
+    /// Longest single `insert_batch`/`delete_batch` call this shard has
+    /// served (lock wait + mutation + snapshot publish), in nanoseconds.
+    /// The writer tail-latency figure background rebuilds exist to shrink;
+    /// `maintain()` time is excluded. On hosts where the maintainer has no
+    /// spare core, wall-clock call times also absorb scheduler time-sharing
+    /// — [`ShardStats::writer_rebuild_stall_ns`] isolates the structural
+    /// component.
+    pub max_writer_stall_ns: u64,
+    /// Longest single *inline* rebuild a write call paid for, in
+    /// nanoseconds: the exact stall the background maintainer takes off the
+    /// write path. Structurally zero with background rebuilds on (only the
+    /// re-saturation backpressure fallback can make it non-zero);
+    /// `maintain()`-time rebuilds are excluded.
+    pub writer_rebuild_stall_ns: u64,
+    /// Is a background rebuild currently in flight for this shard?
+    pub rebuild_pending: bool,
     /// Deleted keys still represented in the filter (Bloom shards cannot
     /// unset bits; the active rebuild policy decides when they are purged).
     pub tombstones: u64,
@@ -62,6 +85,41 @@ impl StoreStats {
     #[must_use]
     pub fn total_rebuilds(&self) -> u64 {
         self.shards.iter().map(|s| s.rebuilds).sum()
+    }
+
+    /// Total rebuilds completed off-lock by the background maintainer.
+    #[must_use]
+    pub fn total_background_rebuilds(&self) -> u64 {
+        self.shards.iter().map(|s| s.rebuilds_background).sum()
+    }
+
+    /// Cumulative request→swap latency of background rebuilds, ns.
+    #[must_use]
+    pub fn total_rebuild_wait_ns(&self) -> u64 {
+        self.shards.iter().map(|s| s.rebuild_wait_ns).sum()
+    }
+
+    /// Longest single write call served by any shard, in nanoseconds — the
+    /// store's observed writer tail latency.
+    #[must_use]
+    pub fn max_writer_stall_ns(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.max_writer_stall_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Longest single inline rebuild paid by any write call, in nanoseconds
+    /// — the write-path stall component that moving rebuilds to the
+    /// background maintainer eliminates.
+    #[must_use]
+    pub fn writer_rebuild_stall_ns(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.writer_rebuild_stall_ns)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total tombstoned (deleted but still filter-resident) keys.
@@ -130,6 +188,11 @@ mod tests {
             bits_per_key: 12.0,
             modeled_fpr: fpr,
             rebuilds: index as u64,
+            rebuilds_background: index as u64 / 2,
+            rebuild_wait_ns: index as u64 * 1_000,
+            max_writer_stall_ns: index as u64 * 500,
+            writer_rebuild_stall_ns: index as u64 * 400,
+            rebuild_pending: false,
             tombstones: index as u64 * 2,
             overflow: index as u64 * 3,
             bookkeeping_bytes: keys * 8,
@@ -145,6 +208,10 @@ mod tests {
         assert_eq!(stats.total_keys(), 400);
         assert_eq!(stats.total_size_bits(), 4_800);
         assert_eq!(stats.total_rebuilds(), 1);
+        assert_eq!(stats.total_background_rebuilds(), 0);
+        assert_eq!(stats.total_rebuild_wait_ns(), 1_000);
+        assert_eq!(stats.max_writer_stall_ns(), 500);
+        assert_eq!(stats.writer_rebuild_stall_ns(), 400);
         assert_eq!(stats.total_tombstones(), 2);
         assert_eq!(stats.total_overflow(), 3);
         assert_eq!(stats.total_bookkeeping_bytes(), 3_200);

@@ -1,7 +1,8 @@
 //! The sharded filter store and its frozen read snapshot.
 
+use crate::maintainer::{Maintainer, RebuildMode};
 use crate::policy::{RebuildPolicy, SaturationDoubling};
-use crate::shard::{Shard, ShardSnapshot};
+use crate::shard::{MaintainOutcome, RebuildTicket, Shard, ShardSnapshot};
 use crate::stats::{ShardStats, StoreStats};
 use pof_core::{AnyFilter, FilterConfig};
 use pof_filter::stats::measured_fpr;
@@ -39,11 +40,18 @@ const _: () = {
 /// modeled-FPR drift, or deferred-until-[`maintain`](Self::maintain) — is
 /// decided by the store's [`RebuildPolicy`] (see
 /// [`StoreBuilder::rebuild_policy`](crate::StoreBuilder::rebuild_policy)).
+/// *Where* it runs is the store's [`RebuildMode`]: inline under the shard
+/// lock (default), or off-lock on a background maintainer that replays the
+/// bounded write delta and swaps the replacement in atomically (see
+/// [`StoreBuilder::background_rebuilds`](crate::StoreBuilder::background_rebuilds)).
 #[derive(Debug)]
 pub struct ShardedFilterStore {
-    shards: Vec<Shard>,
+    /// Shared with the maintainer's worker thread in background mode.
+    shards: Arc<Vec<Shard>>,
     /// `log2` of the shard count.
     shard_bits: u32,
+    /// The background rebuild executor; `None` in inline (synchronous) mode.
+    maintainer: Option<Maintainer>,
 }
 
 /// Reusable scratch buffers for the batched read path.
@@ -93,7 +101,8 @@ impl ShardedFilterStore {
         )
     }
 
-    /// Create a store whose shards follow an explicit [`RebuildPolicy`].
+    /// Create a store whose shards follow an explicit [`RebuildPolicy`],
+    /// with rebuilds inline (synchronous mode).
     #[must_use]
     pub fn with_policy(
         config: FilterConfig,
@@ -102,20 +111,64 @@ impl ShardedFilterStore {
         bits_per_key: f64,
         policy: Arc<dyn RebuildPolicy>,
     ) -> Self {
+        Self::with_options(
+            config,
+            shard_count,
+            capacity_per_shard,
+            bits_per_key,
+            policy,
+            RebuildMode::Inline,
+        )
+    }
+
+    /// Create a store with an explicit policy *and* rebuild execution mode.
+    ///
+    /// [`RebuildMode::Background`] spawns one maintainer thread owned by the
+    /// store (joined on drop, after finishing any queued jobs);
+    /// [`RebuildMode::Queued`] queues jobs for
+    /// [`run_pending_rebuilds`](Self::run_pending_rebuilds). Most callers
+    /// should go through [`StoreBuilder`](crate::StoreBuilder).
+    #[must_use]
+    pub fn with_options(
+        config: FilterConfig,
+        shard_count: usize,
+        capacity_per_shard: usize,
+        bits_per_key: f64,
+        policy: Arc<dyn RebuildPolicy>,
+        mode: RebuildMode,
+    ) -> Self {
         let shard_count = shard_count.max(1).next_power_of_two();
-        let shards = (0..shard_count)
-            .map(|_| {
-                Shard::new(
-                    config,
-                    capacity_per_shard,
-                    bits_per_key,
-                    Arc::clone(&policy),
-                )
-            })
-            .collect();
+        let background = mode != RebuildMode::Inline;
+        let shards: Arc<Vec<Shard>> = Arc::new(
+            (0..shard_count)
+                .map(|_| {
+                    Shard::new(
+                        config,
+                        capacity_per_shard,
+                        bits_per_key,
+                        Arc::clone(&policy),
+                        background,
+                    )
+                })
+                .collect(),
+        );
+        let maintainer = Maintainer::new(mode, Arc::clone(&shards));
         Self {
             shards,
             shard_bits: shard_count.trailing_zeros(),
+            maintainer,
+        }
+    }
+
+    /// Hand a shard's rebuild ticket to the maintainer. Tickets are only
+    /// ever produced by shards constructed in a background mode, so the
+    /// maintainer must exist.
+    fn enqueue_rebuild(&self, shard: usize, ticket: Option<RebuildTicket>) {
+        if let Some(ticket) = ticket {
+            self.maintainer
+                .as_ref()
+                .expect("rebuild tickets are only issued in background modes")
+                .enqueue(shard, ticket);
         }
     }
 
@@ -150,8 +203,9 @@ impl ShardedFilterStore {
         for &key in keys {
             routed[self.shard_of(key)].push(key);
         }
-        for (shard, keys) in self.shards.iter().zip(&routed) {
-            shard.insert_batch(keys);
+        for (index, (shard, keys)) in self.shards.iter().zip(&routed).enumerate() {
+            let ticket = shard.insert_batch(keys);
+            self.enqueue_rebuild(index, ticket);
         }
     }
 
@@ -168,11 +222,13 @@ impl ShardedFilterStore {
         for &key in keys {
             routed[self.shard_of(key)].push(key);
         }
-        self.shards
-            .iter()
-            .zip(&routed)
-            .map(|(shard, keys)| shard.delete_batch(keys))
-            .sum()
+        let mut removed = 0;
+        for (index, (shard, keys)) in self.shards.iter().zip(&routed).enumerate() {
+            let (shard_removed, ticket) = shard.delete_batch(keys);
+            removed += shard_removed;
+            self.enqueue_rebuild(index, ticket);
+        }
+        removed
     }
 
     /// Run one maintenance round over every shard: fold deferred overflow
@@ -180,11 +236,54 @@ impl ShardedFilterStore {
     /// [`RebuildPolicy`] decides is due. Returns the number of shards that
     /// rebuilt.
     ///
+    /// In a background mode this is also the store's **deterministic
+    /// barrier**: whatever the policy decided (including nothing at all —
+    /// e.g. a clean [`SaturationDoubling`] store), `maintain()` drains every
+    /// in-flight and newly requested background rebuild before returning, so
+    /// callers (and tests) observe a fully swapped-in store afterwards.
+    ///
     /// Readers are unaffected while this runs (they keep probing the last
     /// published snapshots); call it from an ingest pause, a timer, or after
     /// a delete wave.
     pub fn maintain(&self) -> usize {
-        self.shards.iter().filter(|shard| shard.maintain()).count()
+        let mut rebuilt = 0;
+        for (index, shard) in self.shards.iter().enumerate() {
+            match shard.maintain() {
+                MaintainOutcome::Idle => {}
+                MaintainOutcome::Rebuilt => rebuilt += 1,
+                MaintainOutcome::Requested(ticket) => {
+                    self.enqueue_rebuild(index, Some(ticket));
+                    rebuilt += 1;
+                }
+            }
+        }
+        if let Some(maintainer) = &self.maintainer {
+            maintainer.drain();
+        }
+        rebuilt
+    }
+
+    /// In [`RebuildMode::Queued`] mode, advance up to `limit` queued rebuild
+    /// phases on the calling thread. Each rebuild is **two** phases — the
+    /// brief key-set snapshot (which opens the shard's delta-replay window),
+    /// then the off-lock build, delta replay and atomic swap — exactly what
+    /// the maintainer thread does in one go, split so a deterministic
+    /// harness can interleave writes in between. Returns how many phases
+    /// ran; always `0` in the other modes ([`RebuildMode::Background`]'s
+    /// worker owns execution, and inline stores never queue).
+    pub fn run_pending_rebuilds(&self, limit: usize) -> usize {
+        self.maintainer
+            .as_ref()
+            .map_or(0, |maintainer| maintainer.run_pending(limit))
+    }
+
+    /// Number of background rebuild jobs enqueued but not yet completed.
+    /// Always `0` for inline (synchronous) stores.
+    #[must_use]
+    pub fn pending_rebuilds(&self) -> usize {
+        self.maintainer
+            .as_ref()
+            .map_or(0, |maintainer| maintainer.pending())
     }
 
     /// Point lookup against the current snapshots.
@@ -261,6 +360,11 @@ impl ShardedFilterStore {
                     },
                     modeled_fpr: view.snapshot.filter.modeled_fpr(),
                     rebuilds: view.rebuilds,
+                    rebuilds_background: view.rebuilds_background,
+                    rebuild_wait_ns: view.rebuild_wait_ns,
+                    max_writer_stall_ns: view.max_writer_stall_ns,
+                    writer_rebuild_stall_ns: view.writer_rebuild_stall_ns,
+                    rebuild_pending: view.rebuild_pending,
                     tombstones: view.tombstones as u64,
                     overflow: view.overflow as u64,
                     bookkeeping_bytes: view.bookkeeping_bytes as u64,
@@ -878,6 +982,186 @@ mod tests {
         assert_eq!(store.key_count(), kept.len());
         for &key in kept {
             assert!(store.contains(key), "shrink lost a live key");
+        }
+    }
+
+    #[test]
+    fn background_rebuilds_lose_no_keys_and_record_stats() {
+        // The background twin of `saturated_shards_rebuild_without_losing_
+        // keys`: undersized shards, heavy growth, rebuilds swapped in by the
+        // maintainer thread — and still not a single key missing.
+        let mut gen = KeyGen::new(401);
+        let keys = gen.distinct_keys(40_000);
+        for config in [bloom_config(), cuckoo_config()] {
+            let store = ShardedFilterStore::with_options(
+                config,
+                4,
+                256,
+                16.0,
+                Arc::new(SaturationDoubling),
+                RebuildMode::Background,
+            );
+            for chunk in keys.chunks(1_000) {
+                store.insert_batch(chunk);
+            }
+            // Deterministic barrier: every in-flight swap lands before the
+            // assertions run.
+            store.maintain();
+            assert_eq!(store.pending_rebuilds(), 0);
+            assert_eq!(store.key_count(), keys.len(), "{}", config.label());
+            for &key in &keys {
+                assert!(store.contains(key), "lost key in {}", config.label());
+            }
+            let stats = store.stats();
+            assert!(
+                stats.total_background_rebuilds() > 0,
+                "{}: no rebuild ran off-lock, stats: {stats:?}",
+                config.label()
+            );
+            assert!(stats.total_rebuild_wait_ns() > 0);
+            assert!(stats.max_writer_stall_ns() > 0);
+        }
+    }
+
+    #[test]
+    fn queued_rebuild_replays_the_delta_window() {
+        // Deterministic walk through the snapshot-swap handoff: open the
+        // delta window with the snapshot phase, mutate the shard inside it,
+        // then swap and verify the replay reconciled everything.
+        for config in [bloom_config(), cuckoo_config()] {
+            let store = ShardedFilterStore::with_options(
+                config,
+                1,
+                64,
+                16.0,
+                Arc::new(SaturationDoubling),
+                RebuildMode::Queued,
+            );
+            let mut gen = KeyGen::new(402);
+            let keys = gen.distinct_keys(100);
+            store.insert_batch(&keys); // 100 > 64: a rebuild is requested
+            assert_eq!(store.pending_rebuilds(), 1, "{}", config.label());
+            // Phase one: key-set snapshot; the writer now delta-logs.
+            assert_eq!(store.run_pending_rebuilds(1), 1);
+            // Mutations inside the delta-replay window.
+            let late = gen.distinct_keys(50);
+            store.insert_batch(&late);
+            let doomed = &keys[..30];
+            assert_eq!(store.delete_batch(doomed), doomed.len());
+            // Phase two: off-lock build, delta replay, atomic swap.
+            assert_eq!(store.run_pending_rebuilds(usize::MAX), 1);
+            assert_eq!(store.pending_rebuilds(), 0);
+            assert_eq!(store.stats().total_background_rebuilds(), 1);
+            let live: Vec<u32> = keys[30..].iter().chain(&late).copied().collect();
+            assert_eq!(store.key_count(), live.len(), "{}", config.label());
+            for &key in &live {
+                assert!(
+                    store.contains(key),
+                    "replay lost {key} in {}",
+                    config.label()
+                );
+            }
+            if config.kind() == FilterKind::Cuckoo {
+                // Deletes replayed into the replacement removed signatures
+                // physically: the doomed keys answer negative (16-bit
+                // signatures make residual collisions vanishingly rare).
+                let still = doomed.iter().filter(|&&k| store.contains(k)).count();
+                assert!(still <= 1, "{still} deleted keys survived the replay");
+            }
+        }
+    }
+
+    #[test]
+    fn maintain_is_a_drain_barrier_even_when_no_policy_work_is_due() {
+        // A clean SaturationDoubling store has nothing for the policy to do
+        // on maintain() — but maintain() must still drain queued background
+        // work (the deterministic barrier the tests and callers rely on).
+        let store = ShardedFilterStore::with_options(
+            bloom_config(),
+            1,
+            64,
+            16.0,
+            Arc::new(SaturationDoubling),
+            RebuildMode::Queued,
+        );
+        let mut gen = KeyGen::new(403);
+        store.insert_batch(&gen.distinct_keys(100));
+        assert_eq!(store.pending_rebuilds(), 1);
+        store.maintain();
+        assert_eq!(store.pending_rebuilds(), 0);
+        assert_eq!(store.stats().total_background_rebuilds(), 1);
+    }
+
+    #[test]
+    fn stale_rebuild_tickets_are_discarded_after_inline_fallback() {
+        // Force the backpressure path: request a rebuild, then stuff the
+        // shard far past the delta bound *inside* the replay window so the
+        // writer falls back inline. The queued job's swap must then be
+        // refused — the fallback's filter stays, nothing is lost.
+        let store = ShardedFilterStore::with_options(
+            bloom_config(),
+            1,
+            64,
+            16.0,
+            Arc::new(SaturationDoubling),
+            RebuildMode::Queued,
+        );
+        let mut gen = KeyGen::new(404);
+        let first = gen.distinct_keys(100);
+        store.insert_batch(&first);
+        assert_eq!(store.pending_rebuilds(), 1);
+        assert_eq!(store.run_pending_rebuilds(1), 1); // snapshot: delta opens
+                                                      // The delta bound is max(capacity, 4096): exceed it (forcing the
+                                                      // inline fallback) without outgrowing the fallback's refit capacity,
+                                                      // which would legitimately request a second rebuild.
+        let flood = gen.distinct_keys(6_000);
+        store.insert_batch(&flood);
+        let stats = store.stats();
+        assert!(
+            stats.total_rebuilds() > 0 && stats.total_background_rebuilds() == 0,
+            "flood should have rebuilt inline: {stats:?}"
+        );
+        assert!(!stats.shards[0].rebuild_pending);
+        // The staged swap is now stale; draining discards it.
+        store.run_pending_rebuilds(usize::MAX);
+        assert_eq!(store.stats().total_background_rebuilds(), 0);
+        assert_eq!(store.key_count(), first.len() + flood.len());
+        for &key in first.iter().chain(&flood) {
+            assert!(store.contains(key), "fallback lost {key}");
+        }
+    }
+
+    #[test]
+    fn runaway_overflow_forces_inline_fallback_while_pending() {
+        // DeferredBatch promises its overflow buffer never balloons past 4x
+        // the cap. That hard bound must hold even while a background fold is
+        // in flight (policy decisions are otherwise suppressed): a Cuckoo
+        // shard whose saturated filter refuses keys mid-window grows the
+        // buffer, and at 4x the urgency hook forces an inline fallback.
+        let store = ShardedFilterStore::with_options(
+            cuckoo_config(),
+            1,
+            64,
+            20.0,
+            Arc::new(DeferredBatch::new(4)),
+            RebuildMode::Queued,
+        );
+        let mut gen = KeyGen::new(405);
+        let keys = gen.distinct_keys(400);
+        store.insert_batch(&keys);
+        assert!(
+            store.stats().total_overflow() <= 16,
+            "overflow hard bound violated during the in-flight window: {:?}",
+            store.stats()
+        );
+        assert!(
+            store.stats().total_rebuilds() >= 1,
+            "the runaway buffer should have forced an inline fallback"
+        );
+        store.maintain();
+        assert_eq!(store.key_count(), keys.len());
+        for &key in &keys {
+            assert!(store.contains(key), "fallback lost {key}");
         }
     }
 

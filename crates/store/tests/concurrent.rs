@@ -6,7 +6,7 @@ use pof_bloom::{Addressing, BloomConfig};
 use pof_core::FilterConfig;
 use pof_cuckoo::{CuckooAddressing, CuckooConfig};
 use pof_filter::{KeyGen, SelectionVector};
-use pof_store::ShardedFilterStore;
+use pof_store::{ShardedFilterStore, StoreBuilder};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -152,6 +152,176 @@ fn concurrent_deletes_never_hide_live_keys() {
         }
 
         // The dust has settled: only the core is live.
+        assert_eq!(store.key_count(), core.len(), "{}", config.label());
+        let mut sel = SelectionVector::new();
+        store.contains_batch(&core, &mut sel);
+        assert_eq!(sel.len(), core.len(), "{}", config.label());
+        store.maintain();
+        assert_eq!(store.stats().total_tombstones(), 0, "{}", config.label());
+    }
+}
+
+/// Background rebuilds with live readers: undersized shards saturate, the
+/// maintainer swaps replacements in mid-probe, and no pre-inserted key may
+/// ever answer negative — through the snapshot, the delta window, or the
+/// swap itself.
+#[test]
+fn background_rebuilds_never_hide_keys_from_concurrent_readers() {
+    for config in configs() {
+        let mut gen = KeyGen::new(0xB6C0DE);
+        let initial = gen.distinct_keys(8_000);
+        let extra = gen.distinct_keys(24_000);
+
+        let store = Arc::new(
+            StoreBuilder::new()
+                .shards(4)
+                .expected_keys(2_048) // undersized: growth rebuilds guaranteed
+                .bits_per_key(16.0)
+                .config(config)
+                .background_rebuilds(true)
+                .build(),
+        );
+        store.insert_batch(&initial);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|reader| {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                let initial = initial.clone();
+                std::thread::spawn(move || {
+                    let mut sel = SelectionVector::with_capacity(initial.len());
+                    let mut rounds = 0u64;
+                    while !stop.load(Ordering::Relaxed) || rounds == 0 {
+                        for batch in initial.chunks(1_024) {
+                            sel.clear();
+                            store.contains_batch(batch, &mut sel);
+                            assert_eq!(
+                                sel.len(),
+                                batch.len(),
+                                "reader {reader}: a key went missing mid-swap"
+                            );
+                        }
+                        rounds += 1;
+                    }
+                    rounds
+                })
+            })
+            .collect();
+
+        for chunk in extra.chunks(512) {
+            store.insert_batch(chunk);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            assert!(reader.join().expect("reader panicked") > 0);
+        }
+
+        // Drain, then audit: rebuilds ran off-lock and nothing was lost.
+        store.maintain();
+        assert_eq!(store.pending_rebuilds(), 0);
+        let stats = store.stats();
+        assert!(
+            stats.total_background_rebuilds() >= 1,
+            "{}: growth this size must have swapped in background rebuilds, stats: {stats:?}",
+            config.label()
+        );
+        let all: Vec<u32> = initial.iter().chain(&extra).copied().collect();
+        assert_eq!(store.key_count(), all.len(), "{}", config.label());
+        let mut sel = SelectionVector::new();
+        store.contains_batch(&all, &mut sel);
+        assert_eq!(sel.len(), all.len(), "{}", config.label());
+    }
+}
+
+/// The CI concurrency lane's long soak (run with `--ignored`): writer and
+/// deleter threads churn disjoint key ranges through a background-rebuild
+/// store for many cycles while readers continuously assert the stable core,
+/// and the final bookkeeping must settle to exactly the core.
+#[test]
+#[ignore = "long-running stress; exercised by the CI concurrency lane"]
+fn background_rebuild_stress() {
+    for config in configs() {
+        let mut gen = KeyGen::new(0x57E55);
+        let core = gen.distinct_keys(10_000);
+        let churn: Vec<u32> = gen
+            .distinct_keys(40_000)
+            .into_iter()
+            .filter(|k| !core.contains(k))
+            .collect();
+
+        let store = Arc::new(
+            StoreBuilder::new()
+                .shards(8)
+                .expected_keys(4_096)
+                .bits_per_key(16.0)
+                .config(config)
+                .background_rebuilds(true)
+                .build(),
+        );
+        store.insert_batch(&core);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|reader| {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                let core = core.clone();
+                std::thread::spawn(move || {
+                    let mut sel = SelectionVector::with_capacity(core.len());
+                    let mut rounds = 0u64;
+                    while !stop.load(Ordering::Relaxed) || rounds == 0 {
+                        for batch in core.chunks(2_048) {
+                            sel.clear();
+                            store.contains_batch(batch, &mut sel);
+                            assert_eq!(
+                                sel.len(),
+                                batch.len(),
+                                "reader {reader}: a core key went missing under churn"
+                            );
+                        }
+                        rounds += 1;
+                    }
+                    rounds
+                })
+            })
+            .collect();
+
+        // Two churn writers over disjoint halves: inserts, deletes and
+        // periodic maintains race the maintainer's snapshot/swap cycles.
+        let halves: Vec<Vec<u32>> = vec![
+            churn.iter().copied().step_by(2).collect(),
+            churn.iter().skip(1).copied().step_by(2).collect(),
+        ];
+        let writers: Vec<_> = halves
+            .into_iter()
+            .map(|half| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for cycle in 0..8 {
+                        for chunk in half.chunks(1_000) {
+                            store.insert_batch(chunk);
+                        }
+                        for chunk in half.chunks(1_000) {
+                            assert_eq!(store.delete_batch(chunk), chunk.len());
+                        }
+                        if cycle % 3 == 2 {
+                            store.maintain();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for writer in writers {
+            writer.join().expect("writer panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            assert!(reader.join().expect("reader panicked") > 0);
+        }
+
+        store.maintain();
+        assert_eq!(store.pending_rebuilds(), 0);
         assert_eq!(store.key_count(), core.len(), "{}", config.label());
         let mut sel = SelectionVector::new();
         store.contains_batch(&core, &mut sel);

@@ -20,7 +20,8 @@ use pof_core::FilterConfig;
 use pof_cuckoo::{CuckooAddressing, CuckooConfig};
 use pof_filter::SelectionVector;
 use pof_store::{
-    DeferredBatch, FprDrift, RebuildPolicy, SaturationDoubling, ShardedFilterStore, StoreBuilder,
+    DeferredBatch, FprDrift, RebuildMode, RebuildPolicy, SaturationDoubling, ShardedFilterStore,
+    StoreBuilder,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -135,6 +136,84 @@ proptest! {
         }
         assert_no_false_negatives(&store, &oracle, &label);
         // And after a final fold/purge everything still holds.
+        store.maintain();
+        prop_assert_eq!(store.key_count(), oracle.len());
+        assert_no_false_negatives(&store, &oracle, &label);
+    }
+
+    /// The background-rebuild twin of the interleaved oracle test, with the
+    /// delta-replay window under direct proptest control: the store runs in
+    /// queued mode (rebuild jobs advance one phase — snapshot, then
+    /// build+replay+swap — per explicit step), the tiny sizing forces every
+    /// policy to keep requesting rebuilds, and the op stream interleaves
+    /// `insert_batch`/`delete_batch` with rebuild phases at random. No
+    /// oracle member may answer negative at *any* intermediate snapshot —
+    /// before the key-set snapshot, inside the delta window, right after the
+    /// swap — and the live count must track the oracle exactly.
+    #[test]
+    fn background_rebuilds_preserve_the_oracle_at_every_interleaving(
+        config in config_strategy(),
+        policy_index in 0usize..3,
+        shard_pow in 0u32..3,
+        ops in prop::collection::vec(
+            (0u8..5, prop::collection::vec(any::<u32>(), 1..300)),
+            1..16,
+        ),
+    ) {
+        let store = StoreBuilder::new()
+            .shards(1usize << shard_pow)
+            // Deliberately tiny: rebuild requests fire constantly, so the
+            // delta-replay window is open for most of the op stream.
+            .expected_keys(256)
+            .bits_per_key(16.0)
+            .config(config)
+            .rebuild_policy(policy_for(policy_index))
+            .rebuild_mode(RebuildMode::Queued)
+            .build();
+        let mut oracle: HashSet<u32> = HashSet::new();
+        let label = format!("{} policy#{policy_index} background", config.label());
+
+        for (op, keys) in &ops {
+            match op % 5 {
+                0 => {
+                    store.insert_batch(keys);
+                    oracle.extend(keys.iter().copied());
+                }
+                1 => {
+                    let mut expected = 0usize;
+                    for &key in keys {
+                        if oracle.remove(&key) {
+                            expected += 1;
+                        }
+                    }
+                    let removed = store.delete_batch(keys);
+                    prop_assert_eq!(removed, expected, "{}: delete count", &label);
+                }
+                2 => {
+                    let mut sel = SelectionVector::new();
+                    store.contains_batch(keys, &mut sel);
+                    let hits: HashSet<u32> = sel.as_slice().iter().map(|&i| keys[i as usize]).collect();
+                    for &key in keys.iter().filter(|k| oracle.contains(k)) {
+                        prop_assert!(hits.contains(&key), "{}: false negative for {key}", &label);
+                    }
+                }
+                3 => {
+                    // Advance one rebuild phase: a snapshot (opening the
+                    // delta window) or a build+replay+swap, whichever is
+                    // next in the queue. The key count (batch length) adds
+                    // schedule variety for free.
+                    store.run_pending_rebuilds(keys.len() % 2 + 1);
+                }
+                _ => {
+                    // Drain barrier: every requested rebuild lands.
+                    store.maintain();
+                    prop_assert_eq!(store.pending_rebuilds(), 0usize);
+                }
+            }
+            prop_assert_eq!(store.key_count(), oracle.len(), "{}: key_count", &label);
+            assert_no_false_negatives(&store, &oracle, &label);
+        }
+        // Settle all in-flight work; the contract must hold exactly.
         store.maintain();
         prop_assert_eq!(store.key_count(), oracle.len());
         assert_no_false_negatives(&store, &oracle, &label);

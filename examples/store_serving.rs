@@ -2,7 +2,9 @@
 //! with a deferred-maintenance lifecycle policy, serve concurrent batched
 //! lookups from several reader threads while a writer keeps inserting, then
 //! delete a key wave, fold the deferred work with `maintain()`, and report
-//! per-shard statistics plus the observed false-positive rate.
+//! per-shard statistics plus the observed false-positive rate. A second act
+//! turns on `background_rebuilds(true)` and contrasts the writer stall
+//! statistics: with a maintainer, rebuilds leave the write path entirely.
 //!
 //! Run with: `cargo run --release --example store_serving`
 
@@ -135,4 +137,35 @@ fn main() {
         stats.weighted_modeled_fpr(),
         store.observed_fpr(500_000, 11)
     );
+
+    // Act two: the same growth burst with rebuilds inline vs on the
+    // background maintainer. Both stores are deliberately undersized, so
+    // every shard must keep growing; inline mode pays each O(shard) rebuild
+    // inside an insert_batch call, background mode swaps replacements in
+    // off-lock and the write path never rebuilds at all
+    // (writer_rebuild_stall_ns stays 0; max_writer_stall_ns is wall clock
+    // and also absorbs scheduler noise on saturated hosts).
+    println!("\n-- background rebuilds: writer stall comparison --");
+    for background in [false, true] {
+        let store = StoreBuilder::new()
+            .shards(8)
+            .expected_keys(16 * 1024) // undersized on purpose
+            .background_rebuilds(background)
+            .build();
+        let mut gen = KeyGen::new(4 * 1024);
+        for _ in 0..64 {
+            store.insert_batch(&gen.distinct_keys(8 * 1024));
+        }
+        store.maintain(); // drain barrier: every in-flight swap lands
+        let stats = store.stats();
+        println!(
+            "background={background:<5}  keys {}  rebuilds {} ({} off-lock)  \
+             max writer stall {:.2} ms  inline-rebuild stall {:.2} ms",
+            store.key_count(),
+            stats.total_rebuilds(),
+            stats.total_background_rebuilds(),
+            stats.max_writer_stall_ns() as f64 / 1e6,
+            stats.writer_rebuild_stall_ns() as f64 / 1e6,
+        );
+    }
 }

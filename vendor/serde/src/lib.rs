@@ -76,6 +76,21 @@ pub trait Deserialize: Sized {
     fn from_value(value: &Value) -> Result<Self, DeError>;
 }
 
+impl Serialize for Value {
+    /// A [`Value`] is already in the data model (mirrors `serde_json`, where
+    /// `Value` serializes as itself) — handy for ad-hoc documents built by
+    /// hand, like the bench sweep records.
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
 macro_rules! impl_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
