@@ -17,8 +17,11 @@
 //! bench finishes in seconds (the perf-smoke lane), and `POF_BENCH_JSON=
 //! <path>` (or `=1` for the default `BENCH_store.json`) additionally runs a
 //! deterministic growth-workload sweep — shards x family x policy x
-//! background on/off — and records ops/s, max writer stall and rebuild
-//! counts as JSON, so the repo accumulates a bench trajectory.
+//! background on/off — plus a delete-heavy sweep comparing the Bloom delete
+//! modes (tombstone vs counting cells: counting must show zero rebuilds and
+//! zero tombstones at equal final key counts) and records ops/s, max writer
+//! stall, rebuild and tombstone counts as JSON, so the repo accumulates a
+//! bench trajectory.
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use pof_bloom::{Addressing, BloomConfig};
@@ -26,7 +29,8 @@ use pof_core::FilterConfig;
 use pof_cuckoo::{CuckooAddressing, CuckooConfig};
 use pof_filter::{KeyGen, SelectionVector};
 use pof_store::{
-    DeferredBatch, FprDrift, RebuildPolicy, SaturationDoubling, ShardedFilterStore, StoreBuilder,
+    BloomDeleteMode, DeferredBatch, FprDrift, RebuildPolicy, SaturationDoubling,
+    ShardedFilterStore, StoreBuilder,
 };
 use serde::Value;
 use std::collections::VecDeque;
@@ -236,6 +240,64 @@ fn bench_store_lifecycle(c: &mut Criterion) {
     group.finish();
 }
 
+/// Delete-heavy churn throughput of a Bloom store, tombstone vs counting
+/// cells: each iteration inserts a fresh batch, deletes the batch inserted
+/// `LAG` iterations ago, probes, and maintains every eighth iteration. The
+/// store is sized so growth never triggers — the only rebuilds left are the
+/// tombstone purges, which counting mode eliminates entirely (deletes clear
+/// sidecar-counted bits in place).
+fn bench_store_delete_modes(c: &mut Criterion) {
+    let batch: usize = if quick() { 1024 } else { 4 * 1024 };
+    const LAG: usize = 4;
+    let mut group = c.benchmark_group("store_delete_modes");
+    group
+        .sample_size(10)
+        .warm_up_time(warm_up())
+        .measurement_time(measurement());
+    let (family, config) = families()[0];
+    for mode in [BloomDeleteMode::Tombstone, BloomDeleteMode::Counting] {
+        let store = StoreBuilder::new()
+            .shards(8)
+            .expected_keys(4 * LAG * batch)
+            .bits_per_key(16.0)
+            .config(config)
+            .bloom_deletes(mode)
+            .build();
+        let mut gen = KeyGen::new(0xDE1E);
+        let probes = gen.keys(batch);
+        let mut backlog: VecDeque<Vec<u32>> = VecDeque::new();
+        for _ in 0..LAG {
+            let primed = gen.distinct_keys(batch);
+            store.insert_batch(&primed);
+            backlog.push_back(primed);
+        }
+        let mut sel = SelectionVector::with_capacity(batch);
+        let mut iteration = 0usize;
+        group.throughput(Throughput::Elements(3 * batch as u64));
+        let label = match mode {
+            BloomDeleteMode::Tombstone => "tombstone",
+            BloomDeleteMode::Counting => "counting",
+        };
+        group.bench_function(BenchmarkId::new(family, label), |b| {
+            b.iter(|| {
+                let fresh = gen.distinct_keys(batch);
+                store.insert_batch(&fresh);
+                backlog.push_back(fresh);
+                let old = backlog.pop_front().expect("backlog primed");
+                store.delete_batch(&old);
+                sel.clear();
+                store.contains_batch(&probes, &mut sel);
+                iteration += 1;
+                if iteration.is_multiple_of(8) {
+                    store.maintain();
+                }
+                sel.len()
+            });
+        });
+    }
+    group.finish();
+}
+
 /// Policies for the recorded sweep. Same trio as the lifecycle bench, but
 /// the deferred-batch overflow cap is small enough that the growth workload
 /// actually hits it between maintenance rounds — otherwise the policy never
@@ -329,6 +391,96 @@ fn sweep_cell(
     ]
 }
 
+/// One cell of the recorded **delete-heavy** sweep: steady-state churn
+/// (insert one batch, delete the batch inserted `LAG` iterations ago, probe,
+/// maintain every 8th iteration) over the paper's canonical Bloom
+/// configuration, sized so growth rebuilds never trigger. Identical key
+/// streams for the tombstone and counting cells — equal final key counts by
+/// construction — so the remaining differences are exactly the delete-mode
+/// story: tombstone mode accumulates tombstones between maintenance rounds
+/// and keeps paying purge rebuilds, counting mode holds both at zero.
+fn delete_heavy_cell(
+    policy: Arc<dyn RebuildPolicy>,
+    mode: BloomDeleteMode,
+) -> Vec<(String, Value)> {
+    let batch: usize = if quick() { 2 * 1024 } else { 8 * 1024 };
+    let iters: usize = if quick() { 48 } else { 128 };
+    const LAG: usize = 4;
+    let config = families()[0].1;
+    let store = StoreBuilder::new()
+        .shards(4)
+        // Ample capacity: live keys hold steady at LAG batches, far below
+        // the sizing, so the only rebuilds left are delete bookkeeping.
+        .expected_keys(4 * LAG * batch)
+        .bits_per_key(14.0)
+        .config(config)
+        .rebuild_policy(policy)
+        .bloom_deletes(mode)
+        .build();
+    let mut gen = KeyGen::new(0xDE1E7);
+    let probes = gen.keys(batch);
+    let mut sel = SelectionVector::with_capacity(batch);
+    let mut backlog: VecDeque<Vec<u32>> = VecDeque::new();
+    for _ in 0..LAG {
+        let primed = gen.distinct_keys(batch);
+        store.insert_batch(&primed);
+        backlog.push_back(primed);
+    }
+    let start = Instant::now();
+    let mut ops = 0u64;
+    let mut peak_tombstones = 0u64;
+    for iteration in 0..iters {
+        let fresh = gen.distinct_keys(batch);
+        store.insert_batch(&fresh);
+        backlog.push_back(fresh);
+        let old = backlog
+            .pop_front()
+            .expect("backlog primed with LAG batches");
+        store.delete_batch(&old);
+        sel.clear();
+        store.contains_batch(&probes, &mut sel);
+        ops += 3 * batch as u64;
+        if (iteration + 1) % 8 == 0 {
+            // Tombstones are monotone between maintenance rounds: sampling
+            // right before the purge captures the per-round peak.
+            peak_tombstones = peak_tombstones.max(store.stats().total_tombstones());
+            store.maintain();
+        }
+    }
+    let elapsed = start.elapsed();
+    let stats = store.stats();
+    peak_tombstones = peak_tombstones.max(stats.total_tombstones());
+    vec![
+        ("policy".into(), Value::Str(stats.shards[0].policy.into())),
+        (
+            "bloom_delete_mode".into(),
+            Value::Str(
+                match mode {
+                    BloomDeleteMode::Tombstone => "tombstone",
+                    BloomDeleteMode::Counting => "counting",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "ops_per_sec".into(),
+            Value::F64(ops as f64 / elapsed.as_secs_f64()),
+        ),
+        ("elapsed_ms".into(), Value::F64(elapsed.as_secs_f64() * 1e3)),
+        ("final_keys".into(), Value::U64(store.key_count() as u64)),
+        ("rebuilds".into(), Value::U64(stats.total_rebuilds())),
+        ("tombstones_peak".into(), Value::U64(peak_tombstones)),
+        (
+            "tombstones_final".into(),
+            Value::U64(stats.total_tombstones()),
+        ),
+        (
+            "counting_sidecar_bytes".into(),
+            Value::U64(stats.total_counting_sidecar_bytes()),
+        ),
+    ]
+}
+
 /// Repetitions per sweep cell. Each run's stall figure is the *maximum* over
 /// thousands of write calls, so a single scheduler preemption (the writer
 /// descheduled mid-call while the maintainer holds the only core) defines
@@ -415,6 +567,29 @@ fn write_bench_json(path: &str) {
             }
         }
     }
+    // The delete-heavy sweep: tombstone vs counting cells per policy, one
+    // Bloom family (Cuckoo shards delete in place regardless of the knob, so
+    // there is nothing to compare there).
+    let mut delete_heavy: Vec<Value> = Vec::new();
+    for (policy_name, policy) in &sweep_policies() {
+        let mut pair = Vec::new();
+        for mode in [BloomDeleteMode::Tombstone, BloomDeleteMode::Counting] {
+            let mut cell = delete_heavy_cell(Arc::clone(policy), mode);
+            cell.insert(0, ("family".into(), Value::Str(families()[0].0.into())));
+            pair.push(cell);
+        }
+        eprintln!(
+            "delete-heavy {policy_name}: rebuilds {} (tombstone) vs {} (counting), \
+             peak tombstones {} vs {}, final keys {} vs {}",
+            cell_u64(&pair[0], "rebuilds"),
+            cell_u64(&pair[1], "rebuilds"),
+            cell_u64(&pair[0], "tombstones_peak"),
+            cell_u64(&pair[1], "tombstones_peak"),
+            cell_u64(&pair[0], "final_keys"),
+            cell_u64(&pair[1], "final_keys"),
+        );
+        delete_heavy.extend(pair.into_iter().map(Value::Map));
+    }
     let document = Value::Map(vec![
         ("bench".into(), Value::Str("store_lifecycle_sweep".into())),
         (
@@ -437,6 +612,19 @@ fn write_bench_json(path: &str) {
             ),
         ),
         ("results".into(), Value::Seq(results)),
+        (
+            "delete_heavy_workload".into(),
+            Value::Str(
+                "steady-state churn (insert batch, delete the LAG-old batch, probe, \
+                 maintain every 8th) on the canonical Bloom config with ample \
+                 capacity: growth never rebuilds, so the cells isolate the delete \
+                 mode. Identical key streams per (policy, mode) pair, so final_keys \
+                 match pairwise; counting cells must show rebuilds == 0 and \
+                 tombstones_peak == 0 where tombstone cells show both > 0"
+                    .into(),
+            ),
+        ),
+        ("delete_heavy".into(), Value::Seq(delete_heavy)),
     ]);
     let json = serde_json::to_string_pretty(&document).expect("bench JSON serialization");
     // `cargo bench` runs with the package directory as CWD; anchor relative
@@ -455,7 +643,12 @@ fn write_bench_json(path: &str) {
     eprintln!("bench sweep written to {}", path.display());
 }
 
-criterion_group!(benches, bench_store_throughput, bench_store_lifecycle);
+criterion_group!(
+    benches,
+    bench_store_throughput,
+    bench_store_lifecycle,
+    bench_store_delete_modes
+);
 
 fn main() {
     benches();

@@ -10,8 +10,9 @@
 //! the property tests assert.
 
 use crate::config::{Addressing, BloomConfig, BloomVariant};
+use crate::counting::CountingSidecar;
 use crate::simd;
-use pof_filter::{Filter, FilterKind, SelectionVector};
+use pof_filter::{DeleteOutcome, Filter, FilterKind, SelectionVector};
 use pof_hash::Modulus;
 
 /// Multiplier for the block-addressing hash (Knuth's constant).
@@ -47,6 +48,10 @@ pub struct BlockedBloom {
     data: Vec<u64>,
     keys_inserted: u64,
     simd_kernel: simd::Kernel,
+    /// Optional counting sidecar ([`Self::enable_counting`]): one saturating
+    /// counter per bit, making [`Filter::try_delete`] clear bits in place.
+    /// Boxed so the common (non-counting) filter pays one pointer.
+    counting: Option<Box<CountingSidecar>>,
 }
 
 impl BlockedBloom {
@@ -75,6 +80,7 @@ impl BlockedBloom {
             data: vec![0u64; words],
             keys_inserted: 0,
             simd_kernel,
+            counting: None,
         }
     }
 
@@ -123,6 +129,54 @@ impl BlockedBloom {
     /// and the equivalence tests).
     pub fn force_scalar(&mut self) {
         self.simd_kernel = simd::Kernel::Scalar;
+    }
+
+    /// Attach a [`CountingSidecar`] (one 4-bit saturating counter per filter
+    /// bit, promoting to 8-bit on saturation), turning this filter into a
+    /// counting Bloom filter: [`Filter::try_delete`] then clears bits in
+    /// place instead of refusing. Costs 4 bits of sidecar memory per filter
+    /// bit (8 after promotion) on the *write side only* — lookups never
+    /// touch the counters, and [`Self::read_only_clone`] drops them.
+    ///
+    /// # Panics
+    /// Panics if any key was already inserted: counters must witness every
+    /// insert, or deletes would under-count shared bits and corrupt other
+    /// members.
+    pub fn enable_counting(&mut self) {
+        assert_eq!(
+            self.keys_inserted, 0,
+            "counting must be enabled before the first insert"
+        );
+        self.counting = Some(Box::new(CountingSidecar::new(self.size_bits())));
+    }
+
+    /// Is a counting sidecar attached (i.e. does this filter delete)?
+    #[must_use]
+    pub fn counting_enabled(&self) -> bool {
+        self.counting.is_some()
+    }
+
+    /// Heap bytes held by the counting sidecar (0 without one).
+    #[must_use]
+    pub fn counting_bytes(&self) -> usize {
+        self.counting.as_ref().map_or(0, |c| c.bytes())
+    }
+
+    /// Clone the read side only: the bit array, configuration and kernel,
+    /// *without* the counting sidecar. Lookups never consult the counters,
+    /// so the clone answers every probe identically at a fraction of the
+    /// copy cost — the right shape for published snapshots. The clone
+    /// reports [`Filter::supports_delete`] `== false`.
+    #[must_use]
+    pub fn read_only_clone(&self) -> Self {
+        Self {
+            config: self.config,
+            modulus: self.modulus,
+            data: self.data.clone(),
+            keys_inserted: self.keys_inserted,
+            simd_kernel: self.simd_kernel,
+            counting: None,
+        }
     }
 
     /// Raw block storage, exposed to the SIMD kernels.
@@ -235,12 +289,27 @@ impl BlockedBloom {
     }
 }
 
+/// Visit every absolute bit position of a probe list, in probe order.
+#[inline]
+fn for_each_probe_bit(probes: &[(u64, u64)], mut visit: impl FnMut(u64)) {
+    for &(bit_start, mask) in probes {
+        let mut remaining = mask;
+        while remaining != 0 {
+            visit(bit_start + u64::from(remaining.trailing_zeros()));
+            remaining &= remaining - 1;
+        }
+    }
+}
+
 impl Filter for BlockedBloom {
     fn insert(&mut self, key: u32) -> bool {
         let mut probes = [(0u64, 0u64); MAX_PROBES];
         let n = self.probes(key, &mut probes);
         for &(bit_start, mask) in &probes[..n] {
             self.store(bit_start, mask);
+        }
+        if let Some(counting) = self.counting.as_mut() {
+            for_each_probe_bit(&probes[..n], |bit| counting.increment(bit));
         }
         self.keys_inserted += 1;
         true
@@ -263,6 +332,41 @@ impl Filter for BlockedBloom {
         if !simd::dispatch(self, keys, sel, self.simd_kernel) {
             self.contains_batch_scalar(keys, sel);
         }
+    }
+
+    /// With a counting sidecar ([`Self::enable_counting`]): decrement the
+    /// key's probe counters and clear every bit whose counter returns to
+    /// zero. As with every shared-bit delete, removing a key that was never
+    /// inserted (a false positive passes the membership pre-check) can
+    /// corrupt other members — only delete keys known to be present.
+    /// Without a sidecar the default refusal stands.
+    fn try_delete(&mut self, key: u32) -> DeleteOutcome {
+        if self.counting.is_none() {
+            return DeleteOutcome::Unsupported;
+        }
+        let mut probes = [(0u64, 0u64); MAX_PROBES];
+        let n = self.probes(key, &mut probes);
+        let present = probes[..n]
+            .iter()
+            .all(|&(bit_start, mask)| self.load(bit_start) & mask == mask);
+        if !present {
+            return DeleteOutcome::NotFound;
+        }
+        let mut counting = self.counting.take().expect("checked above");
+        for_each_probe_bit(&probes[..n], |bit| {
+            if counting.decrement(bit) {
+                self.data[(bit / 64) as usize] &= !(1u64 << (bit % 64));
+            }
+        });
+        self.counting = Some(counting);
+        // Saturating: a false-positive delete on a filter whose keys all
+        // left already must not wrap the occupancy estimate.
+        self.keys_inserted = self.keys_inserted.saturating_sub(1);
+        DeleteOutcome::Removed
+    }
+
+    fn supports_delete(&self) -> bool {
+        self.counting.is_some()
     }
 
     fn size_bits(&self) -> u64 {
@@ -458,6 +562,106 @@ mod tests {
         }
         assert!(filter.contains(42));
         assert_eq!(filter.keys_inserted(), 10);
+    }
+
+    #[test]
+    fn counting_deletes_clear_bits_without_false_negatives() {
+        let mut gen = KeyGen::new(21);
+        let keys = gen.distinct_keys(20_000);
+        for config in representative_configs() {
+            let mut filter = BlockedBloom::with_bits_per_key(config, keys.len(), 12.0);
+            assert!(!filter.supports_delete());
+            filter.enable_counting();
+            assert!(filter.supports_delete() && filter.counting_enabled());
+            assert!(filter.counting_bytes() >= (filter.size_bits() / 2) as usize);
+            for &key in &keys {
+                assert!(filter.insert(key));
+            }
+            let (gone, kept) = keys.split_at(keys.len() / 2);
+            for &key in gone {
+                assert_eq!(filter.try_delete(key), DeleteOutcome::Removed, "{key}");
+            }
+            assert_eq!(filter.keys_inserted(), kept.len() as u64);
+            // The no-false-negative contract survives every delete...
+            for &key in kept {
+                assert!(
+                    filter.contains(key),
+                    "delete corrupted {key} in {}",
+                    config.label()
+                );
+            }
+            // ...and the deleted keys physically left (modulo the FPR at the
+            // halved occupancy).
+            let still = gone.iter().filter(|&&k| filter.contains(k)).count();
+            assert!(
+                (still as f64) < gone.len() as f64 * 0.05,
+                "{still} of {} deleted keys still positive in {}",
+                gone.len(),
+                config.label()
+            );
+            // SIMD and scalar kernels agree on the post-delete bit array.
+            let probes = KeyGen::new(22).keys(16_384);
+            let mut batch = SelectionVector::new();
+            filter.contains_batch(&probes, &mut batch);
+            let mut scalar = SelectionVector::new();
+            filter.contains_batch_scalar(&probes, &mut scalar);
+            assert_eq!(batch.as_slice(), scalar.as_slice(), "{}", config.label());
+        }
+    }
+
+    #[test]
+    fn counting_delete_of_absent_key_is_not_found_and_harmless() {
+        let config = BloomConfig::cache_sectorized(512, 64, 2, 8, Addressing::Magic);
+        let mut filter = BlockedBloom::with_bits_per_key(config, 1_000, 16.0);
+        filter.enable_counting();
+        let mut gen = KeyGen::new(23);
+        let keys = gen.distinct_keys(1_000);
+        for &key in &keys {
+            filter.insert(key);
+        }
+        let absent: Vec<u32> = gen
+            .distinct_keys(2_000)
+            .into_iter()
+            .filter(|k| !filter.contains(*k))
+            .collect();
+        for &key in absent.iter().take(500) {
+            assert_eq!(filter.try_delete(key), DeleteOutcome::NotFound);
+        }
+        // Double-delete: the second call finds nothing.
+        assert_eq!(filter.try_delete(keys[0]), DeleteOutcome::Removed);
+        assert_eq!(filter.try_delete(keys[0]), DeleteOutcome::NotFound);
+        for &key in &keys[1..] {
+            assert!(filter.contains(key), "absent-key deletes corrupted {key}");
+        }
+    }
+
+    #[test]
+    fn read_only_clone_answers_identically_without_the_sidecar() {
+        let config = BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo);
+        let mut filter = BlockedBloom::with_bits_per_key(config, 2_000, 12.0);
+        filter.enable_counting();
+        let mut gen = KeyGen::new(24);
+        let keys = gen.distinct_keys(2_000);
+        for &key in &keys {
+            filter.insert(key);
+        }
+        let clone = filter.read_only_clone();
+        assert!(!clone.counting_enabled());
+        assert_eq!(clone.counting_bytes(), 0);
+        assert!(!clone.supports_delete());
+        assert_eq!(clone.keys_inserted(), filter.keys_inserted());
+        for key in keys.iter().copied().chain(gen.keys(4_000)) {
+            assert_eq!(clone.contains(key), filter.contains(key));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "counting must be enabled before the first insert")]
+    fn counting_cannot_be_enabled_late() {
+        let config = BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo);
+        let mut filter = BlockedBloom::with_bits_per_key(config, 100, 12.0);
+        filter.insert(1);
+        filter.enable_counting();
     }
 
     #[test]

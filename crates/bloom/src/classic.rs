@@ -6,7 +6,8 @@
 //! (Figure 4a's blue line) and exhibit the asymmetric lookup cost
 //! (`t⁺_l ≫ t⁻_l`) that motivates the early-exit term in the overhead model.
 
-use pof_filter::{Filter, FilterKind, SelectionVector};
+use crate::counting::CountingSidecar;
+use pof_filter::{DeleteOutcome, Filter, FilterKind, SelectionVector};
 use pof_hash::mul::{mix64, KNUTH64};
 
 /// A classic Bloom filter over `m` bits with `k` hash functions.
@@ -20,6 +21,9 @@ pub struct ClassicBloom {
     m_bits: u64,
     k: u32,
     keys_inserted: u64,
+    /// Optional counting sidecar ([`Self::enable_counting`]): one saturating
+    /// counter per bit, making [`Filter::try_delete`] clear bits in place.
+    counting: Option<Box<CountingSidecar>>,
 }
 
 impl ClassicBloom {
@@ -41,6 +45,7 @@ impl ClassicBloom {
             m_bits: words * 64,
             k,
             keys_inserted: 0,
+            counting: None,
         }
     }
 
@@ -88,6 +93,48 @@ impl ClassicBloom {
         set as f64 / self.m_bits as f64
     }
 
+    /// Attach a [`CountingSidecar`] (one 4-bit saturating counter per bit,
+    /// promoting to 8-bit on saturation): [`Filter::try_delete`] then clears
+    /// bits in place instead of refusing. See
+    /// [`BlockedBloom::enable_counting`](crate::BlockedBloom::enable_counting)
+    /// for the memory cost and semantics; the layouts differ, the contract is
+    /// identical.
+    ///
+    /// # Panics
+    /// Panics if any key was already inserted.
+    pub fn enable_counting(&mut self) {
+        assert_eq!(
+            self.keys_inserted, 0,
+            "counting must be enabled before the first insert"
+        );
+        self.counting = Some(Box::new(CountingSidecar::new(self.m_bits)));
+    }
+
+    /// Is a counting sidecar attached (i.e. does this filter delete)?
+    #[must_use]
+    pub fn counting_enabled(&self) -> bool {
+        self.counting.is_some()
+    }
+
+    /// Heap bytes held by the counting sidecar (0 without one).
+    #[must_use]
+    pub fn counting_bytes(&self) -> usize {
+        self.counting.as_ref().map_or(0, |c| c.bytes())
+    }
+
+    /// Clone the read side only (bit array, no counting sidecar): answers
+    /// every probe identically, reports `supports_delete() == false`.
+    #[must_use]
+    pub fn read_only_clone(&self) -> Self {
+        Self {
+            words: self.words.clone(),
+            m_bits: self.m_bits,
+            k: self.k,
+            keys_inserted: self.keys_inserted,
+            counting: None,
+        }
+    }
+
     /// Lookup counting how many of the `k` probes were actually performed
     /// (early exit on the first unset bit). Used by the `classic_early_exit`
     /// bench to demonstrate the `t⁻ ≪ t⁺` asymmetry.
@@ -109,6 +156,12 @@ impl Filter for ClassicBloom {
         for i in 0..self.k {
             let pos = self.bit_position(key, i);
             self.words[(pos / 64) as usize] |= 1u64 << (pos % 64);
+            // One increment per probe, duplicate positions included: the
+            // delete path replays the identical probe sequence, so the
+            // counts cancel exactly.
+            if let Some(counting) = self.counting.as_mut() {
+                counting.increment(pos);
+            }
         }
         self.keys_inserted += 1;
         true
@@ -122,6 +175,34 @@ impl Filter for ClassicBloom {
         for (i, &key) in keys.iter().enumerate() {
             sel.push_if(i as u32, self.contains(key));
         }
+    }
+
+    /// With a counting sidecar ([`Self::enable_counting`]): decrement the
+    /// key's probe counters and clear every bit whose counter returns to
+    /// zero. Only delete keys known to be present — a false positive passes
+    /// the membership pre-check, and decrementing its shared bits can
+    /// corrupt other members. Without a sidecar the default refusal stands.
+    fn try_delete(&mut self, key: u32) -> DeleteOutcome {
+        if self.counting.is_none() {
+            return DeleteOutcome::Unsupported;
+        }
+        if !self.contains(key) {
+            return DeleteOutcome::NotFound;
+        }
+        let mut counting = self.counting.take().expect("checked above");
+        for i in 0..self.k {
+            let pos = self.bit_position(key, i);
+            if counting.decrement(pos) {
+                self.words[(pos / 64) as usize] &= !(1u64 << (pos % 64));
+            }
+        }
+        self.counting = Some(counting);
+        self.keys_inserted = self.keys_inserted.saturating_sub(1);
+        DeleteOutcome::Removed
+    }
+
+    fn supports_delete(&self) -> bool {
+        self.counting.is_some()
     }
 
     fn size_bits(&self) -> u64 {
@@ -248,5 +329,38 @@ mod tests {
     #[should_panic(expected = "k must be in")]
     fn rejects_zero_k() {
         let _ = ClassicBloom::new(1024, 0);
+    }
+
+    #[test]
+    fn counting_deletes_roundtrip() {
+        use pof_filter::DeleteOutcome;
+        let mut gen = KeyGen::new(7);
+        let keys = gen.distinct_keys(10_000);
+        let mut filter = ClassicBloom::with_bits_per_key(keys.len(), 12.0, 7);
+        assert!(!filter.supports_delete());
+        filter.enable_counting();
+        assert!(filter.supports_delete());
+        assert!(filter.counting_bytes() >= (filter.size_bits() / 2) as usize);
+        for &key in &keys {
+            filter.insert(key);
+        }
+        let (gone, kept) = keys.split_at(keys.len() / 2);
+        for &key in gone {
+            assert_eq!(filter.try_delete(key), DeleteOutcome::Removed);
+        }
+        for &key in kept {
+            assert!(filter.contains(key), "delete corrupted {key}");
+        }
+        let still = gone.iter().filter(|&&k| filter.contains(k)).count();
+        assert!(
+            (still as f64) < gone.len() as f64 * 0.05,
+            "{still} deleted keys still positive"
+        );
+        // The read-only clone drops the sidecar but answers identically.
+        let clone = filter.read_only_clone();
+        assert!(!clone.counting_enabled() && !clone.supports_delete());
+        for &key in kept {
+            assert!(clone.contains(key));
+        }
     }
 }

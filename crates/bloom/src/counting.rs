@@ -1,0 +1,294 @@
+//! A counting sidecar for Bloom filters: one saturating counter per filter
+//! bit, so bits can be *cleared* again when the last key referencing them is
+//! deleted.
+//!
+//! Plain Bloom filters share bits between keys, which is exactly why they
+//! cannot delete: unsetting a bit would introduce false negatives for every
+//! other key that hashed onto it. The classic fix (counting Bloom filters,
+//! cf. the deletion-capable AMQs surveyed in "Don't Thrash: How to Cache
+//! Your Hash on Flash") is to keep a counter per bit — insert increments,
+//! delete decrements, and the presence bit is cleared when its counter
+//! returns to zero.
+//!
+//! This sidecar mirrors the owning filter's bit layout one-to-one (counter
+//! `i` shadows bit `i`, whatever the blocked/sectorized geometry), so the
+//! *probe* side of the filter is untouched: lookups never read the sidecar,
+//! SIMD kernels keep operating on the plain bit array, and the sidecar can be
+//! dropped wholesale when a clone only needs the read side.
+//!
+//! Counter width is adaptive: counters start at 4 bits (two per byte — with
+//! typical bits-per-key budgets the expected per-bit load is below 1, so 4
+//! bits almost always suffice), and the whole array promotes to 8 bits the
+//! first time any counter would outgrow 15. An 8-bit counter that would
+//! outgrow 255 sticks there permanently: a *stuck* counter is never
+//! decremented and its bit is never cleared, trading a sliver of
+//! false-positive rate for the no-false-negative guarantee.
+
+/// Largest value a 4-bit counter can hold before the array promotes.
+const NIBBLE_MAX: u8 = 0xF;
+/// Largest value an 8-bit counter can hold; beyond this it is stuck.
+const BYTE_MAX: u8 = u8::MAX;
+
+/// The adaptive counter storage: two 4-bit counters per byte, or one byte
+/// per counter after promotion.
+#[derive(Debug, Clone)]
+enum Counters {
+    /// Counter `i` lives in nibble `i % 2` of byte `i / 2`.
+    Nibble(Vec<u8>),
+    /// Counter `i` lives in byte `i`.
+    Byte(Vec<u8>),
+}
+
+/// One saturating counter per bit of the owning filter.
+#[derive(Debug, Clone)]
+pub struct CountingSidecar {
+    counters: Counters,
+    /// Number of counters (the owning filter's bit count).
+    bits: u64,
+    /// Counters that genuinely overflowed (an increment arrived while the
+    /// counter already held the 8-bit maximum). A stuck counter's true count
+    /// is unrepresentable, so it is never decremented and its bit never
+    /// clears. Kept sparse: a counter holding *exactly* 255 is still exact
+    /// and still counts down normally.
+    stuck: std::collections::HashSet<u64>,
+}
+
+impl CountingSidecar {
+    /// Create a sidecar of `bits` zeroed 4-bit counters, mirroring a filter
+    /// of `bits` bits.
+    #[must_use]
+    pub fn new(bits: u64) -> Self {
+        let bytes = usize::try_from(bits.div_ceil(2)).expect("sidecar too large");
+        Self {
+            counters: Counters::Nibble(vec![0u8; bytes]),
+            bits,
+            stuck: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Number of counters (= the mirrored filter's bit count).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.bits
+    }
+
+    /// True if the sidecar mirrors a zero-bit filter.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Heap bytes held by the counter array.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        match &self.counters {
+            Counters::Nibble(v) | Counters::Byte(v) => v.len(),
+        }
+    }
+
+    /// Has the array promoted from 4-bit to 8-bit counters?
+    #[must_use]
+    pub fn promoted(&self) -> bool {
+        matches!(self.counters, Counters::Byte(_))
+    }
+
+    /// Counters that overflowed the 8-bit maximum and are permanently stuck.
+    /// Each stuck counter pins one filter bit set forever (a bounded
+    /// false-positive cost, never a false negative).
+    #[must_use]
+    pub fn stuck_counters(&self) -> u64 {
+        self.stuck.len() as u64
+    }
+
+    /// Current value of counter `bit` (stuck counters read as the maximum).
+    #[must_use]
+    pub fn count(&self, bit: u64) -> u8 {
+        debug_assert!(bit < self.bits, "counter index out of range");
+        match &self.counters {
+            Counters::Nibble(v) => {
+                let byte = v[(bit / 2) as usize];
+                (byte >> ((bit % 2) * 4)) & NIBBLE_MAX
+            }
+            Counters::Byte(v) => v[bit as usize],
+        }
+    }
+
+    /// Widen every counter to a full byte. Called once, on the first
+    /// increment that would outgrow a nibble.
+    fn promote(&mut self) {
+        if let Counters::Nibble(nibbles) = &self.counters {
+            let mut bytes = vec![0u8; usize::try_from(self.bits).expect("sidecar too large")];
+            for (i, slot) in bytes.iter_mut().enumerate() {
+                *slot = (nibbles[i / 2] >> ((i % 2) * 4)) & NIBBLE_MAX;
+            }
+            self.counters = Counters::Byte(bytes);
+        }
+    }
+
+    /// Increment counter `bit` (called once per probe bit on insert).
+    /// Promotes the array to 8-bit counters when a nibble would overflow; an
+    /// 8-bit counter that would overflow (the increment *past* 255, not the
+    /// one that reaches it — a counter holding exactly 255 is still exact)
+    /// sticks permanently instead.
+    pub fn increment(&mut self, bit: u64) {
+        debug_assert!(bit < self.bits, "counter index out of range");
+        if let Counters::Nibble(v) = &mut self.counters {
+            let slot = &mut v[(bit / 2) as usize];
+            let shift = (bit % 2) * 4;
+            let value = (*slot >> shift) & NIBBLE_MAX;
+            if value < NIBBLE_MAX {
+                *slot += 1 << shift;
+                return;
+            }
+            self.promote();
+        }
+        let Counters::Byte(v) = &mut self.counters else {
+            unreachable!("promote() always leaves byte counters");
+        };
+        let slot = &mut v[bit as usize];
+        if *slot == BYTE_MAX {
+            // The true count is now unrepresentable: stick the counter.
+            self.stuck.insert(bit);
+            return;
+        }
+        *slot += 1;
+    }
+
+    /// Decrement counter `bit` (called once per probe bit on delete).
+    /// Returns `true` when the counter reached zero — the caller must then
+    /// clear the mirrored presence bit. Stuck counters (and, defensively,
+    /// counters already at zero) are left untouched and return `false`.
+    pub fn decrement(&mut self, bit: u64) -> bool {
+        debug_assert!(bit < self.bits, "counter index out of range");
+        match &mut self.counters {
+            Counters::Nibble(v) => {
+                let slot = &mut v[(bit / 2) as usize];
+                let shift = (bit % 2) * 4;
+                let value = (*slot >> shift) & NIBBLE_MAX;
+                if value == 0 {
+                    return false;
+                }
+                *slot -= 1 << shift;
+                value == 1
+            }
+            Counters::Byte(v) => {
+                if self.stuck.contains(&bit) {
+                    return false;
+                }
+                let slot = &mut v[bit as usize];
+                if *slot == 0 {
+                    return false;
+                }
+                *slot -= 1;
+                *slot == 0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increment_decrement_roundtrip_clears_at_zero() {
+        let mut sidecar = CountingSidecar::new(128);
+        assert_eq!(sidecar.len(), 128);
+        assert!(!sidecar.is_empty());
+        sidecar.increment(7);
+        sidecar.increment(7);
+        assert_eq!(sidecar.count(7), 2);
+        assert!(!sidecar.decrement(7), "counter still 1, bit must stay");
+        assert!(sidecar.decrement(7), "counter hit 0, bit must clear");
+        assert_eq!(sidecar.count(7), 0);
+        // Defensive: decrementing a zero counter is a no-op.
+        assert!(!sidecar.decrement(7));
+        // Neighbouring nibble is untouched throughout.
+        assert_eq!(sidecar.count(6), 0);
+    }
+
+    #[test]
+    fn nibble_pairs_do_not_interfere() {
+        let mut sidecar = CountingSidecar::new(8);
+        for _ in 0..5 {
+            sidecar.increment(2);
+        }
+        for _ in 0..3 {
+            sidecar.increment(3);
+        }
+        assert_eq!(sidecar.count(2), 5);
+        assert_eq!(sidecar.count(3), 3);
+        assert!(!sidecar.decrement(2));
+        assert_eq!(sidecar.count(2), 4);
+        assert_eq!(sidecar.count(3), 3);
+    }
+
+    #[test]
+    fn promotes_to_bytes_past_fifteen_and_preserves_counts() {
+        let mut sidecar = CountingSidecar::new(64);
+        for _ in 0..9 {
+            sidecar.increment(10);
+        }
+        assert!(!sidecar.promoted());
+        let nibble_bytes = sidecar.bytes();
+        for _ in 0..11 {
+            sidecar.increment(11);
+        }
+        assert!(!sidecar.promoted());
+        // The 16th increment of one counter promotes the whole array.
+        for _ in 0..7 {
+            sidecar.increment(11);
+        }
+        assert!(sidecar.promoted());
+        assert_eq!(sidecar.bytes(), nibble_bytes * 2);
+        assert_eq!(sidecar.count(10), 9, "promotion must preserve counts");
+        assert_eq!(sidecar.count(11), 18);
+        for _ in 0..18 {
+            let cleared = sidecar.decrement(11);
+            assert_eq!(cleared, sidecar.count(11) == 0);
+        }
+        assert_eq!(sidecar.count(11), 0);
+    }
+
+    #[test]
+    fn byte_counters_stick_only_past_the_maximum() {
+        // A counter that reaches *exactly* 255 is still an exact count: it
+        // must decrement all the way back down and clear its bit.
+        let mut exact = CountingSidecar::new(4);
+        for _ in 0..255 {
+            exact.increment(1);
+        }
+        assert_eq!(exact.count(1), 255);
+        assert_eq!(exact.stuck_counters(), 0, "255 is representable");
+        for remaining in (0..255u32).rev() {
+            assert_eq!(exact.decrement(1), remaining == 0);
+        }
+        assert_eq!(exact.count(1), 0);
+
+        // The 256th increment is a genuine overflow: the counter sticks.
+        let mut sidecar = CountingSidecar::new(4);
+        for _ in 0..300 {
+            sidecar.increment(1);
+        }
+        assert!(sidecar.promoted());
+        assert_eq!(sidecar.count(1), 255);
+        assert_eq!(sidecar.stuck_counters(), 1);
+        // A stuck counter never decrements: its bit can never clear, which
+        // is the conservative (no-false-negative) failure mode.
+        for _ in 0..300 {
+            assert!(!sidecar.decrement(1));
+        }
+        assert_eq!(sidecar.count(1), 255);
+        // Other counters still behave normally.
+        sidecar.increment(2);
+        assert!(sidecar.decrement(2));
+    }
+
+    #[test]
+    fn memory_accounting_is_half_a_byte_per_bit_until_promotion() {
+        let sidecar = CountingSidecar::new(1024);
+        assert_eq!(sidecar.bytes(), 512);
+        let odd = CountingSidecar::new(1023);
+        assert_eq!(odd.bytes(), 512, "odd bit counts round the pair up");
+    }
+}

@@ -9,7 +9,11 @@
 //!   magic-modulo addressing (§5.2) and AVX2 gather-based batch lookups
 //!   (§5.1),
 //! * [`BloomConfig`] / [`BloomVariant`] — the configuration space the
-//!   performance-optimal skylines sweep (Figure 12).
+//!   performance-optimal skylines sweep (Figure 12),
+//! * [`CountingSidecar`] — an optional per-bit counter array
+//!   ([`BlockedBloom::enable_counting`] / [`ClassicBloom::enable_counting`])
+//!   that turns any variant into a *counting* Bloom filter: deletes clear
+//!   bits in place, the probe side stays byte-for-byte a plain Bloom filter.
 //!
 //! The register-blocked and cache-sectorized variants are the paper's new
 //! contributions; the analytical false-positive models for all of them live in
@@ -43,8 +47,10 @@
 pub mod blocked;
 pub mod classic;
 pub mod config;
+pub mod counting;
 mod simd;
 
 pub use blocked::BlockedBloom;
 pub use classic::ClassicBloom;
 pub use config::{Addressing, BloomConfig, BloomVariant};
+pub use counting::CountingSidecar;

@@ -105,6 +105,44 @@ impl AnyFilter {
             Self::Cuckoo(f) => f.force_scalar(),
         }
     }
+
+    /// Attach a counting sidecar to a Bloom-family filter, making
+    /// [`Filter::try_delete`] clear bits in place (see
+    /// [`pof_bloom::CountingSidecar`]). A no-op for Cuckoo filters, which
+    /// delete natively — after this call `supports_delete()` holds for
+    /// *every* family. Must be called before the first insert (Bloom
+    /// counters have to witness every insertion).
+    pub fn enable_counting(&mut self) {
+        match self {
+            Self::Bloom(f) => f.enable_counting(),
+            Self::ClassicBloom(f) => f.enable_counting(),
+            Self::Cuckoo(_) => {}
+        }
+    }
+
+    /// Heap bytes held by a Bloom counting sidecar (0 without one, and 0 for
+    /// Cuckoo filters, whose fingerprints delete without auxiliary state).
+    #[must_use]
+    pub fn counting_bytes(&self) -> usize {
+        match self {
+            Self::Bloom(f) => f.counting_bytes(),
+            Self::ClassicBloom(f) => f.counting_bytes(),
+            Self::Cuckoo(_) => 0,
+        }
+    }
+
+    /// Clone the probe side only: identical lookup answers, but any Bloom
+    /// counting sidecar is dropped (the clone reports
+    /// `supports_delete() == false` for Bloom variants). The right shape for
+    /// published snapshots, which are never deleted from.
+    #[must_use]
+    pub fn read_only_clone(&self) -> Self {
+        match self {
+            Self::Bloom(f) => Self::Bloom(f.read_only_clone()),
+            Self::ClassicBloom(f) => Self::ClassicBloom(f.read_only_clone()),
+            Self::Cuckoo(f) => Self::Cuckoo(f.clone()),
+        }
+    }
 }
 
 impl Filter for AnyFilter {
@@ -126,8 +164,10 @@ impl Filter for AnyFilter {
 
     /// Deletability, exposed uniformly across families: Cuckoo filters delete
     /// one stored signature in place; the Bloom variants report
-    /// [`DeleteOutcome::Unsupported`] (their bits are shared between keys), so
-    /// callers can fall back to tombstoning plus a later rebuild.
+    /// [`DeleteOutcome::Unsupported`] (their bits are shared between keys) —
+    /// so callers can fall back to tombstoning plus a later rebuild — unless
+    /// a counting sidecar is attached ([`AnyFilter::enable_counting`]), in
+    /// which case they too delete in place.
     fn try_delete(&mut self, key: u32) -> DeleteOutcome {
         match self {
             Self::Bloom(f) => f.try_delete(key),
@@ -258,6 +298,42 @@ mod tests {
                     assert_eq!(filter.try_delete(keys[0]), DeleteOutcome::Unsupported);
                     assert!(filter.contains(keys[0]), "{}", config.label());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn counting_gives_every_family_in_place_deletes() {
+        let mut gen = KeyGen::new(44);
+        let keys = gen.distinct_keys(500);
+        for config in sample_configs() {
+            let mut filter = AnyFilter::build(&config, keys.len(), 24.0);
+            filter.enable_counting();
+            assert!(filter.supports_delete(), "{}", config.label());
+            for &key in &keys {
+                assert!(filter.insert(key));
+            }
+            assert_eq!(filter.try_delete(keys[0]), DeleteOutcome::Removed);
+            assert_eq!(filter.try_delete(keys[0]), DeleteOutcome::NotFound);
+            for &key in &keys[1..] {
+                assert!(filter.contains(key), "{}", config.label());
+            }
+            match filter.kind() {
+                FilterKind::Bloom => assert!(filter.counting_bytes() > 0),
+                FilterKind::Cuckoo => assert_eq!(filter.counting_bytes(), 0),
+            }
+            // The read-only clone answers identically; Bloom clones drop the
+            // sidecar (and with it deletability), Cuckoo clones keep theirs.
+            let clone = filter.read_only_clone();
+            assert_eq!(clone.counting_bytes(), 0);
+            assert_eq!(
+                clone.supports_delete(),
+                filter.kind() == FilterKind::Cuckoo,
+                "{}",
+                config.label()
+            );
+            for &key in &keys[1..] {
+                assert!(clone.contains(key), "{}", config.label());
             }
         }
     }

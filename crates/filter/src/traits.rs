@@ -25,12 +25,13 @@ impl std::fmt::Display for FilterKind {
 /// Outcome of a [`Filter::try_delete`] call.
 ///
 /// Deletion is a *capability*, not a guarantee: Cuckoo filters store discrete
-/// fingerprints and can remove one occurrence of a key, while plain Bloom
-/// variants share bits between keys and cannot unset anything without
-/// corrupting other members. The three-way outcome lets callers (such as the
-/// sharded store's shard lifecycle) pick a strategy per family — delete in
-/// place when `Removed`, fall back to tombstoning and a later rebuild when
-/// `Unsupported` — through one uniform interface.
+/// fingerprints and can remove one occurrence of a key, counting Bloom
+/// variants track per-bit reference counts and can clear bits in place, while
+/// plain Bloom variants share bits between keys and cannot unset anything
+/// without corrupting other members. The three-way outcome lets callers (such
+/// as the sharded store's shard lifecycle) pick a strategy per family —
+/// delete in place when `Removed`, fall back to tombstoning and a later
+/// rebuild when `Unsupported` — through one uniform interface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeleteOutcome {
     /// One occurrence of the key was found and removed from the structure.
@@ -101,12 +102,14 @@ pub trait Filter {
     /// Remove one occurrence of `key`, if this filter family supports
     /// deletion.
     ///
-    /// The default refuses ([`DeleteOutcome::Unsupported`]): Bloom variants
-    /// share bits between keys, so unsetting anything would introduce false
-    /// negatives for other members. Cuckoo filters override this to remove a
-    /// stored fingerprint. As with every fingerprint-based delete, removing a
-    /// key that was never inserted may evict a colliding key's signature —
-    /// only delete keys known to be present.
+    /// The default refuses ([`DeleteOutcome::Unsupported`]): plain Bloom
+    /// variants share bits between keys, so unsetting anything would
+    /// introduce false negatives for other members. Cuckoo filters override
+    /// this to remove a stored fingerprint, and *counting* Bloom variants
+    /// (a per-bit counter sidecar) override it to clear bits whose last
+    /// referencing key left. Either way the shared caveat applies: removing
+    /// a key that was never inserted may take a colliding key's signature or
+    /// shared bits with it — only delete keys known to be present.
     fn try_delete(&mut self, _key: u32) -> DeleteOutcome {
         DeleteOutcome::Unsupported
     }

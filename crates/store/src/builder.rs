@@ -3,6 +3,7 @@
 
 use crate::maintainer::RebuildMode;
 use crate::policy::{RebuildPolicy, SaturationDoubling};
+use crate::shard::BloomDeleteMode;
 use crate::store::ShardedFilterStore;
 use pof_bloom::{Addressing, BloomConfig};
 use pof_core::{ConfigSpace, FilterAdvisor, FilterConfig, WorkloadSpec};
@@ -44,6 +45,7 @@ pub struct StoreBuilder {
     config: ConfigSource,
     policy: Arc<dyn RebuildPolicy>,
     rebuild_mode: RebuildMode,
+    bloom_deletes: BloomDeleteMode,
 }
 
 impl Default for StoreBuilder {
@@ -72,6 +74,7 @@ impl StoreBuilder {
             ))),
             policy: Arc::new(SaturationDoubling),
             rebuild_mode: RebuildMode::Inline,
+            bloom_deletes: BloomDeleteMode::Tombstone,
         }
     }
 
@@ -151,6 +154,24 @@ impl StoreBuilder {
         self
     }
 
+    /// Select how Bloom shards honor deletes.
+    ///
+    /// The default, [`BloomDeleteMode::Tombstone`], costs no memory: deleted
+    /// keys leave the bookkeeping at once while their filter bits linger
+    /// until the policy's next (purge) rebuild. With
+    /// [`BloomDeleteMode::Counting`] every Bloom shard filter carries a
+    /// per-bit counting sidecar (4 bits per filter bit on the write side,
+    /// 8 after counter saturation; snapshots never carry it) and deletes
+    /// clear bits in place — tombstones stay at zero, policies stop
+    /// scheduling purge rebuilds, and a delete-heavy Bloom store stops
+    /// rebuilding at all, matching the in-place deletes Cuckoo shards always
+    /// had. Cuckoo shards ignore this knob.
+    #[must_use]
+    pub fn bloom_deletes(mut self, mode: BloomDeleteMode) -> Self {
+        self.bloom_deletes = mode;
+        self
+    }
+
     /// Let the [`FilterAdvisor`] choose the per-shard configuration *and*
     /// bits-per-key budget for the described workload (overriding
     /// [`bits_per_key`](Self::bits_per_key)).
@@ -190,6 +211,7 @@ impl StoreBuilder {
             bits_per_key,
             self.policy,
             self.rebuild_mode,
+            self.bloom_deletes,
         )
     }
 }

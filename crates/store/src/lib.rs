@@ -41,12 +41,17 @@
 //!   measurable ([`RebuildMode::Queued`] exposes the same machinery one
 //!   phase at a time for deterministic interleaving tests),
 //! * the store **deletes**: [`ShardedFilterStore::delete_batch`] removes
-//!   Cuckoo signatures in place and republishes; Bloom shards *tombstone* —
-//!   the key leaves [`ShardedFilterStore::key_count`] immediately while its
-//!   bits linger as false positives until the policy's next rebuild. No
-//!   policy ever loses a live key: the authoritative key bookkeeping lives on
-//!   the write side in a compact order-preserving key set (~2x raw key
-//!   bytes: an insertion-ordered replay log plus a sorted dedup run),
+//!   Cuckoo signatures in place and republishes; Bloom shards *tombstone* by
+//!   default — the key leaves [`ShardedFilterStore::key_count`] immediately
+//!   while its bits linger as false positives until the policy's next
+//!   rebuild — or, with [`StoreBuilder::bloom_deletes`]
+//!   ([`BloomDeleteMode::Counting`]), delete **in place** through a
+//!   per-shard counting sidecar (4 bits per filter bit on the write side;
+//!   published snapshots never carry it), so tombstones stay at zero and a
+//!   delete-heavy Bloom store stops rebuilding altogether. No policy ever
+//!   loses a live key: the authoritative key bookkeeping lives on the write
+//!   side in a compact order-preserving key set (~2x raw key bytes: an
+//!   insertion-ordered replay log plus a sorted dedup run),
 //! * steady-state reads are **allocation-free**: a reader holding a
 //!   [`StoreSnapshot`] and a reusable [`ProbeScratch`] routes every batch
 //!   through [`StoreSnapshot::contains_batch_with`] without touching the
@@ -104,5 +109,6 @@ pub use policy::{
     DeferredBatch, FprDrift, RebuildDecision, RebuildPolicy, RebuildUrgency, SaturationDoubling,
     ShardObservation,
 };
+pub use shard::BloomDeleteMode;
 pub use stats::{ShardStats, StoreStats};
 pub use store::{ProbeScratch, ShardedFilterStore, StoreSnapshot};

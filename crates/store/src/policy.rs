@@ -72,6 +72,10 @@ pub struct ShardObservation<'a> {
     /// Keys currently parked in the exact overflow side buffer.
     pub overflow_len: usize,
     /// Deleted keys still represented in the filter (Bloom tombstones).
+    /// Structurally zero for Cuckoo shards and for Bloom shards in counting
+    /// delete mode ([`crate::BloomDeleteMode::Counting`]) — with nothing
+    /// tombstoned, the purge clauses of every built-in policy go quiet and a
+    /// delete-heavy shard stops rebuilding.
     pub tombstones: usize,
     /// Keys physically resident in the filter:
     /// `live_keys − overflow_len + tombstones`. The cheap proxy for filter

@@ -14,6 +14,46 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
+/// How a store's Bloom-family shards honor deletes.
+///
+/// Cuckoo shards always delete in place (their fingerprints are discrete);
+/// this knob only decides what a *Bloom* shard does when a key is deleted:
+///
+/// * [`Tombstone`](Self::Tombstone) (the default): the key leaves the
+///   bookkeeping immediately, its filter bits linger as false positives
+///   until the shard's [`RebuildPolicy`] next rebuilds (purge). Zero extra
+///   memory; delete-heavy workloads keep paying rebuilds.
+/// * [`Counting`](Self::Counting): every shard filter carries a
+///   per-bit counting sidecar ([`pof_bloom::CountingSidecar`]; 4 bits per
+///   filter bit, 8 after promotion, write side only — published snapshots
+///   never carry it), and deletes clear bits in place. Tombstones stay at
+///   zero, so policies never schedule purge rebuilds — a delete-heavy Bloom
+///   store stops rebuilding altogether.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BloomDeleteMode {
+    /// Deletes tombstone; the policy's next rebuild purges the bits.
+    #[default]
+    Tombstone,
+    /// Deletes clear bits in place through a per-shard counting sidecar.
+    Counting,
+}
+
+/// Build a shard filter, attaching the counting sidecar when the shard runs
+/// in [`BloomDeleteMode::Counting`]. Every (re)build path must go through
+/// this: a replacement filter without counters could never delete again.
+fn build_shard_filter(
+    config: &FilterConfig,
+    capacity: usize,
+    bits_per_key: f64,
+    counting: bool,
+) -> AnyFilter {
+    let mut filter = AnyFilter::build(config, capacity, bits_per_key);
+    if counting {
+        filter.enable_counting();
+    }
+    filter
+}
+
 /// What readers probe: the shard's filter at one publish point, plus the
 /// exact overflow side buffer of keys a deferring policy has not yet folded
 /// into the filter. Probing the buffer keeps the no-false-negative contract
@@ -98,6 +138,7 @@ pub(crate) struct RebuildPlan {
     capacity: usize,
     config: FilterConfig,
     bits_per_key: f64,
+    counting: bool,
 }
 
 impl RebuildPlan {
@@ -115,7 +156,8 @@ impl RebuildPlan {
     pub(crate) fn build(&self) -> (AnyFilter, usize) {
         'grow: for attempt in 0.. {
             let grown = self.capacity << attempt;
-            let mut filter = AnyFilter::build(&self.config, grown, self.bits_per_key);
+            let mut filter =
+                build_shard_filter(&self.config, grown, self.bits_per_key, self.counting);
             for &key in &self.keys {
                 if !filter.insert(key) {
                     continue 'grow;
@@ -143,8 +185,10 @@ pub(crate) struct ShardWriter {
     /// `filter`. Kept sorted so the publish path clones it as-is and the
     /// delete path can binary-search it. Readers see the snapshot's copy.
     overflow: Vec<u32>,
-    /// Deleted keys still represented in the filter (Bloom shards cannot
-    /// unset bits). Purged to zero by every rebuild.
+    /// Deleted keys still represented in the filter (tombstone-mode Bloom
+    /// shards cannot unset bits). Purged to zero by every rebuild;
+    /// structurally zero in [`BloomDeleteMode::Counting`] and for Cuckoo
+    /// shards, which both delete in place.
     tombstones: usize,
     /// Number of keys the current filter was sized for.
     capacity: usize,
@@ -183,6 +227,9 @@ pub(crate) struct ShardWriter {
     /// maintainer; `false` keeps the synchronous path bit-for-bit identical
     /// to the pre-maintainer store.
     background: bool,
+    /// Do Bloom filters of this shard carry a counting sidecar
+    /// ([`BloomDeleteMode::Counting`])? Every rebuild re-attaches it.
+    counting: bool,
     /// The lifecycle policy consulted on every append/delete/maintain.
     policy: Arc<dyn RebuildPolicy>,
 }
@@ -217,6 +264,9 @@ pub(crate) struct ShardView {
     pub(crate) overflow: usize,
     /// Writer-side bookkeeping bytes (see `CompactKeySet`).
     pub(crate) bookkeeping_bytes: usize,
+    /// Heap bytes of the write-side counting sidecar (0 in tombstone mode
+    /// and for Cuckoo shards).
+    pub(crate) counting_sidecar_bytes: usize,
     /// Name of the active rebuild policy.
     pub(crate) policy: &'static str,
     /// Rebuilds completed off-lock by the maintainer (subset of `rebuilds`).
@@ -239,9 +289,11 @@ impl Shard {
         bits_per_key: f64,
         policy: Arc<dyn RebuildPolicy>,
         background: bool,
+        delete_mode: BloomDeleteMode,
     ) -> Self {
         let capacity = capacity.max(64);
-        let filter = AnyFilter::build(&config, capacity, bits_per_key);
+        let counting = delete_mode == BloomDeleteMode::Counting;
+        let filter = build_shard_filter(&config, capacity, bits_per_key, counting);
         // The budget a drift policy compares against: the configuration's
         // modeled FPR at nominal occupancy. Infeasible Cuckoo budgets (the
         // build raises them to the minimum feasible bits-per-key) fall back
@@ -254,7 +306,8 @@ impl Shard {
                 _ => f64::INFINITY,
             });
         let snapshot = Arc::new(ShardSnapshot {
-            filter: filter.clone(),
+            // Snapshots are probe-only: never ship the counting sidecar.
+            filter: filter.read_only_clone(),
             overflow: Vec::new(),
         });
         Self {
@@ -275,6 +328,7 @@ impl Shard {
                 pending: None,
                 ticket: None,
                 background,
+                counting,
                 policy,
             }),
             snapshot: RwLock::new(snapshot),
@@ -294,7 +348,10 @@ impl Shard {
     /// take the snapshot *read* lock, so holding both here cannot deadlock.
     fn publish(&self, writer: &ShardWriter) {
         let snapshot = Arc::new(ShardSnapshot {
-            filter: writer.filter.clone(),
+            // Probe side only: lookups never consult a counting sidecar, so
+            // publishing in counting mode stays as cheap as tombstone mode
+            // (the clone copies the bit array, not the counters).
+            filter: writer.filter.read_only_clone(),
             // Already sorted — the writer maintains the invariant.
             overflow: writer.overflow.clone(),
         });
@@ -331,9 +388,10 @@ impl Shard {
 
     /// Delete a batch of keys routed to this shard. Returns how many were
     /// actually removed, plus a ticket if the policy requested a background
-    /// rebuild. Cuckoo shards delete in place and republish; Bloom shards
-    /// tombstone (the key leaves the bookkeeping immediately, the filter
-    /// bits stay until the policy's next rebuild).
+    /// rebuild. Cuckoo shards — and Bloom shards in
+    /// [`BloomDeleteMode::Counting`] — delete in place and republish; Bloom
+    /// shards in tombstone mode tombstone (the key leaves the bookkeeping
+    /// immediately, the filter bits stay until the policy's next rebuild).
     pub(crate) fn delete_batch(&self, keys: &[u32]) -> (usize, Option<RebuildTicket>) {
         if keys.is_empty() {
             return (0, None);
@@ -400,12 +458,14 @@ impl Shard {
             capacity *= 2;
         }
         let (config, bits_per_key) = (writer.config, writer.bits_per_key);
+        let counting = writer.counting;
         writer.keys.fold();
         Some(RebuildPlan {
             keys: writer.keys.as_ordered_slice().to_vec(),
             capacity,
             config,
             bits_per_key,
+            counting,
         })
     }
 
@@ -446,9 +506,12 @@ impl Shard {
                     } else {
                         match filter.try_delete(key) {
                             DeleteOutcome::Removed => {}
-                            DeleteOutcome::Unsupported | DeleteOutcome::NotFound => {
-                                tombstones += 1;
-                            }
+                            // Only an actual refusal leaves lingering bits
+                            // behind; a NotFound removed nothing — counting
+                            // it would overstate the tombstone load and
+                            // mis-trigger purge heuristics.
+                            DeleteOutcome::Unsupported => tombstones += 1,
+                            DeleteOutcome::NotFound => {}
                         }
                     }
                 }
@@ -488,6 +551,7 @@ impl Shard {
             tombstones: writer.tombstones,
             overflow: writer.overflow.len(),
             bookkeeping_bytes: writer.keys.bookkeeping_bytes(),
+            counting_sidecar_bytes: writer.filter.counting_bytes(),
             policy: writer.policy.name(),
             rebuilds_background: writer.rebuilds_background,
             rebuild_wait_ns: writer.rebuild_wait_ns,
@@ -521,7 +585,12 @@ impl ShardWriter {
             capacity: self.capacity,
             overflow_len: self.overflow.len(),
             tombstones: self.tombstones,
-            occupancy: self.keys.len() - self.overflow.len() + self.tombstones,
+            // Saturating, and summed before the subtraction: transient
+            // states where parked keys outnumber the bookkeeping (e.g. a
+            // delta replay that rebuilt the key set before re-parking
+            // refused inserts) must clamp to zero, not underflow — a debug
+            // build would otherwise abort inside a policy callback.
+            occupancy: (self.keys.len() + self.tombstones).saturating_sub(self.overflow.len()),
             budget_fpr: self.budget_fpr,
             filter: &self.filter,
             config: &self.config,
@@ -716,10 +785,15 @@ impl ShardWriter {
             }
             match self.filter.try_delete(key) {
                 DeleteOutcome::Removed => observable = true,
-                // Bloom shards (and the defensive not-found case) tombstone:
-                // the key leaves the bookkeeping now, its bits leave at the
-                // next rebuild.
-                DeleteOutcome::Unsupported | DeleteOutcome::NotFound => self.tombstones += 1,
+                // Tombstone-mode Bloom shards refuse: the key leaves the
+                // bookkeeping now, its bits leave at the next rebuild.
+                DeleteOutcome::Unsupported => self.tombstones += 1,
+                // Defensive: the filter held no occurrence, so nothing
+                // lingers — counting this as a tombstone would inflate the
+                // count past the bits actually resident and could spuriously
+                // trip purge/shrink heuristics (`FprDrift`'s mostly-dead
+                // test compares tombstones against live keys).
+                DeleteOutcome::NotFound => {}
             }
         }
         (doomed.len(), observable)
@@ -751,6 +825,14 @@ impl ShardWriter {
         }
     }
 
+    /// Test-only hook: pre-register `key` as bookkeeping-resident *without*
+    /// offering it to the filter, reproducing the defensive state where a
+    /// delete finds the key in the key set but not in the structure.
+    #[cfg(test)]
+    fn adopt_untracked_key(&mut self, key: u32) {
+        assert!(self.keys.insert(key), "key already resident");
+    }
+
     /// Rebuild the filter from the authoritative key set at a new capacity.
     ///
     /// Live keys are replayed (in insertion order) into the fresh filter;
@@ -762,7 +844,8 @@ impl ShardWriter {
         self.keys.fold();
         'grow: for attempt in 0.. {
             let grown = capacity << attempt;
-            let mut filter = AnyFilter::build(&self.config, grown, self.bits_per_key);
+            let mut filter =
+                build_shard_filter(&self.config, grown, self.bits_per_key, self.counting);
             for &key in self.keys.as_ordered_slice() {
                 if !filter.insert(key) {
                     continue 'grow;
@@ -777,5 +860,115 @@ impl ShardWriter {
             return;
         }
         unreachable!("rebuild retries grow geometrically and must eventually fit");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::SaturationDoubling;
+    use pof_bloom::{Addressing, BloomConfig};
+    use pof_cuckoo::{CuckooAddressing, CuckooConfig};
+
+    fn shard(config: FilterConfig, delete_mode: BloomDeleteMode) -> Shard {
+        Shard::new(
+            config,
+            256,
+            16.0,
+            Arc::new(SaturationDoubling),
+            false,
+            delete_mode,
+        )
+    }
+
+    fn bloom_config() -> FilterConfig {
+        FilterConfig::Bloom(BloomConfig::cache_sectorized(
+            512,
+            64,
+            2,
+            8,
+            Addressing::Magic,
+        ))
+    }
+
+    /// Regression (delete accounting): a delete that resolves to
+    /// `DeleteOutcome::NotFound` removed nothing from the filter, so it must
+    /// not be booked as a tombstone — the old `Unsupported | NotFound` arm
+    /// inflated the count, which `FprDrift`'s mostly-dead heuristic compares
+    /// against live keys.
+    #[test]
+    fn not_found_deletes_do_not_mint_tombstones() {
+        let shard = shard(
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+            BloomDeleteMode::Tombstone,
+        );
+        let mut writer = shard.writer.lock().unwrap();
+        // Resident in the bookkeeping, never offered to the filter: the
+        // delete will probe the Cuckoo filter and find nothing.
+        writer.adopt_untracked_key(42);
+        let (removed, observable) = writer.delete_many(&[42]);
+        assert_eq!(removed, 1, "the bookkeeping entry is gone");
+        assert!(!observable, "nothing in the published state changed");
+        assert_eq!(writer.tombstones, 0, "NotFound minted a tombstone");
+        // A genuine tombstone-mode Bloom delete still counts.
+        drop(writer);
+        let bloom = self::shard(bloom_config(), BloomDeleteMode::Tombstone);
+        let mut writer = bloom.writer.lock().unwrap();
+        assert!(writer.insert_one(7));
+        let (removed, _) = writer.delete_many(&[7]);
+        assert_eq!((removed, writer.tombstones), (1, 1));
+    }
+
+    /// Regression (occupancy arithmetic): with more parked keys than
+    /// bookkeeping entries the old `keys - overflow + tombstones` expression
+    /// underflowed in debug builds; the reordered saturating form clamps to
+    /// zero at the exact boundary and stays exact elsewhere.
+    #[test]
+    fn occupancy_saturates_at_the_overflow_boundary() {
+        let shard = shard(bloom_config(), BloomDeleteMode::Tombstone);
+        let mut writer = shard.writer.lock().unwrap();
+        writer.overflow = vec![1, 2, 3];
+        assert_eq!(writer.observe().occupancy, 0, "must clamp, not underflow");
+        // One past the boundary in the other direction stays exact.
+        writer.adopt_untracked_key(9);
+        writer.adopt_untracked_key(10);
+        writer.adopt_untracked_key(11);
+        writer.adopt_untracked_key(12);
+        assert_eq!(writer.observe().occupancy, 1);
+        writer.tombstones = 5;
+        assert_eq!(writer.observe().occupancy, 6);
+    }
+
+    /// Counting-mode shards delete Bloom keys in place: no tombstones, and
+    /// the replacement filters of every rebuild path keep the sidecar.
+    #[test]
+    fn counting_shards_delete_in_place_and_rebuild_with_counters() {
+        let shard = shard(bloom_config(), BloomDeleteMode::Counting);
+        let keys: Vec<u32> = (0..200u32).map(|i| i * 31 + 5).collect();
+        assert!(shard.insert_batch(&keys).is_none());
+        let (removed, _) = shard.delete_batch(&keys[..100]);
+        assert_eq!(removed, 100);
+        let view = shard.consistent_view();
+        assert_eq!(view.tombstones, 0, "counting mode must not tombstone");
+        assert!(view.counting_sidecar_bytes > 0);
+        // Deleted keys physically left the published snapshot (collisions
+        // aside), live keys still answer.
+        let snapshot = shard.load();
+        for &key in &keys[100..] {
+            assert!(snapshot.contains(key));
+        }
+        let still = keys[..100]
+            .iter()
+            .filter(|&&k| snapshot.contains(k))
+            .count();
+        assert!(still < 10, "{still} of 100 deleted keys still positive");
+        // An inline rebuild must hand back a filter that can still delete.
+        let mut writer = shard.writer.lock().unwrap();
+        writer.rebuild(256);
+        assert!(writer.filter.supports_delete(), "rebuild dropped counting");
+        drop(writer);
+        let (removed, _) = shard.delete_batch(&keys[100..150]);
+        assert_eq!(removed, 50);
+        assert_eq!(shard.consistent_view().tombstones, 0);
     }
 }

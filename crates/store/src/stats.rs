@@ -49,6 +49,11 @@ pub struct ShardStats {
     /// Writer-side bookkeeping bytes (the compact key set's ordered log plus
     /// sorted run — at most ~2x the raw key bytes).
     pub bookkeeping_bytes: u64,
+    /// Heap bytes of the shard's Bloom counting sidecar
+    /// ([`BloomDeleteMode::Counting`](crate::BloomDeleteMode) — 4 bits per
+    /// filter bit, 8 after counter saturation). Zero in tombstone mode and
+    /// for Cuckoo shards; write side only, snapshots never carry it.
+    pub counting_sidecar_bytes: u64,
     /// Name of the active rebuild policy.
     pub policy: &'static str,
     /// Configuration label of the shard filter.
@@ -140,6 +145,13 @@ impl StoreStats {
         self.shards.iter().map(|s| s.bookkeeping_bytes).sum()
     }
 
+    /// Total Bloom counting-sidecar bytes across all shards — the memory a
+    /// counting-mode store pays for in-place Bloom deletes.
+    #[must_use]
+    pub fn total_counting_sidecar_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.counting_sidecar_bytes).sum()
+    }
+
     /// The store-level analytical false-positive rate: the key-weighted mean
     /// of the shard rates (a uniformly drawn probe lands in shard `i` with
     /// probability proportional to the shard routing, which the splitter hash
@@ -193,9 +205,14 @@ mod tests {
             max_writer_stall_ns: index as u64 * 500,
             writer_rebuild_stall_ns: index as u64 * 400,
             rebuild_pending: false,
-            tombstones: index as u64 * 2,
-            overflow: index as u64 * 3,
+            // Offset by one so *every* shard contributes a distinct nonzero
+            // term: the old `index * 2` fixture zeroed shard 0's share, and
+            // the total_tombstones assertion was really testing a single
+            // shard's value rather than summation across shards.
+            tombstones: index as u64 * 2 + 1,
+            overflow: index as u64 * 3 + 1,
             bookkeeping_bytes: keys * 8,
+            counting_sidecar_bytes: keys * 4,
             policy: "saturation-doubling",
             config_label: "test".to_string(),
             kernel: "scalar",
@@ -212,9 +229,12 @@ mod tests {
         assert_eq!(stats.total_rebuild_wait_ns(), 1_000);
         assert_eq!(stats.max_writer_stall_ns(), 500);
         assert_eq!(stats.writer_rebuild_stall_ns(), 400);
-        assert_eq!(stats.total_tombstones(), 2);
-        assert_eq!(stats.total_overflow(), 3);
+        // 1 + 3 and 1 + 4: both shards contribute, so these really do test
+        // the summation (a lookup of either single shard could not pass).
+        assert_eq!(stats.total_tombstones(), 4);
+        assert_eq!(stats.total_overflow(), 5);
         assert_eq!(stats.total_bookkeeping_bytes(), 3_200);
+        assert_eq!(stats.total_counting_sidecar_bytes(), 1_600);
         let expected = (0.01 * 100.0 + 0.03 * 300.0) / 400.0;
         assert!((stats.weighted_modeled_fpr() - expected).abs() < 1e-12);
         assert!((stats.imbalance() - 3.0).abs() < 1e-12);

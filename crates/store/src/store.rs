@@ -2,7 +2,7 @@
 
 use crate::maintainer::{Maintainer, RebuildMode};
 use crate::policy::{RebuildPolicy, SaturationDoubling};
-use crate::shard::{MaintainOutcome, RebuildTicket, Shard, ShardSnapshot};
+use crate::shard::{BloomDeleteMode, MaintainOutcome, RebuildTicket, Shard, ShardSnapshot};
 use crate::stats::{ShardStats, StoreStats};
 use pof_core::{AnyFilter, FilterConfig};
 use pof_filter::stats::measured_fpr;
@@ -118,16 +118,20 @@ impl ShardedFilterStore {
             bits_per_key,
             policy,
             RebuildMode::Inline,
+            BloomDeleteMode::Tombstone,
         )
     }
 
-    /// Create a store with an explicit policy *and* rebuild execution mode.
+    /// Create a store with an explicit policy, rebuild execution mode *and*
+    /// Bloom delete mode.
     ///
     /// [`RebuildMode::Background`] spawns one maintainer thread owned by the
     /// store (joined on drop, after finishing any queued jobs);
     /// [`RebuildMode::Queued`] queues jobs for
-    /// [`run_pending_rebuilds`](Self::run_pending_rebuilds). Most callers
-    /// should go through [`StoreBuilder`](crate::StoreBuilder).
+    /// [`run_pending_rebuilds`](Self::run_pending_rebuilds).
+    /// [`BloomDeleteMode::Counting`] gives Bloom shards in-place deletes
+    /// through a per-shard counting sidecar. Most callers should go through
+    /// [`StoreBuilder`](crate::StoreBuilder).
     #[must_use]
     pub fn with_options(
         config: FilterConfig,
@@ -136,6 +140,7 @@ impl ShardedFilterStore {
         bits_per_key: f64,
         policy: Arc<dyn RebuildPolicy>,
         mode: RebuildMode,
+        delete_mode: BloomDeleteMode,
     ) -> Self {
         let shard_count = shard_count.max(1).next_power_of_two();
         let background = mode != RebuildMode::Inline;
@@ -148,6 +153,7 @@ impl ShardedFilterStore {
                         bits_per_key,
                         Arc::clone(&policy),
                         background,
+                        delete_mode,
                     )
                 })
                 .collect(),
@@ -212,11 +218,15 @@ impl ShardedFilterStore {
     /// Delete a batch of keys, fanning out to the owning shards. Returns how
     /// many keys were actually removed (keys not present are no-ops).
     ///
-    /// Cuckoo shards delete in place and republish immediately; Bloom shards
-    /// *tombstone* — the key leaves the bookkeeping (and [`Self::key_count`])
-    /// at once, while its filter bits linger as false positives until the
-    /// shard's [`RebuildPolicy`] next rebuilds, e.g. on the next saturation
-    /// rebuild, an FPR-drift re-fit, or an explicit [`Self::maintain`] call.
+    /// Cuckoo shards delete in place and republish immediately, and Bloom
+    /// shards built with [`BloomDeleteMode::Counting`]
+    /// ([`StoreBuilder::bloom_deletes`](crate::StoreBuilder::bloom_deletes))
+    /// do the same through their counting sidecars. Bloom shards in the
+    /// default tombstone mode *tombstone* — the key leaves the bookkeeping
+    /// (and [`Self::key_count`]) at once, while its filter bits linger as
+    /// false positives until the shard's [`RebuildPolicy`] next rebuilds,
+    /// e.g. on the next saturation rebuild, an FPR-drift re-fit, or an
+    /// explicit [`Self::maintain`] call.
     pub fn delete_batch(&self, keys: &[u32]) -> usize {
         let mut routed: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
         for &key in keys {
@@ -368,6 +378,7 @@ impl ShardedFilterStore {
                     tombstones: view.tombstones as u64,
                     overflow: view.overflow as u64,
                     bookkeeping_bytes: view.bookkeeping_bytes as u64,
+                    counting_sidecar_bytes: view.counting_sidecar_bytes as u64,
                     policy: view.policy,
                     config_label: view.snapshot.filter.config_label(),
                     kernel: view.snapshot.filter.kernel_name(),
@@ -922,6 +933,54 @@ mod tests {
     }
 
     #[test]
+    fn counting_bloom_deletes_in_place_with_zero_tombstones_and_no_purges() {
+        let mut gen = KeyGen::new(314);
+        let keys = gen.distinct_keys(8_000);
+        let store = crate::builder::StoreBuilder::new()
+            .shards(4)
+            .expected_keys(16_000)
+            .bits_per_key(14.0)
+            .config(bloom_config())
+            .bloom_deletes(BloomDeleteMode::Counting)
+            .build();
+        store.insert_batch(&keys);
+        let (gone, kept) = keys.split_at(3_000);
+        assert_eq!(store.delete_batch(gone), gone.len());
+        assert_eq!(store.key_count(), kept.len());
+        // In place: no tombstones, and the deleted keys are negative
+        // *immediately* (modulo the filter's FPR), no maintain() needed.
+        let stats = store.stats();
+        assert_eq!(stats.total_tombstones(), 0);
+        assert!(stats.total_counting_sidecar_bytes() > 0);
+        let still = gone.iter().filter(|&&k| store.contains(k)).count();
+        assert!(
+            (still as f64) < gone.len() as f64 * 0.05,
+            "{still} of {} deleted keys still positive without a rebuild",
+            gone.len()
+        );
+        for &key in kept {
+            assert!(store.contains(key), "counting delete took a live key");
+        }
+        // With nothing tombstoned there is no purge work: maintain() finds
+        // every shard clean (the delete-heavy regime stops rebuilding).
+        assert_eq!(store.maintain(), 0);
+        assert_eq!(store.stats().total_rebuilds(), 0);
+        // Delete-then-reinsert round-trips through the counters.
+        store.insert_batch(gone);
+        assert_eq!(store.key_count(), keys.len());
+        for &key in &keys {
+            assert!(store.contains(key));
+        }
+        // Snapshots stay lean: the sidecar is write-side only, so published
+        // shard filters report no counting memory... which the store-level
+        // accounting already proved (> 0 comes from the write side; the
+        // snapshot's size_bits is pure filter bits and unchanged by mode).
+        let tombstone_twin = ShardedFilterStore::new(bloom_config(), 4, 4_000, 14.0);
+        tombstone_twin.insert_batch(&keys);
+        assert_eq!(store.size_bits(), tombstone_twin.size_bits());
+    }
+
+    #[test]
     fn deferred_policy_parks_overflow_and_folds_on_maintain() {
         let mut gen = KeyGen::new(311);
         let keys = gen.distinct_keys(4_000);
@@ -1000,6 +1059,7 @@ mod tests {
                 16.0,
                 Arc::new(SaturationDoubling),
                 RebuildMode::Background,
+                BloomDeleteMode::Tombstone,
             );
             for chunk in keys.chunks(1_000) {
                 store.insert_batch(chunk);
@@ -1036,6 +1096,7 @@ mod tests {
                 16.0,
                 Arc::new(SaturationDoubling),
                 RebuildMode::Queued,
+                BloomDeleteMode::Tombstone,
             );
             let mut gen = KeyGen::new(402);
             let keys = gen.distinct_keys(100);
@@ -1083,6 +1144,7 @@ mod tests {
             16.0,
             Arc::new(SaturationDoubling),
             RebuildMode::Queued,
+            BloomDeleteMode::Tombstone,
         );
         let mut gen = KeyGen::new(403);
         store.insert_batch(&gen.distinct_keys(100));
@@ -1105,6 +1167,7 @@ mod tests {
             16.0,
             Arc::new(SaturationDoubling),
             RebuildMode::Queued,
+            BloomDeleteMode::Tombstone,
         );
         let mut gen = KeyGen::new(404);
         let first = gen.distinct_keys(100);
@@ -1145,6 +1208,7 @@ mod tests {
             20.0,
             Arc::new(DeferredBatch::new(4)),
             RebuildMode::Queued,
+            BloomDeleteMode::Tombstone,
         );
         let mut gen = KeyGen::new(405);
         let keys = gen.distinct_keys(400);

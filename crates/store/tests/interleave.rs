@@ -23,22 +23,30 @@ use pof_core::FilterConfig;
 use pof_cuckoo::{CuckooAddressing, CuckooConfig};
 use pof_filter::{KeyGen, SelectionVector};
 use pof_store::{
-    DeferredBatch, FprDrift, RebuildMode, RebuildPolicy, SaturationDoubling, ShardedFilterStore,
-    StoreBuilder,
+    BloomDeleteMode, DeferredBatch, FprDrift, RebuildMode, RebuildPolicy, SaturationDoubling,
+    ShardedFilterStore, StoreBuilder,
 };
 use std::collections::HashSet;
 use std::sync::Arc;
 
-fn configs() -> Vec<FilterConfig> {
+/// Every delete family: Bloom tombstone, Bloom counting (in-place via the
+/// counting sidecar — rebuilt replacements must keep their counters through
+/// the snapshot-swap handoff), and Cuckoo in-place.
+fn configs() -> Vec<(FilterConfig, BloomDeleteMode)> {
+    let bloom = FilterConfig::Bloom(BloomConfig::cache_sectorized(
+        512,
+        64,
+        2,
+        8,
+        Addressing::Magic,
+    ));
     vec![
-        FilterConfig::Bloom(BloomConfig::cache_sectorized(
-            512,
-            64,
-            2,
-            8,
-            Addressing::Magic,
-        )),
-        FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+        (bloom, BloomDeleteMode::Tombstone),
+        (bloom, BloomDeleteMode::Counting),
+        (
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+            BloomDeleteMode::Tombstone,
+        ),
     ]
 }
 
@@ -103,11 +111,14 @@ fn every_snapshot_swap_placement_preserves_membership() {
         Op::Delete(half_b.clone()),
     ];
 
-    for config in configs() {
+    for (config, delete_mode) in configs() {
         for (policy_name, policy) in policies() {
             for i in 0..=script.len() {
                 for j in i..=script.len() {
-                    let label = format!("{} {policy_name} snapshot@{i} swap@{j}", config.label());
+                    let label = format!(
+                        "{} {delete_mode:?} {policy_name} snapshot@{i} swap@{j}",
+                        config.label()
+                    );
                     let store = StoreBuilder::new()
                         .shards(1)
                         .expected_keys(64)
@@ -115,6 +126,7 @@ fn every_snapshot_swap_placement_preserves_membership() {
                         .config(config)
                         .rebuild_policy(Arc::clone(&policy))
                         .rebuild_mode(RebuildMode::Queued)
+                        .bloom_deletes(delete_mode)
                         .build();
                     let mut oracle: HashSet<u32> = HashSet::new();
 
@@ -166,13 +178,14 @@ fn every_snapshot_swap_placement_preserves_membership() {
 /// checks the same invariants when the real maintainer thread chooses it.
 #[test]
 fn threaded_handoff_smoke() {
-    for config in configs() {
+    for (config, delete_mode) in configs() {
         let store = StoreBuilder::new()
             .shards(2)
             .expected_keys(128)
             .bits_per_key(16.0)
             .config(config)
             .background_rebuilds(true)
+            .bloom_deletes(delete_mode)
             .build();
         let mut gen = KeyGen::new(0x1418);
         let mut oracle: HashSet<u32> = HashSet::new();

@@ -1,7 +1,7 @@
 //! Property-based delete correctness: random interleavings of
 //! `insert_batch` / `delete_batch` / `contains_batch` / `maintain` against a
-//! `HashSet` oracle, across all three rebuild policies and both filter
-//! families.
+//! `HashSet` oracle, across all three rebuild policies and all three delete
+//! families (Cuckoo in-place, Bloom tombstone, Bloom counting).
 //!
 //! Invariants asserted on every interleaving:
 //! * the store's live key count equals the oracle's size (tombstone-aware
@@ -20,37 +20,54 @@ use pof_core::FilterConfig;
 use pof_cuckoo::{CuckooAddressing, CuckooConfig};
 use pof_filter::SelectionVector;
 use pof_store::{
-    DeferredBatch, FprDrift, RebuildMode, RebuildPolicy, SaturationDoubling, ShardedFilterStore,
-    StoreBuilder,
+    BloomDeleteMode, DeferredBatch, FprDrift, RebuildMode, RebuildPolicy, SaturationDoubling,
+    ShardedFilterStore, StoreBuilder,
 };
 use proptest::prelude::*;
 use std::collections::HashSet;
 use std::sync::Arc;
 
-fn config_strategy() -> impl Strategy<Value = FilterConfig> {
+/// Every delete family the store supports: Cuckoo shards (in-place by
+/// construction; the delete mode is ignored), Bloom shards in tombstone
+/// mode, and Bloom shards in counting mode.
+fn family_strategy() -> impl Strategy<Value = (FilterConfig, BloomDeleteMode)> {
     prop_oneof![
-        Just(FilterConfig::Bloom(BloomConfig::cache_sectorized(
-            512,
-            64,
-            2,
-            8,
-            Addressing::Magic
-        ))),
-        Just(FilterConfig::Bloom(BloomConfig::register_blocked(
-            32,
-            4,
-            Addressing::PowerOfTwo
-        ))),
-        Just(FilterConfig::Cuckoo(CuckooConfig::new(
-            16,
-            2,
-            CuckooAddressing::PowerOfTwo
-        ))),
-        Just(FilterConfig::Cuckoo(CuckooConfig::new(
-            8,
-            4,
-            CuckooAddressing::Magic
-        ))),
+        Just((
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::Magic
+            )),
+            BloomDeleteMode::Tombstone
+        )),
+        Just((
+            FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo)),
+            BloomDeleteMode::Tombstone
+        )),
+        Just((
+            FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                512,
+                64,
+                2,
+                8,
+                Addressing::Magic
+            )),
+            BloomDeleteMode::Counting
+        )),
+        Just((
+            FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo)),
+            BloomDeleteMode::Counting
+        )),
+        Just((
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+            BloomDeleteMode::Tombstone
+        )),
+        Just((
+            FilterConfig::Cuckoo(CuckooConfig::new(8, 4, CuckooAddressing::Magic)),
+            BloomDeleteMode::Tombstone
+        )),
     ]
 }
 
@@ -81,7 +98,7 @@ proptest! {
 
     #[test]
     fn interleaved_inserts_and_deletes_match_a_hashset_oracle(
-        config in config_strategy(),
+        family in family_strategy(),
         policy_index in 0usize..3,
         shard_pow in 0u32..3,
         ops in prop::collection::vec(
@@ -89,6 +106,7 @@ proptest! {
             1..14,
         ),
     ) {
+        let (config, delete_mode) = family;
         let store = StoreBuilder::new()
             .shards(1usize << shard_pow)
             // Deliberately tiny: growth, drift and deferral all trigger.
@@ -96,9 +114,10 @@ proptest! {
             .bits_per_key(16.0)
             .config(config)
             .rebuild_policy(policy_for(policy_index))
+            .bloom_deletes(delete_mode)
             .build();
         let mut oracle: HashSet<u32> = HashSet::new();
-        let label = format!("{} policy#{policy_index}", config.label());
+        let label = format!("{} policy#{policy_index} {delete_mode:?}", config.label());
 
         for (op, keys) in &ops {
             match op % 4 {
@@ -133,6 +152,10 @@ proptest! {
                 }
             }
             prop_assert_eq!(store.key_count(), oracle.len(), "{}: key_count", &label);
+            if delete_mode == BloomDeleteMode::Counting {
+                // Counting shards delete in place; tombstones never appear.
+                prop_assert_eq!(store.stats().total_tombstones(), 0u64, "{}", &label);
+            }
         }
         assert_no_false_negatives(&store, &oracle, &label);
         // And after a final fold/purge everything still holds.
@@ -152,7 +175,7 @@ proptest! {
     /// swap — and the live count must track the oracle exactly.
     #[test]
     fn background_rebuilds_preserve_the_oracle_at_every_interleaving(
-        config in config_strategy(),
+        family in family_strategy(),
         policy_index in 0usize..3,
         shard_pow in 0u32..3,
         ops in prop::collection::vec(
@@ -160,6 +183,7 @@ proptest! {
             1..16,
         ),
     ) {
+        let (config, delete_mode) = family;
         let store = StoreBuilder::new()
             .shards(1usize << shard_pow)
             // Deliberately tiny: rebuild requests fire constantly, so the
@@ -169,9 +193,13 @@ proptest! {
             .config(config)
             .rebuild_policy(policy_for(policy_index))
             .rebuild_mode(RebuildMode::Queued)
+            .bloom_deletes(delete_mode)
             .build();
         let mut oracle: HashSet<u32> = HashSet::new();
-        let label = format!("{} policy#{policy_index} background", config.label());
+        let label = format!(
+            "{} policy#{policy_index} {delete_mode:?} background",
+            config.label()
+        );
 
         for (op, keys) in &ops {
             match op % 5 {
@@ -271,5 +299,129 @@ proptest! {
         store.contains_batch(&keys, &mut sel);
         prop_assert_eq!(sel.len(), 0, "drained cuckoo store still answers positive");
         prop_assert_eq!(store.stats().total_tombstones(), 0u64);
+    }
+
+    /// Deletes of absent keys, double-deletes and re-inserts after delete:
+    /// one op stream over a deliberately tiny key domain (0..400, so the
+    /// collisions actually happen) applied side by side to all three delete
+    /// families — Cuckoo in-place, Bloom tombstone, Bloom counting — against
+    /// a single `HashSet` oracle. Every family must report the oracle's
+    /// removal counts, track its live count, and stay false-negative-free;
+    /// the counting store must additionally never mint a tombstone.
+    #[test]
+    fn absent_double_and_reinserted_deletes_agree_across_delete_modes(
+        policy_index in 0usize..3,
+        ops in prop::collection::vec(
+            (0u8..3, prop::collection::vec(0u32..400, 1..120)),
+            1..18,
+        ),
+    ) {
+        let families: Vec<(&str, FilterConfig, BloomDeleteMode)> = vec![
+            (
+                "cuckoo-in-place",
+                FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+                BloomDeleteMode::Tombstone,
+            ),
+            (
+                "bloom-tombstone",
+                FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                    512,
+                    64,
+                    2,
+                    8,
+                    Addressing::Magic,
+                )),
+                BloomDeleteMode::Tombstone,
+            ),
+            (
+                "bloom-counting",
+                FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                    512,
+                    64,
+                    2,
+                    8,
+                    Addressing::Magic,
+                )),
+                BloomDeleteMode::Counting,
+            ),
+        ];
+        let stores: Vec<(&str, BloomDeleteMode, ShardedFilterStore)> = families
+            .into_iter()
+            .map(|(name, config, mode)| {
+                let store = StoreBuilder::new()
+                    .shards(2)
+                    .expected_keys(128)
+                    .bits_per_key(18.0)
+                    .config(config)
+                    .rebuild_policy(policy_for(policy_index))
+                    .bloom_deletes(mode)
+                    .build();
+                (name, mode, store)
+            })
+            .collect();
+        let mut oracle: HashSet<u32> = HashSet::new();
+
+        for (op, keys) in &ops {
+            match op % 3 {
+                0 => {
+                    // With a 400-key domain most inserts are re-inserts of
+                    // previously deleted keys.
+                    for (_, _, store) in &stores {
+                        store.insert_batch(keys);
+                    }
+                    oracle.extend(keys.iter().copied());
+                }
+                1 => {
+                    // The batch mixes live keys, absent keys (never inserted
+                    // or already deleted) and duplicates; every family must
+                    // report exactly the oracle's removal count.
+                    let mut expected = 0usize;
+                    for &key in keys {
+                        if oracle.remove(&key) {
+                            expected += 1;
+                        }
+                    }
+                    for (name, _, store) in &stores {
+                        prop_assert_eq!(
+                            store.delete_batch(keys), expected,
+                            "{}: removal count", name
+                        );
+                        // An immediate double-delete of the very same batch
+                        // removes nothing and corrupts nothing.
+                        prop_assert_eq!(
+                            store.delete_batch(keys), 0,
+                            "{}: double-delete", name
+                        );
+                    }
+                }
+                _ => {
+                    for (_, _, store) in &stores {
+                        store.maintain();
+                    }
+                }
+            }
+            for (name, mode, store) in &stores {
+                prop_assert_eq!(store.key_count(), oracle.len(), "{}: key_count", name);
+                assert_no_false_negatives(store, &oracle, name);
+                if *mode == BloomDeleteMode::Counting {
+                    prop_assert_eq!(
+                        store.stats().total_tombstones(), 0u64,
+                        "{}: counting minted tombstones", name
+                    );
+                }
+            }
+        }
+        // A final reinsert-everything wave: previously deleted keys must be
+        // indistinguishable from fresh ones in every family.
+        let all: Vec<u32> = (0..400).collect();
+        for (_, _, store) in &stores {
+            store.insert_batch(&all);
+        }
+        oracle.extend(all.iter().copied());
+        for (name, _, store) in &stores {
+            store.maintain();
+            prop_assert_eq!(store.key_count(), oracle.len(), "{}: final key_count", name);
+            assert_no_false_negatives(store, &oracle, name);
+        }
     }
 }

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Guard against silent bench-field drift in BENCH_store.json.
+
+Usage: check_bench_schema.py <baseline.json> <fresh.json>
+
+Collects the set of key *paths* guaranteed by each document (object keys,
+recursing through lists as `name[]`) and fails if any path guaranteed by the
+committed baseline is no longer guaranteed by the freshly generated sweep —
+i.e. if a refactor dropped a recorded field, a whole sweep section, or
+renamed a key without updating the baseline. New fields are fine (the
+trajectory grows); lost fields are not (downstream comparisons silently go
+blind).
+"""
+
+import json
+import sys
+
+
+def key_paths(node, prefix=""):
+    """Key paths *guaranteed* by `node`.
+
+    Object keys recurse normally; for lists, only paths present in **every**
+    entry count (intersection, not union) — so a field dropped from just a
+    subset of sweep cells (e.g. recorded only for one delete mode) is
+    reported as lost rather than hidden by the sibling cells that kept it.
+    """
+    paths = set()
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            paths.add(path)
+            paths |= key_paths(value, path)
+    elif isinstance(node, list) and node:
+        entry_sets = [key_paths(value, prefix + "[]") for value in node]
+        paths |= set.intersection(*entry_sets)
+    return paths
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+    with open(baseline_path) as f:
+        baseline = key_paths(json.load(f))
+    with open(fresh_path) as f:
+        fresh = key_paths(json.load(f))
+    lost = sorted(baseline - fresh)
+    if lost:
+        print(f"FAIL: {len(lost)} field path(s) in {baseline_path} are missing "
+              f"from {fresh_path}:")
+        for path in lost:
+            print(f"  - {path}")
+        sys.exit(1)
+    gained = sorted(fresh - baseline)
+    print(f"OK: all {len(baseline)} baseline field paths present"
+          + (f"; {len(gained)} new: {', '.join(gained)}" if gained else ""))
+
+
+if __name__ == "__main__":
+    main()

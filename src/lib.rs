@@ -98,9 +98,9 @@ pub mod prelude {
     pub use pof_cuckoo::{CuckooAddressing, CuckooConfig, CuckooFilter};
     pub use pof_filter::{DeleteOutcome, Filter, FilterKind, KeyGen, SelectionVector, Workload};
     pub use pof_store::{
-        DeferredBatch, FprDrift, ProbeScratch, RebuildDecision, RebuildMode, RebuildPolicy,
-        RebuildUrgency, SaturationDoubling, ShardedFilterStore, StoreBuilder, StoreSnapshot,
-        StoreStats,
+        BloomDeleteMode, DeferredBatch, FprDrift, ProbeScratch, RebuildDecision, RebuildMode,
+        RebuildPolicy, RebuildUrgency, SaturationDoubling, ShardedFilterStore, StoreBuilder,
+        StoreSnapshot, StoreStats,
     };
     pub use pof_workloads::{JoinHashTable, JoinWorkload, LsmTree, ProbePipeline, SemiJoin};
 }
