@@ -1,7 +1,9 @@
 //! Multi-threaded lookup throughput of the sharded filter store: shard count
 //! x thread count x filter family — plus a mixed insert/delete/lookup
 //! lifecycle workload sweeping the three rebuild policies, with background
-//! (off-lock) rebuilds on and off.
+//! (off-lock) rebuilds on and off, and a `tiered` group driving the
+//! advisor-built LSM-style tiered store (2- and 4-level, hot-churn and
+//! cold-scan mixes).
 //!
 //! The serving-layer claim behind `pof-store`: batched lookups against
 //! snapshot-isolated shards scale with reader threads (lookups are wait-free
@@ -29,8 +31,8 @@ use pof_core::FilterConfig;
 use pof_cuckoo::{CuckooAddressing, CuckooConfig};
 use pof_filter::{KeyGen, SelectionVector};
 use pof_store::{
-    BloomDeleteMode, DeferredBatch, FprDrift, RebuildPolicy, SaturationDoubling,
-    ShardedFilterStore, StoreBuilder,
+    BloomDeleteMode, DeferredBatch, FprDrift, LevelSpec, RebuildPolicy, SaturationDoubling,
+    ShardedFilterStore, StoreBuilder, TieredProbeScratch, TieredStore, TieredStoreBuilder,
 };
 use serde::Value;
 use std::collections::VecDeque;
@@ -298,6 +300,155 @@ fn bench_store_delete_modes(c: &mut Criterion) {
     group.finish();
 }
 
+/// Level specs for the tiered benches: a `t_w` ladder from a skipped
+/// memtable probe (hot) to a skipped simulated-disk read (cold), with an
+/// 8x LSM-style fanout in expected keys per level and churn concentrated on
+/// the hot level. The advisor turns the extremes into different families —
+/// Bloom (counting deletes) for the hot end, Cuckoo for the cold end — which
+/// the recorded JSON cells pin down.
+fn tiered_level_specs(levels: usize) -> Vec<LevelSpec> {
+    let ladder = [32.0, 4_096.0, 131_072.0, 16_777_216.0];
+    let picks: &[usize] = match levels {
+        2 => &[0, 3],
+        _ => &[0, 1, 2, 3],
+    };
+    picks
+        .iter()
+        .enumerate()
+        .map(|(index, &rung)| LevelSpec {
+            expected_keys: (1u64 << 14) << (3 * index),
+            work_saved_cycles: ladder[rung],
+            sigma: 0.1,
+            delete_rate: if index == 0 { 0.4 } else { 0.0 },
+        })
+        .collect()
+}
+
+/// Build and prime an advisor-configured tiered store: cold levels
+/// bulk-loaded to (capped) half occupancy, the hot level to half its sizing.
+fn build_tiered(levels: usize, seed: u64) -> TieredStore {
+    let specs = tiered_level_specs(levels);
+    let mut builder = TieredStoreBuilder::new().shards_per_level(4);
+    for &spec in &specs {
+        builder = builder.level(spec);
+    }
+    let store = builder.build();
+    let mut gen = KeyGen::new(seed);
+    let cap: u64 = if quick() { 1 << 14 } else { 1 << 19 };
+    for (level, spec) in specs.iter().enumerate().skip(1) {
+        let count = (spec.expected_keys / 2).min(cap) as usize;
+        store.load_level(level, &gen.distinct_keys(count));
+    }
+    store.insert_batch(&gen.distinct_keys((specs[0].expected_keys / 2) as usize));
+    store
+}
+
+/// The tiered hot-churn protocol, shared by the criterion bench and the
+/// recorded JSON cell so the two can never drift apart: a resident probe
+/// set plus a LAG-deep backlog of waves; each step inserts a fresh wave,
+/// deletes the oldest, probes the resident set through the reusable scratch
+/// path, and maintains (letting size-ratio compactions fire) every eighth
+/// step.
+struct TieredChurn {
+    gen: KeyGen,
+    resident: Vec<u32>,
+    backlog: VecDeque<Vec<u32>>,
+    sel: SelectionVector,
+    scratch: TieredProbeScratch,
+    batch: usize,
+    iteration: usize,
+}
+
+impl TieredChurn {
+    const LAG: usize = 4;
+
+    /// Prime the store with the resident set and LAG backlog waves.
+    fn prime(store: &TieredStore, batch: usize, seed: u64) -> Self {
+        let mut gen = KeyGen::new(seed);
+        let resident = gen.distinct_keys(batch);
+        store.insert_batch(&resident);
+        let mut backlog = VecDeque::new();
+        for _ in 0..Self::LAG {
+            let primed = gen.distinct_keys(batch);
+            store.insert_batch(&primed);
+            backlog.push_back(primed);
+        }
+        Self {
+            gen,
+            resident,
+            backlog,
+            sel: SelectionVector::with_capacity(batch),
+            scratch: TieredProbeScratch::new(),
+            batch,
+            iteration: 0,
+        }
+    }
+
+    /// One churn step: 3·batch logical operations. Returns the probe's
+    /// qualifying count (fed back to criterion to pin the work).
+    fn step(&mut self, store: &TieredStore) -> usize {
+        let fresh = self.gen.distinct_keys(self.batch);
+        store.insert_batch(&fresh);
+        self.backlog.push_back(fresh);
+        let old = self.backlog.pop_front().expect("backlog primed");
+        store.delete_batch(&old);
+        self.sel.clear();
+        store.contains_batch_with(&self.resident, &mut self.sel, &mut self.scratch);
+        self.iteration += 1;
+        if self.iteration.is_multiple_of(8) {
+            store.maintain();
+        }
+        self.sel.len()
+    }
+}
+
+/// Tiered-store throughput: 2- and 4-level advisor-built stores under a
+/// hot-churn mix (inserts + deletes + hot-resident probes, short-circuiting
+/// at level 0, compactions riding the size-ratio policy) and a cold-scan mix
+/// (absent keys cascading through every level's filter).
+fn bench_tiered(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiered");
+    group
+        .sample_size(10)
+        .warm_up_time(warm_up())
+        .measurement_time(measurement());
+    for levels in [2usize, 4] {
+        let store = build_tiered(levels, 0x71E0 + levels as u64);
+        let mut gen = KeyGen::new(0x7C01);
+        // Cold scan: uniform random probes — essentially all absent, so the
+        // batch cascades through every level before answering negative.
+        let probes = gen.keys(probes_per_thread());
+        group.throughput(Throughput::Elements(probes.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("cold-scan", format!("L{levels}")),
+            &store,
+            |b, store| {
+                let mut sel = SelectionVector::with_capacity(BATCH);
+                let mut scratch = TieredProbeScratch::new();
+                b.iter(|| {
+                    let mut qualifying = 0u64;
+                    for batch in probes.chunks(BATCH) {
+                        sel.clear();
+                        store.contains_batch_with(batch, &mut sel, &mut scratch);
+                        qualifying += sel.len() as u64;
+                    }
+                    qualifying
+                });
+            },
+        );
+        // Hot churn: steady-state insert/delete waves against level 0 plus
+        // probes of a resident working set (answered at level 0 until a
+        // compaction moves it down).
+        let churn_batch: usize = if quick() { 1024 } else { 4 * 1024 };
+        let mut churn = TieredChurn::prime(&store, churn_batch, 0x7C02);
+        group.throughput(Throughput::Elements(3 * churn_batch as u64));
+        group.bench_function(BenchmarkId::new("hot-churn", format!("L{levels}")), |b| {
+            b.iter(|| churn.step(&store));
+        });
+    }
+    group.finish();
+}
+
 /// Policies for the recorded sweep. Same trio as the lifecycle bench, but
 /// the deferred-batch overflow cap is small enough that the growth workload
 /// actually hits it between maintenance rounds — otherwise the policy never
@@ -481,6 +632,123 @@ fn delete_heavy_cell(
     ]
 }
 
+/// One cell of the recorded **tiered** sweep: build the advisor-configured
+/// store (the per-level family/budget/delete-mode choices are the point of
+/// the record), run a deterministic hot-churn phase and a cold-scan phase,
+/// and capture throughput plus the full per-level picture. The extreme-`t_w`
+/// levels must come out as different families — hot Bloom (counting
+/// deletes), cold Cuckoo — which downstream tooling can assert right off the
+/// JSON.
+fn tiered_cell(levels: usize) -> Vec<(String, Value)> {
+    let batch: usize = if quick() { 2 * 1024 } else { 8 * 1024 };
+    let iters: usize = if quick() { 32 } else { 96 };
+    let store = build_tiered(levels, 0x71ED);
+
+    // Hot-churn phase: the shared TieredChurn protocol (insert a wave,
+    // delete the LAG-old wave, probe the resident set, maintain — letting
+    // the size-ratio policy compact — every eighth iteration).
+    let mut churn = TieredChurn::prime(&store, batch, 0x71EE);
+    let start = Instant::now();
+    let mut churn_ops = 0u64;
+    for _ in 0..iters {
+        churn.step(&store);
+        churn_ops += 3 * batch as u64;
+    }
+    let churn_elapsed = start.elapsed();
+
+    // Cold-scan phase: uniform random probes, essentially all absent, so
+    // every batch cascades through the full level hierarchy.
+    let probes = churn.gen.keys(if quick() { 1 << 16 } else { 1 << 19 });
+    let mut sel = SelectionVector::with_capacity(batch);
+    let mut scratch = TieredProbeScratch::new();
+    let start = Instant::now();
+    let mut scan_ops = 0u64;
+    for chunk in probes.chunks(batch) {
+        sel.clear();
+        store.contains_batch_with(chunk, &mut sel, &mut scratch);
+        scan_ops += chunk.len() as u64;
+    }
+    let scan_elapsed = start.elapsed();
+
+    let stats = store.stats();
+    eprintln!(
+        "tiered L{levels}: families [{}], hot-churn {:.2} Mops/s, cold-scan {:.2} Mops/s, \
+         {} compactions, {} tombstones",
+        stats
+            .levels
+            .iter()
+            .map(|l| format!("{}@tw={}", l.family, l.work_saved_cycles))
+            .collect::<Vec<_>>()
+            .join(", "),
+        churn_ops as f64 / churn_elapsed.as_secs_f64() / 1e6,
+        scan_ops as f64 / scan_elapsed.as_secs_f64() / 1e6,
+        stats.compactions,
+        stats.total_tombstones(),
+    );
+    let level_cells: Vec<Value> = stats
+        .levels
+        .iter()
+        .map(|level| {
+            Value::Map(vec![
+                ("level".into(), Value::U64(level.level as u64)),
+                ("t_w".into(), Value::F64(level.work_saved_cycles)),
+                ("expected_keys".into(), Value::U64(level.expected_keys)),
+                ("delete_rate".into(), Value::F64(level.delete_rate)),
+                (
+                    "family".into(),
+                    Value::Str(
+                        match level.family {
+                            pof_filter::FilterKind::Bloom => "bloom",
+                            pof_filter::FilterKind::Cuckoo => "cuckoo",
+                        }
+                        .into(),
+                    ),
+                ),
+                ("config".into(), Value::Str(level.config_label.clone())),
+                (
+                    "delete_mode".into(),
+                    Value::Str(
+                        match level.delete_mode {
+                            BloomDeleteMode::Tombstone => "tombstone",
+                            BloomDeleteMode::Counting => "counting",
+                        }
+                        .into(),
+                    ),
+                ),
+                (
+                    "bits_per_key_budget".into(),
+                    Value::F64(level.bits_per_key_budget),
+                ),
+                (
+                    "bytes_per_live_key".into(),
+                    Value::F64(level.bits_per_live_key() / 8.0),
+                ),
+                ("live_keys".into(), Value::U64(level.live_keys)),
+                ("tombstones".into(), Value::U64(level.tombstones)),
+                ("rebuilds".into(), Value::U64(level.rebuilds)),
+            ])
+        })
+        .collect();
+    vec![
+        ("levels_count".into(), Value::U64(levels as u64)),
+        (
+            "hot_churn_ops_per_sec".into(),
+            Value::F64(churn_ops as f64 / churn_elapsed.as_secs_f64()),
+        ),
+        (
+            "cold_scan_ops_per_sec".into(),
+            Value::F64(scan_ops as f64 / scan_elapsed.as_secs_f64()),
+        ),
+        ("compactions".into(), Value::U64(stats.compactions)),
+        (
+            "total_tombstones".into(),
+            Value::U64(stats.total_tombstones()),
+        ),
+        ("final_keys".into(), Value::U64(store.key_count() as u64)),
+        ("levels".into(), Value::Seq(level_cells)),
+    ]
+}
+
 /// Repetitions per sweep cell. Each run's stall figure is the *maximum* over
 /// thousands of write calls, so a single scheduler preemption (the writer
 /// descheduled mid-call while the maintainer holds the only core) defines
@@ -590,6 +858,13 @@ fn write_bench_json(path: &str) {
         );
         delete_heavy.extend(pair.into_iter().map(Value::Map));
     }
+    // The tiered sweep: advisor-built 2- and 4-level stores, per-level
+    // family/budget/delete-mode records plus hot-churn and cold-scan
+    // throughput.
+    let tiered: Vec<Value> = [2usize, 4]
+        .into_iter()
+        .map(|levels| Value::Map(tiered_cell(levels)))
+        .collect();
     let document = Value::Map(vec![
         ("bench".into(), Value::Str("store_lifecycle_sweep".into())),
         (
@@ -625,6 +900,21 @@ fn write_bench_json(path: &str) {
             ),
         ),
         ("delete_heavy".into(), Value::Seq(delete_heavy)),
+        (
+            "tiered_workload".into(),
+            Value::Str(
+                "advisor-built tiered stores (2-level hot/cold and 4-level t_w \
+                 ladder, 8x key fanout, hot delete_rate 0.4): a hot-churn phase \
+                 (insert/delete waves + resident probes, size-ratio compactions \
+                 every 8th iteration) then a cold-scan phase (absent keys \
+                 cascading through every level). Per level the cells record the \
+                 advisor's family/config/delete-mode/budget choice and the \
+                 realized bytes per live key: the extreme t_w levels must show \
+                 different families (hot bloom + counting deletes, cold cuckoo)"
+                    .into(),
+            ),
+        ),
+        ("tiered".into(), Value::Seq(tiered)),
     ]);
     let json = serde_json::to_string_pretty(&document).expect("bench JSON serialization");
     // `cargo bench` runs with the package directory as CWD; anchor relative
@@ -647,7 +937,8 @@ criterion_group!(
     benches,
     bench_store_throughput,
     bench_store_lifecycle,
-    bench_store_delete_modes
+    bench_store_delete_modes,
+    bench_tiered
 );
 
 fn main() {

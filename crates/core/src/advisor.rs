@@ -26,6 +26,47 @@ pub struct WorkloadSpec {
     pub sigma: f64,
 }
 
+/// One level of a tiered (LSM-style) store, as the advisor sees it.
+///
+/// The paper's skyline already varies with the per-tuple work `t_w` and the
+/// problem size `n` — exactly the quantities that differ per LSM level (hot
+/// levels: small, high churn, cheap misses; cold levels: large, immutable,
+/// expensive I/O per miss). A level additionally has a *delete rate*, which
+/// the plain [`WorkloadSpec`] has no slot for: deletes are where the families
+/// diverge structurally (Cuckoo removes signatures in place for free, a Bloom
+/// filter needs a counting sidecar or rebuild churn), so
+/// [`FilterAdvisor::recommend_for_level`] folds it into the family choice.
+#[derive(Debug, Clone, Copy)]
+pub struct LevelSpec {
+    /// Keys this level is expected to hold (the level's `n`).
+    pub expected_keys: u64,
+    /// Work (CPU cycles) a negative filter probe saves at this level — the
+    /// paper's `t_w`. Hot levels sit in the tens of cycles (a skipped memtable
+    /// or cache probe), cold levels in the millions (a skipped disk read).
+    pub work_saved_cycles: f64,
+    /// Fraction of lookups that truly hit this level (the level's σ).
+    pub sigma: f64,
+    /// Fraction of write operations against this level that are deletes
+    /// (`0.0` = append-only, `0.5` = steady-state churn).
+    pub delete_rate: f64,
+}
+
+/// Delete-rate above which a Bloom level should delete in place through a
+/// counting sidecar rather than tombstone-and-purge: below it, the occasional
+/// purge rebuild amortises fine and the sidecar's write-side memory (4 bits
+/// per filter bit) is wasted; above it, tombstone mode rebuilds continuously.
+pub const COUNTING_DELETE_THRESHOLD: f64 = 0.05;
+
+/// Modeled cost of one delete, as a multiple of the family's own lookup cost.
+///
+/// A counting-Bloom delete re-probes the block to confirm membership, then
+/// read-modify-writes `k` nibble counters in a sidecar 4x the filter's size —
+/// its own cache-line working set on top of the filter's — so it costs
+/// several lookup-equivalents. A Cuckoo delete touches the same two buckets a
+/// lookup does and clears the signature in line.
+const BLOOM_DELETE_LOOKUP_MULTIPLE: f64 = 3.0;
+const CUCKOO_DELETE_LOOKUP_MULTIPLE: f64 = 1.5;
+
 /// The advisor's recommendation.
 #[derive(Debug, Clone)]
 pub struct Recommendation {
@@ -44,6 +85,24 @@ pub struct Recommendation {
     pub lookup_cycles: f64,
     /// Predicted speedup of the probe pipeline versus not filtering.
     pub predicted_speedup: f64,
+}
+
+/// The advisor's per-level recommendation: the base [`Recommendation`] plus
+/// the delete-handling verdict a tiered store needs to configure the level.
+#[derive(Debug, Clone)]
+pub struct LevelRecommendation {
+    /// The family/configuration choice, with the usual overhead breakdown.
+    /// `rho_cycles` keeps the paper's pure lookup-side definition
+    /// (`t_l + f·t_w`); the delete surcharge is reported separately below.
+    pub recommendation: Recommendation,
+    /// `true` when the chosen family is Bloom and the level's delete rate
+    /// clears [`COUNTING_DELETE_THRESHOLD`]: the level should carry a
+    /// counting sidecar so deletes land in place instead of tombstoning.
+    pub counting_deletes: bool,
+    /// Modeled delete surcharge in cycles per operation
+    /// (`delete_rate · delete_cost(family)`), the term that was added to ρ
+    /// when ranking the families for this level.
+    pub delete_overhead_cycles: f64,
 }
 
 /// The filter advisor.
@@ -74,34 +133,89 @@ impl FilterAdvisor {
     }
 
     /// Recommend the performance-optimal configuration for a workload.
+    ///
+    /// A [`WorkloadSpec`] is a [`LevelSpec`] with no deletes: the search is
+    /// shared with [`Self::recommend_for_level`], where a zero delete rate
+    /// makes every surcharge vanish and the ranking reduce to the paper's
+    /// pure `ρ = t_l + f·t_w`.
     #[must_use]
     pub fn recommend(&self, workload: &WorkloadSpec) -> Recommendation {
+        self.recommend_for_level(&LevelSpec {
+            expected_keys: workload.n,
+            work_saved_cycles: workload.work_saved_cycles,
+            sigma: workload.sigma,
+            delete_rate: 0.0,
+        })
+        .recommendation
+    }
+
+    /// Recommend the performance-optimal configuration for one level of a
+    /// tiered (LSM-style) store, folding the level's delete rate into the
+    /// family choice.
+    ///
+    /// The ranking extends the paper's overhead `ρ = t_l + f·t_w` with a
+    /// delete surcharge `delete_rate · t_d(family)`, where `t_d` models what
+    /// a delete structurally costs each family: a Cuckoo delete is roughly a
+    /// lookup and a half (same two buckets, clear the signature in line),
+    /// while a Bloom delete needs the counting sidecar's `k` read-modify-
+    /// writes over a working set 4x the filter — several lookup-equivalents.
+    /// A rising delete rate therefore pulls the Bloom→Cuckoo crossover
+    /// toward smaller `t_w`, and a delete-heavy level that *still* favors
+    /// Bloom on throughput is told to run its deletes through a counting
+    /// sidecar ([`LevelRecommendation::counting_deletes`]) rather than
+    /// tombstone-and-purge.
+    #[must_use]
+    pub fn recommend_for_level(&self, level: &LevelSpec) -> LevelRecommendation {
         let skyline = Skyline::new(self.space, &self.calibration);
+        // (config, bits_per_key, weighted rho, fpr, lookup) of the candidate
+        // minimising the full objective. The surcharge weights the lookup
+        // term *inside* each configuration's bits-per-key sweep too (via
+        // `best_operating_point_weighted`), so a delete-heavy level's
+        // operating point may legitimately trade a little FPR for cheaper
+        // probes — not just re-rank points chosen under the plain ρ.
         let mut best: Option<(FilterConfig, f64, f64, f64, f64)> = None;
         for config in self.space.all_configs() {
-            if let Some((bpk, rho, fpr, lookup)) =
-                skyline.best_operating_point(&config, workload.n, workload.work_saved_cycles)
-            {
-                if best.as_ref().is_none_or(|(_, _, r, _, _)| rho < *r) {
-                    best = Some((config, bpk, rho, fpr, lookup));
+            let delete_multiple = match config.kind() {
+                pof_filter::FilterKind::Bloom => BLOOM_DELETE_LOOKUP_MULTIPLE,
+                pof_filter::FilterKind::Cuckoo => CUCKOO_DELETE_LOOKUP_MULTIPLE,
+            };
+            let lookup_weight = 1.0 + level.delete_rate * delete_multiple;
+            if let Some((bpk, weighted, fpr, lookup)) = skyline.best_operating_point_weighted(
+                &config,
+                level.expected_keys,
+                level.work_saved_cycles,
+                lookup_weight,
+            ) {
+                if best.as_ref().is_none_or(|(_, _, w, _, _)| weighted < *w) {
+                    best = Some((config, bpk, weighted, fpr, lookup));
                 }
             }
         }
-        let (config, bits_per_key, rho, fpr, lookup) =
+        let (config, bits_per_key, weighted, fpr, lookup) =
             best.expect("configuration space must not be empty");
+        // Report the paper's plain ρ and the delete surcharge separately;
+        // they sum to the weighted objective the winner minimised.
+        let rho = lookup + fpr * level.work_saved_cycles;
+        let delete_overhead_cycles = weighted - rho;
         let overhead = Overhead {
             lookup_cost: lookup,
             fpr,
-            work_saved: workload.work_saved_cycles,
+            work_saved: level.work_saved_cycles,
         };
-        Recommendation {
-            use_filter: overhead.beneficial(workload.sigma),
-            config,
-            bits_per_key,
-            rho_cycles: rho,
-            fpr,
-            lookup_cycles: lookup,
-            predicted_speedup: overhead.speedup(workload.sigma),
+        let counting_deletes = config.kind() == pof_filter::FilterKind::Bloom
+            && level.delete_rate > COUNTING_DELETE_THRESHOLD;
+        LevelRecommendation {
+            recommendation: Recommendation {
+                use_filter: overhead.beneficial(level.sigma),
+                config,
+                bits_per_key,
+                rho_cycles: rho,
+                fpr,
+                lookup_cycles: lookup,
+                predicted_speedup: overhead.speedup(level.sigma),
+            },
+            counting_deletes,
+            delete_overhead_cycles,
         }
     }
 
@@ -191,6 +305,135 @@ mod tests {
                 &keys
             )
             .is_none());
+    }
+
+    /// First `t_w` on a power-of-two ladder where the advisor's per-level
+    /// family choice flips to Cuckoo — the level-workload Bloom→Cuckoo
+    /// crossover the skyline predicts.
+    fn level_crossover_tw(n: u64, delete_rate: f64) -> f64 {
+        let advisor = advisor();
+        for exp in 4u32..=26 {
+            let tw = f64::from(1u32 << exp);
+            let rec = advisor.recommend_for_level(&LevelSpec {
+                expected_keys: n,
+                work_saved_cycles: tw,
+                sigma: 0.1,
+                delete_rate,
+            });
+            if rec.recommendation.config.kind() == FilterKind::Cuckoo {
+                return tw;
+            }
+        }
+        f64::INFINITY
+    }
+
+    #[test]
+    fn level_family_flips_from_bloom_to_cuckoo_across_the_tw_sweep() {
+        // The paper's headline result, restated per level: a hot level
+        // (cheap misses) gets a Bloom filter, a cold level (simulated-disk
+        // misses) gets a Cuckoo filter — and in between there is exactly one
+        // crossover, which moves right with the problem size like the
+        // skyline's (Figure 10).
+        let advisor = advisor();
+        let mut seen_cuckoo = false;
+        for exp in 4u32..=26 {
+            let rec = advisor.recommend_for_level(&LevelSpec {
+                expected_keys: 1 << 16,
+                work_saved_cycles: f64::from(1u32 << exp),
+                sigma: 0.1,
+                delete_rate: 0.0,
+            });
+            match rec.recommendation.config.kind() {
+                FilterKind::Cuckoo => seen_cuckoo = true,
+                FilterKind::Bloom => {
+                    assert!(!seen_cuckoo, "family flipped back to Bloom at tw=2^{exp}");
+                }
+            }
+        }
+        assert!(seen_cuckoo, "cuckoo never won anywhere on the sweep");
+        let small = level_crossover_tw(1 << 12, 0.0);
+        let large = level_crossover_tw(1 << 24, 0.0);
+        assert!(
+            large >= small,
+            "crossover for large n ({large}) left of small n ({small})"
+        );
+    }
+
+    #[test]
+    fn level_crossover_fixture_is_pinned() {
+        // Fixture: the known crossover for a 64k-key level at zero deletes
+        // (synthetic calibration, default quick config space). Moving this
+        // value is a deliberate model change, not drift.
+        assert_eq!(level_crossover_tw(1 << 16, 0.0), 8_192.0);
+    }
+
+    #[test]
+    fn delete_rate_pulls_the_crossover_toward_cuckoo() {
+        // Deletes are structurally cheaper for Cuckoo (in-place signature
+        // removal) than for Bloom (counting-sidecar read-modify-writes), so
+        // a rising delete rate must never move the crossover *up*, and a
+        // heavy churn rate moves it strictly down for the fixture level.
+        for n in [1u64 << 12, 1 << 16, 1 << 24] {
+            let clean = level_crossover_tw(n, 0.0);
+            let churning = level_crossover_tw(n, 0.5);
+            assert!(
+                churning <= clean,
+                "n={n}: delete churn moved the crossover up ({clean} -> {churning})"
+            );
+        }
+        assert!(
+            level_crossover_tw(1 << 16, 0.9) < level_crossover_tw(1 << 16, 0.0),
+            "a delete-dominated level should flip to Cuckoo strictly earlier"
+        );
+    }
+
+    #[test]
+    fn delete_heavy_bloom_levels_get_counting_deletes() {
+        let advisor = advisor();
+        // Hot level: tiny t_w keeps Bloom optimal; heavy churn demands the
+        // counting sidecar.
+        let hot = advisor.recommend_for_level(&LevelSpec {
+            expected_keys: 1 << 16,
+            work_saved_cycles: 32.0,
+            sigma: 0.1,
+            delete_rate: 0.5,
+        });
+        assert_eq!(hot.recommendation.config.kind(), FilterKind::Bloom);
+        assert!(hot.counting_deletes);
+        assert!(hot.delete_overhead_cycles > 0.0);
+        // Same level, append-only: Bloom again, but tombstones are fine.
+        let append_only = advisor.recommend_for_level(&LevelSpec {
+            expected_keys: 1 << 16,
+            work_saved_cycles: 32.0,
+            sigma: 0.1,
+            delete_rate: 0.0,
+        });
+        assert!(!append_only.counting_deletes);
+        assert_eq!(append_only.delete_overhead_cycles, 0.0);
+        // Cold level: Cuckoo deletes in place by construction — the counting
+        // hint never fires regardless of churn.
+        let cold = advisor.recommend_for_level(&LevelSpec {
+            expected_keys: 1 << 16,
+            work_saved_cycles: f64::from(1u32 << 24),
+            sigma: 0.1,
+            delete_rate: 0.5,
+        });
+        assert_eq!(cold.recommendation.config.kind(), FilterKind::Cuckoo);
+        assert!(!cold.counting_deletes);
+    }
+
+    #[test]
+    fn level_recommendation_keeps_the_overhead_identity() {
+        // rho stays the paper's lookup-side definition; the delete surcharge
+        // is reported separately, not folded into rho.
+        let rec = advisor().recommend_for_level(&LevelSpec {
+            expected_keys: 1 << 18,
+            work_saved_cycles: 1_000.0,
+            sigma: 0.3,
+            delete_rate: 0.25,
+        });
+        let expected_rho = rec.recommendation.lookup_cycles + rec.recommendation.fpr * 1_000.0;
+        assert!((rec.recommendation.rho_cycles - expected_rho).abs() < 1e-9);
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub mod overhead;
 pub mod platform;
 pub mod skyline;
 
-pub use advisor::{FilterAdvisor, Recommendation, WorkloadSpec};
+pub use advisor::{
+    FilterAdvisor, LevelRecommendation, LevelSpec, Recommendation, WorkloadSpec,
+    COUNTING_DELETE_THRESHOLD,
+};
 pub use anyfilter::AnyFilter;
 pub use calibration::{CalibrationRecord, CalibrationSet, Calibrator};
 pub use configspace::{ConfigSpace, FilterConfig};

@@ -116,6 +116,25 @@ impl<'a> Skyline<'a> {
         n: u64,
         tw: f64,
     ) -> Option<(f64, f64, f64, f64)> {
+        self.best_operating_point_weighted(config, n, tw, 1.0)
+    }
+
+    /// [`Self::best_operating_point`] with the lookup term weighted: the
+    /// sweep minimises `lookup_weight·t_l + f·t_w` and returns that weighted
+    /// objective in the `rho` slot. A weight of `1.0` is the paper's plain
+    /// ρ; the per-level advisor passes `1 + delete_rate·t_d_multiple`, so a
+    /// delete-heavy level's operating point is chosen under the *full*
+    /// objective (trading a little FPR for cheaper probes where deletes make
+    /// every touch of the structure count double) rather than re-ranked
+    /// after the fact.
+    #[must_use]
+    pub fn best_operating_point_weighted(
+        &self,
+        config: &FilterConfig,
+        n: u64,
+        tw: f64,
+        lookup_weight: f64,
+    ) -> Option<(f64, f64, f64, f64)> {
         let label = config.label();
         let mut best: Option<(f64, f64, f64, f64)> = None;
         for &bits_per_key in &self.space.bits_per_key_sweep() {
@@ -126,7 +145,7 @@ impl<'a> Skyline<'a> {
             let Some(lookup) = self.calibration.lookup_cycles(&label, filter_bits) else {
                 continue;
             };
-            let rho = lookup + fpr * tw;
+            let rho = lookup_weight * lookup + fpr * tw;
             if best.is_none_or(|(_, best_rho, _, _)| rho < best_rho) {
                 best = Some((bits_per_key, rho, fpr, lookup));
             }

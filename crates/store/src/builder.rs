@@ -1,12 +1,16 @@
-//! Construction of sharded stores: shard count, per-shard budget, and either
-//! a pinned filter configuration or one chosen by the `FilterAdvisor`.
+//! Construction of sharded stores — shard count, per-shard budget, and
+//! either a pinned filter configuration or one chosen by the
+//! `FilterAdvisor` — and of tiered stores, where the advisor makes that
+//! choice once per level.
 
 use crate::maintainer::RebuildMode;
 use crate::policy::{RebuildPolicy, SaturationDoubling};
 use crate::shard::BloomDeleteMode;
 use crate::store::ShardedFilterStore;
+use crate::tiered::{CompactionPolicy, SizeRatio, TierLevel, TieredStore};
 use pof_bloom::{Addressing, BloomConfig};
-use pof_core::{ConfigSpace, FilterAdvisor, FilterConfig, WorkloadSpec};
+use pof_core::{ConfigSpace, FilterAdvisor, FilterConfig, LevelSpec, WorkloadSpec};
+use pof_filter::FilterKind;
 use std::sync::Arc;
 
 /// Where the per-shard filter configuration comes from.
@@ -216,10 +220,221 @@ impl StoreBuilder {
     }
 }
 
+/// Where one tiered-store level's filter configuration comes from.
+#[derive(Debug, Clone)]
+enum LevelPlan {
+    /// Ask [`FilterAdvisor::recommend_for_level`] for the family, budget and
+    /// delete mode.
+    Advised(LevelSpec),
+    /// Use exactly this shape for the level.
+    Pinned {
+        spec: LevelSpec,
+        config: FilterConfig,
+        bits_per_key: f64,
+        delete_mode: BloomDeleteMode,
+    },
+}
+
+/// Builder for [`TieredStore`]: levels are declared newest-first, each
+/// described by a [`LevelSpec`]; the advisor pins every advised level's
+/// family (Bloom for hot/cheap-miss levels, Cuckoo for cold/expensive-miss
+/// levels), bits-per-key budget and Bloom delete mode (counting for
+/// delete-heavy Bloom levels, tombstone otherwise).
+///
+/// ```
+/// use pof_store::{LevelSpec, TieredStoreBuilder};
+///
+/// // A hot churn level in front of a cold simulated-disk level: the
+/// // advisor picks a different family for each end of the t_w range.
+/// let store = TieredStoreBuilder::new()
+///     .level(LevelSpec {
+///         expected_keys: 1 << 14,
+///         work_saved_cycles: 32.0, // a skipped memtable probe
+///         sigma: 0.1,
+///         delete_rate: 0.5,
+///     })
+///     .level(LevelSpec {
+///         expected_keys: 1 << 17,
+///         work_saved_cycles: 16_000_000.0, // a skipped disk read
+///         sigma: 0.1,
+///         delete_rate: 0.0,
+///     })
+///     .build();
+/// assert_eq!(store.level_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TieredStoreBuilder {
+    levels: Vec<LevelPlan>,
+    shards_per_level: usize,
+    policy: Arc<dyn RebuildPolicy>,
+    rebuild_mode: RebuildMode,
+    compaction: Arc<dyn CompactionPolicy>,
+}
+
+impl Default for TieredStoreBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TieredStoreBuilder {
+    /// Defaults: no levels yet (add at least one), 4 shards per level, the
+    /// [`SaturationDoubling`] shard lifecycle, inline rebuilds, and the
+    /// [`SizeRatio`] compaction trigger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            levels: Vec::new(),
+            shards_per_level: 4,
+            policy: Arc::new(SaturationDoubling),
+            rebuild_mode: RebuildMode::Inline,
+            compaction: Arc::new(SizeRatio::default()),
+        }
+    }
+
+    /// Append a level (newest first) whose family, bits-per-key budget and
+    /// Bloom delete mode the advisor chooses from the level's workload shape
+    /// via [`FilterAdvisor::recommend_for_level`].
+    #[must_use]
+    pub fn level(mut self, spec: LevelSpec) -> Self {
+        self.levels.push(LevelPlan::Advised(spec));
+        self
+    }
+
+    /// Append a level (newest first) with an explicitly pinned filter
+    /// configuration, budget and delete mode — the deterministic path the
+    /// oracle and interleaving tests drive.
+    #[must_use]
+    pub fn level_pinned(
+        mut self,
+        spec: LevelSpec,
+        config: FilterConfig,
+        bits_per_key: f64,
+        delete_mode: BloomDeleteMode,
+    ) -> Self {
+        self.levels.push(LevelPlan::Pinned {
+            spec,
+            config,
+            bits_per_key,
+            delete_mode,
+        });
+        self
+    }
+
+    /// Shards per level store (rounded up to a power of two at build time).
+    #[must_use]
+    pub fn shards_per_level(mut self, shards: usize) -> Self {
+        self.shards_per_level = shards;
+        self
+    }
+
+    /// The shard-lifecycle [`RebuildPolicy`] every level's store uses.
+    #[must_use]
+    pub fn rebuild_policy(mut self, policy: Arc<dyn RebuildPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Run every level's policy-triggered rebuilds on that store's
+    /// background maintainer thread (see
+    /// [`StoreBuilder::background_rebuilds`]).
+    #[must_use]
+    pub fn background_rebuilds(mut self, background: bool) -> Self {
+        self.rebuild_mode = if background {
+            RebuildMode::Background
+        } else {
+            RebuildMode::Inline
+        };
+        self
+    }
+
+    /// Select the rebuild execution mode for every level explicitly —
+    /// notably [`RebuildMode::Queued`], which lets a test interleave a
+    /// [`TieredStore::compact`] into a pending shard rebuild's delta window
+    /// via [`TieredStore::run_pending_rebuilds`].
+    #[must_use]
+    pub fn rebuild_mode(mut self, mode: RebuildMode) -> Self {
+        self.rebuild_mode = mode;
+        self
+    }
+
+    /// The [`CompactionPolicy`] deciding when levels spill. Defaults to
+    /// [`SizeRatio`]; [`ManualCompaction`](crate::ManualCompaction) leaves
+    /// every spill to explicit [`TieredStore::compact`] calls.
+    #[must_use]
+    pub fn compaction(mut self, policy: Arc<dyn CompactionPolicy>) -> Self {
+        self.compaction = policy;
+        self
+    }
+
+    /// Build the tiered store.
+    ///
+    /// # Panics
+    /// If no level was declared.
+    #[must_use]
+    pub fn build(self) -> TieredStore {
+        assert!(
+            !self.levels.is_empty(),
+            "a tiered store needs at least one level"
+        );
+        let shard_count = self.shards_per_level.max(1).next_power_of_two();
+        // One advisor (synthetic calibration over the default space) shared
+        // by every advised level, built lazily so fully pinned stores — the
+        // deterministic test path — skip the calibration sweep entirely.
+        let mut advisor: Option<FilterAdvisor> = None;
+        let levels = self
+            .levels
+            .into_iter()
+            .map(|plan| {
+                let (spec, config, bits_per_key, delete_mode) = match plan {
+                    LevelPlan::Pinned {
+                        spec,
+                        config,
+                        bits_per_key,
+                        delete_mode,
+                    } => (spec, config, bits_per_key, delete_mode),
+                    LevelPlan::Advised(spec) => {
+                        let advisor = advisor.get_or_insert_with(|| {
+                            FilterAdvisor::with_synthetic_calibration(ConfigSpace::default())
+                        });
+                        let level = advisor.recommend_for_level(&spec);
+                        let delete_mode = if level.counting_deletes {
+                            BloomDeleteMode::Counting
+                        } else {
+                            BloomDeleteMode::Tombstone
+                        };
+                        debug_assert!(
+                            level.recommendation.config.kind() == FilterKind::Bloom
+                                || delete_mode == BloomDeleteMode::Tombstone
+                        );
+                        (
+                            spec,
+                            level.recommendation.config,
+                            level.recommendation.bits_per_key,
+                            delete_mode,
+                        )
+                    }
+                };
+                let capacity_per_shard = (spec.expected_keys as usize / shard_count).max(64);
+                let store = ShardedFilterStore::with_options(
+                    config,
+                    shard_count,
+                    capacity_per_shard,
+                    bits_per_key,
+                    Arc::clone(&self.policy),
+                    self.rebuild_mode,
+                    delete_mode,
+                );
+                TierLevel::new(store, spec, delete_mode, bits_per_key)
+            })
+            .collect();
+        TieredStore::from_levels(levels, self.compaction)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pof_filter::FilterKind;
 
     #[test]
     fn pinned_builder_uses_requested_shape() {
@@ -274,5 +489,33 @@ mod tests {
             .advised(20_000_000.0, 0.1)
             .build();
         assert_eq!(store.config().kind(), FilterKind::Cuckoo);
+    }
+
+    #[test]
+    fn advised_tiered_builder_flips_families_and_delete_modes_across_levels() {
+        // The paper's per-level t_w story end to end: a delete-heavy hot
+        // level with cheap misses gets a counting Bloom filter, a cold level
+        // behind simulated-disk misses gets a Cuckoo filter.
+        let store = TieredStoreBuilder::new()
+            .level(LevelSpec {
+                expected_keys: 1 << 14,
+                work_saved_cycles: 32.0,
+                sigma: 0.1,
+                delete_rate: 0.5,
+            })
+            .level(LevelSpec {
+                expected_keys: 1 << 17,
+                work_saved_cycles: 16_000_000.0,
+                sigma: 0.1,
+                delete_rate: 0.0,
+            })
+            .shards_per_level(2)
+            .build();
+        let stats = store.stats();
+        assert_eq!(stats.levels[0].family, FilterKind::Bloom);
+        assert_eq!(stats.levels[0].delete_mode, BloomDeleteMode::Counting);
+        assert_eq!(stats.levels[1].family, FilterKind::Cuckoo);
+        assert_eq!(stats.levels[1].delete_mode, BloomDeleteMode::Tombstone);
+        assert_eq!(stats.compaction_policy, "size-ratio");
     }
 }

@@ -59,7 +59,15 @@
 //! * [`StoreStats`] exposes per-shard occupancy, size, modeled FPR,
 //!   tombstones, overflow and bookkeeping bytes, and
 //!   [`ShardedFilterStore::observed_fpr`] measures the empirical rate through
-//!   `pof-filter`'s measurement machinery.
+//!   `pof-filter`'s measurement machinery,
+//! * the store **tiers**: a [`TieredStore`] layers per-level sharded stores
+//!   into an LSM-style hierarchy, each level's family, budget and delete
+//!   mode pinned by the advisor from the level's `LevelSpec` (`expected_keys`,
+//!   `t_w`, σ, delete rate) — register-blocked Bloom with counting deletes
+//!   for hot churn levels, Cuckoo for cold simulated-disk levels — with
+//!   newest→oldest short-circuit lookups, exact cross-level key accounting,
+//!   and a [`CompactionPolicy`]-driven [`TieredStore::compact`] that merges
+//!   a level into the next through the same policy/maintainer machinery.
 //!
 //! # Example
 //!
@@ -102,13 +110,22 @@ mod policy;
 mod shard;
 mod stats;
 mod store;
+mod tiered;
 
-pub use builder::{ConfigSource, StoreBuilder};
+pub use builder::{ConfigSource, StoreBuilder, TieredStoreBuilder};
 pub use maintainer::RebuildMode;
 pub use policy::{
     DeferredBatch, FprDrift, RebuildDecision, RebuildPolicy, RebuildUrgency, SaturationDoubling,
     ShardObservation,
 };
 pub use shard::BloomDeleteMode;
-pub use stats::{ShardStats, StoreStats};
+pub use stats::{LevelStats, ShardStats, StoreStats, TieredStats};
 pub use store::{ProbeScratch, ShardedFilterStore, StoreSnapshot};
+pub use tiered::{
+    CompactionPolicy, LevelObservation, ManualCompaction, SizeRatio, TieredProbeScratch,
+    TieredStore,
+};
+
+/// Re-exported so tiered-store callers can describe levels without a direct
+/// `pof-core` dependency.
+pub use pof_core::{LevelRecommendation, LevelSpec};

@@ -1,4 +1,8 @@
-//! Occupancy, size and false-positive statistics per shard and per store.
+//! Occupancy, size and false-positive statistics per shard and per store —
+//! and, for tiered stores, per level.
+
+use crate::shard::BloomDeleteMode;
+use pof_filter::FilterKind;
 
 /// Statistics of one shard at the moment [`stats`] was called.
 ///
@@ -185,6 +189,98 @@ impl StoreStats {
         } else {
             max as f64 / min as f64
         }
+    }
+}
+
+/// Statistics of one level of a [`TieredStore`](crate::TieredStore): what
+/// the advisor chose for the level (family, budget, delete mode), what the
+/// level currently holds, and its compaction traffic. The full per-shard
+/// [`StoreStats`] of the level's store is nested in [`LevelStats::store`].
+#[derive(Debug, Clone)]
+pub struct LevelStats {
+    /// Level index (0 = newest/hottest).
+    pub level: usize,
+    /// Filter family every shard of this level builds.
+    pub family: FilterKind,
+    /// Configuration label of the level's filters.
+    pub config_label: String,
+    /// How the level's Bloom shards honor deletes (irrelevant for Cuckoo
+    /// levels, which always delete in place).
+    pub delete_mode: BloomDeleteMode,
+    /// Bits-per-key budget the level was built with.
+    pub bits_per_key_budget: f64,
+    /// Keys the level was sized for
+    /// ([`LevelSpec::expected_keys`](pof_core::LevelSpec)).
+    pub expected_keys: u64,
+    /// Work a negative probe saves at this level (the level's `t_w`).
+    pub work_saved_cycles: f64,
+    /// Delete fraction the level was described with.
+    pub delete_rate: f64,
+    /// Live keys currently resident.
+    pub live_keys: u64,
+    /// Published filter bits across the level's shards.
+    pub size_bits: u64,
+    /// Tombstoned keys across the level's shards (always 0 on counting and
+    /// Cuckoo levels).
+    pub tombstones: u64,
+    /// Shard rebuilds the level has performed.
+    pub rebuilds: u64,
+    /// Keys received from compactions of the level above.
+    pub compacted_in: u64,
+    /// Keys moved out by compactions of this level.
+    pub compacted_out: u64,
+    /// The level store's full per-shard statistics.
+    pub store: StoreStats,
+}
+
+impl LevelStats {
+    /// Effective filter bits per live key (`0.0` when the level is empty) —
+    /// the per-level memory figure the tiered bench reports.
+    #[must_use]
+    pub fn bits_per_live_key(&self) -> f64 {
+        if self.live_keys == 0 {
+            0.0
+        } else {
+            self.size_bits as f64 / self.live_keys as f64
+        }
+    }
+}
+
+/// Aggregated view over every level of a tiered store.
+#[derive(Debug, Clone)]
+pub struct TieredStats {
+    /// Per-level statistics, newest level first.
+    pub levels: Vec<LevelStats>,
+    /// Completed compaction operations (explicit and policy-triggered).
+    pub compactions: u64,
+    /// Name of the active [`CompactionPolicy`](crate::CompactionPolicy).
+    pub compaction_policy: &'static str,
+}
+
+impl TieredStats {
+    /// Total live keys across all levels (exact: inserts shadow older
+    /// occurrences, so no key is counted twice).
+    #[must_use]
+    pub fn total_keys(&self) -> u64 {
+        self.levels.iter().map(|l| l.live_keys).sum()
+    }
+
+    /// Total published filter bits across all levels.
+    #[must_use]
+    pub fn total_size_bits(&self) -> u64 {
+        self.levels.iter().map(|l| l.size_bits).sum()
+    }
+
+    /// Total tombstoned keys across all levels.
+    #[must_use]
+    pub fn total_tombstones(&self) -> u64 {
+        self.levels.iter().map(|l| l.tombstones).sum()
+    }
+
+    /// Total shard rebuilds across all levels.
+    #[must_use]
+    pub fn total_rebuilds(&self) -> u64 {
+        self.levels.iter().map(|l| l.rebuilds).sum()
     }
 }
 

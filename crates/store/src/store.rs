@@ -338,6 +338,20 @@ impl ShardedFilterStore {
         self.shards.iter().map(Shard::key_count).sum()
     }
 
+    /// Copy of the store's authoritative live key set, shard by shard in
+    /// per-shard insertion order.
+    ///
+    /// This reads the exact write-side bookkeeping, not the filters: deleted
+    /// keys are absent even while their bits linger as tombstones, and keys
+    /// parked in overflow buffers are included. It is how a
+    /// [`TieredStore`](crate::TieredStore) compaction merges one level's
+    /// membership into the next, and how [`Self::observed_fpr`] knows the
+    /// ground truth.
+    #[must_use]
+    pub fn live_keys(&self) -> Vec<u32> {
+        self.shards.iter().flat_map(|shard| shard.keys()).collect()
+    }
+
     /// Total published size in bits across all shards (filter bits plus any
     /// overflow-buffer keys).
     #[must_use]
@@ -404,7 +418,7 @@ impl ShardedFilterStore {
         // report, so keys inserted concurrently between the two steps can
         // never be misclassified as false positives.
         let snapshot = self.snapshot();
-        let members: Vec<u32> = self.shards.iter().flat_map(|shard| shard.keys()).collect();
+        let members = self.live_keys();
         measured_fpr(&snapshot, &members, probe_count, seed).fpr
     }
 

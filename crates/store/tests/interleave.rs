@@ -23,10 +23,11 @@ use pof_core::FilterConfig;
 use pof_cuckoo::{CuckooAddressing, CuckooConfig};
 use pof_filter::{KeyGen, SelectionVector};
 use pof_store::{
-    BloomDeleteMode, DeferredBatch, FprDrift, RebuildMode, RebuildPolicy, SaturationDoubling,
-    ShardedFilterStore, StoreBuilder,
+    BloomDeleteMode, DeferredBatch, FprDrift, LevelSpec, ManualCompaction, RebuildMode,
+    RebuildPolicy, SaturationDoubling, ShardedFilterStore, StoreBuilder, TieredStore,
+    TieredStoreBuilder,
 };
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Every delete family: Bloom tombstone, Bloom counting (in-place via the
@@ -167,6 +168,173 @@ fn every_snapshot_swap_placement_preserves_membership() {
                         stats.total_background_rebuilds() >= 1,
                         "{label}: the background swap never landed: {stats:?}"
                     );
+                }
+            }
+        }
+    }
+}
+
+/// One writer operation against a tiered store in the scripted schedule.
+#[derive(Debug, Clone)]
+enum TieredOp {
+    Insert(Vec<u32>),
+    Delete(Vec<u32>),
+    /// `compact(0)`: spill the hot level's live key set into the cold level.
+    Compact,
+}
+
+fn apply_tiered(store: &TieredStore, oracle: &mut HashMap<u32, usize>, op: &TieredOp) {
+    match op {
+        TieredOp::Insert(keys) => {
+            store.insert_batch(keys);
+            for &key in keys {
+                oracle.insert(key, 0);
+            }
+        }
+        TieredOp::Delete(keys) => {
+            let mut expected = 0;
+            for key in keys {
+                if oracle.remove(key).is_some() {
+                    expected += 1;
+                }
+            }
+            assert_eq!(store.delete_batch(keys), expected, "tiered delete count");
+        }
+        TieredOp::Compact => {
+            store.compact(0);
+            for level in oracle.values_mut() {
+                *level = 1;
+            }
+        }
+    }
+}
+
+fn assert_tiered_consistent(store: &TieredStore, oracle: &HashMap<u32, usize>, label: &str) {
+    assert_eq!(store.key_count(), oracle.len(), "{label}: key_count");
+    let stats = store.stats();
+    for level in 0..2 {
+        let expected = oracle.values().filter(|&&l| l == level).count() as u64;
+        assert_eq!(
+            stats.levels[level].live_keys, expected,
+            "{label}: level {level} live count"
+        );
+    }
+    let members: Vec<u32> = oracle.keys().copied().collect();
+    let mut sel = SelectionVector::new();
+    store.contains_batch(&members, &mut sel);
+    assert_eq!(sel.len(), members.len(), "{label}: batch false negative");
+    for &key in &members {
+        assert!(store.contains(key), "{label}: point false negative {key}");
+    }
+}
+
+/// A `compact()` racing a pending shard rebuild, enumerated exhaustively:
+/// the cold level's single shard is saturated up front so it has exactly one
+/// queued background rebuild, and the two rebuild phases (key-set snapshot,
+/// then build + delta replay + swap) are placed at every position among a
+/// script of hot-level writes and `compact(0)` calls — so the compaction's
+/// merge lands before the snapshot, inside the delta-replay window, or after
+/// the swap, for every delete family the cold level can run.
+#[test]
+fn every_compaction_rebuild_interleaving_preserves_the_level_oracle() {
+    let mut gen = KeyGen::new(0x1419);
+    let cold_seed = gen.distinct_keys(300);
+    let fresh_b = gen.distinct_keys(120);
+    let fresh_c = gen.distinct_keys(80);
+    // Deletes spanning both levels: seeded cold keys and hot newcomers.
+    let mixed_a: Vec<u32> = cold_seed
+        .iter()
+        .chain(&fresh_b)
+        .copied()
+        .step_by(2)
+        .collect();
+    let mixed_b: Vec<u32> = fresh_b.iter().chain(&fresh_c).copied().step_by(3).collect();
+    let script = [
+        TieredOp::Insert(fresh_b.clone()),
+        TieredOp::Compact,
+        TieredOp::Delete(mixed_a.clone()),
+        TieredOp::Insert(fresh_c.clone()),
+        TieredOp::Compact,
+        TieredOp::Delete(mixed_b.clone()),
+    ];
+
+    for (cold_config, cold_delete_mode) in configs() {
+        for (policy_name, policy) in policies() {
+            for i in 0..=script.len() {
+                for j in i..=script.len() {
+                    let label = format!(
+                        "cold={} {cold_delete_mode:?} {policy_name} snapshot@{i} swap@{j}",
+                        cold_config.label()
+                    );
+                    // Hot level sized generously (it never queues a rebuild
+                    // of its own, so the scripted phases deterministically
+                    // address the cold level's job); cold level sized at 64
+                    // keys so seeding it queues exactly one rebuild.
+                    let hot_spec = LevelSpec {
+                        expected_keys: 4_096,
+                        work_saved_cycles: 32.0,
+                        sigma: 0.1,
+                        delete_rate: 0.5,
+                    };
+                    let cold_spec = LevelSpec {
+                        expected_keys: 64,
+                        work_saved_cycles: 1e7,
+                        sigma: 0.1,
+                        delete_rate: 0.0,
+                    };
+                    let store = TieredStoreBuilder::new()
+                        .level_pinned(
+                            hot_spec,
+                            FilterConfig::Bloom(BloomConfig::cache_sectorized(
+                                512,
+                                64,
+                                2,
+                                8,
+                                Addressing::Magic,
+                            )),
+                            16.0,
+                            BloomDeleteMode::Counting,
+                        )
+                        .level_pinned(cold_spec, cold_config, 16.0, cold_delete_mode)
+                        .shards_per_level(1)
+                        .rebuild_policy(Arc::clone(&policy))
+                        .rebuild_mode(RebuildMode::Queued)
+                        .compaction(Arc::new(ManualCompaction))
+                        .build();
+                    let mut oracle: HashMap<u32, usize> = HashMap::new();
+
+                    // Saturate the cold level far past its 64-key sizing:
+                    // exactly one background rebuild must be pending there.
+                    store.load_level(1, &cold_seed);
+                    for &key in &cold_seed {
+                        oracle.insert(key, 1);
+                    }
+                    assert_eq!(store.pending_rebuilds(), 1, "{label}: no job requested");
+                    assert_tiered_consistent(&store, &oracle, &label);
+
+                    for (step, op) in script.iter().enumerate() {
+                        if step == i {
+                            store.run_pending_rebuilds(1);
+                        }
+                        if step == j {
+                            store.run_pending_rebuilds(1);
+                        }
+                        apply_tiered(&store, &mut oracle, op);
+                        assert_tiered_consistent(&store, &oracle, &label);
+                    }
+                    if i == script.len() {
+                        store.run_pending_rebuilds(1);
+                    }
+                    if j == script.len() {
+                        store.run_pending_rebuilds(1);
+                    }
+                    assert_tiered_consistent(&store, &oracle, &label);
+
+                    // Drain whatever the compactions may have requested
+                    // since; every level settles and the contract holds.
+                    store.maintain();
+                    assert_eq!(store.pending_rebuilds(), 0, "{label}: drain left work");
+                    assert_tiered_consistent(&store, &oracle, &label);
                 }
             }
         }

@@ -1,0 +1,309 @@
+//! Property-based lifecycle correctness for the tiered store: random
+//! interleavings of `insert_batch` / `delete_batch` / `contains_batch` /
+//! `compact` / `maintain` against a `HashMap<u32, usize>` oracle mapping
+//! every live key to the level that holds it.
+//!
+//! Invariants asserted after every operation:
+//! * **no false negatives, ever**: every oracle member answers positive via
+//!   both the point and the batch read path, through compactions, rebuilds,
+//!   tombstones and delete churn,
+//! * the store's live key count equals the oracle's size exactly (inserts
+//!   shadow older occurrences, so cross-level accounting never double
+//!   counts),
+//! * per-level live counts match the oracle's per-level totals exactly,
+//! * `delete_batch` reports exactly the oracle's removal count,
+//! * levels running [`BloomDeleteMode::Counting`] never mint a tombstone.
+//!
+//! Plus the delete-heavy acceptance scenario: an advisor-built two-level
+//! store (hot counting-Bloom in front of cold Cuckoo) survives sustained
+//! churn with **zero** tombstones anywhere and **zero** rebuilds on the hot
+//! level — the regime PR 4's counting sidecar exists for.
+
+use pof_bloom::{Addressing, BloomConfig};
+use pof_core::FilterConfig;
+use pof_cuckoo::{CuckooAddressing, CuckooConfig};
+use pof_filter::{FilterKind, SelectionVector};
+use pof_store::{
+    BloomDeleteMode, DeferredBatch, FprDrift, LevelSpec, ManualCompaction, RebuildPolicy,
+    SaturationDoubling, TieredStore, TieredStoreBuilder,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn bloom_config() -> FilterConfig {
+    FilterConfig::Bloom(BloomConfig::cache_sectorized(
+        512,
+        64,
+        2,
+        8,
+        Addressing::Magic,
+    ))
+}
+
+fn cuckoo_config() -> FilterConfig {
+    FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo))
+}
+
+fn spec(expected_keys: u64, work_saved_cycles: f64, delete_rate: f64) -> LevelSpec {
+    LevelSpec {
+        expected_keys,
+        work_saved_cycles,
+        sigma: 0.1,
+        delete_rate,
+    }
+}
+
+/// Level layouts swept by the oracle: every delete family appears both as a
+/// hot and as a cold level, including a three-level mix.
+fn layouts() -> Vec<(&'static str, Vec<(FilterConfig, BloomDeleteMode)>)> {
+    vec![
+        (
+            "hot-counting-bloom/cold-cuckoo",
+            vec![
+                (bloom_config(), BloomDeleteMode::Counting),
+                (cuckoo_config(), BloomDeleteMode::Tombstone),
+            ],
+        ),
+        (
+            "hot-tombstone-bloom/cold-counting-bloom",
+            vec![
+                (bloom_config(), BloomDeleteMode::Tombstone),
+                (bloom_config(), BloomDeleteMode::Counting),
+            ],
+        ),
+        (
+            "hot-cuckoo/cold-tombstone-bloom",
+            vec![
+                (cuckoo_config(), BloomDeleteMode::Tombstone),
+                (bloom_config(), BloomDeleteMode::Tombstone),
+            ],
+        ),
+        (
+            "three-level-mixed",
+            vec![
+                (bloom_config(), BloomDeleteMode::Counting),
+                (bloom_config(), BloomDeleteMode::Tombstone),
+                (cuckoo_config(), BloomDeleteMode::Tombstone),
+            ],
+        ),
+    ]
+}
+
+fn policy_for(index: usize) -> Arc<dyn RebuildPolicy> {
+    match index {
+        0 => Arc::new(SaturationDoubling),
+        1 => Arc::new(FprDrift::new(2.0)),
+        _ => Arc::new(DeferredBatch::new(64)),
+    }
+}
+
+/// Build a deliberately undersized tiered store (every policy keeps
+/// rebuilding) with manual compaction, so the test controls key movement.
+fn build_store(layout: &[(FilterConfig, BloomDeleteMode)], policy_index: usize) -> TieredStore {
+    let mut builder = TieredStoreBuilder::new()
+        .shards_per_level(2)
+        .rebuild_policy(policy_for(policy_index))
+        .compaction(Arc::new(ManualCompaction));
+    for (index, (config, mode)) in layout.iter().enumerate() {
+        // Hot levels see tiny t_w, colder levels progressively larger.
+        let tw = 32.0 * 1000f64.powi(index as i32);
+        builder = builder.level_pinned(spec(256, tw, 0.25), *config, 16.0, *mode);
+    }
+    builder.build()
+}
+
+/// Every oracle member answers positive through both read paths, the total
+/// and per-level counts match, and counting levels are tombstone-free.
+fn assert_oracle_holds(
+    store: &TieredStore,
+    oracle: &HashMap<u32, usize>,
+    layout: &[(FilterConfig, BloomDeleteMode)],
+    label: &str,
+) {
+    assert_eq!(store.key_count(), oracle.len(), "{label}: key_count");
+    let members: Vec<u32> = oracle.keys().copied().collect();
+    let mut sel = SelectionVector::new();
+    store.contains_batch(&members, &mut sel);
+    assert_eq!(
+        sel.len(),
+        members.len(),
+        "{label}: batch path lost a live key"
+    );
+    for &key in &members {
+        assert!(store.contains(key), "{label}: point false negative {key}");
+    }
+    let stats = store.stats();
+    for (level, (config, mode)) in layout.iter().enumerate() {
+        let expected = oracle.values().filter(|&&l| l == level).count() as u64;
+        assert_eq!(
+            stats.levels[level].live_keys, expected,
+            "{label}: level {level} live count"
+        );
+        let counting_level =
+            *mode == BloomDeleteMode::Counting && config.kind() == FilterKind::Bloom;
+        let cuckoo_level = config.kind() == FilterKind::Cuckoo;
+        if counting_level || cuckoo_level {
+            assert_eq!(
+                stats.levels[level].tombstones, 0,
+                "{label}: in-place level {level} minted tombstones"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tiered_lifecycle_matches_the_level_oracle(
+        layout_index in 0usize..4,
+        policy_index in 0usize..3,
+        ops in prop::collection::vec(
+            (0u8..5, prop::collection::vec(any::<u32>(), 1..200)),
+            1..14,
+        ),
+    ) {
+        let (layout_name, layout) = layouts().swap_remove(layout_index);
+        let store = build_store(&layout, policy_index);
+        let levels = layout.len();
+        let mut oracle: HashMap<u32, usize> = HashMap::new();
+        let label = format!("{layout_name} policy#{policy_index}");
+
+        for (op, keys) in &ops {
+            match op % 5 {
+                0 => {
+                    // Inserts land in level 0 and shadow older occurrences.
+                    store.insert_batch(keys);
+                    for &key in keys {
+                        oracle.insert(key, 0);
+                    }
+                }
+                1 => {
+                    let mut expected = 0usize;
+                    for &key in keys {
+                        if oracle.remove(&key).is_some() {
+                            expected += 1;
+                        }
+                    }
+                    let removed = store.delete_batch(keys);
+                    prop_assert_eq!(removed, expected, "{}: delete count", &label);
+                }
+                2 => {
+                    // Batch lookups over arbitrary keys: every probed oracle
+                    // member must qualify.
+                    let mut sel = SelectionVector::new();
+                    store.contains_batch(keys, &mut sel);
+                    let hits: std::collections::HashSet<u32> =
+                        sel.as_slice().iter().map(|&i| keys[i as usize]).collect();
+                    for &key in keys.iter().filter(|k| oracle.contains_key(k)) {
+                        prop_assert!(hits.contains(&key), "{}: false negative {key}", &label);
+                    }
+                }
+                3 => {
+                    // Compact a level chosen by the batch length; the oracle
+                    // moves that level's keys down one level (the terminal
+                    // level folds in place and moves nothing).
+                    let level = keys.len() % levels;
+                    store.compact(level);
+                    if level + 1 < levels {
+                        for slot in oracle.values_mut() {
+                            if *slot == level {
+                                *slot = level + 1;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    store.maintain();
+                }
+            }
+            assert_oracle_holds(&store, &oracle, &layout, &label);
+        }
+        // Settle every deferred fold/purge; the contract must hold exactly.
+        store.maintain();
+        assert_oracle_holds(&store, &oracle, &layout, &label);
+    }
+}
+
+/// The acceptance scenario: a delete-heavy two-level store built through the
+/// *advisor* (not pinned) — which must pick a counting Bloom family for the
+/// hot churn level and Cuckoo for the cold simulated-disk level — sustains
+/// insert/delete/compact churn with zero tombstones anywhere and zero
+/// rebuilds on the hot level (counting deletes land in place; nothing ever
+/// needs a purge, and ample sizing means growth never triggers either).
+#[test]
+fn delete_heavy_hot_counting_cold_cuckoo_runs_without_purges() {
+    let store = TieredStoreBuilder::new()
+        .level(spec(1 << 14, 32.0, 0.5))
+        .level(spec(1 << 16, 16_000_000.0, 0.0))
+        .shards_per_level(2)
+        .compaction(Arc::new(ManualCompaction))
+        .build();
+    let stats = store.stats();
+    assert_eq!(
+        stats.levels[0].family,
+        FilterKind::Bloom,
+        "hot level must be Bloom: {}",
+        stats.levels[0].config_label
+    );
+    assert_eq!(stats.levels[0].delete_mode, BloomDeleteMode::Counting);
+    assert_eq!(
+        stats.levels[1].family,
+        FilterKind::Cuckoo,
+        "cold level must be Cuckoo: {}",
+        stats.levels[1].config_label
+    );
+
+    let mut gen = pof_filter::KeyGen::new(0x7E57);
+    let mut oracle: HashMap<u32, usize> = HashMap::new();
+    let mut backlog: Vec<Vec<u32>> = Vec::new();
+    for round in 0..32 {
+        // Insert a fresh wave, delete the oldest live wave: steady-state
+        // churn at one delete per insert, far below the hot level's sizing.
+        let fresh = gen.distinct_keys(512);
+        store.insert_batch(&fresh);
+        for &key in &fresh {
+            oracle.insert(key, 0);
+        }
+        backlog.push(fresh);
+        if backlog.len() > 4 {
+            let doomed = backlog.remove(0);
+            let mut expected = 0;
+            for key in &doomed {
+                if oracle.remove(key).is_some() {
+                    expected += 1;
+                }
+            }
+            assert_eq!(store.delete_batch(&doomed), expected);
+        }
+        if round % 8 == 7 {
+            // Spill the hot level; survivors now live cold.
+            store.compact(0);
+            for slot in oracle.values_mut() {
+                *slot = 1;
+            }
+        }
+        let stats = store.stats();
+        assert_eq!(stats.total_tombstones(), 0, "round {round}: tombstones");
+        assert_eq!(
+            stats.levels[0].rebuilds, 0,
+            "round {round}: the hot counting level rebuilt"
+        );
+        assert_eq!(store.key_count(), oracle.len(), "round {round}");
+    }
+    // Full membership check at the end, both read paths.
+    let members: Vec<u32> = oracle.keys().copied().collect();
+    let mut sel = SelectionVector::new();
+    store.contains_batch(&members, &mut sel);
+    assert_eq!(sel.len(), members.len());
+    for &key in &members {
+        assert!(store.contains(key));
+    }
+    // maintain() finds nothing to purge: the delete-heavy regime is quiet.
+    store.maintain();
+    let stats = store.stats();
+    assert_eq!(stats.levels[0].rebuilds, 0);
+    assert_eq!(stats.total_tombstones(), 0);
+    assert!(stats.levels[0].store.total_counting_sidecar_bytes() > 0);
+}

@@ -21,5 +21,5 @@ pub mod lsm;
 pub mod semijoin;
 
 pub use join::{JoinHashTable, JoinResult, JoinWorkload, ProbePipeline};
-pub use lsm::{LsmStats, LsmTree, Run};
+pub use lsm::{LsmLevelMemory, LsmStats, LsmTree, Run};
 pub use semijoin::{NetworkModel, ProbeNode, SemiJoin, SemiJoinOutcome};

@@ -7,9 +7,20 @@
 //! standing in for an SSD or magnetic-disk read — the substitution DESIGN.md
 //! documents (no real disk is touched, which keeps the experiment laptop-scale
 //! and deterministic while preserving the cost structure).
+//!
+//! Two filtering modes:
+//!
+//! * **Per-run filters** ([`LsmTree::new`] + [`Run::build`] with a config):
+//!   every run carries its own [`AnyFilter`] — one family for the whole tree.
+//! * **Tiered filters** ([`LsmTree::with_tiered_store`]): runs are grouped
+//!   into levels served by one [`TieredStore`], whose per-level families the
+//!   advisor chose from each level's `t_w` — so the simulated-cost harness
+//!   exercises the real serving-layer store, per-level family flip included.
+//!   A negative probe of a level's filter skips *every* run of that level.
 
 use pof_core::{AnyFilter, FilterConfig};
 use pof_filter::Filter;
+use pof_store::TieredStore;
 
 /// One sorted run of an LSM tree level, with an optional per-run filter.
 #[derive(Debug)]
@@ -65,6 +76,21 @@ impl Run {
     pub fn may_contain(&self, key: u32) -> bool {
         self.filter.as_ref().is_none_or(|f| f.contains(key))
     }
+
+    /// The run's sorted key set (the membership a per-level filter covers).
+    #[must_use]
+    pub fn keys(&self) -> &[u32] {
+        &self.keys
+    }
+
+    /// Heap bytes of the run's own filter (0 when the run has none, e.g. in
+    /// tiered mode where the level store carries the filter instead).
+    #[must_use]
+    pub fn filter_bytes(&self) -> u64 {
+        self.filter
+            .as_ref()
+            .map_or(0, |filter| filter.size_bits().div_ceil(8))
+    }
 }
 
 /// Statistics of a batch of LSM lookups.
@@ -78,6 +104,11 @@ pub struct LsmStats {
     pub run_reads_avoided: u64,
     /// Number of lookups that found the key.
     pub hits: u64,
+    /// Filter memory resident when the stats were captured, in bytes —
+    /// per-run filters plus the tiered store's levels. Set by
+    /// [`LsmTree::capture_memory`], so a cost/memory report carries both
+    /// sides of the trade-off in one struct.
+    pub filter_bytes: u64,
 }
 
 impl LsmStats {
@@ -90,22 +121,105 @@ impl LsmStats {
     }
 }
 
-/// A multi-run LSM tree with optional per-run filters.
+/// Filter memory of one LSM level, for bytes-per-key reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsmLevelMemory {
+    /// Level index (in per-run mode, each run is its own level).
+    pub level: usize,
+    /// Runs grouped under this level.
+    pub runs: usize,
+    /// Keys across the level's runs.
+    pub keys: u64,
+    /// Filter bytes serving the level: the runs' own filters plus, in tiered
+    /// mode, the level store's published filter bits.
+    pub filter_bytes: u64,
+}
+
+impl LsmLevelMemory {
+    /// Filter bytes per key at this level (0.0 when the level is empty).
+    #[must_use]
+    pub fn bytes_per_key(&self) -> f64 {
+        if self.keys == 0 {
+            0.0
+        } else {
+            self.filter_bytes as f64 / self.keys as f64
+        }
+    }
+}
+
+/// A multi-run LSM tree with optional per-run filters, or — in tiered mode —
+/// per-*level* filters served by a [`TieredStore`].
 #[derive(Debug, Default)]
 pub struct LsmTree {
     runs: Vec<Run>,
+    /// Level of each run (parallel to `runs`). In per-run mode every run is
+    /// its own level; in tiered mode the level indexes the tiered store.
+    run_levels: Vec<usize>,
+    /// The per-level filter store, when the tree runs in tiered mode.
+    tiered: Option<TieredStore>,
+    /// Cached sum of the runs' own filter bytes, maintained by `add_run`.
+    run_filter_bytes: u64,
 }
 
 impl LsmTree {
-    /// Create an empty tree.
+    /// Create an empty tree with per-run filters (each run carries its own).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Create an empty tree whose filtering is served by `store`: runs are
+    /// added to levels via [`Self::add_run_at_level`] (their keys loaded
+    /// into the level's sharded store), and a lookup probes each level's
+    /// filter once — a negative probe skips every run of that level. Runs
+    /// are typically built *without* their own filters in this mode; a run
+    /// that has one is probed through both.
+    /// # Panics
+    /// If the store has more than 64 levels (the lookup path memoizes level
+    /// verdicts in a 64-bit mask; real LSM hierarchies have a handful).
+    #[must_use]
+    pub fn with_tiered_store(store: TieredStore) -> Self {
+        assert!(
+            store.level_count() <= 64,
+            "LsmTree supports at most 64 tiered levels"
+        );
+        Self {
+            tiered: Some(store),
+            ..Self::default()
+        }
+    }
+
     /// Add a run (newest first: lookups consult runs in insertion order).
+    ///
+    /// In per-run mode the run becomes its own level for the memory
+    /// accounting ([`Self::filter_memory`]); in tiered mode this is
+    /// shorthand for [`Self::add_run_at_level`] into level 0.
     pub fn add_run(&mut self, run: Run) {
+        let level = if self.tiered.is_some() {
+            0
+        } else {
+            self.runs.len()
+        };
+        self.add_run_at_level(run, level);
+    }
+
+    /// Add a run to an explicit level. In tiered mode the run's keys are
+    /// loaded into the tiered store's level filter; levels must exist in the
+    /// store. Lookups still consult *runs* newest-first regardless of level.
+    ///
+    /// # Panics
+    /// In tiered mode, if `level` is out of the store's range.
+    pub fn add_run_at_level(&mut self, run: Run, level: usize) {
+        if let Some(tiered) = &self.tiered {
+            assert!(
+                level < tiered.level_count(),
+                "run level {level} out of range"
+            );
+            tiered.load_level(level, run.keys());
+        }
+        self.run_filter_bytes += run.filter_bytes();
         self.runs.push(run);
+        self.run_levels.push(level);
     }
 
     /// Number of runs.
@@ -114,12 +228,95 @@ impl LsmTree {
         self.runs.len()
     }
 
+    /// The tiered filter store backing this tree, if it runs in tiered mode.
+    #[must_use]
+    pub fn tiered_store(&self) -> Option<&TieredStore> {
+        self.tiered.as_ref()
+    }
+
+    /// Total filter bytes serving the tree right now: the runs' own filters
+    /// plus (in tiered mode) the level stores' published filter bits.
+    #[must_use]
+    pub fn filter_bytes(&self) -> u64 {
+        self.run_filter_bytes
+            + self
+                .tiered
+                .as_ref()
+                .map_or(0, |store| store.size_bits().div_ceil(8))
+    }
+
+    /// Record the tree's current filter memory into `stats.filter_bytes`,
+    /// so a cost report carries the memory side of the trade-off too.
+    pub fn capture_memory(&self, stats: &mut LsmStats) {
+        stats.filter_bytes = self.filter_bytes();
+    }
+
+    /// Per-level filter memory: runs, keys and filter bytes per level — the
+    /// bytes-per-key figures the tiered bench records.
+    #[must_use]
+    pub fn filter_memory(&self) -> Vec<LsmLevelMemory> {
+        // In per-run mode an explicit `add_run_at_level` may group runs
+        // sparsely, so size by the highest level actually recorded rather
+        // than the run count.
+        let level_count = match &self.tiered {
+            Some(store) => store.level_count(),
+            None => self
+                .run_levels
+                .iter()
+                .map(|&level| level + 1)
+                .max()
+                .unwrap_or(0),
+        };
+        let mut levels: Vec<LsmLevelMemory> = (0..level_count)
+            .map(|level| LsmLevelMemory {
+                level,
+                runs: 0,
+                keys: 0,
+                filter_bytes: 0,
+            })
+            .collect();
+        for (run, &level) in self.runs.iter().zip(&self.run_levels) {
+            levels[level].runs += 1;
+            levels[level].keys += run.len() as u64;
+            levels[level].filter_bytes += run.filter_bytes();
+        }
+        if let Some(store) = &self.tiered {
+            for (level, stats) in store.stats().levels.iter().enumerate() {
+                levels[level].filter_bytes += stats.size_bits.div_ceil(8);
+            }
+        }
+        levels
+    }
+
     /// Point lookup across all runs, newest to oldest, updating `stats`.
+    ///
+    /// In tiered mode each level's filter is probed (at most) once per
+    /// lookup: a negative level probe charges one avoided read per run of
+    /// that level, a positive one sends the lookup into the level's runs.
     #[must_use]
     pub fn get(&self, key: u32, stats: &mut LsmStats) -> Option<u64> {
         stats.lookups += 1;
-        for run in &self.runs {
-            if !run.may_contain(key) {
+        // Memoized per-level filter verdicts for this lookup (tiered mode):
+        // two stack bitmasks instead of a heap map, so the hot lookup path —
+        // the very cost the simulated-`t_w` harness measures — allocates
+        // nothing. `with_tiered_store` bounds the level count at 64.
+        let mut levels_probed: u64 = 0;
+        let mut levels_positive: u64 = 0;
+        for (run, &level) in self.runs.iter().zip(&self.run_levels) {
+            let level_may_contain = match &self.tiered {
+                Some(store) => {
+                    let bit = 1u64 << level;
+                    if levels_probed & bit == 0 {
+                        levels_probed |= bit;
+                        if store.level_contains(level, key) {
+                            levels_positive |= bit;
+                        }
+                    }
+                    levels_positive & bit != 0
+                }
+                None => true,
+            };
+            if !level_may_contain || !run.may_contain(key) {
                 stats.run_reads_avoided += 1;
                 continue;
             }
@@ -222,6 +419,197 @@ mod tests {
         assert!(
             filtered_cost < plain_cost / 50.0,
             "filtered {filtered_cost} vs plain {plain_cost}"
+        );
+    }
+
+    use pof_store::{
+        BloomDeleteMode, LevelSpec, ManualCompaction, TieredStore, TieredStoreBuilder,
+    };
+    use std::sync::Arc;
+
+    /// A two-level tiered store with pinned families (hot Bloom, cold
+    /// Cuckoo) and manual compaction, for deterministic LSM tests.
+    fn tiered_store(hot_keys: u64, cold_keys: u64) -> TieredStore {
+        let hot = LevelSpec {
+            expected_keys: hot_keys,
+            work_saved_cycles: 32.0,
+            sigma: 0.1,
+            delete_rate: 0.0,
+        };
+        let cold = LevelSpec {
+            expected_keys: cold_keys,
+            work_saved_cycles: 1e7,
+            sigma: 0.1,
+            delete_rate: 0.0,
+        };
+        TieredStoreBuilder::new()
+            .level_pinned(
+                hot,
+                FilterConfig::Bloom(pof_bloom::BloomConfig::cache_sectorized(
+                    512,
+                    64,
+                    2,
+                    8,
+                    pof_bloom::Addressing::Magic,
+                )),
+                14.0,
+                BloomDeleteMode::Tombstone,
+            )
+            .level_pinned(
+                cold,
+                FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::Magic)),
+                18.0,
+                BloomDeleteMode::Tombstone,
+            )
+            .compaction(Arc::new(ManualCompaction))
+            .build()
+    }
+
+    /// Build a tiered-mode tree: `cold_runs` filterless runs on the cold
+    /// level, one hot run on level 0.
+    fn build_tiered_tree(
+        cold_runs: usize,
+        keys_per_run: usize,
+        seed: u64,
+    ) -> (LsmTree, Vec<u32>, Vec<u32>) {
+        let mut gen = KeyGen::new(seed);
+        let mut tree = LsmTree::with_tiered_store(tiered_store(
+            keys_per_run as u64 * 2,
+            (cold_runs * keys_per_run) as u64 * 2,
+        ));
+        let mut cold_keys = Vec::new();
+        for run_id in 0..cold_runs {
+            let keys = gen.distinct_keys(keys_per_run);
+            cold_keys.extend_from_slice(&keys);
+            let pairs: Vec<(u32, u64)> = keys
+                .iter()
+                .map(|&k| (k, u64::from(k) + run_id as u64))
+                .collect();
+            tree.add_run_at_level(Run::build(pairs, None), 1);
+        }
+        let hot_keys = gen.distinct_keys(keys_per_run);
+        let pairs: Vec<(u32, u64)> = hot_keys.iter().map(|&k| (k, u64::from(k))).collect();
+        tree.add_run(Run::build(pairs, None)); // tiered mode: level 0
+        (tree, hot_keys, cold_keys)
+    }
+
+    #[test]
+    fn tiered_tree_finds_every_key_through_the_level_filters() {
+        let (tree, hot, cold) = build_tiered_tree(4, 3_000, 81);
+        assert_eq!(tree.num_runs(), 5);
+        let mut stats = LsmStats::default();
+        for &key in hot.iter().chain(&cold) {
+            assert!(tree.get(key, &mut stats).is_some(), "missing key {key}");
+        }
+        assert_eq!(stats.hits, (hot.len() + cold.len()) as u64);
+    }
+
+    #[test]
+    fn tiered_tree_skips_whole_levels_for_absent_keys() {
+        let (tree, hot, cold) = build_tiered_tree(8, 2_000, 82);
+        let mut gen = KeyGen::new(83);
+        let mut stats = LsmStats::default();
+        let mut probed = 0u64;
+        for key in gen.keys(20_000) {
+            if hot.contains(&key) || cold.contains(&key) {
+                continue;
+            }
+            assert!(tree.get(key, &mut stats).is_none());
+            probed += 1;
+        }
+        let total_runs = probed * tree.num_runs() as u64;
+        assert_eq!(stats.run_reads + stats.run_reads_avoided, total_runs);
+        // One filter verdict covers all 8 cold runs at once; with the
+        // level filters' FPRs nearly every run read is avoided.
+        assert!(
+            stats.run_reads_avoided as f64 > 0.99 * total_runs as f64,
+            "avoided {} of {total_runs}",
+            stats.run_reads_avoided
+        );
+    }
+
+    #[test]
+    fn tiered_and_per_run_trees_agree_on_results() {
+        let (tiered_tree, hot, cold) = build_tiered_tree(4, 2_000, 84);
+        // The per-run twin over the same data (re-generate the same keys).
+        let config = FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::Magic));
+        let mut gen = KeyGen::new(84);
+        let mut plain = LsmTree::new();
+        for run_id in 0..4 {
+            let keys = gen.distinct_keys(2_000);
+            let pairs: Vec<(u32, u64)> = keys
+                .iter()
+                .map(|&k| (k, u64::from(k) + run_id as u64))
+                .collect();
+            plain.add_run(Run::build(pairs, Some((&config, 20.0))));
+        }
+        let hot_pairs: Vec<(u32, u64)> = gen
+            .distinct_keys(2_000)
+            .iter()
+            .map(|&k| (k, u64::from(k)))
+            .collect();
+        plain.add_run(Run::build(hot_pairs, Some((&config, 20.0))));
+        let mut probe_gen = KeyGen::new(85);
+        let probes: Vec<u32> = hot
+            .iter()
+            .chain(&cold)
+            .copied()
+            .chain(probe_gen.keys(5_000))
+            .collect();
+        let (mut a, mut b) = (LsmStats::default(), LsmStats::default());
+        for &key in &probes {
+            // Note: runs are consulted newest-*first* in insertion order in
+            // both trees, but the overlapping-duplicate case is excluded by
+            // distinct key generation, so values must agree exactly.
+            assert_eq!(
+                tiered_tree.get(key, &mut a),
+                plain.get(key, &mut b),
+                "value mismatch for {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_memory_reports_bytes_per_level() {
+        // Per-run mode: every run is its own level, filter bytes included.
+        let (plain, _) = build_tree(true, 3, 2_000, 86);
+        let memory = plain.filter_memory();
+        assert_eq!(memory.len(), 3);
+        for level in &memory {
+            assert_eq!(level.runs, 1);
+            assert_eq!(level.keys, 2_000);
+            assert!(level.filter_bytes > 0);
+            assert!(level.bytes_per_key() > 0.0);
+        }
+        assert_eq!(
+            plain.filter_bytes(),
+            memory.iter().map(|l| l.filter_bytes).sum::<u64>()
+        );
+        // The capture hook lands the same figure in the stats struct.
+        let mut stats = LsmStats::default();
+        plain.capture_memory(&mut stats);
+        assert_eq!(stats.filter_bytes, plain.filter_bytes());
+
+        // Tiered mode: runs group under their level, filter bytes come from
+        // the level stores (the runs themselves are filterless).
+        let (tiered, hot, cold) = build_tiered_tree(4, 2_000, 87);
+        let memory = tiered.filter_memory();
+        assert_eq!(memory.len(), 2);
+        assert_eq!(memory[0].runs, 1);
+        assert_eq!(memory[0].keys, hot.len() as u64);
+        assert_eq!(memory[1].runs, 4);
+        assert_eq!(memory[1].keys, cold.len() as u64);
+        assert!(memory[0].filter_bytes > 0 && memory[1].filter_bytes > 0);
+        assert_eq!(
+            tiered.filter_bytes(),
+            memory.iter().map(|l| l.filter_bytes).sum::<u64>()
+        );
+        // Cold level: 18 bits/key Cuckoo over 8k keys — bytes/key lands in
+        // the plausible band (filters size to powers of two, hence slack).
+        let cold_bpk = memory[1].bytes_per_key();
+        assert!(
+            cold_bpk > 1.0 && cold_bpk < 10.0,
+            "cold bytes/key {cold_bpk}"
         );
     }
 

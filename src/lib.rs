@@ -21,7 +21,8 @@
 //!   [`ShardedFilterStore`] with advisor-chosen
 //!   per-shard filters, policy-driven shard lifecycles (rebuild policies,
 //!   deletes, deferred maintenance), wait-free snapshot reads and batch-first
-//!   lookups,
+//!   lookups — plus the LSM-style [`TieredStore`](prelude::TieredStore),
+//!   whose per-level families the advisor picks from each level's `t_w`,
 //! * [`workloads`] — join-pushdown, LSM and distributed semi-join substrates.
 //!
 //! ## Quick start
@@ -92,15 +93,17 @@ pub use pof_store::ShardedFilterStore;
 pub mod prelude {
     pub use pof_bloom::{Addressing, BlockedBloom, BloomConfig, BloomVariant, ClassicBloom};
     pub use pof_core::{
-        AnyFilter, CalibrationSet, Calibrator, ConfigSpace, FilterAdvisor, FilterConfig, Overhead,
-        Platform, Recommendation, Skyline, SkylineGrid, WorkloadSpec,
+        AnyFilter, CalibrationSet, Calibrator, ConfigSpace, FilterAdvisor, FilterConfig,
+        LevelRecommendation, LevelSpec, Overhead, Platform, Recommendation, Skyline, SkylineGrid,
+        WorkloadSpec,
     };
     pub use pof_cuckoo::{CuckooAddressing, CuckooConfig, CuckooFilter};
     pub use pof_filter::{DeleteOutcome, Filter, FilterKind, KeyGen, SelectionVector, Workload};
     pub use pof_store::{
-        BloomDeleteMode, DeferredBatch, FprDrift, ProbeScratch, RebuildDecision, RebuildMode,
-        RebuildPolicy, RebuildUrgency, SaturationDoubling, ShardedFilterStore, StoreBuilder,
-        StoreSnapshot, StoreStats,
+        BloomDeleteMode, CompactionPolicy, DeferredBatch, FprDrift, LevelStats, ManualCompaction,
+        ProbeScratch, RebuildDecision, RebuildMode, RebuildPolicy, RebuildUrgency,
+        SaturationDoubling, ShardedFilterStore, SizeRatio, StoreBuilder, StoreSnapshot, StoreStats,
+        TieredProbeScratch, TieredStats, TieredStore, TieredStoreBuilder,
     };
     pub use pof_workloads::{JoinHashTable, JoinWorkload, LsmTree, ProbePipeline, SemiJoin};
 }
