@@ -1,0 +1,116 @@
+//! Construction and probe microbenchmarks for the immutable binary-fuse
+//! family: peeling cost per key across sizes and fingerprint widths
+//! (`fuse_build`), and point/batch lookup throughput against the mutable
+//! families' canonical cold-tier baseline sizes (`fuse_probe`).
+//!
+//! The advisor's build-cost term charges immutable candidates
+//! `build_cycles_per_key` amortized over the level's expected probes; this
+//! bench is where that constant can be sanity-checked against the host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pof_filter::{Filter, KeyGen, SelectionVector};
+use pof_xorfuse::{FuseConfig, FuseFilter};
+use std::time::Duration;
+
+/// `POF_BENCH_QUICK=1`: the CI perf-smoke mode — smaller sizes and windows.
+fn quick() -> bool {
+    std::env::var("POF_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn measurement() -> Duration {
+    if quick() {
+        Duration::from_millis(120)
+    } else {
+        Duration::from_secs(1)
+    }
+}
+
+fn warm_up() -> Duration {
+    if quick() {
+        Duration::from_millis(30)
+    } else {
+        Duration::from_millis(200)
+    }
+}
+
+fn sizes() -> Vec<usize> {
+    if quick() {
+        vec![1 << 12, 1 << 14]
+    } else {
+        vec![1 << 12, 1 << 16, 1 << 20]
+    }
+}
+
+fn configs() -> [(&'static str, FuseConfig); 2] {
+    [
+        ("fuse8", FuseConfig::fuse8()),
+        ("fuse16", FuseConfig::fuse16()),
+    ]
+}
+
+/// Whole-set construction: the cost a cold level pays per re-peel, and the
+/// denominator of the advisor's amortized build-cost term.
+fn bench_fuse_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuse_build");
+    group
+        .sample_size(10)
+        .warm_up_time(warm_up())
+        .measurement_time(measurement());
+    for n in sizes() {
+        let mut gen = KeyGen::new(0xF0_5E);
+        let keys = gen.distinct_keys(n);
+        for (name, config) in configs() {
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("n={n}")),
+                &keys,
+                |bench, keys| {
+                    bench.iter(|| {
+                        let filter = FuseFilter::build(config, keys);
+                        filter.size_bits()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Point and batch lookups against a built filter: three XORed fingerprint
+/// probes per key, the read path every cold-tier scan pays.
+fn bench_fuse_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuse_probe");
+    group
+        .sample_size(10)
+        .warm_up_time(warm_up())
+        .measurement_time(measurement());
+    let n = if quick() { 1 << 14 } else { 1 << 18 };
+    let mut gen = KeyGen::new(0xF0_5F);
+    let keys = gen.distinct_keys(n);
+    let probes = gen.keys(16 * 1024);
+    for (name, config) in configs() {
+        let filter = FuseFilter::build(config, &keys);
+        group.throughput(Throughput::Elements(probes.len() as u64));
+        group.bench_with_input(BenchmarkId::new(name, "point"), &probes, |bench, probes| {
+            bench.iter(|| {
+                let mut qualifying = 0u64;
+                for &key in probes {
+                    qualifying += u64::from(filter.contains(key));
+                }
+                qualifying
+            });
+        });
+        group.bench_with_input(BenchmarkId::new(name, "batch"), &probes, |bench, probes| {
+            let mut sel = SelectionVector::with_capacity(probes.len());
+            bench.iter(|| {
+                sel.clear();
+                filter.contains_batch(probes, &mut sel);
+                sel.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fuse_build, bench_fuse_probe);
+criterion_main!(benches);

@@ -304,8 +304,8 @@ fn bench_store_delete_modes(c: &mut Criterion) {
 /// memtable probe (hot) to a skipped simulated-disk read (cold), with an
 /// 8x LSM-style fanout in expected keys per level and churn concentrated on
 /// the hot level. The advisor turns the extremes into different families —
-/// Bloom (counting deletes) for the hot end, Cuckoo for the cold end — which
-/// the recorded JSON cells pin down.
+/// Bloom (counting deletes) for the hot end, an immutable fuse filter for
+/// the static cold end — which the recorded JSON cells pin down.
 fn tiered_level_specs(levels: usize) -> Vec<LevelSpec> {
     let ladder = [32.0, 4_096.0, 131_072.0, 16_777_216.0];
     let picks: &[usize] = match levels {
@@ -318,8 +318,8 @@ fn tiered_level_specs(levels: usize) -> Vec<LevelSpec> {
         .map(|(index, &rung)| LevelSpec {
             expected_keys: (1u64 << 14) << (3 * index),
             work_saved_cycles: ladder[rung],
-            sigma: 0.1,
             delete_rate: if index == 0 { 0.4 } else { 0.0 },
+            ..LevelSpec::default()
         })
         .collect()
 }
@@ -637,8 +637,8 @@ fn delete_heavy_cell(
 /// the record), run a deterministic hot-churn phase and a cold-scan phase,
 /// and capture throughput plus the full per-level picture. The extreme-`t_w`
 /// levels must come out as different families — hot Bloom (counting
-/// deletes), cold Cuckoo — which downstream tooling can assert right off the
-/// JSON.
+/// deletes), cold static fuse — which downstream tooling can assert right
+/// off the JSON.
 fn tiered_cell(levels: usize) -> Vec<(String, Value)> {
     let batch: usize = if quick() { 2 * 1024 } else { 8 * 1024 };
     let iters: usize = if quick() { 32 } else { 96 };
@@ -700,6 +700,7 @@ fn tiered_cell(levels: usize) -> Vec<(String, Value)> {
                         match level.family {
                             pof_filter::FilterKind::Bloom => "bloom",
                             pof_filter::FilterKind::Cuckoo => "cuckoo",
+                            pof_filter::FilterKind::Fuse => "fuse",
                         }
                         .into(),
                     ),
@@ -722,6 +723,18 @@ fn tiered_cell(levels: usize) -> Vec<(String, Value)> {
                 (
                     "bytes_per_live_key".into(),
                     Value::F64(level.bits_per_live_key() / 8.0),
+                ),
+                (
+                    "bits_per_live_key".into(),
+                    Value::F64(level.bits_per_live_key()),
+                ),
+                (
+                    "fingerprint_bits".into(),
+                    Value::U64(u64::from(level.fingerprint_bits)),
+                ),
+                (
+                    "construction_retries".into(),
+                    Value::U64(level.construction_retries),
                 ),
                 ("live_keys".into(), Value::U64(level.live_keys)),
                 ("tombstones".into(), Value::U64(level.tombstones)),
@@ -746,6 +759,61 @@ fn tiered_cell(levels: usize) -> Vec<(String, Value)> {
         ),
         ("final_keys".into(), Value::U64(store.key_count() as u64)),
         ("levels".into(), Value::Seq(level_cells)),
+    ]
+}
+
+/// One cold-tier cell for the fuse-vs-Cuckoo comparison: a single-level
+/// store pinned to `config`, bulk-loaded with exactly `keys`, then scanned
+/// with uniform (essentially all absent) probes — the static cold tier the
+/// immutable family exists for. Records the realized memory footprint
+/// (`bits_per_live_key`) and the scan rate at *equal live keys*, so the two
+/// cells are directly comparable.
+fn cold_family_cell(
+    name: &str,
+    config: FilterConfig,
+    bits_per_key: f64,
+    keys: &[u32],
+) -> Vec<(String, Value)> {
+    let store = StoreBuilder::new()
+        .shards(4)
+        .expected_keys(keys.len())
+        .bits_per_key(bits_per_key)
+        .config(config)
+        .build();
+    store.insert_batch(keys);
+    store.maintain();
+    let mut gen = KeyGen::new(0xC01D);
+    let probes = gen.keys(if quick() { 1 << 16 } else { 1 << 19 });
+    let mut sel = SelectionVector::with_capacity(BATCH);
+    let start = Instant::now();
+    let mut ops = 0u64;
+    for chunk in probes.chunks(BATCH) {
+        sel.clear();
+        store.contains_batch(chunk, &mut sel);
+        ops += chunk.len() as u64;
+    }
+    let elapsed = start.elapsed();
+    let stats = store.stats();
+    vec![
+        ("family".into(), Value::Str(name.into())),
+        ("config".into(), Value::Str(store.config().label())),
+        ("live_keys".into(), Value::U64(stats.total_keys())),
+        (
+            "bits_per_live_key".into(),
+            Value::F64(stats.bits_per_live_key()),
+        ),
+        (
+            "fingerprint_bits".into(),
+            Value::U64(u64::from(store.config().fingerprint_bits())),
+        ),
+        (
+            "construction_retries".into(),
+            Value::U64(stats.shards.iter().map(|s| s.construction_retries).sum()),
+        ),
+        (
+            "cold_scan_ops_per_sec".into(),
+            Value::F64(ops as f64 / elapsed.as_secs_f64()),
+        ),
     ]
 }
 
@@ -865,6 +933,44 @@ fn write_bench_json(path: &str) {
         .into_iter()
         .map(|levels| Value::Map(tiered_cell(levels)))
         .collect();
+    // The cold-tier family comparison: fuse8 vs the Cuckoo cold baseline at
+    // equal live keys. The fuse cell must come out at strictly lower
+    // bits-per-live-key — the memory edge the immutable family buys.
+    let mut cold_gen = KeyGen::new(0xF0_5E);
+    let cold_keys = cold_gen.distinct_keys(if quick() { 1 << 14 } else { 1 << 17 });
+    let tiered_fuse: Vec<Value> = vec![
+        Value::Map(cold_family_cell(
+            "fuse8",
+            FilterConfig::Fuse(pof_core::FuseConfig::fuse8()),
+            16.0,
+            &cold_keys,
+        )),
+        Value::Map(cold_family_cell(
+            "cuckoo-l16b2",
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+            16.0,
+            &cold_keys,
+        )),
+    ];
+    {
+        let bits = |cell: &Value| match cell {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == "bits_per_live_key")
+                .and_then(|(_, v)| match v {
+                    Value::F64(x) => Some(*x),
+                    _ => None,
+                })
+                .unwrap_or(f64::NAN),
+            _ => f64::NAN,
+        };
+        eprintln!(
+            "tiered-fuse cold tier at {} live keys: fuse8 {:.2} bits/key vs cuckoo {:.2} bits/key",
+            cold_keys.len(),
+            bits(&tiered_fuse[0]),
+            bits(&tiered_fuse[1]),
+        );
+    }
     let document = Value::Map(vec![
         ("bench".into(), Value::Str("store_lifecycle_sweep".into())),
         (
@@ -910,11 +1016,24 @@ fn write_bench_json(path: &str) {
                  cascading through every level). Per level the cells record the \
                  advisor's family/config/delete-mode/budget choice and the \
                  realized bytes per live key: the extreme t_w levels must show \
-                 different families (hot bloom + counting deletes, cold cuckoo)"
+                 different families (hot bloom + counting deletes, cold fuse \
+                 for the static end of the ladder)"
                     .into(),
             ),
         ),
         ("tiered".into(), Value::Seq(tiered)),
+        (
+            "tiered_fuse_workload".into(),
+            Value::Str(
+                "cold-tier family comparison at equal live keys: one single-level \
+                 store pinned to an immutable fuse8 filter, one pinned to the \
+                 Cuckoo cold baseline, both bulk-loaded with the same key set and \
+                 scanned with uniform absent probes. The fuse cell must record \
+                 strictly lower bits_per_live_key"
+                    .into(),
+            ),
+        ),
+        ("tiered_fuse".into(), Value::Seq(tiered_fuse)),
     ]);
     let json = serde_json::to_string_pretty(&document).expect("bench JSON serialization");
     // `cargo bench` runs with the package directory as CWD; anchor relative

@@ -49,6 +49,26 @@ pub struct LevelSpec {
     /// Fraction of write operations against this level that are deletes
     /// (`0.0` = append-only, `0.5` = steady-state churn).
     pub delete_rate: f64,
+    /// Expected number of probes served by one build of this level's filter —
+    /// the amortisation horizon for construction cost. An immutable family
+    /// (Xor/fuse) pays its whole build every time the level's contents
+    /// change, so its per-probe surcharge is `build_cycles_per_key / this`.
+    /// Hot levels turn over after few probes (small values keep immutable
+    /// families out); cold compacted levels serve probes for ages (large
+    /// values amortise the build to nothing). Defaults to `1024.0`.
+    pub expected_probes_per_key: f64,
+}
+
+impl Default for LevelSpec {
+    fn default() -> Self {
+        Self {
+            expected_keys: 0,
+            work_saved_cycles: 0.0,
+            sigma: 0.1,
+            delete_rate: 0.0,
+            expected_probes_per_key: 1024.0,
+        }
+    }
 }
 
 /// Delete-rate above which a Bloom level should delete in place through a
@@ -66,6 +86,17 @@ pub const COUNTING_DELETE_THRESHOLD: f64 = 0.05;
 /// lookup does and clears the signature in line.
 const BLOOM_DELETE_LOOKUP_MULTIPLE: f64 = 3.0;
 const CUCKOO_DELETE_LOOKUP_MULTIPLE: f64 = 1.5;
+/// An immutable (fuse) filter has no delete path at all: deletes route
+/// through a whole-level rebuild, charged through the build-cost surcharge
+/// below rather than a per-delete lookup multiple.
+const FUSE_DELETE_LOOKUP_MULTIPLE: f64 = 0.0;
+
+/// Rebuild amplification for immutable families under churn: one delete
+/// against an immutable level does not rewrite one key, it re-peels the whole
+/// shard once the batched rebuild triggers. Modeled as each delete carrying
+/// this many keys' worth of reconstruction on average (batching spreads a
+/// full `n`-key rebuild over the deletes that accumulated before it fired).
+const IMMUTABLE_REBUILD_AMPLIFICATION: f64 = 64.0;
 
 /// The advisor's recommendation.
 #[derive(Debug, Clone)]
@@ -99,9 +130,11 @@ pub struct LevelRecommendation {
     /// clears [`COUNTING_DELETE_THRESHOLD`]: the level should carry a
     /// counting sidecar so deletes land in place instead of tombstoning.
     pub counting_deletes: bool,
-    /// Modeled delete surcharge in cycles per operation
-    /// (`delete_rate · delete_cost(family)`), the term that was added to ρ
-    /// when ranking the families for this level.
+    /// Modeled maintenance surcharge in cycles per operation — the terms
+    /// added to ρ when ranking the families for this level: the delete
+    /// surcharge `delete_rate · delete_cost(family)` plus, for immutable
+    /// families, the amortised construction cost (see
+    /// [`LevelSpec::expected_probes_per_key`]).
     pub delete_overhead_cycles: f64,
 }
 
@@ -144,7 +177,7 @@ impl FilterAdvisor {
             expected_keys: workload.n,
             work_saved_cycles: workload.work_saved_cycles,
             sigma: workload.sigma,
-            delete_rate: 0.0,
+            ..LevelSpec::default()
         })
         .recommendation
     }
@@ -164,6 +197,13 @@ impl FilterAdvisor {
     /// Bloom on throughput is told to run its deletes through a counting
     /// sidecar ([`LevelRecommendation::counting_deletes`]) rather than
     /// tombstone-and-purge.
+    ///
+    /// When the space includes immutable families
+    /// ([`ConfigSpace::with_fuse`]), the objective additionally charges them
+    /// their construction cost, amortised over the level's expected probe
+    /// lifetime and amplified by churn — so a fuse filter only wins a level
+    /// that is big, cold, and static, which is exactly where its space
+    /// advantage has time to pay for the build.
     #[must_use]
     pub fn recommend_for_level(&self, level: &LevelSpec) -> LevelRecommendation {
         let skyline = Skyline::new(self.space, &self.calibration);
@@ -178,23 +218,40 @@ impl FilterAdvisor {
             let delete_multiple = match config.kind() {
                 pof_filter::FilterKind::Bloom => BLOOM_DELETE_LOOKUP_MULTIPLE,
                 pof_filter::FilterKind::Cuckoo => CUCKOO_DELETE_LOOKUP_MULTIPLE,
+                pof_filter::FilterKind::Fuse => FUSE_DELETE_LOOKUP_MULTIPLE,
             };
             let lookup_weight = 1.0 + level.delete_rate * delete_multiple;
+            // Construction cost, amortised per probe. Mutable families build
+            // on the write path (their construction is the insert stream the
+            // level pays anyway), so only immutable configurations — which
+            // re-peel the complete key set whenever the level changes — carry
+            // a surcharge: the base build spread over the level's probe
+            // lifetime, plus a churn term for the rebuilds deletes force.
+            let build_surcharge = if config.immutable() {
+                config.build_cycles_per_key() / level.expected_probes_per_key.max(1.0)
+                    + level.delete_rate
+                        * config.build_cycles_per_key()
+                        * IMMUTABLE_REBUILD_AMPLIFICATION
+            } else {
+                0.0
+            };
             if let Some((bpk, weighted, fpr, lookup)) = skyline.best_operating_point_weighted(
                 &config,
                 level.expected_keys,
                 level.work_saved_cycles,
                 lookup_weight,
             ) {
-                if best.as_ref().is_none_or(|(_, _, w, _, _)| weighted < *w) {
-                    best = Some((config, bpk, weighted, fpr, lookup));
+                let objective = weighted + build_surcharge;
+                if best.as_ref().is_none_or(|(_, _, w, _, _)| objective < *w) {
+                    best = Some((config, bpk, objective, fpr, lookup));
                 }
             }
         }
         let (config, bits_per_key, weighted, fpr, lookup) =
             best.expect("configuration space must not be empty");
-        // Report the paper's plain ρ and the delete surcharge separately;
-        // they sum to the weighted objective the winner minimised.
+        // Report the paper's plain ρ and the maintenance surcharge (delete
+        // weighting plus any amortised build cost) separately; they sum to
+        // the objective the winner minimised.
         let rho = lookup + fpr * level.work_saved_cycles;
         let delete_overhead_cycles = weighted - rho;
         let overhead = Overhead {
@@ -317,8 +374,8 @@ mod tests {
             let rec = advisor.recommend_for_level(&LevelSpec {
                 expected_keys: n,
                 work_saved_cycles: tw,
-                sigma: 0.1,
                 delete_rate,
+                ..LevelSpec::default()
             });
             if rec.recommendation.config.kind() == FilterKind::Cuckoo {
                 return tw;
@@ -340,14 +397,14 @@ mod tests {
             let rec = advisor.recommend_for_level(&LevelSpec {
                 expected_keys: 1 << 16,
                 work_saved_cycles: f64::from(1u32 << exp),
-                sigma: 0.1,
-                delete_rate: 0.0,
+                ..LevelSpec::default()
             });
             match rec.recommendation.config.kind() {
                 FilterKind::Cuckoo => seen_cuckoo = true,
                 FilterKind::Bloom => {
                     assert!(!seen_cuckoo, "family flipped back to Bloom at tw=2^{exp}");
                 }
+                FilterKind::Fuse => unreachable!("the default space carries no fuse configs"),
             }
         }
         assert!(seen_cuckoo, "cuckoo never won anywhere on the sweep");
@@ -395,8 +452,8 @@ mod tests {
         let hot = advisor.recommend_for_level(&LevelSpec {
             expected_keys: 1 << 16,
             work_saved_cycles: 32.0,
-            sigma: 0.1,
             delete_rate: 0.5,
+            ..LevelSpec::default()
         });
         assert_eq!(hot.recommendation.config.kind(), FilterKind::Bloom);
         assert!(hot.counting_deletes);
@@ -405,8 +462,7 @@ mod tests {
         let append_only = advisor.recommend_for_level(&LevelSpec {
             expected_keys: 1 << 16,
             work_saved_cycles: 32.0,
-            sigma: 0.1,
-            delete_rate: 0.0,
+            ..LevelSpec::default()
         });
         assert!(!append_only.counting_deletes);
         assert_eq!(append_only.delete_overhead_cycles, 0.0);
@@ -415,11 +471,49 @@ mod tests {
         let cold = advisor.recommend_for_level(&LevelSpec {
             expected_keys: 1 << 16,
             work_saved_cycles: f64::from(1u32 << 24),
-            sigma: 0.1,
             delete_rate: 0.5,
+            ..LevelSpec::default()
         });
         assert_eq!(cold.recommendation.config.kind(), FilterKind::Cuckoo);
         assert!(!cold.counting_deletes);
+    }
+
+    #[test]
+    fn fuse_enabled_advisor_splits_hot_bloom_cold_fuse() {
+        // With the fuse family opted in, the advisor's per-level verdicts
+        // split the way a tiered store wants: a hot, churny level keeps a
+        // mutable family (fuse can't absorb the writes), while a big, cold,
+        // static level flips to fuse — lowest bits-per-key at the target FPR
+        // and nothing to amortise the build against except aeons of probes.
+        let advisor = FilterAdvisor::with_synthetic_calibration(ConfigSpace::default().with_fuse());
+        let hot = advisor.recommend_for_level(&LevelSpec {
+            expected_keys: 1 << 15,
+            work_saved_cycles: 32.0,
+            delete_rate: 0.5,
+            expected_probes_per_key: 4.0,
+            ..LevelSpec::default()
+        });
+        assert_eq!(hot.recommendation.config.kind(), FilterKind::Bloom);
+        assert!(!hot.recommendation.config.immutable());
+        let cold = advisor.recommend_for_level(&LevelSpec {
+            expected_keys: 1 << 16,
+            work_saved_cycles: 16_000_000.0,
+            delete_rate: 0.0,
+            expected_probes_per_key: 1_048_576.0,
+            ..LevelSpec::default()
+        });
+        assert_eq!(cold.recommendation.config.kind(), FilterKind::Fuse);
+        assert!(cold.recommendation.use_filter);
+        assert!(cold.recommendation.predicted_speedup > 1.0);
+        // The same cold level under heavy churn pays the rebuild
+        // amplification and falls back to a mutable family.
+        let churny_cold = advisor.recommend_for_level(&LevelSpec {
+            expected_keys: 1 << 16,
+            work_saved_cycles: 16_000_000.0,
+            delete_rate: 0.5,
+            ..LevelSpec::default()
+        });
+        assert_eq!(churny_cold.recommendation.config.kind(), FilterKind::Cuckoo);
     }
 
     #[test]
@@ -431,6 +525,7 @@ mod tests {
             work_saved_cycles: 1_000.0,
             sigma: 0.3,
             delete_rate: 0.25,
+            ..LevelSpec::default()
         });
         let expected_rho = rec.recommendation.lookup_cycles + rec.recommendation.fpr * 1_000.0;
         assert!((rec.recommendation.rho_cycles - expected_rho).abs() < 1e-9);

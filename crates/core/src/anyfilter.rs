@@ -1,5 +1,6 @@
-//! A dynamically configured filter: any Bloom variant or Cuckoo filter behind
-//! one enum, buildable from a [`FilterConfig`].
+//! A dynamically configured filter: any Bloom variant, Cuckoo filter, or
+//! immutable Xor/fuse filter behind one enum, buildable from a
+//! [`FilterConfig`].
 //!
 //! The hot paths of the individual filters stay statically dispatched inside
 //! their crates; this enum only adds one match per (batched) call, which is
@@ -9,6 +10,7 @@ use crate::configspace::FilterConfig;
 use pof_bloom::{BlockedBloom, ClassicBloom};
 use pof_cuckoo::CuckooFilter;
 use pof_filter::{DeleteOutcome, Filter, FilterKind, SelectionVector};
+use pof_xorfuse::FuseFilter;
 
 /// A filter of any supported configuration.
 #[derive(Debug, Clone)]
@@ -19,6 +21,10 @@ pub enum AnyFilter {
     ClassicBloom(ClassicBloom),
     /// A Cuckoo filter.
     Cuckoo(CuckooFilter),
+    /// An immutable Xor/binary-fuse filter. Built from a complete key set
+    /// (via [`AnyFilter::build_with_keys`]); in-place mutation is refused, so
+    /// stores route changes through snapshot-and-rebuild machinery.
+    Fuse(FuseFilter),
 }
 
 impl AnyFilter {
@@ -50,13 +56,25 @@ impl AnyFilter {
                     bits_per_key.max(min_bits),
                 ))
             }
+            // A fuse filter's size follows from its key set alone; the
+            // bits-per-key budget only gated feasibility at recommendation
+            // time (`FilterConfig::modeled_fpr`). Built here over the empty
+            // set — population goes through `build_with_keys`.
+            FilterConfig::Fuse(c) => Self::Fuse(FuseFilter::build(*c, &[])),
         }
     }
 
     /// Build a filter and populate it with `keys`, returning `None` if any
     /// insert failed (possible for Cuckoo filters at tight budgets).
+    ///
+    /// This is the *only* way to obtain a populated fuse filter: the family
+    /// is constructed by peeling the complete key set in one shot, so the
+    /// incremental insert loop the mutable families use does not apply.
     #[must_use]
     pub fn build_with_keys(config: &FilterConfig, keys: &[u32], bits_per_key: f64) -> Option<Self> {
+        if let FilterConfig::Fuse(c) = config {
+            return Some(Self::Fuse(FuseFilter::build(*c, keys)));
+        }
         let mut filter = Self::build(config, keys.len(), bits_per_key);
         for &key in keys {
             if !filter.insert(key) {
@@ -73,6 +91,17 @@ impl AnyFilter {
             Self::Bloom(f) => FilterConfig::Bloom(*f.config()),
             Self::ClassicBloom(f) => FilterConfig::ClassicBloom { k: f.k() },
             Self::Cuckoo(f) => FilterConfig::Cuckoo(*f.config()),
+            Self::Fuse(f) => FilterConfig::Fuse(f.fuse_config()),
+        }
+    }
+
+    /// Construction retries the filter needed (seeded re-peels for fuse
+    /// filters; always 0 for the mutable families, which never retry).
+    #[must_use]
+    pub fn construction_retries(&self) -> u64 {
+        match self {
+            Self::Bloom(_) | Self::ClassicBloom(_) | Self::Cuckoo(_) => 0,
+            Self::Fuse(f) => u64::from(f.construction_retries()),
         }
     }
 
@@ -84,6 +113,7 @@ impl AnyFilter {
             Self::Bloom(f) => f.modeled_fpr(),
             Self::ClassicBloom(f) => f.modeled_fpr(),
             Self::Cuckoo(f) => f.modeled_fpr(),
+            Self::Fuse(f) => f.fuse_config().modeled_fpr(),
         }
     }
 
@@ -94,6 +124,7 @@ impl AnyFilter {
             Self::Bloom(f) => f.kernel_name(),
             Self::ClassicBloom(_) => "scalar",
             Self::Cuckoo(f) => f.kernel_name(),
+            Self::Fuse(_) => "scalar",
         }
     }
 
@@ -101,7 +132,7 @@ impl AnyFilter {
     pub fn force_scalar(&mut self) {
         match self {
             Self::Bloom(f) => f.force_scalar(),
-            Self::ClassicBloom(_) => {}
+            Self::ClassicBloom(_) | Self::Fuse(_) => {}
             Self::Cuckoo(f) => f.force_scalar(),
         }
     }
@@ -109,14 +140,15 @@ impl AnyFilter {
     /// Attach a counting sidecar to a Bloom-family filter, making
     /// [`Filter::try_delete`] clear bits in place (see
     /// [`pof_bloom::CountingSidecar`]). A no-op for Cuckoo filters, which
-    /// delete natively — after this call `supports_delete()` holds for
-    /// *every* family. Must be called before the first insert (Bloom
-    /// counters have to witness every insertion).
+    /// delete natively — after this call `supports_delete()` holds for every
+    /// *mutable* family (fuse filters stay immutable: no sidecar can carve a
+    /// key out of XOR-shared fingerprint slots). Must be called before the
+    /// first insert (Bloom counters have to witness every insertion).
     pub fn enable_counting(&mut self) {
         match self {
             Self::Bloom(f) => f.enable_counting(),
             Self::ClassicBloom(f) => f.enable_counting(),
-            Self::Cuckoo(_) => {}
+            Self::Cuckoo(_) | Self::Fuse(_) => {}
         }
     }
 
@@ -127,7 +159,7 @@ impl AnyFilter {
         match self {
             Self::Bloom(f) => f.counting_bytes(),
             Self::ClassicBloom(f) => f.counting_bytes(),
-            Self::Cuckoo(_) => 0,
+            Self::Cuckoo(_) | Self::Fuse(_) => 0,
         }
     }
 
@@ -141,6 +173,7 @@ impl AnyFilter {
             Self::Bloom(f) => Self::Bloom(f.read_only_clone()),
             Self::ClassicBloom(f) => Self::ClassicBloom(f.read_only_clone()),
             Self::Cuckoo(f) => Self::Cuckoo(f.clone()),
+            Self::Fuse(f) => Self::Fuse(f.clone()),
         }
     }
 }
@@ -151,6 +184,9 @@ impl Filter for AnyFilter {
             Self::Bloom(f) => f.insert(key),
             Self::ClassicBloom(f) => f.insert(key),
             Self::Cuckoo(f) => f.insert(key),
+            // Immutable: a no-op `true` for keys already present, `false`
+            // (could not accommodate) otherwise — callers rebuild from keys.
+            Self::Fuse(f) => f.insert(key),
         }
     }
 
@@ -159,6 +195,7 @@ impl Filter for AnyFilter {
             Self::Bloom(f) => f.contains(key),
             Self::ClassicBloom(f) => f.contains(key),
             Self::Cuckoo(f) => f.contains(key),
+            Self::Fuse(f) => f.contains(key),
         }
     }
 
@@ -173,6 +210,10 @@ impl Filter for AnyFilter {
             Self::Bloom(f) => f.try_delete(key),
             Self::ClassicBloom(f) => f.try_delete(key),
             Self::Cuckoo(f) => f.try_delete(key),
+            // `Unsupported` for present keys (immutable), `NotFound` for
+            // absent ones — no-false-negatives proves absence, so stores can
+            // skip tombstoning a key that was never there.
+            Self::Fuse(f) => f.try_delete(key),
         }
     }
 
@@ -181,6 +222,7 @@ impl Filter for AnyFilter {
             Self::Bloom(f) => f.supports_delete(),
             Self::ClassicBloom(f) => f.supports_delete(),
             Self::Cuckoo(f) => f.supports_delete(),
+            Self::Fuse(f) => f.supports_delete(),
         }
     }
 
@@ -189,6 +231,7 @@ impl Filter for AnyFilter {
             Self::Bloom(f) => f.contains_batch(keys, sel),
             Self::ClassicBloom(f) => f.contains_batch(keys, sel),
             Self::Cuckoo(f) => f.contains_batch(keys, sel),
+            Self::Fuse(f) => f.contains_batch(keys, sel),
         }
     }
 
@@ -197,6 +240,7 @@ impl Filter for AnyFilter {
             Self::Bloom(f) => f.size_bits(),
             Self::ClassicBloom(f) => f.size_bits(),
             Self::Cuckoo(f) => f.size_bits(),
+            Self::Fuse(f) => f.size_bits(),
         }
     }
 
@@ -204,6 +248,7 @@ impl Filter for AnyFilter {
         match self {
             Self::Bloom(_) | Self::ClassicBloom(_) => FilterKind::Bloom,
             Self::Cuckoo(_) => FilterKind::Cuckoo,
+            Self::Fuse(_) => FilterKind::Fuse,
         }
     }
 
@@ -212,6 +257,7 @@ impl Filter for AnyFilter {
             Self::Bloom(f) => f.config_label(),
             Self::ClassicBloom(f) => f.config_label(),
             Self::Cuckoo(f) => f.config_label(),
+            Self::Fuse(f) => f.config_label(),
         }
     }
 }
@@ -298,6 +344,7 @@ mod tests {
                     assert_eq!(filter.try_delete(keys[0]), DeleteOutcome::Unsupported);
                     assert!(filter.contains(keys[0]), "{}", config.label());
                 }
+                FilterKind::Fuse => unreachable!("sample_configs carries no fuse entries"),
             }
         }
     }
@@ -321,6 +368,7 @@ mod tests {
             match filter.kind() {
                 FilterKind::Bloom => assert!(filter.counting_bytes() > 0),
                 FilterKind::Cuckoo => assert_eq!(filter.counting_bytes(), 0),
+                FilterKind::Fuse => unreachable!("sample_configs carries no fuse entries"),
             }
             // The read-only clone answers identically; Bloom clones drop the
             // sidecar (and with it deletability), Cuckoo clones keep theirs.
@@ -336,6 +384,48 @@ mod tests {
                 assert!(clone.contains(key), "{}", config.label());
             }
         }
+    }
+
+    #[test]
+    fn fuse_dispatches_as_an_immutable_family() {
+        let mut gen = KeyGen::new(45);
+        let keys = gen.distinct_keys(5_000);
+        let config = FilterConfig::Fuse(pof_xorfuse::FuseConfig::fuse8());
+        let mut filter = AnyFilter::build_with_keys(&config, &keys, 10.0).expect("fuse builds");
+        assert_eq!(filter.kind(), FilterKind::Fuse);
+        assert_eq!(filter.config(), config);
+        assert_eq!(filter.kernel_name(), "scalar");
+        assert!((filter.modeled_fpr() - 1.0 / 256.0).abs() < 1e-12);
+        for &key in &keys {
+            assert!(filter.contains(key), "fuse lost an inserted key");
+        }
+        // Batch lookups agree with point lookups through the enum dispatch.
+        let probes = gen.keys(10_000);
+        let mut sel = SelectionVector::new();
+        filter.contains_batch(&probes, &mut sel);
+        let expected = probes.iter().filter(|k| filter.contains(**k)).count();
+        assert_eq!(sel.len(), expected);
+        // Immutability surfaces uniformly: present keys refuse deletion, a
+        // provably absent key reports NotFound, inserts of new keys refuse.
+        assert!(!filter.supports_delete());
+        assert_eq!(filter.try_delete(keys[0]), DeleteOutcome::Unsupported);
+        assert!(filter.contains(keys[0]));
+        let absent = (0..u32::MAX)
+            .find(|k| !filter.contains(*k))
+            .expect("fpr < 1 leaves a negative");
+        assert_eq!(filter.try_delete(absent), DeleteOutcome::NotFound);
+        assert!(!filter.insert(absent));
+        assert!(filter.insert(keys[0]), "present-key insert is a no-op true");
+        // Counting sidecars don't apply; clones stay cheap and read-only.
+        filter.enable_counting();
+        assert!(!filter.supports_delete());
+        assert_eq!(filter.counting_bytes(), 0);
+        let clone = filter.read_only_clone();
+        assert!(clone.contains(keys[0]));
+        assert_eq!(clone.construction_retries(), filter.construction_retries());
+        // Mutable families report zero construction retries.
+        let bloom = AnyFilter::build(&sample_configs()[0], 100, 10.0);
+        assert_eq!(bloom.construction_retries(), 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use pof_bloom::{Addressing, BloomConfig};
 use pof_cuckoo::{CuckooAddressing, CuckooConfig};
 use pof_filter::FilterKind;
+use pof_xorfuse::FuseConfig;
 
 /// A point in the configuration space: the filter type plus its parameters
 /// (excluding the size `m`, which the skyline sweeps separately).
@@ -25,6 +26,9 @@ pub enum FilterConfig {
     },
     /// A Cuckoo filter.
     Cuckoo(CuckooConfig),
+    /// An immutable binary-fuse filter (Graf & Lemire), constructed from a
+    /// complete key set and rebuilt wholesale on every mutation.
+    Fuse(FuseConfig),
 }
 
 impl FilterConfig {
@@ -34,6 +38,28 @@ impl FilterConfig {
         match self {
             Self::Bloom(_) | Self::ClassicBloom { .. } => FilterKind::Bloom,
             Self::Cuckoo(_) => FilterKind::Cuckoo,
+            Self::Fuse(_) => FilterKind::Fuse,
+        }
+    }
+
+    /// True for families that cannot be mutated in place: every insert or
+    /// delete must be applied by reconstructing the filter from the
+    /// authoritative key set (the sharded store routes such shards through
+    /// its rebuild machinery unconditionally).
+    #[must_use]
+    pub fn immutable(&self) -> bool {
+        matches!(self, Self::Fuse(_))
+    }
+
+    /// Fingerprint width in bits for families that store discrete
+    /// fingerprints per key (fuse: 8/16, Cuckoo: the signature length);
+    /// 0 for Bloom variants, whose bits are shared between keys.
+    #[must_use]
+    pub fn fingerprint_bits(&self) -> u32 {
+        match self {
+            Self::Bloom(_) | Self::ClassicBloom { .. } => 0,
+            Self::Cuckoo(c) => c.signature_bits,
+            Self::Fuse(c) => c.fingerprint_bits(),
         }
     }
 
@@ -44,12 +70,14 @@ impl FilterConfig {
             Self::Bloom(c) => c.label(),
             Self::ClassicBloom { k } => format!("classic-bloom(k={k})"),
             Self::Cuckoo(c) => c.label(),
+            Self::Fuse(c) => c.label(),
         }
     }
 
     /// Analytical false-positive rate of the configuration at a bits-per-key
     /// budget, or `None` when the configuration cannot represent `n` keys in
-    /// that budget (Cuckoo load factor above its maximum).
+    /// that budget (Cuckoo load factor above its maximum; fuse structural
+    /// size above the budget).
     #[must_use]
     pub fn modeled_fpr(&self, n: f64, bits_per_key: f64) -> Option<f64> {
         let m = n * bits_per_key;
@@ -61,18 +89,41 @@ impl FilterConfig {
                 c.signature_bits,
                 c.bucket_size,
             ),
+            // A fuse filter's size is structural, not budgeted: the rate is
+            // 2^-bits whenever the budget covers the real layout, and the
+            // configuration is infeasible below that floor.
+            Self::Fuse(c) => (bits_per_key >= c.structural_bits_per_key(n.max(1.0) as u64))
+                .then(|| c.modeled_fpr()),
         }
     }
 
     /// Number of cache lines a lookup touches (1 for every blocked Bloom
-    /// variant, 2 for Cuckoo, `k` for the classic filter). This is the main
-    /// driver of the out-of-cache lookup cost difference (Figure 14).
+    /// variant, 2 for Cuckoo, 3 for fuse, `k` for the classic filter). This
+    /// is the main driver of the out-of-cache lookup cost difference
+    /// (Figure 14).
     #[must_use]
     pub fn cache_lines_per_lookup(&self) -> u32 {
         match self {
             Self::Bloom(_) => 1,
             Self::ClassicBloom { k } => *k,
             Self::Cuckoo(_) => 2,
+            Self::Fuse(_) => 3,
+        }
+    }
+
+    /// Modeled construction cost in cycles per key, the input to the
+    /// advisor's build-cost term. Mutable families absorb construction
+    /// incrementally on their write path (a couple of hashes and stores per
+    /// insert; Cuckoo adds expected relocation work), while a fuse filter
+    /// pays a whole-set peeling pass — hash all keys, build the degree
+    /// graph, peel, assign — every time it is (re)constructed.
+    #[must_use]
+    pub fn build_cycles_per_key(&self) -> f64 {
+        match self {
+            Self::Bloom(_) => 8.0,
+            Self::ClassicBloom { k } => 4.0 + f64::from(*k),
+            Self::Cuckoo(_) => 32.0,
+            Self::Fuse(_) => 150.0,
         }
     }
 }
@@ -84,6 +135,12 @@ pub struct ConfigSpace {
     pub include_magic: bool,
     /// Include the classic Bloom filter baseline.
     pub include_classic: bool,
+    /// Include the immutable binary-fuse family. Off by default — and off
+    /// even in [`ConfigSpace::full`] — because fuse filters only fit serving
+    /// paths that rebuild wholesale (tiered cold levels); flat stores and
+    /// the paper's original two-family skylines opt in explicitly via
+    /// [`ConfigSpace::with_fuse`].
+    pub include_fuse: bool,
     /// Reduce the grid to the configurations that ever win in the paper's
     /// skylines (for quick laptop-scale runs).
     pub quick: bool,
@@ -94,6 +151,7 @@ impl Default for ConfigSpace {
         Self {
             include_magic: true,
             include_classic: false,
+            include_fuse: false,
             quick: true,
         }
     }
@@ -106,7 +164,27 @@ impl ConfigSpace {
         Self {
             include_magic: true,
             include_classic: true,
+            include_fuse: false,
             quick: false,
+        }
+    }
+
+    /// The same grid with the immutable binary-fuse family added — the
+    /// space rebuild-wholesale serving paths (tiered levels) advise over.
+    #[must_use]
+    pub fn with_fuse(mut self) -> Self {
+        self.include_fuse = true;
+        self
+    }
+
+    /// The candidate fuse configurations (both fingerprint widths), empty
+    /// unless [`ConfigSpace::include_fuse`] is set.
+    #[must_use]
+    pub fn fuse_configs(&self) -> Vec<FuseConfig> {
+        if self.include_fuse {
+            vec![FuseConfig::fuse8(), FuseConfig::fuse16()]
+        } else {
+            Vec::new()
         }
     }
 
@@ -208,6 +286,7 @@ impl ConfigSpace {
                 all.push(FilterConfig::ClassicBloom { k });
             }
         }
+        all.extend(self.fuse_configs().into_iter().map(FilterConfig::Fuse));
         all
     }
 
@@ -237,6 +316,9 @@ mod tests {
                 FilterConfig::Bloom(c) => assert!(c.validate().is_ok(), "{}", c.label()),
                 FilterConfig::Cuckoo(c) => assert!(c.validate().is_ok(), "{}", c.label()),
                 FilterConfig::ClassicBloom { k } => assert!(*k >= 1),
+                FilterConfig::Fuse(c) => {
+                    assert!(c.fingerprint_bits() == 8 || c.fingerprint_bits() == 16)
+                }
             }
         }
     }
@@ -279,6 +361,60 @@ mod tests {
     }
 
     #[test]
+    fn fuse_space_is_opt_in_and_gated_by_structural_size() {
+        // Absent from the default, full and quick grids; present with the
+        // explicit toggle.
+        assert!(ConfigSpace::default()
+            .all_configs()
+            .iter()
+            .all(|c| c.kind() != FilterKind::Fuse));
+        assert!(ConfigSpace::full()
+            .all_configs()
+            .iter()
+            .all(|c| c.kind() != FilterKind::Fuse));
+        let fused = ConfigSpace::default().with_fuse().all_configs();
+        assert_eq!(
+            fused
+                .iter()
+                .filter(|c| c.kind() == FilterKind::Fuse)
+                .count(),
+            2
+        );
+        // Feasibility: the 2^-bits rate appears only once the budget clears
+        // the structural layout (~9.1 bits/key for fuse8, ~18.2 for fuse16
+        // at 10^6 keys) — below it the configuration is rejected outright.
+        let fuse8 = FilterConfig::Fuse(FuseConfig::fuse8());
+        assert!(fuse8.modeled_fpr(1e6, 8.0).is_none());
+        let rate = fuse8.modeled_fpr(1e6, 10.0).expect("10 bits covers fuse8");
+        assert!((rate - (2f64).powi(-8)).abs() < 1e-12);
+        let fuse16 = FilterConfig::Fuse(FuseConfig::fuse16());
+        assert!(fuse16.modeled_fpr(1e6, 16.0).is_none());
+        assert!(fuse16.modeled_fpr(1e6, 20.0).is_some());
+        // Occupancy-independent: same rate at any feasible budget.
+        assert_eq!(fuse8.modeled_fpr(1e6, 12.0), fuse8.modeled_fpr(1e6, 20.0));
+    }
+
+    #[test]
+    fn immutability_and_fingerprint_metadata() {
+        assert!(FilterConfig::Fuse(FuseConfig::fuse8()).immutable());
+        assert!(!FilterConfig::Cuckoo(CuckooConfig::representative()).immutable());
+        assert!(!FilterConfig::ClassicBloom { k: 4 }.immutable());
+        assert_eq!(
+            FilterConfig::Fuse(FuseConfig::fuse16()).fingerprint_bits(),
+            16
+        );
+        assert_eq!(
+            FilterConfig::Cuckoo(CuckooConfig::new(12, 2, CuckooAddressing::PowerOfTwo))
+                .fingerprint_bits(),
+            12
+        );
+        assert_eq!(
+            FilterConfig::Bloom(BloomConfig::blocked(512, 8, Addressing::Magic)).fingerprint_bits(),
+            0
+        );
+    }
+
+    #[test]
     fn cache_line_model() {
         assert_eq!(
             FilterConfig::Bloom(BloomConfig::blocked(512, 8, Addressing::Magic))
@@ -292,6 +428,10 @@ mod tests {
         assert_eq!(
             FilterConfig::ClassicBloom { k: 7 }.cache_lines_per_lookup(),
             7
+        );
+        assert_eq!(
+            FilterConfig::Fuse(FuseConfig::fuse8()).cache_lines_per_lookup(),
+            3
         );
     }
 }

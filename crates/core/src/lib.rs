@@ -10,7 +10,8 @@
 //! * [`overhead`] — the overhead model `ρ(F) = t_l(F) + f(F)·t_w` (Eq. 1) and
 //!   the benefit criterion `ρ < (1 − σ)·t_w`,
 //! * [`configspace`] — the grid of candidate Bloom and Cuckoo configurations
-//!   the paper sweeps in §6,
+//!   the paper sweeps in §6, plus an opt-in immutable Xor/fuse family
+//!   ([`configspace::ConfigSpace::with_fuse`]) for cold static tiers,
 //! * [`anyfilter`] — a dynamically configured filter that can be built from
 //!   any point of that grid,
 //! * [`calibration`] — the one-time microbenchmark phase measuring the lookup
@@ -56,4 +57,5 @@ pub use calibration::{CalibrationRecord, CalibrationSet, Calibrator};
 pub use configspace::{ConfigSpace, FilterConfig};
 pub use overhead::Overhead;
 pub use platform::Platform;
+pub use pof_xorfuse::{FuseConfig, FuseFilter, FuseMutation};
 pub use skyline::{Skyline, SkylineGrid, SkylinePoint};

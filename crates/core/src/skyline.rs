@@ -162,16 +162,18 @@ impl<'a> Skyline<'a> {
             for &tw in &grid.tw_values {
                 let mut best: Option<(FilterConfig, f64, f64, f64, f64)> = None;
                 let mut best_other: Option<f64> = None;
-                let mut best_per_kind: [Option<f64>; 2] = [None, None];
+                let mut best_per_kind: [Option<f64>; 3] = [None, None, None];
+                let kind_index = |kind: FilterKind| match kind {
+                    FilterKind::Bloom => 0usize,
+                    FilterKind::Cuckoo => 1,
+                    FilterKind::Fuse => 2,
+                };
                 for config in &configs {
                     let Some((bpk, rho, fpr, lookup)) = self.best_operating_point(config, n, tw)
                     else {
                         continue;
                     };
-                    let kind_idx = match config.kind() {
-                        FilterKind::Bloom => 0,
-                        FilterKind::Cuckoo => 1,
-                    };
+                    let kind_idx = kind_index(config.kind());
                     if best_per_kind[kind_idx].is_none_or(|r| rho < r) {
                         best_per_kind[kind_idx] = Some(rho);
                     }
@@ -182,11 +184,16 @@ impl<'a> Skyline<'a> {
                 let Some((config, bpk, rho, fpr, lookup)) = best else {
                     continue;
                 };
-                let other_idx = match config.kind() {
-                    FilterKind::Bloom => 1,
-                    FilterKind::Cuckoo => 0,
-                };
-                if let Some(other) = best_per_kind[other_idx] {
+                // The Figure-11a comparison: the best rho among all *other*
+                // families present in the space.
+                let winner_idx = kind_index(config.kind());
+                let other = best_per_kind
+                    .iter()
+                    .enumerate()
+                    .filter(|&(idx, _)| idx != winner_idx)
+                    .filter_map(|(_, rho)| *rho)
+                    .fold(f64::INFINITY, f64::min);
+                if other.is_finite() {
                     best_other = Some(other);
                 }
                 points.push(SkylinePoint {
@@ -226,6 +233,7 @@ pub fn synthetic_calibration(
                 FilterConfig::Bloom(c) => c.accesses_per_lookup() as f64,
                 FilterConfig::ClassicBloom { k } => f64::from(*k),
                 FilterConfig::Cuckoo(_) => 2.0,
+                FilterConfig::Fuse(_) => 3.0,
             };
             let compute = 2.0 + 0.75 * accesses;
             let memory = config.cache_lines_per_lookup() as f64 * per_line;
@@ -363,6 +371,42 @@ mod tests {
                 .unwrap()
         };
         assert!(fpr_at(16.0) >= fpr_at(1_048_576.0));
+    }
+
+    #[test]
+    fn fuse_enabled_space_takes_the_cold_static_end() {
+        // With the immutable family opted in, the skyline's cold (huge t_w)
+        // region flips from Cuckoo to fuse wherever the budget sweep covers
+        // the structural fuse16 layout (~19 bits/key): its 2^-16 rate at
+        // ~18 bits beats every Cuckoo cell's f·t_w by an order of magnitude,
+        // and at tiny t_w Bloom's single cache line still wins.
+        let space = ConfigSpace::default().with_fuse();
+        let calibration = synthetic_calibration(&space, &default_cache_cost_model());
+        let skyline = Skyline::new(space, &calibration);
+        let points = skyline.compute(&SkylineGrid::quick());
+        for point in &points {
+            if point.tw <= 64.0 {
+                assert_eq!(
+                    point.best_kind,
+                    FilterKind::Bloom,
+                    "n={} tw={}: hot end lost to {}",
+                    point.n,
+                    point.tw,
+                    point.best_label
+                );
+            }
+            if point.tw >= 16_000_000.0 && point.n >= 1 << 16 {
+                assert_eq!(
+                    point.best_kind,
+                    FilterKind::Fuse,
+                    "n={} tw={}: cold end lost to {}",
+                    point.n,
+                    point.tw,
+                    point.best_label
+                );
+                assert!(point.speedup_over_other_kind() > 1.0);
+            }
+        }
     }
 
     #[test]

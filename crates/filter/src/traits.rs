@@ -11,6 +11,9 @@ pub enum FilterKind {
     Bloom,
     /// A Cuckoo filter.
     Cuckoo,
+    /// An immutable Xor / binary-fuse filter, constructed from a complete
+    /// key set and never mutated in place.
+    Fuse,
 }
 
 impl std::fmt::Display for FilterKind {
@@ -18,6 +21,7 @@ impl std::fmt::Display for FilterKind {
         match self {
             Self::Bloom => write!(f, "Bloom"),
             Self::Cuckoo => write!(f, "Cuckoo"),
+            Self::Fuse => write!(f, "Fuse"),
         }
     }
 }
@@ -214,5 +218,6 @@ mod tests {
     fn filter_kind_display() {
         assert_eq!(FilterKind::Bloom.to_string(), "Bloom");
         assert_eq!(FilterKind::Cuckoo.to_string(), "Cuckoo");
+        assert_eq!(FilterKind::Fuse.to_string(), "Fuse");
     }
 }

@@ -237,9 +237,15 @@ enum LevelPlan {
 
 /// Builder for [`TieredStore`]: levels are declared newest-first, each
 /// described by a [`LevelSpec`]; the advisor pins every advised level's
-/// family (Bloom for hot/cheap-miss levels, Cuckoo for cold/expensive-miss
-/// levels), bits-per-key budget and Bloom delete mode (counting for
-/// delete-heavy Bloom levels, tombstone otherwise).
+/// family (Bloom for hot/cheap-miss levels, an immutable fuse filter for
+/// cold *static* expensive-miss levels, Cuckoo for cold levels that still
+/// churn), bits-per-key budget and Bloom delete mode (counting for
+/// delete-heavy Bloom levels, tombstone otherwise). Advised levels sweep
+/// the fuse-enabled configuration space
+/// ([`ConfigSpace::with_fuse`](pof_core::ConfigSpace::with_fuse)): the
+/// build-cost term charges immutable candidates for their construction and
+/// rebuild amplification, so fuse only wins where its memory/FPR edge pays
+/// for the re-peels the level's churn would force.
 ///
 /// ```
 /// use pof_store::{LevelSpec, TieredStoreBuilder};
@@ -250,14 +256,14 @@ enum LevelPlan {
 ///     .level(LevelSpec {
 ///         expected_keys: 1 << 14,
 ///         work_saved_cycles: 32.0, // a skipped memtable probe
-///         sigma: 0.1,
 ///         delete_rate: 0.5,
+///         ..LevelSpec::default()
 ///     })
 ///     .level(LevelSpec {
 ///         expected_keys: 1 << 17,
 ///         work_saved_cycles: 16_000_000.0, // a skipped disk read
-///         sigma: 0.1,
 ///         delete_rate: 0.0,
+///         ..LevelSpec::default()
 ///     })
 ///     .build();
 /// assert_eq!(store.level_count(), 2);
@@ -378,9 +384,12 @@ impl TieredStoreBuilder {
             "a tiered store needs at least one level"
         );
         let shard_count = self.shards_per_level.max(1).next_power_of_two();
-        // One advisor (synthetic calibration over the default space) shared
-        // by every advised level, built lazily so fully pinned stores — the
-        // deterministic test path — skip the calibration sweep entirely.
+        // One advisor shared by every advised level, built lazily so fully
+        // pinned stores — the deterministic test path — skip the calibration
+        // sweep entirely. Tiered stores sweep the fuse-enabled space: a
+        // level's store routes every mutation on an immutable shard through
+        // the snapshot→build→swap machinery, so the advisor is free to put
+        // cold static levels on a fuse filter.
         let mut advisor: Option<FilterAdvisor> = None;
         let levels = self
             .levels
@@ -395,7 +404,9 @@ impl TieredStoreBuilder {
                     } => (spec, config, bits_per_key, delete_mode),
                     LevelPlan::Advised(spec) => {
                         let advisor = advisor.get_or_insert_with(|| {
-                            FilterAdvisor::with_synthetic_calibration(ConfigSpace::default())
+                            FilterAdvisor::with_synthetic_calibration(
+                                ConfigSpace::default().with_fuse(),
+                            )
                         });
                         let level = advisor.recommend_for_level(&spec);
                         let delete_mode = if level.counting_deletes {
@@ -493,29 +504,43 @@ mod tests {
 
     #[test]
     fn advised_tiered_builder_flips_families_and_delete_modes_across_levels() {
-        // The paper's per-level t_w story end to end: a delete-heavy hot
-        // level with cheap misses gets a counting Bloom filter, a cold level
-        // behind simulated-disk misses gets a Cuckoo filter.
+        // The paper's per-level t_w story end to end, extended by the
+        // build-cost term: a delete-heavy hot level with cheap misses gets a
+        // counting Bloom filter; a *static* cold level behind simulated-disk
+        // misses gets an immutable fuse filter (best memory/FPR, and no
+        // churn to amplify its re-peel cost); a cold level that still churns
+        // gets Cuckoo (in-place deletes beat repeated whole-set re-peels).
         let store = TieredStoreBuilder::new()
             .level(LevelSpec {
                 expected_keys: 1 << 14,
                 work_saved_cycles: 32.0,
-                sigma: 0.1,
                 delete_rate: 0.5,
+                ..LevelSpec::default()
             })
             .level(LevelSpec {
                 expected_keys: 1 << 17,
                 work_saved_cycles: 16_000_000.0,
-                sigma: 0.1,
+                delete_rate: 0.5,
+                ..LevelSpec::default()
+            })
+            .level(LevelSpec {
+                expected_keys: 1 << 17,
+                work_saved_cycles: 16_000_000.0,
                 delete_rate: 0.0,
+                ..LevelSpec::default()
             })
             .shards_per_level(2)
             .build();
         let stats = store.stats();
         assert_eq!(stats.levels[0].family, FilterKind::Bloom);
         assert_eq!(stats.levels[0].delete_mode, BloomDeleteMode::Counting);
+        assert!(!store.level_store(0).config().immutable());
         assert_eq!(stats.levels[1].family, FilterKind::Cuckoo);
         assert_eq!(stats.levels[1].delete_mode, BloomDeleteMode::Tombstone);
+        assert_eq!(stats.levels[2].family, FilterKind::Fuse);
+        assert_eq!(stats.levels[2].delete_mode, BloomDeleteMode::Tombstone);
+        assert!(store.level_store(2).config().immutable());
+        assert!(stats.levels[2].fingerprint_bits > 0);
         assert_eq!(stats.compaction_policy, "size-ratio");
     }
 }

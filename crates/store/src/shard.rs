@@ -54,6 +54,37 @@ fn build_shard_filter(
     filter
 }
 
+/// (Re)build a shard filter over a complete key set, returning the filter and
+/// the capacity it was sized for. Mutable families replay the keys in
+/// insertion order, growing geometrically until every key fits; immutable
+/// (fuse) families peel the whole set in one shot — their size follows from
+/// the key count, so the grow loop does not apply (and must not run: a fuse
+/// filter refuses incremental inserts, which would spin the loop forever).
+fn build_populated_filter(
+    config: &FilterConfig,
+    keys: &[u32],
+    capacity: usize,
+    bits_per_key: f64,
+    counting: bool,
+) -> (AnyFilter, usize) {
+    if config.immutable() {
+        let filter = AnyFilter::build_with_keys(config, keys, bits_per_key)
+            .expect("fuse construction cannot refuse keys");
+        return (filter, capacity.max(keys.len()).max(64));
+    }
+    'grow: for attempt in 0.. {
+        let grown = capacity << attempt;
+        let mut filter = build_shard_filter(config, grown, bits_per_key, counting);
+        for &key in keys {
+            if !filter.insert(key) {
+                continue 'grow;
+            }
+        }
+        return (filter, grown);
+    }
+    unreachable!("rebuild retries grow geometrically and must eventually fit");
+}
+
 /// What readers probe: the shard's filter at one publish point, plus the
 /// exact overflow side buffer of keys a deferring policy has not yet folded
 /// into the filter. Probing the buffer keeps the no-false-negative contract
@@ -154,18 +185,13 @@ impl RebuildPlan {
     /// subsystem tries to avoid). Keeping the window short keeps the delta
     /// small.
     pub(crate) fn build(&self) -> (AnyFilter, usize) {
-        'grow: for attempt in 0.. {
-            let grown = self.capacity << attempt;
-            let mut filter =
-                build_shard_filter(&self.config, grown, self.bits_per_key, self.counting);
-            for &key in &self.keys {
-                if !filter.insert(key) {
-                    continue 'grow;
-                }
-            }
-            return (filter, grown);
-        }
-        unreachable!("rebuild retries grow geometrically and must eventually fit");
+        build_populated_filter(
+            &self.config,
+            &self.keys,
+            self.capacity,
+            self.bits_per_key,
+            self.counting,
+        )
     }
 }
 
@@ -302,6 +328,10 @@ impl Shard {
             .modeled_fpr(capacity as f64, bits_per_key)
             .unwrap_or_else(|| match &config {
                 FilterConfig::Cuckoo(c) => c.modeled_fpr(0.95),
+                // A fuse filter's FPR is fixed by its fingerprint width
+                // regardless of the (possibly structurally infeasible)
+                // bits-per-key budget it was recommended under.
+                FilterConfig::Fuse(c) => c.modeled_fpr(),
                 // Bloom budgets are always feasible; this arm is unreachable.
                 _ => f64::INFINITY,
             });
@@ -375,6 +405,13 @@ impl Shard {
                 fresh += 1;
             }
         }
+        // Immutable shards park every fresh key in the overflow buffer (the
+        // filter refuses in-place inserts); fold the batch's parked keys into
+        // a re-peeled replacement once, at batch end — one rebuild (or one
+        // background request) per batch, not one per key.
+        if fresh > 0 {
+            writer.fold_immutable();
+        }
         let ticket = writer.ticket.take();
         // Any fresh key changed either the filter or the overflow buffer;
         // an all-duplicate batch changed neither.
@@ -404,6 +441,13 @@ impl Shard {
                 if !writer.rebuild_or_request(capacity, true) {
                     observable = true;
                 }
+            }
+            // Immutable shards cannot unset fingerprints: deleted keys left
+            // tombstones behind, purged by re-peeling the surviving key set.
+            // Absent-key (NotFound) deletes minted no tombstone above and so
+            // trigger no rebuild here.
+            if writer.fold_immutable() {
+                observable = true;
             }
         }
         let ticket = writer.ticket.take();
@@ -619,13 +663,26 @@ impl ShardWriter {
                 // The overflow buffer grew while a rebuild is in flight:
                 // policies enforcing a hard bound on it (DeferredBatch's
                 // 4x cap) must still get their say, or the bound would be
-                // unenforceable for the whole build window.
-                if self.policy.urgency(&self.observe()) == RebuildUrgency::Immediate {
+                // unenforceable for the whole build window. Immutable
+                // shards are exempt — parking the whole in-flight batch is
+                // their design, and `shed_backpressure` below still bounds
+                // the build window through the delta length.
+                if !self.config.immutable()
+                    && self.policy.urgency(&self.observe()) == RebuildUrgency::Immediate
+                {
                     self.inline_fallback();
                     return true;
                 }
             }
             self.shed_backpressure();
+            return true;
+        }
+        if self.config.immutable() {
+            // No in-place insert exists for this family, so the per-key
+            // policy consultation is moot: park the key (readers probe the
+            // buffer, nothing goes missing) and let the batch-end fold
+            // decide when to re-peel.
+            self.defer(key);
             return true;
         }
         match self.policy.on_append(&self.observe()) {
@@ -659,6 +716,32 @@ impl ShardWriter {
         true
     }
 
+    /// Batch-end fold for immutable (fuse) shards: if parked keys or
+    /// tombstones have accumulated and no rebuild is already in flight,
+    /// re-peel the filter from the authoritative key set (inline in
+    /// synchronous mode, as a maintainer request otherwise). Returns `true`
+    /// when an inline rebuild ran — the published state changed. A no-op for
+    /// mutable families and for clean immutable shards.
+    fn fold_immutable(&mut self) -> bool {
+        if !self.config.immutable() || self.pending.is_some() {
+            return false;
+        }
+        if self.overflow.is_empty() && self.tombstones == 0 {
+            return false;
+        }
+        !self.rebuild_or_request(self.refit_capacity(), true)
+    }
+
+    /// Capacity for an immutable re-peel: the current capacity, doubled
+    /// until the live key set fits.
+    fn refit_capacity(&self) -> usize {
+        let mut capacity = self.capacity.max(64);
+        while capacity < self.keys.len() {
+            capacity *= 2;
+        }
+        capacity
+    }
+
     /// Execute a `Rebuild` decision: inline in synchronous mode (or when the
     /// policy marks the decision [`RebuildUrgency::Immediate`]), otherwise
     /// record the pending state and leave a [`RebuildTicket`] for the
@@ -667,7 +750,13 @@ impl ShardWriter {
     /// `foreground` marks write-path callers, whose inline rebuilds count
     /// toward the writer rebuild-stall statistic.
     fn rebuild_or_request(&mut self, capacity: usize, foreground: bool) -> bool {
-        if self.background && self.policy.urgency(&self.observe()) == RebuildUrgency::Deferrable {
+        // Immutable shards always defer when a maintainer exists: their
+        // overflow buffer legitimately holds a whole batch between fold and
+        // swap, which a mutable-world urgency bound (DeferredBatch's 4x
+        // overflow cap) would misread as a runaway buffer.
+        let deferrable = self.config.immutable()
+            || self.policy.urgency(&self.observe()) == RebuildUrgency::Deferrable;
+        if self.background && deferrable {
             self.pending = Some(PendingRebuild {
                 epoch: self.rebuild_epoch,
                 capacity,
@@ -819,6 +908,14 @@ impl ShardWriter {
         if self.pending.is_some() {
             return RebuildDecision::Keep;
         }
+        // Immutable shards override the policy: parked keys and tombstones
+        // can only ever leave through a re-peel, so maintenance *must* fold
+        // them regardless of what a mutable-world policy would decide.
+        if self.config.immutable() && (!self.overflow.is_empty() || self.tombstones > 0) {
+            return RebuildDecision::Rebuild {
+                capacity: self.refit_capacity(),
+            };
+        }
         match self.policy.on_maintain(&self.observe()) {
             RebuildDecision::Defer => RebuildDecision::Keep,
             decision => decision,
@@ -842,24 +939,19 @@ impl ShardWriter {
     fn rebuild(&mut self, capacity: usize) {
         let capacity = capacity.max(64);
         self.keys.fold();
-        'grow: for attempt in 0.. {
-            let grown = capacity << attempt;
-            let mut filter =
-                build_shard_filter(&self.config, grown, self.bits_per_key, self.counting);
-            for &key in self.keys.as_ordered_slice() {
-                if !filter.insert(key) {
-                    continue 'grow;
-                }
-            }
-            self.filter = filter;
-            self.capacity = grown;
-            self.overflow.clear();
-            self.tombstones = 0;
-            self.rebuilds += 1;
-            self.rebuild_epoch += 1;
-            return;
-        }
-        unreachable!("rebuild retries grow geometrically and must eventually fit");
+        let (filter, grown) = build_populated_filter(
+            &self.config,
+            self.keys.as_ordered_slice(),
+            capacity,
+            self.bits_per_key,
+            self.counting,
+        );
+        self.filter = filter;
+        self.capacity = grown;
+        self.overflow.clear();
+        self.tombstones = 0;
+        self.rebuilds += 1;
+        self.rebuild_epoch += 1;
     }
 }
 
@@ -917,6 +1009,70 @@ mod tests {
         assert!(writer.insert_one(7));
         let (removed, _) = writer.delete_many(&[7]);
         assert_eq!((removed, writer.tombstones), (1, 1));
+    }
+
+    fn fuse_config() -> FilterConfig {
+        FilterConfig::Fuse(pof_core::FuseConfig::fuse8())
+    }
+
+    /// Companion to the NotFound fix above, for the immutable family: a fuse
+    /// filter has no false negatives, so `contains == false` *proves* a key
+    /// absent — an absent-key delete must neither mint a tombstone nor
+    /// trigger a re-peel of the whole shard.
+    #[test]
+    fn absent_key_deletes_on_immutable_shards_trigger_no_rebuild() {
+        let shard = shard(fuse_config(), BloomDeleteMode::Tombstone);
+        let keys: Vec<u32> = (0..300u32).map(|i| i * 17 + 3).collect();
+        assert!(shard.insert_batch(&keys).is_none());
+        let view = shard.consistent_view();
+        let builds_before = view.rebuilds;
+        assert_eq!(view.overflow, 0, "the insert batch folded its parked keys");
+        // A key resident in the bookkeeping but provably absent from the
+        // filter (the defensive NotFound state).
+        let mut writer = shard.writer.lock().unwrap();
+        let absent = (0..u32::MAX)
+            .find(|k| !writer.filter.contains(*k))
+            .expect("fpr < 1 leaves a negative");
+        writer.adopt_untracked_key(absent);
+        drop(writer);
+        let (removed, _) = shard.delete_batch(&[absent]);
+        assert_eq!(removed, 1, "the bookkeeping entry is gone");
+        let view = shard.consistent_view();
+        assert_eq!(view.tombstones, 0, "NotFound minted a tombstone");
+        assert_eq!(view.rebuilds, builds_before, "NotFound forced a re-peel");
+        // A genuine delete of present keys tombstones, and the batch-end
+        // fold purges them through exactly one re-peel.
+        let (removed, _) = shard.delete_batch(&keys[..50]);
+        assert_eq!(removed, 50);
+        let view = shard.consistent_view();
+        assert_eq!(view.tombstones, 0, "the fold left tombstones behind");
+        assert_eq!(view.rebuilds, builds_before + 1);
+        let snapshot = shard.load();
+        for &key in &keys[50..] {
+            assert!(snapshot.contains(key), "survivor lost by the re-peel");
+        }
+    }
+
+    /// Immutable shard lifecycle: per-key writes park in the overflow
+    /// buffer, the batch end folds them with one re-peel, and no key is ever
+    /// invisible in between.
+    #[test]
+    fn immutable_shards_fold_each_batch_with_one_rebuild() {
+        let shard = shard(fuse_config(), BloomDeleteMode::Tombstone);
+        let mut inserted: Vec<u32> = Vec::new();
+        for batch in 0..4u32 {
+            let keys: Vec<u32> = (0..200u32).map(|i| batch * 10_000 + i * 7).collect();
+            assert!(shard.insert_batch(&keys).is_none());
+            inserted.extend_from_slice(&keys);
+            let view = shard.consistent_view();
+            assert_eq!(view.overflow, 0, "batch {batch} left keys parked");
+            assert_eq!(view.rebuilds, u64::from(batch) + 1, "one fold per batch");
+            let snapshot = shard.load();
+            for &key in &inserted {
+                assert!(snapshot.contains(key), "batch {batch} lost {key}");
+            }
+        }
+        assert_eq!(shard.key_count(), inserted.len());
     }
 
     /// Regression (occupancy arithmetic): with more parked keys than

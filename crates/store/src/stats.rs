@@ -64,6 +64,12 @@ pub struct ShardStats {
     pub config_label: String,
     /// Active batch-lookup kernel (`scalar`, `avx2-…`).
     pub kernel: &'static str,
+    /// Stored fingerprint width in bits (fuse and Cuckoo shards; 0 for the
+    /// Bloom family, which stores no discrete fingerprints).
+    pub fingerprint_bits: u32,
+    /// Seeded construction retries the shard's current filter needed (fuse
+    /// peeling re-seeds; always 0 for the mutable families).
+    pub construction_retries: u64,
 }
 
 /// Aggregated view over every shard of a store.
@@ -174,6 +180,18 @@ impl StoreStats {
             / total as f64
     }
 
+    /// Effective filter bits per live key across the whole store (`0.0` for
+    /// an empty store — never NaN or infinity).
+    #[must_use]
+    pub fn bits_per_live_key(&self) -> f64 {
+        let keys = self.total_keys();
+        if keys == 0 {
+            0.0
+        } else {
+            self.total_size_bits() as f64 / keys as f64
+        }
+    }
+
     /// Ratio of the largest to the smallest shard occupancy (1.0 = perfectly
     /// balanced; meaningful once shards are non-empty).
     #[must_use]
@@ -229,6 +247,12 @@ pub struct LevelStats {
     pub compacted_in: u64,
     /// Keys moved out by compactions of this level.
     pub compacted_out: u64,
+    /// Stored fingerprint width of the level's filters in bits (fuse and
+    /// Cuckoo families; 0 for Bloom levels).
+    pub fingerprint_bits: u32,
+    /// Total seeded construction retries across the level's current filters
+    /// (fuse peeling re-seeds; always 0 on mutable levels).
+    pub construction_retries: u64,
     /// The level store's full per-shard statistics.
     pub store: StoreStats,
 }
@@ -282,6 +306,18 @@ impl TieredStats {
     pub fn total_rebuilds(&self) -> u64 {
         self.levels.iter().map(|l| l.rebuilds).sum()
     }
+
+    /// Effective filter bits per live key across the whole tiered store
+    /// (`0.0` for an empty store — never NaN or infinity).
+    #[must_use]
+    pub fn bits_per_live_key(&self) -> f64 {
+        let keys = self.total_keys();
+        if keys == 0 {
+            0.0
+        } else {
+            self.total_size_bits() as f64 / keys as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +348,8 @@ mod tests {
             policy: "saturation-doubling",
             config_label: "test".to_string(),
             kernel: "scalar",
+            fingerprint_bits: 0,
+            construction_retries: 0,
         }
     }
 
@@ -342,5 +380,15 @@ mod tests {
         assert_eq!(stats.total_keys(), 0);
         assert_eq!(stats.weighted_modeled_fpr(), 0.0);
         assert_eq!(stats.imbalance(), 1.0);
+        // Ratio stats on empty stores report 0, not 0/0 = NaN or x/0 = inf
+        // (an empty shard still publishes a sized filter).
+        assert_eq!(stats.bits_per_live_key(), 0.0);
+        assert!(stats.bits_per_live_key().is_finite());
+    }
+
+    #[test]
+    fn populated_store_reports_bits_per_live_key() {
+        let stats = StoreStats::aggregate(vec![shard(0, 100, 0.01), shard(1, 300, 0.03)]);
+        assert!((stats.bits_per_live_key() - 12.0).abs() < 1e-12);
     }
 }

@@ -396,6 +396,8 @@ impl ShardedFilterStore {
                     policy: view.policy,
                     config_label: view.snapshot.filter.config_label(),
                     kernel: view.snapshot.filter.kernel_name(),
+                    fingerprint_bits: view.snapshot.filter.config().fingerprint_bits(),
+                    construction_retries: view.snapshot.filter.construction_retries(),
                 }
             })
             .collect();
@@ -663,11 +665,15 @@ mod tests {
         FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo))
     }
 
+    fn fuse_config() -> FilterConfig {
+        FilterConfig::Fuse(pof_core::FuseConfig::fuse8())
+    }
+
     #[test]
     fn no_false_negatives_across_shard_counts_and_families() {
         let mut gen = KeyGen::new(301);
         let keys = gen.distinct_keys(30_000);
-        for config in [bloom_config(), cuckoo_config()] {
+        for config in [bloom_config(), cuckoo_config(), fuse_config()] {
             for shard_count in [1usize, 2, 8, 32] {
                 let store =
                     ShardedFilterStore::new(config, shard_count, keys.len() / shard_count, 20.0);
@@ -831,7 +837,7 @@ mod tests {
         // replaying unbounded duplicates could never fit at any capacity;
         // the store must treat re-inserts as no-ops instead of rebuilding
         // forever.
-        for config in [bloom_config(), cuckoo_config()] {
+        for config in [bloom_config(), cuckoo_config(), fuse_config()] {
             let store = ShardedFilterStore::new(config, 2, 64, 20.0);
             store.insert_batch(&vec![7u32; 100]);
             store.insert_batch(&[7, 8, 7, 9, 7]);

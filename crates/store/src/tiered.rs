@@ -7,7 +7,9 @@
 //! level. A hot level absorbs churn and its misses cost tens of cycles (a
 //! skipped memtable probe): the skyline puts it on a blocked Bloom filter. A
 //! cold level is large, mostly immutable, and a miss there costs a simulated
-//! disk read: the skyline puts it on a Cuckoo filter. The [`TieredStore`]
+//! disk read: the skyline puts it on a Cuckoo filter — or, when the level is
+//! fully static, on an immutable binary-fuse filter, whose whole-set re-peel
+//! the level's store absorbs through its rebuild machinery. The [`TieredStore`]
 //! makes that per-level story executable: each level is described by a
 //! [`LevelSpec`] (`expected_keys`, `t_w`, σ, delete rate), fed through
 //! [`FilterAdvisor::recommend_for_level`](pof_core::FilterAdvisor::recommend_for_level)
@@ -559,6 +561,12 @@ impl TieredStore {
                     rebuilds: store.total_rebuilds(),
                     compacted_in: level.compacted_in.load(Ordering::Relaxed),
                     compacted_out: level.compacted_out.load(Ordering::Relaxed),
+                    fingerprint_bits: level.store.config().fingerprint_bits(),
+                    construction_retries: store
+                        .shards
+                        .iter()
+                        .map(|shard| shard.construction_retries)
+                        .sum(),
                     store,
                 }
             })
@@ -598,8 +606,8 @@ mod tests {
         LevelSpec {
             expected_keys,
             work_saved_cycles,
-            sigma: 0.1,
             delete_rate,
+            ..LevelSpec::default()
         }
     }
 
@@ -776,6 +784,22 @@ mod tests {
         assert_eq!(stats.total_keys(), 3);
         assert!(stats.total_size_bits() > 0);
         assert!(stats.levels[0].bits_per_live_key() > 0.0);
+    }
+
+    #[test]
+    fn empty_store_ratio_stats_are_zero_not_nan() {
+        // Satellite: a freshly built store holds no keys, and every
+        // per-live-key ratio must degenerate to 0 (finite), not NaN/inf.
+        let store = two_level_manual();
+        let stats = store.stats();
+        assert_eq!(stats.total_keys(), 0);
+        assert_eq!(stats.bits_per_live_key(), 0.0);
+        assert!(stats.bits_per_live_key().is_finite());
+        for level in &stats.levels {
+            assert_eq!(level.bits_per_live_key(), 0.0);
+            assert!(level.bits_per_live_key().is_finite());
+            assert_eq!(level.store.bits_per_live_key(), 0.0);
+        }
     }
 
     #[test]

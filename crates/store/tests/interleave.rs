@@ -32,7 +32,9 @@ use std::sync::Arc;
 
 /// Every delete family: Bloom tombstone, Bloom counting (in-place via the
 /// counting sidecar — rebuilt replacements must keep their counters through
-/// the snapshot-swap handoff), and Cuckoo in-place.
+/// the snapshot-swap handoff), Cuckoo in-place, and the immutable fuse
+/// family, whose *every* mutation routes through the same snapshot-swap
+/// machinery the schedules enumerate.
 fn configs() -> Vec<(FilterConfig, BloomDeleteMode)> {
     let bloom = FilterConfig::Bloom(BloomConfig::cache_sectorized(
         512,
@@ -46,6 +48,10 @@ fn configs() -> Vec<(FilterConfig, BloomDeleteMode)> {
         (bloom, BloomDeleteMode::Counting),
         (
             FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+            BloomDeleteMode::Tombstone,
+        ),
+        (
+            FilterConfig::Fuse(pof_core::FuseConfig::fuse8()),
             BloomDeleteMode::Tombstone,
         ),
     ]
@@ -273,14 +279,14 @@ fn every_compaction_rebuild_interleaving_preserves_the_level_oracle() {
                     let hot_spec = LevelSpec {
                         expected_keys: 4_096,
                         work_saved_cycles: 32.0,
-                        sigma: 0.1,
                         delete_rate: 0.5,
+                        ..LevelSpec::default()
                     };
                     let cold_spec = LevelSpec {
                         expected_keys: 64,
                         work_saved_cycles: 1e7,
-                        sigma: 0.1,
                         delete_rate: 0.0,
+                        ..LevelSpec::default()
                     };
                     let store = TieredStoreBuilder::new()
                         .level_pinned(

@@ -15,9 +15,11 @@
 //! * levels running [`BloomDeleteMode::Counting`] never mint a tombstone.
 //!
 //! Plus the delete-heavy acceptance scenario: an advisor-built two-level
-//! store (hot counting-Bloom in front of cold Cuckoo) survives sustained
-//! churn with **zero** tombstones anywhere and **zero** rebuilds on the hot
-//! level — the regime PR 4's counting sidecar exists for.
+//! store (hot counting-Bloom in front of a cold immutable fuse level)
+//! survives sustained churn with **zero** tombstones anywhere and **zero**
+//! rebuilds on the hot level — counting deletes land in place, and the fuse
+//! level folds every mutation batch through a whole-set re-peel, so nothing
+//! lingers.
 
 use pof_bloom::{Addressing, BloomConfig};
 use pof_core::FilterConfig;
@@ -45,12 +47,16 @@ fn cuckoo_config() -> FilterConfig {
     FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo))
 }
 
+fn fuse_config() -> FilterConfig {
+    FilterConfig::Fuse(pof_core::FuseConfig::fuse8())
+}
+
 fn spec(expected_keys: u64, work_saved_cycles: f64, delete_rate: f64) -> LevelSpec {
     LevelSpec {
         expected_keys,
         work_saved_cycles,
-        sigma: 0.1,
         delete_rate,
+        ..LevelSpec::default()
     }
 }
 
@@ -85,6 +91,21 @@ fn layouts() -> Vec<(&'static str, Vec<(FilterConfig, BloomDeleteMode)>)> {
                 (bloom_config(), BloomDeleteMode::Counting),
                 (bloom_config(), BloomDeleteMode::Tombstone),
                 (cuckoo_config(), BloomDeleteMode::Tombstone),
+            ],
+        ),
+        (
+            "hot-counting-bloom/cold-fuse",
+            vec![
+                (bloom_config(), BloomDeleteMode::Counting),
+                (fuse_config(), BloomDeleteMode::Tombstone),
+            ],
+        ),
+        (
+            "hot-cuckoo/mid-fuse/cold-tombstone-bloom",
+            vec![
+                (cuckoo_config(), BloomDeleteMode::Tombstone),
+                (fuse_config(), BloomDeleteMode::Tombstone),
+                (bloom_config(), BloomDeleteMode::Tombstone),
             ],
         ),
     ]
@@ -143,10 +164,21 @@ fn assert_oracle_holds(
         let counting_level =
             *mode == BloomDeleteMode::Counting && config.kind() == FilterKind::Bloom;
         let cuckoo_level = config.kind() == FilterKind::Cuckoo;
-        if counting_level || cuckoo_level {
+        // Inline-mode fuse levels fold every mutation batch through a
+        // whole-set re-peel, so they settle each operation tombstone-free
+        // too (an immutable filter cannot carry deletes forward).
+        let fuse_level = config.kind() == FilterKind::Fuse;
+        if counting_level || cuckoo_level || fuse_level {
             assert_eq!(
                 stats.levels[level].tombstones, 0,
                 "{label}: in-place level {level} minted tombstones"
+            );
+        }
+        if fuse_level {
+            assert_eq!(
+                stats.levels[level].store.total_overflow(),
+                0,
+                "{label}: fuse level {level} left keys parked in overflow"
             );
         }
     }
@@ -157,7 +189,7 @@ proptest! {
 
     #[test]
     fn tiered_lifecycle_matches_the_level_oracle(
-        layout_index in 0usize..4,
+        layout_index in 0usize..6,
         policy_index in 0usize..3,
         ops in prop::collection::vec(
             (0u8..5, prop::collection::vec(any::<u32>(), 1..200)),
@@ -227,13 +259,14 @@ proptest! {
 }
 
 /// The acceptance scenario: a delete-heavy two-level store built through the
-/// *advisor* (not pinned) — which must pick a counting Bloom family for the
-/// hot churn level and Cuckoo for the cold simulated-disk level — sustains
-/// insert/delete/compact churn with zero tombstones anywhere and zero
-/// rebuilds on the hot level (counting deletes land in place; nothing ever
-/// needs a purge, and ample sizing means growth never triggers either).
+/// *advisor* (not pinned) — which must pick a mutable counting Bloom family
+/// for the hot churn level and an immutable fuse filter for the cold static
+/// simulated-disk level — sustains insert/delete/compact churn with zero
+/// tombstones anywhere and zero rebuilds on the hot level (counting deletes
+/// land in place; the cold fuse level absorbs every mutation batch through
+/// its whole-set re-peel).
 #[test]
-fn delete_heavy_hot_counting_cold_cuckoo_runs_without_purges() {
+fn delete_heavy_hot_counting_cold_fuse_runs_without_purges() {
     let store = TieredStoreBuilder::new()
         .level(spec(1 << 14, 32.0, 0.5))
         .level(spec(1 << 16, 16_000_000.0, 0.0))
@@ -247,13 +280,18 @@ fn delete_heavy_hot_counting_cold_cuckoo_runs_without_purges() {
         "hot level must be Bloom: {}",
         stats.levels[0].config_label
     );
+    assert!(
+        !store.level_store(0).config().immutable(),
+        "the hot churn level needs an in-place-mutable family"
+    );
     assert_eq!(stats.levels[0].delete_mode, BloomDeleteMode::Counting);
     assert_eq!(
         stats.levels[1].family,
-        FilterKind::Cuckoo,
-        "cold level must be Cuckoo: {}",
+        FilterKind::Fuse,
+        "cold static level must be Fuse: {}",
         stats.levels[1].config_label
     );
+    assert!(stats.levels[1].fingerprint_bits > 0);
 
     let mut gen = pof_filter::KeyGen::new(0x7E57);
     let mut oracle: HashMap<u32, usize> = HashMap::new();

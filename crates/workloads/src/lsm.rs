@@ -433,14 +433,14 @@ mod tests {
         let hot = LevelSpec {
             expected_keys: hot_keys,
             work_saved_cycles: 32.0,
-            sigma: 0.1,
             delete_rate: 0.0,
+            ..LevelSpec::default()
         };
         let cold = LevelSpec {
             expected_keys: cold_keys,
             work_saved_cycles: 1e7,
-            sigma: 0.1,
             delete_rate: 0.0,
+            ..LevelSpec::default()
         };
         TieredStoreBuilder::new()
             .level_pinned(

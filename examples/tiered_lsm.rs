@@ -15,14 +15,14 @@ fn main() {
     let hot = LevelSpec {
         expected_keys: 1 << 15,
         work_saved_cycles: 32.0,
-        sigma: 0.1,
         delete_rate: 0.5,
+        ..LevelSpec::default()
     };
     let cold = LevelSpec {
         expected_keys: 1 << 19,
         work_saved_cycles: 16_000_000.0,
-        sigma: 0.1,
         delete_rate: 0.0,
+        ..LevelSpec::default()
     };
     let store = TieredStoreBuilder::new()
         .level(hot)
@@ -32,16 +32,28 @@ fn main() {
 
     println!("advisor-chosen level configuration:");
     for level in &store.stats().levels {
+        let mutability = if store.level_store(level.level).config().immutable() {
+            "immutable, re-peels on change"
+        } else {
+            "mutable in place"
+        };
         println!(
-            "  level {}: t_w = {:>10} cycles -> {} ({}), {} bits/key, deletes: {:?}",
+            "  level {}: t_w = {:>10} cycles -> {} ({}), {} bits/key, deletes: {:?} [{}]",
             level.level,
             level.work_saved_cycles,
             level.family,
             level.config_label,
             level.bits_per_key_budget,
             level.delete_mode,
+            mutability,
         );
     }
+    let stats = store.stats();
+    println!(
+        "  split: hot churn -> {} (in-place deletes), cold static -> {} \
+         ({}-bit fingerprints, built whole from the level's key set)",
+        stats.levels[0].family, stats.levels[1].family, stats.levels[1].fingerprint_bits,
+    );
 
     // Build the tree: 6 cold runs bulk-loaded into level 1, one hot run in
     // level 0. No run carries its own filter — the tiered store serves all

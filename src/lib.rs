@@ -14,6 +14,9 @@
 //! * [`hash`] — multiplicative hashing and magic-modulo addressing,
 //! * [`filter`] — the unified `Filter` trait, selection vectors and workload
 //!   generators,
+//! * [`xorfuse`] — immutable binary-fuse filters (`fuse8`/`fuse16`): built
+//!   whole from a key set by 3-wise peeling, probed with three XORed
+//!   fingerprint reads — the advisor's static cold-tier family,
 //! * [`core`] — the performance-optimal filtering framework: overhead model,
 //!   configuration space, calibration, skylines and the
 //!   [`FilterAdvisor`](prelude::FilterAdvisor),
@@ -85,6 +88,7 @@ pub use pof_hash as hash;
 pub use pof_model as model;
 pub use pof_store as store;
 pub use pof_workloads as workloads;
+pub use pof_xorfuse as xorfuse;
 
 /// Re-export for the quick-start docs above.
 pub use pof_store::ShardedFilterStore;
@@ -106,4 +110,5 @@ pub mod prelude {
         TieredProbeScratch, TieredStats, TieredStore, TieredStoreBuilder,
     };
     pub use pof_workloads::{JoinHashTable, JoinWorkload, LsmTree, ProbePipeline, SemiJoin};
+    pub use pof_xorfuse::{FuseConfig, FuseFilter, FuseMutation};
 }
