@@ -27,8 +27,9 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use pof_bloom::{Addressing, BloomConfig};
-use pof_core::FilterConfig;
+use pof_core::{AnyFilter, FilterConfig};
 use pof_cuckoo::{CuckooAddressing, CuckooConfig};
+use pof_filter::probe::ProbePlan;
 use pof_filter::{KeyGen, SelectionVector};
 use pof_store::{
     BloomDeleteMode, DeferredBatch, FprDrift, LevelSpec, RebuildPolicy, SaturationDoubling,
@@ -449,6 +450,156 @@ fn bench_tiered(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batch sizes the mass-probe sweep visits: from far below the staged
+/// threshold (where the scalar kernels win on startup cost) to deep
+/// streaming territory where the staged pipeline hides the miss latencies.
+const MASS_PROBE_BATCHES: [usize; 4] = [64, 1024, 10_000, 100_000];
+
+/// Key count behind the mass-probe filters — deliberately the same in quick
+/// and full mode: the staged kernels only pay off once the filter outgrows
+/// the cache, so shrinking the build would measure the wrong regime. 2^22
+/// keys put every family's footprint (≈10 MB Bloom/Cuckoo at 20 bits/key,
+/// ≈4.6 MB fuse8) well past the 2 MiB L2 on the reference host.
+const MASS_PROBE_KEYS: usize = 1 << 22;
+
+/// Filters for the mass-probe sweep, one per family with a staged kernel,
+/// all built over the same distinct key set. 20 bits/key keeps the Cuckoo
+/// configuration feasible (l16b2 needs ≥ l/0.84 ≈ 19); the fuse footprint
+/// follows from the key count alone.
+fn mass_probe_filters() -> Vec<(&'static str, AnyFilter)> {
+    let mut gen = KeyGen::new(0x3A55);
+    let keys = gen.distinct_keys(MASS_PROBE_KEYS);
+    let mut filters: Vec<(&'static str, AnyFilter)> = families()
+        .iter()
+        .map(|(family, config)| {
+            (
+                *family,
+                AnyFilter::build_with_keys(config, &keys, 20.0)
+                    .expect("mass-probe filter construction"),
+            )
+        })
+        .collect();
+    filters.push((
+        "fuse8",
+        AnyFilter::build_with_keys(
+            &FilterConfig::Fuse(pof_core::FuseConfig::fuse8()),
+            &keys,
+            16.0,
+        )
+        .expect("mass-probe fuse construction"),
+    ));
+    filters
+}
+
+/// Staged vs scalar kernel throughput per family and batch size, through the
+/// explicit entry points (no routing thresholds), so the sweep shows both
+/// where the hash → prefetch → probe pipeline wins and where the scalar
+/// kernels still do (small batches against warm lines).
+fn bench_batch_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_sweep");
+    group
+        .sample_size(10)
+        .warm_up_time(warm_up())
+        .measurement_time(measurement());
+    for (family, filter) in &mass_probe_filters() {
+        let mut gen = KeyGen::new(0xBA7C);
+        for batch in MASS_PROBE_BATCHES {
+            // A pool of distinct windows, cycled per iteration: re-probing
+            // one fixed batch would measure warm-line latency, not the
+            // streaming workload the staged kernel targets.
+            let pool = gen.keys(batch * 32);
+            let mut sel = SelectionVector::with_capacity(batch);
+            let mut plan = ProbePlan::new();
+            group.throughput(Throughput::Elements(batch as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{family}/staged"), batch),
+                &pool,
+                |b, pool| {
+                    let mut cursor = 0usize;
+                    b.iter(|| {
+                        let window = &pool[cursor..cursor + batch];
+                        cursor = (cursor + batch) % pool.len();
+                        sel.clear();
+                        filter.contains_batch_staged(window, &mut sel, &mut plan);
+                        sel.len()
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{family}/scalar"), batch),
+                &pool,
+                |b, pool| {
+                    let mut cursor = 0usize;
+                    b.iter(|| {
+                        let window = &pool[cursor..cursor + batch];
+                        cursor = (cursor + batch) % pool.len();
+                        sel.clear();
+                        filter.contains_batch_scalar(window, &mut sel);
+                        sel.len()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// One recorded mass-probe cell: staged vs scalar rate at one
+/// (family, batch-size) point. The two kernels' selections are asserted
+/// bit-for-bit identical on every window before anything is timed. Each
+/// repetition probes a *fresh* window of `pool` — re-probing one fixed batch
+/// would leave its filter lines cache-resident after the first pass and
+/// measure warm-line latency instead of the streaming workload the staged
+/// kernel exists for.
+fn mass_probe_cell(
+    family: &str,
+    filter: &AnyFilter,
+    batch: usize,
+    pool: &[u32],
+) -> Vec<(String, Value)> {
+    let reps = pool.len() / batch;
+    let mut plan = ProbePlan::new();
+    let mut staged_sel = SelectionVector::with_capacity(batch);
+    let mut scalar_sel = SelectionVector::with_capacity(batch);
+    let mut hits = 0u64;
+    for window in pool.chunks_exact(batch) {
+        staged_sel.clear();
+        scalar_sel.clear();
+        filter.contains_batch_staged(window, &mut staged_sel, &mut plan);
+        filter.contains_batch_scalar(window, &mut scalar_sel);
+        assert_eq!(
+            staged_sel.as_slice(),
+            scalar_sel.as_slice(),
+            "staged selections diverge from scalar for {family} at batch {batch}"
+        );
+        hits += staged_sel.len() as u64;
+    }
+    let mut sink = 0u64;
+    let start = Instant::now();
+    for window in pool.chunks_exact(batch) {
+        staged_sel.clear();
+        filter.contains_batch_staged(window, &mut staged_sel, &mut plan);
+        sink += staged_sel.len() as u64;
+    }
+    let staged_rate = (reps * batch) as f64 / start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for window in pool.chunks_exact(batch) {
+        scalar_sel.clear();
+        filter.contains_batch_scalar(window, &mut scalar_sel);
+        sink += scalar_sel.len() as u64;
+    }
+    let scalar_rate = (reps * batch) as f64 / start.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    vec![
+        ("family".into(), Value::Str(family.into())),
+        ("batch".into(), Value::U64(batch as u64)),
+        ("staged_mops".into(), Value::F64(staged_rate / 1e6)),
+        ("scalar_mops".into(), Value::F64(scalar_rate / 1e6)),
+        ("speedup".into(), Value::F64(staged_rate / scalar_rate)),
+        ("hits".into(), Value::U64(hits)),
+    ]
+}
+
 /// Policies for the recorded sweep. Same trio as the lifecycle bench, but
 /// the deferred-batch overflow cap is small enough that the growth workload
 /// actually hits it between maintenance rounds — otherwise the policy never
@@ -834,6 +985,16 @@ fn cell_u64(cell: &[(String, Value)], key: &str) -> u64 {
         .unwrap_or(0)
 }
 
+fn cell_f64(cell: &[(String, Value)], key: &str) -> f64 {
+    cell.iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            Value::F64(x) => Some(*x),
+            _ => None,
+        })
+        .unwrap_or(f64::NAN)
+}
+
 /// Run one cell [`SWEEP_REPS`] times and keep the repetition with the lowest
 /// (rebuild stall, call stall) pair, attaching every repetition's samples.
 fn sweep_cell_best(
@@ -971,6 +1132,30 @@ fn write_bench_json(path: &str) {
             bits(&tiered_fuse[1]),
         );
     }
+    // The mass-probe sweep: staged (hash → prefetch → probe) vs scalar
+    // kernel rate per family and batch size, selections asserted identical
+    // inside each cell. The 10k cells are the perf-smoke gate
+    // (scripts/check_mass_probe.py): staged must not lose to scalar there
+    // for the mutable families.
+    let mut mass_probe: Vec<Value> = Vec::new();
+    for (family, filter) in &mass_probe_filters() {
+        let mut probe_gen = KeyGen::new(0x9A55);
+        for batch in MASS_PROBE_BATCHES {
+            // Equal probe volume per cell regardless of batch size, served
+            // as distinct windows so every repetition streams cold lines.
+            let target: usize = if quick() { 1 << 21 } else { 1 << 23 };
+            let pool = probe_gen.keys((target / batch).max(3) * batch);
+            let cell = mass_probe_cell(family, filter, batch, &pool);
+            eprintln!(
+                "mass-probe {family}/batch {batch}: staged {:.2} Mops/s vs scalar {:.2} Mops/s \
+                 ({:.2}x)",
+                cell_f64(&cell, "staged_mops"),
+                cell_f64(&cell, "scalar_mops"),
+                cell_f64(&cell, "speedup"),
+            );
+            mass_probe.push(Value::Map(cell));
+        }
+    }
     let document = Value::Map(vec![
         ("bench".into(), Value::Str("store_lifecycle_sweep".into())),
         (
@@ -1034,6 +1219,21 @@ fn write_bench_json(path: &str) {
             ),
         ),
         ("tiered_fuse".into(), Value::Seq(tiered_fuse)),
+        (
+            "mass_probe_workload".into(),
+            Value::Str(
+                "staged (hash → prefetch → probe) vs scalar kernel rate through \
+                 the explicit per-family entry points, batch sizes 64 / 1k / 10k / \
+                 100k against 2^22-key filters (every footprint past L2, so the \
+                 probes actually miss): staged and scalar selections asserted \
+                 bit-for-bit identical per cell before timing. Staged must not \
+                 lose to scalar at the 10k cells for bloom and cuckoo — the \
+                 perf-smoke gate; small-batch cells are expected to favor scalar, \
+                 which is why the automatic routing keeps a batch-size threshold"
+                    .into(),
+            ),
+        ),
+        ("mass_probe".into(), Value::Seq(mass_probe)),
     ]);
     let json = serde_json::to_string_pretty(&document).expect("bench JSON serialization");
     // `cargo bench` runs with the package directory as CWD; anchor relative
@@ -1057,7 +1257,8 @@ criterion_group!(
     bench_store_throughput,
     bench_store_lifecycle,
     bench_store_delete_modes,
-    bench_tiered
+    bench_tiered,
+    bench_batch_sweep
 );
 
 fn main() {

@@ -12,6 +12,8 @@
 use crate::config::{Addressing, BloomConfig, BloomVariant};
 use crate::counting::CountingSidecar;
 use crate::simd;
+use crate::staged;
+use pof_filter::probe::{self, ProbePlan};
 use pof_filter::{DeleteOutcome, Filter, FilterKind, SelectionVector};
 use pof_hash::Modulus;
 
@@ -48,6 +50,9 @@ pub struct BlockedBloom {
     data: Vec<u64>,
     keys_inserted: u64,
     simd_kernel: simd::Kernel,
+    /// Whether the staged (hash → prefetch → probe) kernel may serve large
+    /// batches; cleared by [`Self::force_scalar`].
+    staged_enabled: bool,
     /// Optional counting sidecar ([`Self::enable_counting`]): one saturating
     /// counter per bit, making [`Filter::try_delete`] clear bits in place.
     /// Boxed so the common (non-counting) filter pays one pointer.
@@ -80,6 +85,7 @@ impl BlockedBloom {
             data: vec![0u64; words],
             keys_inserted: 0,
             simd_kernel,
+            staged_enabled: true,
             counting: None,
         }
     }
@@ -126,9 +132,12 @@ impl BlockedBloom {
     }
 
     /// Force the scalar batch-lookup path (used by the SIMD-speedup benches
-    /// and the equivalence tests).
+    /// and the equivalence tests). Also disables the automatic staged-kernel
+    /// routing, so `contains_batch` really runs the scalar loop; the explicit
+    /// [`Self::contains_batch_staged`] entry point stays available.
     pub fn force_scalar(&mut self) {
         self.simd_kernel = simd::Kernel::Scalar;
+        self.staged_enabled = false;
     }
 
     /// Attach a [`CountingSidecar`] (one 4-bit saturating counter per filter
@@ -175,6 +184,7 @@ impl BlockedBloom {
             data: self.data.clone(),
             keys_inserted: self.keys_inserted,
             simd_kernel: self.simd_kernel,
+            staged_enabled: self.staged_enabled,
             counting: None,
         }
     }
@@ -202,8 +212,18 @@ impl BlockedBloom {
     /// requires every mask to be fully present.
     #[inline]
     fn probes(&self, key: u32, out: &mut [(u64, u64); MAX_PROBES]) -> usize {
+        let block_start = u64::from(self.block_index(key)) * u64::from(self.config.block_bits);
+        self.probes_at(key, block_start, out)
+    }
+
+    /// [`Self::probes`] with the key's block start already computed — the
+    /// staged kernel hashes block addresses a chunk ahead of probing them,
+    /// so the probe stage must not re-derive (or worse, re-disagree on) the
+    /// block. The bit-addressing stream is seeded from the key alone and is
+    /// unchanged.
+    #[inline]
+    fn probes_at(&self, key: u32, block_start: u64, out: &mut [(u64, u64); MAX_PROBES]) -> usize {
         let cfg = &self.config;
-        let block_start = u64::from(self.block_index(key)) * u64::from(cfg.block_bits);
         let mut state = key.wrapping_mul(STREAM_SEED_C);
         match cfg.variant() {
             BloomVariant::RegisterBlocked => {
@@ -281,11 +301,49 @@ impl BlockedBloom {
         self.data[(bit_start / 64) as usize] |= mask << (bit_start % 64);
     }
 
+    /// Membership probe with the block start bit offset already computed
+    /// (used by the staged kernel's probe stage, which resolves from
+    /// addresses hashed a chunk earlier).
+    #[inline]
+    pub(crate) fn contains_at(&self, key: u32, block_start: u64) -> bool {
+        let mut probes = [(0u64, 0u64); MAX_PROBES];
+        let n = self.probes_at(key, block_start, &mut probes);
+        let mut all_present = true;
+        for &(bit_start, mask) in &probes[..n] {
+            all_present &= self.load(bit_start) & mask == mask;
+        }
+        all_present
+    }
+
     /// Scalar batched lookup (used as the fallback and by the equivalence tests).
     pub fn contains_batch_scalar(&self, keys: &[u32], sel: &mut SelectionVector) {
         for (i, &key) in keys.iter().enumerate() {
             sel.push_if(i as u32, self.contains(key));
         }
+    }
+
+    /// Staged (hash → prefetch → probe) batched lookup through a caller-owned
+    /// [`ProbePlan`]: block addresses for a chunk of `plan.distance()` keys
+    /// are hashed and prefetched while the previous chunk probes, hiding the
+    /// per-block miss latency that dominates once the filter outgrows the
+    /// cache. Selections are bit-for-bit identical to
+    /// [`Self::contains_batch_scalar`]. [`Filter::contains_batch`] routes
+    /// here automatically for large batches against large filters.
+    pub fn contains_batch_staged(
+        &self,
+        keys: &[u32],
+        sel: &mut SelectionVector,
+        plan: &mut ProbePlan,
+    ) {
+        staged::contains_batch_staged(self, keys, sel, plan);
+    }
+
+    /// Prefetch the first cache lines of the filter's bit array. Used by the
+    /// sharded store to stream the *next* shard's filter in while the
+    /// current shard's slice is being probed.
+    #[inline]
+    pub fn prefetch_storage(&self) {
+        probe::prefetch_lines(&self.data);
     }
 }
 
@@ -329,6 +387,13 @@ impl Filter for BlockedBloom {
     }
 
     fn contains_batch(&self, keys: &[u32], sel: &mut SelectionVector) {
+        // Large batches against filters past the cache-footprint floor go
+        // through the staged kernel, which hides the per-block miss latency;
+        // everything else stays on the SIMD/scalar paths.
+        if self.staged_enabled && probe::staged_worthwhile(keys.len(), self.data.len() as u64 * 8) {
+            probe::with_thread_plan(|plan| staged::contains_batch_staged(self, keys, sel, plan));
+            return;
+        }
         if !simd::dispatch(self, keys, sel, self.simd_kernel) {
             self.contains_batch_scalar(keys, sel);
         }

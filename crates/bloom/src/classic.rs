@@ -122,6 +122,15 @@ impl ClassicBloom {
         self.counting.as_ref().map_or(0, |c| c.bytes())
     }
 
+    /// Prefetch the first cache lines of the bit array (the classic filter
+    /// scatters probes over the whole array, so only the head can usefully
+    /// be warmed). Used by the sharded store to stream the next shard's
+    /// filter in while the current one is being probed.
+    #[inline]
+    pub fn prefetch_storage(&self) {
+        pof_filter::probe::prefetch_lines(&self.words);
+    }
+
     /// Clone the read side only (bit array, no counting sidecar): answers
     /// every probe identically, reports `supports_delete() == false`.
     #[must_use]

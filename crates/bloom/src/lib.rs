@@ -49,6 +49,7 @@ pub mod classic;
 pub mod config;
 pub mod counting;
 mod simd;
+mod staged;
 
 pub use blocked::BlockedBloom;
 pub use classic::ClassicBloom;

@@ -1,0 +1,67 @@
+//! Staged (hash → prefetch → probe) mass-lookup kernel for [`BlockedBloom`].
+//!
+//! The scalar batch path hashes and probes one key at a time, so each block
+//! load pays its cache/TLB miss latency serially once the filter outgrows
+//! the cache. The staged kernel runs the *same* probe math software-pipelined
+//! over chunks of `plan.distance()` keys: the hash stage computes every
+//! key's block start into the plan's reusable scratch and prefetches the
+//! block's cache line (one line per key — every blocked variant confines a
+//! lookup to a single ≤ 512-bit block), and the probe stage then resolves
+//! membership from lines that were requested a full chunk earlier. The
+//! double-buffered lanes let chunk `c+1` stream in while chunk `c` probes.
+//!
+//! Selections are bit-for-bit identical to `contains_batch_scalar`, which
+//! the cross-family agreement suite pins.
+
+use crate::blocked::BlockedBloom;
+use pof_filter::probe::{prefetch_read, ProbePlan};
+use pof_filter::SelectionVector;
+
+/// Run the staged kernel over `keys`, appending qualifying positions to `sel`.
+pub(crate) fn contains_batch_staged(
+    filter: &BlockedBloom,
+    keys: &[u32],
+    sel: &mut SelectionVector,
+    plan: &mut ProbePlan,
+) {
+    if keys.is_empty() {
+        return;
+    }
+    let distance = plan.distance();
+    let block_bits = u64::from(filter.config().block_bits);
+    let words = filter.words();
+    let [starts, _, _] = plan.lanes(2 * distance);
+    // Hash + prefetch one chunk: compute each block's start bit into the
+    // lane, then request its cache line.
+    let hash_and_prefetch = |chunk: &[u32], lane: &mut [u64]| {
+        for (slot, &key) in lane.iter_mut().zip(chunk) {
+            let start = u64::from(filter.block_index(key)) * block_bits;
+            *slot = start;
+            prefetch_read(&words[(start / 64) as usize]);
+        }
+    };
+    sel.reserve(keys.len());
+    let first = distance.min(keys.len());
+    hash_and_prefetch(&keys[..first], &mut starts[..first]);
+    let mut begin = 0usize;
+    let mut half = 0usize; // chunk c's addresses live at lane[half · distance ..]
+    while begin < keys.len() {
+        let end = (begin + distance).min(keys.len());
+        // Stage the next chunk into the other lane half before probing this
+        // one, so its lines stream in underneath the probe loop below.
+        if end < keys.len() {
+            let next_end = (end + distance).min(keys.len());
+            let other = (1 - half) * distance;
+            hash_and_prefetch(
+                &keys[end..next_end],
+                &mut starts[other..other + (next_end - end)],
+            );
+        }
+        for (i, &key) in keys[begin..end].iter().enumerate() {
+            let hit = filter.contains_at(key, starts[half * distance + i]);
+            sel.push_if((begin + i) as u32, hit);
+        }
+        begin = end;
+        half = 1 - half;
+    }
+}

@@ -9,6 +9,7 @@
 use crate::configspace::FilterConfig;
 use pof_bloom::{BlockedBloom, ClassicBloom};
 use pof_cuckoo::CuckooFilter;
+use pof_filter::probe::{self, ProbePlan};
 use pof_filter::{DeleteOutcome, Filter, FilterKind, SelectionVector};
 use pof_xorfuse::FuseFilter;
 
@@ -128,12 +129,79 @@ impl AnyFilter {
         }
     }
 
-    /// Force the scalar batch-lookup path (for SIMD-speedup comparisons).
+    /// Force the scalar batch-lookup path (for SIMD- and staged-speedup
+    /// comparisons): disables both the SIMD kernels and the automatic
+    /// staged-kernel routing in [`Filter::contains_batch`].
     pub fn force_scalar(&mut self) {
         match self {
             Self::Bloom(f) => f.force_scalar(),
-            Self::ClassicBloom(_) | Self::Fuse(_) => {}
+            Self::ClassicBloom(_) => {}
             Self::Cuckoo(f) => f.force_scalar(),
+            Self::Fuse(f) => f.force_scalar(),
+        }
+    }
+
+    /// Batched lookup through the scalar kernel regardless of batch size or
+    /// filter footprint (the reference path the staged kernels are pinned
+    /// against).
+    pub fn contains_batch_scalar(&self, keys: &[u32], sel: &mut SelectionVector) {
+        match self {
+            Self::Bloom(f) => f.contains_batch_scalar(keys, sel),
+            Self::ClassicBloom(f) => f.contains_batch(keys, sel),
+            Self::Cuckoo(f) => f.contains_batch_scalar(keys, sel),
+            Self::Fuse(f) => f.contains_batch_scalar(keys, sel),
+        }
+    }
+
+    /// Batched lookup through the staged (hash → prefetch → probe) kernel of
+    /// the underlying family, using a caller-owned [`ProbePlan`] for scratch.
+    /// The classic Bloom filter has no staged kernel (its probes scatter over
+    /// the whole array with data-dependent early exits) and answers through
+    /// its ordinary batch path. Selections are identical to
+    /// [`Self::contains_batch_scalar`] for every family.
+    pub fn contains_batch_staged(
+        &self,
+        keys: &[u32],
+        sel: &mut SelectionVector,
+        plan: &mut ProbePlan,
+    ) {
+        match self {
+            Self::Bloom(f) => f.contains_batch_staged(keys, sel, plan),
+            Self::ClassicBloom(f) => f.contains_batch(keys, sel),
+            Self::Cuckoo(f) => f.contains_batch_staged(keys, sel, plan),
+            Self::Fuse(f) => f.contains_batch_staged(keys, sel, plan),
+        }
+    }
+
+    /// Batched lookup that applies the staged-routing policy with a
+    /// caller-owned plan instead of the thread-local one: large batches
+    /// against filters past the cache-footprint floor go staged, everything
+    /// else takes the ordinary [`Filter::contains_batch`] path. The sharded
+    /// store calls this with the plan embedded in its probe scratch so the
+    /// serving path stays allocation-free.
+    pub fn contains_batch_planned(
+        &self,
+        keys: &[u32],
+        sel: &mut SelectionVector,
+        plan: &mut ProbePlan,
+    ) {
+        if probe::staged_worthwhile(keys.len(), self.size_bits() / 8) {
+            self.contains_batch_staged(keys, sel, plan);
+        } else {
+            self.contains_batch(keys, sel);
+        }
+    }
+
+    /// Prefetch the leading cache lines of the filter's probe storage. The
+    /// sharded store uses this to stream the next shard's filter in while
+    /// the current shard's key slice is being probed.
+    #[inline]
+    pub fn prefetch_storage(&self) {
+        match self {
+            Self::Bloom(f) => f.prefetch_storage(),
+            Self::ClassicBloom(f) => f.prefetch_storage(),
+            Self::Cuckoo(f) => f.prefetch_storage(),
+            Self::Fuse(f) => f.prefetch_storage(),
         }
     }
 

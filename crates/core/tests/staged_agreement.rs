@@ -1,0 +1,194 @@
+//! Agreement suite for the staged (hash → prefetch → probe) mass-probe
+//! kernels: for every family the staged kernel's selections must be
+//! bit-for-bit identical to the scalar reference path, at every batch size
+//! (including the chunking edge cases around the prefetch distance), for
+//! duplicate-heavy and all-miss probe streams, and through the automatic
+//! routing in `Filter::contains_batch`.
+
+use pof_core::{AnyFilter, FilterConfig};
+use pof_filter::probe::{ProbePlan, MAX_PREFETCH_DISTANCE, MIN_PREFETCH_DISTANCE};
+use pof_filter::{Filter, KeyGen, SelectionVector};
+use proptest::prelude::*;
+
+/// Every family with a staged kernel, plus the classic Bloom filter (whose
+/// "staged" entry point documents falling back to the ordinary batch path —
+/// agreement must hold there too).
+fn sample_configs() -> Vec<FilterConfig> {
+    use pof_bloom::{Addressing, BloomConfig};
+    use pof_cuckoo::{CuckooAddressing, CuckooConfig};
+    vec![
+        FilterConfig::Bloom(BloomConfig::cache_sectorized(
+            512,
+            64,
+            2,
+            8,
+            Addressing::Magic,
+        )),
+        FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo)),
+        FilterConfig::ClassicBloom { k: 7 },
+        FilterConfig::Cuckoo(CuckooConfig::new(16, 2, CuckooAddressing::PowerOfTwo)),
+        FilterConfig::Cuckoo(CuckooConfig::new(12, 4, CuckooAddressing::Magic)),
+        FilterConfig::Fuse(pof_core::FuseConfig::fuse8()),
+        FilterConfig::Fuse(pof_core::FuseConfig::fuse16()),
+    ]
+}
+
+fn build(config: &FilterConfig, keys: &[u32]) -> AnyFilter {
+    // 24 bits/key keeps every Cuckoo configuration feasible.
+    AnyFilter::build_with_keys(config, keys, 24.0)
+        .unwrap_or_else(|| panic!("construction failed for {}", config.label()))
+}
+
+/// Assert the staged kernel, the scalar kernel, and the auto-routing batch
+/// path all select exactly the same positions for `probes`.
+fn assert_agreement(filter: &AnyFilter, probes: &[u32], plan: &mut ProbePlan, label: &str) {
+    let mut scalar = SelectionVector::new();
+    filter.contains_batch_scalar(probes, &mut scalar);
+    let mut staged = SelectionVector::new();
+    filter.contains_batch_staged(probes, &mut staged, plan);
+    assert_eq!(
+        staged.as_slice(),
+        scalar.as_slice(),
+        "staged vs scalar diverge: {label}"
+    );
+    let mut routed = SelectionVector::new();
+    filter.contains_batch(probes, &mut routed);
+    assert_eq!(
+        routed.as_slice(),
+        scalar.as_slice(),
+        "auto-routed vs scalar diverge: {label}"
+    );
+}
+
+/// The chunking edge cases: empty batch, single key, one below / at / one
+/// above the default prefetch distance, and a batch large enough to engage
+/// the automatic staged routing's size threshold.
+const BATCH_SIZES: [usize; 6] = [0, 1, 63, 64, 65, 10_000];
+
+#[test]
+fn staged_matches_scalar_across_batch_sizes() {
+    let mut gen = KeyGen::new(0x57A6ED);
+    let members = gen.distinct_keys(20_000);
+    let mixed = gen.keys(10_000);
+    for config in sample_configs() {
+        let filter = build(&config, &members);
+        let mut plan = ProbePlan::new();
+        for batch in BATCH_SIZES {
+            // Mixed stream: uniform probes (mostly misses, some members).
+            let probes = &mixed[..batch];
+            assert_agreement(
+                &filter,
+                probes,
+                &mut plan,
+                &format!("{} mixed batch {batch}", config.label()),
+            );
+            // Member-only stream: every probe hits.
+            let hits: Vec<u32> = members.iter().copied().cycle().take(batch).collect();
+            assert_agreement(
+                &filter,
+                &hits,
+                &mut plan,
+                &format!("{} member batch {batch}", config.label()),
+            );
+        }
+    }
+}
+
+#[test]
+fn staged_matches_scalar_on_duplicate_heavy_streams() {
+    let mut gen = KeyGen::new(0xD0_9E7);
+    let members = gen.distinct_keys(20_000);
+    for config in sample_configs() {
+        let filter = build(&config, &members);
+        let mut plan = ProbePlan::new();
+        // Eight distinct values (half members, half not) repeated across a
+        // large batch: positions must still come back exactly once each, in
+        // ascending order, for both kernels.
+        let pool = [
+            members[0],
+            members[1],
+            members[2],
+            members[3],
+            0xDEAD_0001,
+            0xDEAD_0002,
+            0xDEAD_0003,
+            0xDEAD_0004,
+        ];
+        let probes: Vec<u32> = (0..10_000).map(|i| pool[i % pool.len()]).collect();
+        assert_agreement(
+            &filter,
+            &probes,
+            &mut plan,
+            &format!("{} duplicate-heavy", config.label()),
+        );
+    }
+}
+
+#[test]
+fn staged_matches_scalar_on_all_miss_streams() {
+    let mut gen = KeyGen::new(0xA11_0155);
+    // Members confined to the low half of the key space; probes drawn from
+    // the high half, so only false positives can select.
+    let members: Vec<u32> = gen
+        .distinct_keys(20_000)
+        .into_iter()
+        .map(|k| k & 0x7FFF_FFFF)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let probes: Vec<u32> = gen.keys(10_000).iter().map(|k| k | 0x8000_0000).collect();
+    for config in sample_configs() {
+        let filter = build(&config, &members);
+        let mut plan = ProbePlan::new();
+        assert_agreement(
+            &filter,
+            &probes,
+            &mut plan,
+            &format!("{} all-miss", config.label()),
+        );
+    }
+}
+
+#[test]
+fn staged_agrees_at_every_prefetch_distance_extreme() {
+    let mut gen = KeyGen::new(0xD157);
+    let members = gen.distinct_keys(10_000);
+    let probes = gen.keys(5_000);
+    for config in sample_configs() {
+        let filter = build(&config, &members);
+        for distance in [MIN_PREFETCH_DISTANCE, 7, 64, MAX_PREFETCH_DISTANCE] {
+            let mut plan = ProbePlan::with_distance(distance);
+            assert_agreement(
+                &filter,
+                &probes,
+                &mut plan,
+                &format!("{} distance {distance}", config.label()),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary member sets and probe streams (duplicates and all): the
+    /// three batch paths agree for every family.
+    #[test]
+    fn staged_scalar_and_routed_agree(
+        members in prop::collection::hash_set(any::<u32>(), 1..3_000),
+        probes in prop::collection::vec(any::<u32>(), 0..4_000),
+        distance in MIN_PREFETCH_DISTANCE..=256usize,
+    ) {
+        let members: Vec<u32> = members.into_iter().collect();
+        for config in sample_configs() {
+            let filter = build(&config, &members);
+            let mut plan = ProbePlan::with_distance(distance);
+            assert_agreement(
+                &filter,
+                &probes,
+                &mut plan,
+                &format!("{} proptest", config.label()),
+            );
+        }
+    }
+}

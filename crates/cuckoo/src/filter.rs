@@ -4,6 +4,8 @@
 use crate::config::CuckooConfig;
 use crate::packed::PackedArray;
 use crate::simd;
+use crate::staged;
+use pof_filter::probe::{self, ProbePlan};
 use pof_filter::{DeleteOutcome, Filter, FilterKind, SelectionVector};
 use pof_hash::fingerprint::{signature, signature_hash};
 use pof_hash::mul::hash32;
@@ -32,6 +34,9 @@ pub struct CuckooFilter {
     /// previously inserted key ever loses representation.
     stash: Option<(u32, u32)>,
     simd_kernel: simd::Kernel,
+    /// Whether the staged (hash → prefetch → probe) kernel may serve large
+    /// batches; cleared by [`Self::force_scalar`].
+    staged_enabled: bool,
 }
 
 impl CuckooFilter {
@@ -60,6 +65,7 @@ impl CuckooFilter {
             victim_rng: 0x9E37_79B9,
             stash: None,
             simd_kernel,
+            staged_enabled: true,
         }
     }
 
@@ -126,9 +132,13 @@ impl CuckooFilter {
         self.simd_kernel.name()
     }
 
-    /// Force the scalar batch-lookup path (for benches and equivalence tests).
+    /// Force the scalar batch-lookup path (for benches and equivalence
+    /// tests). Also disables the automatic staged-kernel routing, so
+    /// `contains_batch` really runs the scalar loop; the explicit
+    /// [`Self::contains_batch_staged`] entry point stays available.
     pub fn force_scalar(&mut self) {
         self.simd_kernel = simd::Kernel::Scalar;
+        self.staged_enabled = false;
     }
 
     /// Raw slot storage (used by the SIMD kernels).
@@ -188,9 +198,9 @@ impl CuckooFilter {
         u64::from(bucket) * u64::from(self.config.bucket_size) + u64::from(slot)
     }
 
-    /// Search a bucket for a signature.
+    /// Search a bucket for a signature (shared with the staged kernel).
     #[inline]
-    fn bucket_contains(&self, bucket: u32, sig: u32) -> bool {
+    pub(crate) fn bucket_contains(&self, bucket: u32, sig: u32) -> bool {
         for slot in 0..self.config.bucket_size {
             if self.slots.get(self.slot_index(bucket, slot)) == sig {
                 return true;
@@ -261,6 +271,33 @@ impl CuckooFilter {
             sel.push_if(i as u32, self.contains(key));
         }
     }
+
+    /// Staged (hash → prefetch → probe) batched lookup through a
+    /// caller-owned [`ProbePlan`]: signatures and both candidate buckets for
+    /// a chunk of `plan.distance()` keys are hashed and prefetched while the
+    /// previous chunk's buckets are scanned, hiding the two per-key miss
+    /// latencies that dominate once the table outgrows the cache. Falls back
+    /// to the scalar loop while the victim stash is occupied (like the SIMD
+    /// kernels, the staged path does not model the stash). Selections are
+    /// bit-for-bit identical to [`Self::contains_batch_scalar`].
+    /// [`Filter::contains_batch`] routes here automatically for large
+    /// batches against large tables.
+    pub fn contains_batch_staged(
+        &self,
+        keys: &[u32],
+        sel: &mut SelectionVector,
+        plan: &mut ProbePlan,
+    ) {
+        staged::contains_batch_staged(self, keys, sel, plan);
+    }
+
+    /// Prefetch the first cache lines of the signature table. Used by the
+    /// sharded store to stream the *next* shard's filter in while the
+    /// current shard's slice is being probed.
+    #[inline]
+    pub fn prefetch_storage(&self) {
+        probe::prefetch_lines(self.slots.words());
+    }
 }
 
 impl Filter for CuckooFilter {
@@ -319,6 +356,16 @@ impl Filter for CuckooFilter {
     }
 
     fn contains_batch(&self, keys: &[u32], sel: &mut SelectionVector) {
+        // Large batches against tables past the cache-footprint floor go
+        // through the staged kernel, which hides both buckets' miss
+        // latencies (the stash check inside keeps it exact).
+        if self.staged_enabled
+            && self.stash.is_none()
+            && probe::staged_worthwhile(keys.len(), self.slots.words().len() as u64 * 8)
+        {
+            probe::with_thread_plan(|plan| staged::contains_batch_staged(self, keys, sel, plan));
+            return;
+        }
         // The SIMD kernels do not model the (rare) stash entry; fall back to
         // the scalar path whenever it is occupied.
         let kernel = if self.stash.is_some() {

@@ -40,6 +40,7 @@ pub mod config;
 pub mod filter;
 pub mod packed;
 mod simd;
+mod staged;
 
 pub use config::{CuckooAddressing, CuckooConfig};
 pub use filter::CuckooFilter;

@@ -1,0 +1,88 @@
+//! Staged (hash → prefetch → probe) mass-lookup kernel for [`CuckooFilter`].
+//!
+//! A Cuckoo lookup touches *two* candidate buckets (§4), so the scalar batch
+//! loop pays up to two serial miss latencies per key once the table outgrows
+//! the cache. The staged kernel pipelines the same probe math over chunks of
+//! `plan.distance()` keys: the hash stage derives each key's signature and
+//! both candidate buckets into the plan's three scratch lanes and prefetches
+//! both buckets' cache lines, and the probe stage then scans buckets whose
+//! lines were requested a full chunk earlier. Like the SIMD kernels, the
+//! staged kernel does not model the (rare) single-slot victim stash — the
+//! scalar path answers whenever the stash is occupied.
+//!
+//! Selections are bit-for-bit identical to `contains_batch_scalar`, which
+//! the cross-family agreement suite pins.
+
+use crate::filter::CuckooFilter;
+use pof_filter::probe::{prefetch_read, ProbePlan};
+use pof_filter::SelectionVector;
+
+/// Run the staged kernel over `keys`, appending qualifying positions to `sel`.
+pub(crate) fn contains_batch_staged(
+    filter: &CuckooFilter,
+    keys: &[u32],
+    sel: &mut SelectionVector,
+    plan: &mut ProbePlan,
+) {
+    if filter.has_stashed_victim() {
+        filter.contains_batch_scalar(keys, sel);
+        return;
+    }
+    if keys.is_empty() {
+        return;
+    }
+    let distance = plan.distance();
+    let bucket_bits = u64::from(filter.config().bucket_bits());
+    let words = filter.words();
+    let [sigs, firsts, seconds] = plan.lanes(2 * distance);
+    // Hash + prefetch one chunk: signature and both candidate buckets per
+    // key, with a prefetch aimed at each bucket's first storage word.
+    let hash_and_prefetch =
+        |chunk: &[u32], sigs: &mut [u64], firsts: &mut [u64], seconds: &mut [u64]| {
+            for (i, &key) in chunk.iter().enumerate() {
+                let sig = filter.sig(key);
+                let b1 = filter.primary_bucket(key);
+                let b2 = filter.alternate_bucket(b1, sig);
+                sigs[i] = u64::from(sig);
+                firsts[i] = u64::from(b1);
+                seconds[i] = u64::from(b2);
+                prefetch_read(&words[(u64::from(b1) * bucket_bits / 64) as usize]);
+                prefetch_read(&words[(u64::from(b2) * bucket_bits / 64) as usize]);
+            }
+        };
+    sel.reserve(keys.len());
+    let first = distance.min(keys.len());
+    hash_and_prefetch(
+        &keys[..first],
+        &mut sigs[..first],
+        &mut firsts[..first],
+        &mut seconds[..first],
+    );
+    let mut begin = 0usize;
+    let mut half = 0usize; // chunk c's addresses live at lane[half · distance ..]
+    while begin < keys.len() {
+        let end = (begin + distance).min(keys.len());
+        // Stage the next chunk into the other lane halves before probing
+        // this one, so its bucket lines stream in underneath the scans.
+        if end < keys.len() {
+            let next_end = (end + distance).min(keys.len());
+            let other = (1 - half) * distance;
+            let len = next_end - end;
+            hash_and_prefetch(
+                &keys[end..next_end],
+                &mut sigs[other..other + len],
+                &mut firsts[other..other + len],
+                &mut seconds[other..other + len],
+            );
+        }
+        let base = half * distance;
+        for i in 0..(end - begin) {
+            let sig = sigs[base + i] as u32;
+            let hit = filter.bucket_contains(firsts[base + i] as u32, sig)
+                || filter.bucket_contains(seconds[base + i] as u32, sig);
+            sel.push_if((begin + i) as u32, hit);
+        }
+        begin = end;
+        half = 1 - half;
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`SelectionVector`] — the position list produced by batched lookups,
 //! * [`keygen`] — deterministic workload generation (build keys, probe keys
 //!   with a chosen selectivity σ),
+//! * [`probe`] — the staged mass-probe support: [`ProbePlan`] scratch,
+//!   portable software prefetching and the staged-vs-scalar routing policy
+//!   shared by every family's hash → prefetch → probe batch kernel,
 //! * [`stats`] — empirical false-positive-rate measurement used by the
 //!   model-validation tests and by EXPERIMENTS.md.
 
@@ -16,11 +19,13 @@
 #![warn(clippy::all)]
 
 pub mod keygen;
+pub mod probe;
 pub mod selection;
 pub mod stats;
 pub mod traits;
 
 pub use keygen::{KeyGen, Workload};
+pub use probe::{ProbePlan, STAGED_BATCH_THRESHOLD};
 pub use selection::SelectionVector;
 pub use stats::{measured_fpr, FprMeasurement};
 pub use traits::{DeleteOutcome, Filter, FilterKind};

@@ -1,0 +1,246 @@
+//! Staged mass-probe support: reusable probe-plan scratch, software
+//! prefetching and the staged-vs-scalar routing policy.
+//!
+//! The paper frames filter choice as a question of *throughput at the memory
+//! wall* (§2, §5), yet a scalar batch loop hashes and probes one key at a
+//! time, paying every cache/TLB miss serially. The staged kernels built on
+//! this module restructure a batch lookup into a hash → prefetch → probe
+//! pipeline over fixed-size chunks:
+//!
+//! ```text
+//!           chunk c+1                 chunk c
+//!  ┌──────────────────────┐  ┌──────────────────────┐
+//!  │ hash: key → address  │  │ probe: resolve       │
+//!  │ prefetch: request    │  │ membership from      │
+//!  │ the cache lines      │  │ already-warm lines   │
+//!  └──────────────────────┘  └──────────────────────┘
+//!        (issued first)         (runs while c+1's
+//!                                lines stream in)
+//! ```
+//!
+//! Each family crate owns its probe math; this module provides the shared
+//! pieces: [`ProbePlan`] (the reusable address scratch and the tunable
+//! prefetch distance), [`prefetch_read`] (a portable software-prefetch
+//! wrapper), and [`staged_worthwhile`] (the batch-size / filter-footprint
+//! policy that keeps small batches and cache-resident filters on the
+//! existing scalar/SIMD kernels, where staging is pure overhead).
+
+use std::cell::RefCell;
+
+/// Default prefetch distance: how many keys the hash stage runs ahead of the
+/// probe stage. 64 keys cover a DRAM/L3 miss latency at typical per-key probe
+/// costs while keeping at most `3 · 64` requested lines in flight — small
+/// enough that early lines are still resident when their probes arrive.
+pub const DEFAULT_PREFETCH_DISTANCE: usize = 64;
+
+/// Smallest accepted prefetch distance. Below this the pipeline degenerates:
+/// prefetches have no probe work to hide behind.
+pub const MIN_PREFETCH_DISTANCE: usize = 4;
+
+/// Largest accepted prefetch distance. Beyond this the oldest prefetched
+/// lines risk eviction before their probes run.
+pub const MAX_PREFETCH_DISTANCE: usize = 4096;
+
+/// Batch length at which the staged kernels start paying off. Smaller
+/// batches stay on the scalar/SIMD paths: the pipeline's staging overhead is
+/// amortised over too few probes, and out-of-order execution already
+/// overlaps a handful of independent lookups.
+pub const STAGED_BATCH_THRESHOLD: usize = 1024;
+
+/// Filter footprint (bytes) below which staging is pointless: a filter that
+/// fits in the L2 cache serves probes at a latency software prefetching
+/// cannot beat. 2 MiB approximates a current per-core L2.
+pub const STAGED_FOOTPRINT_FLOOR_BYTES: u64 = 2 * 1024 * 1024;
+
+/// Should a batch of `batch_len` keys against a filter occupying
+/// `filter_bytes` take the staged path? True only past both the batch-size
+/// threshold and the footprint floor — the staged kernels trade extra
+/// address arithmetic for hidden miss latency, which is only a win when
+/// there are misses to hide and enough keys to amortise the staging.
+#[inline]
+#[must_use]
+pub fn staged_worthwhile(batch_len: usize, filter_bytes: u64) -> bool {
+    batch_len >= STAGED_BATCH_THRESHOLD && filter_bytes >= STAGED_FOOTPRINT_FLOOR_BYTES
+}
+
+/// Issue a best-effort software prefetch for the cache line holding `slot`.
+///
+/// On x86-64 this lowers to `_mm_prefetch(…, _MM_HINT_T0)`; elsewhere it is
+/// a no-op, so the staged kernels stay portable (they still compute correct
+/// answers, just without the latency hiding).
+#[inline(always)]
+pub fn prefetch_read<T>(slot: &T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch(std::ptr::from_ref(slot).cast::<i8>(), _MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = slot;
+}
+
+/// Prefetch the first few cache lines of a backing-storage slice. Used for
+/// shard- and level-granular streaming: while one shard's slice is being
+/// probed, the *next* shard's filter starts moving toward the core.
+#[inline]
+pub fn prefetch_lines<T>(data: &[T]) {
+    let per_line = (64 / std::mem::size_of::<T>().max(1)).max(1);
+    for line in 0..4usize {
+        if let Some(slot) = data.get(line * per_line) {
+            prefetch_read(slot);
+        }
+    }
+}
+
+/// Reusable scratch for the staged (hash → prefetch → probe) batch kernels.
+///
+/// A plan owns up to three `u64` address lanes — enough for the widest probe
+/// shape (a binary fuse filter's three segment slots; Cuckoo uses two lanes
+/// plus one for signatures, blocked Bloom uses one) — double-buffered over
+/// two chunks of [`Self::distance`] keys, and the tunable prefetch distance
+/// itself. Lanes grow on first use and are reused afterwards, so a held plan
+/// keeps the staged path allocation-free in steady state (the sharded
+/// store's `ProbeScratch` embeds one for exactly this reason).
+#[derive(Debug, Clone)]
+pub struct ProbePlan {
+    distance: usize,
+    lanes: [Vec<u64>; 3],
+}
+
+impl Default for ProbePlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProbePlan {
+    /// Create a plan with the default prefetch distance.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_distance(DEFAULT_PREFETCH_DISTANCE)
+    }
+
+    /// Create a plan with an explicit prefetch distance (clamped to
+    /// [`MIN_PREFETCH_DISTANCE`], [`MAX_PREFETCH_DISTANCE`]).
+    #[must_use]
+    pub fn with_distance(distance: usize) -> Self {
+        Self {
+            distance: distance.clamp(MIN_PREFETCH_DISTANCE, MAX_PREFETCH_DISTANCE),
+            lanes: [Vec::new(), Vec::new(), Vec::new()],
+        }
+    }
+
+    /// The prefetch distance: how many keys the hash stage stays ahead of
+    /// the probe stage.
+    #[must_use]
+    pub fn distance(&self) -> usize {
+        self.distance
+    }
+
+    /// Re-tune the prefetch distance (clamped like
+    /// [`Self::with_distance`]). Existing lane capacity is kept.
+    pub fn set_distance(&mut self, distance: usize) {
+        self.distance = distance.clamp(MIN_PREFETCH_DISTANCE, MAX_PREFETCH_DISTANCE);
+    }
+
+    /// Borrow the three address lanes, each grown to at least `len` entries.
+    /// The staged kernels call this with `2 · distance` and split each lane
+    /// into two chunk-sized halves (hash into one half while probing from
+    /// the other).
+    pub fn lanes(&mut self, len: usize) -> [&mut [u64]; 3] {
+        for lane in &mut self.lanes {
+            if lane.len() < len {
+                lane.resize(len, 0);
+            }
+        }
+        let [a, b, c] = &mut self.lanes;
+        [&mut a[..len], &mut b[..len], &mut c[..len]]
+    }
+}
+
+thread_local! {
+    /// Per-thread plan backing the automatic staged routing inside the
+    /// filters' `contains_batch`, so auto-routed callers also reach a warm,
+    /// allocation-free steady state.
+    static THREAD_PLAN: RefCell<ProbePlan> = RefCell::new(ProbePlan::new());
+}
+
+/// Run `f` with this thread's shared [`ProbePlan`]. Used by the filters'
+/// `contains_batch` when the staged path is chosen automatically; callers
+/// that want explicit control (distance tuning, embedding the plan in their
+/// own scratch) pass their own plan to `contains_batch_staged` instead.
+///
+/// # Panics
+/// Panics if `f` re-enters `with_thread_plan` (the staged kernels never do).
+pub fn with_thread_plan<R>(f: impl FnOnce(&mut ProbePlan) -> R) -> R {
+    THREAD_PLAN.with(|plan| f(&mut plan.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_clamped() {
+        assert_eq!(
+            ProbePlan::with_distance(0).distance(),
+            MIN_PREFETCH_DISTANCE
+        );
+        assert_eq!(
+            ProbePlan::with_distance(usize::MAX).distance(),
+            MAX_PREFETCH_DISTANCE
+        );
+        let mut plan = ProbePlan::new();
+        assert_eq!(plan.distance(), DEFAULT_PREFETCH_DISTANCE);
+        plan.set_distance(1);
+        assert_eq!(plan.distance(), MIN_PREFETCH_DISTANCE);
+        plan.set_distance(128);
+        assert_eq!(plan.distance(), 128);
+    }
+
+    #[test]
+    fn lanes_grow_and_are_reused() {
+        let mut plan = ProbePlan::new();
+        {
+            let [a, b, c] = plan.lanes(16);
+            assert_eq!(a.len(), 16);
+            assert_eq!(b.len(), 16);
+            assert_eq!(c.len(), 16);
+            a[15] = 7;
+        }
+        // A smaller request reuses the same storage without shrinking it.
+        let [a, _, _] = plan.lanes(8);
+        assert_eq!(a.len(), 8);
+        assert_eq!(plan.lanes(16)[0][15], 7);
+    }
+
+    #[test]
+    fn routing_policy_needs_both_thresholds() {
+        let big = STAGED_FOOTPRINT_FLOOR_BYTES;
+        assert!(staged_worthwhile(STAGED_BATCH_THRESHOLD, big));
+        assert!(!staged_worthwhile(STAGED_BATCH_THRESHOLD - 1, big));
+        assert!(!staged_worthwhile(STAGED_BATCH_THRESHOLD, big - 1));
+        assert!(!staged_worthwhile(0, 0));
+    }
+
+    #[test]
+    fn prefetch_is_safe_on_any_slice() {
+        // Purely a does-not-crash check: prefetching is semantically a no-op.
+        let words = vec![0u64; 1024];
+        prefetch_read(&words[0]);
+        prefetch_read(&words[1023]);
+        prefetch_lines(&words);
+        prefetch_lines(&words[..1]);
+        let empty: [u64; 0] = [];
+        prefetch_lines(&empty);
+    }
+
+    #[test]
+    fn thread_plan_is_shared_per_thread() {
+        with_thread_plan(|plan| {
+            plan.lanes(32)[0][31] = 99;
+        });
+        let seen = with_thread_plan(|plan| plan.lanes(32)[0][31]);
+        assert_eq!(seen, 99);
+    }
+}

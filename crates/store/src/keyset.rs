@@ -70,6 +70,48 @@ impl CompactKeySet {
         true
     }
 
+    /// Insert a whole batch: every key not already present is appended to
+    /// the ordered log (in batch order, first occurrence wins) and the
+    /// sorted run is refolded once. Returns the number of fresh keys; the
+    /// new keys sit at `as_ordered_slice()[len_before..]`.
+    ///
+    /// One sort of the batch plus one refold of the run, instead of a
+    /// membership probe and a [`LOG_LIMIT`]-cadence refold per key — the
+    /// difference between O(n log n) and effectively quadratic work for a
+    /// multi-million-key cold-tier bulk load.
+    pub(crate) fn insert_bulk(&mut self, keys: &[u32]) -> usize {
+        if keys.len() <= LOG_LIMIT {
+            return keys.iter().filter(|&&key| self.insert(key)).count();
+        }
+        self.fold();
+        // Distinct batch values not already in the sorted run.
+        let mut candidates: Vec<u32> = keys.to_vec();
+        candidates.sort_unstable();
+        candidates.dedup();
+        candidates.retain(|key| self.sorted.binary_search(key).is_err());
+        if candidates.is_empty() {
+            return 0;
+        }
+        // Append each fresh value to the ordered log at its first
+        // occurrence in the batch.
+        let mut taken = vec![false; candidates.len()];
+        let start = self.ordered.len();
+        for &key in keys {
+            if let Ok(position) = candidates.binary_search(&key) {
+                if !taken[position] {
+                    taken[position] = true;
+                    self.ordered.push(key);
+                }
+            }
+        }
+        // Refold: the run and the candidates are two sorted runs back to
+        // back, which pdqsort handles in near-linear time.
+        self.sorted.extend_from_slice(&candidates);
+        self.sorted.sort_unstable();
+        self.indexed = self.ordered.len();
+        self.ordered.len() - start
+    }
+
     /// Remove every key in `doomed` (a **sorted, deduplicated** slice; keys
     /// not present are ignored).
     ///
@@ -162,6 +204,38 @@ mod tests {
         }
         assert_eq!(set.len(), keys.len());
         assert_eq!(set.as_ordered_slice(), keys.as_slice());
+    }
+
+    #[test]
+    fn insert_bulk_agrees_with_per_key_inserts() {
+        // A batch with intra-batch duplicates, keys already resident (in
+        // both the sorted run and the unindexed tail), and fresh keys: the
+        // bulk path must leave exactly the state the per-key path would.
+        let mut bulk = CompactKeySet::new();
+        let mut per_key = CompactKeySet::new();
+        let resident: Vec<u32> = (0..(LOG_LIMIT as u32 + 40)).map(|i| i * 11).collect();
+        for &key in &resident {
+            bulk.insert(key);
+            per_key.insert(key);
+        }
+        let batch: Vec<u32> = (0..(LOG_LIMIT as u32 * 4))
+            .map(|i| i.wrapping_mul(2_654_435_769) % 7_000)
+            .collect();
+        let fresh_bulk = bulk.insert_bulk(&batch);
+        let fresh_per_key = batch.iter().filter(|&&key| per_key.insert(key)).count();
+        assert_eq!(fresh_bulk, fresh_per_key);
+        assert_eq!(bulk.as_ordered_slice(), per_key.as_ordered_slice());
+        for &key in &batch {
+            assert!(bulk.contains(key));
+            assert!(!bulk.insert(key), "bulk-inserted {key} accepted again");
+        }
+        // A sub-LOG_LIMIT batch takes the per-key path; same agreement.
+        let small: Vec<u32> = (0..40u32).map(|i| 100_000 + i * 3).collect();
+        assert_eq!(bulk.insert_bulk(&small), small.len());
+        assert_eq!(
+            *bulk.as_ordered_slice().last().unwrap(),
+            *small.last().unwrap()
+        );
     }
 
     #[test]

@@ -208,9 +208,14 @@ pub(crate) struct ShardWriter {
     /// every rebuild.
     keys: CompactKeySet,
     /// Keys diverted by a deferring policy: present in `keys`, *not* in
-    /// `filter`. Kept sorted so the publish path clones it as-is and the
-    /// delete path can binary-search it. Readers see the snapshot's copy.
+    /// `filter`. Sorted at every lock release so the publish path clones it
+    /// as-is and the delete path can binary-search it; within one write
+    /// batch freshly parked keys append out of order ([`Self::defer`] is
+    /// O(1), not a per-key memmove) and [`Self::seal_overflow`] restores
+    /// the invariant once at batch end. Readers see the snapshot's copy.
     overflow: Vec<u32>,
+    /// Has `overflow` gained unsorted appends since the last seal?
+    overflow_dirty: bool,
     /// Deleted keys still represented in the filter (tombstone-mode Bloom
     /// shards cannot unset bits). Purged to zero by every rebuild;
     /// structurally zero in [`BloomDeleteMode::Counting`] and for Cuckoo
@@ -345,6 +350,7 @@ impl Shard {
                 filter,
                 keys: CompactKeySet::new(),
                 overflow: Vec::new(),
+                overflow_dirty: false,
                 tombstones: 0,
                 capacity,
                 config,
@@ -399,12 +405,34 @@ impl Shard {
         }
         let start = Instant::now();
         let mut writer = self.writer.lock().expect("writer lock poisoned");
-        let mut fresh = 0usize;
-        for &key in keys {
-            if writer.insert_one(key) {
-                fresh += 1;
+        let fresh = if writer.config.immutable() && writer.pending.is_none() {
+            // Immutable bulk fast path: with no rebuild in flight there is
+            // nothing per-key to decide — the filter refuses in-place
+            // inserts, the policy is never consulted (the batch-end fold
+            // *is* the policy), and the delta log is inactive. Register the
+            // batch in the bookkeeping in one pass and park every fresh key;
+            // routing each key through `insert_one` instead pays a
+            // membership refold and a sorted-insert memmove per key —
+            // quadratic over a cold-tier bulk load of millions of keys.
+            let start_len = writer.keys.len();
+            let fresh = writer.keys.insert_bulk(keys);
+            for index in start_len..start_len + fresh {
+                let key = writer.keys.as_ordered_slice()[index];
+                writer.defer(key);
             }
-        }
+            fresh
+        } else {
+            let mut fresh = 0usize;
+            for &key in keys {
+                if writer.insert_one(key) {
+                    fresh += 1;
+                }
+            }
+            fresh
+        };
+        // Freshly parked keys appended out of order: restore the overflow
+        // buffer's sorted invariant once, before anything clones or folds it.
+        writer.seal_overflow();
         // Immutable shards park every fresh key in the overflow buffer (the
         // filter refuses in-place inserts); fold the batch's parked keys into
         // a re-peeled replacement once, at batch end — one rebuild (or one
@@ -829,11 +857,25 @@ impl ShardWriter {
         self.rebuild_inline(capacity, true);
     }
 
-    /// Park a key in the (sorted) overflow buffer. The key is fresh in the
-    /// key set, so it cannot already be present here.
+    /// Park a key in the overflow buffer. The key is fresh in the key set,
+    /// so it cannot already be present here. Appends without re-sorting —
+    /// a sorted per-key `Vec::insert` is a memmove of the whole buffer,
+    /// quadratic over a bulk load that parks every key (the immutable-shard
+    /// ingest path) — the batch that called this seals before releasing the
+    /// lock.
     fn defer(&mut self, key: u32) {
-        let position = self.overflow.partition_point(|&k| k < key);
-        self.overflow.insert(position, key);
+        self.overflow.push(key);
+        self.overflow_dirty = true;
+    }
+
+    /// Restore the overflow buffer's sorted invariant after a batch of
+    /// [`Self::defer`] appends. Amortized near-linear: the buffer is a
+    /// sorted run followed by the batch's appends.
+    fn seal_overflow(&mut self) {
+        if self.overflow_dirty {
+            self.overflow.sort_unstable();
+            self.overflow_dirty = false;
+        }
     }
 
     /// Delete a batch of keys from the bookkeeping, the overflow buffer, or

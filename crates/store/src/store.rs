@@ -5,6 +5,7 @@ use crate::policy::{RebuildPolicy, SaturationDoubling};
 use crate::shard::{BloomDeleteMode, MaintainOutcome, RebuildTicket, Shard, ShardSnapshot};
 use crate::stats::{ShardStats, StoreStats};
 use pof_core::{AnyFilter, FilterConfig};
+use pof_filter::probe::ProbePlan;
 use pof_filter::stats::measured_fpr;
 use pof_filter::{DeleteOutcome, Filter, FilterKind, SelectionVector};
 use std::sync::Arc;
@@ -68,6 +69,9 @@ pub struct ProbeScratch {
     routed_positions: Vec<u32>,
     qualifies: Vec<bool>,
     shard_sel: SelectionVector,
+    /// Scratch lanes for the staged (hash → prefetch → probe) kernels, so
+    /// shard slices large enough to go staged stay allocation-free too.
+    plan: ProbePlan,
 }
 
 impl ProbeScratch {
@@ -548,8 +552,10 @@ impl StoreSnapshot {
         let shard_count = self.shards.len();
         if shard_count == 1 && self.shards[0].overflow.is_empty() {
             // Single shard, no side buffer: no routing, probe the batch
-            // kernel directly.
-            self.shards[0].filter.contains_batch(keys, sel);
+            // kernel directly (staged when the batch and filter warrant it).
+            self.shards[0]
+                .filter
+                .contains_batch_planned(keys, sel, &mut scratch.plan);
             return;
         }
         // Route the batch with a counting sort into flat reusable buffers:
@@ -564,19 +570,24 @@ impl StoreSnapshot {
         }
         scratch.starts.clear();
         scratch.starts.extend_from_slice(&scratch.cursors);
-        scratch.routed_keys.clear();
-        scratch.routed_keys.resize(keys.len(), 0);
-        scratch.routed_positions.clear();
-        scratch.routed_positions.resize(keys.len(), 0);
+        // The scatter below writes every slot in `[0, keys.len())` exactly
+        // once (the cursors partition the range), so the routed buffers only
+        // ever need to *grow* — no clear-and-rezero pass.
+        if scratch.routed_keys.len() < keys.len() {
+            scratch.routed_keys.resize(keys.len(), 0);
+            scratch.routed_positions.resize(keys.len(), 0);
+        }
         for (i, &key) in keys.iter().enumerate() {
             let slot = &mut scratch.cursors[self.shard_of(key)];
             scratch.routed_keys[*slot] = key;
             scratch.routed_positions[*slot] = i as u32;
             *slot += 1;
         }
-        // Probe each shard's contiguous slice through its batch kernel,
-        // marking the qualifying batch positions; keys parked in a shard's
-        // overflow buffer qualify via an exact binary search.
+        // Probe each shard's contiguous slice through its batch kernel
+        // (staged when the slice and filter warrant it), marking the
+        // qualifying batch positions. Before scanning a shard, stream the
+        // next populated shard's filter toward the cache so its leading
+        // lines are warm by the time its slice is probed.
         scratch.qualifies.clear();
         scratch.qualifies.resize(keys.len(), false);
         for (shard, snapshot) in self.shards.iter().enumerate() {
@@ -584,21 +595,38 @@ impl StoreSnapshot {
             if start == end {
                 continue;
             }
+            if let Some(next) =
+                (shard + 1..shard_count).find(|&s| scratch.starts[s] < scratch.starts[s + 1])
+            {
+                self.shards[next].filter.prefetch_storage();
+            }
             scratch.shard_sel.clear();
-            snapshot
-                .filter
-                .contains_batch(&scratch.routed_keys[start..end], &mut scratch.shard_sel);
+            snapshot.filter.contains_batch_planned(
+                &scratch.routed_keys[start..end],
+                &mut scratch.shard_sel,
+                &mut scratch.plan,
+            );
             for &local in scratch.shard_sel.as_slice() {
                 scratch.qualifies[scratch.routed_positions[start + local as usize] as usize] = true;
             }
-            if !snapshot.overflow.is_empty() {
-                for i in start..end {
-                    if snapshot
-                        .overflow
-                        .binary_search(&scratch.routed_keys[i])
-                        .is_ok()
+        }
+        // Second pass for overflow side buffers (keys a deferring policy has
+        // parked outside the filter): positions the filters already marked
+        // qualifying skip the exact binary search.
+        if self.shards.iter().any(|s| !s.overflow.is_empty()) {
+            for (shard, snapshot) in self.shards.iter().enumerate() {
+                if snapshot.overflow.is_empty() {
+                    continue;
+                }
+                for i in scratch.starts[shard]..scratch.starts[shard + 1] {
+                    let position = scratch.routed_positions[i] as usize;
+                    if !scratch.qualifies[position]
+                        && snapshot
+                            .overflow
+                            .binary_search(&scratch.routed_keys[i])
+                            .is_ok()
                     {
-                        scratch.qualifies[scratch.routed_positions[i] as usize] = true;
+                        scratch.qualifies[position] = true;
                     }
                 }
             }
@@ -607,6 +635,17 @@ impl StoreSnapshot {
         sel.reserve(keys.len());
         for (i, &hit) in scratch.qualifies.iter().enumerate() {
             sel.push_if(i as u32, hit);
+        }
+    }
+
+    /// Prefetch the leading cache lines of every shard's filter storage. The
+    /// tiered store calls this on the *next* level's snapshot while the
+    /// current level is still being scanned, so the miss cascade lands on
+    /// warm lines.
+    #[inline]
+    pub(crate) fn prefetch_storage(&self) {
+        for shard in &self.shards {
+            shard.filter.prefetch_storage();
         }
     }
 }

@@ -375,16 +375,27 @@ impl TieredStore {
         scratch.remaining_keys.extend_from_slice(keys);
         scratch.remaining_positions.clear();
         scratch.remaining_positions.extend(0..keys.len() as u32);
-        for level in &self.levels {
-            if scratch.remaining_keys.is_empty() {
-                break;
-            }
+        let mut snapshot = self.levels[0].store.snapshot();
+        let mut index = 0usize;
+        loop {
             scratch.level_sel.clear();
-            level.store.snapshot().contains_batch_with(
+            snapshot.contains_batch_with(
                 &scratch.remaining_keys,
                 &mut scratch.level_sel,
                 &mut scratch.probe,
             );
+            // If misses survive this level, snapshot the next one and start
+            // streaming its shard filters toward the cache *before* the
+            // hit-mark/miss-compact scan below — by the time the (smaller)
+            // miss batch arrives there, its leading lines are warm.
+            let missed = scratch.level_sel.len() < scratch.remaining_keys.len();
+            let next_snapshot = if missed && index + 1 < self.levels.len() {
+                let next = self.levels[index + 1].store.snapshot();
+                next.prefetch_storage();
+                Some(next)
+            } else {
+                None
+            };
             // Mark the hits and compact the misses in place: they are the
             // (smaller) batch the next, older level sees.
             let hits = scratch.level_sel.as_slice();
@@ -402,6 +413,13 @@ impl TieredStore {
             }
             scratch.remaining_keys.truncate(write);
             scratch.remaining_positions.truncate(write);
+            match next_snapshot {
+                Some(next) => {
+                    snapshot = next;
+                    index += 1;
+                }
+                None => break,
+            }
         }
         sel.reserve(keys.len());
         for (position, &hit) in scratch.qualified.iter().enumerate() {

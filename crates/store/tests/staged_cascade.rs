@@ -1,0 +1,119 @@
+//! Agreement for the tiered miss cascade over the staged mass-probe path:
+//! a 4-level store whose bottom level clears the staged footprint floor must
+//! answer batched cascades (which route big per-level miss streams through
+//! the staged hash → prefetch → probe kernels and prefetch the next level's
+//! shard filters mid-scan) exactly like per-key point lookups, and exactly
+//! like the plain no-scratch batch path.
+
+use pof_filter::{KeyGen, SelectionVector};
+use pof_store::{LevelSpec, TieredProbeScratch, TieredStore, TieredStoreBuilder};
+
+/// Keys loaded per level: the hot level through the write path, colder
+/// levels bulk-loaded. The bottom level's 2^21 keys put its filter past the
+/// staged 2 MiB footprint floor for every family the advisor might pick
+/// (even a fuse8 array at ~1.23 bytes/key comes to ≈2.5 MiB).
+const LEVEL_LOADS: [usize; 4] = [1 << 13, 1 << 15, 1 << 17, 1 << 21];
+
+/// A 4-level t_w ladder with one shard per level, so each level's filter is
+/// a single contiguous array and a large miss stream arrives at it whole.
+fn build_cascade_store() -> (TieredStore, Vec<Vec<u32>>) {
+    let ladder = [32.0, 4_096.0, 131_072.0, 16_777_216.0];
+    let mut builder = TieredStoreBuilder::new().shards_per_level(1);
+    for (index, &work_saved_cycles) in ladder.iter().enumerate() {
+        builder = builder.level(LevelSpec {
+            expected_keys: (2 * LEVEL_LOADS[index]) as u64,
+            work_saved_cycles,
+            delete_rate: if index == 0 { 0.4 } else { 0.0 },
+            ..LevelSpec::default()
+        });
+    }
+    let store = builder.build();
+    let mut gen = KeyGen::new(0xCA5CADE);
+    let mut per_level = Vec::new();
+    for (level, &count) in LEVEL_LOADS.iter().enumerate() {
+        let keys = gen.distinct_keys(count);
+        if level == 0 {
+            store.insert_batch(&keys);
+        } else {
+            store.load_level(level, &keys);
+        }
+        per_level.push(keys);
+    }
+    (store, per_level)
+}
+
+/// Probe stream mixing members of every level with absent keys, sized past
+/// the staged batch threshold so the cascade's big levels actually take the
+/// staged kernels.
+fn probe_stream(per_level: &[Vec<u32>], gen: &mut KeyGen) -> Vec<u32> {
+    let mut probes = Vec::new();
+    for keys in per_level {
+        probes.extend_from_slice(&keys[..1_000]);
+    }
+    probes.extend(gen.keys(16_000));
+    probes
+}
+
+#[test]
+fn staged_cascade_agrees_with_point_lookups_and_plain_batches() {
+    let (store, per_level) = build_cascade_store();
+    let mut gen = KeyGen::new(0x0BAC1E);
+    let probes = probe_stream(&per_level, &mut gen);
+
+    let mut scratch = TieredProbeScratch::new();
+    let mut staged_sel = SelectionVector::with_capacity(probes.len());
+    store.contains_batch_with(&probes, &mut staged_sel, &mut scratch);
+
+    // Point-lookup oracle: same snapshots (no writes in between), so the
+    // cascade must select exactly the positions whose key tests positive.
+    let expected: Vec<u32> = probes
+        .iter()
+        .enumerate()
+        .filter(|(_, &key)| store.contains(key))
+        .map(|(position, _)| position as u32)
+        .collect();
+    assert_eq!(staged_sel.as_slice(), expected, "cascade vs point lookups");
+
+    // The plain batch path (fresh scratch each call) agrees too.
+    let mut plain_sel = SelectionVector::with_capacity(probes.len());
+    store.contains_batch(&probes, &mut plain_sel);
+    assert_eq!(
+        plain_sel.as_slice(),
+        expected,
+        "plain batch vs point lookups"
+    );
+
+    // Every probed member of every level qualifies — the cascade lost
+    // nobody (no-false-negatives survives the staged rework end to end).
+    let member_count = per_level.len() * 1_000;
+    let selected: std::collections::HashSet<u32> = staged_sel.as_slice().iter().copied().collect();
+    for position in 0..member_count {
+        assert!(
+            selected.contains(&(position as u32)),
+            "member at batch position {position} went missing in the cascade"
+        );
+    }
+}
+
+#[test]
+fn staged_cascade_scratch_reuse_is_deterministic() {
+    let (store, per_level) = build_cascade_store();
+    let mut gen = KeyGen::new(0x5EED);
+    let mut scratch = TieredProbeScratch::new();
+    let mut first = SelectionVector::new();
+    let mut again = SelectionVector::new();
+    // Re-probing through warm scratch — including a small sub-threshold
+    // batch between two large staged ones — never changes the answers.
+    let large = probe_stream(&per_level, &mut gen);
+    let small: Vec<u32> = large.iter().copied().take(100).collect();
+    store.contains_batch_with(&large, &mut first, &mut scratch);
+    let mut small_sel = SelectionVector::new();
+    store.contains_batch_with(&small, &mut small_sel, &mut scratch);
+    store.contains_batch_with(&large, &mut again, &mut scratch);
+    assert_eq!(first.as_slice(), again.as_slice());
+    assert_eq!(
+        small_sel.as_slice(),
+        &first.as_slice()[..small_sel.len()],
+        "prefix batch selects a prefix of the full batch's selections"
+    );
+}

@@ -57,6 +57,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+use pof_filter::probe::{self, prefetch_read, ProbePlan};
 use pof_filter::{DeleteOutcome, Filter, FilterKind, SelectionVector};
 use pof_hash::mix64;
 
@@ -299,6 +300,9 @@ pub struct BinaryFuse<F> {
     fingerprints: Box<[F]>,
     keys: usize,
     retries: u32,
+    /// Whether the staged (hash → prefetch → probe) kernel may serve large
+    /// batches; cleared by [`Self::force_scalar`].
+    staged_enabled: bool,
 }
 
 /// Binary fuse filter with 8-bit fingerprints: ~9.1 bits/key, FPR ~2⁻⁸.
@@ -337,6 +341,7 @@ impl<F: Fingerprint> BinaryFuse<F> {
                 fingerprints: Box::new([]),
                 keys: 0,
                 retries: 0,
+                staged_enabled: true,
             };
         }
         for attempt in 0..MAX_CONSTRUCTION_ATTEMPTS {
@@ -348,6 +353,7 @@ impl<F: Fingerprint> BinaryFuse<F> {
                     fingerprints,
                     keys: keys.len(),
                     retries: attempt,
+                    staged_enabled: true,
                 };
             }
         }
@@ -426,6 +432,111 @@ impl<F: Fingerprint> BinaryFuse<F> {
     pub fn fuse_config(&self) -> FuseConfig {
         FuseConfig::new(F::BITS)
     }
+
+    /// Scalar batched lookup (reference path for the staged kernel).
+    pub fn contains_batch_scalar(&self, keys: &[u32], sel: &mut SelectionVector) {
+        if self.keys == 0 {
+            return;
+        }
+        for (i, &key) in keys.iter().enumerate() {
+            sel.push_if(i as u32, self.contains(key));
+        }
+    }
+
+    /// Disable the automatic staged-kernel routing, so
+    /// [`Filter::contains_batch`] really runs the scalar loop (for
+    /// staged-vs-scalar comparisons; the explicit
+    /// [`Self::contains_batch_staged`] entry point stays available).
+    pub fn force_scalar(&mut self) {
+        self.staged_enabled = false;
+    }
+
+    /// Prefetch the first cache lines of the fingerprint array. Used by the
+    /// sharded store to stream the *next* shard's filter in while the
+    /// current shard's slice is being probed.
+    #[inline]
+    pub fn prefetch_storage(&self) {
+        probe::prefetch_lines(&self.fingerprints);
+    }
+
+    /// Staged (hash → prefetch → probe) batched lookup through a
+    /// caller-owned [`ProbePlan`]: all three segment slots for a chunk of
+    /// `plan.distance()` keys are hashed and prefetched while the previous
+    /// chunk's slots are XOR-folded, hiding the three per-key miss latencies
+    /// that dominate once the fingerprint array outgrows the cache.
+    /// Selections are bit-for-bit identical to
+    /// [`Self::contains_batch_scalar`]. [`Filter::contains_batch`] routes
+    /// here automatically for large batches against large filters.
+    pub fn contains_batch_staged(
+        &self,
+        keys: &[u32],
+        sel: &mut SelectionVector,
+        plan: &mut ProbePlan,
+    ) {
+        if self.keys == 0 || keys.is_empty() {
+            return;
+        }
+        let distance = plan.distance();
+        let fingerprints = &self.fingerprints;
+        let layout = self.layout;
+        let seed = self.seed;
+        let [packed, seconds, thirds] = plan.lanes(2 * distance);
+        // Hash + prefetch one chunk. The first lane packs the first slot
+        // index (low half) with the key's fingerprint hash (high half) so
+        // the probe stage re-derives nothing.
+        let hash_and_prefetch =
+            |chunk: &[u32], packed: &mut [u64], seconds: &mut [u64], thirds: &mut [u64]| {
+                for (i, &key) in chunk.iter().enumerate() {
+                    let hash = key_hash(key, seed);
+                    let [h0, h1, h2] = layout.positions(hash);
+                    packed[i] = u64::from(h0) | (fingerprint_hash(hash) << 32);
+                    seconds[i] = u64::from(h1);
+                    thirds[i] = u64::from(h2);
+                    prefetch_read(&fingerprints[h0 as usize]);
+                    prefetch_read(&fingerprints[h1 as usize]);
+                    prefetch_read(&fingerprints[h2 as usize]);
+                }
+            };
+        sel.reserve(keys.len());
+        let first = distance.min(keys.len());
+        hash_and_prefetch(
+            &keys[..first],
+            &mut packed[..first],
+            &mut seconds[..first],
+            &mut thirds[..first],
+        );
+        let mut begin = 0usize;
+        let mut half = 0usize; // chunk c's addresses live at lane[half · distance ..]
+        while begin < keys.len() {
+            let end = (begin + distance).min(keys.len());
+            // Stage the next chunk into the other lane halves before
+            // probing this one, so its slots stream in underneath the folds.
+            if end < keys.len() {
+                let next_end = (end + distance).min(keys.len());
+                let other = (1 - half) * distance;
+                let len = next_end - end;
+                hash_and_prefetch(
+                    &keys[end..next_end],
+                    &mut packed[other..other + len],
+                    &mut seconds[other..other + len],
+                    &mut thirds[other..other + len],
+                );
+            }
+            let base = half * distance;
+            for i in 0..(end - begin) {
+                let entry = packed[base + i];
+                // `from_hash` truncates, so the 32 packed bits reproduce the
+                // expected fingerprint exactly (F is at most 16 bits wide).
+                let expected = F::from_hash(entry >> 32);
+                let folded = fingerprints[(entry as u32) as usize]
+                    ^ fingerprints[seconds[base + i] as usize]
+                    ^ fingerprints[thirds[base + i] as usize];
+                sel.push_if((begin + i) as u32, folded == expected);
+            }
+            begin = end;
+            half = 1 - half;
+        }
+    }
 }
 
 /// One seeded peeling attempt: returns the assigned fingerprint array, or
@@ -494,6 +605,13 @@ impl<F: Fingerprint> Filter for BinaryFuse<F> {
 
     fn contains_batch(&self, keys: &[u32], sel: &mut SelectionVector) {
         if self.keys == 0 {
+            return;
+        }
+        // Large batches against filters past the cache-footprint floor go
+        // through the staged kernel, which hides the three per-key miss
+        // latencies; everything else stays on the scalar loop.
+        if self.staged_enabled && probe::staged_worthwhile(keys.len(), self.size_bits() / 8) {
+            probe::with_thread_plan(|plan| self.contains_batch_staged(keys, sel, plan));
             return;
         }
         for (i, &key) in keys.iter().enumerate() {
@@ -586,6 +704,44 @@ impl FuseFilter {
         match self {
             Self::Fp8(f) => f.fingerprint_bits(),
             Self::Fp16(f) => f.fingerprint_bits(),
+        }
+    }
+
+    /// See [`BinaryFuse::contains_batch_scalar`].
+    pub fn contains_batch_scalar(&self, keys: &[u32], sel: &mut SelectionVector) {
+        match self {
+            Self::Fp8(f) => f.contains_batch_scalar(keys, sel),
+            Self::Fp16(f) => f.contains_batch_scalar(keys, sel),
+        }
+    }
+
+    /// See [`BinaryFuse::contains_batch_staged`].
+    pub fn contains_batch_staged(
+        &self,
+        keys: &[u32],
+        sel: &mut SelectionVector,
+        plan: &mut ProbePlan,
+    ) {
+        match self {
+            Self::Fp8(f) => f.contains_batch_staged(keys, sel, plan),
+            Self::Fp16(f) => f.contains_batch_staged(keys, sel, plan),
+        }
+    }
+
+    /// See [`BinaryFuse::force_scalar`].
+    pub fn force_scalar(&mut self) {
+        match self {
+            Self::Fp8(f) => f.force_scalar(),
+            Self::Fp16(f) => f.force_scalar(),
+        }
+    }
+
+    /// See [`BinaryFuse::prefetch_storage`].
+    #[inline]
+    pub fn prefetch_storage(&self) {
+        match self {
+            Self::Fp8(f) => f.prefetch_storage(),
+            Self::Fp16(f) => f.prefetch_storage(),
         }
     }
 

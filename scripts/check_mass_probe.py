@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate for the staged mass-probe kernels.
+
+Usage: check_mass_probe.py <BENCH_store.json>
+
+Reads the `mass_probe` sweep (family x batch-size cells, each recording the
+staged and scalar kernel rates over identical cold-streaming probe windows)
+and fails if the staged kernel lost to the scalar kernel at the 10k-batch
+cell for any mutable family (bloom*, cuckoo*) — the regime the staged
+pipeline exists for. Fuse cells are informational only: a fingerprint array
+that fits the host's last-level cache is already latency-hidden by the
+out-of-order window, so scalar legitimately wins there on large-LLC hosts.
+
+Also fails if no cell was checked at all (e.g. the sweep section was dropped
+or renamed), so the gate cannot silently go blind.
+"""
+
+import json
+import sys
+
+GATED_BATCH = 10_000
+GATED_FAMILY_PREFIXES = ("bloom", "cuckoo")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__.strip())
+    with open(sys.argv[1]) as f:
+        document = json.load(f)
+    cells = document.get("mass_probe", [])
+    checked = 0
+    failures = []
+    for cell in cells:
+        family = cell.get("family", "")
+        batch = cell.get("batch")
+        staged = cell.get("staged_mops")
+        scalar = cell.get("scalar_mops")
+        if batch != GATED_BATCH or staged is None or scalar is None:
+            continue
+        gated = family.startswith(GATED_FAMILY_PREFIXES)
+        verdict = "gate" if gated else "info"
+        print(f"  [{verdict}] {family}/batch {batch}: staged {staged:.2f} "
+              f"Mops/s vs scalar {scalar:.2f} Mops/s "
+              f"({staged / scalar:.2f}x)")
+        if not gated:
+            continue
+        checked += 1
+        if staged < scalar:
+            failures.append(
+                f"{family}: staged {staged:.2f} Mops/s < scalar "
+                f"{scalar:.2f} Mops/s at batch {batch}")
+    if checked == 0:
+        sys.exit("FAIL: no mass_probe cells at batch "
+                 f"{GATED_BATCH} for families {GATED_FAMILY_PREFIXES} — "
+                 "sweep missing or renamed?")
+    if failures:
+        print(f"FAIL: staged kernel lost to scalar in {len(failures)} "
+              "gated cell(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        sys.exit(1)
+    print(f"OK: staged >= scalar in all {checked} gated 10k-batch cells")
+
+
+if __name__ == "__main__":
+    main()

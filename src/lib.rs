@@ -102,7 +102,9 @@ pub mod prelude {
         WorkloadSpec,
     };
     pub use pof_cuckoo::{CuckooAddressing, CuckooConfig, CuckooFilter};
-    pub use pof_filter::{DeleteOutcome, Filter, FilterKind, KeyGen, SelectionVector, Workload};
+    pub use pof_filter::{
+        DeleteOutcome, Filter, FilterKind, KeyGen, ProbePlan, SelectionVector, Workload,
+    };
     pub use pof_store::{
         BloomDeleteMode, CompactionPolicy, DeferredBatch, FprDrift, LevelStats, ManualCompaction,
         ProbeScratch, RebuildDecision, RebuildMode, RebuildPolicy, RebuildUrgency,
