@@ -32,8 +32,9 @@ use pof_cuckoo::{CuckooAddressing, CuckooConfig};
 use pof_filter::probe::ProbePlan;
 use pof_filter::{KeyGen, SelectionVector};
 use pof_store::{
-    BloomDeleteMode, DeferredBatch, FprDrift, LevelSpec, RebuildPolicy, SaturationDoubling,
-    ShardedFilterStore, StoreBuilder, TieredProbeScratch, TieredStore, TieredStoreBuilder,
+    BloomDeleteMode, DeferredBatch, FprDrift, LevelSpec, RebuildMode, RebuildPolicy,
+    SaturationDoubling, ShardedFilterStore, StoreBuilder, TieredProbeScratch, TieredStore,
+    TieredStoreBuilder,
 };
 use serde::Value;
 use std::collections::VecDeque;
@@ -200,7 +201,11 @@ fn bench_store_lifecycle(c: &mut Criterion) {
                     .bits_per_key(16.0)
                     .config(*config)
                     .rebuild_policy(Arc::clone(policy))
-                    .background_rebuilds(background)
+                    .rebuild_mode(if background {
+                        RebuildMode::Background
+                    } else {
+                        RebuildMode::Inline
+                    })
                     .build();
                 let mut gen = KeyGen::new(0x11FE);
                 let probes = gen.keys(lifecycle_batch);
@@ -632,7 +637,11 @@ fn sweep_cell(
         .bits_per_key(14.0)
         .config(config)
         .rebuild_policy(policy)
-        .background_rebuilds(background)
+        .rebuild_mode(if background {
+            RebuildMode::Background
+        } else {
+            RebuildMode::Inline
+        })
         .build();
     let mut gen = KeyGen::new(0x6E0B);
     let probes = gen.keys(batch);
@@ -968,6 +977,130 @@ fn cold_family_cell(
     ]
 }
 
+/// The online re-advising drift story, recorded end to end: a hot churny
+/// counting-Bloom store cools into a cold static tier; the store's own
+/// decayed traffic observation plus a drifted workload hint walk it — live,
+/// through the hysteresis gates and the snapshot/delta-replay/swap rebuild
+/// machinery — onto an immutable fuse filter. The cell records the families
+/// at both ends, the migration count, the round the flip confirmed, the
+/// realized bits per live key before and after (the memory the migration
+/// reclaimed), and asserts zero false negatives at every round on the way.
+fn drift_cell() -> Vec<(String, Value)> {
+    use pof_filter::FilterKind;
+    // Cuckoo's power-of-two table sizing gives its modeled space efficiency
+    // a sawtooth in n, so there are narrow pockets (around 21k live keys,
+    // for one) where the advisor keeps Cuckoo over fuse16 at the cold spec.
+    // The live set is sized to land inside a wide fuse-favorable region
+    // (everything in 23k..33k and around 128k resolves to fuse16).
+    let live_target: usize = if quick() { 24_000 } else { 1 << 17 };
+    let churn = live_target / 20;
+    let store = StoreBuilder::new()
+        .shards(2)
+        .expected_keys(live_target * 2)
+        .bits_per_key(14.0)
+        .bloom_deletes(BloomDeleteMode::Counting)
+        .readvise(pof_store::ReadviseOptions {
+            workload: LevelSpec {
+                expected_keys: live_target as u64,
+                work_saved_cycles: 32.0,
+                sigma: 0.5,
+                delete_rate: 0.4,
+                expected_probes_per_key: 4.0,
+            },
+            ..pof_store::ReadviseOptions::default()
+        })
+        .build();
+    let mut gen = KeyGen::new(0xD21F);
+    let mut live = gen.distinct_keys(live_target + churn);
+    store.insert_batch(&live);
+    let mut sel = SelectionVector::with_capacity(live.len());
+    let mut false_negative_rounds = 0u64;
+    let mut check = |store: &ShardedFilterStore, live: &[u32], sel: &mut SelectionVector| {
+        sel.clear();
+        store.contains_batch(live, sel);
+        if sel.len() != live.len() {
+            false_negative_rounds += 1;
+        }
+    };
+    // Hot phase: churn under the hot hint; the family must not move.
+    for _ in 0..4 {
+        let doomed: Vec<u32> = live.drain(..churn).collect();
+        store.delete_batch(&doomed);
+        let fresh = gen.distinct_keys(churn);
+        store.insert_batch(&fresh);
+        live.extend(fresh);
+        check(&store, &live, &mut sel);
+        store.run_pending_readvise();
+    }
+    let hot_family = store.config().label();
+    let hot_migrations = store.stats().total_migrations();
+    let bloom_bits_per_live_key = store.stats().bits_per_live_key();
+    // The workload cools: misses now cost a simulated disk read, churn
+    // stops, and the filter will serve scans for the rest of its life.
+    store.set_workload_hint(LevelSpec {
+        expected_keys: live.len() as u64,
+        work_saved_cycles: 16_000_000.0,
+        sigma: 0.0,
+        delete_rate: 0.0,
+        expected_probes_per_key: 1_000_000.0,
+    });
+    let mut migrated_at_round: i64 = -1;
+    for round in 0..60 {
+        check(&store, &live, &mut sel);
+        store.run_pending_readvise();
+        if store.config().kind() == FilterKind::Fuse {
+            migrated_at_round = round;
+            break;
+        }
+    }
+    check(&store, &live, &mut sel);
+    // Cold-scan throughput on the migrated store.
+    let probes = gen.keys(if quick() { 1 << 16 } else { 1 << 19 });
+    let start = Instant::now();
+    let mut ops = 0u64;
+    for chunk in probes.chunks(BATCH) {
+        sel.clear();
+        store.contains_batch(chunk, &mut sel);
+        ops += chunk.len() as u64;
+    }
+    let elapsed = start.elapsed();
+    let stats = store.stats();
+    assert_eq!(false_negative_rounds, 0, "drift cell saw a false negative");
+    vec![
+        ("hot_family".into(), Value::Str(hot_family)),
+        ("hot_migrations".into(), Value::U64(hot_migrations)),
+        (
+            "bloom_bits_per_live_key".into(),
+            Value::F64(bloom_bits_per_live_key),
+        ),
+        ("final_family".into(), Value::Str(store.config().label())),
+        ("final_config".into(), Value::Str(store.config().label())),
+        ("migrations".into(), Value::U64(stats.total_migrations())),
+        ("migrated_at_round".into(), Value::I64(migrated_at_round)),
+        ("live_keys".into(), Value::U64(stats.total_keys())),
+        (
+            "bits_per_live_key".into(),
+            Value::F64(stats.bits_per_live_key()),
+        ),
+        (
+            "fingerprint_bits".into(),
+            Value::U64(u64::from(store.config().fingerprint_bits())),
+        ),
+        (
+            "counting_sidecar_bytes".into(),
+            Value::U64(stats.total_counting_sidecar_bytes()),
+        ),
+        (
+            "false_negative_rounds".into(),
+            Value::U64(false_negative_rounds),
+        ),
+        (
+            "cold_scan_ops_per_sec".into(),
+            Value::F64(ops as f64 / elapsed.as_secs_f64()),
+        ),
+    ]
+}
+
 /// Repetitions per sweep cell. Each run's stall figure is the *maximum* over
 /// thousands of write calls, so a single scheduler preemption (the writer
 /// descheduled mid-call while the maintainer holds the only core) defines
@@ -1132,6 +1265,34 @@ fn write_bench_json(path: &str) {
             bits(&tiered_fuse[1]),
         );
     }
+    // The re-advising drift story: one recorded run of the live
+    // counting-Bloom → fuse migration as the workload cools.
+    let drift_cells = vec![Value::Map(drift_cell())];
+    {
+        let cell = match &drift_cells[0] {
+            Value::Map(entries) => entries.as_slice(),
+            _ => unreachable!(),
+        };
+        eprintln!(
+            "drift: {} -> {} in {} migrations (confirmed at round {}), \
+             {:.2} -> {:.2} bits/live-key",
+            match cell.iter().find(|(k, _)| k == "hot_family") {
+                Some((_, Value::Str(s))) => s.as_str(),
+                _ => "?",
+            },
+            match cell.iter().find(|(k, _)| k == "final_family") {
+                Some((_, Value::Str(s))) => s.as_str(),
+                _ => "?",
+            },
+            cell_u64(cell, "migrations"),
+            match cell.iter().find(|(k, _)| k == "migrated_at_round") {
+                Some((_, Value::I64(r))) => *r,
+                _ => -1,
+            },
+            cell_f64(cell, "bloom_bits_per_live_key"),
+            cell_f64(cell, "bits_per_live_key"),
+        );
+    }
     // The mass-probe sweep: staged (hash → prefetch → probe) vs scalar
     // kernel rate per family and batch size, selections asserted identical
     // inside each cell. The 10k cells are the perf-smoke gate
@@ -1219,6 +1380,27 @@ fn write_bench_json(path: &str) {
             ),
         ),
         ("tiered_fuse".into(), Value::Seq(tiered_fuse)),
+        (
+            "drift_workload".into(),
+            Value::Str(
+                "online re-advising end to end: a counting-Bloom store under hot \
+                 churn (t_w 32, delete_rate ~0.4, re-advising on with default \
+                 hysteresis) is cooled — the workload hint drifts to a simulated \
+                 disk miss (t_w 16e6) with lifetime-scale probe volume and the \
+                 churn stops — and the store's own decayed traffic observation \
+                 walks it live onto an immutable fuse filter through the \
+                 snapshot/delta-replay/swap machinery. The cell records families \
+                 at both ends, the migration count (>= 1 required), the \
+                 confirmation round, fingerprint_bits (> 0 required: the end \
+                 state is fingerprint-backed), and bits per live key before and \
+                 after (the migration must reclaim memory versus the Bloom \
+                 start). false_negative_rounds must be 0: every live key \
+                 answered positive at every round across every family \
+                 transition"
+                    .into(),
+            ),
+        ),
+        ("drift".into(), Value::Seq(drift_cells)),
         (
             "mass_probe_workload".into(),
             Value::Str(

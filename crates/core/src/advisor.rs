@@ -118,6 +118,118 @@ pub struct Recommendation {
     pub predicted_speedup: f64,
 }
 
+/// One re-advising evaluation: how the advisor's current per-level verdict
+/// compares against the configuration a store is *already running*.
+///
+/// Produced by [`FilterAdvisor::readvise_level`] from observed (rather than
+/// declared) workload stats. The interesting field is `improvement`: the
+/// relative reduction in the full maintenance-weighted objective the best
+/// candidate offers over the incumbent's own best operating point. A store
+/// feeds it into a [`FamilyHysteresis`] so the family only migrates once the
+/// improvement has cleared a threshold for several consecutive evaluations.
+#[derive(Debug, Clone)]
+pub struct Readvice {
+    /// The fresh per-level recommendation under the observed workload.
+    pub recommendation: LevelRecommendation,
+    /// Best achievable objective (cycles/op) for the *incumbent*
+    /// configuration under the observed workload — infinite when the
+    /// incumbent cannot be modeled (e.g. a pinned config outside the
+    /// calibrated space), in which case any candidate is an improvement.
+    pub incumbent_objective: f64,
+    /// Objective (cycles/op) of the recommended candidate.
+    pub candidate_objective: f64,
+    /// Relative objective reduction `(incumbent − candidate) / incumbent`,
+    /// clamped to `[0, 1]`; `1.0` when the incumbent is unmodelable.
+    pub improvement: f64,
+    /// `true` when the recommended family differs from the incumbent's.
+    pub flips_family: bool,
+}
+
+/// Hysteresis for online family migration: a flip proposal must clear the
+/// improvement threshold for `required_streak` *consecutive* evaluations
+/// (all agreeing on the same target family) before [`observe`] confirms it.
+/// Anything else — an evaluation with no proposal, a below-threshold
+/// improvement, or a change of target — resets the streak, so a borderline
+/// workload oscillating around the crossover never flaps.
+///
+/// [`observe`]: FamilyHysteresis::observe
+#[derive(Debug, Clone)]
+pub struct FamilyHysteresis {
+    min_improvement: f64,
+    required_streak: u32,
+    streak: u32,
+    pending: Option<pof_filter::FilterKind>,
+}
+
+impl FamilyHysteresis {
+    /// Create a hysteresis gate: confirm a migration only after the modeled
+    /// relative improvement has been at least `min_improvement` for
+    /// `required_streak` consecutive evaluations (clamped to ≥ 1) that all
+    /// propose the same target family.
+    #[must_use]
+    pub fn new(min_improvement: f64, required_streak: u32) -> Self {
+        Self {
+            min_improvement,
+            required_streak: required_streak.max(1),
+            streak: 0,
+            pending: None,
+        }
+    }
+
+    /// Feed one evaluation: `proposal` is the target family when the advisor
+    /// wants a migration (`None` when the incumbent is still the right
+    /// choice), `improvement` the modeled relative objective reduction.
+    /// Returns `true` exactly when the streak completes — the caller should
+    /// migrate now. A confirmed flip resets the gate for the next drift.
+    pub fn observe(&mut self, proposal: Option<pof_filter::FilterKind>, improvement: f64) -> bool {
+        let Some(target) = proposal else {
+            self.reset();
+            return false;
+        };
+        if improvement < self.min_improvement {
+            self.reset();
+            return false;
+        }
+        if self.pending != Some(target) {
+            self.pending = Some(target);
+            self.streak = 0;
+        }
+        self.streak += 1;
+        if self.streak >= self.required_streak {
+            self.reset();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop any in-progress streak (e.g. after a migration completed through
+    /// another path).
+    pub fn reset(&mut self) {
+        self.streak = 0;
+        self.pending = None;
+    }
+
+    /// Consecutive above-threshold evaluations accumulated toward the
+    /// current pending target.
+    #[must_use]
+    pub fn streak(&self) -> u32 {
+        self.streak
+    }
+
+    /// The improvement threshold this gate was built with.
+    #[must_use]
+    pub fn min_improvement(&self) -> f64 {
+        self.min_improvement
+    }
+
+    /// The consecutive-evaluation requirement this gate was built with.
+    #[must_use]
+    pub fn required_streak(&self) -> u32 {
+        self.required_streak
+    }
+}
+
 /// The advisor's per-level recommendation: the base [`Recommendation`] plus
 /// the delete-handling verdict a tiered store needs to configure the level.
 #[derive(Debug, Clone)]
@@ -215,33 +327,9 @@ impl FilterAdvisor {
         // probes — not just re-rank points chosen under the plain ρ.
         let mut best: Option<(FilterConfig, f64, f64, f64, f64)> = None;
         for config in self.space.all_configs() {
-            let delete_multiple = match config.kind() {
-                pof_filter::FilterKind::Bloom => BLOOM_DELETE_LOOKUP_MULTIPLE,
-                pof_filter::FilterKind::Cuckoo => CUCKOO_DELETE_LOOKUP_MULTIPLE,
-                pof_filter::FilterKind::Fuse => FUSE_DELETE_LOOKUP_MULTIPLE,
-            };
-            let lookup_weight = 1.0 + level.delete_rate * delete_multiple;
-            // Construction cost, amortised per probe. Mutable families build
-            // on the write path (their construction is the insert stream the
-            // level pays anyway), so only immutable configurations — which
-            // re-peel the complete key set whenever the level changes — carry
-            // a surcharge: the base build spread over the level's probe
-            // lifetime, plus a churn term for the rebuilds deletes force.
-            let build_surcharge = if config.immutable() {
-                config.build_cycles_per_key() / level.expected_probes_per_key.max(1.0)
-                    + level.delete_rate
-                        * config.build_cycles_per_key()
-                        * IMMUTABLE_REBUILD_AMPLIFICATION
-            } else {
-                0.0
-            };
-            if let Some((bpk, weighted, fpr, lookup)) = skyline.best_operating_point_weighted(
-                &config,
-                level.expected_keys,
-                level.work_saved_cycles,
-                lookup_weight,
-            ) {
-                let objective = weighted + build_surcharge;
+            if let Some((bpk, objective, fpr, lookup)) =
+                Self::level_objective(&skyline, &config, level)
+            {
                 if best.as_ref().is_none_or(|(_, _, w, _, _)| objective < *w) {
                     best = Some((config, bpk, objective, fpr, lookup));
                 }
@@ -273,6 +361,81 @@ impl FilterAdvisor {
             },
             counting_deletes,
             delete_overhead_cycles,
+        }
+    }
+
+    /// Full maintenance-weighted objective of one configuration's best
+    /// operating point at this level: the delete-weighted ρ plus, for
+    /// immutable configurations, the amortised construction surcharge.
+    /// Returns `(bits_per_key, objective, fpr, lookup)`, or `None` when the
+    /// configuration has no feasible operating point under the calibration.
+    fn level_objective(
+        skyline: &Skyline<'_>,
+        config: &FilterConfig,
+        level: &LevelSpec,
+    ) -> Option<(f64, f64, f64, f64)> {
+        let delete_multiple = match config.kind() {
+            pof_filter::FilterKind::Bloom => BLOOM_DELETE_LOOKUP_MULTIPLE,
+            pof_filter::FilterKind::Cuckoo => CUCKOO_DELETE_LOOKUP_MULTIPLE,
+            pof_filter::FilterKind::Fuse => FUSE_DELETE_LOOKUP_MULTIPLE,
+        };
+        let lookup_weight = 1.0 + level.delete_rate * delete_multiple;
+        // Construction cost, amortised per probe. Mutable families build
+        // on the write path (their construction is the insert stream the
+        // level pays anyway), so only immutable configurations — which
+        // re-peel the complete key set whenever the level changes — carry
+        // a surcharge: the base build spread over the level's probe
+        // lifetime, plus a churn term for the rebuilds deletes force.
+        let build_surcharge = if config.immutable() {
+            config.build_cycles_per_key() / level.expected_probes_per_key.max(1.0)
+                + level.delete_rate
+                    * config.build_cycles_per_key()
+                    * IMMUTABLE_REBUILD_AMPLIFICATION
+        } else {
+            0.0
+        };
+        skyline
+            .best_operating_point_weighted(
+                config,
+                level.expected_keys,
+                level.work_saved_cycles,
+                lookup_weight,
+            )
+            .map(|(bpk, weighted, fpr, lookup)| (bpk, weighted + build_surcharge, fpr, lookup))
+    }
+
+    /// Re-run the per-level search against *observed* workload stats and
+    /// compare the winner against the configuration the store is already
+    /// running — the online re-advising entry point.
+    ///
+    /// The returned [`Readvice`] reports the relative objective improvement
+    /// the best candidate offers over the incumbent's own best operating
+    /// point under the same observed stats (so the comparison is
+    /// like-for-like: both sides get to re-tune bits-per-key). Callers gate
+    /// the actual migration through a [`FamilyHysteresis`] so a borderline
+    /// workload sitting on a crossover never flaps between families.
+    #[must_use]
+    pub fn readvise_level(&self, level: &LevelSpec, incumbent: &FilterConfig) -> Readvice {
+        let skyline = Skyline::new(self.space, &self.calibration);
+        let recommendation = self.recommend_for_level(level);
+        // The objective the winner minimised: the paper's ρ plus the
+        // reported maintenance surcharge (they sum by construction).
+        let candidate_objective =
+            recommendation.recommendation.rho_cycles + recommendation.delete_overhead_cycles;
+        let incumbent_objective = Self::level_objective(&skyline, incumbent, level)
+            .map_or(f64::INFINITY, |(_, objective, _, _)| objective);
+        let improvement = if incumbent_objective.is_finite() && incumbent_objective > 0.0 {
+            ((incumbent_objective - candidate_objective) / incumbent_objective).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let flips_family = recommendation.recommendation.config.kind() != incumbent.kind();
+        Readvice {
+            recommendation,
+            incumbent_objective,
+            candidate_objective,
+            improvement,
+            flips_family,
         }
     }
 
@@ -529,6 +692,93 @@ mod tests {
         });
         let expected_rho = rec.recommendation.lookup_cycles + rec.recommendation.fpr * 1_000.0;
         assert!((rec.recommendation.rho_cycles - expected_rho).abs() < 1e-9);
+    }
+
+    #[test]
+    fn readvise_flags_a_cooled_level_for_fuse() {
+        // A level built hot-churny on Bloom, observed later as big, cold and
+        // static: the re-advice must flip to fuse with a solid improvement,
+        // and the improvement must be computed against the incumbent's own
+        // best operating point (finite, larger than the candidate's).
+        let advisor = FilterAdvisor::with_synthetic_calibration(ConfigSpace::default().with_fuse());
+        let hot = advisor.recommend_for_level(&LevelSpec {
+            expected_keys: 1 << 15,
+            work_saved_cycles: 32.0,
+            delete_rate: 0.5,
+            expected_probes_per_key: 4.0,
+            ..LevelSpec::default()
+        });
+        assert_eq!(hot.recommendation.config.kind(), FilterKind::Bloom);
+        let cooled = LevelSpec {
+            expected_keys: 1 << 16,
+            work_saved_cycles: 16_000_000.0,
+            delete_rate: 0.0,
+            expected_probes_per_key: 1_048_576.0,
+            ..LevelSpec::default()
+        };
+        let readvice = advisor.readvise_level(&cooled, &hot.recommendation.config);
+        assert_eq!(
+            readvice.recommendation.recommendation.config.kind(),
+            FilterKind::Fuse
+        );
+        assert!(readvice.flips_family);
+        assert!(readvice.incumbent_objective.is_finite());
+        assert!(readvice.candidate_objective < readvice.incumbent_objective);
+        assert!(readvice.improvement > 0.0 && readvice.improvement <= 1.0);
+    }
+
+    #[test]
+    fn readvise_of_a_stable_workload_reports_no_flip() {
+        // The incumbent *is* the winner: no family flip, and the improvement
+        // collapses to (near) zero — the signal hysteresis resets on.
+        let advisor = advisor();
+        let spec = LevelSpec {
+            expected_keys: 1 << 18,
+            work_saved_cycles: 50.0,
+            ..LevelSpec::default()
+        };
+        let rec = advisor.recommend_for_level(&spec);
+        let readvice = advisor.readvise_level(&spec, &rec.recommendation.config);
+        assert!(!readvice.flips_family);
+        assert!(readvice.improvement < 1e-9);
+    }
+
+    #[test]
+    fn hysteresis_confirms_only_a_sustained_streak() {
+        let mut gate = FamilyHysteresis::new(0.2, 3);
+        assert!(!gate.observe(Some(FilterKind::Fuse), 0.5));
+        assert!(!gate.observe(Some(FilterKind::Fuse), 0.5));
+        assert_eq!(gate.streak(), 2);
+        assert!(gate.observe(Some(FilterKind::Fuse), 0.5));
+        // Confirmed flips reset the gate for the next drift.
+        assert_eq!(gate.streak(), 0);
+        assert!(!gate.observe(Some(FilterKind::Fuse), 0.5));
+    }
+
+    #[test]
+    fn hysteresis_never_flaps_on_a_borderline_workload() {
+        // Oscillating evaluations that keep dipping below the threshold (or
+        // withdraw the proposal entirely) must never confirm a migration —
+        // the store-level "0 migrations under oscillating stats" pin.
+        let mut gate = FamilyHysteresis::new(0.2, 2);
+        for _ in 0..16 {
+            assert!(!gate.observe(Some(FilterKind::Cuckoo), 0.3));
+            assert!(!gate.observe(Some(FilterKind::Cuckoo), 0.1));
+            assert!(!gate.observe(None, 0.9));
+        }
+        assert_eq!(gate.streak(), 0);
+    }
+
+    #[test]
+    fn hysteresis_restarts_the_streak_when_the_target_changes() {
+        let mut gate = FamilyHysteresis::new(0.1, 3);
+        assert!(!gate.observe(Some(FilterKind::Cuckoo), 0.4));
+        assert!(!gate.observe(Some(FilterKind::Cuckoo), 0.4));
+        // Target swaps mid-streak: the two Cuckoo votes must not count
+        // toward a fuse migration.
+        assert!(!gate.observe(Some(FilterKind::Fuse), 0.4));
+        assert!(!gate.observe(Some(FilterKind::Fuse), 0.4));
+        assert!(gate.observe(Some(FilterKind::Fuse), 0.4));
     }
 
     #[test]

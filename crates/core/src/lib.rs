@@ -49,8 +49,8 @@ pub mod platform;
 pub mod skyline;
 
 pub use advisor::{
-    FilterAdvisor, LevelRecommendation, LevelSpec, Recommendation, WorkloadSpec,
-    COUNTING_DELETE_THRESHOLD,
+    FamilyHysteresis, FilterAdvisor, LevelRecommendation, LevelSpec, Readvice, Recommendation,
+    WorkloadSpec, COUNTING_DELETE_THRESHOLD,
 };
 pub use anyfilter::AnyFilter;
 pub use calibration::{CalibrationRecord, CalibrationSet, Calibrator};

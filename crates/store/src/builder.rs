@@ -1,10 +1,13 @@
 //! Construction of sharded stores — shard count, per-shard budget, and
 //! either a pinned filter configuration or one chosen by the
 //! `FilterAdvisor` — and of tiered stores, where the advisor makes that
-//! choice once per level.
+//! choice once per level. Both builders share the same
+//! [`LifecycleOptions`] (rebuild policy + execution mode) and the same
+//! optional [`ReadviseOptions`] for online re-advising.
 
 use crate::maintainer::RebuildMode;
-use crate::policy::{RebuildPolicy, SaturationDoubling};
+use crate::options::{LifecycleOptions, ReadviseOptions, StoreOptions};
+use crate::policy::RebuildPolicy;
 use crate::shard::BloomDeleteMode;
 use crate::store::ShardedFilterStore;
 use crate::tiered::{CompactionPolicy, SizeRatio, TierLevel, TieredStore};
@@ -21,12 +24,22 @@ pub enum ConfigSource {
     /// Ask the [`FilterAdvisor`] (synthetic calibration over the default
     /// configuration space) for the performance-optimal configuration, given
     /// the work each filtered-out lookup saves and the expected hit rate.
+    ///
+    /// This legacy form carries no delete-rate or probe-volume terms, so the
+    /// advisor sweeps only the mutable families. Prefer
+    /// [`AdvisedLevel`](Self::AdvisedLevel), which consumes a full
+    /// [`LevelSpec`].
     Advised {
         /// Work (CPU cycles) saved for every probe a shard filter rejects.
         work_saved_cycles: f64,
         /// Fraction of probes that are true members.
         sigma: f64,
     },
+    /// Ask [`FilterAdvisor::recommend_for_level`] over the fuse-enabled
+    /// configuration space, honoring the spec's delete rate (which also
+    /// selects the Bloom delete mode) and expected probe volume (which
+    /// amortizes immutable build cost).
+    AdvisedLevel(LevelSpec),
 }
 
 /// Builder for [`ShardedFilterStore`].
@@ -47,9 +60,9 @@ pub struct StoreBuilder {
     expected_keys: usize,
     bits_per_key: f64,
     config: ConfigSource,
-    policy: Arc<dyn RebuildPolicy>,
-    rebuild_mode: RebuildMode,
+    lifecycle: LifecycleOptions,
     bloom_deletes: BloomDeleteMode,
+    readvise: Option<ReadviseOptions>,
 }
 
 impl Default for StoreBuilder {
@@ -62,7 +75,7 @@ impl StoreBuilder {
     /// Defaults: 8 shards, 64k expected keys, 12 bits/key, the paper's
     /// canonical high-throughput Bloom configuration (cache-sectorized,
     /// 512-bit blocks, 64-bit sectors, z = 2, k = 8, magic addressing), and
-    /// the [`SaturationDoubling`] lifecycle policy.
+    /// [`LifecycleOptions::default`] (saturation-doubling, inline rebuilds).
     #[must_use]
     pub fn new() -> Self {
         Self {
@@ -76,9 +89,9 @@ impl StoreBuilder {
                 8,
                 Addressing::Magic,
             ))),
-            policy: Arc::new(SaturationDoubling),
-            rebuild_mode: RebuildMode::Inline,
+            lifecycle: LifecycleOptions::default(),
             bloom_deletes: BloomDeleteMode::Tombstone,
+            readvise: None,
         }
     }
 
@@ -115,31 +128,35 @@ impl StoreBuilder {
     /// their filters, how rebuild capacity is chosen, and whether saturated
     /// writes are deferred to [`maintain`](ShardedFilterStore::maintain).
     ///
-    /// Defaults to [`SaturationDoubling`] (inline doubling, the store's
-    /// classic behavior). See [`FprDrift`](crate::FprDrift) and
+    /// Defaults to [`SaturationDoubling`](crate::SaturationDoubling) (inline
+    /// doubling, the store's classic behavior). See
+    /// [`FprDrift`](crate::FprDrift) and
     /// [`DeferredBatch`](crate::DeferredBatch) for the other built-ins; any
     /// `Arc<dyn RebuildPolicy>` works, one instance is shared by all shards.
     #[must_use]
     pub fn rebuild_policy(mut self, policy: Arc<dyn RebuildPolicy>) -> Self {
-        self.policy = policy;
+        self.lifecycle.policy = policy;
+        self
+    }
+
+    /// Replace the whole shard-lifecycle pair (rebuild policy + execution
+    /// mode) at once — the same struct [`StoreOptions`] carries, shared with
+    /// [`TieredStoreBuilder::lifecycle`].
+    #[must_use]
+    pub fn lifecycle(mut self, lifecycle: LifecycleOptions) -> Self {
+        self.lifecycle = lifecycle;
         self
     }
 
     /// Run policy-triggered rebuilds on a background maintainer thread
     /// instead of inline under the shard's write lock.
-    ///
-    /// When on, a saturating shard no longer stalls writers for a full
-    /// filter replay: the writer records a pending-rebuild state and keeps
-    /// serving, the maintainer builds the replacement off-lock from the
-    /// shard's replay log, re-acquires the shard briefly to replay the
-    /// bounded delta of writes that raced the build, and publishes the
-    /// replacement with a single `Arc` swap. Readers are wait-free in both
-    /// modes. [`ShardedFilterStore::maintain`] doubles as a deterministic
-    /// drain barrier. Defaults to `false`: the synchronous path is
-    /// bit-for-bit the classic inline behavior.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use rebuild_mode(RebuildMode::Background) (or RebuildMode::Inline)"
+    )]
     #[must_use]
     pub fn background_rebuilds(mut self, background: bool) -> Self {
-        self.rebuild_mode = if background {
+        self.lifecycle.rebuild_mode = if background {
             RebuildMode::Background
         } else {
             RebuildMode::Inline
@@ -147,14 +164,24 @@ impl StoreBuilder {
         self
     }
 
-    /// Select the rebuild execution mode explicitly — notably
-    /// [`RebuildMode::Queued`], where rebuild jobs queue until the caller
-    /// runs them via [`ShardedFilterStore::run_pending_rebuilds`]. That is
-    /// the deterministic harness the interleaving and property tests drive,
-    /// and the hook for embedding rebuilds in an external executor.
+    /// Select the rebuild execution mode: [`RebuildMode::Inline`] (the
+    /// default — rebuilds run synchronously under the shard's write lock),
+    /// [`RebuildMode::Background`] (a saturating shard no longer stalls
+    /// writers for a full filter replay: the writer records a
+    /// pending-rebuild state and keeps serving, the maintainer builds the
+    /// replacement off-lock from the shard's replay log, re-acquires the
+    /// shard briefly to replay the bounded delta of writes that raced the
+    /// build, and publishes the replacement with a single `Arc` swap —
+    /// readers are wait-free in both modes, and
+    /// [`ShardedFilterStore::maintain`] doubles as a deterministic drain
+    /// barrier), or [`RebuildMode::Queued`], where rebuild jobs queue until
+    /// the caller runs them via
+    /// [`ShardedFilterStore::run_pending_rebuilds`]. Queued is the
+    /// deterministic harness the interleaving and property tests drive, and
+    /// the hook for embedding rebuilds in an external executor.
     #[must_use]
     pub fn rebuild_mode(mut self, mode: RebuildMode) -> Self {
-        self.rebuild_mode = mode;
+        self.lifecycle.rebuild_mode = mode;
         self
     }
 
@@ -179,6 +206,11 @@ impl StoreBuilder {
     /// Let the [`FilterAdvisor`] choose the per-shard configuration *and*
     /// bits-per-key budget for the described workload (overriding
     /// [`bits_per_key`](Self::bits_per_key)).
+    ///
+    /// This form drops the workload's delete rate and probe volume, so it
+    /// sweeps only the mutable families; [`advised_level`](Self::advised_level)
+    /// takes the full [`LevelSpec`] and can also land on an immutable fuse
+    /// filter or a counting-Bloom delete sidecar.
     #[must_use]
     pub fn advised(mut self, work_saved_cycles: f64, sigma: f64) -> Self {
         self.config = ConfigSource::Advised {
@@ -188,13 +220,45 @@ impl StoreBuilder {
         self
     }
 
+    /// Let the [`FilterAdvisor`] choose the configuration, bits-per-key
+    /// budget *and* Bloom delete mode from a full [`LevelSpec`] — unlike
+    /// [`advised`](Self::advised), the spec's `delete_rate` and
+    /// `expected_probes_per_key` flow into the maintenance-weighted
+    /// objective, so delete-heavy workloads get a counting sidecar and
+    /// cold static ones may get an immutable fuse filter. A nonzero
+    /// `spec.expected_keys` also overrides
+    /// [`expected_keys`](Self::expected_keys) for sizing.
+    #[must_use]
+    pub fn advised_level(mut self, spec: LevelSpec) -> Self {
+        self.config = ConfigSource::AdvisedLevel(spec);
+        self
+    }
+
+    /// Enable online re-advising: the store observes its real traffic and
+    /// [`ShardedFilterStore::run_pending_readvise`] (or `maintain()`)
+    /// re-runs the advisor against it, migrating the filter family live once
+    /// the hysteresis gate confirms a flip. For advised configurations the
+    /// initial workload hint defaults to the advising spec; a
+    /// pinned-configuration store uses `options.workload` as seeded.
+    #[must_use]
+    pub fn readvise(mut self, options: ReadviseOptions) -> Self {
+        self.readvise = Some(options);
+        self
+    }
+
     /// Build the store.
     #[must_use]
     pub fn build(self) -> ShardedFilterStore {
         let shard_count = self.shards.max(1).next_power_of_two();
-        let capacity_per_shard = (self.expected_keys / shard_count).max(64);
-        let (config, bits_per_key) = match self.config {
-            ConfigSource::Pinned(config) => (config, self.bits_per_key),
+        let expected_keys = match self.config {
+            ConfigSource::AdvisedLevel(spec) if spec.expected_keys > 0 => {
+                spec.expected_keys as usize
+            }
+            _ => self.expected_keys,
+        };
+        let capacity_per_shard = (expected_keys / shard_count).max(64);
+        let (config, bits_per_key, delete_mode, advised_hint) = match self.config {
+            ConfigSource::Pinned(config) => (config, self.bits_per_key, self.bloom_deletes, None),
             ConfigSource::Advised {
                 work_saved_cycles,
                 sigma,
@@ -205,18 +269,56 @@ impl StoreBuilder {
                     work_saved_cycles,
                     sigma,
                 });
-                (recommendation.config, recommendation.bits_per_key)
+                let hint = LevelSpec {
+                    expected_keys: capacity_per_shard as u64,
+                    work_saved_cycles,
+                    sigma,
+                    ..LevelSpec::default()
+                };
+                (
+                    recommendation.config,
+                    recommendation.bits_per_key,
+                    self.bloom_deletes,
+                    Some(hint),
+                )
+            }
+            ConfigSource::AdvisedLevel(spec) => {
+                let spec = LevelSpec {
+                    expected_keys: expected_keys as u64,
+                    ..spec
+                };
+                let advisor =
+                    FilterAdvisor::with_synthetic_calibration(ConfigSpace::default().with_fuse());
+                let level = advisor.recommend_for_level(&spec);
+                let delete_mode = if level.counting_deletes {
+                    BloomDeleteMode::Counting
+                } else {
+                    BloomDeleteMode::Tombstone
+                };
+                (
+                    level.recommendation.config,
+                    level.recommendation.bits_per_key,
+                    delete_mode,
+                    Some(spec),
+                )
             }
         };
-        ShardedFilterStore::with_options(
+        let readvise = self.readvise.map(|options| match advised_hint {
+            Some(workload) => ReadviseOptions {
+                workload,
+                ..options
+            },
+            None => options,
+        });
+        ShardedFilterStore::from_options(StoreOptions {
             config,
             shard_count,
             capacity_per_shard,
             bits_per_key,
-            self.policy,
-            self.rebuild_mode,
-            self.bloom_deletes,
-        )
+            lifecycle: self.lifecycle,
+            delete_mode,
+            readvise,
+        })
     }
 }
 
@@ -272,9 +374,9 @@ enum LevelPlan {
 pub struct TieredStoreBuilder {
     levels: Vec<LevelPlan>,
     shards_per_level: usize,
-    policy: Arc<dyn RebuildPolicy>,
-    rebuild_mode: RebuildMode,
+    lifecycle: LifecycleOptions,
     compaction: Arc<dyn CompactionPolicy>,
+    readvise: Option<ReadviseOptions>,
 }
 
 impl Default for TieredStoreBuilder {
@@ -284,17 +386,17 @@ impl Default for TieredStoreBuilder {
 }
 
 impl TieredStoreBuilder {
-    /// Defaults: no levels yet (add at least one), 4 shards per level, the
-    /// [`SaturationDoubling`] shard lifecycle, inline rebuilds, and the
-    /// [`SizeRatio`] compaction trigger.
+    /// Defaults: no levels yet (add at least one), 4 shards per level,
+    /// [`LifecycleOptions::default`] (saturation-doubling, inline rebuilds),
+    /// and the [`SizeRatio`] compaction trigger.
     #[must_use]
     pub fn new() -> Self {
         Self {
             levels: Vec::new(),
             shards_per_level: 4,
-            policy: Arc::new(SaturationDoubling),
-            rebuild_mode: RebuildMode::Inline,
+            lifecycle: LifecycleOptions::default(),
             compaction: Arc::new(SizeRatio::default()),
+            readvise: None,
         }
     }
 
@@ -337,16 +439,27 @@ impl TieredStoreBuilder {
     /// The shard-lifecycle [`RebuildPolicy`] every level's store uses.
     #[must_use]
     pub fn rebuild_policy(mut self, policy: Arc<dyn RebuildPolicy>) -> Self {
-        self.policy = policy;
+        self.lifecycle.policy = policy;
+        self
+    }
+
+    /// Replace the whole shard-lifecycle pair every level's store uses —
+    /// the same struct [`StoreBuilder::lifecycle`] takes.
+    #[must_use]
+    pub fn lifecycle(mut self, lifecycle: LifecycleOptions) -> Self {
+        self.lifecycle = lifecycle;
         self
     }
 
     /// Run every level's policy-triggered rebuilds on that store's
-    /// background maintainer thread (see
-    /// [`StoreBuilder::background_rebuilds`]).
+    /// background maintainer thread.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use rebuild_mode(RebuildMode::Background) (or RebuildMode::Inline)"
+    )]
     #[must_use]
     pub fn background_rebuilds(mut self, background: bool) -> Self {
-        self.rebuild_mode = if background {
+        self.lifecycle.rebuild_mode = if background {
             RebuildMode::Background
         } else {
             RebuildMode::Inline
@@ -354,13 +467,14 @@ impl TieredStoreBuilder {
         self
     }
 
-    /// Select the rebuild execution mode for every level explicitly —
-    /// notably [`RebuildMode::Queued`], which lets a test interleave a
-    /// [`TieredStore::compact`] into a pending shard rebuild's delta window
-    /// via [`TieredStore::run_pending_rebuilds`].
+    /// Select the rebuild execution mode for every level (see
+    /// [`StoreBuilder::rebuild_mode`]) — notably [`RebuildMode::Queued`],
+    /// which lets a test interleave a [`TieredStore::compact`] into a
+    /// pending shard rebuild's delta window via
+    /// [`TieredStore::run_pending_rebuilds`].
     #[must_use]
     pub fn rebuild_mode(mut self, mode: RebuildMode) -> Self {
-        self.rebuild_mode = mode;
+        self.lifecycle.rebuild_mode = mode;
         self
     }
 
@@ -370,6 +484,17 @@ impl TieredStoreBuilder {
     #[must_use]
     pub fn compaction(mut self, policy: Arc<dyn CompactionPolicy>) -> Self {
         self.compaction = policy;
+        self
+    }
+
+    /// Enable online re-advising on every level's store. Each level's
+    /// initial workload hint is that level's declared [`LevelSpec`]
+    /// (`options.workload` is ignored); update a live level's hint with
+    /// [`TieredStore::set_level_workload_hint`] and drive evaluations with
+    /// [`TieredStore::run_pending_readvise`].
+    #[must_use]
+    pub fn readvise(mut self, options: ReadviseOptions) -> Self {
+        self.readvise = Some(options);
         self
     }
 
@@ -427,16 +552,20 @@ impl TieredStoreBuilder {
                     }
                 };
                 let capacity_per_shard = (spec.expected_keys as usize / shard_count).max(64);
-                let store = ShardedFilterStore::with_options(
+                let readvise = self.readvise.map(|options| ReadviseOptions {
+                    workload: spec,
+                    ..options
+                });
+                let store = ShardedFilterStore::from_options(StoreOptions {
                     config,
                     shard_count,
                     capacity_per_shard,
                     bits_per_key,
-                    Arc::clone(&self.policy),
-                    self.rebuild_mode,
+                    lifecycle: self.lifecycle.clone(),
                     delete_mode,
-                );
-                TierLevel::new(store, spec, delete_mode, bits_per_key)
+                    readvise,
+                });
+                TierLevel::new(store, spec)
             })
             .collect();
         TieredStore::from_levels(levels, self.compaction)
@@ -446,6 +575,7 @@ impl TieredStoreBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::SaturationDoubling;
 
     #[test]
     fn pinned_builder_uses_requested_shape() {
@@ -500,6 +630,67 @@ mod tests {
             .advised(20_000_000.0, 0.1)
             .build();
         assert_eq!(store.config().kind(), FilterKind::Cuckoo);
+    }
+
+    #[test]
+    fn advised_level_keeps_the_delete_rate_the_flat_form_drops() {
+        // The same cold expensive-miss workload, with and without churn:
+        // `advised(w, sigma)` cannot see the delete rate, but
+        // `advised_level` feeds it into the maintenance-weighted objective —
+        // a churny cold level lands on Cuckoo (in-place deletes), a static
+        // one on the immutable fuse family, and a delete-heavy hot level
+        // gets a counting-Bloom sidecar.
+        let churny = StoreBuilder::new()
+            .shards(2)
+            .advised_level(LevelSpec {
+                expected_keys: 1 << 17,
+                work_saved_cycles: 16_000_000.0,
+                delete_rate: 0.5,
+                ..LevelSpec::default()
+            })
+            .build();
+        assert_eq!(churny.config().kind(), FilterKind::Cuckoo);
+
+        let static_cold = StoreBuilder::new()
+            .shards(2)
+            .advised_level(LevelSpec {
+                expected_keys: 1 << 17,
+                work_saved_cycles: 16_000_000.0,
+                delete_rate: 0.0,
+                ..LevelSpec::default()
+            })
+            .build();
+        assert_eq!(static_cold.config().kind(), FilterKind::Fuse);
+
+        let hot_churny = StoreBuilder::new()
+            .shards(2)
+            .advised_level(LevelSpec {
+                expected_keys: 1 << 14,
+                work_saved_cycles: 32.0,
+                delete_rate: 0.5,
+                ..LevelSpec::default()
+            })
+            .build();
+        assert_eq!(hot_churny.config().kind(), FilterKind::Bloom);
+        assert_eq!(hot_churny.delete_mode(), BloomDeleteMode::Counting);
+    }
+
+    #[test]
+    fn readvise_builder_seeds_the_workload_hint_from_the_advising_spec() {
+        let spec = LevelSpec {
+            expected_keys: 1 << 14,
+            work_saved_cycles: 32.0,
+            delete_rate: 0.5,
+            ..LevelSpec::default()
+        };
+        let store = StoreBuilder::new()
+            .shards(2)
+            .advised_level(spec)
+            .readvise(ReadviseOptions::default())
+            .build();
+        let observed = store.observed_level_spec();
+        assert_eq!(observed.work_saved_cycles, spec.work_saved_cycles);
+        assert_eq!(observed.sigma, spec.sigma);
     }
 
     #[test]

@@ -29,7 +29,8 @@
 //!   an exact side buffer (probed by readers, so nothing goes missing) and
 //!   folding them in on the next [`ShardedFilterStore::maintain`] call,
 //! * rebuilds can run **off the write path**: with
-//!   [`StoreBuilder::background_rebuilds`] a saturating shard no longer
+//!   [`StoreBuilder::rebuild_mode`] ([`RebuildMode::Background`]) a
+//!   saturating shard no longer
 //!   stalls writers for a full filter replay — the writer records a
 //!   pending-rebuild state, a background maintainer builds the replacement
 //!   from the shard's replay log off-lock, re-acquires the shard briefly to
@@ -67,7 +68,23 @@
 //!   for hot churn levels, Cuckoo for cold simulated-disk levels — with
 //!   newest→oldest short-circuit lookups, exact cross-level key accounting,
 //!   and a [`CompactionPolicy`]-driven [`TieredStore::compact`] that merges
-//!   a level into the next through the same policy/maintainer machinery.
+//!   a level into the next through the same policy/maintainer machinery,
+//! * construction is **struct-first**: every store comes from
+//!   [`ShardedFilterStore::from_options`] consuming a [`StoreOptions`]
+//!   (shard count, budget, [`LifecycleOptions`], delete mode, re-advising
+//!   knobs), with [`StoreBuilder`] / [`TieredStoreBuilder`] as the fluent
+//!   fronts — the old positional constructors survive as deprecated shims,
+//! * families are **not forever**: with [`StoreOptions::readvise`]
+//!   ([`ReadviseOptions`]) the store observes its real insert/delete/lookup
+//!   traffic in decayed counters, re-runs the per-level advisor against the
+//!   observed [`LevelSpec`] on every
+//!   [`ShardedFilterStore::run_pending_readvise`] (and `maintain()`) call,
+//!   and — once the modeled improvement clears a hysteresis gate for enough
+//!   consecutive evaluations — migrates each shard live to the new family
+//!   through the same snapshot → off-lock build → delta replay → `Arc`-swap
+//!   machinery rebuilds use (a hot counting-Bloom level that cools into a
+//!   static tier ends up on an immutable fuse filter without a restart, and
+//!   readers never observe a false negative on the way).
 //!
 //! # Example
 //!
@@ -106,7 +123,9 @@
 mod builder;
 mod keyset;
 mod maintainer;
+mod options;
 mod policy;
+mod readvise;
 mod shard;
 mod stats;
 mod store;
@@ -114,6 +133,7 @@ mod tiered;
 
 pub use builder::{ConfigSource, StoreBuilder, TieredStoreBuilder};
 pub use maintainer::RebuildMode;
+pub use options::{LifecycleOptions, ReadviseOptions, StoreOptions};
 pub use policy::{
     DeferredBatch, FprDrift, RebuildDecision, RebuildPolicy, RebuildUrgency, SaturationDoubling,
     ShardObservation,

@@ -1,0 +1,252 @@
+//! Online re-advising: observe the store's real traffic, periodically re-run
+//! the per-level advisor against it, and migrate the filter family live when
+//! the modeled improvement clears a hysteresis gate.
+//!
+//! Two pieces live here:
+//!
+//! * [`WorkloadObserver`] — lock-free decayed counters for the insert /
+//!   delete / lookup traffic a store actually sees, folded into the
+//!   [`LevelSpec`] the advisor consumes,
+//! * [`Readvisor`] — the feedback controller: one [`FilterAdvisor`] over the
+//!   fuse-enabled configuration space plus two [`FamilyHysteresis`] gates
+//!   (a thresholded one for family flips, a zero-threshold one for
+//!   tombstone ↔ counting delete-mode flips, whose objective difference is
+//!   structurally small), emitting a [`MigrationTarget`] once a flip has
+//!   been confirmed for the required streak.
+//!
+//! The store drives this from
+//! [`run_pending_readvise`](crate::ShardedFilterStore::run_pending_readvise)
+//! (and from `maintain()`), mirroring how `RebuildMode::Queued` makes
+//! rebuilds deterministic: evaluation and migration happen only when the
+//! caller says so, never behind its back.
+
+use crate::shard::MigrationTarget;
+use pof_core::{ConfigSpace, FamilyHysteresis, FilterAdvisor, FilterConfig, LevelSpec};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::options::ReadviseOptions;
+
+/// Decayed traffic counters. Writers bump them wait-free on the hot paths;
+/// each re-advising evaluation reads the totals and then halves every
+/// counter, so the observed rates are an exponential moving average with a
+/// half-life of one evaluation period — a workload that *stops* deleting
+/// sees its observed delete rate decay toward zero instead of being haunted
+/// by history.
+#[derive(Debug, Default)]
+pub(crate) struct WorkloadObserver {
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    lookups: AtomicU64,
+}
+
+impl WorkloadObserver {
+    pub(crate) fn note_inserts(&self, n: usize) {
+        self.inserts.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_deletes(&self, n: usize) {
+        self.deletes.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_lookups(&self, n: usize) {
+        self.lookups.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Current decayed totals as `(inserts, deletes, lookups)`.
+    pub(crate) fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.inserts.load(Ordering::Relaxed),
+            self.deletes.load(Ordering::Relaxed),
+            self.lookups.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Halve every counter (one evaluation epoch elapsed). Subtracting
+    /// `ceil(v / 2)` of a freshly loaded value (rather than storing `v / 2`)
+    /// keeps concurrent increments: they land after the load and survive the
+    /// subtraction. The ceiling matters — `v - v / 2` would pin a counter at
+    /// 1 forever, and a stale `deletes = 1` against a decayed `inserts = 1`
+    /// would read as a 50 % delete rate on an idle store.
+    pub(crate) fn decay(&self) {
+        for counter in [&self.inserts, &self.deletes, &self.lookups] {
+            let v = counter.load(Ordering::Relaxed);
+            counter.fetch_sub(v.div_ceil(2), Ordering::Relaxed);
+        }
+    }
+}
+
+/// The per-store feedback controller: re-runs the advisor against observed
+/// stats and gates family / delete-mode flips through hysteresis. Lives
+/// behind a `Mutex` in the store; only `run_pending_readvise` touches it.
+#[derive(Debug)]
+pub(crate) struct Readvisor {
+    advisor: FilterAdvisor,
+    /// Gate for cross-family flips (Bloom ↔ Cuckoo ↔ fuse): the modeled
+    /// improvement must clear `min_improvement` for `consecutive`
+    /// evaluations.
+    family_gate: FamilyHysteresis,
+    /// Gate for tombstone ↔ counting flips within the Bloom family. The
+    /// delete sidecar barely moves the modeled objective, so this gate runs
+    /// at a zero improvement threshold — only the streak requirement
+    /// protects against flapping.
+    delete_gate: FamilyHysteresis,
+    min_ops: u64,
+    /// Confirmed target still being rolled across shards (some may have
+    /// reported `Busy` or still have the migration queued).
+    pub(crate) pending_target: Option<MigrationTarget>,
+}
+
+impl Readvisor {
+    pub(crate) fn new(options: &ReadviseOptions) -> Self {
+        // Re-advising exists to retire a family the workload has outgrown,
+        // so the candidate space always includes the immutable fuse tier.
+        let advisor = FilterAdvisor::with_synthetic_calibration(ConfigSpace::default().with_fuse());
+        Self {
+            advisor,
+            family_gate: FamilyHysteresis::new(options.min_improvement, options.consecutive),
+            delete_gate: FamilyHysteresis::new(0.0, options.consecutive),
+            min_ops: options.min_ops,
+            pending_target: None,
+        }
+    }
+
+    pub(crate) fn min_ops(&self) -> u64 {
+        self.min_ops
+    }
+
+    /// One evaluation: re-run the per-level search under `observed` stats
+    /// and feed the verdict through the hysteresis gates. Returns a
+    /// confirmed [`MigrationTarget`] exactly when a streak completes.
+    ///
+    /// Only two kinds of change migrate: a family flip, or a delete-mode
+    /// flip within the Bloom family. Same-family shape or bits-per-key
+    /// tweaks are ignored — re-tuning those on every drift would churn
+    /// rebuilds for marginal modeled wins.
+    pub(crate) fn evaluate(
+        &mut self,
+        observed: &LevelSpec,
+        incumbent: &FilterConfig,
+        incumbent_counting: bool,
+    ) -> Option<MigrationTarget> {
+        let readvice = self.advisor.readvise_level(observed, incumbent);
+        let level = &readvice.recommendation;
+        let target = MigrationTarget {
+            config: level.recommendation.config,
+            bits_per_key: level.recommendation.bits_per_key,
+            counting: level.counting_deletes,
+        };
+        if readvice.flips_family {
+            self.delete_gate.reset();
+            if self
+                .family_gate
+                .observe(Some(target.config.kind()), readvice.improvement)
+            {
+                return Some(target);
+            }
+            return None;
+        }
+        self.family_gate.reset();
+        if target.counting != incumbent_counting {
+            if self
+                .delete_gate
+                .observe(Some(target.config.kind()), readvice.improvement)
+            {
+                return Some(target);
+            }
+        } else {
+            // A proposal matching the incumbent delete mode must break the
+            // streak, or two flip proposals separated by agreeing rounds
+            // would count as consecutive.
+            self.delete_gate.reset();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pof_bloom::{Addressing, BloomConfig};
+
+    fn bloom() -> FilterConfig {
+        FilterConfig::Bloom(BloomConfig::cache_sectorized(
+            512,
+            64,
+            2,
+            8,
+            Addressing::Magic,
+        ))
+    }
+
+    fn hot_spec() -> LevelSpec {
+        LevelSpec {
+            expected_keys: 1 << 15,
+            work_saved_cycles: 32.0,
+            sigma: 0.5,
+            delete_rate: 0.4,
+            expected_probes_per_key: 4.0,
+        }
+    }
+
+    fn cold_spec() -> LevelSpec {
+        LevelSpec {
+            expected_keys: 1 << 15,
+            work_saved_cycles: 16_000_000.0,
+            sigma: 0.0,
+            delete_rate: 0.0,
+            expected_probes_per_key: 1_000_000.0,
+        }
+    }
+
+    #[test]
+    fn decay_drives_counters_to_zero() {
+        let observer = WorkloadObserver::default();
+        observer.note_inserts(1000);
+        observer.note_deletes(1);
+        observer.note_lookups(3);
+        for _ in 0..16 {
+            observer.decay();
+        }
+        assert_eq!(observer.totals(), (0, 0, 0));
+    }
+
+    #[test]
+    fn sustained_cold_drift_confirms_a_family_flip() {
+        let mut readvisor = Readvisor::new(&ReadviseOptions {
+            consecutive: 3,
+            ..ReadviseOptions::default()
+        });
+        let incumbent = bloom();
+        let mut confirmed = None;
+        for round in 0..3 {
+            confirmed = readvisor.evaluate(&cold_spec(), &incumbent, true);
+            if round < 2 {
+                assert!(confirmed.is_none(), "confirmed before the streak completed");
+            }
+        }
+        let target = confirmed.expect("three consecutive cold evaluations must confirm");
+        assert_eq!(target.config.kind(), pof_filter::FilterKind::Fuse);
+        assert!(!target.counting);
+    }
+
+    #[test]
+    fn oscillating_borderline_stats_never_confirm() {
+        let mut readvisor = Readvisor::new(&ReadviseOptions {
+            min_improvement: 0.95,
+            consecutive: 2,
+            ..ReadviseOptions::default()
+        });
+        let incumbent = bloom();
+        for round in 0..12 {
+            let spec = if round % 2 == 0 {
+                cold_spec()
+            } else {
+                hot_spec()
+            };
+            assert!(
+                readvisor.evaluate(&spec, &incumbent, true).is_none(),
+                "oscillating stats must never complete a streak (round {round})"
+            );
+        }
+    }
+}

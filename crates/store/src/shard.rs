@@ -38,6 +38,25 @@ pub enum BloomDeleteMode {
     Counting,
 }
 
+/// The FPR budget a drift policy compares against: the configuration's
+/// modeled FPR at nominal occupancy. Infeasible Cuckoo budgets (the build
+/// raises them to the minimum feasible bits-per-key) fall back to the rate
+/// near the maximum load factor. Recomputed whenever a migration changes the
+/// shard's `(config, bits_per_key)` pair.
+fn budget_fpr_for(config: &FilterConfig, capacity: usize, bits_per_key: f64) -> f64 {
+    config
+        .modeled_fpr(capacity as f64, bits_per_key)
+        .unwrap_or_else(|| match config {
+            FilterConfig::Cuckoo(c) => c.modeled_fpr(0.95),
+            // A fuse filter's FPR is fixed by its fingerprint width
+            // regardless of the (possibly structurally infeasible)
+            // bits-per-key budget it was recommended under.
+            FilterConfig::Fuse(c) => c.modeled_fpr(),
+            // Bloom budgets are always feasible; this arm is unreachable.
+            _ => f64::INFINITY,
+        })
+}
+
 /// Build a shard filter, attaching the counting sidecar when the shard runs
 /// in [`BloomDeleteMode::Counting`]. Every (re)build path must go through
 /// this: a replacement filter without counters could never delete again.
@@ -131,6 +150,34 @@ pub(crate) enum MaintainOutcome {
     Requested(RebuildTicket),
 }
 
+/// The shape a migration rebuilds a shard into: a family migration is just a
+/// rebuild whose plan carries a different `(config, bits_per_key, counting)`
+/// triple than the writer's current one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct MigrationTarget {
+    /// The replacement filter configuration.
+    pub(crate) config: FilterConfig,
+    /// The replacement bits-per-key budget.
+    pub(crate) bits_per_key: f64,
+    /// Whether the replacement carries a counting sidecar
+    /// ([`BloomDeleteMode::Counting`]).
+    pub(crate) counting: bool,
+}
+
+/// What [`Shard::migrate`] did.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum MigrateOutcome {
+    /// The shard rebuilt into the target family inline.
+    Migrated,
+    /// The migration was deferred to the maintainer; the caller must enqueue
+    /// the ticket.
+    Requested(RebuildTicket),
+    /// A rebuild is already in flight; try again after it completes.
+    Busy,
+    /// The shard is already at the target shape; nothing to do.
+    Unchanged,
+}
+
 /// One write-side mutation logged while a background rebuild is in flight,
 /// replayed into the replacement filter (in order) before the swap.
 #[derive(Debug, Clone, Copy)]
@@ -158,6 +205,10 @@ struct PendingRebuild {
     delta_active: bool,
     /// When the rebuild was requested, for `rebuild_wait_ns` accounting.
     requested: Instant,
+    /// When set, this rebuild is a *migration*: the plan builds the
+    /// replacement with the target's `(config, bits_per_key, counting)`, and
+    /// the swap adopts them as the writer's new shape.
+    target: Option<MigrationTarget>,
 }
 
 /// Everything the maintainer needs to build a shard's replacement filter
@@ -232,6 +283,9 @@ pub(crate) struct ShardWriter {
     budget_fpr: f64,
     /// Number of policy-triggered rebuilds performed so far.
     rebuilds: u64,
+    /// Completed family migrations: rebuilds that swapped the shard's
+    /// `(config, bits_per_key, counting)` shape for a re-advised one.
+    migrations: u64,
     /// Of those, how many were completed off-lock by the maintainer.
     rebuilds_background: u64,
     /// Cumulative request→swap latency of completed background rebuilds.
@@ -310,6 +364,8 @@ pub(crate) struct ShardView {
     pub(crate) writer_rebuild_stall_ns: u64,
     /// Is a background rebuild currently in flight?
     pub(crate) rebuild_pending: bool,
+    /// Completed family migrations (subset of `rebuilds`).
+    pub(crate) migrations: u64,
 }
 
 impl Shard {
@@ -325,21 +381,7 @@ impl Shard {
         let capacity = capacity.max(64);
         let counting = delete_mode == BloomDeleteMode::Counting;
         let filter = build_shard_filter(&config, capacity, bits_per_key, counting);
-        // The budget a drift policy compares against: the configuration's
-        // modeled FPR at nominal occupancy. Infeasible Cuckoo budgets (the
-        // build raises them to the minimum feasible bits-per-key) fall back
-        // to the rate near the maximum load factor.
-        let budget_fpr = config
-            .modeled_fpr(capacity as f64, bits_per_key)
-            .unwrap_or_else(|| match &config {
-                FilterConfig::Cuckoo(c) => c.modeled_fpr(0.95),
-                // A fuse filter's FPR is fixed by its fingerprint width
-                // regardless of the (possibly structurally infeasible)
-                // bits-per-key budget it was recommended under.
-                FilterConfig::Fuse(c) => c.modeled_fpr(),
-                // Bloom budgets are always feasible; this arm is unreachable.
-                _ => f64::INFINITY,
-            });
+        let budget_fpr = budget_fpr_for(&config, capacity, bits_per_key);
         let snapshot = Arc::new(ShardSnapshot {
             // Snapshots are probe-only: never ship the counting sidecar.
             filter: filter.read_only_clone(),
@@ -357,6 +399,7 @@ impl Shard {
                 bits_per_key,
                 budget_fpr,
                 rebuilds: 0,
+                migrations: 0,
                 rebuilds_background: 0,
                 rebuild_wait_ns: 0,
                 writer_rebuild_stall_ns: 0,
@@ -529,8 +572,12 @@ impl Shard {
         while capacity < live {
             capacity *= 2;
         }
-        let (config, bits_per_key) = (writer.config, writer.bits_per_key);
-        let counting = writer.counting;
+        // A migration rebuild targets a different shape; a plain rebuild
+        // rebuilds in place.
+        let (config, bits_per_key, counting) = match pending.target {
+            Some(target) => (target.config, target.bits_per_key, target.counting),
+            None => (writer.config, writer.bits_per_key, writer.counting),
+        };
         writer.keys.fold();
         Some(RebuildPlan {
             keys: writer.keys.as_ordered_slice().to_vec(),
@@ -589,6 +636,16 @@ impl Shard {
                 }
             }
         }
+        // A migration swap adopts the target shape: every later rebuild of
+        // this shard re-peels into the new family, and drift policies compare
+        // against the new budget.
+        if let Some(target) = pending.target {
+            writer.config = target.config;
+            writer.bits_per_key = target.bits_per_key;
+            writer.counting = target.counting;
+            writer.budget_fpr = budget_fpr_for(&target.config, capacity, target.bits_per_key);
+            writer.migrations += 1;
+        }
         writer.filter = filter;
         writer.capacity = capacity;
         writer.overflow = overflow;
@@ -599,6 +656,51 @@ impl Shard {
         writer.rebuild_wait_ns += pending.requested.elapsed().as_nanos() as u64;
         self.publish(&writer);
         true
+    }
+
+    /// Rebuild this shard into a different `(config, bits_per_key, counting)`
+    /// shape — the live-migration primitive. Synchronous stores migrate
+    /// inline under the writer lock; background/queued stores leave a ticket
+    /// whose rebuild plan carries the target, so the existing snapshot →
+    /// off-lock build → delta replay → `Arc`-swap machinery performs the
+    /// family swap with readers staying wait-free throughout.
+    pub(crate) fn migrate(&self, target: MigrationTarget) -> MigrateOutcome {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        if writer.config == target.config
+            && writer.bits_per_key == target.bits_per_key
+            && writer.counting == target.counting
+        {
+            return MigrateOutcome::Unchanged;
+        }
+        if writer.pending.is_some() {
+            // An ordinary rebuild (or an earlier migration) is in flight;
+            // stacking a second pending job would orphan its ticket. The
+            // readvisor retries at its next evaluation.
+            return MigrateOutcome::Busy;
+        }
+        let capacity = writer.refit_capacity();
+        if writer.background {
+            writer.pending = Some(PendingRebuild {
+                epoch: writer.rebuild_epoch,
+                capacity,
+                delta: Vec::new(),
+                delta_active: false,
+                requested: Instant::now(),
+                target: Some(target),
+            });
+            let ticket = RebuildTicket {
+                epoch: writer.rebuild_epoch,
+            };
+            return MigrateOutcome::Requested(ticket);
+        }
+        writer.config = target.config;
+        writer.bits_per_key = target.bits_per_key;
+        writer.counting = target.counting;
+        writer.rebuild_inline(capacity, false);
+        writer.budget_fpr = budget_fpr_for(&writer.config, writer.capacity, writer.bits_per_key);
+        writer.migrations += 1;
+        self.publish(&writer);
+        MigrateOutcome::Migrated
     }
 
     /// Number of live keys in this shard.
@@ -630,6 +732,7 @@ impl Shard {
             max_writer_stall_ns: self.max_writer_stall_ns.load(Ordering::Relaxed),
             writer_rebuild_stall_ns: writer.writer_rebuild_stall_ns,
             rebuild_pending: writer.pending.is_some(),
+            migrations: writer.migrations,
         }
     }
 
@@ -646,6 +749,24 @@ impl Shard {
     /// The configuration this shard builds its filters from.
     pub(crate) fn config(&self) -> FilterConfig {
         self.writer.lock().expect("writer lock poisoned").config
+    }
+
+    /// The bits-per-key budget this shard builds its filters with.
+    pub(crate) fn bits_per_key(&self) -> f64 {
+        self.writer
+            .lock()
+            .expect("writer lock poisoned")
+            .bits_per_key
+    }
+
+    /// How this shard currently honors Bloom deletes (migrations can flip
+    /// it: a counting-Bloom shard re-advised to fuse drops its sidecar).
+    pub(crate) fn delete_mode(&self) -> BloomDeleteMode {
+        if self.writer.lock().expect("writer lock poisoned").counting {
+            BloomDeleteMode::Counting
+        } else {
+            BloomDeleteMode::Tombstone
+        }
     }
 }
 
@@ -791,6 +912,7 @@ impl ShardWriter {
                 delta: Vec::new(),
                 delta_active: false,
                 requested: Instant::now(),
+                target: None,
             });
             self.ticket = Some(RebuildTicket {
                 epoch: self.rebuild_epoch,
@@ -1135,6 +1257,41 @@ mod tests {
         assert_eq!(writer.observe().occupancy, 1);
         writer.tombstones = 5;
         assert_eq!(writer.observe().occupancy, 6);
+    }
+
+    /// An inline migration re-peels the shard into the target family without
+    /// losing a key, flips the delete machinery with it, and is idempotent.
+    #[test]
+    fn inline_migration_swaps_family_and_keeps_every_key() {
+        let shard = shard(bloom_config(), BloomDeleteMode::Counting);
+        let keys: Vec<u32> = (0..400u32).map(|i| i * 13 + 11).collect();
+        assert!(shard.insert_batch(&keys).is_none());
+        let (removed, _) = shard.delete_batch(&keys[..100]);
+        assert_eq!(removed, 100);
+        let target = MigrationTarget {
+            config: fuse_config(),
+            bits_per_key: 10.0,
+            counting: false,
+        };
+        assert!(matches!(shard.migrate(target), MigrateOutcome::Migrated));
+        let view = shard.consistent_view();
+        assert_eq!(view.migrations, 1);
+        assert_eq!(view.counting_sidecar_bytes, 0, "sidecar survived the swap");
+        assert_eq!(shard.config().kind(), pof_filter::FilterKind::Fuse);
+        let snapshot = shard.load();
+        for &key in &keys[100..] {
+            assert!(snapshot.contains(key), "migration lost {key}");
+        }
+        // Already at the target: a no-op, not a second rebuild.
+        assert!(matches!(shard.migrate(target), MigrateOutcome::Unchanged));
+        assert_eq!(shard.consistent_view().migrations, 1);
+        // The migrated shard keeps absorbing writes through its new family.
+        let more: Vec<u32> = (0..50u32).map(|i| 1_000_000 + i * 7).collect();
+        shard.insert_batch(&more);
+        let snapshot = shard.load();
+        for &key in &more {
+            assert!(snapshot.contains(key));
+        }
     }
 
     /// Counting-mode shards delete Bloom keys in place: no tombstones, and

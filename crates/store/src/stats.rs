@@ -24,6 +24,13 @@ pub struct ShardStats {
     /// Of those, rebuilds completed off-lock by the background maintainer
     /// (snapshot → off-lock build → delta replay → atomic swap).
     pub rebuilds_background: u64,
+    /// Completed live family/configuration migrations — rebuilds whose
+    /// target `FilterConfig` differed from the incumbent's, driven by the
+    /// readvisor ([`run_pending_readvise`]) or the manual [`migrate_to`].
+    ///
+    /// [`run_pending_readvise`]: crate::ShardedFilterStore::run_pending_readvise
+    /// [`migrate_to`]: crate::ShardedFilterStore::migrate_to
+    pub migrations: u64,
     /// Cumulative request→swap latency of completed background rebuilds, in
     /// nanoseconds — how long this shard's replacement filters were in
     /// flight.
@@ -106,6 +113,12 @@ impl StoreStats {
     #[must_use]
     pub fn total_background_rebuilds(&self) -> u64 {
         self.shards.iter().map(|s| s.rebuilds_background).sum()
+    }
+
+    /// Total completed live family migrations across all shards.
+    #[must_use]
+    pub fn total_migrations(&self) -> u64 {
+        self.shards.iter().map(|s| s.migrations).sum()
     }
 
     /// Cumulative request→swap latency of background rebuilds, ns.
@@ -222,10 +235,14 @@ pub struct LevelStats {
     pub family: FilterKind,
     /// Configuration label of the level's filters.
     pub config_label: String,
-    /// How the level's Bloom shards honor deletes (irrelevant for Cuckoo
-    /// levels, which always delete in place).
+    /// How the level's Bloom shards *currently* honor deletes (irrelevant
+    /// for Cuckoo levels, which always delete in place). Tracks live
+    /// migrations: a counting-Bloom level that migrated to fuse reports
+    /// tombstone mode, like [`family`](Self::family) reports the live
+    /// family rather than the advisor's construction-time pick.
     pub delete_mode: BloomDeleteMode,
-    /// Bits-per-key budget the level was built with.
+    /// Bits-per-key budget the level's shards currently build from (the
+    /// construction-time budget until a migration re-targets it).
     pub bits_per_key_budget: f64,
     /// Keys the level was sized for
     /// ([`LevelSpec::expected_keys`](pof_core::LevelSpec)).
@@ -243,6 +260,8 @@ pub struct LevelStats {
     pub tombstones: u64,
     /// Shard rebuilds the level has performed.
     pub rebuilds: u64,
+    /// Completed live family migrations across the level's shards.
+    pub migrations: u64,
     /// Keys received from compactions of the level above.
     pub compacted_in: u64,
     /// Keys moved out by compactions of this level.
@@ -307,6 +326,12 @@ impl TieredStats {
         self.levels.iter().map(|l| l.rebuilds).sum()
     }
 
+    /// Total completed live family migrations across all levels.
+    #[must_use]
+    pub fn total_migrations(&self) -> u64 {
+        self.levels.iter().map(|l| l.migrations).sum()
+    }
+
     /// Effective filter bits per live key across the whole tiered store
     /// (`0.0` for an empty store — never NaN or infinity).
     #[must_use]
@@ -333,6 +358,7 @@ mod tests {
             modeled_fpr: fpr,
             rebuilds: index as u64,
             rebuilds_background: index as u64 / 2,
+            migrations: index as u64 + 1,
             rebuild_wait_ns: index as u64 * 1_000,
             max_writer_stall_ns: index as u64 * 500,
             writer_rebuild_stall_ns: index as u64 * 400,
@@ -360,6 +386,8 @@ mod tests {
         assert_eq!(stats.total_size_bits(), 4_800);
         assert_eq!(stats.total_rebuilds(), 1);
         assert_eq!(stats.total_background_rebuilds(), 0);
+        // 1 + 2: both shards contribute a nonzero migration count.
+        assert_eq!(stats.total_migrations(), 3);
         assert_eq!(stats.total_rebuild_wait_ns(), 1_000);
         assert_eq!(stats.max_writer_stall_ns(), 500);
         assert_eq!(stats.writer_rebuild_stall_ns(), 400);

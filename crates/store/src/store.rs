@@ -1,14 +1,19 @@
 //! The sharded filter store and its frozen read snapshot.
 
 use crate::maintainer::{Maintainer, RebuildMode};
-use crate::policy::{RebuildPolicy, SaturationDoubling};
-use crate::shard::{BloomDeleteMode, MaintainOutcome, RebuildTicket, Shard, ShardSnapshot};
+use crate::options::StoreOptions;
+use crate::policy::RebuildPolicy;
+use crate::readvise::{Readvisor, WorkloadObserver};
+use crate::shard::{
+    BloomDeleteMode, MaintainOutcome, MigrateOutcome, MigrationTarget, RebuildTicket, Shard,
+    ShardSnapshot,
+};
 use crate::stats::{ShardStats, StoreStats};
-use pof_core::{AnyFilter, FilterConfig};
+use pof_core::{AnyFilter, FilterConfig, LevelSpec};
 use pof_filter::probe::ProbePlan;
 use pof_filter::stats::measured_fpr;
 use pof_filter::{DeleteOutcome, Filter, FilterKind, SelectionVector};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Compile-time audit that the store (and therefore `AnyFilter`) can be
 /// shared across threads.
@@ -44,7 +49,11 @@ const _: () = {
 /// *Where* it runs is the store's [`RebuildMode`]: inline under the shard
 /// lock (default), or off-lock on a background maintainer that replays the
 /// bounded write delta and swaps the replacement in atomically (see
-/// [`StoreBuilder::background_rebuilds`](crate::StoreBuilder::background_rebuilds)).
+/// [`StoreBuilder::rebuild_mode`](crate::StoreBuilder::rebuild_mode)).
+///
+/// With [`StoreOptions::readvise`] set, the store additionally observes its
+/// own traffic and can *migrate* the filter family live: see
+/// [`run_pending_readvise`](Self::run_pending_readvise).
 #[derive(Debug)]
 pub struct ShardedFilterStore {
     /// Shared with the maintainer's worker thread in background mode.
@@ -53,6 +62,13 @@ pub struct ShardedFilterStore {
     shard_bits: u32,
     /// The background rebuild executor; `None` in inline (synchronous) mode.
     maintainer: Option<Maintainer>,
+    /// Decayed insert/delete/lookup counters feeding re-advising.
+    observer: WorkloadObserver,
+    /// The externally supplied half of the observed workload: `t_w`, σ, and
+    /// the expectation terms lookups alone cannot reveal.
+    workload_hint: Mutex<LevelSpec>,
+    /// The online re-advising controller; `None` keeps the family fixed.
+    readvisor: Option<Mutex<Readvisor>>,
 }
 
 /// Reusable scratch buffers for the batched read path.
@@ -86,7 +102,7 @@ impl ProbeScratch {
 impl ShardedFilterStore {
     /// Create a store with `shard_count` shards (rounded up to a power of
     /// two), each sized for `capacity_per_shard` keys at `bits_per_key`,
-    /// using the default [`SaturationDoubling`] lifecycle policy.
+    /// using the default [`SaturationDoubling`](crate::SaturationDoubling) lifecycle policy.
     ///
     /// Most callers should go through [`StoreBuilder`](crate::StoreBuilder).
     #[must_use]
@@ -96,17 +112,73 @@ impl ShardedFilterStore {
         capacity_per_shard: usize,
         bits_per_key: f64,
     ) -> Self {
-        Self::with_policy(
+        Self::from_options(StoreOptions {
             config,
             shard_count,
             capacity_per_shard,
             bits_per_key,
-            Arc::new(SaturationDoubling),
-        )
+            ..StoreOptions::default()
+        })
+    }
+
+    /// Create a store from a consolidated [`StoreOptions`] — the primary
+    /// constructor. [`StoreOptions::default`] matches [`Self::new`]'s
+    /// defaults; override the fields that differ.
+    ///
+    /// On the lifecycle side, [`RebuildMode::Background`] spawns one
+    /// maintainer thread owned by the store (joined on drop, after finishing
+    /// any queued jobs) and [`RebuildMode::Queued`] queues jobs for
+    /// [`run_pending_rebuilds`](Self::run_pending_rebuilds);
+    /// [`BloomDeleteMode::Counting`] gives Bloom shards in-place deletes
+    /// through a per-shard counting sidecar; a `Some` `readvise` enables
+    /// online re-advising (see
+    /// [`run_pending_readvise`](Self::run_pending_readvise)). Most callers
+    /// should go through [`StoreBuilder`](crate::StoreBuilder).
+    #[must_use]
+    pub fn from_options(options: StoreOptions) -> Self {
+        let StoreOptions {
+            config,
+            shard_count,
+            capacity_per_shard,
+            bits_per_key,
+            lifecycle,
+            delete_mode,
+            readvise,
+        } = options;
+        let shard_count = shard_count.max(1).next_power_of_two();
+        let background = lifecycle.rebuild_mode != RebuildMode::Inline;
+        let shards: Arc<Vec<Shard>> = Arc::new(
+            (0..shard_count)
+                .map(|_| {
+                    Shard::new(
+                        config,
+                        capacity_per_shard,
+                        bits_per_key,
+                        Arc::clone(&lifecycle.policy),
+                        background,
+                        delete_mode,
+                    )
+                })
+                .collect(),
+        );
+        let maintainer = Maintainer::new(lifecycle.rebuild_mode, Arc::clone(&shards));
+        let workload_hint = readvise.as_ref().map(|r| r.workload).unwrap_or_default();
+        Self {
+            shards,
+            shard_bits: shard_count.trailing_zeros(),
+            maintainer,
+            observer: WorkloadObserver::default(),
+            workload_hint: Mutex::new(workload_hint),
+            readvisor: readvise.map(|r| Mutex::new(Readvisor::new(&r))),
+        }
     }
 
     /// Create a store whose shards follow an explicit [`RebuildPolicy`],
     /// with rebuilds inline (synchronous mode).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ShardedFilterStore::from_options(StoreOptions { .. }) or StoreBuilder"
+    )]
     #[must_use]
     pub fn with_policy(
         config: FilterConfig,
@@ -115,27 +187,25 @@ impl ShardedFilterStore {
         bits_per_key: f64,
         policy: Arc<dyn RebuildPolicy>,
     ) -> Self {
-        Self::with_options(
+        Self::from_options(StoreOptions {
             config,
             shard_count,
             capacity_per_shard,
             bits_per_key,
-            policy,
-            RebuildMode::Inline,
-            BloomDeleteMode::Tombstone,
-        )
+            lifecycle: crate::options::LifecycleOptions {
+                policy,
+                rebuild_mode: RebuildMode::Inline,
+            },
+            ..StoreOptions::default()
+        })
     }
 
     /// Create a store with an explicit policy, rebuild execution mode *and*
-    /// Bloom delete mode.
-    ///
-    /// [`RebuildMode::Background`] spawns one maintainer thread owned by the
-    /// store (joined on drop, after finishing any queued jobs);
-    /// [`RebuildMode::Queued`] queues jobs for
-    /// [`run_pending_rebuilds`](Self::run_pending_rebuilds).
-    /// [`BloomDeleteMode::Counting`] gives Bloom shards in-place deletes
-    /// through a per-shard counting sidecar. Most callers should go through
-    /// [`StoreBuilder`](crate::StoreBuilder).
+    /// Bloom delete mode, from positional arguments.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ShardedFilterStore::from_options(StoreOptions { .. }) or StoreBuilder"
+    )]
     #[must_use]
     pub fn with_options(
         config: FilterConfig,
@@ -146,28 +216,18 @@ impl ShardedFilterStore {
         mode: RebuildMode,
         delete_mode: BloomDeleteMode,
     ) -> Self {
-        let shard_count = shard_count.max(1).next_power_of_two();
-        let background = mode != RebuildMode::Inline;
-        let shards: Arc<Vec<Shard>> = Arc::new(
-            (0..shard_count)
-                .map(|_| {
-                    Shard::new(
-                        config,
-                        capacity_per_shard,
-                        bits_per_key,
-                        Arc::clone(&policy),
-                        background,
-                        delete_mode,
-                    )
-                })
-                .collect(),
-        );
-        let maintainer = Maintainer::new(mode, Arc::clone(&shards));
-        Self {
-            shards,
-            shard_bits: shard_count.trailing_zeros(),
-            maintainer,
-        }
+        Self::from_options(StoreOptions {
+            config,
+            shard_count,
+            capacity_per_shard,
+            bits_per_key,
+            lifecycle: crate::options::LifecycleOptions {
+                policy,
+                rebuild_mode: mode,
+            },
+            delete_mode,
+            ..StoreOptions::default()
+        })
     }
 
     /// Hand a shard's rebuild ticket to the maintainer. Tickets are only
@@ -209,6 +269,7 @@ impl ShardedFilterStore {
     /// a key rebuilds or defers per its [`RebuildPolicy`]. The store has
     /// *set* semantics — re-inserting a key already present is a no-op.
     pub fn insert_batch(&self, keys: &[u32]) {
+        self.observer.note_inserts(keys.len());
         let mut routed: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
         for &key in keys {
             routed[self.shard_of(key)].push(key);
@@ -242,6 +303,11 @@ impl ShardedFilterStore {
             removed += shard_removed;
             self.enqueue_rebuild(index, ticket);
         }
+        // Only *successful* deletes feed the observer: a tiered store
+        // shadow-deletes every freshly inserted key from its older levels,
+        // and counting those misses would make a pure-insert workload look
+        // delete-heavy to the readvisor.
+        self.observer.note_deletes(removed);
         removed
     }
 
@@ -252,7 +318,7 @@ impl ShardedFilterStore {
     ///
     /// In a background mode this is also the store's **deterministic
     /// barrier**: whatever the policy decided (including nothing at all —
-    /// e.g. a clean [`SaturationDoubling`] store), `maintain()` drains every
+    /// e.g. a clean [`SaturationDoubling`](crate::SaturationDoubling) store), `maintain()` drains every
     /// in-flight and newly requested background rebuild before returning, so
     /// callers (and tests) observe a fully swapped-in store afterwards.
     ///
@@ -271,6 +337,11 @@ impl ShardedFilterStore {
                 }
             }
         }
+        // Re-advising rides the maintenance round (a no-op unless the store
+        // was built with readvise options): migrations requested here are
+        // background jobs like any other, so the drain below is their
+        // barrier too.
+        rebuilt += self.run_pending_readvise();
         if let Some(maintainer) = &self.maintainer {
             maintainer.drain();
         }
@@ -300,9 +371,152 @@ impl ShardedFilterStore {
             .map_or(0, |maintainer| maintainer.pending())
     }
 
+    /// Update the externally supplied half of the observed workload: the
+    /// work saved per filtered probe (`t_w`), the true hit rate σ, and the
+    /// expectation terms the store cannot measure from its own counters.
+    /// Deployments call this as their miss cost drifts (e.g. the backing
+    /// level moved from cache to disk); the next re-advising evaluation sees
+    /// the new values.
+    pub fn set_workload_hint(&self, hint: LevelSpec) {
+        *self.workload_hint.lock().expect("workload hint poisoned") = hint;
+    }
+
+    /// The workload as the store currently sees it: live key count and the
+    /// decayed observed delete fraction of the write traffic, with the
+    /// forward-looking economic terms — `t_w`, σ and the expected lifetime
+    /// probe volume per key — taken from the workload hint
+    /// ([`Self::set_workload_hint`]). Traffic can reveal *churn*, but not
+    /// what a miss costs downstream nor how many probes a filter will serve
+    /// over its remaining life (the decayed window structurally
+    /// underestimates it, which would bar the store from ever amortizing an
+    /// immutable filter's build cost). This is exactly the [`LevelSpec`]
+    /// each re-advising evaluation feeds the advisor.
+    #[must_use]
+    pub fn observed_level_spec(&self) -> LevelSpec {
+        let (inserts, deletes, _lookups) = self.observer.totals();
+        let hint = *self.workload_hint.lock().expect("workload hint poisoned");
+        let writes = (inserts + deletes) as f64;
+        LevelSpec {
+            expected_keys: (self.key_count() as u64).max(1),
+            work_saved_cycles: hint.work_saved_cycles,
+            sigma: hint.sigma,
+            delete_rate: deletes as f64 / writes.max(1.0),
+            expected_probes_per_key: hint.expected_probes_per_key,
+        }
+    }
+
+    /// Run one online re-advising step, mirroring how
+    /// [`run_pending_rebuilds`](Self::run_pending_rebuilds) makes queued
+    /// rebuilds deterministic. A no-op (returning `0`) unless the store was
+    /// built with [`StoreOptions::readvise`].
+    ///
+    /// With no migration in flight and enough observed traffic, this
+    /// re-runs the advisor against [`Self::observed_level_spec`] (decaying
+    /// the counters) and feeds the verdict through the hysteresis gates; a
+    /// confirmed family or delete-mode flip becomes the pending migration
+    /// target. With a target pending, every shard is driven toward it: a
+    /// migration is just a rebuild with a different target `FilterConfig`,
+    /// so it goes through the same snapshot → off-lock build → delta replay
+    /// → swap machinery as any other rebuild (inline stores migrate on the
+    /// spot; background/queued stores enqueue the job). Returns the number
+    /// of shards that advanced (migrated or had a migration requested); the
+    /// target stays pending until every shard reports it is already there,
+    /// so shards that were busy get picked up by the next call.
+    ///
+    /// [`maintain`](Self::maintain) calls this automatically, so stores on a
+    /// maintenance cadence re-advise for free.
+    pub fn run_pending_readvise(&self) -> usize {
+        let Some(readvisor) = &self.readvisor else {
+            return 0;
+        };
+        let mut readvisor = readvisor.lock().expect("readvisor lock poisoned");
+        if readvisor.pending_target.is_none() {
+            let (inserts, deletes, lookups) = self.observer.totals();
+            if inserts + deletes + lookups < readvisor.min_ops() {
+                return 0;
+            }
+            let observed = self.observed_level_spec();
+            self.observer.decay();
+            let incumbent = self.shards[0].config();
+            let counting = self.shards[0].delete_mode() == BloomDeleteMode::Counting;
+            readvisor.pending_target = readvisor.evaluate(&observed, &incumbent, counting);
+        }
+        let Some(target) = readvisor.pending_target else {
+            return 0;
+        };
+        let (advanced, done) = self.drive_migration(target);
+        if done {
+            readvisor.pending_target = None;
+        }
+        advanced
+    }
+
+    /// Migrate every shard to a new filter family/configuration, bypassing
+    /// the advisor and hysteresis — the manual counterpart of
+    /// [`run_pending_readvise`](Self::run_pending_readvise) for callers that
+    /// know where they are going (tests, operators forcing a layout).
+    ///
+    /// Inline stores rebuild and swap on the spot; background/queued stores
+    /// enqueue migration jobs (drive them with
+    /// [`run_pending_rebuilds`](Self::run_pending_rebuilds) or
+    /// [`maintain`](Self::maintain)). Shards already at the target, or busy
+    /// with an in-flight rebuild, are skipped. Returns the number of shards
+    /// that migrated or had a migration requested.
+    pub fn migrate_to(
+        &self,
+        config: FilterConfig,
+        bits_per_key: f64,
+        delete_mode: BloomDeleteMode,
+    ) -> usize {
+        let target = MigrationTarget {
+            config,
+            bits_per_key,
+            counting: delete_mode == BloomDeleteMode::Counting,
+        };
+        self.drive_migration(target).0
+    }
+
+    /// Drive every shard toward `target`. Returns `(advanced, done)`:
+    /// `advanced` counts shards that migrated or accepted a migration
+    /// request this call; `done` is `true` only when every shard is already
+    /// at the target (nothing in flight, nothing refused as busy).
+    fn drive_migration(&self, target: MigrationTarget) -> (usize, bool) {
+        let mut advanced = 0;
+        let mut done = true;
+        for (index, shard) in self.shards.iter().enumerate() {
+            match shard.migrate(target) {
+                MigrateOutcome::Unchanged => {}
+                MigrateOutcome::Migrated => advanced += 1,
+                MigrateOutcome::Requested(ticket) => {
+                    self.enqueue_rebuild(index, Some(ticket));
+                    advanced += 1;
+                    done = false;
+                }
+                MigrateOutcome::Busy => done = false,
+            }
+        }
+        (advanced, done)
+    }
+
+    /// How the store's Bloom shards currently honor deletes. Unlike the
+    /// construction-time option, this tracks live migrations (a counting
+    /// level that migrated to fuse reports [`BloomDeleteMode::Tombstone`]).
+    #[must_use]
+    pub fn delete_mode(&self) -> BloomDeleteMode {
+        self.shards[0].delete_mode()
+    }
+
+    /// The bits-per-key budget the shards currently build from (tracks live
+    /// migrations).
+    #[must_use]
+    pub fn bits_per_key(&self) -> f64 {
+        self.shards[0].bits_per_key()
+    }
+
     /// Point lookup against the current snapshots.
     #[must_use]
     pub fn contains(&self, key: u32) -> bool {
+        self.observer.note_lookups(1);
         self.shards[self.shard_of(key)].load().contains(key)
     }
 
@@ -317,7 +531,17 @@ impl ShardedFilterStore {
     /// hold a [`StoreSnapshot`] and a [`ProbeScratch`] and call
     /// [`StoreSnapshot::contains_batch_with`].
     pub fn contains_batch(&self, keys: &[u32], sel: &mut SelectionVector) {
+        self.observer.note_lookups(keys.len());
         self.snapshot().contains_batch(keys, sel)
+    }
+
+    /// Credit `count` lookups to the workload observer on behalf of a caller
+    /// probing this store's snapshots directly (the tiered cascade probes
+    /// level snapshots without going through [`Self::contains_batch`]).
+    /// Readers holding a long-lived [`StoreSnapshot`] are otherwise
+    /// invisible to re-advising.
+    pub(crate) fn note_probed(&self, count: usize) {
+        self.observer.note_lookups(count);
     }
 
     /// Freeze the current state of every shard into an immutable
@@ -389,6 +613,7 @@ impl ShardedFilterStore {
                     modeled_fpr: view.snapshot.filter.modeled_fpr(),
                     rebuilds: view.rebuilds,
                     rebuilds_background: view.rebuilds_background,
+                    migrations: view.migrations,
                     rebuild_wait_ns: view.rebuild_wait_ns,
                     max_writer_stall_ns: view.max_writer_stall_ns,
                     writer_rebuild_stall_ns: view.writer_rebuild_stall_ns,
@@ -685,7 +910,8 @@ impl Filter for StoreSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{DeferredBatch, FprDrift};
+    use crate::options::{LifecycleOptions, ReadviseOptions, StoreOptions};
+    use crate::policy::{DeferredBatch, FprDrift, SaturationDoubling};
     use pof_bloom::{Addressing, BloomConfig};
     use pof_cuckoo::{CuckooAddressing, CuckooConfig};
     use pof_filter::KeyGen;
@@ -1043,13 +1269,17 @@ mod tests {
     fn deferred_policy_parks_overflow_and_folds_on_maintain() {
         let mut gen = KeyGen::new(311);
         let keys = gen.distinct_keys(4_000);
-        let store = ShardedFilterStore::with_policy(
-            bloom_config(),
-            2,
-            512,
-            14.0,
-            Arc::new(DeferredBatch::new(4_096)),
-        );
+        let store = ShardedFilterStore::from_options(StoreOptions {
+            config: bloom_config(),
+            shard_count: 2,
+            capacity_per_shard: 512,
+            bits_per_key: 14.0,
+            lifecycle: LifecycleOptions {
+                policy: Arc::new(DeferredBatch::new(4_096)),
+                ..LifecycleOptions::default()
+            },
+            ..StoreOptions::default()
+        });
         store.insert_batch(&keys);
         // Shards saturated far past their 512-key capacity: the excess is
         // parked, not rebuilt — and every key still answers positive.
@@ -1078,13 +1308,17 @@ mod tests {
     fn fpr_drift_policy_shrinks_after_heavy_deletes() {
         let mut gen = KeyGen::new(312);
         let keys = gen.distinct_keys(16_000);
-        let store = ShardedFilterStore::with_policy(
-            bloom_config(),
-            2,
-            1_024,
-            14.0,
-            Arc::new(FprDrift::new(2.0)),
-        );
+        let store = ShardedFilterStore::from_options(StoreOptions {
+            config: bloom_config(),
+            shard_count: 2,
+            capacity_per_shard: 1_024,
+            bits_per_key: 14.0,
+            lifecycle: LifecycleOptions {
+                policy: Arc::new(FprDrift::new(2.0)),
+                ..LifecycleOptions::default()
+            },
+            ..StoreOptions::default()
+        });
         store.insert_batch(&keys);
         let grown_bits = store.size_bits();
         // Delete 97% of the keys: the drift policy re-fits shards downward.
@@ -1111,15 +1345,17 @@ mod tests {
         let mut gen = KeyGen::new(401);
         let keys = gen.distinct_keys(40_000);
         for config in [bloom_config(), cuckoo_config()] {
-            let store = ShardedFilterStore::with_options(
+            let store = ShardedFilterStore::from_options(StoreOptions {
                 config,
-                4,
-                256,
-                16.0,
-                Arc::new(SaturationDoubling),
-                RebuildMode::Background,
-                BloomDeleteMode::Tombstone,
-            );
+                shard_count: 4,
+                capacity_per_shard: 256,
+                bits_per_key: 16.0,
+                lifecycle: LifecycleOptions {
+                    policy: Arc::new(SaturationDoubling),
+                    rebuild_mode: RebuildMode::Background,
+                },
+                ..StoreOptions::default()
+            });
             for chunk in keys.chunks(1_000) {
                 store.insert_batch(chunk);
             }
@@ -1148,15 +1384,17 @@ mod tests {
         // delta window with the snapshot phase, mutate the shard inside it,
         // then swap and verify the replay reconciled everything.
         for config in [bloom_config(), cuckoo_config()] {
-            let store = ShardedFilterStore::with_options(
+            let store = ShardedFilterStore::from_options(StoreOptions {
                 config,
-                1,
-                64,
-                16.0,
-                Arc::new(SaturationDoubling),
-                RebuildMode::Queued,
-                BloomDeleteMode::Tombstone,
-            );
+                shard_count: 1,
+                capacity_per_shard: 64,
+                bits_per_key: 16.0,
+                lifecycle: LifecycleOptions {
+                    policy: Arc::new(SaturationDoubling),
+                    rebuild_mode: RebuildMode::Queued,
+                },
+                ..StoreOptions::default()
+            });
             let mut gen = KeyGen::new(402);
             let keys = gen.distinct_keys(100);
             store.insert_batch(&keys); // 100 > 64: a rebuild is requested
@@ -1196,15 +1434,17 @@ mod tests {
         // A clean SaturationDoubling store has nothing for the policy to do
         // on maintain() — but maintain() must still drain queued background
         // work (the deterministic barrier the tests and callers rely on).
-        let store = ShardedFilterStore::with_options(
-            bloom_config(),
-            1,
-            64,
-            16.0,
-            Arc::new(SaturationDoubling),
-            RebuildMode::Queued,
-            BloomDeleteMode::Tombstone,
-        );
+        let store = ShardedFilterStore::from_options(StoreOptions {
+            config: bloom_config(),
+            shard_count: 1,
+            capacity_per_shard: 64,
+            bits_per_key: 16.0,
+            lifecycle: LifecycleOptions {
+                policy: Arc::new(SaturationDoubling),
+                rebuild_mode: RebuildMode::Queued,
+            },
+            ..StoreOptions::default()
+        });
         let mut gen = KeyGen::new(403);
         store.insert_batch(&gen.distinct_keys(100));
         assert_eq!(store.pending_rebuilds(), 1);
@@ -1219,15 +1459,17 @@ mod tests {
         // shard far past the delta bound *inside* the replay window so the
         // writer falls back inline. The queued job's swap must then be
         // refused — the fallback's filter stays, nothing is lost.
-        let store = ShardedFilterStore::with_options(
-            bloom_config(),
-            1,
-            64,
-            16.0,
-            Arc::new(SaturationDoubling),
-            RebuildMode::Queued,
-            BloomDeleteMode::Tombstone,
-        );
+        let store = ShardedFilterStore::from_options(StoreOptions {
+            config: bloom_config(),
+            shard_count: 1,
+            capacity_per_shard: 64,
+            bits_per_key: 16.0,
+            lifecycle: LifecycleOptions {
+                policy: Arc::new(SaturationDoubling),
+                rebuild_mode: RebuildMode::Queued,
+            },
+            ..StoreOptions::default()
+        });
         let mut gen = KeyGen::new(404);
         let first = gen.distinct_keys(100);
         store.insert_batch(&first);
@@ -1260,15 +1502,17 @@ mod tests {
         // in flight (policy decisions are otherwise suppressed): a Cuckoo
         // shard whose saturated filter refuses keys mid-window grows the
         // buffer, and at 4x the urgency hook forces an inline fallback.
-        let store = ShardedFilterStore::with_options(
-            cuckoo_config(),
-            1,
-            64,
-            20.0,
-            Arc::new(DeferredBatch::new(4)),
-            RebuildMode::Queued,
-            BloomDeleteMode::Tombstone,
-        );
+        let store = ShardedFilterStore::from_options(StoreOptions {
+            config: cuckoo_config(),
+            shard_count: 1,
+            capacity_per_shard: 64,
+            bits_per_key: 20.0,
+            lifecycle: LifecycleOptions {
+                policy: Arc::new(DeferredBatch::new(4)),
+                rebuild_mode: RebuildMode::Queued,
+            },
+            ..StoreOptions::default()
+        });
         let mut gen = KeyGen::new(405);
         let keys = gen.distinct_keys(400);
         store.insert_batch(&keys);
@@ -1305,5 +1549,165 @@ mod tests {
             "bookkeeping {bookkeeping} bytes exceeds 2x raw key bytes {raw_bytes}"
         );
         assert!(bookkeeping >= raw_bytes, "accounting undercounts");
+    }
+
+    fn hot_churny_spec() -> LevelSpec {
+        LevelSpec {
+            expected_keys: 1 << 12,
+            work_saved_cycles: 32.0,
+            sigma: 0.5,
+            delete_rate: 0.4,
+            expected_probes_per_key: 4.0,
+        }
+    }
+
+    fn cold_static_spec() -> LevelSpec {
+        LevelSpec {
+            expected_keys: 1 << 12,
+            work_saved_cycles: 16_000_000.0,
+            sigma: 0.0,
+            delete_rate: 0.0,
+            expected_probes_per_key: 1_000_000.0,
+        }
+    }
+
+    #[test]
+    fn readvising_migrates_a_cooling_store_without_false_negatives() {
+        // The tentpole end to end: a counting-Bloom store under churn stays
+        // Bloom; when the workload turns cold and static (hint drifts, churn
+        // stops, counters decay), re-advising walks it to the immutable fuse
+        // family — live, with every surviving key answering positive at
+        // every step.
+        let store = ShardedFilterStore::from_options(StoreOptions {
+            config: bloom_config(),
+            shard_count: 2,
+            capacity_per_shard: 16_384,
+            bits_per_key: 14.0,
+            delete_mode: BloomDeleteMode::Counting,
+            readvise: Some(ReadviseOptions {
+                workload: hot_churny_spec(),
+                ..ReadviseOptions::default()
+            }),
+            ..StoreOptions::default()
+        });
+        let mut gen = KeyGen::new(501);
+        // Fuse only pays off at scale: the advisor's build-cost term keeps
+        // small sets on mutable families, so the cooling story needs a
+        // population comfortably past the crossover (~16k live keys).
+        let keys = gen.distinct_keys(24_000);
+        store.insert_batch(&keys);
+        let (gone, live) = keys.split_at(4_000);
+        assert_eq!(store.delete_batch(gone), gone.len());
+        let mut sel = SelectionVector::new();
+        for _ in 0..4 {
+            sel.clear();
+            store.contains_batch(live, &mut sel);
+            assert_eq!(sel.len(), live.len(), "false negative while hot");
+            store.run_pending_readvise();
+        }
+        assert_eq!(
+            store.config().kind(),
+            FilterKind::Bloom,
+            "a hot churny workload must not migrate away from Bloom"
+        );
+        assert_eq!(store.stats().total_migrations(), 0);
+        // The workload cools: misses now cost a disk probe, churn stops.
+        store.set_workload_hint(cold_static_spec());
+        let mut migrated_at = None;
+        for round in 0..40 {
+            sel.clear();
+            store.contains_batch(live, &mut sel);
+            assert_eq!(sel.len(), live.len(), "false negative at round {round}");
+            store.run_pending_readvise();
+            if store.config().kind() == FilterKind::Fuse {
+                migrated_at = Some(round);
+                break;
+            }
+        }
+        assert!(
+            migrated_at.is_some(),
+            "store never reached fuse; still {:?}",
+            store.config().kind()
+        );
+        let stats = store.stats();
+        assert!(stats.total_migrations() >= store.shard_count() as u64);
+        assert_eq!(store.delete_mode(), BloomDeleteMode::Tombstone);
+        assert_eq!(stats.total_counting_sidecar_bytes(), 0);
+        assert!(stats.shards[0].fingerprint_bits > 0);
+        sel.clear();
+        store.contains_batch(live, &mut sel);
+        assert_eq!(sel.len(), live.len(), "false negative after migration");
+        // The migrated store still takes writes (immutable shards park fresh
+        // keys in overflow until the next fold).
+        let fresh = gen.distinct_keys(100);
+        store.insert_batch(&fresh);
+        for &key in &fresh {
+            assert!(store.contains(key), "post-migration insert lost {key}");
+        }
+    }
+
+    #[test]
+    fn borderline_oscillating_workload_never_flaps() {
+        // The no-flap acceptance bar: a workload oscillating around the
+        // family crossover, with the improvement threshold set above what
+        // the oscillation can sustain, must complete zero migrations.
+        let store = ShardedFilterStore::from_options(StoreOptions {
+            config: bloom_config(),
+            shard_count: 1,
+            capacity_per_shard: 2_048,
+            bits_per_key: 14.0,
+            readvise: Some(ReadviseOptions {
+                min_improvement: 0.95,
+                consecutive: 2,
+                workload: hot_churny_spec(),
+                ..ReadviseOptions::default()
+            }),
+            ..StoreOptions::default()
+        });
+        let mut gen = KeyGen::new(502);
+        let keys = gen.distinct_keys(1_000);
+        store.insert_batch(&keys);
+        let mut sel = SelectionVector::new();
+        for round in 0..12 {
+            store.set_workload_hint(if round % 2 == 0 {
+                cold_static_spec()
+            } else {
+                hot_churny_spec()
+            });
+            sel.clear();
+            store.contains_batch(&keys, &mut sel);
+            assert_eq!(sel.len(), keys.len());
+            store.run_pending_readvise();
+        }
+        assert_eq!(
+            store.stats().total_migrations(),
+            0,
+            "oscillating borderline stats flapped the family"
+        );
+        assert_eq!(store.config().kind(), FilterKind::Bloom);
+    }
+
+    #[test]
+    fn migrate_to_is_the_manual_path_and_respects_busy_shards() {
+        let store = ShardedFilterStore::new(cuckoo_config(), 2, 1_024, 16.0);
+        let mut gen = KeyGen::new(503);
+        let keys = gen.distinct_keys(2_000);
+        store.insert_batch(&keys);
+        // Manual migration, no advisor involved: Cuckoo -> fuse inline.
+        assert_eq!(
+            store.migrate_to(fuse_config(), 10.0, BloomDeleteMode::Tombstone),
+            2
+        );
+        assert_eq!(store.config().kind(), FilterKind::Fuse);
+        assert_eq!(store.stats().total_migrations(), 2);
+        for &key in &keys {
+            assert!(store.contains(key), "manual migration lost {key}");
+        }
+        // Already at the target: a repeat is a no-op.
+        assert_eq!(
+            store.migrate_to(fuse_config(), 10.0, BloomDeleteMode::Tombstone),
+            0
+        );
+        assert_eq!(store.stats().total_migrations(), 2);
     }
 }

@@ -35,7 +35,6 @@
 //!   enumerates. A [`CompactionPolicy`] (default: [`SizeRatio`]) decides
 //!   *when* levels spill.
 
-use crate::shard::BloomDeleteMode;
 use crate::stats::{LevelStats, TieredStats};
 use crate::store::{ProbeScratch, ShardedFilterStore};
 use pof_core::LevelSpec;
@@ -161,14 +160,14 @@ impl TieredProbeScratch {
     }
 }
 
-/// One level: its sharded store plus the workload description and the
-/// choices (budget, delete mode) it was built from.
+/// One level: its sharded store plus the workload description it was built
+/// for. Family, budget and delete mode live in the store itself (they can
+/// drift through live migration); the spec is the construction-time
+/// description compaction sizing still keys off.
 #[derive(Debug)]
 pub(crate) struct TierLevel {
     pub(crate) store: ShardedFilterStore,
     pub(crate) spec: LevelSpec,
-    pub(crate) delete_mode: BloomDeleteMode,
-    pub(crate) bits_per_key: f64,
     /// Keys this level has received from compactions of the level above.
     compacted_in: AtomicU64,
     /// Keys compactions have moved out of this level.
@@ -176,17 +175,10 @@ pub(crate) struct TierLevel {
 }
 
 impl TierLevel {
-    pub(crate) fn new(
-        store: ShardedFilterStore,
-        spec: LevelSpec,
-        delete_mode: BloomDeleteMode,
-        bits_per_key: f64,
-    ) -> Self {
+    pub(crate) fn new(store: ShardedFilterStore, spec: LevelSpec) -> Self {
         Self {
             store,
             spec,
-            delete_mode,
-            bits_per_key,
             compacted_in: AtomicU64::new(0),
             compacted_out: AtomicU64::new(0),
         }
@@ -217,7 +209,8 @@ impl TierLevel {
 /// that probed level 0 before the insert published and reaches the older
 /// level after the delete did. The window only exists when the older level
 /// deletes *in place* (Cuckoo, or Bloom in
-/// [`BloomDeleteMode::Counting`]): a tombstone-mode Bloom level keeps
+/// [`BloomDeleteMode::Counting`](crate::BloomDeleteMode::Counting)): a
+/// tombstone-mode Bloom level keeps
 /// answering positive from its lingering bits until the next rebuild, which
 /// closes the window entirely. Downward moves ([`Self::compact`]) are safe
 /// in every mode — the destination is populated before the source is
@@ -363,6 +356,7 @@ impl TieredStore {
         scratch: &mut TieredProbeScratch,
     ) {
         if self.levels.len() == 1 {
+            self.levels[0].store.note_probed(keys.len());
             self.levels[0]
                 .store
                 .snapshot()
@@ -378,6 +372,12 @@ impl TieredStore {
         let mut snapshot = self.levels[0].store.snapshot();
         let mut index = 0usize;
         loop {
+            // Credit each level's workload observer with exactly the keys it
+            // is probed with (misses only, below level 0) — the cascade goes
+            // through raw snapshots, which re-advising cannot see on its own.
+            self.levels[index]
+                .store
+                .note_probed(scratch.remaining_keys.len());
             scratch.level_sel.clear();
             snapshot.contains_batch_with(
                 &scratch.remaining_keys,
@@ -524,6 +524,34 @@ impl TieredStore {
         ran
     }
 
+    /// Run one online re-advising step on every level (level 0 first) —
+    /// see [`ShardedFilterStore::run_pending_readvise`]. A no-op unless the
+    /// store was built with
+    /// [`TieredStoreBuilder::readvise`](crate::TieredStoreBuilder::readvise).
+    /// Returns the number of shards that migrated or had a migration
+    /// requested, across all levels.
+    ///
+    /// Runs under the store-wide write lock: a migration rebuilds level
+    /// stores, and racing it against a compaction mid-move would blur the
+    /// per-level accounting the oracle tests pin down.
+    pub fn run_pending_readvise(&self) -> usize {
+        let _guard = self.write_guard();
+        self.levels
+            .iter()
+            .map(|level| level.store.run_pending_readvise())
+            .sum()
+    }
+
+    /// Update one level's workload hint (`t_w`, σ — the externally known
+    /// half of the observed workload) for subsequent re-advising
+    /// evaluations. See [`ShardedFilterStore::set_workload_hint`].
+    ///
+    /// # Panics
+    /// If `level` is out of range.
+    pub fn set_level_workload_hint(&self, level: usize, hint: LevelSpec) {
+        self.levels[level].store.set_workload_hint(hint);
+    }
+
     /// Background rebuild jobs enqueued but not yet completed, across all
     /// levels.
     #[must_use]
@@ -568,8 +596,10 @@ impl TieredStore {
                     level: index,
                     family: level.store.config().kind(),
                     config_label: level.store.config().label(),
-                    delete_mode: level.delete_mode,
-                    bits_per_key_budget: level.bits_per_key,
+                    // Live, not construction-time: these three follow the
+                    // store through migrations.
+                    delete_mode: level.store.delete_mode(),
+                    bits_per_key_budget: level.store.bits_per_key(),
                     expected_keys: level.spec.expected_keys,
                     work_saved_cycles: level.spec.work_saved_cycles,
                     delete_rate: level.spec.delete_rate,
@@ -577,6 +607,7 @@ impl TieredStore {
                     size_bits: store.total_size_bits(),
                     tombstones: store.total_tombstones(),
                     rebuilds: store.total_rebuilds(),
+                    migrations: store.total_migrations(),
                     compacted_in: level.compacted_in.load(Ordering::Relaxed),
                     compacted_out: level.compacted_out.load(Ordering::Relaxed),
                     fingerprint_bits: level.store.config().fingerprint_bits(),
@@ -601,6 +632,7 @@ impl TieredStore {
 mod tests {
     use super::*;
     use crate::builder::TieredStoreBuilder;
+    use crate::shard::BloomDeleteMode;
     use pof_bloom::{Addressing, BloomConfig};
     use pof_core::FilterConfig;
     use pof_cuckoo::{CuckooAddressing, CuckooConfig};
@@ -927,5 +959,90 @@ mod tests {
             assert!(store.contains(key));
         }
         assert_eq!(store.key_count(), hot.len() + cold.len());
+    }
+
+    #[test]
+    fn a_cooling_level_migrates_live_while_its_neighbors_hold_family() {
+        use crate::options::ReadviseOptions;
+
+        // Two Bloom levels under re-advising: the hot one churns throughout
+        // (so its counting sidecar stays justified), the big one is declared
+        // hot-ish but stops mattering to the memtable — when its hint drifts
+        // to cold-static, only *it* walks onto the immutable fuse family.
+        let store = TieredStoreBuilder::new()
+            .level_pinned(
+                spec(4_096, 32.0, 0.5),
+                bloom_config(),
+                14.0,
+                BloomDeleteMode::Counting,
+            )
+            .level_pinned(
+                spec(32_768, 32.0, 0.4),
+                bloom_config(),
+                14.0,
+                BloomDeleteMode::Tombstone,
+            )
+            .shards_per_level(2)
+            .compaction(Arc::new(ManualCompaction))
+            .readvise(ReadviseOptions::default())
+            .build();
+        let mut gen = KeyGen::new(0x7E07);
+        let mut hot = gen.distinct_keys(2_000);
+        let cold = gen.distinct_keys(20_000);
+        store.load_level(1, &cold);
+        store.insert_batch(&hot);
+
+        let mut sel = SelectionVector::new();
+        let churn = |store: &TieredStore, hot: &mut Vec<u32>, gen: &mut KeyGen| {
+            let doomed: Vec<u32> = hot.drain(..400).collect();
+            assert_eq!(store.delete_batch(&doomed), doomed.len());
+            let fresh = gen.distinct_keys(400);
+            store.insert_batch(&fresh);
+            hot.extend(fresh);
+        };
+        for _ in 0..4 {
+            churn(&store, &mut hot, &mut gen);
+            store.run_pending_readvise();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.levels[0].family, FilterKind::Bloom);
+        assert_eq!(stats.levels[1].family, FilterKind::Bloom);
+        assert_eq!(stats.total_migrations(), 0);
+
+        // The big level cools: misses now cost a simulated disk read and
+        // its set is static for the rest of its life.
+        store.set_level_workload_hint(
+            1,
+            LevelSpec {
+                expected_keys: 32_768,
+                work_saved_cycles: 16_000_000.0,
+                sigma: 0.0,
+                delete_rate: 0.0,
+                expected_probes_per_key: 1_000_000.0,
+            },
+        );
+        let mut reached_fuse = false;
+        for round in 0..40 {
+            churn(&store, &mut hot, &mut gen);
+            sel.clear();
+            let members: Vec<u32> = hot.iter().chain(&cold).copied().collect();
+            store.contains_batch(&members, &mut sel);
+            assert_eq!(sel.len(), members.len(), "false negative at round {round}");
+            store.run_pending_readvise();
+            if store.stats().levels[1].family == FilterKind::Fuse {
+                reached_fuse = true;
+                break;
+            }
+        }
+        assert!(reached_fuse, "the cooling level never reached fuse");
+        let stats = store.stats();
+        assert_eq!(stats.levels[0].family, FilterKind::Bloom);
+        assert_eq!(stats.levels[0].delete_mode, BloomDeleteMode::Counting);
+        assert_eq!(stats.levels[0].migrations, 0, "hot level must not move");
+        assert!(stats.levels[1].migrations >= 2, "one per shard");
+        assert!(store.level_store(1).config().immutable());
+        for &key in hot.iter().chain(&cold) {
+            assert!(store.contains(key), "lost {key} across the migration");
+        }
     }
 }

@@ -6,7 +6,7 @@ use pof_bloom::{Addressing, BloomConfig};
 use pof_core::FilterConfig;
 use pof_cuckoo::{CuckooAddressing, CuckooConfig};
 use pof_filter::{KeyGen, SelectionVector};
-use pof_store::{ShardedFilterStore, StoreBuilder};
+use pof_store::{RebuildMode, ShardedFilterStore, StoreBuilder};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -178,7 +178,7 @@ fn background_rebuilds_never_hide_keys_from_concurrent_readers() {
                 .expected_keys(2_048) // undersized: growth rebuilds guaranteed
                 .bits_per_key(16.0)
                 .config(config)
-                .background_rebuilds(true)
+                .rebuild_mode(RebuildMode::Background)
                 .build(),
         );
         store.insert_batch(&initial);
@@ -256,7 +256,7 @@ fn background_rebuild_stress() {
                 .expected_keys(4_096)
                 .bits_per_key(16.0)
                 .config(config)
-                .background_rebuilds(true)
+                .rebuild_mode(RebuildMode::Background)
                 .build(),
         );
         store.insert_batch(&core);

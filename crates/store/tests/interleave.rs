@@ -347,6 +347,102 @@ fn every_compaction_rebuild_interleaving_preserves_the_level_oracle() {
     }
 }
 
+/// A live family *migration* is a rebuild with a different target config,
+/// so it rides the same two queued phases — and must survive the same
+/// exhaustive placement enumeration. A counting-Bloom store is told to
+/// migrate to the immutable fuse family via
+/// [`ShardedFilterStore::migrate_to`]; the snapshot and the
+/// build-replay-swap are placed at every position among a script of writes
+/// and deletes, so the delta window sees inserts the fuse build missed
+/// (parked in overflow) and deletes of snapshotted keys (tombstoned on the
+/// immutable replacement) in every order. Membership and key counts are
+/// checked against the oracle after every step.
+#[test]
+fn every_migration_phase_placement_preserves_membership() {
+    let mut gen = KeyGen::new(0x141a);
+    let seed = gen.distinct_keys(300);
+    let fresh_b = gen.distinct_keys(120);
+    let fresh_c = gen.distinct_keys(80);
+    let half_a: Vec<u32> = seed.iter().copied().step_by(2).collect();
+    let half_b: Vec<u32> = fresh_b.iter().copied().step_by(2).collect();
+    let script = [
+        Op::Insert(fresh_b.clone()),
+        Op::Delete(half_a.clone()),
+        Op::Insert(fresh_c.clone()),
+        Op::Delete(half_b.clone()),
+    ];
+    let bloom = FilterConfig::Bloom(BloomConfig::cache_sectorized(
+        512,
+        64,
+        2,
+        8,
+        Addressing::Magic,
+    ));
+    let fuse = FilterConfig::Fuse(pof_core::FuseConfig::fuse8());
+
+    for i in 0..=script.len() {
+        for j in i..=script.len() {
+            let label = format!("migration snapshot@{i} swap@{j}");
+            // Sized so the script never saturates: the only queued job is
+            // the migration's, and the scripted phases address it alone.
+            let store = StoreBuilder::new()
+                .shards(1)
+                .expected_keys(4_096)
+                .bits_per_key(16.0)
+                .config(bloom)
+                .bloom_deletes(BloomDeleteMode::Counting)
+                .rebuild_mode(RebuildMode::Queued)
+                .build();
+            let mut oracle: HashSet<u32> = HashSet::new();
+            apply(&store, &mut oracle, &Op::Insert(seed.clone()));
+            assert_eq!(store.pending_rebuilds(), 0, "{label}: unexpected job");
+
+            assert_eq!(
+                store.migrate_to(fuse, 12.0, BloomDeleteMode::Tombstone),
+                1,
+                "{label}: migration not requested"
+            );
+            assert_eq!(store.pending_rebuilds(), 1, "{label}: no job queued");
+            assert_consistent(&store, &oracle, &label);
+
+            for (step, op) in script.iter().enumerate() {
+                if step == i {
+                    // Phase one: key-set snapshot, delta window opens.
+                    store.run_pending_rebuilds(1);
+                }
+                if step == j {
+                    // Phase two: off-lock fuse build, delta replay, swap.
+                    store.run_pending_rebuilds(1);
+                }
+                apply(&store, &mut oracle, op);
+                assert_consistent(&store, &oracle, &label);
+            }
+            if i == script.len() {
+                store.run_pending_rebuilds(1);
+            }
+            if j == script.len() {
+                store.run_pending_rebuilds(1);
+            }
+            assert_consistent(&store, &oracle, &label);
+
+            store.maintain();
+            assert_eq!(store.pending_rebuilds(), 0, "{label}: drain left work");
+            assert_consistent(&store, &oracle, &label);
+            assert_eq!(
+                store.config().kind(),
+                pof_filter::FilterKind::Fuse,
+                "{label}: family never flipped"
+            );
+            let stats = store.stats();
+            assert_eq!(stats.total_migrations(), 1, "{label}: migration count");
+            assert!(
+                stats.shards[0].fingerprint_bits > 0,
+                "{label}: not fuse-backed"
+            );
+        }
+    }
+}
+
 /// The swap phase can also race a *concurrent* writer batch in threaded
 /// background mode; the queued harness above fixes the order, this smoke
 /// checks the same invariants when the real maintainer thread chooses it.
@@ -358,7 +454,7 @@ fn threaded_handoff_smoke() {
             .expected_keys(128)
             .bits_per_key(16.0)
             .config(config)
-            .background_rebuilds(true)
+            .rebuild_mode(RebuildMode::Background)
             .bloom_deletes(delete_mode)
             .build();
         let mut gen = KeyGen::new(0x1418);

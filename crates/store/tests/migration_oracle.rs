@@ -1,0 +1,235 @@
+//! Oracle tests for online re-advising: a store under random churn is
+//! dragged through a scripted workload-drift schedule (hot-churny →
+//! cold-churny → cold-static) and must walk the full family ladder —
+//! counting Bloom → Cuckoo → immutable fuse — while *every* oracle member
+//! answers positive at *every* step, across every migration boundary.
+//!
+//! The drift is scripted (hints move, churn stops on cue) but the keys are
+//! pseudo-random and the store's own decayed observation of the traffic
+//! decides when each hysteresis streak completes, so the exact migration
+//! rounds are emergent. The invariant is not: zero false negatives, ever.
+
+use pof_bloom::{Addressing, BloomConfig};
+use pof_core::FilterConfig;
+use pof_filter::{FilterKind, KeyGen, SelectionVector};
+use pof_store::{
+    BloomDeleteMode, LevelSpec, ReadviseOptions, RebuildMode, ShardedFilterStore, StoreBuilder,
+};
+use std::collections::HashSet;
+
+fn bloom() -> FilterConfig {
+    FilterConfig::Bloom(BloomConfig::cache_sectorized(
+        512,
+        64,
+        2,
+        8,
+        Addressing::Magic,
+    ))
+}
+
+/// Hot level in front of a cheap miss: Bloom territory.
+fn hot_churny_hint() -> LevelSpec {
+    LevelSpec {
+        expected_keys: 1 << 15,
+        work_saved_cycles: 32.0,
+        sigma: 0.5,
+        delete_rate: 0.4,
+        expected_probes_per_key: 4.0,
+    }
+}
+
+/// Misses now cost a simulated disk read but the churn continues: the
+/// in-place-deleting Cuckoo family wins.
+fn cold_churny_hint() -> LevelSpec {
+    LevelSpec {
+        expected_keys: 1 << 15,
+        work_saved_cycles: 16_000_000.0,
+        sigma: 0.0,
+        delete_rate: 0.5,
+        expected_probes_per_key: 1_000_000.0,
+    }
+}
+
+/// The set went static behind expensive misses: fuse territory.
+fn cold_static_hint() -> LevelSpec {
+    LevelSpec {
+        expected_keys: 1 << 15,
+        work_saved_cycles: 16_000_000.0,
+        sigma: 0.0,
+        delete_rate: 0.0,
+        expected_probes_per_key: 1_000_000.0,
+    }
+}
+
+struct Harness {
+    store: ShardedFilterStore,
+    oracle: HashSet<u32>,
+    gen: KeyGen,
+    sel: SelectionVector,
+    families: Vec<FilterKind>,
+}
+
+impl Harness {
+    fn new(store: ShardedFilterStore, seed: u64) -> Self {
+        let kind = store.config().kind();
+        Self {
+            store,
+            oracle: HashSet::new(),
+            gen: KeyGen::new(seed),
+            sel: SelectionVector::new(),
+            families: vec![kind],
+        }
+    }
+
+    fn insert(&mut self, count: usize) {
+        let batch: Vec<u32> = self
+            .gen
+            .distinct_keys(count * 2)
+            .into_iter()
+            .filter(|key| !self.oracle.contains(key))
+            .take(count)
+            .collect();
+        self.store.insert_batch(&batch);
+        self.oracle.extend(batch.iter().copied());
+    }
+
+    fn delete(&mut self, count: usize) {
+        let doomed: Vec<u32> = self.oracle.iter().copied().take(count).collect();
+        for key in &doomed {
+            self.oracle.remove(key);
+        }
+        assert_eq!(self.store.delete_batch(&doomed), doomed.len());
+    }
+
+    /// The invariant of the whole suite: every oracle member answers
+    /// positive through both the batch and point paths, right now.
+    fn assert_no_false_negative(&mut self, label: &str) {
+        let members: Vec<u32> = self.oracle.iter().copied().collect();
+        self.sel.clear();
+        self.store.contains_batch(&members, &mut self.sel);
+        assert_eq!(
+            self.sel.len(),
+            members.len(),
+            "{label}: batch false negative (family {:?})",
+            self.store.config().kind()
+        );
+        assert_eq!(self.store.key_count(), self.oracle.len(), "{label}: count");
+    }
+
+    /// Record family flips as the store migrates under us.
+    fn observe_family(&mut self) {
+        let kind = self.store.config().kind();
+        if *self.families.last().expect("seeded") != kind {
+            self.families.push(kind);
+        }
+    }
+
+    /// One churn round: delete, insert, look everything up, then let the
+    /// store re-advise (and, in queued mode, execute what it scheduled).
+    fn round(&mut self, churn: usize, queued: bool, label: &str) {
+        if churn > 0 {
+            self.delete(churn);
+            self.insert(churn);
+        }
+        self.assert_no_false_negative(label);
+        self.store.run_pending_readvise();
+        if queued {
+            // Execute at most one queued phase per round so migrations span
+            // rounds and the churn lands inside their delta windows.
+            self.store.run_pending_rebuilds(1);
+        }
+        self.observe_family();
+        self.assert_no_false_negative(label);
+    }
+}
+
+fn drift_schedule(store: ShardedFilterStore, seed: u64, queued: bool) {
+    let mut harness = Harness::new(store, seed);
+    harness.insert(24_000);
+    harness.assert_no_false_negative("seeding");
+
+    // Phase 1 — hot and churny: the store must hold its Bloom family.
+    harness.store.set_workload_hint(hot_churny_hint());
+    for round in 0..4 {
+        harness.round(1_000, queued, &format!("hot round {round}"));
+    }
+    assert_eq!(harness.store.config().kind(), FilterKind::Bloom);
+    assert_eq!(harness.store.stats().total_migrations(), 0);
+
+    // Phase 2 — misses turn expensive, churn continues: Cuckoo's in-place
+    // deletes beat both tombstone rebuilds and fuse re-peels.
+    harness.store.set_workload_hint(cold_churny_hint());
+    for round in 0..20 {
+        harness.round(1_000, queued, &format!("cold-churny round {round}"));
+        if harness.store.config().kind() == FilterKind::Cuckoo {
+            break;
+        }
+    }
+    assert_eq!(
+        harness.store.config().kind(),
+        FilterKind::Cuckoo,
+        "churny cold drift never reached Cuckoo"
+    );
+
+    // Phase 3 — churn stops: once the observed delete rate decays away the
+    // advisor retires the set onto an immutable fuse filter.
+    harness.store.set_workload_hint(cold_static_hint());
+    for round in 0..40 {
+        harness.round(0, queued, &format!("cold-static round {round}"));
+        if harness.store.config().kind() == FilterKind::Fuse {
+            break;
+        }
+    }
+    assert_eq!(
+        harness.store.config().kind(),
+        FilterKind::Fuse,
+        "static cold drift never reached fuse"
+    );
+
+    // Settle: drain queued work, then re-check the full contract.
+    harness.store.maintain();
+    harness.assert_no_false_negative("after drain");
+    assert_eq!(
+        harness.families,
+        vec![FilterKind::Bloom, FilterKind::Cuckoo, FilterKind::Fuse],
+        "the drift must walk the full family ladder"
+    );
+    let stats = harness.store.stats();
+    assert!(
+        stats.total_migrations() >= 2 * harness.store.shard_count() as u64,
+        "two family flips across every shard: {stats:?}"
+    );
+    assert!(stats.shards.iter().all(|s| s.fingerprint_bits > 0));
+    assert_eq!(harness.store.delete_mode(), BloomDeleteMode::Tombstone);
+    assert_eq!(stats.total_counting_sidecar_bytes(), 0);
+
+    // The migrated store still takes writes: immutable shards park fresh
+    // keys in overflow until the next fold.
+    harness.insert(200);
+    harness.assert_no_false_negative("post-fuse inserts");
+}
+
+fn drift_store(mode: RebuildMode) -> ShardedFilterStore {
+    StoreBuilder::new()
+        .shards(2)
+        .expected_keys(1 << 16)
+        .bits_per_key(14.0)
+        .config(bloom())
+        .bloom_deletes(BloomDeleteMode::Counting)
+        .rebuild_mode(mode)
+        .readvise(ReadviseOptions {
+            workload: hot_churny_hint(),
+            ..ReadviseOptions::default()
+        })
+        .build()
+}
+
+#[test]
+fn scripted_drift_walks_the_family_ladder_inline() {
+    drift_schedule(drift_store(RebuildMode::Inline), 0x5eed_0001, false);
+}
+
+#[test]
+fn scripted_drift_walks_the_family_ladder_queued() {
+    drift_schedule(drift_store(RebuildMode::Queued), 0x5eed_0002, true);
+}

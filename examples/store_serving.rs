@@ -3,7 +3,7 @@
 //! lookups from several reader threads while a writer keeps inserting, then
 //! delete a key wave, fold the deferred work with `maintain()`, and report
 //! per-shard statistics plus the observed false-positive rate. A second act
-//! turns on `background_rebuilds(true)` and contrasts the writer stall
+//! turns on `rebuild_mode(RebuildMode::Background)` and contrasts the writer stall
 //! statistics: with a maintainer, rebuilds leave the write path entirely.
 //!
 //! Run with: `cargo run --release --example store_serving`
@@ -150,7 +150,11 @@ fn main() {
         let store = StoreBuilder::new()
             .shards(8)
             .expected_keys(16 * 1024) // undersized on purpose
-            .background_rebuilds(background)
+            .rebuild_mode(if background {
+                RebuildMode::Background
+            } else {
+                RebuildMode::Inline
+            })
             .build();
         let mut gen = KeyGen::new(4 * 1024);
         for _ in 0..64 {

@@ -1,7 +1,9 @@
 //! Tiered LSM lookups: the advisor picks a *different* filter family per
 //! level from each level's `t_w`, and the `LsmTree` runs its filtering
 //! through the resulting `TieredStore` — the paper's family-flip result,
-//! executed end to end against the real serving-layer store.
+//! executed end to end against the real serving-layer store. The finale is
+//! online re-advising: the cold level is sealed (compaction stops deleting
+//! from it), and the store migrates it to an immutable fuse filter *live*.
 //!
 //! Run with: `cargo run --release --example tiered_lsm`
 
@@ -10,8 +12,10 @@ use pof::workloads::{LsmStats, Run};
 
 fn main() {
     // Describe the hierarchy: a small, churn-heavy hot level whose misses
-    // cost ~32 cycles (a skipped memtable probe), and a large, immutable
-    // cold level whose misses cost a simulated NVMe read.
+    // cost ~32 cycles (a skipped memtable probe), and a large cold level
+    // whose misses cost a simulated NVMe read. The cold level is *still
+    // compacting* — deletes land there — so the advisor starts it on an
+    // in-place family rather than an immutable one.
     let hot = LevelSpec {
         expected_keys: 1 << 15,
         work_saved_cycles: 32.0,
@@ -21,13 +25,15 @@ fn main() {
     let cold = LevelSpec {
         expected_keys: 1 << 19,
         work_saved_cycles: 16_000_000.0,
-        delete_rate: 0.0,
+        delete_rate: 0.4,
+        expected_probes_per_key: 1_000_000.0,
         ..LevelSpec::default()
     };
     let store = TieredStoreBuilder::new()
         .level(hot)
         .level(cold)
         .shards_per_level(4)
+        .readvise(ReadviseOptions::default()) // observe traffic, re-advise live
         .build();
 
     println!("advisor-chosen level configuration:");
@@ -50,9 +56,9 @@ fn main() {
     }
     let stats = store.stats();
     println!(
-        "  split: hot churn -> {} (in-place deletes), cold static -> {} \
-         ({}-bit fingerprints, built whole from the level's key set)",
-        stats.levels[0].family, stats.levels[1].family, stats.levels[1].fingerprint_bits,
+        "  split: hot churn -> {} (sidecar deletes), cold compacting -> {} \
+         (in-place deletes)",
+        stats.levels[0].family, stats.levels[1].family,
     );
 
     // Build the tree: 6 cold runs bulk-loaded into level 1, one hot run in
@@ -106,4 +112,59 @@ fn main() {
     println!("\nOne filter probe per level answers for every run of that level — a negative");
     println!("hot+cold verdict skips all {runs} cold runs at once, with the family at each");
     println!("level matched to what a miss there actually costs (the paper's t_w story).");
+
+    // The cold level is sealed: compaction has passed it by, deletes stop,
+    // and it will serve scans for the rest of its life. Re-aim that level's
+    // workload hint and keep serving lookups — the store's own re-advising
+    // observes the drift, confirms the flip through hysteresis, and migrates
+    // every shard onto an immutable fuse filter through the same
+    // snapshot/delta-replay/swap machinery as a background rebuild.
+    let tiered = tree
+        .tiered_store()
+        .expect("tree was built on a tiered store");
+    let sealed = tiered.stats();
+    println!(
+        "\nsealing level 1 ({} keys, {} @ {:.2} bits/live key) ...",
+        sealed.levels[1].live_keys,
+        sealed.levels[1].config_label,
+        sealed.levels[1].bits_per_live_key(),
+    );
+    tiered.set_level_workload_hint(
+        1,
+        LevelSpec {
+            expected_keys: sealed.levels[1].live_keys,
+            work_saved_cycles: 16_000_000.0,
+            delete_rate: 0.0,
+            expected_probes_per_key: 1_000_000.0,
+            ..LevelSpec::default()
+        },
+    );
+    let mut stats = LsmStats::default();
+    for round in 1..=40 {
+        // Ordinary serving traffic keeps flowing during the whole migration.
+        for key in gen.probes_with_selectivity(&all_keys, 2_000, 0.5) {
+            let _ = tree.get(key, &mut stats);
+        }
+        let migrated = tiered.run_pending_readvise();
+        let levels = tiered.stats();
+        if migrated > 0 {
+            println!(
+                "  round {round:>2}: {migrated} migration step(s) -> level 1 is now {}",
+                levels.levels[1].config_label,
+            );
+        }
+        if levels.levels[1].family == FilterKind::Fuse {
+            break;
+        }
+    }
+    let after = tiered.stats();
+    println!(
+        "level 1 migrated live: {} -> {} in {} shard migrations, \
+         {:.2} bits/live key, immutable: {}",
+        sealed.levels[1].config_label,
+        after.levels[1].config_label,
+        after.levels[1].migrations,
+        after.levels[1].bits_per_live_key(),
+        tiered.level_store(1).config().immutable(),
+    );
 }

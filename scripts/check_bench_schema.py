@@ -36,6 +36,32 @@ def key_paths(node, prefix=""):
     return paths
 
 
+def check_drift_contract(document):
+    """The recorded `drift` cells carry a contract, not just a schema: the
+    online re-advising run must actually have migrated onto a
+    fingerprint-backed family, reclaimed memory versus its Bloom start, and
+    never answered a false negative. Returns a list of violations."""
+    problems = []
+    cells = document.get("drift")
+    if not isinstance(cells, list) or not cells:
+        return [f"drift: expected a non-empty list, got {type(cells).__name__}"]
+    for index, cell in enumerate(cells):
+        label = f"drift[{index}]"
+        if cell.get("migrations", 0) < 1:
+            problems.append(f"{label}: no migration was recorded")
+        if cell.get("fingerprint_bits", 0) <= 0:
+            problems.append(f"{label}: final family is not fingerprint-backed")
+        if cell.get("false_negative_rounds", 1) != 0:
+            problems.append(f"{label}: saw a false negative round")
+        before = cell.get("bloom_bits_per_live_key", 0.0)
+        after = cell.get("bits_per_live_key", float("inf"))
+        if not after < before:
+            problems.append(
+                f"{label}: migration reclaimed no memory "
+                f"({after} bits/live-key vs Bloom's {before})")
+    return problems
+
+
 def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__.strip())
@@ -43,7 +69,14 @@ def main():
     with open(baseline_path) as f:
         baseline = key_paths(json.load(f))
     with open(fresh_path) as f:
-        fresh = key_paths(json.load(f))
+        fresh_document = json.load(f)
+    fresh = key_paths(fresh_document)
+    drift_problems = check_drift_contract(fresh_document)
+    if drift_problems:
+        print(f"FAIL: drift contract violated in {fresh_path}:")
+        for problem in drift_problems:
+            print(f"  - {problem}")
+        sys.exit(1)
     lost = sorted(baseline - fresh)
     if lost:
         print(f"FAIL: {len(lost)} field path(s) in {baseline_path} are missing "

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Public-API surface snapshot for the workspace crates.
+
+Usage:
+  check_public_api.py --write   # regenerate API_SURFACE.txt
+  check_public_api.py --check   # fail on undocumented removals (CI mode)
+
+Extracts every `pub fn` / `pub struct` / `pub enum` / `pub trait` /
+`pub type` / `pub const` declaration (excluding `pub(crate)` and narrower)
+from each workspace crate's sources into a sorted snapshot, committed as
+API_SURFACE.txt at the repo root.
+
+In --check mode the snapshot is regenerated in memory and compared against
+the committed file: any committed line missing from the fresh scan is an API
+*removal* that nobody recorded — the job fails and prints the lost items, so
+a refactor cannot silently drop public surface (the exact hazard of a
+builder/options consolidation like the StoreOptions migration). New items
+are reported as [info]; run --write and commit the updated snapshot to
+record them. A scan that finds nothing at all also fails — the gate must
+not silently go blind to a layout change.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SNAPSHOT = os.path.join(REPO_ROOT, "API_SURFACE.txt")
+
+# `pub` then an optional qualifier chain, then the item kind and its name.
+# `pub(crate)`/`pub(super)`/`pub(in ...)` are internal and must not match.
+ITEM = re.compile(
+    r"^\s*pub\s+(?:unsafe\s+|async\s+|const\s+|extern\s+\"[^\"]*\"\s+)*"
+    r"(fn|struct|enum|trait|type|const|static)\s+([A-Za-z_][A-Za-z0-9_]*)"
+)
+
+HEADER = [
+    "# Public API surface, one `crate kind name` per line.",
+    "# Regenerate with: python3 scripts/check_public_api.py --write",
+    "# CI fails if any line here disappears from a fresh scan (an",
+    "# unrecorded public-API removal).",
+]
+
+
+def crate_sources():
+    """Yield (crate_name, src_dir) for every workspace crate."""
+    crates = [(os.path.join(REPO_ROOT, "crates", entry), None)
+              for entry in sorted(os.listdir(os.path.join(REPO_ROOT, "crates")))]
+    crates.append((REPO_ROOT, "pof"))  # the umbrella crate at the root
+    for crate_dir, forced_name in crates:
+        manifest = os.path.join(crate_dir, "Cargo.toml")
+        src = os.path.join(crate_dir, "src")
+        if not (os.path.isfile(manifest) and os.path.isdir(src)):
+            continue
+        name = forced_name
+        if name is None:
+            with open(manifest) as f:
+                match = re.search(r'^name\s*=\s*"([^"]+)"', f.read(), re.M)
+            if not match:
+                continue
+            name = match.group(1)
+        yield name, src
+
+
+def scan():
+    """The full surface as a sorted list of `crate kind name` lines."""
+    surface = set()
+    for crate, src in crate_sources():
+        for dirpath, _, filenames in os.walk(src):
+            for filename in filenames:
+                if not filename.endswith(".rs"):
+                    continue
+                with open(os.path.join(dirpath, filename)) as f:
+                    for line in f:
+                        match = ITEM.match(line)
+                        if match:
+                            kind, name = match.groups()
+                            surface.add(f"{crate} {kind} {name}")
+    return sorted(surface)
+
+
+def main():
+    mode = sys.argv[1] if len(sys.argv) == 2 else None
+    if mode not in ("--write", "--check"):
+        sys.exit(__doc__.strip())
+    fresh = scan()
+    if not fresh:
+        sys.exit("FAIL: scan found no public items — crate layout changed?")
+    if mode == "--write":
+        with open(SNAPSHOT, "w") as f:
+            f.write("\n".join(HEADER + fresh) + "\n")
+        print(f"wrote {len(fresh)} public items to {SNAPSHOT}")
+        return
+    if not os.path.isfile(SNAPSHOT):
+        sys.exit(f"FAIL: {SNAPSHOT} missing; run --write and commit it")
+    with open(SNAPSHOT) as f:
+        committed = [line.rstrip("\n") for line in f
+                     if line.strip() and not line.startswith("#")]
+    removed = sorted(set(committed) - set(fresh))
+    added = sorted(set(fresh) - set(committed))
+    for item in added:
+        print(f"  [info] new public item not yet in snapshot: {item}")
+    if removed:
+        print(f"FAIL: {len(removed)} public item(s) in API_SURFACE.txt "
+              "disappeared from the scan:")
+        for item in removed:
+            print(f"  - {item}")
+        print("If the removal is intentional, regenerate the snapshot with "
+              "--write and commit it alongside the change.")
+        sys.exit(1)
+    print(f"OK: all {len(committed)} snapshot items still present"
+          + (f"; {len(added)} new (run --write to record)" if added else ""))
+
+
+if __name__ == "__main__":
+    main()

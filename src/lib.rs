@@ -106,10 +106,11 @@ pub mod prelude {
         DeleteOutcome, Filter, FilterKind, KeyGen, ProbePlan, SelectionVector, Workload,
     };
     pub use pof_store::{
-        BloomDeleteMode, CompactionPolicy, DeferredBatch, FprDrift, LevelStats, ManualCompaction,
-        ProbeScratch, RebuildDecision, RebuildMode, RebuildPolicy, RebuildUrgency,
-        SaturationDoubling, ShardedFilterStore, SizeRatio, StoreBuilder, StoreSnapshot, StoreStats,
-        TieredProbeScratch, TieredStats, TieredStore, TieredStoreBuilder,
+        BloomDeleteMode, CompactionPolicy, DeferredBatch, FprDrift, LevelStats, LifecycleOptions,
+        ManualCompaction, ProbeScratch, ReadviseOptions, RebuildDecision, RebuildMode,
+        RebuildPolicy, RebuildUrgency, SaturationDoubling, ShardedFilterStore, SizeRatio,
+        StoreBuilder, StoreOptions, StoreSnapshot, StoreStats, TieredProbeScratch, TieredStats,
+        TieredStore, TieredStoreBuilder,
     };
     pub use pof_workloads::{JoinHashTable, JoinWorkload, LsmTree, ProbePipeline, SemiJoin};
     pub use pof_xorfuse::{FuseConfig, FuseFilter, FuseMutation};
