@@ -1,0 +1,212 @@
+//! The committed invariant ledger (`UNSAFE_LEDGER.toml`): every `unsafe`
+//! site and every atomic-ordering choice in the workspace, with its
+//! justification.
+//!
+//! Parsed with a deliberately minimal hand-rolled reader (the build is
+//! offline — no `toml` crate): `[[unsafe]]` / `[[ordering]]` array-of-table
+//! headers followed by `key = "string"` or `key = integer` lines, `#`
+//! comments allowed. That subset is all the ledger format uses.
+
+/// One registered `unsafe` context: `count` unsafe tokens inside `context`
+/// (a function name, or `impl Trait for Type`) in `file`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeEntry {
+    /// Repo-relative path of the file holding the site(s).
+    pub file: String,
+    /// The enclosing function (or `impl …` header) the sites live in.
+    pub context: String,
+    /// Number of `unsafe` tokens in that context.
+    pub count: usize,
+    /// Why the unsafety is sound — required, non-empty.
+    pub justification: String,
+    /// Ledger line the entry starts on (for diagnostics).
+    pub line: usize,
+}
+
+/// One registered atomic-ordering choice: `count` uses of
+/// `Ordering::<ordering>` on atomic `atomic` in `file`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderingEntry {
+    /// Repo-relative path of the file holding the use(s).
+    pub file: String,
+    /// The atomic the ordering is applied to (receiver identifier).
+    pub atomic: String,
+    /// The ordering name (`Relaxed`, `Acquire`, …).
+    pub ordering: String,
+    /// Number of uses of that (file, atomic, ordering) triple.
+    pub count: usize,
+    /// Why this ordering suffices — required, non-empty.
+    pub why: String,
+    /// Ledger line the entry starts on (for diagnostics).
+    pub line: usize,
+}
+
+/// The parsed ledger.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    /// `[[unsafe]]` entries.
+    pub unsafes: Vec<UnsafeEntry>,
+    /// `[[ordering]]` entries.
+    pub orderings: Vec<OrderingEntry>,
+}
+
+impl Ledger {
+    /// Parse the ledger text. Errors carry the offending line number.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        enum Section {
+            None,
+            Unsafe,
+            Ordering,
+        }
+        let mut ledger = Ledger::default();
+        let mut section = Section::None;
+        for (index, raw) in text.lines().enumerate() {
+            let line_no = index + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[unsafe]]" {
+                ledger.unsafes.push(UnsafeEntry {
+                    file: String::new(),
+                    context: String::new(),
+                    count: 1,
+                    justification: String::new(),
+                    line: line_no,
+                });
+                section = Section::Unsafe;
+                continue;
+            }
+            if line == "[[ordering]]" {
+                ledger.orderings.push(OrderingEntry {
+                    file: String::new(),
+                    atomic: String::new(),
+                    ordering: String::new(),
+                    count: 1,
+                    why: String::new(),
+                    line: line_no,
+                });
+                section = Section::Ordering;
+                continue;
+            }
+            if line.starts_with("[[") {
+                return Err(format!("line {line_no}: unknown table `{line}`"));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {line_no}: expected `key = value`"));
+            };
+            let key = key.trim();
+            let value = parse_value(value.trim())
+                .ok_or_else(|| format!("line {line_no}: bad value for `{key}`"))?;
+            match section {
+                Section::None => {
+                    return Err(format!(
+                        "line {line_no}: `{key}` outside [[unsafe]]/[[ordering]]"
+                    ))
+                }
+                Section::Unsafe => {
+                    let entry = ledger.unsafes.last_mut().expect("section implies entry");
+                    match (key, value) {
+                        ("file", Value::Str(s)) => entry.file = s,
+                        ("context", Value::Str(s)) => entry.context = s,
+                        ("count", Value::Int(n)) => entry.count = n,
+                        ("justification", Value::Str(s)) => entry.justification = s,
+                        _ => {
+                            return Err(format!(
+                                "line {line_no}: unknown or mistyped [[unsafe]] key `{key}`"
+                            ))
+                        }
+                    }
+                }
+                Section::Ordering => {
+                    let entry = ledger.orderings.last_mut().expect("section implies entry");
+                    match (key, value) {
+                        ("file", Value::Str(s)) => entry.file = s,
+                        ("atomic", Value::Str(s)) => entry.atomic = s,
+                        ("ordering", Value::Str(s)) => entry.ordering = s,
+                        ("count", Value::Int(n)) => entry.count = n,
+                        ("why", Value::Str(s)) => entry.why = s,
+                        _ => {
+                            return Err(format!(
+                                "line {line_no}: unknown or mistyped [[ordering]] key `{key}`"
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(ledger)
+    }
+}
+
+enum Value {
+    Str(String),
+    Int(usize),
+}
+
+/// Parse a `"string"` (with `\"`/`\\` escapes, trailing `# comment` allowed)
+/// or a bare integer.
+fn parse_value(text: &str) -> Option<Value> {
+    if let Some(rest) = text.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = rest.chars();
+        loop {
+            match chars.next()? {
+                '\\' => out.push(chars.next()?),
+                '"' => break,
+                c => out.push(c),
+            }
+        }
+        let tail = chars.as_str().trim();
+        if tail.is_empty() || tail.starts_with('#') {
+            return Some(Value::Str(out));
+        }
+        return None;
+    }
+    let digits = text.split('#').next()?.trim();
+    digits.parse::<usize>().ok().map(Value::Int)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_sections() {
+        let text = r##"
+# header comment
+[[unsafe]]
+file = "crates/bloom/src/simd.rs"
+context = "dispatch"
+count = 2   # two kernels
+justification = "AVX2 checked at dispatch"
+
+[[ordering]]
+file = "crates/store/src/shard.rs"
+atomic = "max_writer_stall_ns"
+ordering = "Relaxed"
+count = 2
+why = "monotonic max, no ordering needed"
+"##;
+        let ledger = Ledger::parse(text).unwrap();
+        assert_eq!(ledger.unsafes.len(), 1);
+        assert_eq!(ledger.unsafes[0].count, 2);
+        assert_eq!(ledger.unsafes[0].context, "dispatch");
+        assert_eq!(ledger.orderings.len(), 1);
+        assert_eq!(ledger.orderings[0].atomic, "max_writer_stall_ns");
+    }
+
+    #[test]
+    fn rejects_stray_keys_and_bad_values() {
+        assert!(Ledger::parse("file = \"x\"").is_err());
+        assert!(Ledger::parse("[[unsafe]]\ncount = \"two\"").is_err());
+        assert!(Ledger::parse("[[wat]]").is_err());
+        assert!(Ledger::parse("[[unsafe]]\nfile = \"a\" trailing").is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let ledger = Ledger::parse("[[unsafe]]\njustification = \"says \\\"hi\\\"\"").unwrap();
+        assert_eq!(ledger.unsafes[0].justification, "says \"hi\"");
+    }
+}

@@ -1,0 +1,381 @@
+//! A hand-rolled Rust lexer: just enough tokenization for the invariant
+//! passes, with no dependency on `syn` (the build is offline).
+//!
+//! The lexer's one job is to make the passes immune to the classic grep
+//! failure modes: `unsafe` inside a string literal, `Ordering::Relaxed` in a
+//! doc comment, `vec![` in an example snippet. It produces a flat token
+//! stream (identifiers, punctuation, literals) with line numbers, and a
+//! separate per-line comment record the passes consult for `// SAFETY:`
+//! comments, `// pof-analyze:` markers and waivers.
+//!
+//! Handled: line and (nested) block comments, cooked strings with escapes,
+//! raw strings (`r"…"`, `r#"…"#`), byte strings and byte chars, char
+//! literals vs lifetimes, numeric literals (including `1.5` vs the `0..10`
+//! range ambiguity), and `::` as a single token so path patterns are easy to
+//! match. Not handled (not needed): precise keyword classification, operator
+//! clustering beyond `::`, macro expansion.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `fn`, `Ordering`, …).
+    Ident,
+    /// A punctuation token; `::` is one token, everything else single-char.
+    Punct,
+    /// A string/char/numeric literal (contents are opaque to the passes).
+    Literal,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token text (for literals, a placeholder).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+    /// The token's kind.
+    pub kind: TokenKind,
+}
+
+/// One line's worth of comment text (a block comment spanning three lines
+/// yields three records, so per-line lookups stay trivial).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line this comment text sits on.
+    pub line: usize,
+    /// The comment text for this line, without the `//`/`/*` framing.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comment text per line (one entry per line a comment touches).
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `source` into tokens and comments. Never fails: unterminated
+/// constructs simply end at EOF (the passes operate on what was seen).
+#[must_use]
+pub fn lex(source: &str) -> LexedFile {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: LexedFile,
+    source: std::marker::PhantomData<&'a str>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Self {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            out: LexedFile::default(),
+            source: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, text: impl Into<String>, line: usize, kind: TokenKind) {
+        self.out.tokens.push(Token {
+            text: text.into(),
+            line,
+            kind,
+        });
+    }
+
+    fn run(mut self) -> LexedFile {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.cooked_string(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_literal(),
+                ':' if self.peek(1) == Some(':') => {
+                    let line = self.line;
+                    self.bump();
+                    self.bump();
+                    self.push("::", line, TokenKind::Punct);
+                }
+                c => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(c.to_string(), line, TokenKind::Punct);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '*' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if c == '\n' {
+                self.out.comments.push(Comment {
+                    line,
+                    text: std::mem::take(&mut text),
+                });
+                self.bump();
+                line = self.line;
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn cooked_string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push("\"…\"", line, TokenKind::Literal);
+    }
+
+    /// `r"…"`, `r#"…"#`, … — called with `pos` on the first `#` or `"`.
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // `r#ident` raw identifier: emit the ident we already consumed
+            // the `r` of; the ident characters follow.
+            self.push("r#", line, TokenKind::Punct);
+            return;
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push("r\"…\"", line, TokenKind::Literal);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push("'…'", line, TokenKind::Literal);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                // `'a'` is a char literal, `'a` (no closing quote after the
+                // ident run) is a lifetime.
+                let mut run = 1usize;
+                while matches!(self.peek(run), Some(c) if c == '_' || c.is_alphanumeric()) {
+                    run += 1;
+                }
+                if self.peek(run) == Some('\'') {
+                    for _ in 0..=run {
+                        self.bump();
+                    }
+                    self.push("'…'", line, TokenKind::Literal);
+                } else {
+                    for _ in 0..run {
+                        self.bump();
+                    }
+                    // Lifetimes carry no signal for the passes; drop them.
+                }
+            }
+            Some(c) => {
+                // `'('` and friends: a one-char literal.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                let _ = c;
+                self.push("'…'", line, TokenKind::Literal);
+            }
+            None => {}
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                self.bump();
+            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                // `1.5` continues the literal; `0..10` does not.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push("0", line, TokenKind::Literal);
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String/char-literal prefixes: `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+        // `b'…'`.
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "b", Some('"')) | ("r" | "br", Some('#')) => self.raw_string(),
+            ("b", Some('\'')) => self.char_or_lifetime(),
+            _ => self.push(text, line, TokenKind::Ident),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // unsafe in a comment
+            /* Ordering::Relaxed in a block
+               over two lines */
+            let s = "unsafe { Ordering::SeqCst }";
+            let r = r#"vec![unsafe]"#;
+            let c = 'u';
+            fn real() { unsafe { } }
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|t| *t == "unsafe").count(), 1);
+        assert!(!ids.contains(&"Ordering".to_string()));
+        let lexed = lex(src);
+        assert!(lexed.comments.iter().any(|c| c.text.contains("unsafe")));
+        assert_eq!(lexed.comments.len(), 3); // line + two block lines
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; x }";
+        let lexed = lex(src);
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(literals, 1); // only 'x'
+        assert!(lexed.tokens.iter().any(|t| t.text == "str"));
+    }
+
+    #[test]
+    fn float_vs_range_lexing() {
+        let src = "let a = 1.5; for i in 0..10 { }";
+        let lexed = lex(src);
+        // `..` survives as two punct dots; 1.5 is one literal.
+        let dots = lexed.tokens.iter().filter(|t| t.text == ".").count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn path_separator_is_one_token() {
+        let lexed = lex("Ordering::Relaxed");
+        let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["Ordering", "::", "Relaxed"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_strings() {
+        let src = "let s = \"a\nb\nc\";\nunsafe {}";
+        let lexed = lex(src);
+        let site = lexed.tokens.iter().find(|t| t.text == "unsafe").unwrap();
+        assert_eq!(site.line, 4);
+    }
+}

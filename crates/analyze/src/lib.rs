@@ -1,0 +1,143 @@
+//! `pof-analyze` — the workspace invariant linter.
+//!
+//! The store's correctness story rests on invariants the test suite can
+//! only witness dynamically: off-lock rebuilds published with a single
+//! `Arc` swap, wait-free snapshot reads, allocation-free steady-state
+//! probes, and atomic orderings that are each *individually* argued
+//! correct. This crate checks those invariants structurally, on every
+//! build, with four passes over `crates/*/src` (and `crates/*/tests` for
+//! the unsafe ledger):
+//!
+//! 1. **unsafe ledger** ([`passes::unsafe_ledger`]) — every `unsafe` site
+//!    carries a `// SAFETY:` comment and is registered (with a
+//!    justification) in `UNSAFE_LEDGER.toml`; count drift and stale
+//!    entries fail.
+//! 2. **atomics audit** ([`passes::atomics`]) — every
+//!    `Ordering::{Relaxed,…,SeqCst}` use in non-test code matches an
+//!    `[[ordering]]` manifest entry naming the atomic and why that
+//!    ordering suffices.
+//! 3. **lock discipline** ([`passes::lock_discipline`]) — inside
+//!    `crates/store/src`, no `Mutex`/`RwLock` guard may be live across a
+//!    rebuild/build/peel-family call (the snapshot-under-brief-lock /
+//!    build-off-lock contract).
+//! 4. **hot-path allocations** ([`passes::no_alloc`]) — functions marked
+//!    `// pof-analyze: no-alloc` contain no lexical allocation outside
+//!    cold/failure branches.
+//!
+//! Everything is hand-rolled (lexer, light parser, TOML-subset reader):
+//! the build is offline, so no `syn`/`toml`. The tool is a *lexical*
+//! analyzer by design — it reads token streams, not types — which keeps it
+//! fast and dependency-free at the price of narrow, documented heuristics;
+//! escape hatches are explicit per-site waivers
+//! (`// pof-analyze: allow(<pass>): <why>`), never silence.
+//!
+//! Run as `cargo run -p pof-analyze -- --check` (CI's `analyze` lane and
+//! `scripts/gates.sh` both do), or `-- --dump` to print ledger skeletons
+//! for unregistered sites.
+
+pub mod ledger;
+pub mod lexer;
+pub mod passes;
+pub mod source;
+
+pub use ledger::Ledger;
+pub use source::SourceFile;
+
+/// The four analysis passes (plus the waiver-syntax check reported under
+/// the pass a malformed waiver belongs to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    /// Pass 1: the unsafe ledger.
+    UnsafeLedger,
+    /// Pass 2: the atomics-ordering audit.
+    Atomics,
+    /// Pass 3: the lock-discipline lint.
+    LockDiscipline,
+    /// Pass 4: the hot-path allocation lint.
+    NoAlloc,
+    /// Malformed `pof-analyze:` directives (not waivable).
+    WaiverSyntax,
+}
+
+impl Pass {
+    /// The name used in waivers and diagnostics.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::UnsafeLedger => "unsafe-ledger",
+            Self::Atomics => "atomics",
+            Self::LockDiscipline => "lock-discipline",
+            Self::NoAlloc => "no-alloc",
+            Self::WaiverSyntax => "waiver-syntax",
+        }
+    }
+
+    /// Parse a waiver's pass name. `WaiverSyntax` is deliberately not
+    /// nameable: a malformed waiver cannot waive itself.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "unsafe-ledger" => Some(Self::UnsafeLedger),
+            "atomics" => Some(Self::Atomics),
+            "lock-discipline" => Some(Self::LockDiscipline),
+            "no-alloc" => Some(Self::NoAlloc),
+            _ => None,
+        }
+    }
+}
+
+/// One finding: file, line, pass, message.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Repo-relative path (or `UNSAFE_LEDGER.toml` for ledger problems).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Which pass found it.
+    pub pass: Pass,
+    /// What is wrong and how to fix (or narrowly waive) it.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.pass.name(),
+            self.message
+        )
+    }
+}
+
+/// Run every pass over `files` against `ledger`, returning diagnostics
+/// sorted by `(file, line)`. Scoping mirrors the driver:
+/// the unsafe pass sees all files; atomics and no-alloc skip
+/// integration-test files; lock discipline runs only on
+/// `crates/store/src`.
+#[must_use]
+pub fn analyze(files: &[SourceFile], ledger: &Ledger) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    diagnostics.extend(passes::unsafe_ledger::check(files, ledger));
+    diagnostics.extend(passes::atomics::check(files, ledger));
+    for file in files.iter().filter(|f| !f.is_test_file()) {
+        diagnostics.extend(passes::no_alloc::check(file));
+        if file.rel_path.starts_with("crates/store/src") {
+            diagnostics.extend(passes::lock_discipline::check(file));
+        }
+    }
+    for file in files {
+        for (line, problem) in source::scan_waiver_syntax(file) {
+            diagnostics.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line,
+                pass: Pass::WaiverSyntax,
+                message: problem,
+            });
+        }
+    }
+    diagnostics.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    diagnostics
+}

@@ -1,0 +1,207 @@
+//! The `pof-analyze` CLI.
+//!
+//! `cargo run -p pof-analyze -- --check` walks `crates/*/src` and
+//! `crates/*/tests`, loads `UNSAFE_LEDGER.toml` from the workspace root,
+//! runs the four passes and exits non-zero on any diagnostic.
+//! `-- --dump` prints ledger skeletons for every discovered unsafe site
+//! and ordering use instead (the seeding workflow for new code).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pof_analyze::passes::{atomics, unsafe_ledger};
+use pof_analyze::{analyze, Ledger, SourceFile};
+
+fn main() -> ExitCode {
+    let mut dump = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => dump = false,
+            "--dump" => dump = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let root = match root.map_or_else(find_workspace_root, Ok) {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("pof-analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let files = match load_sources(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("pof-analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if dump {
+        dump_skeleton(&files);
+        return ExitCode::SUCCESS;
+    }
+    let ledger_path = root.join("UNSAFE_LEDGER.toml");
+    let ledger_text = match std::fs::read_to_string(&ledger_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "pof-analyze: cannot read {}: {e} (run with --dump to generate a skeleton)",
+                ledger_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let ledger = match Ledger::parse(&ledger_text) {
+        Ok(ledger) => ledger,
+        Err(e) => {
+            eprintln!("pof-analyze: UNSAFE_LEDGER.toml: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diagnostics = analyze(&files, &ledger);
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    if diagnostics.is_empty() {
+        println!(
+            "pof-analyze: {} file(s) clean (unsafe-ledger, atomics, lock-discipline, no-alloc)",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "pof-analyze: {} diagnostic(s) across {} file(s)",
+            diagnostics.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+const USAGE: &str = "\
+pof-analyze — workspace invariant linter
+
+USAGE:
+    cargo run -p pof-analyze -- [--check | --dump] [--root <dir>]
+
+    --check      run the four passes against UNSAFE_LEDGER.toml (default)
+    --dump       print ledger skeletons for every unsafe site / ordering use
+    --root <dir> workspace root (default: walk up from the current directory)
+";
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("pof-analyze: {problem}\n{USAGE}");
+    ExitCode::FAILURE
+}
+
+/// Walk up from the current directory to the first one holding both a
+/// `Cargo.toml` and a `crates/` directory.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let start =
+        std::env::current_dir().map_err(|e| format!("cannot read current directory: {e}"))?;
+    let mut dir = start.as_path();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(format!(
+                    "no workspace root (Cargo.toml + crates/) above {}",
+                    start.display()
+                ))
+            }
+        }
+    }
+}
+
+/// Collect every `.rs` file under `crates/*/src` and `crates/*/tests`,
+/// sorted by repo-relative path.
+fn load_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut paths = Vec::new();
+    let crates_dir = root.join("crates");
+    let crates = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    for krate in crates {
+        let krate = krate.map_err(|e| format!("readdir: {e}"))?.path();
+        for sub in ["src", "tests"] {
+            collect_rs(&krate.join(sub), &mut paths);
+        }
+    }
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push(SourceFile::parse(&rel, &source));
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return; // a crate without a tests/ directory is fine
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Print `[[unsafe]]` / `[[ordering]]` skeletons for everything found, so
+/// seeding the ledger for new code is copy-paste plus writing the *why*.
+fn dump_skeleton(files: &[SourceFile]) {
+    use std::collections::BTreeMap;
+    let mut unsafe_groups: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut ordering_groups: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    for file in files {
+        for site in unsafe_ledger::scan(file) {
+            *unsafe_groups
+                .entry((file.rel_path.clone(), site.context))
+                .or_insert(0) += 1;
+        }
+        if !file.is_test_file() {
+            for usage in atomics::scan(file) {
+                *ordering_groups
+                    .entry((file.rel_path.clone(), usage.atomic, usage.ordering))
+                    .or_insert(0) += 1;
+            }
+        }
+    }
+    for ((file, context), count) in &unsafe_groups {
+        println!("[[unsafe]]");
+        println!("file = \"{file}\"");
+        println!("context = \"{context}\"");
+        println!("count = {count}");
+        println!("justification = \"\"");
+        println!();
+    }
+    for ((file, atomic, ordering), count) in &ordering_groups {
+        println!("[[ordering]]");
+        println!("file = \"{file}\"");
+        println!("atomic = \"{atomic}\"");
+        println!("ordering = \"{ordering}\"");
+        println!("count = {count}");
+        println!("why = \"\"");
+        println!();
+    }
+}

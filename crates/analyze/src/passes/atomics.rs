@@ -1,0 +1,137 @@
+//! Pass 2 — the atomics-ordering audit.
+//!
+//! Every `Ordering::{Relaxed, Acquire, Release, AcqRel, SeqCst}` use in
+//! non-test code must match an `[[ordering]]` manifest entry naming the
+//! atomic it is applied to and why that ordering suffices. A new use, a
+//! changed ordering, or a use on a new atomic fails until it is justified;
+//! manifest entries whose uses disappeared fail as stale.
+
+use std::collections::BTreeMap;
+
+use crate::ledger::Ledger;
+use crate::lexer::TokenKind;
+use crate::passes::atomic_receiver;
+use crate::source::SourceFile;
+use crate::{Diagnostic, Pass};
+
+/// The atomic memory orderings (deliberately disjoint from
+/// `cmp::Ordering`'s `Less`/`Equal`/`Greater`, so no path disambiguation is
+/// needed).
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One discovered ordering use.
+#[derive(Debug, Clone)]
+pub struct OrderingUse {
+    /// The atomic the ordering is applied to (receiver identifier).
+    pub atomic: String,
+    /// The ordering name.
+    pub ordering: String,
+    /// 1-based line of the use.
+    pub line: usize,
+}
+
+/// Find every atomic-ordering use in `file`'s non-test code.
+#[must_use]
+pub fn scan(file: &SourceFile) -> Vec<OrderingUse> {
+    let tokens = &file.lex.tokens;
+    let mut uses = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident || tokens[i].text != "Ordering" {
+            continue;
+        }
+        if tokens.get(i + 1).map(|t| t.text.as_str()) != Some("::") {
+            continue;
+        }
+        let Some(variant) = tokens.get(i + 2) else {
+            continue;
+        };
+        if !ORDERINGS.contains(&variant.text.as_str()) {
+            continue;
+        }
+        if file.is_test_code(tokens[i].line) {
+            continue;
+        }
+        uses.push(OrderingUse {
+            atomic: atomic_receiver(tokens, i),
+            ordering: variant.text.clone(),
+            line: tokens[i].line,
+        });
+    }
+    uses
+}
+
+/// Check all `files` against the ledger's `[[ordering]]` section.
+/// Integration-test files are out of scope (orderings in tests exercise,
+/// rather than implement, the concurrency contract).
+#[must_use]
+pub fn check(files: &[SourceFile], ledger: &Ledger) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    // (file, atomic, ordering) -> (count, first line)
+    let mut groups: BTreeMap<(String, String, String), (usize, usize)> = BTreeMap::new();
+    for file in files.iter().filter(|f| !f.is_test_file()) {
+        for usage in scan(file) {
+            if file.waived(Pass::Atomics, usage.line) {
+                continue;
+            }
+            let entry = groups
+                .entry((file.rel_path.clone(), usage.atomic, usage.ordering))
+                .or_insert((0, usage.line));
+            entry.0 += 1;
+        }
+    }
+    for ((file, atomic, ordering), (count, line)) in &groups {
+        match ledger
+            .orderings
+            .iter()
+            .find(|e| &e.file == file && &e.atomic == atomic && &e.ordering == ordering)
+        {
+            None => diagnostics.push(Diagnostic {
+                file: file.clone(),
+                line: *line,
+                pass: Pass::Atomics,
+                message: format!(
+                    "undeclared `Ordering::{ordering}` on `{atomic}` ({count} use(s)); \
+                     add an [[ordering]] entry to UNSAFE_LEDGER.toml saying why it suffices"
+                ),
+            }),
+            Some(entry) if entry.count != *count => diagnostics.push(Diagnostic {
+                file: file.clone(),
+                line: *line,
+                pass: Pass::Atomics,
+                message: format!(
+                    "ordering count drift for `{atomic}` / `{ordering}`: manifest says {}, \
+                     found {count}; re-justify and update the entry",
+                    entry.count
+                ),
+            }),
+            Some(entry) if entry.why.trim().is_empty() => diagnostics.push(Diagnostic {
+                file: "UNSAFE_LEDGER.toml".to_owned(),
+                line: entry.line,
+                pass: Pass::Atomics,
+                message: format!(
+                    "[[ordering]] entry for `{file}` `{atomic}` `{ordering}` has no `why`"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for entry in &ledger.orderings {
+        let key = (
+            entry.file.clone(),
+            entry.atomic.clone(),
+            entry.ordering.clone(),
+        );
+        if !groups.contains_key(&key) {
+            diagnostics.push(Diagnostic {
+                file: "UNSAFE_LEDGER.toml".to_owned(),
+                line: entry.line,
+                pass: Pass::Atomics,
+                message: format!(
+                    "stale [[ordering]] entry: no `Ordering::{}` use on `{}` in `{}` any more",
+                    entry.ordering, entry.atomic, entry.file
+                ),
+            });
+        }
+    }
+    diagnostics
+}

@@ -1,0 +1,104 @@
+//! The four invariant passes. Each pass takes parsed
+//! [`SourceFile`](crate::SourceFile)s (plus the ledger where relevant) and
+//! returns [`Diagnostic`](crate::Diagnostic)s; the driver in `lib.rs`
+//! decides which files each pass sees.
+
+pub mod atomics;
+pub mod lock_discipline;
+pub mod no_alloc;
+pub mod unsafe_ledger;
+
+use crate::lexer::{Token, TokenKind};
+
+/// Scan backward from `index` for the open parenthesis of the innermost
+/// enclosing call, returning the token index of that `(`, or `None` when
+/// `index` is not inside any parenthesized group (stopping at `{`/`[`
+/// boundaries and at statement separators).
+#[must_use]
+pub(crate) fn enclosing_open_paren(tokens: &[Token], index: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for j in (0..index).rev() {
+        match tokens[j].text.as_str() {
+            ")" | "]" | "}" => depth += 1,
+            "(" => {
+                if depth == 0 {
+                    return Some(j);
+                }
+                depth -= 1;
+            }
+            "[" | "{" => {
+                if depth == 0 {
+                    return None;
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// For an `Ordering::X` use at token `index` (the `Ordering` ident), name
+/// the atomic it applies to: the receiver identifier of the enclosing
+/// method call (`self.inserts.fetch_add(…)` → `inserts`), or the callee
+/// itself for free functions (`fence(Ordering::SeqCst)` → `fence`).
+/// Falls back to `"<static>"` when no enclosing call exists (const tables,
+/// match arms).
+#[must_use]
+pub(crate) fn atomic_receiver(tokens: &[Token], index: usize) -> String {
+    let mut at = index;
+    // Walk outward through enclosing calls until one is a recognizable
+    // method/function call; `(Ordering::Relaxed)` grouping parens have no
+    // callee ident before them and we keep walking.
+    while let Some(open) = enclosing_open_paren(tokens, at) {
+        if open == 0 {
+            break;
+        }
+        let callee = &tokens[open - 1];
+        if callee.kind != TokenKind::Ident {
+            at = open;
+            continue;
+        }
+        // Method call: `receiver.method(…)` — name the receiver.
+        if open >= 3 && tokens[open - 2].text == "." && tokens[open - 3].kind == TokenKind::Ident {
+            return tokens[open - 3].text.clone();
+        }
+        // `path::func(…)` or bare `func(…)` — name the callee.
+        return callee.text.clone();
+    }
+    "<static>".to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn receiver_of(src: &str) -> String {
+        let tokens = lex(src).tokens;
+        let idx = tokens.iter().position(|t| t.text == "Ordering").unwrap();
+        atomic_receiver(&tokens, idx)
+    }
+
+    #[test]
+    fn receiver_extraction_handles_real_shapes() {
+        assert_eq!(
+            receiver_of("self.inserts.fetch_add(n as u64, Ordering::Relaxed);"),
+            "inserts"
+        );
+        assert_eq!(
+            receiver_of("self.stall.fetch_max(t.elapsed().as_nanos() as u64, Ordering::Relaxed);"),
+            "stall"
+        );
+        assert_eq!(
+            receiver_of("x: level.compacted_in.load(Ordering::Relaxed),"),
+            "compacted_in"
+        );
+        assert_eq!(receiver_of("fence(Ordering::SeqCst);"), "fence");
+        assert_eq!(
+            receiver_of("const X: Ordering = Ordering::SeqCst;"),
+            "<static>"
+        );
+    }
+}

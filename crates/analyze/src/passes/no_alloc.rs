@@ -1,0 +1,194 @@
+//! Pass 4 — the hot-path allocation lint.
+//!
+//! Functions annotated with a `// pof-analyze: no-alloc` marker are the
+//! store's steady-state read kernels (`contains_batch_with`, the staged
+//! probe pipelines, the `ProbeScratch`/`ProbePlan` helpers): the
+//! allocation-counting test proves them allocation-free *dynamically* on
+//! one path; this pass keeps them that way *lexically* on every path. A
+//! marked function must not contain `Vec::new`, `vec![`, `.to_vec()`,
+//! `.collect::<Vec…>()`, `Box::new`, `String::…`, `.to_string()` or
+//! `format!` — except inside `panic!`/`assert!`-style cold branches,
+//! `#[cold]` items, or under an explicit waiver.
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+use crate::{Diagnostic, Pass};
+
+/// Macros/methods whose argument position is a cold or failure branch:
+/// allocating while building a panic message is fine.
+const COLD_CALLEES: [&str; 10] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "expect",
+];
+
+/// Describe the banned construct at token `index`, if any.
+fn banned_at(tokens: &[Token], index: usize) -> Option<&'static str> {
+    let text = tokens[index].text.as_str();
+    let next = |k: usize| tokens.get(index + k).map(|t| t.text.as_str());
+    match text {
+        "Vec" if next(1) == Some("::") && next(2) == Some("new") => Some("Vec::new"),
+        "Vec" if next(1) == Some("::") && next(2) == Some("with_capacity") => {
+            Some("Vec::with_capacity")
+        }
+        "vec" if next(1) == Some("!") => Some("vec![…]"),
+        "to_vec" if next(1) == Some("(") => Some(".to_vec()"),
+        "to_string" if next(1) == Some("(") => Some(".to_string()"),
+        "collect" if next(1) == Some("::") && next(2) == Some("<") && next(3) == Some("Vec") => {
+            Some("collect::<Vec…>")
+        }
+        "Box" if next(1) == Some("::") && next(2) == Some("new") => Some("Box::new"),
+        "String" if next(1) == Some("::") => Some("String::…"),
+        "format" if next(1) == Some("!") => Some("format!"),
+        _ => None,
+    }
+}
+
+/// Is token `index` inside the argument list of a cold/failure callee
+/// (scanning outward through enclosing parens within the function body)?
+fn in_cold_branch(tokens: &[Token], body_open: usize, index: usize) -> bool {
+    let mut at = index;
+    while let Some(open) =
+        crate::passes::enclosing_open_paren(&tokens[body_open..=index], at - body_open)
+            .map(|rel| rel + body_open)
+    {
+        // The callee sits before the `(`, optionally with a `!` between.
+        let mut callee = open.checked_sub(1);
+        if callee.is_some_and(|c| tokens[c].text == "!") {
+            callee = callee.and_then(|c| c.checked_sub(1));
+        }
+        if let Some(c) = callee {
+            if tokens[c].kind == TokenKind::Ident && COLD_CALLEES.contains(&tokens[c].text.as_str())
+            {
+                return true;
+            }
+        }
+        if open == body_open || open == at {
+            break;
+        }
+        at = open;
+    }
+    false
+}
+
+/// Does an (attribute-adjacent) `#[cold]` annotate the item at `fn_token`?
+fn is_cold_fn(file: &SourceFile, fn_line: usize) -> bool {
+    let mut line = fn_line.saturating_sub(1);
+    while line >= 1 && file.is_annotation_line(line) {
+        if file
+            .lines
+            .get(line - 1)
+            .is_some_and(|l| l.contains("#[cold]"))
+        {
+            return true;
+        }
+        line -= 1;
+    }
+    false
+}
+
+/// Check one file: resolve each `no-alloc` marker to the next function and
+/// lint that function's body.
+#[must_use]
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let tokens = &file.lex.tokens;
+    let mut diagnostics = Vec::new();
+    for marker_line in file.no_alloc_marker_lines() {
+        // The marked function: first fn starting after the marker with only
+        // annotation lines (docs, attributes) in between.
+        let target = file
+            .fns
+            .iter()
+            .filter(|f| f.start_line > marker_line)
+            .min_by_key(|f| f.start_line)
+            .filter(|f| (marker_line + 1..f.start_line).all(|line| file.is_annotation_line(line)));
+        let Some(target) = target else {
+            diagnostics.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: marker_line,
+                pass: Pass::NoAlloc,
+                message: "dangling `pof-analyze: no-alloc` marker: no function follows it"
+                    .to_owned(),
+            });
+            continue;
+        };
+        let Some((open, close)) = target.body else {
+            continue;
+        };
+        for i in open..=close {
+            let Some(what) = banned_at(tokens, i) else {
+                continue;
+            };
+            let line = tokens[i].line;
+            if file.waived(Pass::NoAlloc, line)
+                || in_cold_branch(tokens, open, i)
+                || enclosing_cold_item(file, target.fn_token, i)
+            {
+                continue;
+            }
+            diagnostics.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line,
+                pass: Pass::NoAlloc,
+                message: format!(
+                    "`{what}` in no-alloc fn `{}`; hot read paths must reuse scratch buffers \
+                     (move the allocation out, or waive a cold branch with \
+                     `// pof-analyze: allow(no-alloc): <why>`)",
+                    target.name
+                ),
+            });
+        }
+    }
+    diagnostics
+}
+
+/// Is token `index` inside a nested `#[cold]` function of the marked fn?
+fn enclosing_cold_item(file: &SourceFile, marked_fn_token: usize, index: usize) -> bool {
+    file.enclosing_fn(index).is_some_and(|inner| {
+        inner.fn_token != marked_fn_token && is_cold_fn(file, inner.start_line)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::parse("crates/store/src/x.rs", src))
+    }
+
+    #[test]
+    fn allocation_in_marked_fn_is_flagged() {
+        let bad = "// pof-analyze: no-alloc\nfn hot() { let v = Vec::new(); use_it(v); }";
+        assert_eq!(diags(bad).len(), 1);
+        let clean = "// pof-analyze: no-alloc\nfn hot(buf: &mut Vec<u32>) { buf.clear(); buf.resize(8, 0); }";
+        assert!(diags(clean).is_empty());
+    }
+
+    #[test]
+    fn unmarked_fns_are_not_linted() {
+        let src = "fn cold_setup() { let v = vec![1, 2, 3]; use_it(v); }";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn panic_branches_are_cold() {
+        let src = "// pof-analyze: no-alloc\nfn hot(n: usize) { assert!(n < 8, \"bad n: {}\", format!(\"{n}\")); work(n); }";
+        assert!(diags(src).is_empty());
+    }
+
+    #[test]
+    fn dangling_marker_is_reported() {
+        let src = "// pof-analyze: no-alloc\nconst X: u32 = 3;";
+        let d = diags(src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("dangling"));
+    }
+}

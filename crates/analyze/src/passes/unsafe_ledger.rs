@@ -1,0 +1,170 @@
+//! Pass 1 — the unsafe ledger.
+//!
+//! Every `unsafe` token (block, fn, impl, trait) must (a) carry a
+//! `// SAFETY:` comment (a `# Safety` doc section also counts) directly
+//! above it, and (b) be registered in `UNSAFE_LEDGER.toml` under its
+//! `(file, context)` with a matching count and a non-empty justification.
+//! Unregistered sites, count drift (a new unsafe block slipped into an
+//! already-registered function) and stale ledger entries all fail.
+
+use std::collections::BTreeMap;
+
+use crate::ledger::Ledger;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::{Diagnostic, Pass};
+
+/// One discovered `unsafe` site.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// The enclosing function name, or the `impl`/`trait` header for
+    /// `unsafe impl`/`unsafe trait` items.
+    pub context: String,
+    /// 1-based line of the `unsafe` token.
+    pub line: usize,
+    /// Whether a `SAFETY:` comment (or `# Safety` doc section) covers it.
+    pub has_safety: bool,
+}
+
+/// How many annotation lines above a site we search for its `SAFETY:`
+/// comment. Generous enough for a doc block plus `#[inline]` /
+/// `#[target_feature(...)]` attribute stacks; a comment further away than
+/// this is not *about* the site.
+const SAFETY_LOOKBACK_LINES: usize = 16;
+
+/// Find every `unsafe` site in `file`.
+#[must_use]
+pub fn scan(file: &SourceFile) -> Vec<UnsafeSite> {
+    let tokens = &file.lex.tokens;
+    let mut sites = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        let next = tokens.get(i + 1).map(|t| t.text.as_str());
+        let context = match next {
+            Some("impl" | "trait") => header_context(file, i + 1),
+            Some("fn") => tokens
+                .get(i + 2)
+                .map_or_else(|| "<fn>".to_owned(), |t| t.text.clone()),
+            _ => file
+                .enclosing_fn(i)
+                .map_or_else(|| "<module>".to_owned(), |f| f.name.clone()),
+        };
+        sites.push(UnsafeSite {
+            context,
+            line: tok.line,
+            has_safety: has_safety_comment(file, tok.line),
+        });
+    }
+    sites
+}
+
+/// `impl Trait for Type` / `trait Name` header text, from the token at
+/// `start` to the body brace.
+fn header_context(file: &SourceFile, start: usize) -> String {
+    let mut parts = Vec::new();
+    for tok in &file.lex.tokens[start..] {
+        if tok.text == "{" || tok.text == ";" || parts.len() >= 8 {
+            break;
+        }
+        parts.push(tok.text.clone());
+    }
+    parts.join(" ")
+}
+
+/// Walk upward from the site through comment/attribute/blank lines looking
+/// for a `SAFETY:` marker (or rustdoc's `# Safety` section heading).
+fn has_safety_comment(file: &SourceFile, site_line: usize) -> bool {
+    let mentions_safety = |line: usize| {
+        file.comment_on(line)
+            .is_some_and(|text| text.contains("SAFETY:") || text.contains("# Safety"))
+    };
+    if mentions_safety(site_line) {
+        return true;
+    }
+    let mut line = site_line.saturating_sub(1);
+    let floor = site_line.saturating_sub(SAFETY_LOOKBACK_LINES);
+    while line >= floor.max(1) && file.is_annotation_line(line) {
+        if mentions_safety(line) {
+            return true;
+        }
+        line -= 1;
+    }
+    false
+}
+
+/// Check all `files` against the ledger's `[[unsafe]]` section.
+#[must_use]
+pub fn check(files: &[SourceFile], ledger: &Ledger) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    // (file, context) -> (count, first line)
+    let mut groups: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
+    for file in files {
+        for site in scan(file) {
+            if !site.has_safety && !file.waived(Pass::UnsafeLedger, site.line) {
+                diagnostics.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line: site.line,
+                    pass: Pass::UnsafeLedger,
+                    message: format!(
+                        "unsafe site in `{}` has no `// SAFETY:` comment",
+                        site.context
+                    ),
+                });
+            }
+            let entry = groups
+                .entry((file.rel_path.clone(), site.context.clone()))
+                .or_insert((0, site.line));
+            entry.0 += 1;
+        }
+    }
+    for ((file, context), (count, line)) in &groups {
+        match ledger
+            .unsafes
+            .iter()
+            .find(|e| &e.file == file && &e.context == context)
+        {
+            None => diagnostics.push(Diagnostic {
+                file: file.clone(),
+                line: *line,
+                pass: Pass::UnsafeLedger,
+                message: format!(
+                    "unregistered unsafe site(s) in `{context}` ({count} token(s)); \
+                     add an [[unsafe]] entry to UNSAFE_LEDGER.toml"
+                ),
+            }),
+            Some(entry) if entry.count != *count => diagnostics.push(Diagnostic {
+                file: file.clone(),
+                line: *line,
+                pass: Pass::UnsafeLedger,
+                message: format!(
+                    "unsafe count drift in `{context}`: ledger says {}, found {count}; \
+                     re-justify and update the entry",
+                    entry.count
+                ),
+            }),
+            Some(entry) if entry.justification.trim().is_empty() => diagnostics.push(Diagnostic {
+                file: "UNSAFE_LEDGER.toml".to_owned(),
+                line: entry.line,
+                pass: Pass::UnsafeLedger,
+                message: format!("[[unsafe]] entry for `{file}` `{context}` has no justification"),
+            }),
+            Some(_) => {}
+        }
+    }
+    for entry in &ledger.unsafes {
+        if !groups.contains_key(&(entry.file.clone(), entry.context.clone())) {
+            diagnostics.push(Diagnostic {
+                file: "UNSAFE_LEDGER.toml".to_owned(),
+                line: entry.line,
+                pass: Pass::UnsafeLedger,
+                message: format!(
+                    "stale [[unsafe]] entry: no unsafe site in `{}` `{}` any more",
+                    entry.file, entry.context
+                ),
+            });
+        }
+    }
+    diagnostics
+}

@@ -1,0 +1,406 @@
+//! A lexed source file plus the light structure the passes share: function
+//! spans, `#[cfg(test)]` spans, per-line comments, waivers and markers.
+
+use crate::lexer::{lex, LexedFile, Token, TokenKind};
+use crate::Pass;
+
+/// A function item discovered in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_token: usize,
+    /// Token index range `(open, close)` of the body braces; `None` for
+    /// bodyless declarations (trait method signatures).
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub start_line: usize,
+}
+
+/// One parsed source file, ready for the passes.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the repo root, with `/` separators.
+    pub rel_path: String,
+    /// Raw source lines (for comment/attribute adjacency checks).
+    pub lines: Vec<String>,
+    /// The token/comment stream.
+    pub lex: LexedFile,
+    /// Function items in source order.
+    pub fns: Vec<FnSpan>,
+    /// Line ranges (inclusive) of `#[cfg(test)]` items.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lex and structure `text` as the file at `rel_path`.
+    #[must_use]
+    pub fn parse(rel_path: &str, text: &str) -> Self {
+        let lex = lex(text);
+        let lines = text.lines().map(str::to_owned).collect();
+        let fns = find_fns(&lex.tokens);
+        let test_spans = find_test_spans(&lex.tokens);
+        Self {
+            rel_path: rel_path.to_owned(),
+            lines,
+            lex,
+            fns,
+            test_spans,
+        }
+    }
+
+    /// Is this file an integration-test file (under a crate's `tests/` dir)?
+    #[must_use]
+    pub fn is_test_file(&self) -> bool {
+        self.rel_path.contains("/tests/")
+    }
+
+    /// Is `line` inside a `#[cfg(test)]` item (or is the whole file tests)?
+    #[must_use]
+    pub fn is_test_code(&self, line: usize) -> bool {
+        self.is_test_file()
+            || self
+                .test_spans
+                .iter()
+                .any(|&(start, end)| (start..=end).contains(&line))
+    }
+
+    /// All comment text on `line`, concatenated.
+    #[must_use]
+    pub fn comment_on(&self, line: usize) -> Option<String> {
+        let parts: Vec<&str> = self
+            .lex
+            .comments
+            .iter()
+            .filter(|c| c.line == line)
+            .map(|c| c.text.as_str())
+            .collect();
+        if parts.is_empty() {
+            None
+        } else {
+            Some(parts.join(" "))
+        }
+    }
+
+    /// Does a `// pof-analyze: allow(<pass>): reason` waiver cover `line`?
+    /// The waiver must sit on the flagged line itself or the line directly
+    /// above it — deliberately narrow, so one waiver cannot blanket a file.
+    #[must_use]
+    pub fn waived(&self, pass: Pass, line: usize) -> bool {
+        self.lex
+            .comments
+            .iter()
+            .filter(|c| c.line == line || c.line + 1 == line)
+            .any(|c| {
+                parse_waiver(&c.text).is_some_and(|(p, reason)| p == pass && !reason.is_empty())
+            })
+    }
+
+    /// Lines carrying a `// pof-analyze: no-alloc` marker.
+    #[must_use]
+    pub fn no_alloc_marker_lines(&self) -> Vec<usize> {
+        self.lex
+            .comments
+            .iter()
+            .filter(|c| directive(&c.text).is_some_and(|rest| rest.trim() == "no-alloc"))
+            .map(|c| c.line)
+            .collect()
+    }
+
+    /// The innermost function whose body contains token index `index`.
+    #[must_use]
+    pub fn enclosing_fn(&self, index: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| {
+                f.body
+                    .is_some_and(|(open, close)| (open..=close).contains(&index))
+            })
+            .min_by_key(|f| f.body.map_or(usize::MAX, |(open, close)| close - open))
+    }
+
+    /// Is `line` blank, or only comments/attributes — i.e. skippable when
+    /// walking upward from a construct toward its doc/`SAFETY:` block?
+    #[must_use]
+    pub fn is_annotation_line(&self, line: usize) -> bool {
+        let Some(text) = self.lines.get(line.saturating_sub(1)) else {
+            return false;
+        };
+        let trimmed = text.trim();
+        trimmed.is_empty()
+            || trimmed.starts_with("//")
+            || trimmed.starts_with("#[")
+            || trimmed.starts_with("#!")
+            || trimmed.starts_with("/*")
+            || trimmed.starts_with('*')
+            || trimmed.starts_with("*/")
+            || trimmed == ")]"
+    }
+}
+
+/// The directive payload of a comment, if the comment *is* a directive:
+/// after stripping doc-comment framing (`/`, `!`) and whitespace, the text
+/// must begin with `pof-analyze:`. Prose that merely mentions the marker
+/// mid-sentence (docs, this crate's own comments) is not a directive.
+fn directive(comment_text: &str) -> Option<&str> {
+    comment_text
+        .trim_start_matches(['/', '!', ' ', '\t'])
+        .strip_prefix("pof-analyze:")
+}
+
+/// Parse `pof-analyze: allow(<pass>): reason` out of one comment's text.
+/// Returns the pass and the (trimmed) reason; `None` if the text holds no
+/// waiver at all. An unknown pass name maps to `None` too — the driver
+/// reports malformed waivers separately via [`scan_waiver_syntax`].
+#[must_use]
+pub fn parse_waiver(text: &str) -> Option<(Pass, String)> {
+    let rest = directive(text)?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let (name, tail) = rest.split_once(')')?;
+    let pass = Pass::from_name(name.trim())?;
+    let reason = tail.trim_start_matches(':').trim();
+    Some((pass, reason.to_owned()))
+}
+
+/// Diagnose malformed `pof-analyze:` comments: unknown pass names, missing
+/// reasons, or directives that are neither waivers nor the `no-alloc`
+/// marker. A waiver that silently fails to parse would otherwise *widen*
+/// the gate it meant to narrow.
+#[must_use]
+pub fn scan_waiver_syntax(file: &SourceFile) -> Vec<(usize, String)> {
+    let mut problems = Vec::new();
+    for comment in &file.lex.comments {
+        let Some(rest) = directive(&comment.text) else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest == "no-alloc" {
+            continue;
+        }
+        if let Some(tail) = rest.strip_prefix("allow(") {
+            match tail.split_once(')') {
+                Some((name, reason)) if Pass::from_name(name.trim()).is_none() => {
+                    let _ = reason;
+                    problems.push((
+                        comment.line,
+                        format!("waiver names unknown pass `{}`", name.trim()),
+                    ));
+                }
+                Some((_, reason)) if reason.trim_start_matches(':').trim().is_empty() => {
+                    problems.push((
+                        comment.line,
+                        "waiver has no reason; write `allow(<pass>): <why>`".to_owned(),
+                    ));
+                }
+                Some(_) => {}
+                None => problems.push((
+                    comment.line,
+                    "unterminated waiver; write `allow(<pass>): <why>`".to_owned(),
+                )),
+            }
+        } else {
+            problems.push((
+                comment.line,
+                format!("unrecognized pof-analyze directive `{rest}`"),
+            ));
+        }
+    }
+    problems
+}
+
+/// Discover function items: `fn name … { body }` (and bodyless `fn name …;`).
+fn find_fns(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    for i in 0..tokens.len() {
+        if tokens[i].kind != TokenKind::Ident || tokens[i].text != "fn" {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            continue; // `fn(u32) -> u32` type position
+        }
+        // Scan to the body `{` (or a `;` for a bodyless declaration) at
+        // paren/bracket depth 0; the signature itself cannot contain braces.
+        let mut depth = 0i32;
+        let mut body = None;
+        for (j, tok) in tokens.iter().enumerate().skip(i + 2) {
+            match tok.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => break,
+                "{" if depth == 0 => {
+                    body = close_brace(tokens, j).map(|close| (j, close));
+                    break;
+                }
+                _ => {}
+            }
+        }
+        fns.push(FnSpan {
+            name: name_tok.text.clone(),
+            fn_token: i,
+            body,
+            start_line: tokens[i].line,
+        });
+    }
+    fns
+}
+
+/// Token index of the `}` matching the `{` at `open`.
+#[must_use]
+pub fn close_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, tok) in tokens.iter().enumerate().skip(open) {
+        match tok.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Line ranges of items annotated `#[cfg(test)]` (usually `mod tests`).
+fn find_test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text != "#" || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+            i += 1;
+            continue;
+        }
+        // Collect this attribute group and note whether it is cfg(test).
+        let mut depth = 0i32;
+        let mut is_cfg = false;
+        let mut has_test = false;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "[" | "(" => depth += 1,
+                ")" => depth -= 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "cfg" => is_cfg = true,
+                "test" => has_test = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !(is_cfg && has_test) {
+            i = j + 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Skip any further attributes, then span the item to its `{…}` body
+        // (or its `;` for `mod tests;`).
+        let mut k = j + 1;
+        while k + 1 < tokens.len() && tokens[k].text == "#" && tokens[k + 1].text == "[" {
+            let mut adepth = 0i32;
+            while k < tokens.len() {
+                match tokens[k].text.as_str() {
+                    "[" | "(" => adepth += 1,
+                    ")" | "]" => {
+                        adepth -= 1;
+                        if adepth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut depth = 0i32;
+        let mut end_line = start_line;
+        while k < tokens.len() {
+            match tokens[k].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => {
+                    end_line = tokens[k].line;
+                    break;
+                }
+                "{" if depth == 0 => {
+                    if let Some(close) = close_brace(tokens, k) {
+                        end_line = tokens[close].line;
+                        k = close;
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        spans.push((start_line, end_line));
+        i = k + 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_spans_and_nesting() {
+        let src = "fn outer() {\n    fn inner() { body(); }\n    tail();\n}\nfn decl();";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src);
+        let names: Vec<_> = file.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner", "decl"]);
+        assert!(file.fns[2].body.is_none());
+        // `body()` resolves to `inner`, `tail()` to `outer`.
+        let body_idx = file
+            .lex
+            .tokens
+            .iter()
+            .position(|t| t.text == "body")
+            .unwrap();
+        assert_eq!(file.enclosing_fn(body_idx).unwrap().name, "inner");
+        let tail_idx = file
+            .lex
+            .tokens
+            .iter()
+            .position(|t| t.text == "tail")
+            .unwrap();
+        assert_eq!(file.enclosing_fn(tail_idx).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_the_module() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}\n";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(!file.is_test_code(1));
+        assert!(file.is_test_code(4));
+        assert!(file.is_test_code(6));
+    }
+
+    #[test]
+    fn waivers_are_narrow_and_typed() {
+        let src = "// pof-analyze: allow(atomics): counter is advisory\nlet x = 1;\nlet y = 2;\n";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src);
+        assert!(file.waived(Pass::Atomics, 2));
+        assert!(!file.waived(Pass::Atomics, 3));
+        assert!(!file.waived(Pass::UnsafeLedger, 2));
+    }
+
+    #[test]
+    fn malformed_waivers_are_reported() {
+        let src = "// pof-analyze: allow(atomics)\n// pof-analyze: allow(nope): x\n// pof-analyze: frobnicate\n// pof-analyze: no-alloc\n";
+        let file = SourceFile::parse("crates/x/src/lib.rs", src);
+        let problems = scan_waiver_syntax(&file);
+        assert_eq!(problems.len(), 3);
+        assert_eq!(file.no_alloc_marker_lines(), vec![4]);
+    }
+}

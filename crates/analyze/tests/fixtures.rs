@@ -1,0 +1,308 @@
+//! Fixture-driven proof that every gate is live: for each of the four
+//! passes, a seeded violation must produce a diagnostic and its clean twin
+//! must not. A gate that cannot fail is no gate at all, so these tests are
+//! the acceptance evidence for the analyzer itself.
+
+use pof_analyze::{analyze, Ledger, Pass, SourceFile};
+
+fn empty_ledger() -> Ledger {
+    Ledger::parse("").expect("empty ledger parses")
+}
+
+fn diags_for(files: &[(&str, &str)], ledger: &Ledger) -> Vec<pof_analyze::Diagnostic> {
+    let parsed: Vec<SourceFile> = files
+        .iter()
+        .map(|(path, src)| SourceFile::parse(path, src))
+        .collect();
+    analyze(&parsed, ledger)
+}
+
+fn has(diags: &[pof_analyze::Diagnostic], pass: Pass) -> bool {
+    diags.iter().any(|d| d.pass == pass)
+}
+
+// ---------------------------------------------------------- unsafe ledger
+
+const UNSAFE_BAD: &str = r#"
+pub fn read_lane(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}
+"#;
+
+const UNSAFE_CLEAN: &str = r#"
+pub fn read_lane(ptr: *const u32) -> u32 {
+    // SAFETY: caller guarantees `ptr` points at a live, aligned u32.
+    unsafe { *ptr }
+}
+"#;
+
+const UNSAFE_CLEAN_LEDGER: &str = r#"
+[[unsafe]]
+file = "crates/demo/src/lib.rs"
+context = "read_lane"
+count = 1
+justification = "Caller contract: live, aligned pointer."
+"#;
+
+#[test]
+fn unsafe_pass_flags_unregistered_and_uncommented_site() {
+    let diags = diags_for(&[("crates/demo/src/lib.rs", UNSAFE_BAD)], &empty_ledger());
+    assert!(
+        has(&diags, Pass::UnsafeLedger),
+        "seeded violation not flagged"
+    );
+    // Both problems are reported: no SAFETY comment and no ledger entry.
+    assert!(diags.iter().any(|d| d.message.contains("SAFETY")));
+    assert!(diags.iter().any(|d| d.message.contains("unregistered")));
+}
+
+#[test]
+fn unsafe_pass_accepts_commented_and_registered_twin() {
+    let ledger = Ledger::parse(UNSAFE_CLEAN_LEDGER).expect("ledger parses");
+    let diags = diags_for(&[("crates/demo/src/lib.rs", UNSAFE_CLEAN)], &ledger);
+    assert!(diags.is_empty(), "clean twin flagged: {diags:?}");
+}
+
+#[test]
+fn unsafe_pass_reports_count_drift_and_stale_entries() {
+    let two_sites = r#"
+pub fn read_two(ptr: *const u32) -> u32 {
+    // SAFETY: caller guarantees both reads are in bounds.
+    unsafe { *ptr + *ptr.add(1) }
+}
+"#;
+    // Ledger registers one token, source has... still one `unsafe` token —
+    // use a second unsafe block instead.
+    let two_blocks = r#"
+pub fn read_two(ptr: *const u32) -> u32 {
+    // SAFETY: caller guarantees the read is in bounds.
+    let a = unsafe { *ptr };
+    // SAFETY: caller guarantees the second read is in bounds.
+    let b = unsafe { *ptr.add(1) };
+    a + b
+}
+"#;
+    let _ = two_sites;
+    let ledger = Ledger::parse(
+        r#"
+[[unsafe]]
+file = "crates/demo/src/lib.rs"
+context = "read_two"
+count = 1
+justification = "One registered block."
+
+[[unsafe]]
+file = "crates/demo/src/gone.rs"
+context = "vanished"
+count = 1
+justification = "The site this entry covered was deleted."
+"#,
+    )
+    .expect("ledger parses");
+    let diags = diags_for(&[("crates/demo/src/lib.rs", two_blocks)], &ledger);
+    assert!(diags.iter().any(|d| d.message.contains("count drift")));
+    assert!(diags.iter().any(|d| d.message.contains("stale")));
+}
+
+// -------------------------------------------------------------- atomics
+
+const ATOMICS_BAD: &str = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+pub struct Stats { hits: AtomicU64 }
+impl Stats {
+    pub fn bump(&self) { self.hits.fetch_add(1, Ordering::Relaxed); }
+}
+"#;
+
+const ATOMICS_LEDGER: &str = r#"
+[[ordering]]
+file = "crates/demo/src/lib.rs"
+atomic = "hits"
+ordering = "Relaxed"
+count = 1
+why = "Statistics counter; no cross-thread edge needed."
+"#;
+
+#[test]
+fn atomics_pass_flags_undeclared_ordering() {
+    let diags = diags_for(&[("crates/demo/src/lib.rs", ATOMICS_BAD)], &empty_ledger());
+    assert!(has(&diags, Pass::Atomics), "seeded violation not flagged");
+}
+
+#[test]
+fn atomics_pass_accepts_declared_twin() {
+    let ledger = Ledger::parse(ATOMICS_LEDGER).expect("ledger parses");
+    let diags = diags_for(&[("crates/demo/src/lib.rs", ATOMICS_BAD)], &ledger);
+    assert!(diags.is_empty(), "declared twin flagged: {diags:?}");
+}
+
+#[test]
+fn atomics_pass_reports_ordering_drift() {
+    // Manifest says Relaxed; the code moved to SeqCst: both the undeclared
+    // new ordering and the stale old entry must surface.
+    let seqcst = ATOMICS_BAD.replace("Relaxed", "SeqCst");
+    let ledger = Ledger::parse(ATOMICS_LEDGER).expect("ledger parses");
+    let diags = diags_for(&[("crates/demo/src/lib.rs", &seqcst)], &ledger);
+    assert!(diags.iter().any(|d| d.message.contains("undeclared")));
+    assert!(diags.iter().any(|d| d.message.contains("stale")));
+}
+
+#[test]
+fn atomics_pass_ignores_test_code() {
+    let in_tests = r#"
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    #[test]
+    fn t() {
+        let x = AtomicU64::new(0);
+        x.store(1, Ordering::SeqCst);
+    }
+}
+"#;
+    let diags = diags_for(&[("crates/demo/src/lib.rs", in_tests)], &empty_ledger());
+    assert!(diags.is_empty(), "test-code ordering flagged: {diags:?}");
+}
+
+// ------------------------------------------------------- lock discipline
+
+const LOCK_BAD: &str = r#"
+pub fn grow(&self) {
+    let mut writer = self.writer.lock().expect("poisoned");
+    writer.rebuild_inline(1024, false);
+}
+"#;
+
+const LOCK_CLEAN: &str = r#"
+pub fn grow(&self) {
+    let plan = {
+        let writer = self.writer.lock().expect("poisoned");
+        writer.snapshot_plan(1024)
+    };
+    let filter = build_shard_filter(&plan);
+    self.publish(filter);
+}
+"#;
+
+#[test]
+fn lock_pass_flags_guard_held_across_rebuild() {
+    let diags = diags_for(&[("crates/store/src/demo.rs", LOCK_BAD)], &empty_ledger());
+    assert!(
+        has(&diags, Pass::LockDiscipline),
+        "seeded violation not flagged"
+    );
+}
+
+#[test]
+fn lock_pass_accepts_snapshot_then_build_off_lock() {
+    let diags = diags_for(&[("crates/store/src/demo.rs", LOCK_CLEAN)], &empty_ledger());
+    assert!(diags.is_empty(), "clean twin flagged: {diags:?}");
+}
+
+#[test]
+fn lock_pass_only_runs_inside_store_src() {
+    // The same pattern outside crates/store/src is out of scope.
+    let diags = diags_for(&[("crates/bloom/src/demo.rs", LOCK_BAD)], &empty_ledger());
+    assert!(!has(&diags, Pass::LockDiscipline));
+}
+
+#[test]
+fn lock_pass_honors_waiver_with_reason() {
+    let waived = r#"
+pub fn grow(&self) {
+    let mut writer = self.writer.lock().expect("poisoned");
+    // pof-analyze: allow(lock-discipline): inline mode rebuilds under the writer lock by contract
+    writer.rebuild_inline(1024, false);
+}
+"#;
+    let diags = diags_for(&[("crates/store/src/demo.rs", waived)], &empty_ledger());
+    assert!(diags.is_empty(), "waived call still flagged: {diags:?}");
+}
+
+// --------------------------------------------------------------- no-alloc
+
+const ALLOC_BAD: &str = r#"
+// pof-analyze: no-alloc
+pub fn probe_hot(keys: &[u32]) -> usize {
+    let copies = keys.to_vec();
+    copies.len()
+}
+"#;
+
+const ALLOC_CLEAN: &str = r#"
+// pof-analyze: no-alloc
+pub fn probe_hot(keys: &[u32], scratch: &mut [u32]) -> usize {
+    let n = keys.len().min(scratch.len());
+    scratch[..n].copy_from_slice(&keys[..n]);
+    n
+}
+"#;
+
+#[test]
+fn no_alloc_pass_flags_allocation_in_marked_fn() {
+    let diags = diags_for(&[("crates/demo/src/lib.rs", ALLOC_BAD)], &empty_ledger());
+    assert!(has(&diags, Pass::NoAlloc), "seeded violation not flagged");
+}
+
+#[test]
+fn no_alloc_pass_accepts_scratch_reuse_twin() {
+    let diags = diags_for(&[("crates/demo/src/lib.rs", ALLOC_CLEAN)], &empty_ledger());
+    assert!(diags.is_empty(), "clean twin flagged: {diags:?}");
+}
+
+#[test]
+fn no_alloc_pass_permits_panic_message_allocation() {
+    let cold = r#"
+// pof-analyze: no-alloc
+pub fn probe_hot(keys: &[u32]) -> usize {
+    assert!(!keys.is_empty(), "empty batch: {}", format!("{керов:?}", керов = keys.len()));
+    keys.len()
+}
+"#;
+    // (identifier is deliberately non-ASCII to exercise the lexer, too)
+    let diags = diags_for(&[("crates/demo/src/lib.rs", cold)], &empty_ledger());
+    assert!(
+        diags.is_empty(),
+        "cold-branch allocation flagged: {diags:?}"
+    );
+}
+
+// -------------------------------------------------------- waiver hygiene
+
+#[test]
+fn malformed_waivers_are_diagnosed_not_ignored() {
+    let bad_waiver = r#"
+pub fn grow(&self) {
+    let mut writer = self.writer.lock().expect("poisoned");
+    // pof-analyze: allow(lock-disciplin): typo in the pass name
+    writer.rebuild_inline(1024, false);
+}
+"#;
+    let diags = diags_for(&[("crates/store/src/demo.rs", bad_waiver)], &empty_ledger());
+    // The typo'd waiver waives nothing, and is itself reported.
+    assert!(has(&diags, Pass::LockDiscipline));
+    assert!(has(&diags, Pass::WaiverSyntax));
+}
+
+#[test]
+fn reasonless_waivers_do_not_waive() {
+    let no_reason = r#"
+pub fn grow(&self) {
+    let mut writer = self.writer.lock().expect("poisoned");
+    // pof-analyze: allow(lock-discipline):
+    writer.rebuild_inline(1024, false);
+}
+"#;
+    let diags = diags_for(&[("crates/store/src/demo.rs", no_reason)], &empty_ledger());
+    assert!(has(&diags, Pass::LockDiscipline));
+    assert!(has(&diags, Pass::WaiverSyntax));
+}
+
+// ----------------------------------------------------------- ledger file
+
+#[test]
+fn ledger_parser_rejects_unknown_tables_and_keys() {
+    assert!(Ledger::parse("[[frobnicate]]\n").is_err());
+    assert!(Ledger::parse("[[unsafe]]\nfile = \"x\"\nbogus = 1\n").is_err());
+    assert!(Ledger::parse("[[ordering]]\ncount = \"not an int\"\n").is_err());
+}

@@ -102,6 +102,8 @@ mod avx2 {
     /// Reduce eight 32-bit hash values to block indexes according to the
     /// filter's modulus (bitwise AND for powers of two, multiply–shift for
     /// magic addressing — the SIMD form of Eq. 9).
+    // SAFETY: register-only AVX2 arithmetic, no memory access; reachable
+    // only through `dispatch`'s runtime feature check.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn reduce(h: __m256i, modulus: &Modulus) -> __m256i {
@@ -128,6 +130,8 @@ mod avx2 {
 
     /// Advance the per-lane bit-addressing stream and return its top `nbits`
     /// bits — the SIMD twin of `blocked::next_bits`.
+    // SAFETY: register-only AVX2 arithmetic on caller-owned lane state;
+    // reachable only through `dispatch`'s runtime feature check.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn next_bits(state: &mut __m256i, step: __m256i, nbits: u32) -> __m256i {
@@ -137,6 +141,9 @@ mod avx2 {
     }
 
     /// Append the qualifying lanes of an 8-lane comparison result to `sel`.
+    // SAFETY: unsafe only for the `target_feature` contract — the body is
+    // plain safe code writing through a borrowed selection vector; reachable
+    // only through `dispatch`'s runtime feature check.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn push_lanes(sel: &mut SelectionVector, base: usize, lane_mask: i32) {

@@ -18,6 +18,7 @@ use pof_filter::probe::{prefetch_read, ProbePlan};
 use pof_filter::SelectionVector;
 
 /// Run the staged kernel over `keys`, appending qualifying positions to `sel`.
+// pof-analyze: no-alloc
 pub(crate) fn contains_batch_staged(
     filter: &BlockedBloom,
     keys: &[u32],

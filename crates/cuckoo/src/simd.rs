@@ -76,6 +76,8 @@ mod avx2 {
 
     /// Reduce eight 32-bit hash values to bucket indexes (AND for powers of
     /// two, multiply–shift for magic addressing).
+    // SAFETY: register-only AVX2 arithmetic, no memory access; reachable
+    // only through `dispatch`'s runtime feature check.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn reduce(h: __m256i, modulus: &Modulus) -> __m256i {
@@ -100,6 +102,8 @@ mod avx2 {
     }
 
     /// MurmurHash3 finalizer per lane — the SIMD twin of `pof_hash::mix32`.
+    // SAFETY: register-only AVX2 arithmetic, no memory access; reachable
+    // only through `dispatch`'s runtime feature check.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn mix32(mut v: __m256i) -> __m256i {
@@ -112,6 +116,8 @@ mod avx2 {
 
     /// Per-lane test whether a 32-bit bucket word contains the lane's
     /// signature, for signature widths 8, 16 or 32.
+    // SAFETY: register-only AVX2 compares on already-loaded bucket words;
+    // reachable only through `dispatch`'s runtime feature check.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn bucket_matches(bucket: __m256i, sig: __m256i, signature_bits: u32) -> __m256i {

@@ -70,6 +70,9 @@ pub fn staged_worthwhile(batch_len: usize, filter_bytes: u64) -> bool {
 /// answers, just without the latency hiding).
 #[inline(always)]
 pub fn prefetch_read<T>(slot: &T) {
+    // SAFETY: `_mm_prefetch` is purely a hint with no architectural side
+    // effects — it cannot fault even on an invalid address, so any pointer
+    // (here a valid reference) is sound to pass.
     #[cfg(target_arch = "x86_64")]
     unsafe {
         use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
@@ -147,6 +150,7 @@ impl ProbePlan {
     /// The staged kernels call this with `2 · distance` and split each lane
     /// into two chunk-sized halves (hash into one half while probing from
     /// the other).
+    // pof-analyze: no-alloc
     pub fn lanes(&mut self, len: usize) -> [&mut [u64]; 3] {
         for lane in &mut self.lanes {
             if lane.len() < len {

@@ -509,6 +509,7 @@ impl Shard {
         let (removed, mut observable) = writer.delete_many(keys);
         if removed > 0 {
             if let RebuildDecision::Rebuild { capacity } = writer.policy_decision_on_delete() {
+                // pof-analyze: allow(lock-discipline): inline mode rebuilds under the writer lock by contract; background/queued modes only mint a ticket here and build off-lock
                 if !writer.rebuild_or_request(capacity, true) {
                     observable = true;
                 }
@@ -535,6 +536,7 @@ impl Shard {
     pub(crate) fn maintain(&self) -> MaintainOutcome {
         let mut writer = self.writer.lock().expect("writer lock poisoned");
         if let RebuildDecision::Rebuild { capacity } = writer.policy_decision_on_maintain() {
+            // pof-analyze: allow(lock-discipline): inline mode rebuilds under the writer lock by contract; background/queued modes only mint a ticket here and build off-lock
             if writer.rebuild_or_request(capacity, false) {
                 MaintainOutcome::Requested(writer.ticket.take().expect("request leaves a ticket"))
             } else {
@@ -696,6 +698,7 @@ impl Shard {
         writer.config = target.config;
         writer.bits_per_key = target.bits_per_key;
         writer.counting = target.counting;
+        // pof-analyze: allow(lock-discipline): synchronous stores migrate inline under the writer lock by design (this branch is the RebuildMode::Inline fallback)
         writer.rebuild_inline(capacity, false);
         writer.budget_fpr = budget_fpr_for(&writer.config, writer.capacity, writer.bits_per_key);
         writer.migrations += 1;

@@ -768,6 +768,7 @@ impl StoreSnapshot {
     /// results to [`Filter::contains_batch`], but the routing buffers (and
     /// the caller's `sel`) are reused across calls, so steady-state batched
     /// lookups perform **zero heap allocations** once the buffers are warm.
+    // pof-analyze: no-alloc
     pub fn contains_batch_with(
         &self,
         keys: &[u32],

@@ -349,6 +349,7 @@ impl TieredStore {
     /// [`Self::contains_batch`] through caller-owned scratch buffers:
     /// identical results, but the cascade's routing buffers (and each
     /// level's shard-routing scratch) are reused across calls.
+    // pof-analyze: no-alloc
     pub fn contains_batch_with(
         &self,
         keys: &[u32],

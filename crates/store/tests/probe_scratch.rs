@@ -19,7 +19,11 @@ struct CountingAllocator;
 static ARMED: AtomicBool = AtomicBool::new(false);
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: every method forwards the caller's pointer/layout to `System`
+// unchanged; the only extra work is a Relaxed counter bump, which cannot
+// violate the `GlobalAlloc` contract.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: delegates to `System.alloc` under the caller's contract.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
@@ -27,6 +31,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
         System.alloc(layout)
     }
 
+    // SAFETY: delegates to `System.alloc_zeroed` under the caller's contract.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
@@ -34,6 +39,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: delegates to `System.realloc`; ptr/layout validity is the
+    // caller's obligation, forwarded unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
@@ -41,6 +48,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: delegates to `System.dealloc`; ptr was allocated by this
+    // allocator (which is `System` underneath) with the same layout.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }

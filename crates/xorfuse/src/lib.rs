@@ -434,6 +434,7 @@ impl<F: Fingerprint> BinaryFuse<F> {
     }
 
     /// Scalar batched lookup (reference path for the staged kernel).
+    // pof-analyze: no-alloc
     pub fn contains_batch_scalar(&self, keys: &[u32], sel: &mut SelectionVector) {
         if self.keys == 0 {
             return;
@@ -467,6 +468,7 @@ impl<F: Fingerprint> BinaryFuse<F> {
     /// Selections are bit-for-bit identical to
     /// [`Self::contains_batch_scalar`]. [`Filter::contains_batch`] routes
     /// here automatically for large batches against large filters.
+    // pof-analyze: no-alloc
     pub fn contains_batch_staged(
         &self,
         keys: &[u32],
@@ -708,6 +710,7 @@ impl FuseFilter {
     }
 
     /// See [`BinaryFuse::contains_batch_scalar`].
+    // pof-analyze: no-alloc
     pub fn contains_batch_scalar(&self, keys: &[u32], sel: &mut SelectionVector) {
         match self {
             Self::Fp8(f) => f.contains_batch_scalar(keys, sel),
@@ -716,6 +719,7 @@ impl FuseFilter {
     }
 
     /// See [`BinaryFuse::contains_batch_staged`].
+    // pof-analyze: no-alloc
     pub fn contains_batch_staged(
         &self,
         keys: &[u32],
