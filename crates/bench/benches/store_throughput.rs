@@ -32,9 +32,9 @@ use pof_cuckoo::{CuckooAddressing, CuckooConfig};
 use pof_filter::probe::ProbePlan;
 use pof_filter::{KeyGen, SelectionVector};
 use pof_store::{
-    BloomDeleteMode, DeferredBatch, FprDrift, LevelSpec, RebuildMode, RebuildPolicy,
-    SaturationDoubling, ShardedFilterStore, StoreBuilder, TieredProbeScratch, TieredStore,
-    TieredStoreBuilder,
+    BloomDeleteMode, DeferredBatch, FprDrift, LevelSpec, PersistOptions, RebuildMode,
+    RebuildPolicy, SaturationDoubling, ShardedFilterStore, StoreBuilder, StoreOptions,
+    TieredProbeScratch, TieredStore, TieredStoreBuilder,
 };
 use serde::Value;
 use std::collections::VecDeque;
@@ -595,13 +595,119 @@ fn mass_probe_cell(
     }
     let scalar_rate = (reps * batch) as f64 / start.elapsed().as_secs_f64();
     std::hint::black_box(sink);
+    // Which kernel the family-aware automatic routing would pick for this
+    // cell — recorded so scripts/check_mass_probe.py can gate the *decision*
+    // (the routed kernel must not be the losing one), which is exactly the
+    // regression shape the fuse footprint floor fixed.
+    let routed_staged = pof_filter::probe::staged_worthwhile_for(
+        pof_filter::Filter::kind(filter),
+        batch,
+        pof_filter::Filter::size_bits(filter) / 8,
+    );
     vec![
         ("family".into(), Value::Str(family.into())),
         ("batch".into(), Value::U64(batch as u64)),
         ("staged_mops".into(), Value::F64(staged_rate / 1e6)),
         ("scalar_mops".into(), Value::F64(scalar_rate / 1e6)),
         ("speedup".into(), Value::F64(staged_rate / scalar_rate)),
+        (
+            "routed".into(),
+            Value::Str(if routed_staged { "staged" } else { "scalar" }.into()),
+        ),
         ("hits".into(), Value::U64(hits)),
+    ]
+}
+
+/// Scratch directory for one persistence cell, recreated empty.
+fn persistence_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pof-bench-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench persistence dir");
+    dir
+}
+
+/// One recorded persistence cell at `n` keys: snapshot write bandwidth,
+/// mmap-open recovery versus the cold in-memory rebuild the store would pay
+/// without persistence, and the pure WAL replay rate (journal-only recovery,
+/// no snapshot). Every recovery path asserts the exact recovered key count
+/// before anything is recorded.
+fn persistence_cell(n: usize) -> Vec<(String, Value)> {
+    let options = || StoreOptions {
+        shard_count: 8,
+        capacity_per_shard: (n / 8).max(64),
+        ..StoreOptions::default()
+    };
+    let persist = || PersistOptions {
+        wal_rotate_records: 0,
+        ..PersistOptions::durable()
+    };
+    let mut gen = KeyGen::new(0x5EED ^ n as u64);
+    let keys = gen.distinct_keys(n);
+
+    // Snapshot write bandwidth, then mmap-open recovery of that snapshot.
+    let dir = persistence_dir(&format!("snap-{n}"));
+    let store = ShardedFilterStore::open_with(&dir, options(), persist()).expect("fresh open");
+    store.insert_batch(&keys);
+    let start = Instant::now();
+    store.persist_checkpoint().expect("bench checkpoint");
+    let write_secs = start.elapsed().as_secs_f64();
+    let snapshot_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("read bench dir")
+        .filter_map(Result::ok)
+        .filter(|entry| entry.path().extension().is_some_and(|ext| ext == "snap"))
+        .filter_map(|entry| entry.metadata().ok())
+        .map(|meta| meta.len())
+        .sum();
+    drop(store);
+    let start = Instant::now();
+    let recovered = ShardedFilterStore::open(&dir, options()).expect("mmap recovery");
+    let mmap_open_secs = start.elapsed().as_secs_f64();
+    assert_eq!(recovered.key_count(), n, "mmap recovery lost keys");
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The cold baseline: rebuild the same store from the raw key set, the
+    // start-up cost a process without snapshots pays on every boot.
+    let start = Instant::now();
+    let cold = ShardedFilterStore::from_options(options());
+    cold.insert_batch(&keys);
+    let cold_secs = start.elapsed().as_secs_f64();
+    assert_eq!(cold.key_count(), n, "cold rebuild lost keys");
+    drop(cold);
+
+    // Pure WAL replay: a journal holding every insert and no snapshot at
+    // all — the worst-case recovery tail a crash right before the first
+    // checkpoint leaves behind.
+    let dir = persistence_dir(&format!("wal-{n}"));
+    let store = ShardedFilterStore::open_with(&dir, options(), persist()).expect("fresh open");
+    for chunk in keys.chunks(4096) {
+        store.insert_batch(chunk);
+    }
+    drop(store);
+    let start = Instant::now();
+    let replayed = ShardedFilterStore::open(&dir, options()).expect("wal replay recovery");
+    let replay_secs = start.elapsed().as_secs_f64();
+    assert_eq!(replayed.key_count(), n, "wal replay lost keys");
+    drop(replayed);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    vec![
+        ("keys".into(), Value::U64(n as u64)),
+        ("snapshot_bytes".into(), Value::U64(snapshot_bytes)),
+        (
+            "snapshot_write_mb_s".into(),
+            Value::F64(snapshot_bytes as f64 / 1e6 / write_secs.max(1e-9)),
+        ),
+        ("mmap_open_ms".into(), Value::F64(mmap_open_secs * 1e3)),
+        ("cold_rebuild_ms".into(), Value::F64(cold_secs * 1e3)),
+        (
+            "mmap_open_speedup".into(),
+            Value::F64(cold_secs / mmap_open_secs.max(1e-9)),
+        ),
+        (
+            "wal_replay_mkeys_s".into(),
+            Value::F64(n as f64 / 1e6 / replay_secs.max(1e-9)),
+        ),
     ]
 }
 
@@ -1317,6 +1423,28 @@ fn write_bench_json(path: &str) {
             mass_probe.push(Value::Map(cell));
         }
     }
+    // The persistence sweep: snapshot write bandwidth, mmap-open vs
+    // cold-rebuild recovery, WAL replay rate. The 2^21-key cell is the
+    // headline: opening the mapped snapshot must beat rebuilding the store
+    // from the raw key set.
+    let mut persistence: Vec<Value> = Vec::new();
+    for n in if quick() {
+        vec![1usize << 16, 1 << 21]
+    } else {
+        vec![1usize << 16, 1 << 18, 1 << 21]
+    } {
+        let cell = persistence_cell(n);
+        eprintln!(
+            "persistence {n} keys: snapshot {:.0} MB/s, mmap open {:.1} ms vs cold rebuild \
+             {:.1} ms ({:.1}x), WAL replay {:.2} Mkeys/s",
+            cell_f64(&cell, "snapshot_write_mb_s"),
+            cell_f64(&cell, "mmap_open_ms"),
+            cell_f64(&cell, "cold_rebuild_ms"),
+            cell_f64(&cell, "mmap_open_speedup"),
+            cell_f64(&cell, "wal_replay_mkeys_s"),
+        );
+        persistence.push(Value::Map(cell));
+    }
     let document = Value::Map(vec![
         ("bench".into(), Value::Str("store_lifecycle_sweep".into())),
         (
@@ -1416,6 +1544,23 @@ fn write_bench_json(path: &str) {
             ),
         ),
         ("mass_probe".into(), Value::Seq(mass_probe)),
+        (
+            "persistence_workload".into(),
+            Value::Str(
+                "durability round-trips per key count (fsync every batch, manual \
+                 checkpoints): snapshot_write_mb_s times persist_checkpoint over the \
+                 summed .snap bytes it produced; mmap_open_ms reopens the checkpointed \
+                 directory (header-checksummed snapshots mapped zero-copy, empty WAL) \
+                 versus cold_rebuild_ms re-inserting the same raw key set into a fresh \
+                 in-memory store — at the 2^21-key cell the mapped open must win \
+                 (mmap_open_speedup > 1); wal_replay_mkeys_s recovers from a journal \
+                 holding every insert with no snapshot at all, the worst-case tail a \
+                 crash before the first checkpoint leaves. Every recovery asserts the \
+                 exact recovered key count before timing is recorded"
+                    .into(),
+            ),
+        ),
+        ("persistence".into(), Value::Seq(persistence)),
     ]);
     let json = serde_json::to_string_pretty(&document).expect("bench JSON serialization");
     // `cargo bench` runs with the package directory as CWD; anchor relative

@@ -189,6 +189,54 @@ impl BlockedBloom {
         }
     }
 
+    /// Borrow the raw bit-array words for snapshot serialization: the words
+    /// are the filter's entire probe-side state, stored little-endian on
+    /// disk so a persisted snapshot is byte-identical to the live array.
+    #[must_use]
+    pub fn snapshot_words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Borrow the counting sidecar, if one is attached — snapshot
+    /// serialization persists it alongside the bit array so counting shards
+    /// keep deleting after recovery.
+    #[must_use]
+    pub fn counting_sidecar(&self) -> Option<&CountingSidecar> {
+        self.counting.as_deref()
+    }
+
+    /// Rebuild a filter from persisted raw parts. `m_bits` must be the
+    /// granular size a previous instance reported via `Filter::size_bits`
+    /// (the addressing round-up is idempotent, so re-deriving the layout
+    /// from it reproduces the original block count); `words` is the bit
+    /// array from [`Self::snapshot_words`]. Fails when the word count or
+    /// sidecar width does not match the derived layout — the snapshot was
+    /// written by a different configuration.
+    pub fn restore(
+        config: BloomConfig,
+        m_bits: u64,
+        keys_inserted: u64,
+        words: Vec<u64>,
+        counting: Option<CountingSidecar>,
+    ) -> Result<Self, &'static str> {
+        let mut filter = Self::new(config, m_bits);
+        if filter.size_bits() != m_bits {
+            return Err("snapshot size is not a valid addressing layout");
+        }
+        if filter.data.len() != words.len() {
+            return Err("bit-array word count does not match the addressing layout");
+        }
+        if let Some(sidecar) = &counting {
+            if sidecar.len() != m_bits {
+                return Err("counting sidecar width does not match the filter");
+            }
+        }
+        filter.data = words;
+        filter.keys_inserted = keys_inserted;
+        filter.counting = counting.map(Box::new);
+        Ok(filter)
+    }
+
     /// Raw block storage, exposed to the SIMD kernels.
     #[inline(always)]
     pub(crate) fn words(&self) -> &[u64] {

@@ -131,6 +131,48 @@ impl ClassicBloom {
         pof_filter::probe::prefetch_lines(&self.words);
     }
 
+    /// Borrow the raw bit-array words for snapshot serialization.
+    #[must_use]
+    pub fn snapshot_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Borrow the counting sidecar, if one is attached (persisted alongside
+    /// the bit array so counting shards keep deleting after recovery).
+    #[must_use]
+    pub fn counting_sidecar(&self) -> Option<&CountingSidecar> {
+        self.counting.as_deref()
+    }
+
+    /// Rebuild a filter from persisted raw parts. `m_bits` must be the
+    /// word-rounded size a previous instance reported (`size_bits`), so the
+    /// re-derived layout matches; fails when `words` or the sidecar width
+    /// disagrees with it.
+    pub fn restore(
+        m_bits: u64,
+        k: u32,
+        keys_inserted: u64,
+        words: Vec<u64>,
+        counting: Option<CountingSidecar>,
+    ) -> Result<Self, &'static str> {
+        let mut filter = Self::new(m_bits, k);
+        if filter.m_bits != m_bits {
+            return Err("snapshot size is not word-aligned");
+        }
+        if filter.words.len() != words.len() {
+            return Err("bit-array word count does not match the size");
+        }
+        if let Some(sidecar) = &counting {
+            if sidecar.len() != m_bits {
+                return Err("counting sidecar width does not match the filter");
+            }
+        }
+        filter.words = words;
+        filter.keys_inserted = keys_inserted;
+        filter.counting = counting.map(Box::new);
+        Ok(filter)
+    }
+
     /// Clone the read side only (bit array, no counting sidecar): answers
     /// every probe identically, reports `supports_delete() == false`.
     #[must_use]

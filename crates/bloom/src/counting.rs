@@ -154,6 +154,55 @@ impl CountingSidecar {
         *slot += 1;
     }
 
+    /// Export the raw persisted state: `(promoted, counter bytes, stuck
+    /// counter indexes — sorted for deterministic snapshots)`. Together with
+    /// [`Self::len`] this is everything [`Self::restore`] needs.
+    #[must_use]
+    pub fn snapshot_parts(&self) -> (bool, &[u8], Vec<u64>) {
+        let bytes = match &self.counters {
+            Counters::Nibble(v) | Counters::Byte(v) => v.as_slice(),
+        };
+        let mut stuck: Vec<u64> = self.stuck.iter().copied().collect();
+        stuck.sort_unstable();
+        (self.promoted(), bytes, stuck)
+    }
+
+    /// Rebuild a sidecar from the parts exported by
+    /// [`Self::snapshot_parts`]. Validates that the counter array matches
+    /// the claimed width/bit count and that stuck indexes are in range —
+    /// snapshot payloads are CRC-guarded, so a mismatch means version skew,
+    /// not bit rot.
+    pub fn restore(
+        bits: u64,
+        promoted: bool,
+        counters: Vec<u8>,
+        stuck: Vec<u64>,
+    ) -> Result<Self, &'static str> {
+        let expected = if promoted {
+            usize::try_from(bits).map_err(|_| "sidecar too large")?
+        } else {
+            usize::try_from(bits.div_ceil(2)).map_err(|_| "sidecar too large")?
+        };
+        if counters.len() != expected {
+            return Err("counter array length does not match bit count");
+        }
+        if !promoted && !stuck.is_empty() {
+            return Err("stuck counters recorded for an unpromoted sidecar");
+        }
+        if stuck.iter().any(|&bit| bit >= bits) {
+            return Err("stuck counter index out of range");
+        }
+        Ok(Self {
+            counters: if promoted {
+                Counters::Byte(counters)
+            } else {
+                Counters::Nibble(counters)
+            },
+            bits,
+            stuck: stuck.into_iter().collect(),
+        })
+    }
+
     /// Decrement counter `bit` (called once per probe bit on delete).
     /// Returns `true` when the counter reached zero — the caller must then
     /// clear the mirrored presence bit. Stuck counters (and, defensively,

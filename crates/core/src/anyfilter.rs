@@ -185,7 +185,7 @@ impl AnyFilter {
         sel: &mut SelectionVector,
         plan: &mut ProbePlan,
     ) {
-        if probe::staged_worthwhile(keys.len(), self.size_bits() / 8) {
+        if probe::staged_worthwhile_for(self.kind(), keys.len(), self.size_bits() / 8) {
             self.contains_batch_staged(keys, sel, plan);
         } else {
             self.contains_batch(keys, sel);

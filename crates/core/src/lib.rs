@@ -47,6 +47,7 @@ pub mod configspace;
 pub mod overhead;
 pub mod platform;
 pub mod skyline;
+pub mod snapshot;
 
 pub use advisor::{
     FamilyHysteresis, FilterAdvisor, LevelRecommendation, LevelSpec, Readvice, Recommendation,
@@ -59,3 +60,4 @@ pub use overhead::Overhead;
 pub use platform::Platform;
 pub use pof_xorfuse::{FuseConfig, FuseFilter, FuseMutation};
 pub use skyline::{Skyline, SkylineGrid, SkylinePoint};
+pub use snapshot::{decode_config, decode_filter, encode_config, encode_filter};

@@ -141,6 +141,54 @@ impl CuckooFilter {
         self.staged_enabled = false;
     }
 
+    /// Borrow the raw slot-storage words for snapshot serialization: the
+    /// packed signature array is the filter's entire probe-side state.
+    #[must_use]
+    pub fn snapshot_words(&self) -> &[u64] {
+        self.slots.words()
+    }
+
+    /// Export the non-array state a snapshot must carry alongside the words:
+    /// `(occupied, keys_inserted, victim_rng, stash)`. Persisting
+    /// `victim_rng` keeps post-recovery eviction chains on the exact
+    /// sequence the live filter would have taken.
+    #[must_use]
+    pub fn snapshot_parts(&self) -> (u64, u64, u32, Option<(u32, u32)>) {
+        (
+            self.occupied,
+            self.keys_inserted,
+            self.victim_rng,
+            self.stash,
+        )
+    }
+
+    /// Rebuild a filter from persisted raw parts. `num_buckets` must be the
+    /// bucket count a previous instance reported via [`Self::num_buckets`]
+    /// (the addressing round-up is idempotent over it); fails when the
+    /// re-derived layout or the word count disagrees with the snapshot.
+    pub fn restore(
+        config: CuckooConfig,
+        num_buckets: u32,
+        words: Vec<u64>,
+        parts: (u64, u64, u32, Option<(u32, u32)>),
+    ) -> Result<Self, &'static str> {
+        let m_bits = u64::from(num_buckets) * u64::from(config.bucket_bits());
+        let mut filter = Self::new(config, m_bits);
+        if filter.num_buckets() != num_buckets {
+            return Err("snapshot bucket count is not a valid addressing layout");
+        }
+        filter.slots.replace_words(words)?;
+        let (occupied, keys_inserted, victim_rng, stash) = parts;
+        if occupied > filter.slots.len() {
+            return Err("occupied slot count exceeds the array");
+        }
+        filter.occupied = occupied;
+        filter.keys_inserted = keys_inserted;
+        filter.victim_rng = victim_rng;
+        filter.stash = stash;
+        Ok(filter)
+    }
+
     /// Raw slot storage (used by the SIMD kernels).
     #[inline(always)]
     pub(crate) fn words(&self) -> &[u64] {

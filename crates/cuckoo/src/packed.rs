@@ -63,6 +63,18 @@ impl PackedArray {
         &self.words
     }
 
+    /// Replace the backing words wholesale (snapshot restore). Fails unless
+    /// `words` has exactly the length this array's `len × width` geometry
+    /// allocates, so a persisted array can only be loaded into an
+    /// identically-shaped one.
+    pub fn replace_words(&mut self, words: Vec<u64>) -> Result<(), &'static str> {
+        if words.len() != self.words.len() {
+            return Err("backing word count does not match the array geometry");
+        }
+        self.words = words;
+        Ok(())
+    }
+
     /// Mask with the low `width` bits set.
     #[inline(always)]
     fn mask(&self) -> u64 {

@@ -52,15 +52,47 @@ pub const STAGED_BATCH_THRESHOLD: usize = 1024;
 /// cannot beat. 2 MiB approximates a current per-core L2.
 pub const STAGED_FOOTPRINT_FLOOR_BYTES: u64 = 2 * 1024 * 1024;
 
+/// Footprint floor for *fuse* filters, far above the generic
+/// [`STAGED_FOOTPRINT_FLOOR_BYTES`]. A fuse probe is three loads confined to
+/// three consecutive `segment_length`-sized windows — locality the recorded
+/// sweeps show the out-of-order core already exploits: `BENCH_store.json`
+/// has fuse8 staged/scalar at 0.66–0.81× across every batch size at
+/// store-scale footprints, i.e. the staging overhead was pure loss. Staging
+/// can only start paying once the segment windows themselves fall out of the
+/// last-level cache, so the floor sits past a large shared LLC; below it
+/// fuse batches stay on the scalar kernel.
+pub const FUSE_STAGED_FOOTPRINT_FLOOR_BYTES: u64 = 64 * 1024 * 1024;
+
 /// Should a batch of `batch_len` keys against a filter occupying
 /// `filter_bytes` take the staged path? True only past both the batch-size
 /// threshold and the footprint floor — the staged kernels trade extra
 /// address arithmetic for hidden miss latency, which is only a win when
 /// there are misses to hide and enough keys to amortise the staging.
+///
+/// This is the family-agnostic policy with the generic footprint floor;
+/// routing that knows the family should call [`staged_worthwhile_for`],
+/// which raises the floor for fuse filters.
 #[inline]
 #[must_use]
 pub fn staged_worthwhile(batch_len: usize, filter_bytes: u64) -> bool {
     batch_len >= STAGED_BATCH_THRESHOLD && filter_bytes >= STAGED_FOOTPRINT_FLOOR_BYTES
+}
+
+/// Family-aware staged routing: like [`staged_worthwhile`], but the
+/// footprint floor depends on the probe shape of the family. Bloom blocks
+/// and Cuckoo buckets scatter uniformly over the whole array, so misses
+/// start as soon as the array outgrows a per-core L2
+/// ([`STAGED_FOOTPRINT_FLOOR_BYTES`]); a fuse probe's three loads land in
+/// three adjacent segment windows whose locality keeps scalar ahead until
+/// far larger footprints ([`FUSE_STAGED_FOOTPRINT_FLOOR_BYTES`]).
+#[inline]
+#[must_use]
+pub fn staged_worthwhile_for(kind: crate::FilterKind, batch_len: usize, filter_bytes: u64) -> bool {
+    let floor = match kind {
+        crate::FilterKind::Bloom | crate::FilterKind::Cuckoo => STAGED_FOOTPRINT_FLOOR_BYTES,
+        crate::FilterKind::Fuse => FUSE_STAGED_FOOTPRINT_FLOOR_BYTES,
+    };
+    batch_len >= STAGED_BATCH_THRESHOLD && filter_bytes >= floor
 }
 
 /// Issue a best-effort software prefetch for the cache line holding `slot`.
@@ -225,6 +257,44 @@ mod tests {
         assert!(!staged_worthwhile(STAGED_BATCH_THRESHOLD - 1, big));
         assert!(!staged_worthwhile(STAGED_BATCH_THRESHOLD, big - 1));
         assert!(!staged_worthwhile(0, 0));
+    }
+
+    #[test]
+    fn family_aware_routing_raises_the_fuse_floor() {
+        use crate::FilterKind;
+        let generic = STAGED_FOOTPRINT_FLOOR_BYTES;
+        // Bloom/Cuckoo keep the generic policy bit for bit.
+        for bytes in [generic - 1, generic, 4 * generic] {
+            for len in [STAGED_BATCH_THRESHOLD - 1, STAGED_BATCH_THRESHOLD] {
+                assert_eq!(
+                    staged_worthwhile_for(FilterKind::Bloom, len, bytes),
+                    staged_worthwhile(len, bytes)
+                );
+                assert_eq!(
+                    staged_worthwhile_for(FilterKind::Cuckoo, len, bytes),
+                    staged_worthwhile(len, bytes)
+                );
+            }
+        }
+        // A store-scale fuse filter (tens of MiB) that the generic policy
+        // would stage stays scalar — the recorded regression shape.
+        assert!(staged_worthwhile(STAGED_BATCH_THRESHOLD, 8 * generic));
+        assert!(!staged_worthwhile_for(
+            FilterKind::Fuse,
+            STAGED_BATCH_THRESHOLD,
+            8 * generic
+        ));
+        // Past the fuse floor the staged path opens up again.
+        assert!(staged_worthwhile_for(
+            FilterKind::Fuse,
+            STAGED_BATCH_THRESHOLD,
+            FUSE_STAGED_FOOTPRINT_FLOOR_BYTES
+        ));
+        assert!(!staged_worthwhile_for(
+            FilterKind::Fuse,
+            STAGED_BATCH_THRESHOLD - 1,
+            FUSE_STAGED_FOOTPRINT_FLOOR_BYTES
+        ));
     }
 
     #[test]

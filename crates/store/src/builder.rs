@@ -504,6 +504,23 @@ impl TieredStoreBuilder {
     /// If no level was declared.
     #[must_use]
     pub fn build(self) -> TieredStore {
+        let (levels, compaction) = self.resolved();
+        let levels = levels
+            .into_iter()
+            .map(|(spec, options)| TierLevel::new(ShardedFilterStore::from_options(options), spec))
+            .collect();
+        TieredStore::from_levels(levels, compaction)
+    }
+
+    /// Resolve every declared level to the [`StoreOptions`] its store would
+    /// be built from, without constructing anything — the shared front half
+    /// of [`Self::build`] and [`TieredStore::open_with`], so a recovered
+    /// store and a freshly built one agree on every knob the disk does not
+    /// record (policies, rebuild mode, re-advising).
+    ///
+    /// # Panics
+    /// If no level was declared.
+    pub(crate) fn resolved(self) -> (Vec<(LevelSpec, StoreOptions)>, Arc<dyn CompactionPolicy>) {
         assert!(
             !self.levels.is_empty(),
             "a tiered store needs at least one level"
@@ -556,19 +573,21 @@ impl TieredStoreBuilder {
                     workload: spec,
                     ..options
                 });
-                let store = ShardedFilterStore::from_options(StoreOptions {
-                    config,
-                    shard_count,
-                    capacity_per_shard,
-                    bits_per_key,
-                    lifecycle: self.lifecycle.clone(),
-                    delete_mode,
-                    readvise,
-                });
-                TierLevel::new(store, spec)
+                (
+                    spec,
+                    StoreOptions {
+                        config,
+                        shard_count,
+                        capacity_per_shard,
+                        bits_per_key,
+                        lifecycle: self.lifecycle.clone(),
+                        delete_mode,
+                        readvise,
+                    },
+                )
             })
             .collect();
-        TieredStore::from_levels(levels, self.compaction)
+        (levels, self.compaction)
     }
 }
 

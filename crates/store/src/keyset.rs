@@ -42,6 +42,21 @@ impl CompactKeySet {
         Self::default()
     }
 
+    /// Rebuild a set from a persisted insertion-ordered key log (assumed
+    /// duplicate-free — it is the `as_ordered_slice()` of a former set). The
+    /// whole log is indexed up front, so the restored set answers membership
+    /// without a tail scan and replays rebuilds in the original order.
+    pub(crate) fn from_ordered(ordered: Vec<u32>) -> Self {
+        let mut sorted = ordered.clone();
+        sorted.sort_unstable();
+        let indexed = ordered.len();
+        Self {
+            ordered,
+            sorted,
+            indexed,
+        }
+    }
+
     /// Number of live keys.
     pub(crate) fn len(&self) -> usize {
         self.ordered.len()

@@ -124,6 +124,7 @@ mod builder;
 mod keyset;
 mod maintainer;
 mod options;
+mod persist;
 mod policy;
 mod readvise;
 mod shard;
@@ -134,6 +135,7 @@ mod tiered;
 pub use builder::{ConfigSource, StoreBuilder, TieredStoreBuilder};
 pub use maintainer::RebuildMode;
 pub use options::{LifecycleOptions, ReadviseOptions, StoreOptions};
+pub use persist::PersistOptions;
 pub use policy::{
     DeferredBatch, FprDrift, RebuildDecision, RebuildPolicy, RebuildUrgency, SaturationDoubling,
     ShardObservation,
@@ -149,3 +151,8 @@ pub use tiered::{
 /// Re-exported so tiered-store callers can describe levels without a direct
 /// `pof-core` dependency.
 pub use pof_core::{LevelRecommendation, LevelSpec};
+
+/// Re-exported so persistence callers (and crash tests) can name the fsync
+/// policy, error type, and fault-injection hooks without a direct
+/// `pof-persist` dependency.
+pub use pof_persist::{FaultInjector, FaultPoint, FsyncPolicy, PersistError};

@@ -1,0 +1,279 @@
+//! Store-side durability: per-shard write-ahead journaling and checkpointed
+//! snapshots, built on `pof-persist`'s file formats.
+//!
+//! # The generation protocol
+//!
+//! Each shard owns an independent sequence of *generations*. Generation `g`
+//! names a consistent cut: snapshot `shard-NNNN.gen-GGGGGGGG.snap` holds the
+//! shard's complete state at the cut, and WAL segment `.gen-GGGGGGGG.wal`
+//! journals every mutation *after* it. The write path appends to the WAL
+//! **before** applying to memory (under the same per-shard journal lock, so
+//! a checkpoint can never slide between append and apply); a checkpoint
+//! captures the shard state and rotates the WAL to `g + 1` under that lock,
+//! then writes snapshot `g + 1` and prunes everything older than `g` — the
+//! previous generation is deliberately retained as the fallback for a torn
+//! newest snapshot.
+//!
+//! Recovery (see [`ShardedFilterStore::open`](crate::ShardedFilterStore::open))
+//! inverts this: map the newest snapshot whose CRCs validate, fall back one
+//! generation past any torn one, replay every WAL segment at or after that
+//! snapshot's generation (oldest first, torn tail dropped), and continue
+//! appending on the newest segment.
+//!
+//! # Crash modeling
+//!
+//! A [`FaultInjector`] armed at one of the four [`FaultPoint`]s kills the
+//! instrumented operation exactly once. After any fault fires the layer is
+//! *dead* — every later persistence call is a silent no-op — so a test can
+//! keep the process alive, drop the store, and reopen the directory as if
+//! the process had crashed at the fault. The faulted batch itself is **not**
+//! applied in memory (a crashed process would not have applied it either),
+//! which keeps the live store and the journal telling the same story.
+
+use crate::shard::Shard;
+use pof_persist::{
+    prune_generations, snapshot_file, wal_file, write_snapshot, FaultInjector, FaultPoint,
+    FsyncPolicy, PersistError, WalOp, WalWriter, WAL_RECORD_BYTES,
+};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Durability knobs for a store opened with
+/// [`ShardedFilterStore::open_with`](crate::ShardedFilterStore::open_with)
+/// or [`TieredStore::open_with`](crate::TieredStore::open_with).
+#[derive(Debug, Clone, Default)]
+pub struct PersistOptions {
+    /// When WAL appends reach stable storage. [`FsyncPolicy::EveryBatch`]
+    /// (default) makes every acknowledged batch crash-durable;
+    /// [`FsyncPolicy::OnCheckpoint`] trades the tail since the last
+    /// checkpoint for append throughput.
+    pub fsync: FsyncPolicy,
+    /// Checkpoint a shard automatically once its WAL segment holds this many
+    /// records (`0` disables the automatic rotation — segments then only
+    /// rotate on [`maintain`](crate::ShardedFilterStore::maintain) or an
+    /// explicit
+    /// [`persist_checkpoint`](crate::ShardedFilterStore::persist_checkpoint)).
+    pub wal_rotate_records: u64,
+    /// Checkpoint every shard as part of
+    /// [`maintain`](crate::ShardedFilterStore::maintain). Defaults off: a
+    /// maintenance round is a latency tool, and a snapshot write per shard
+    /// is exactly the kind of stall it exists to avoid.
+    pub checkpoint_on_maintain: bool,
+    /// Crash-test hook: an armed injector kills the instrumented operation
+    /// once, after which the persistence layer plays dead (see the module
+    /// docs). `None` in production.
+    pub fault: Option<Arc<FaultInjector>>,
+}
+
+impl PersistOptions {
+    /// Default automatic-rotation threshold: checkpoint a shard once its
+    /// WAL holds 64Ki records (~576 KiB of journal to replay on recovery).
+    pub const DEFAULT_WAL_ROTATE_RECORDS: u64 = 64 * 1024;
+
+    /// Durable defaults: fsync every batch, rotate at
+    /// [`Self::DEFAULT_WAL_ROTATE_RECORDS`], no checkpoint on maintain, no
+    /// fault injection.
+    #[must_use]
+    pub fn durable() -> Self {
+        Self {
+            fsync: FsyncPolicy::EveryBatch,
+            wal_rotate_records: Self::DEFAULT_WAL_ROTATE_RECORDS,
+            checkpoint_on_maintain: false,
+            fault: None,
+        }
+    }
+}
+
+/// One shard's journaling state. The mutex is held from WAL append through
+/// the in-memory apply, and for the capture + rotate half of a checkpoint —
+/// the lock is what makes "everything in WALs `< g` is inside snapshot `g`"
+/// an invariant rather than a race.
+#[derive(Debug)]
+struct ShardJournal {
+    /// Generation of the segment `wal` appends to.
+    generation: u64,
+    /// The open segment.
+    wal: WalWriter,
+    /// Records appended since the last checkpoint, for the rotation policy.
+    records_since_checkpoint: u64,
+}
+
+/// The store's persistence engine: one [`ShardJournal`] per shard plus the
+/// directory and policy they share. Lives behind an `Arc` on the store;
+/// every public store mutation that must survive a crash funnels through
+/// [`Self::journal_apply`].
+#[derive(Debug)]
+pub(crate) struct StorePersistence {
+    dir: PathBuf,
+    options: PersistOptions,
+    journals: Vec<Mutex<ShardJournal>>,
+    /// Set the moment any fault or I/O error fires; all later persistence
+    /// work no-ops (the modeled process is dead, only the in-memory store
+    /// lives on).
+    dead: AtomicBool,
+}
+
+impl StorePersistence {
+    /// Fresh persistence state for a newly created store: one empty
+    /// generation-0 WAL segment per shard.
+    pub(crate) fn create(
+        dir: &Path,
+        shard_count: usize,
+        options: PersistOptions,
+    ) -> Result<Self, PersistError> {
+        let mut journals = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            let wal = WalWriter::create(&dir.join(wal_file(shard, 0)))?;
+            journals.push(Mutex::new(ShardJournal {
+                generation: 0,
+                wal,
+                records_since_checkpoint: 0,
+            }));
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            options,
+            journals,
+            dead: AtomicBool::new(false),
+        })
+    }
+
+    /// Reattach to a recovered directory: continue appending on each shard's
+    /// newest WAL segment (torn tail truncated away by `valid_len`).
+    /// `segments` carries one `(generation, valid_len)` per shard, from
+    /// [`pof_persist::recover_shard`].
+    pub(crate) fn reattach(
+        dir: &Path,
+        segments: &[(u64, u64)],
+        options: PersistOptions,
+    ) -> Result<Self, PersistError> {
+        let mut journals = Vec::with_capacity(segments.len());
+        for (shard, &(generation, valid_len)) in segments.iter().enumerate() {
+            let path = dir.join(wal_file(shard, generation));
+            let wal = if path.exists() {
+                WalWriter::open_append(&path, valid_len)?
+            } else {
+                // A shard checkpointed and pruned, then crashed before its
+                // next append ever created the new segment.
+                WalWriter::create(&path)?
+            };
+            journals.push(Mutex::new(ShardJournal {
+                generation,
+                wal,
+                records_since_checkpoint: valid_len / WAL_RECORD_BYTES as u64,
+            }));
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            options,
+            journals,
+            dead: AtomicBool::new(false),
+        })
+    }
+
+    /// Has a fault or I/O error killed the layer?
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    /// Journal one shard-routed batch, then run `apply` (the in-memory
+    /// mutation) under the same journal lock. Returns `None` — without
+    /// applying — when a fault fires inside the journaling window: the
+    /// modeled process died before the apply, so the memory image must not
+    /// get ahead of the story the journal tells.
+    ///
+    /// Once the layer is dead, the batch applies memory-only (`Some`), like
+    /// writes against a store whose disk already failed.
+    pub(crate) fn journal_apply<R>(
+        &self,
+        shard: usize,
+        op: WalOp,
+        keys: &[u32],
+        apply: impl FnOnce() -> R,
+    ) -> Option<R> {
+        if keys.is_empty() || self.is_dead() {
+            return Some(apply());
+        }
+        let mut journal = self.journals[shard].lock().expect("journal lock poisoned");
+        let fault = self.options.fault.as_deref();
+        if fault.is_some_and(|f| f.should_fire(FaultPoint::MidWalAppend)) {
+            // Tear the first record of the batch and die: recovery must
+            // drop the torn tail, and with it the whole never-applied batch.
+            let _ = journal.wal.append_torn(op, keys[0]);
+            self.dead.store(true, Ordering::Relaxed);
+            return None;
+        }
+        let sync = self.options.fsync == FsyncPolicy::EveryBatch;
+        if journal.wal.append(op, keys, sync).is_err() {
+            self.dead.store(true, Ordering::Relaxed);
+            return None;
+        }
+        if fault.is_some_and(|f| f.should_fire(FaultPoint::PostAppendPreApply)) {
+            // The batch is fully durable; die before the in-memory apply.
+            // Recovery must replay it — the log is the authority.
+            let _ = journal.wal.sync();
+            self.dead.store(true, Ordering::Relaxed);
+            return None;
+        }
+        journal.records_since_checkpoint += keys.len() as u64;
+        // `apply` runs with the journal lock still held: a checkpoint on
+        // this shard serializes either entirely before the append or
+        // entirely after the apply, never in between.
+        Some(apply())
+    }
+
+    /// Does the rotation policy ask for a checkpoint of this shard?
+    pub(crate) fn wants_rotation(&self, shard: usize) -> bool {
+        if self.is_dead() || self.options.wal_rotate_records == 0 {
+            return false;
+        }
+        self.journals[shard]
+            .lock()
+            .expect("journal lock poisoned")
+            .records_since_checkpoint
+            >= self.options.wal_rotate_records
+    }
+
+    /// Is `maintain()` expected to checkpoint every shard?
+    pub(crate) fn checkpoint_on_maintain(&self) -> bool {
+        self.options.checkpoint_on_maintain
+    }
+
+    /// Checkpoint one shard: capture its state and rotate the WAL to the
+    /// next generation under the journal lock, write the new snapshot
+    /// atomically, then prune everything older than the previous generation
+    /// (which is kept as the torn-snapshot fallback).
+    pub(crate) fn checkpoint_shard(&self, index: usize, shard: &Shard) -> Result<(), PersistError> {
+        if self.is_dead() {
+            return Ok(());
+        }
+        let mut journal = self.journals[index].lock().expect("journal lock poisoned");
+        // The cut: state captured and segment rotated under one lock hold —
+        // every journaled op is either inside the payload (old segment) or
+        // after it (new segment), never both, never neither.
+        let mut payload = Vec::new();
+        shard.encode_state(&mut payload);
+        let result = (|| -> Result<(), PersistError> {
+            journal.wal.sync()?;
+            let next = journal.generation + 1;
+            journal.wal = WalWriter::create(&self.dir.join(wal_file(index, next)))?;
+            journal.generation = next;
+            journal.records_since_checkpoint = 0;
+            write_snapshot(
+                &self.dir.join(snapshot_file(index, next)),
+                &payload,
+                self.options.fault.as_deref(),
+            )?;
+            // Keep generations `next` and `next - 1`; a torn `next` falls
+            // back to `next - 1` plus both WAL segments.
+            let keep = next.saturating_sub(1);
+            prune_generations(&self.dir, index, keep, keep)?;
+            Ok(())
+        })();
+        if result.is_err() {
+            self.dead.store(true, Ordering::Relaxed);
+        }
+        result
+    }
+}

@@ -61,16 +61,23 @@ impl WorkloadObserver {
         )
     }
 
-    /// Halve every counter (one evaluation epoch elapsed). Subtracting
-    /// `ceil(v / 2)` of a freshly loaded value (rather than storing `v / 2`)
-    /// keeps concurrent increments: they land after the load and survive the
-    /// subtraction. The ceiling matters — `v - v / 2` would pin a counter at
-    /// 1 forever, and a stale `deletes = 1` against a decayed `inserts = 1`
-    /// would read as a 50 % delete rate on an idle store.
+    /// Halve every counter (one evaluation epoch elapsed). The halving is a
+    /// drain-and-refund — `swap(0)` claims the counter's exact value, then
+    /// `fetch_add(v / 2)` returns the half that survives — so concurrent
+    /// increments are never halved away mid-flight (they either land before
+    /// the swap and are claimed whole, or after it and survive whole) and,
+    /// unlike the former `load` + `fetch_sub(ceil(v/2))` pair, two racing
+    /// decays can never subtract more than the counter holds: with `v = 1`
+    /// that read-then-subtract pair underflowed the counter to `u64::MAX`,
+    /// which read back as an astronomically delete-heavy workload. `v / 2`
+    /// (not `ceil`) drives a counter of 1 to 0, so an idle store decays to
+    /// rest instead of a stale `deletes = 1` haunting the observed rate.
     pub(crate) fn decay(&self) {
         for counter in [&self.inserts, &self.deletes, &self.lookups] {
-            let v = counter.load(Ordering::Relaxed);
-            counter.fetch_sub(v.div_ceil(2), Ordering::Relaxed);
+            let v = counter.swap(0, Ordering::Relaxed);
+            if v / 2 > 0 {
+                counter.fetch_add(v / 2, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -205,6 +212,49 @@ mod tests {
         observer.note_deletes(1);
         observer.note_lookups(3);
         for _ in 0..16 {
+            observer.decay();
+        }
+        assert_eq!(observer.totals(), (0, 0, 0));
+    }
+
+    /// Regression (decay underflow): the former `load` + `fetch_sub(ceil(v/2))`
+    /// decay raced its own reads — two decays (or a decay against a counter
+    /// another decay already drained) could subtract more than the counter
+    /// held, wrapping it to `u64::MAX` and reporting an absurd workload. The
+    /// drain-and-refund decay can never underflow: counters stay bounded by
+    /// the true traffic no matter how decays and increments interleave.
+    #[test]
+    fn racing_decays_never_underflow_the_counters() {
+        let observer = std::sync::Arc::new(WorkloadObserver::default());
+        let total_per_thread = 10_000usize;
+        let threads = 4;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let observer = std::sync::Arc::clone(&observer);
+                scope.spawn(move || {
+                    for i in 0..total_per_thread {
+                        observer.note_inserts(1);
+                        observer.note_deletes(1);
+                        if i % 7 == 0 {
+                            observer.decay();
+                        }
+                    }
+                });
+            }
+            let observer = std::sync::Arc::clone(&observer);
+            scope.spawn(move || {
+                for _ in 0..5_000 {
+                    observer.decay();
+                }
+            });
+        });
+        let ceiling = (threads * total_per_thread) as u64;
+        let (inserts, deletes, lookups) = observer.totals();
+        assert!(inserts <= ceiling, "inserts underflowed: {inserts}");
+        assert!(deletes <= ceiling, "deletes underflowed: {deletes}");
+        assert_eq!(lookups, 0);
+        // And decay still drives everything to zero once traffic stops.
+        for _ in 0..64 {
             observer.decay();
         }
         assert_eq!(observer.totals(), (0, 0, 0));

@@ -10,6 +10,7 @@ use crate::keyset::CompactKeySet;
 use crate::policy::{RebuildDecision, RebuildPolicy, RebuildUrgency, ShardObservation};
 use pof_core::{AnyFilter, FilterConfig};
 use pof_filter::{DeleteOutcome, Filter};
+use pof_persist::codec::{put_f64, put_u32_slice, put_u64, put_u8, CodecError, Cursor};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -531,6 +532,35 @@ impl Shard {
         (removed, ticket)
     }
 
+    /// Delete a batch of keys from the *bookkeeping only*, leaving the
+    /// published probe state bit-identical — the tombstone-mode delete,
+    /// forced onto every family. Returns how many live keys were removed.
+    ///
+    /// This is the structural fix for the tiered reinsertion race: when a
+    /// key moves *up* a tier, the older level must not stop answering
+    /// positive at delete time, or a reader that probed the newer level
+    /// before the insert published and reaches the older level after the
+    /// delete would see a false negative. A shadow delete removes the key
+    /// from the key set (so rebuilds, key counts, and compactions see it
+    /// gone) but touches neither the filter bits nor the overflow buffer,
+    /// consults no policy, and publishes nothing: the lingering positives
+    /// are purged by the shard's *next* rebuild — an event driven by later
+    /// traffic, far outside any in-flight reader's probe window — exactly
+    /// like a tombstone-mode Bloom delete, and unlike the in-place clears
+    /// Cuckoo and counting-Bloom shards perform on the ordinary
+    /// [`Shard::delete_batch`] path.
+    pub(crate) fn shadow_delete_batch(&self, keys: &[u32]) -> usize {
+        if keys.is_empty() {
+            return 0;
+        }
+        let start = Instant::now();
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let removed = writer.shadow_delete_many(keys);
+        drop(writer);
+        self.note_writer_stall(start);
+        removed
+    }
+
     /// Run one maintenance round: ask the policy whether deferred work
     /// (overflow folds, tombstone purges, re-fits) should happen now.
     pub(crate) fn maintain(&self) -> MaintainOutcome {
@@ -771,6 +801,95 @@ impl Shard {
             BloomDeleteMode::Tombstone
         }
     }
+
+    /// Flip whether `Rebuild` decisions may defer off-lock. Recovery builds
+    /// shards synchronous (`background = false`), replays the WAL inline so
+    /// no replayed batch can park a ticket nobody will ever drain, then
+    /// restores the mode the store was actually opened with.
+    pub(crate) fn set_background(&self, background: bool) {
+        self.writer.lock().expect("writer lock poisoned").background = background;
+    }
+
+    /// Serialize this shard's complete write-side state — filter (with its
+    /// counting sidecar, if any), insertion-ordered key log, overflow
+    /// buffer, and lifecycle counters — under one writer lock, so the
+    /// payload is a single consistent cut. Plain little-endian throughout:
+    /// the snapshot file this lands in opens by `mmap` and decodes without
+    /// any byte swapping.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        writer.seal_overflow();
+        put_f64(out, writer.bits_per_key);
+        put_u8(out, u8::from(writer.counting));
+        put_u64(out, writer.capacity as u64);
+        put_u64(out, writer.tombstones as u64);
+        put_u64(out, writer.rebuilds);
+        put_u64(out, writer.migrations);
+        pof_core::encode_filter(&writer.filter, out);
+        put_u32_slice(out, writer.keys.as_ordered_slice());
+        put_u32_slice(out, &writer.overflow);
+    }
+
+    /// Rebuild a shard from a payload written by [`Shard::encode_state`].
+    /// The filter configuration travels inside the filter codec; the policy
+    /// and background mode are runtime choices supplied by the opening
+    /// store, not persisted state. The key log restores in its original
+    /// insertion order, so post-recovery rebuilds replay exactly the
+    /// sequence the pre-crash shard would have — Cuckoo rebuilds stay
+    /// deterministic across a crash.
+    pub(crate) fn decode_state(
+        cursor: &mut Cursor<'_>,
+        policy: Arc<dyn RebuildPolicy>,
+        background: bool,
+    ) -> Result<Self, CodecError> {
+        let bits_per_key = cursor.f64()?;
+        let counting = cursor.u8()? != 0;
+        let capacity = usize::try_from(cursor.u64()?)
+            .map_err(|_| CodecError::Invalid("shard capacity exceeds usize"))?;
+        let tombstones = usize::try_from(cursor.u64()?)
+            .map_err(|_| CodecError::Invalid("shard tombstones exceed usize"))?;
+        let rebuilds = cursor.u64()?;
+        let migrations = cursor.u64()?;
+        let filter = pof_core::decode_filter(cursor)?;
+        let ordered = cursor.u32_slice()?;
+        let overflow = cursor.u32_slice()?;
+        if !overflow.windows(2).all(|w| w[0] < w[1]) {
+            return Err(CodecError::Invalid("shard overflow buffer not sorted"));
+        }
+        let config = filter.config();
+        let capacity = capacity.max(64);
+        let budget_fpr = budget_fpr_for(&config, capacity, bits_per_key);
+        let snapshot = Arc::new(ShardSnapshot {
+            filter: filter.read_only_clone(),
+            overflow: overflow.clone(),
+        });
+        Ok(Self {
+            writer: Mutex::new(ShardWriter {
+                filter,
+                keys: CompactKeySet::from_ordered(ordered),
+                overflow,
+                overflow_dirty: false,
+                tombstones,
+                capacity,
+                config,
+                bits_per_key,
+                budget_fpr,
+                rebuilds,
+                migrations,
+                rebuilds_background: 0,
+                rebuild_wait_ns: 0,
+                writer_rebuild_stall_ns: 0,
+                rebuild_epoch: 0,
+                pending: None,
+                ticket: None,
+                background,
+                counting,
+                policy,
+            }),
+            snapshot: RwLock::new(snapshot),
+            max_writer_stall_ns: AtomicU64::new(0),
+        })
+    }
 }
 
 impl ShardWriter {
@@ -982,8 +1101,10 @@ impl ShardWriter {
         self.rebuild_inline(capacity, true);
     }
 
-    /// Park a key in the overflow buffer. The key is fresh in the key set,
-    /// so it cannot already be present here. Appends without re-sorting —
+    /// Park a key in the overflow buffer. The key is fresh in the key set —
+    /// at worst a *shadow-deleted* stale copy of it still lingers here (it
+    /// keeps answering positive by design), which the batch-end seal
+    /// collapses. Appends without re-sorting —
     /// a sorted per-key `Vec::insert` is a memmove of the whole buffer,
     /// quadratic over a bulk load that parks every key (the immutable-shard
     /// ingest path) — the batch that called this seals before releasing the
@@ -999,6 +1120,9 @@ impl ShardWriter {
     fn seal_overflow(&mut self) {
         if self.overflow_dirty {
             self.overflow.sort_unstable();
+            // A re-inserted key can meet its own shadow-deleted stale copy
+            // here; one entry serves both purposes.
+            self.overflow.dedup();
             self.overflow_dirty = false;
         }
     }
@@ -1053,6 +1177,39 @@ impl ShardWriter {
             }
         }
         (doomed.len(), observable)
+    }
+
+    /// Bookkeeping-only companion to [`Self::delete_many`]: remove the keys
+    /// from the key set and count tombstones, but leave the filter bits
+    /// *and* the overflow buffer untouched — parked keys keep answering
+    /// positive through the published snapshot's overflow copy until the
+    /// next rebuild drops them (they are no longer in `keys`, so no rebuild
+    /// or publish ever carries them forward). Delta-logged like a physical
+    /// delete: an in-flight background rebuild builds from the post-delete
+    /// key set either way, so replaying the delete into its replacement is
+    /// membership-equivalent.
+    fn shadow_delete_many(&mut self, keys: &[u32]) -> usize {
+        let mut doomed: Vec<u32> = keys
+            .iter()
+            .copied()
+            .filter(|&key| self.keys.contains(key))
+            .collect();
+        doomed.sort_unstable();
+        doomed.dedup();
+        if doomed.is_empty() {
+            return 0;
+        }
+        self.keys.remove_sorted_batch(&doomed);
+        for &key in &doomed {
+            self.log_delta(DeltaOp::Delete(key));
+            // An overflow-parked key leaves no filter bits behind — only
+            // keys actually resident in the filter linger as tombstones for
+            // the purge heuristics to weigh.
+            if self.overflow.binary_search(&key).is_err() {
+                self.tombstones += 1;
+            }
+        }
+        doomed.len()
     }
 
     /// The policy's post-delete-batch decision (`Defer` is meaningless for
@@ -1328,5 +1485,134 @@ mod tests {
         let (removed, _) = shard.delete_batch(&keys[100..150]);
         assert_eq!(removed, 50);
         assert_eq!(shard.consistent_view().tombstones, 0);
+    }
+
+    /// A shadow delete is invisible to readers at delete time — even on the
+    /// in-place-delete families whose ordinary `delete_batch` clears bits
+    /// immediately — and the bookkeeping still sees the keys gone, so the
+    /// next rebuild (not the delete) purges the lingering positives.
+    #[test]
+    fn shadow_deletes_stay_invisible_until_the_next_rebuild() {
+        for config in [
+            FilterConfig::Cuckoo(CuckooConfig::new(16, 4, CuckooAddressing::PowerOfTwo)),
+            bloom_config(),
+        ] {
+            for mode in [BloomDeleteMode::Tombstone, BloomDeleteMode::Counting] {
+                let shard = shard(config, mode);
+                let keys: Vec<u32> = (0..300u32).map(|i| i * 19 + 7).collect();
+                assert!(shard.insert_batch(&keys).is_none());
+                let removed = shard.shadow_delete_batch(&keys[..150]);
+                assert_eq!(removed, 150);
+                // Idempotent: the keys already left the bookkeeping.
+                assert_eq!(shard.shadow_delete_batch(&keys[..150]), 0);
+                assert_eq!(shard.key_count(), 150);
+                let snapshot = shard.load();
+                for &key in &keys {
+                    assert!(
+                        snapshot.contains(key),
+                        "shadow delete of {key} became reader-visible (config {config:?}, {mode:?})"
+                    );
+                }
+                // The purge happens at the next rebuild, rebuilt from the
+                // post-delete key set.
+                let mut writer = shard.writer.lock().unwrap();
+                writer.rebuild(256);
+                shard.publish(&writer);
+                assert_eq!(writer.tombstones, 0, "rebuild left tombstones");
+                drop(writer);
+                let snapshot = shard.load();
+                for &key in &keys[150..] {
+                    assert!(snapshot.contains(key), "rebuild lost live key {key}");
+                }
+                let lingering = keys[..150]
+                    .iter()
+                    .filter(|&&key| snapshot.contains(key))
+                    .count();
+                assert!(
+                    lingering < 15,
+                    "{lingering} of 150 shadow-deleted keys survived the rebuild"
+                );
+            }
+        }
+    }
+
+    /// Round-trip every delete family through `encode_state`/`decode_state`:
+    /// the restored shard must answer identically, keep exact key counts,
+    /// preserve lifecycle counters, and still honor deletes — including
+    /// through the counting sidecar, which travels inside the filter codec.
+    #[test]
+    fn encode_decode_roundtrips_the_full_shard_state() {
+        let configs = [
+            (bloom_config(), BloomDeleteMode::Tombstone),
+            (bloom_config(), BloomDeleteMode::Counting),
+            (
+                FilterConfig::Cuckoo(CuckooConfig::new(16, 4, CuckooAddressing::PowerOfTwo)),
+                BloomDeleteMode::Tombstone,
+            ),
+            (fuse_config(), BloomDeleteMode::Tombstone),
+        ];
+        for (config, mode) in configs {
+            let shard = shard(config, mode);
+            let keys: Vec<u32> = (0..500u32).map(|i| i.wrapping_mul(2_654_435_769)).collect();
+            shard.insert_batch(&keys);
+            let (removed, _) = shard.delete_batch(&keys[..80]);
+            assert_eq!(removed, 80);
+            shard.shadow_delete_batch(&keys[80..120]);
+            let mut payload = Vec::new();
+            shard.encode_state(&mut payload);
+            let mut cursor = Cursor::new(&payload);
+            let restored = Shard::decode_state(&mut cursor, Arc::new(SaturationDoubling), false)
+                .expect("encoded state must decode");
+            cursor.finish().expect("decode must consume the payload");
+            assert_eq!(restored.key_count(), shard.key_count());
+            assert_eq!(restored.config(), shard.config());
+            assert_eq!(restored.delete_mode(), shard.delete_mode());
+            let original = shard.load();
+            let mirror = restored.load();
+            for probe in (0..20_000u32).map(|i| i * 31) {
+                assert_eq!(
+                    original.contains(probe),
+                    mirror.contains(probe),
+                    "restored shard diverges on {probe} (config {config:?}, {mode:?})"
+                );
+            }
+            let before = shard.consistent_view();
+            let after = restored.consistent_view();
+            assert_eq!(after.rebuilds, before.rebuilds);
+            assert_eq!(after.tombstones, before.tombstones);
+            assert_eq!(after.overflow, before.overflow);
+            // The restored shard is a live shard: inserts and deletes keep
+            // working, and the replay log restored in order (a rebuild
+            // reproduces a working filter).
+            let more: Vec<u32> = (0..100u32).map(|i| 900_000 + i * 3).collect();
+            restored.insert_batch(&more);
+            let (removed, _) = restored.delete_batch(&keys[120..160]);
+            assert_eq!(removed, 40);
+            let snapshot = restored.load();
+            for &key in more.iter().chain(&keys[160..]) {
+                assert!(snapshot.contains(key), "post-restore write lost {key}");
+            }
+        }
+    }
+
+    /// Corrupt shard payloads must fail decode, not build a half-shard.
+    #[test]
+    fn corrupt_shard_payloads_are_rejected() {
+        let shard = shard(bloom_config(), BloomDeleteMode::Tombstone);
+        shard.insert_batch(&[1, 2, 3, 4, 5]);
+        let mut payload = Vec::new();
+        shard.encode_state(&mut payload);
+        // Truncations at every prefix length either decode-fail or leave
+        // unconsumed bytes — never panic.
+        for len in 0..payload.len() {
+            let mut cursor = Cursor::new(&payload[..len]);
+            let result = Shard::decode_state(&mut cursor, Arc::new(SaturationDoubling), false);
+            if let Ok(_restored) = result {
+                assert!(
+                    cursor.finish().is_err(),
+                    "truncated payload ({len} bytes) decoded cleanly"
+                );
+            }
+        }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::maintainer::{Maintainer, RebuildMode};
 use crate::options::StoreOptions;
+use crate::persist::{PersistOptions, StorePersistence};
 use crate::policy::RebuildPolicy;
 use crate::readvise::{Readvisor, WorkloadObserver};
 use crate::shard::{
@@ -13,6 +14,8 @@ use pof_core::{AnyFilter, FilterConfig, LevelSpec};
 use pof_filter::probe::ProbePlan;
 use pof_filter::stats::measured_fpr;
 use pof_filter::{DeleteOutcome, Filter, FilterKind, SelectionVector};
+use pof_persist::{PersistError, StoreMeta, WalOp};
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 /// Compile-time audit that the store (and therefore `AnyFilter`) can be
@@ -23,6 +26,40 @@ const _: () = {
     assert_send_sync::<ShardedFilterStore>();
     assert_send_sync::<StoreSnapshot>();
 };
+
+/// Replay a recovered WAL tail into a freshly restored shard: consecutive
+/// same-op runs batch together (the journal granularity is the original
+/// batch, so runs are typically whole batches). Inserts of keys the
+/// snapshot already holds and deletes of keys it never had are no-ops by
+/// set semantics — replay is idempotent over the snapshot/WAL overlap a
+/// generation fallback introduces. Shadow deletes were journaled as plain
+/// deletes: replaying them physically is membership-equivalent, because the
+/// key's reinsertion into the newer level is journaled (and replayed)
+/// there.
+fn replay_wal(shard: &Shard, ops: &[(WalOp, u32)]) {
+    fn flush(shard: &Shard, op: Option<WalOp>, batch: &mut Vec<u32>) {
+        match op {
+            Some(WalOp::Insert) => {
+                shard.insert_batch(batch);
+            }
+            Some(WalOp::Delete) => {
+                shard.delete_batch(batch);
+            }
+            None => {}
+        }
+        batch.clear();
+    }
+    let mut batch: Vec<u32> = Vec::new();
+    let mut current: Option<WalOp> = None;
+    for &(op, key) in ops {
+        if current != Some(op) {
+            flush(shard, current, &mut batch);
+            current = Some(op);
+        }
+        batch.push(key);
+    }
+    flush(shard, current, &mut batch);
+}
 
 /// A concurrent approximate-membership store: `P` filter shards, batch-first
 /// lookups, snapshot-isolated reads, and a policy-driven shard lifecycle.
@@ -69,6 +106,8 @@ pub struct ShardedFilterStore {
     workload_hint: Mutex<LevelSpec>,
     /// The online re-advising controller; `None` keeps the family fixed.
     readvisor: Option<Mutex<Readvisor>>,
+    /// WAL journaling + checkpoint engine; `None` for a memory-only store.
+    persistence: Option<Arc<StorePersistence>>,
 }
 
 /// Reusable scratch buffers for the batched read path.
@@ -170,6 +209,174 @@ impl ShardedFilterStore {
             observer: WorkloadObserver::default(),
             workload_hint: Mutex::new(workload_hint),
             readvisor: readvise.map(|r| Mutex::new(Readvisor::new(&r))),
+            persistence: None,
+        }
+    }
+
+    /// Open (or create) a durably persisted store at `dir` with the default
+    /// durability knobs ([`PersistOptions::durable`]): every acknowledged
+    /// batch is crash-safe the moment the call returns.
+    ///
+    /// An empty (or nonexistent) directory creates a fresh store shaped by
+    /// `options` and starts journaling. A directory that already holds a
+    /// store **recovers** it: each shard maps the newest snapshot whose
+    /// header and payload CRCs validate (falling back one generation past a
+    /// torn one), replays its WAL tail, and continues journaling where the
+    /// crashed process stopped. The shard count is part of the durable
+    /// layout (routing depends on it), so on recovery the persisted count
+    /// wins over `options.shard_count`; policy, rebuild mode and re-advising
+    /// remain runtime choices honored from `options`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures, and [`PersistError::Corrupt`] when the directory
+    /// holds something that is not a flat store (e.g. a
+    /// [`TieredStore`](crate::TieredStore) root) or no uncorrupted state
+    /// survives.
+    pub fn open(dir: impl AsRef<Path>, options: StoreOptions) -> Result<Self, PersistError> {
+        Self::open_with(dir, options, PersistOptions::durable())
+    }
+
+    /// [`Self::open`] with explicit [`PersistOptions`] (fsync policy, WAL
+    /// rotation threshold, checkpoint-on-maintain, fault injection).
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        options: StoreOptions,
+        persist: PersistOptions,
+    ) -> Result<Self, PersistError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        match pof_persist::read_meta(dir)? {
+            None => {
+                let mut store = Self::from_options(options);
+                pof_persist::write_meta(
+                    dir,
+                    StoreMeta {
+                        kind: StoreMeta::KIND_FLAT,
+                        count: store.shards.len() as u32,
+                    },
+                )?;
+                let persistence = StorePersistence::create(dir, store.shards.len(), persist)?;
+                store.persistence = Some(Arc::new(persistence));
+                Ok(store)
+            }
+            Some(meta) if meta.kind == StoreMeta::KIND_FLAT => {
+                Self::recover(dir, meta.count as usize, options, persist)
+            }
+            Some(_) => Err(PersistError::Corrupt {
+                path: dir.join("STORE.meta"),
+                detail: "directory holds a tiered store; use TieredStore::open".to_owned(),
+            }),
+        }
+    }
+
+    /// Recovery half of [`Self::open_with`]: rebuild every shard from its
+    /// newest valid snapshot plus WAL tail, then reattach the journals.
+    fn recover(
+        dir: &Path,
+        shard_count: usize,
+        options: StoreOptions,
+        persist: PersistOptions,
+    ) -> Result<Self, PersistError> {
+        if shard_count == 0 || !shard_count.is_power_of_two() {
+            return Err(PersistError::Corrupt {
+                path: dir.join("STORE.meta"),
+                detail: format!("persisted shard count {shard_count} is not a power of two"),
+            });
+        }
+        let StoreOptions {
+            config,
+            shard_count: _,
+            capacity_per_shard,
+            bits_per_key,
+            lifecycle,
+            delete_mode,
+            readvise,
+        } = options;
+        let background = lifecycle.rebuild_mode != RebuildMode::Inline;
+        let files = pof_persist::scan_dir(dir, shard_count)?;
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut segments = Vec::with_capacity(shard_count);
+        for (index, shard_files) in files.iter().enumerate() {
+            let recovered = pof_persist::recover_shard(dir, index, shard_files)?;
+            // Shards recover in synchronous mode so the WAL replay below can
+            // never park a background ticket nobody drains; the store's real
+            // mode is restored once the shard is caught up.
+            let shard = match &recovered.snapshot {
+                Some(snapshot) => {
+                    let path = dir.join(pof_persist::snapshot_file(
+                        index,
+                        recovered.snapshot_generation,
+                    ));
+                    let corrupt = |detail: String| PersistError::Corrupt {
+                        path: path.clone(),
+                        detail,
+                    };
+                    let mut cursor = pof_persist::codec::Cursor::new(snapshot.payload());
+                    let shard =
+                        Shard::decode_state(&mut cursor, Arc::clone(&lifecycle.policy), false)
+                            .map_err(|err| corrupt(err.to_string()))?;
+                    cursor.finish().map_err(|err| corrupt(err.to_string()))?;
+                    shard
+                }
+                None => Shard::new(
+                    config,
+                    capacity_per_shard,
+                    bits_per_key,
+                    Arc::clone(&lifecycle.policy),
+                    false,
+                    delete_mode,
+                ),
+            };
+            replay_wal(&shard, &recovered.replay);
+            shard.set_background(background);
+            segments.push((recovered.wal_generation, recovered.wal_valid_len));
+            shards.push(shard);
+        }
+        let shards = Arc::new(shards);
+        let maintainer = Maintainer::new(lifecycle.rebuild_mode, Arc::clone(&shards));
+        let persistence = StorePersistence::reattach(dir, &segments, persist)?;
+        let workload_hint = readvise.as_ref().map(|r| r.workload).unwrap_or_default();
+        Ok(Self {
+            shards,
+            shard_bits: shard_count.trailing_zeros(),
+            maintainer,
+            observer: WorkloadObserver::default(),
+            workload_hint: Mutex::new(workload_hint),
+            readvisor: readvise.map(|r| Mutex::new(Readvisor::new(&r))),
+            persistence: Some(Arc::new(persistence)),
+        })
+    }
+
+    /// Checkpoint every shard now: capture its state, rotate its WAL segment
+    /// to a fresh generation, and write the snapshot atomically. After this
+    /// returns, reopening the directory recovers by mapping the snapshots
+    /// instead of replaying the journal. A no-op `Ok(())` on a memory-only
+    /// store.
+    ///
+    /// # Errors
+    ///
+    /// The first shard's filesystem or injected-fault failure; shards before
+    /// it are checkpointed, shards after it keep their previous generation
+    /// (both recover correctly — their WAL still covers them).
+    pub fn persist_checkpoint(&self) -> Result<(), PersistError> {
+        let Some(persistence) = &self.persistence else {
+            return Ok(());
+        };
+        for (index, shard) in self.shards.iter().enumerate() {
+            persistence.checkpoint_shard(index, shard)?;
+        }
+        Ok(())
+    }
+
+    /// Rotate this shard's journal if the automatic policy asks for it.
+    /// Best-effort: an I/O failure flips the persistence layer dead and the
+    /// in-memory store keeps serving.
+    fn maybe_rotate(&self, index: usize, shard: &Shard) {
+        if let Some(persistence) = &self.persistence {
+            if persistence.wants_rotation(index) {
+                let _ = persistence.checkpoint_shard(index, shard);
+            }
         }
     }
 
@@ -275,8 +482,14 @@ impl ShardedFilterStore {
             routed[self.shard_of(key)].push(key);
         }
         for (index, (shard, keys)) in self.shards.iter().zip(&routed).enumerate() {
-            let ticket = shard.insert_batch(keys);
+            let ticket = match &self.persistence {
+                Some(persistence) => persistence
+                    .journal_apply(index, WalOp::Insert, keys, || shard.insert_batch(keys))
+                    .flatten(),
+                None => shard.insert_batch(keys),
+            };
             self.enqueue_rebuild(index, ticket);
+            self.maybe_rotate(index, shard);
         }
     }
 
@@ -299,14 +512,45 @@ impl ShardedFilterStore {
         }
         let mut removed = 0;
         for (index, (shard, keys)) in self.shards.iter().zip(&routed).enumerate() {
-            let (shard_removed, ticket) = shard.delete_batch(keys);
+            let (shard_removed, ticket) = match &self.persistence {
+                Some(persistence) => persistence
+                    .journal_apply(index, WalOp::Delete, keys, || shard.delete_batch(keys))
+                    .unwrap_or((0, None)),
+                None => shard.delete_batch(keys),
+            };
             removed += shard_removed;
             self.enqueue_rebuild(index, ticket);
+            self.maybe_rotate(index, shard);
         }
         // Only *successful* deletes feed the observer: a tiered store
         // shadow-deletes every freshly inserted key from its older levels,
         // and counting those misses would make a pure-insert workload look
         // delete-heavy to the readvisor.
+        self.observer.note_deletes(removed);
+        removed
+    }
+
+    /// Delete a batch from the bookkeeping only, leaving every published
+    /// filter bit-identical — the no-false-negative delete the tiered store
+    /// uses when a key moves up a level (see
+    /// [`Shard::shadow_delete_batch`]). Journals like a physical delete: on
+    /// replay the key is simply gone, which is the same membership outcome.
+    pub(crate) fn shadow_delete_batch(&self, keys: &[u32]) -> usize {
+        let mut routed: Vec<Vec<u32>> = vec![Vec::new(); self.shards.len()];
+        for &key in keys {
+            routed[self.shard_of(key)].push(key);
+        }
+        let mut removed = 0;
+        for (index, (shard, keys)) in self.shards.iter().zip(&routed).enumerate() {
+            removed += match &self.persistence {
+                Some(persistence) => persistence
+                    .journal_apply(index, WalOp::Delete, keys, || {
+                        shard.shadow_delete_batch(keys)
+                    })
+                    .unwrap_or(0),
+                None => shard.shadow_delete_batch(keys),
+            };
+        }
         self.observer.note_deletes(removed);
         removed
     }
@@ -344,6 +588,17 @@ impl ShardedFilterStore {
         rebuilt += self.run_pending_readvise();
         if let Some(maintainer) = &self.maintainer {
             maintainer.drain();
+        }
+        // With `checkpoint_on_maintain` set, the maintenance round doubles
+        // as the durability barrier: the post-drain state (folds, purges and
+        // swaps included) is what lands in the snapshots, so the journals
+        // rotate at their emptiest.
+        if let Some(persistence) = &self.persistence {
+            if persistence.checkpoint_on_maintain() {
+                for (index, shard) in self.shards.iter().enumerate() {
+                    let _ = persistence.checkpoint_shard(index, shard);
+                }
+            }
         }
         rebuilt
     }

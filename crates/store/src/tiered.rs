@@ -35,10 +35,14 @@
 //!   enumerates. A [`CompactionPolicy`] (default: [`SizeRatio`]) decides
 //!   *when* levels spill.
 
+use crate::builder::TieredStoreBuilder;
+use crate::persist::PersistOptions;
 use crate::stats::{LevelStats, TieredStats};
 use crate::store::{ProbeScratch, ShardedFilterStore};
 use pof_core::LevelSpec;
 use pof_filter::SelectionVector;
+use pof_persist::{write_meta, PersistError, StoreMeta};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -202,22 +206,20 @@ impl TierLevel {
 /// counting the removal) or in neither bookkeeping (resurrecting it), and
 /// the each-key-lives-in-exactly-one-level invariant would be lost.
 ///
-/// One read-side caveat survives the lock, because levels publish their
-/// snapshots independently rather than through a cross-level commit point:
-/// a key being moved **up** — re-inserted into level 0 while its old copy is
-/// shadow-deleted from an older level — can be reported absent by a reader
-/// that probed level 0 before the insert published and reaches the older
-/// level after the delete did. The window only exists when the older level
-/// deletes *in place* (Cuckoo, or Bloom in
-/// [`BloomDeleteMode::Counting`](crate::BloomDeleteMode::Counting)): a
-/// tombstone-mode Bloom level keeps
-/// answering positive from its lingering bits until the next rebuild, which
-/// closes the window entirely. Downward moves ([`Self::compact`]) are safe
-/// in every mode — the destination is populated before the source is
-/// cleared, and readers visit the destination later. Deployments that need
-/// the strict no-false-negative read guarantee *through concurrent
-/// reinsertion waves* should therefore pin older levels to tombstone mode;
-/// stable keys (not mid-move) are never misreported in any mode.
+/// Levels publish their snapshots independently rather than through a
+/// cross-level commit point, so both directions a key can move are made
+/// safe by ordering alone. Upward moves (a re-insert of a key an older
+/// level still holds) insert into level 0 first, then *shadow-delete* the
+/// older occurrences: the older level's bookkeeping drops the key
+/// immediately, but its published filter stays bit-identical until that
+/// level's next rebuild — so a reader that probed level 0 before the
+/// insert published still gets a positive from the older level, whatever
+/// its family or delete mode (the delete-in-place clears Cuckoo and
+/// counting-Bloom levels used to perform here were the one false-negative
+/// window this store had). Downward moves ([`Self::compact`]) populate the
+/// destination before clearing the source, and readers visit the
+/// destination later. Stable keys (not mid-move) are never misreported in
+/// any mode.
 #[derive(Debug)]
 pub struct TieredStore {
     levels: Vec<TierLevel>,
@@ -243,6 +245,107 @@ impl TieredStore {
             compaction,
             compactions: AtomicU64::new(0),
             write_lock: Mutex::new(()),
+        }
+    }
+
+    /// Open (or create) a persistent tiered store in `dir` with the durable
+    /// default [`PersistOptions`] — see [`Self::open_with`].
+    ///
+    /// # Errors
+    /// Propagates I/O failures, corruption the fallback generation cannot
+    /// mask, and a directory whose metadata names a different store shape.
+    pub fn open(dir: impl AsRef<Path>, builder: TieredStoreBuilder) -> Result<Self, PersistError> {
+        Self::open_with(dir, builder, PersistOptions::durable())
+    }
+
+    /// Open (or create) a persistent tiered store in `dir`: each level lives
+    /// in its own `level-NN/` subdirectory as a full persistent
+    /// [`ShardedFilterStore`] (snapshots + WAL segments, recovered through
+    /// [`ShardedFilterStore::open_with`]), tied together by a root
+    /// `STORE.meta` recording the tiered shape and level count.
+    ///
+    /// The `builder` supplies everything the disk does not record — level
+    /// specs, policies, rebuild mode, re-advising — and must declare the
+    /// same number of levels the directory holds. Each recovered level keeps
+    /// its *persisted* filter family and shard count (a level that migrated
+    /// families before the crash stays migrated); a fresh directory builds
+    /// each level exactly as [`TieredStoreBuilder::build`] would.
+    ///
+    /// # Errors
+    /// Propagates I/O failures, corruption the fallback generation cannot
+    /// mask, a level-count mismatch with the builder, and a directory whose
+    /// metadata names a flat store.
+    ///
+    /// # Panics
+    /// If the builder declares no levels.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        builder: TieredStoreBuilder,
+        persist: PersistOptions,
+    ) -> Result<Self, PersistError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let (resolved, compaction) = builder.resolved();
+        match pof_persist::read_meta(dir)? {
+            None => {
+                write_meta(
+                    dir,
+                    StoreMeta {
+                        kind: StoreMeta::KIND_TIERED,
+                        count: resolved.len() as u32,
+                    },
+                )?;
+            }
+            Some(meta) if meta.kind == StoreMeta::KIND_TIERED => {
+                if meta.count as usize != resolved.len() {
+                    return Err(PersistError::Corrupt {
+                        path: dir.join("STORE.meta"),
+                        detail: format!(
+                            "directory holds {} levels but the builder declares {}",
+                            meta.count,
+                            resolved.len()
+                        ),
+                    });
+                }
+            }
+            Some(_) => {
+                return Err(PersistError::Corrupt {
+                    path: dir.join("STORE.meta"),
+                    detail: "directory holds a flat store; use ShardedFilterStore::open".to_owned(),
+                });
+            }
+        }
+        let levels = resolved
+            .into_iter()
+            .enumerate()
+            .map(|(index, (spec, options))| {
+                let level_dir = dir.join(format!("level-{index:02}"));
+                let store = ShardedFilterStore::open_with(level_dir, options, persist.clone())?;
+                Ok(TierLevel::new(store, spec))
+            })
+            .collect::<Result<Vec<_>, PersistError>>()?;
+        Ok(Self::from_levels(levels, compaction))
+    }
+
+    /// Checkpoint every level's store (see
+    /// [`ShardedFilterStore::persist_checkpoint`]): each shard's state is
+    /// snapshotted to disk and its WAL rotated. A no-op for stores built in
+    /// memory.
+    ///
+    /// # Errors
+    /// Returns the first shard's failure; that level's persistence layer is
+    /// dead from then on (later levels are still attempted).
+    pub fn persist_checkpoint(&self) -> Result<(), PersistError> {
+        let _guard = self.write_guard();
+        let mut first_err = None;
+        for level in &self.levels {
+            if let Err(err) = level.store.persist_checkpoint() {
+                first_err.get_or_insert(err);
+            }
+        }
+        match first_err {
+            Some(err) => Err(err),
+            None => Ok(()),
         }
     }
 
@@ -287,15 +390,18 @@ impl TieredStore {
     }
 
     /// Insert a batch into level 0, shadowing any older occurrences: a key
-    /// re-inserted after it was compacted down is deleted from the older
-    /// level, so every key lives in exactly one level and
-    /// [`Self::key_count`] stays exact. Afterwards the [`CompactionPolicy`]
-    /// is consulted, newest level first, and due levels spill.
+    /// re-inserted after it was compacted down leaves the older level's
+    /// *bookkeeping* at once (so every key lives in exactly one level and
+    /// [`Self::key_count`] stays exact) while the older level's published
+    /// filter keeps answering positive until its next rebuild — readers
+    /// racing the reinsertion can never observe the key in neither level.
+    /// Afterwards the [`CompactionPolicy`] is consulted, newest level first,
+    /// and due levels spill.
     pub fn insert_batch(&self, keys: &[u32]) {
         let guard = self.write_guard();
         self.levels[0].store.insert_batch(keys);
         for level in &self.levels[1..] {
-            level.store.delete_batch(keys);
+            level.store.shadow_delete_batch(keys);
         }
         self.run_compaction_policy(&guard);
     }
@@ -456,8 +562,11 @@ impl TieredStore {
     fn compact_locked(&self, level: usize, _guard: &MutexGuard<'_, ()>) -> usize {
         assert!(level < self.levels.len(), "compact: no level {level}");
         if level + 1 == self.levels.len() {
-            // The oldest level has nowhere to spill: fold/purge in place.
+            // The oldest level has nowhere to spill: fold/purge in place,
+            // and persist the folded state (a fuse terminal level's merged
+            // filter goes straight to disk here).
             self.levels[level].store.maintain();
+            let _ = self.levels[level].store.persist_checkpoint();
             return 0;
         }
         let keys = self.levels[level].store.live_keys();
@@ -469,6 +578,13 @@ impl TieredStore {
         // no-false-negative contract holds throughout.
         self.levels[level + 1].store.insert_batch(&keys);
         let moved = self.levels[level].store.delete_batch(&keys);
+        // Persist the move at once (best-effort — a dead persistence layer
+        // just stays dead): the destination's merged state, fuse filters
+        // included, lands on disk as a fresh snapshot generation rather than
+        // as a WAL replay obligation, and the source's emptied state follows
+        // so a crash right after this point recovers both sides of the move.
+        let _ = self.levels[level + 1].store.persist_checkpoint();
+        let _ = self.levels[level].store.persist_checkpoint();
         self.levels[level]
             .compacted_out
             .fetch_add(moved as u64, Ordering::Relaxed);

@@ -1,0 +1,431 @@
+//! Crash-recovery oracle matrix: kill the store at every [`FaultPoint`], for
+//! every delete family, in both the flat and the tiered shape, then reopen
+//! the directory and compare against an exact in-memory oracle.
+//!
+//! The acceptance bar is strict: zero false negatives (every key the oracle
+//! says is live must test positive after recovery) and *exact* key counts —
+//! the durable story each fault point leaves behind is deterministic, so the
+//! oracle can be too:
+//!
+//! * `MidWalAppend` — the victim batch tore mid-append and was never applied;
+//!   recovery drops the torn tail, so the oracle excludes the whole batch.
+//! * `PostAppendPreApply` — the victim record is fully durable (a one-key
+//!   batch, so no cross-shard ambiguity); the oracle includes it.
+//! * `MidSnapshotWrite` / `PreRename` — a checkpoint died writing its
+//!   snapshot; the WAL already covers everything, so nothing is lost and the
+//!   torn/unrenamed snapshot must be masked by the previous generation.
+
+use pof_bloom::{Addressing, BloomConfig};
+use pof_core::FilterConfig;
+use pof_cuckoo::{CuckooAddressing, CuckooConfig};
+use pof_store::{
+    BloomDeleteMode, FaultInjector, FaultPoint, LevelSpec, ManualCompaction, PersistOptions,
+    ShardedFilterStore, StoreOptions, TieredStore, TieredStoreBuilder,
+};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Self-cleaning scratch directory (no tempfile dependency).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pof-recovery-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        Self(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The three delete families the matrix crosses with every fault point.
+#[derive(Debug, Clone, Copy)]
+enum Family {
+    BloomTombstone,
+    BloomCounting,
+    Cuckoo,
+}
+
+const FAMILIES: [Family; 3] = [
+    Family::BloomTombstone,
+    Family::BloomCounting,
+    Family::Cuckoo,
+];
+
+impl Family {
+    fn tag(self) -> &'static str {
+        match self {
+            Family::BloomTombstone => "bloom-tombstone",
+            Family::BloomCounting => "bloom-counting",
+            Family::Cuckoo => "cuckoo",
+        }
+    }
+
+    fn config(self) -> FilterConfig {
+        match self {
+            Family::BloomTombstone | Family::BloomCounting => {
+                FilterConfig::Bloom(BloomConfig::register_blocked(32, 4, Addressing::PowerOfTwo))
+            }
+            Family::Cuckoo => {
+                FilterConfig::Cuckoo(CuckooConfig::new(16, 4, CuckooAddressing::PowerOfTwo))
+            }
+        }
+    }
+
+    fn delete_mode(self) -> BloomDeleteMode {
+        match self {
+            Family::BloomCounting => BloomDeleteMode::Counting,
+            _ => BloomDeleteMode::Tombstone,
+        }
+    }
+
+    fn store_options(self) -> StoreOptions {
+        StoreOptions {
+            config: self.config(),
+            shard_count: 4,
+            capacity_per_shard: 256,
+            bits_per_key: match self {
+                Family::Cuckoo => 16.0,
+                _ => 12.0,
+            },
+            delete_mode: self.delete_mode(),
+            ..StoreOptions::default()
+        }
+    }
+}
+
+/// Manual-checkpoint persistence with the given injector attached.
+fn faulted_persist(fault: &Arc<FaultInjector>) -> PersistOptions {
+    PersistOptions {
+        wal_rotate_records: 0,
+        fault: Some(Arc::clone(fault)),
+        ..PersistOptions::durable()
+    }
+}
+
+/// Zero false negatives and exact key counts versus the oracle.
+fn assert_matches_oracle(
+    contains: impl Fn(u32) -> bool,
+    key_count: usize,
+    oracle: &BTreeSet<u32>,
+    context: &str,
+) {
+    assert_eq!(
+        key_count,
+        oracle.len(),
+        "{context}: recovered key count diverged from the oracle"
+    );
+    for &key in oracle {
+        assert!(
+            contains(key),
+            "{context}: false negative for live key {key} after recovery"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// flat matrix
+// ---------------------------------------------------------------------------
+
+/// Run one flat-store crash scenario and verify recovery against the oracle.
+fn flat_crash_scenario(point: FaultPoint, family: Family) {
+    let context = format!("flat/{}/{point:?}", family.tag());
+    let dir = TempDir::new(family.tag());
+    let fault = Arc::new(FaultInjector::new());
+    let store =
+        ShardedFilterStore::open_with(dir.path(), family.store_options(), faulted_persist(&fault))
+            .expect("fresh open");
+    let mut oracle: BTreeSet<u32> = BTreeSet::new();
+
+    // Phase 1: acknowledged traffic, then a clean checkpoint (generation 1).
+    let phase1: Vec<u32> = (0..400).collect();
+    let deletes1: Vec<u32> = (0..400).step_by(4).collect();
+    store.insert_batch(&phase1);
+    oracle.extend(&phase1);
+    store.delete_batch(&deletes1);
+    for key in &deletes1 {
+        oracle.remove(key);
+    }
+    store.persist_checkpoint().expect("clean checkpoint");
+
+    // Phase 2: a WAL tail past the checkpoint, exercising both ops.
+    let phase2: Vec<u32> = (1_000..1_400).collect();
+    let deletes2: Vec<u32> = (1_000..1_100).collect();
+    store.insert_batch(&phase2);
+    oracle.extend(&phase2);
+    store.delete_batch(&deletes2);
+    for key in &deletes2 {
+        oracle.remove(key);
+    }
+
+    // The crash: arm the fault and drive the victim operation into it.
+    fault.arm(point);
+    match point {
+        FaultPoint::MidWalAppend => {
+            // Torn mid-append: the whole batch is lost, oracle unchanged.
+            let victim: Vec<u32> = (5_000..5_064).collect();
+            store.insert_batch(&victim);
+        }
+        FaultPoint::PostAppendPreApply => {
+            // One durable-but-unapplied key: the log is the authority, so the
+            // oracle includes it.
+            store.insert_batch(&[5_000]);
+            oracle.insert(5_000);
+        }
+        FaultPoint::MidSnapshotWrite | FaultPoint::PreRename => {
+            // A checkpoint that dies writing its snapshot loses nothing: the
+            // WAL covers every acknowledged op and the torn snapshot must be
+            // masked by the previous generation.
+            let _ = store.persist_checkpoint();
+        }
+    }
+    assert!(fault.fired(), "{context}: the armed fault never fired");
+    drop(store);
+
+    // Reopen the directory as the crashed process's successor.
+    let recovered =
+        ShardedFilterStore::open(dir.path(), family.store_options()).expect("recovery open");
+    assert_matches_oracle(
+        |key| recovered.contains(key),
+        recovered.key_count(),
+        &oracle,
+        &context,
+    );
+
+    // The recovered store keeps working — and its new writes are durable.
+    let extra: Vec<u32> = (9_000..9_128).collect();
+    recovered.insert_batch(&extra);
+    oracle.extend(&extra);
+    recovered.delete_batch(&extra[..32]);
+    for key in &extra[..32] {
+        oracle.remove(key);
+    }
+    drop(recovered);
+    let reopened =
+        ShardedFilterStore::open(dir.path(), family.store_options()).expect("second recovery");
+    assert_matches_oracle(
+        |key| reopened.contains(key),
+        reopened.key_count(),
+        &oracle,
+        &format!("{context}/after-reopen-writes"),
+    );
+}
+
+#[test]
+fn flat_store_recovers_at_every_fault_point() {
+    for point in FaultPoint::ALL {
+        for family in FAMILIES {
+            flat_crash_scenario(point, family);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tiered matrix
+// ---------------------------------------------------------------------------
+
+/// A two-level pinned builder (both levels on `family`) with manual
+/// compaction, so the key placement the oracle assumes is deterministic.
+fn tiered_builder(family: Family) -> TieredStoreBuilder {
+    let spec = LevelSpec {
+        expected_keys: 1 << 12,
+        ..LevelSpec::default()
+    };
+    TieredStoreBuilder::new()
+        .shards_per_level(2)
+        .compaction(Arc::new(ManualCompaction))
+        .level_pinned(
+            spec,
+            family.config(),
+            family.store_options().bits_per_key,
+            family.delete_mode(),
+        )
+        .level_pinned(
+            spec,
+            family.config(),
+            family.store_options().bits_per_key,
+            family.delete_mode(),
+        )
+}
+
+/// Run one tiered-store crash scenario and verify recovery against the
+/// oracle. The workload deliberately re-inserts keys an older level holds,
+/// so the journaled *shadow deletes* (the tiered race fix) are part of what
+/// recovery must replay exactly.
+fn tiered_crash_scenario(point: FaultPoint, family: Family) {
+    let context = format!("tiered/{}/{point:?}", family.tag());
+    let dir = TempDir::new(family.tag());
+    let fault = Arc::new(FaultInjector::new());
+    let store = TieredStore::open_with(dir.path(), tiered_builder(family), faulted_persist(&fault))
+        .expect("fresh open");
+    let mut oracle: BTreeSet<u32> = BTreeSet::new();
+
+    // Phase 1: a cold level, a hot overlap (shadow deletes on level 1), and
+    // a clean checkpoint of every level.
+    let cold: Vec<u32> = (0..500).collect();
+    let hot: Vec<u32> = (250..600).collect();
+    store.load_level(1, &cold);
+    oracle.extend(&cold);
+    store.insert_batch(&hot);
+    oracle.extend(&hot);
+    store.persist_checkpoint().expect("clean checkpoint");
+
+    // Phase 2: a WAL tail — fresh inserts, cross-level deletes, a compaction
+    // (which checkpoints the two levels it touched as a side effect).
+    let phase2: Vec<u32> = (2_000..2_200).collect();
+    let deletes2: Vec<u32> = (0..100).collect();
+    store.insert_batch(&phase2);
+    oracle.extend(&phase2);
+    store.delete_batch(&deletes2);
+    for key in &deletes2 {
+        oracle.remove(key);
+    }
+    store.compact(0);
+
+    // The crash.
+    fault.arm(point);
+    match point {
+        FaultPoint::MidWalAppend => {
+            let victim: Vec<u32> = (5_000..5_064).collect();
+            store.insert_batch(&victim);
+        }
+        FaultPoint::PostAppendPreApply => {
+            store.insert_batch(&[5_000]);
+            oracle.insert(5_000);
+        }
+        FaultPoint::MidSnapshotWrite | FaultPoint::PreRename => {
+            let _ = store.persist_checkpoint();
+        }
+    }
+    assert!(fault.fired(), "{context}: the armed fault never fired");
+    drop(store);
+
+    let recovered = TieredStore::open(dir.path(), tiered_builder(family)).expect("recovery open");
+    assert_matches_oracle(
+        |key| recovered.contains(key),
+        recovered.key_count(),
+        &oracle,
+        &context,
+    );
+
+    // Post-recovery writes survive a second reopen.
+    let extra: Vec<u32> = (9_000..9_128).collect();
+    recovered.insert_batch(&extra);
+    oracle.extend(&extra);
+    drop(recovered);
+    let reopened = TieredStore::open(dir.path(), tiered_builder(family)).expect("second recovery");
+    assert_matches_oracle(
+        |key| reopened.contains(key),
+        reopened.key_count(),
+        &oracle,
+        &format!("{context}/after-reopen-writes"),
+    );
+}
+
+#[test]
+fn tiered_store_recovers_at_every_fault_point() {
+    for point in FaultPoint::ALL {
+        for family in FAMILIES {
+            tiered_crash_scenario(point, family);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// torn-snapshot fallback
+// ---------------------------------------------------------------------------
+
+/// Truncate shard `shard`'s newest snapshot file mid-payload, returning the
+/// path it mangled. Zero-padded generation numbers make the lexicographic
+/// maximum the newest generation.
+fn truncate_newest_snapshot(dir: &Path, shard: usize) -> PathBuf {
+    let prefix = format!("shard-{shard:04}.gen-");
+    let mut snapshots: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read store dir")
+        .map(|entry| entry.expect("dir entry").path())
+        .filter(|path| {
+            path.file_name()
+                .and_then(|name| name.to_str())
+                .is_some_and(|name| name.starts_with(&prefix) && name.ends_with(".snap"))
+        })
+        .collect();
+    snapshots.sort();
+    let newest = snapshots.pop().expect("shard has at least one snapshot");
+    let full = std::fs::metadata(&newest).expect("snapshot metadata").len();
+    assert!(full > 64, "snapshot too small for a meaningful tear");
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&newest)
+        .expect("open snapshot for truncation");
+    file.set_len(full / 2).expect("truncate snapshot");
+    newest
+}
+
+#[test]
+fn torn_newest_snapshot_falls_back_to_the_previous_generation() {
+    let dir = TempDir::new("torn");
+    let options = StoreOptions {
+        shard_count: 2,
+        capacity_per_shard: 256,
+        ..Family::BloomTombstone.store_options()
+    };
+    let store = ShardedFilterStore::open_with(
+        dir.path(),
+        options.clone(),
+        PersistOptions {
+            wal_rotate_records: 0,
+            ..PersistOptions::durable()
+        },
+    )
+    .expect("fresh open");
+
+    // Two full generations plus a live WAL tail: snapshot gen 1 covers
+    // 0..300, snapshot gen 2 covers 0..500, the gen-2 WAL holds 500..600.
+    let gen1: Vec<u32> = (0..300).collect();
+    store.insert_batch(&gen1);
+    store.persist_checkpoint().expect("checkpoint 1");
+    let gen2: Vec<u32> = (300..500).collect();
+    store.insert_batch(&gen2);
+    store.persist_checkpoint().expect("checkpoint 2");
+    let tail: Vec<u32> = (500..600).collect();
+    store.insert_batch(&tail);
+    drop(store);
+
+    // Tear the newest snapshot of every shard: recovery must fall back to
+    // generation 1 and rebuild the difference from the retained WALs.
+    let torn: Vec<PathBuf> = (0..2)
+        .map(|shard| truncate_newest_snapshot(dir.path(), shard))
+        .collect();
+
+    let recovered = ShardedFilterStore::open(dir.path(), options).expect("fallback recovery");
+    let oracle: BTreeSet<u32> = (0..600).collect();
+    assert_matches_oracle(
+        |key| recovered.contains(key),
+        recovered.key_count(),
+        &oracle,
+        "torn-snapshot fallback",
+    );
+    // The torn files were quarantined, not resurrected.
+    for path in torn {
+        assert!(
+            !path.exists(),
+            "torn snapshot {} should have been removed during recovery",
+            path.display()
+        );
+    }
+}

@@ -433,6 +433,45 @@ impl<F: Fingerprint> BinaryFuse<F> {
         FuseConfig::new(F::BITS)
     }
 
+    /// Borrow the raw fingerprint array for snapshot serialization: for an
+    /// immutable fuse filter this is the entire probe-side state.
+    #[must_use]
+    pub fn snapshot_fingerprints(&self) -> &[F] {
+        &self.fingerprints
+    }
+
+    /// Export the scalar state a snapshot carries alongside the fingerprint
+    /// array: `(seed, distinct key count, construction retries)`.
+    #[must_use]
+    pub fn snapshot_parts(&self) -> (u64, usize, u32) {
+        (self.seed, self.keys, self.retries)
+    }
+
+    /// Rebuild a filter from persisted raw parts. The segment geometry is
+    /// fully derivable from the distinct-key count, so the snapshot only
+    /// carries `(seed, keys, retries, fingerprints)`; fails when the
+    /// fingerprint array does not match the re-derived layout.
+    pub fn restore(
+        seed: u64,
+        keys: usize,
+        retries: u32,
+        fingerprints: Box<[F]>,
+    ) -> Result<Self, &'static str> {
+        let size = u32::try_from(keys).map_err(|_| "fuse filters hold at most 2^32 keys")?;
+        let layout = FuseLayout::for_size(size);
+        if fingerprints.len() != layout.array_length as usize {
+            return Err("fingerprint array length does not match the derived layout");
+        }
+        Ok(Self {
+            layout,
+            seed,
+            fingerprints,
+            keys,
+            retries,
+            staged_enabled: true,
+        })
+    }
+
     /// Scalar batched lookup (reference path for the staged kernel).
     // pof-analyze: no-alloc
     pub fn contains_batch_scalar(&self, keys: &[u32], sel: &mut SelectionVector) {
@@ -609,10 +648,14 @@ impl<F: Fingerprint> Filter for BinaryFuse<F> {
         if self.keys == 0 {
             return;
         }
-        // Large batches against filters past the cache-footprint floor go
-        // through the staged kernel, which hides the three per-key miss
-        // latencies; everything else stays on the scalar loop.
-        if self.staged_enabled && probe::staged_worthwhile(keys.len(), self.size_bits() / 8) {
+        // Large batches only go staged past the *fuse-specific* footprint
+        // floor: the three probe loads land in adjacent segment windows, so
+        // scalar wins at footprints where Bloom/Cuckoo already benefit from
+        // staging (the recorded fuse8 staged/scalar ratios sat at 0.66–0.81×
+        // under the generic floor).
+        if self.staged_enabled
+            && probe::staged_worthwhile_for(FilterKind::Fuse, keys.len(), self.size_bits() / 8)
+        {
             probe::with_thread_plan(|plan| self.contains_batch_staged(keys, sel, plan));
             return;
         }

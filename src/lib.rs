@@ -106,11 +106,12 @@ pub mod prelude {
         DeleteOutcome, Filter, FilterKind, KeyGen, ProbePlan, SelectionVector, Workload,
     };
     pub use pof_store::{
-        BloomDeleteMode, CompactionPolicy, DeferredBatch, FprDrift, LevelStats, LifecycleOptions,
-        ManualCompaction, ProbeScratch, ReadviseOptions, RebuildDecision, RebuildMode,
-        RebuildPolicy, RebuildUrgency, SaturationDoubling, ShardedFilterStore, SizeRatio,
-        StoreBuilder, StoreOptions, StoreSnapshot, StoreStats, TieredProbeScratch, TieredStats,
-        TieredStore, TieredStoreBuilder,
+        BloomDeleteMode, CompactionPolicy, DeferredBatch, FaultInjector, FaultPoint, FprDrift,
+        FsyncPolicy, LevelStats, LifecycleOptions, ManualCompaction, PersistError, PersistOptions,
+        ProbeScratch, ReadviseOptions, RebuildDecision, RebuildMode, RebuildPolicy, RebuildUrgency,
+        SaturationDoubling, ShardedFilterStore, SizeRatio, StoreBuilder, StoreOptions,
+        StoreSnapshot, StoreStats, TieredProbeScratch, TieredStats, TieredStore,
+        TieredStoreBuilder,
     };
     pub use pof_workloads::{JoinHashTable, JoinWorkload, LsmTree, ProbePipeline, SemiJoin};
     pub use pof_xorfuse::{FuseConfig, FuseFilter, FuseMutation};
